@@ -1,0 +1,48 @@
+//! K-Means / elbow scaling benchmarks: the paper reports label
+//! distribution clustering takes <1s for 200 parties (§5.1); this bench
+//! verifies the substrate's scaling with party count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flips_core::clustering::{kmeans, optimal_k, ElbowConfig, KMeansConfig};
+use flips_core::data::dataset::generate_population;
+use flips_core::prelude::*;
+use std::hint::black_box;
+
+fn label_distribution_points(parties: usize) -> Vec<Vec<f32>> {
+    let profile = DatasetProfile::ecg();
+    let pop = generate_population(&profile, parties * 100, 7);
+    let parts =
+        partition(&pop, parties, PartitionStrategy::Dirichlet { alpha: 0.3 }, 2, 7).unwrap();
+    parts.label_distributions().iter().map(|ld| ld.normalized()).collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_k10");
+    group.sample_size(20);
+    for &parties in &[50usize, 200, 800] {
+        let points = label_distribution_points(parties);
+        group.bench_with_input(BenchmarkId::from_parameter(parties), &points, |b, points| {
+            b.iter(|| {
+                let mut rng = flips_core::ml::rng::seeded(1);
+                kmeans(&mut rng, black_box(points), KMeansConfig::new(10)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_elbow_scan(c: &mut Criterion) {
+    let points = label_distribution_points(200);
+    let mut group = c.benchmark_group("elbow");
+    group.sample_size(10);
+    group.bench_function("elbow_scan_200_parties_k2_to_15_t3", |b| {
+        b.iter(|| {
+            let cfg = ElbowConfig { restarts: 3, ..ElbowConfig::new(15, 1) };
+            optimal_k(black_box(&points), cfg).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_elbow_scan);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end cost of one FL synchronization round (select → train →
+//! aggregate → evaluate) at a moderate scale, sequential vs parallel
+//! local training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flips_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fl_round_40_parties_8_per_round");
+    group.sample_size(10);
+    for (name, parallel) in [("sequential", false), ("parallel", true)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    SimulationBuilder::new(DatasetProfile::femnist())
+                        .parties(40)
+                        .rounds(1)
+                        .participation(0.2)
+                        .selector(SelectorKind::Random)
+                        .test_per_class(20)
+                        .parallel(parallel)
+                        .seed(3)
+                        .build()
+                        .unwrap()
+                        .0
+                },
+                |mut job| black_box(job.step().unwrap().accuracy),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

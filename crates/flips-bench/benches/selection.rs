@@ -1,0 +1,60 @@
+//! Per-round selection latency of every policy at paper scale (200
+//! parties, Nr = 40). Selection must be negligible next to training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flips_core::prelude::*;
+use flips_core::selection::oort::OortConfig;
+use flips_core::selection::tifl::TiflConfig;
+use flips_core::selection::{
+    FlipsSelector, GradClusSelector, OortSelector, RandomSelector, TiflSelector,
+};
+use std::hint::black_box;
+
+const N: usize = 200;
+const NR: usize = 40;
+
+fn feedback(picks: &[usize], round: usize) -> RoundFeedback {
+    RoundFeedback {
+        round,
+        selected: picks.to_vec(),
+        completed: picks.to_vec(),
+        train_loss: picks.iter().map(|&p| (p, 1.0)).collect(),
+        duration: picks.iter().map(|&p| (p, 0.5)).collect(),
+        global_accuracy: 0.5,
+        ..Default::default()
+    }
+}
+
+fn drive(selector: &mut dyn ParticipantSelector) {
+    for round in 0..5 {
+        let picks = selector.select(round, NR).unwrap();
+        selector.report(&feedback(&picks, round));
+        black_box(picks);
+    }
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_5_rounds_200_parties");
+    group.bench_function("random", |b| {
+        b.iter(|| drive(&mut RandomSelector::new(N, 1)))
+    });
+    group.bench_function("flips", |b| {
+        let clusters: Vec<Vec<usize>> =
+            (0..10).map(|c| (0..N).filter(|p| p % 10 == c).collect()).collect();
+        b.iter(|| drive(&mut FlipsSelector::new(clusters.clone()).unwrap()))
+    });
+    group.bench_function("oort", |b| {
+        b.iter(|| drive(&mut OortSelector::new(vec![200; N], OortConfig::default(), 1)))
+    });
+    group.bench_function("grad_cls", |b| {
+        b.iter(|| drive(&mut GradClusSelector::new(N, 32, 1).unwrap()))
+    });
+    group.bench_function("tifl", |b| {
+        let lat: Vec<f64> = (0..N).map(|i| (i % 13) as f64 + 0.1).collect();
+        b.iter(|| drive(&mut TiflSelector::new(lat.clone(), TiflConfig::default(), 1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

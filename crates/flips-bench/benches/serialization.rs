@@ -1,0 +1,32 @@
+//! Wire-codec throughput: encoding/decoding model updates of realistic
+//! sizes (the communication path every FL round pays twice per party).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flips_core::fl::message::WireMessage;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for &params in &[1_000usize, 10_000, 100_000] {
+        let msg = WireMessage::LocalUpdate {
+            round: 7,
+            party: 42,
+            num_samples: 250,
+            mean_loss: 0.5,
+            duration: 1.25,
+            params: (0..params).map(|i| i as f32 * 0.001).collect(),
+        };
+        group.throughput(Throughput::Bytes(msg.wire_size() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", params), &msg, |b, msg| {
+            b.iter(|| black_box(msg.encode()))
+        });
+        let encoded = msg.encode();
+        group.bench_with_input(BenchmarkId::new("decode", params), &encoded, |b, encoded| {
+            b.iter(|| black_box(WireMessage::decode(encoded.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

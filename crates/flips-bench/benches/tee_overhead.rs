@@ -1,0 +1,46 @@
+//! The §5.1 experiment: clustering label distributions inside the
+//! simulated TEE vs outside. The paper measures 105.4 ms vs 100.5 ms
+//! (≈5%) under AMD SEV; the enclave's calibrated overhead model should
+//! reproduce that ratio here (absolute times differ — different machine,
+//! different k-scan).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flips_core::data::dataset::generate_population;
+use flips_core::middleware::{FlipsMiddleware, MiddlewareConfig};
+use flips_core::prelude::*;
+use std::hint::black_box;
+
+fn distributions() -> Vec<LabelDistribution> {
+    let profile = DatasetProfile::ham10000();
+    let pop = generate_population(&profile, 200 * 100, 3);
+    let parts =
+        partition(&pop, 200, PartitionStrategy::Dirichlet { alpha: 0.3 }, 2, 3).unwrap();
+    parts.label_distributions()
+}
+
+fn bench_tee_overhead(c: &mut Criterion) {
+    let lds = distributions();
+    let mut group = c.benchmark_group("private_clustering_200_parties");
+    group.sample_size(20);
+    for (name, overhead) in [
+        ("no_tee", OverheadModel::none()),
+        ("sev_like_tee", OverheadModel::sev_like()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = MiddlewareConfig {
+                    restarts: 3,
+                    k_max: 15,
+                    overhead,
+                    seed: 1,
+                    ..Default::default()
+                };
+                black_box(FlipsMiddleware::cluster_privately(&lds, &cfg).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tee_overhead);
+criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! Elbow-point selection of the cluster count `k` (paper §3.1, Eq. 3 and
+//! Figure 2).
+//!
+//! The number of unique label distributions is unknown a priori (party data
+//! is private), so FLIPS scans `k`, averages the Davies-Bouldin index over
+//! `T = 20` K-Means restarts per `k` (K-Means is sensitive to centroid
+//! initialization), and picks the **first sharp change in the slope** of
+//! the `k → DBI` curve: the elbow.
+//!
+//! Eq. (3) formalizes the elbow via the relative DBI change
+//! `|dbi(k) − dbi(k−1)| / dbi(k−1)`; the prose asks for the "(first) sharp
+//! change in the slope of the curve". On label-distribution inputs the DBI
+//! curve is V-shaped (steep descent to the true archetype count, then a
+//! rise as clusters go sparse — exactly the small-k/large-k failure modes
+//! §3.1 describes), so the sharp slope change is located by the **maximum
+//! second difference** of the curve; degenerate flat curves fall back to
+//! the DBI minimum.
+
+use crate::dbi::davies_bouldin_index;
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::ClusteringError;
+use flips_ml::rng::{derive_seed, seeded};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the elbow scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElbowConfig {
+    /// Smallest candidate `k` (inclusive); must be ≥ 2.
+    pub k_min: usize,
+    /// Largest candidate `k` (inclusive).
+    pub k_max: usize,
+    /// K-Means restarts averaged per candidate (paper uses `T = 20`).
+    pub restarts: usize,
+    /// Minimum second difference that counts as a "sharp" slope change;
+    /// flatter curves fall back to the DBI minimum.
+    pub flat_tolerance: f64,
+    /// Seed for the restart RNG streams.
+    pub seed: u64,
+}
+
+impl ElbowConfig {
+    /// The paper's configuration: scan `2..=k_max`, 20 restarts.
+    pub fn new(k_max: usize, seed: u64) -> Self {
+        ElbowConfig { k_min: 2, k_max, restarts: 20, flat_tolerance: 0.02, seed }
+    }
+}
+
+/// The outcome of an elbow scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElbowResult {
+    /// The selected cluster count.
+    pub k: usize,
+    /// `(k, mean DBI)` pairs for every candidate — Figure 2's curve.
+    pub curve: Vec<(usize, f64)>,
+}
+
+/// Scans candidate cluster counts and returns the elbow `k` plus the DBI
+/// curve.
+///
+/// # Errors
+///
+/// Propagates K-Means errors; rejects `k_min < 2`, `k_min > k_max`, or a
+/// scan exceeding the point count.
+pub fn optimal_k(points: &[Vec<f32>], config: ElbowConfig) -> Result<ElbowResult, ClusteringError> {
+    if config.k_min < 2 {
+        return Err(ClusteringError::InvalidParameter("k_min must be >= 2".into()));
+    }
+    if config.k_min > config.k_max {
+        return Err(ClusteringError::InvalidParameter(format!(
+            "k_min {} > k_max {}",
+            config.k_min, config.k_max
+        )));
+    }
+    if config.k_max >= points.len() {
+        return Err(ClusteringError::InvalidParameter(format!(
+            "k_max {} must be < {} points",
+            config.k_max,
+            points.len()
+        )));
+    }
+    if config.restarts == 0 {
+        return Err(ClusteringError::InvalidParameter("restarts must be >= 1".into()));
+    }
+
+    let mut curve = Vec::with_capacity(config.k_max - config.k_min + 1);
+    for k in config.k_min..=config.k_max {
+        let mut total = 0.0f64;
+        for t in 0..config.restarts {
+            let mut rng = seeded(derive_seed(config.seed, (k * 1000 + t) as u64));
+            let clustering = kmeans(&mut rng, points, KMeansConfig::new(k))?;
+            total += davies_bouldin_index(points, &clustering)?;
+        }
+        curve.push((k, total / config.restarts as f64));
+    }
+
+    Ok(ElbowResult { k: pick_elbow(&curve, config.flat_tolerance), curve })
+}
+
+/// Locates the sharpest slope change of a DBI curve (the elbow).
+///
+/// The elbow is the interior `k` maximizing the second difference
+/// `(dbi(k+1) − dbi(k)) − (dbi(k) − dbi(k−1))` — large exactly where a
+/// steep descent turns into a plateau or a rise. If no second difference
+/// exceeds `flat_tolerance` (a flat, elbow-less curve), the first DBI
+/// minimum is returned instead.
+fn pick_elbow(curve: &[(usize, f64)], flat_tolerance: f64) -> usize {
+    let argmin = curve
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|&(k, _)| k)
+        .expect("non-empty curve");
+    if curve.len() < 3 {
+        return argmin;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for w in curve.windows(3) {
+        let (_, a) = w[0];
+        let (k, b) = w[1];
+        let (_, c) = w[2];
+        let second_diff = (c - b) - (b - a);
+        // Strictly-greater comparison keeps the *first* sharp change on
+        // ties, per the paper's wording.
+        if best.map_or(true, |(_, v)| second_diff > v) {
+            best = Some((k, second_diff));
+        }
+    }
+    match best {
+        Some((k, v)) if v > flat_tolerance => k,
+        _ => argmin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flips_ml::rng::seeded;
+    use rand::Rng;
+
+    /// Label-distribution-like data: `archetypes` one-hot distributions
+    /// over `labels` labels, with small Dirichlet-ish jitter.
+    fn archetype_points(archetypes: usize, labels: usize, per: usize) -> Vec<Vec<f32>> {
+        let mut rng = seeded(42);
+        let mut points = Vec::new();
+        for a in 0..archetypes {
+            for _ in 0..per {
+                let mut p: Vec<f32> =
+                    (0..labels).map(|_| rng.random::<f32>() * 0.05).collect();
+                p[a % labels] += 1.0;
+                let sum: f32 = p.iter().sum();
+                for x in &mut p {
+                    *x /= sum;
+                }
+                points.push(p);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn recovers_archetype_count() {
+        // 6 archetypes over 10 labels, 15 parties each.
+        let points = archetype_points(6, 10, 15);
+        let result = optimal_k(&points, ElbowConfig::new(15, 7)).unwrap();
+        assert!(
+            (5..=7).contains(&result.k),
+            "expected elbow near 6, got {} (curve {:?})",
+            result.k,
+            result.curve
+        );
+    }
+
+    #[test]
+    fn curve_covers_requested_range() {
+        let points = archetype_points(4, 8, 10);
+        let cfg = ElbowConfig { k_min: 2, k_max: 9, restarts: 5, flat_tolerance: 0.1, seed: 1 };
+        let result = optimal_k(&points, cfg).unwrap();
+        let ks: Vec<usize> = result.curve.iter().map(|&(k, _)| k).collect();
+        assert_eq!(ks, (2..=9).collect::<Vec<_>>());
+        assert!(result.curve.iter().all(|&(_, dbi)| dbi.is_finite() && dbi >= 0.0));
+    }
+
+    #[test]
+    fn dbi_at_archetype_count_is_near_minimum() {
+        let points = archetype_points(5, 10, 12);
+        let cfg = ElbowConfig { k_min: 2, k_max: 12, restarts: 8, flat_tolerance: 0.1, seed: 3 };
+        let result = optimal_k(&points, cfg).unwrap();
+        let dbi_at = |k: usize| {
+            result
+                .curve
+                .iter()
+                .find(|&&(kk, _)| kk == k)
+                .map(|&(_, d)| d)
+                .expect("k in curve")
+        };
+        // DBI at the true k should be dramatically below DBI at k = 2.
+        assert!(dbi_at(5) < dbi_at(2) * 0.7, "curve {:?}", result.curve);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let points = archetype_points(3, 6, 10);
+        let cfg = ElbowConfig { k_min: 2, k_max: 8, restarts: 4, flat_tolerance: 0.1, seed: 5 };
+        assert_eq!(optimal_k(&points, cfg).unwrap(), optimal_k(&points, cfg).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let points = archetype_points(3, 6, 4);
+        let base = ElbowConfig::new(5, 0);
+        assert!(optimal_k(&points, ElbowConfig { k_min: 1, ..base }).is_err());
+        assert!(optimal_k(&points, ElbowConfig { k_min: 6, k_max: 5, ..base }).is_err());
+        assert!(optimal_k(&points, ElbowConfig { k_max: 500, ..base }).is_err());
+        assert!(optimal_k(&points, ElbowConfig { restarts: 0, ..base }).is_err());
+    }
+
+    #[test]
+    fn pick_elbow_flat_curve_returns_first_k() {
+        let curve = vec![(2, 1.0), (3, 1.0), (4, 1.0)];
+        assert_eq!(pick_elbow(&curve, 0.1), 2);
+    }
+
+    #[test]
+    fn pick_elbow_knee_shape() {
+        // Steep drop until k = 5, then flat ⇒ elbow at 5.
+        let curve = vec![
+            (2, 1.00),
+            (3, 0.70),
+            (4, 0.45),
+            (5, 0.20),
+            (6, 0.19),
+            (7, 0.185),
+            (8, 0.18),
+        ];
+        assert_eq!(pick_elbow(&curve, 0.1), 5);
+    }
+}

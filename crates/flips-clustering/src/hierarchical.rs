@@ -1,0 +1,282 @@
+//! Agglomerative hierarchical clustering over a distance matrix.
+//!
+//! The GradClus baseline (Fraboni et al., ICML'21 — "Clustered Sampling")
+//! builds a similarity matrix across party gradients and cuts a hierarchy
+//! into `S(r)` clusters, then samples one party per cluster (paper §4.1).
+//! This module provides the substrate: bottom-up merging under a choice of
+//! linkage until the requested number of clusters remains.
+
+use crate::{validate_points, ClusteringError};
+use flips_ml::matrix::{dot, euclidean_distance, l2_norm};
+use serde::{Deserialize, Serialize};
+
+/// Inter-cluster distance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Mean pairwise distance between members (UPGMA) — GradClus's choice.
+    Average,
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+}
+
+/// Cuts an agglomerative hierarchy over `points` into `num_clusters`
+/// groups using Euclidean distance.
+///
+/// Returns the cluster id of every point (ids are `0..num_clusters`,
+/// densely re-numbered).
+///
+/// # Errors
+///
+/// Rejects empty/ragged input and `num_clusters` outside `1..=n`.
+pub fn hierarchical_clusters(
+    points: &[Vec<f32>],
+    num_clusters: usize,
+    linkage: Linkage,
+) -> Result<Vec<usize>, ClusteringError> {
+    let matrix = pairwise_euclidean(points)?;
+    hierarchical_from_distances(&matrix, num_clusters, linkage)
+}
+
+/// Pairwise Euclidean distance matrix (`n × n`, symmetric, zero diagonal).
+pub fn pairwise_euclidean(points: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ClusteringError> {
+    validate_points(points)?;
+    let n = points.len();
+    let mut m = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclidean_distance(&points[i], &points[j]);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    Ok(m)
+}
+
+/// Pairwise cosine-*distance* matrix (`1 − cos`), the similarity GradClus
+/// uses on gradients. Zero vectors are treated as orthogonal to everything.
+pub fn pairwise_cosine_distance(points: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ClusteringError> {
+    validate_points(points)?;
+    let n = points.len();
+    let norms: Vec<f32> = points.iter().map(|p| l2_norm(p)).collect();
+    let mut m = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let denom = norms[i] * norms[j];
+            let cos = if denom > 0.0 { dot(&points[i], &points[j]) / denom } else { 0.0 };
+            let d = 1.0 - cos.clamp(-1.0, 1.0);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    Ok(m)
+}
+
+/// Agglomerative clustering directly from a precomputed distance matrix.
+///
+/// # Errors
+///
+/// Rejects non-square matrices and out-of-range `num_clusters`.
+pub fn hierarchical_from_distances(
+    distances: &[Vec<f32>],
+    num_clusters: usize,
+    linkage: Linkage,
+) -> Result<Vec<usize>, ClusteringError> {
+    let n = distances.len();
+    if n == 0 {
+        return Err(ClusteringError::BadInput("empty distance matrix".into()));
+    }
+    if distances.iter().any(|row| row.len() != n) {
+        return Err(ClusteringError::BadInput("distance matrix must be square".into()));
+    }
+    if num_clusters == 0 || num_clusters > n {
+        return Err(ClusteringError::InvalidParameter(format!(
+            "num_clusters = {num_clusters} must be in 1..={n}"
+        )));
+    }
+
+    // active[c] = Some(member indices) while cluster c is alive.
+    let mut active: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut alive = n;
+
+    while alive > num_clusters {
+        // Find the closest pair of live clusters under the linkage.
+        let mut best: Option<(usize, usize, f32)> = None;
+        let live: Vec<usize> =
+            (0..n).filter(|&c| active[c].is_some()).collect();
+        for (ai, &a) in live.iter().enumerate() {
+            for &b in &live[ai + 1..] {
+                let d = cluster_distance(
+                    distances,
+                    active[a].as_ref().expect("live"),
+                    active[b].as_ref().expect("live"),
+                    linkage,
+                );
+                if best.map_or(true, |(_, _, bd)| d < bd) {
+                    best = Some((a, b, d));
+                }
+            }
+        }
+        let (a, b, _) = best.expect("at least two live clusters");
+        let mut merged = active[a].take().expect("live");
+        merged.extend(active[b].take().expect("live"));
+        active[a] = Some(merged);
+        alive -= 1;
+    }
+
+    // Densely renumber the survivors.
+    let mut labels = vec![0usize; n];
+    let mut next = 0usize;
+    for slot in active.iter().flatten() {
+        for &member in slot {
+            labels[member] = next;
+        }
+        next += 1;
+    }
+    Ok(labels)
+}
+
+fn cluster_distance(
+    distances: &[Vec<f32>],
+    a: &[usize],
+    b: &[usize],
+    linkage: Linkage,
+) -> f32 {
+    match linkage {
+        Linkage::Average => {
+            let mut total = 0.0f64;
+            for &i in a {
+                for &j in b {
+                    total += distances[i][j] as f64;
+                }
+            }
+            (total / (a.len() * b.len()) as f64) as f32
+        }
+        Linkage::Single => {
+            let mut best = f32::INFINITY;
+            for &i in a {
+                for &j in b {
+                    best = best.min(distances[i][j]);
+                }
+            }
+            best
+        }
+        Linkage::Complete => {
+            let mut worst = 0.0f32;
+            for &i in a {
+                for &j in b {
+                    worst = worst.max(distances[i][j]);
+                }
+            }
+            worst
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flips_ml::rng::seeded;
+
+    fn two_blobs() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = seeded(1);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        for (center, label) in [(-5.0f32, 0usize), (5.0, 1)] {
+            for _ in 0..12 {
+                points.push(vec![
+                    center + flips_ml::rng::normal(&mut rng, 0.0, 0.4) as f32,
+                ]);
+                truth.push(label);
+            }
+        }
+        (points, truth)
+    }
+
+    #[test]
+    fn separates_two_blobs_under_every_linkage() {
+        let (points, truth) = two_blobs();
+        for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+            let labels = hierarchical_clusters(&points, 2, linkage).unwrap();
+            // Consistent partition: all of blob 0 together, all of blob 1
+            // together.
+            for (l, t) in labels.iter().zip(&truth) {
+                assert_eq!(
+                    *l == labels[0],
+                    *t == truth[0],
+                    "linkage {linkage:?} split a blob"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let (points, _) = two_blobs();
+        let labels = hierarchical_clusters(&points, points.len(), Linkage::Average).unwrap();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), points.len());
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let (points, _) = two_blobs();
+        let labels = hierarchical_clusters(&points, 1, Linkage::Complete).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn labels_are_densely_numbered() {
+        let (points, _) = two_blobs();
+        let labels = hierarchical_clusters(&points, 5, Linkage::Average).unwrap();
+        let max = *labels.iter().max().unwrap();
+        for expect in 0..=max {
+            assert!(labels.contains(&expect), "label {expect} missing");
+        }
+        assert_eq!(max, 4);
+    }
+
+    #[test]
+    fn cosine_distance_matrix_properties() {
+        let points = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 0.0], vec![-1.0, 0.0]];
+        let m = pairwise_cosine_distance(&points).unwrap();
+        assert!((m[0][2] - 0.0).abs() < 1e-6, "parallel vectors distance 0");
+        assert!((m[0][1] - 1.0).abs() < 1e-6, "orthogonal vectors distance 1");
+        assert!((m[0][3] - 2.0).abs() < 1e-6, "opposite vectors distance 2");
+        for i in 0..4 {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..4 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_distances_respects_matrix_not_geometry() {
+        // A crafted matrix where 0-2 are close and 1 is far from both.
+        let d = vec![
+            vec![0.0, 9.0, 1.0],
+            vec![9.0, 0.0, 8.0],
+            vec![1.0, 8.0, 0.0],
+        ];
+        let labels = hierarchical_from_distances(&d, 2, Linkage::Average).unwrap();
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let (points, _) = two_blobs();
+        assert!(hierarchical_clusters(&points, 0, Linkage::Average).is_err());
+        assert!(hierarchical_clusters(&points, points.len() + 1, Linkage::Average).is_err());
+        let empty: Vec<Vec<f32>> = Vec::new();
+        assert!(hierarchical_clusters(&empty, 1, Linkage::Average).is_err());
+        let ragged = vec![vec![0.0], vec![0.0, 1.0]];
+        assert!(hierarchical_clusters(&ragged, 1, Linkage::Average).is_err());
+        let nonsquare = vec![vec![0.0, 1.0]];
+        assert!(hierarchical_from_distances(&nonsquare, 1, Linkage::Average).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! K-Means clustering with k-means++ seeding (paper §3.1).
+//!
+//! The paper chooses K-Means for its `O(N·k·I·d)` complexity and seeds it
+//! with k-means++ (Arthur & Vassilvitskii, SODA'07), noting it scales to
+//! millions of parties. This implementation adds empty-cluster repair
+//! (re-seeding an empty centroid at the point farthest from its assigned
+//! centroid), which matters on the near-discrete label-distribution inputs
+//! FLIPS feeds it.
+
+use crate::{validate_points, ClusteringError};
+use flips_ml::matrix::euclidean_distance;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for one K-Means run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tolerance: f32,
+}
+
+impl KMeansConfig {
+    /// Sensible defaults: 100 iterations, 1e-6 tolerance.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig { k, max_iters: 100, tolerance: 1e-6 }
+    }
+}
+
+/// A completed clustering: assignments, centroids and diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster id of every input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids, length `k`.
+    pub centroids: Vec<Vec<f32>>,
+    /// Within-cluster sum of squared distances (inertia).
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Point indices grouped per cluster: `members()[c]` lists the points
+    /// assigned to cluster `c`.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k()];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            groups[c].push(i);
+        }
+        groups
+    }
+
+    /// Number of points in each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.k()];
+        for &c in &self.assignments {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+}
+
+/// Runs k-means++ seeding followed by Lloyd iterations.
+///
+/// # Errors
+///
+/// Returns an error for empty/ragged input or `k` outside `1..=n`.
+pub fn kmeans<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &[Vec<f32>],
+    config: KMeansConfig,
+) -> Result<Clustering, ClusteringError> {
+    let dim = validate_points(points)?;
+    let n = points.len();
+    if config.k == 0 || config.k > n {
+        return Err(ClusteringError::InvalidParameter(format!(
+            "k = {} must be in 1..={n}",
+            config.k
+        )));
+    }
+
+    let mut centroids = plus_plus_seed(rng, points, config.k);
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            assignments[i] = nearest(p, &centroids).0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (p, &c) in points.iter().zip(&assignments) {
+            counts[c] += 1;
+            for (s, &v) in sums[c].iter_mut().zip(p) {
+                *s += v as f64;
+            }
+        }
+        let mut movement = 0.0f32;
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Empty-cluster repair: re-seed at the point farthest from
+                // its current centroid.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        let di = euclidean_distance(p, &centroids[assignments[*i]]);
+                        let dj = euclidean_distance(q, &centroids[assignments[*j]]);
+                        di.partial_cmp(&dj).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty points");
+                movement += euclidean_distance(&centroids[c], &points[far]);
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let new: Vec<f32> =
+                sums[c].iter().map(|&s| (s / counts[c] as f64) as f32).collect();
+            movement += euclidean_distance(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment against the converged centroids, plus inertia.
+    let mut inertia = 0.0f64;
+    for (i, p) in points.iter().enumerate() {
+        let (c, d) = nearest(p, &centroids);
+        assignments[i] = c;
+        inertia += (d as f64) * (d as f64);
+    }
+
+    Ok(Clustering { assignments, centroids, inertia, iterations })
+}
+
+/// k-means++ seeding: first centroid uniform, each next centroid sampled
+/// with probability proportional to squared distance from the nearest
+/// chosen centroid.
+fn plus_plus_seed<R: Rng + ?Sized>(rng: &mut R, points: &[Vec<f32>], k: usize) -> Vec<Vec<f32>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..n)].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            let d = euclidean_distance(p, &centroids[0]) as f64;
+            d * d
+        })
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; any point works.
+            rng.random_range(0..n)
+        } else {
+            let mut t = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                t -= w;
+                if t <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = euclidean_distance(p, centroids.last().expect("non-empty")) as f64;
+            d2[i] = d2[i].min(d * d);
+        }
+    }
+    centroids
+}
+
+/// Index and distance of the nearest centroid.
+fn nearest(point: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = euclidean_distance(point, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flips_ml::rng::seeded;
+
+    /// Three tight, well-separated blobs in 2-D.
+    fn three_blobs() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = seeded(1);
+        let centers = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        for (label, c) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                points.push(vec![
+                    c[0] + flips_ml::rng::normal(&mut rng, 0.0, 0.3) as f32,
+                    c[1] + flips_ml::rng::normal(&mut rng, 0.0, 0.3) as f32,
+                ]);
+                truth.push(label);
+            }
+        }
+        (points, truth)
+    }
+
+    /// Fraction of point pairs on which two labelings agree (Rand index).
+    fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+        let n = a.len();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                if (a[i] == a[j]) == (b[i] == b[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total as f64
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (points, truth) = three_blobs();
+        let mut rng = seeded(2);
+        let result = kmeans(&mut rng, &points, KMeansConfig::new(3)).unwrap();
+        assert!(rand_index(&result.assignments, &truth) > 0.99);
+        assert_eq!(result.sizes().iter().sum::<usize>(), points.len());
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (points, _) = three_blobs();
+        let mut inertias = Vec::new();
+        for k in 1..=5 {
+            let mut rng = seeded(3);
+            inertias.push(kmeans(&mut rng, &points, KMeansConfig::new(k)).unwrap().inertia);
+        }
+        for w in inertias.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "inertia must be non-increasing: {inertias:?}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let points: Vec<Vec<f32>> =
+            (0..6).map(|i| vec![i as f32 * 3.0, -(i as f32)]).collect();
+        let mut rng = seeded(4);
+        let result = kmeans(&mut rng, &points, KMeansConfig::new(6)).unwrap();
+        assert!(result.inertia < 1e-9);
+        let mut sizes = result.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1; 6]);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let points = vec![vec![1.0, 1.0]; 10];
+        let mut rng = seeded(5);
+        let result = kmeans(&mut rng, &points, KMeansConfig::new(3)).unwrap();
+        assert_eq!(result.assignments.len(), 10);
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let mut rng = seeded(6);
+        assert!(kmeans(&mut rng, &points, KMeansConfig::new(0)).is_err());
+        assert!(kmeans(&mut rng, &points, KMeansConfig::new(3)).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged_input() {
+        let mut rng = seeded(7);
+        let empty: Vec<Vec<f32>> = Vec::new();
+        assert!(kmeans(&mut rng, &empty, KMeansConfig::new(1)).is_err());
+        let ragged = vec![vec![0.0], vec![0.0, 1.0]];
+        assert!(kmeans(&mut rng, &ragged, KMeansConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn is_seed_deterministic() {
+        let (points, _) = three_blobs();
+        let a = kmeans(&mut seeded(8), &points, KMeansConfig::new(3)).unwrap();
+        let b = kmeans(&mut seeded(8), &points, KMeansConfig::new(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let (points, _) = three_blobs();
+        let mut rng = seeded(9);
+        let result = kmeans(&mut rng, &points, KMeansConfig::new(3)).unwrap();
+        let members = result.members();
+        let mut all: Vec<usize> = members.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..points.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn assignments_match_nearest_centroid() {
+        let (points, _) = three_blobs();
+        let mut rng = seeded(10);
+        let result = kmeans(&mut rng, &points, KMeansConfig::new(3)).unwrap();
+        for (p, &c) in points.iter().zip(&result.assignments) {
+            let (nearest_c, _) = nearest(p, &result.centroids);
+            assert_eq!(c, nearest_c);
+        }
+    }
+}

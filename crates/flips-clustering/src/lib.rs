@@ -1,0 +1,60 @@
+//! # flips-clustering — the clustering substrate
+//!
+//! FLIPS's core mechanism (§3.1 of the paper) is grouping parties whose
+//! label distributions are similar. The subset-enumeration problem it
+//! formalizes (Eq. 1) is NP-complete, so the paper — and this crate —
+//! solves it heuristically:
+//!
+//! - [`kmeans`] — Lloyd's algorithm with **k-means++** seeding and
+//!   empty-cluster repair;
+//! - [`dbi`] — the **Davies-Bouldin index**, the purity metric used to pick
+//!   the number of clusters;
+//! - [`elbow`] — the elbow-point criterion of Eq. (3): run K-Means for
+//!   every candidate `k`, average DBI over `T` restarts, pick the first
+//!   sharp slope change (Figure 2);
+//! - [`hierarchical`] — average-linkage agglomerative clustering over a
+//!   similarity matrix, the substrate of the GradClus baseline (Fraboni et
+//!   al., ICML'21).
+
+pub mod dbi;
+pub mod elbow;
+pub mod hierarchical;
+pub mod kmeans;
+
+pub use dbi::davies_bouldin_index;
+pub use elbow::{optimal_k, ElbowConfig};
+pub use hierarchical::{hierarchical_clusters, Linkage};
+pub use kmeans::{kmeans, Clustering, KMeansConfig};
+
+/// Errors produced by the clustering substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusteringError {
+    /// A parameter was outside its valid domain (k = 0, k > n, ...).
+    InvalidParameter(String),
+    /// The input points were empty or ragged.
+    BadInput(String),
+}
+
+impl std::fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusteringError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            ClusteringError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusteringError {}
+
+/// Validates a point set: non-empty, equal dimensions.
+pub(crate) fn validate_points(points: &[Vec<f32>]) -> Result<usize, ClusteringError> {
+    let first = points.first().ok_or_else(|| ClusteringError::BadInput("no points".into()))?;
+    let dim = first.len();
+    if dim == 0 {
+        return Err(ClusteringError::BadInput("zero-dimensional points".into()));
+    }
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(ClusteringError::BadInput("ragged point dimensions".into()));
+    }
+    Ok(dim)
+}

@@ -1,0 +1,27 @@
+//! Convenience re-exports for examples, tests and downstream users.
+//!
+//! ```
+//! use flips_core::prelude::*;
+//! let profile = DatasetProfile::fashion_mnist();
+//! assert_eq!(profile.classes, 10);
+//! ```
+
+pub use crate::builder::{SimulationBuilder, SimulationMeta, SimulationReport};
+pub use crate::middleware::{
+    FlipsMiddleware, MiddlewareConfig, PrivateClustering, TeeBackedSelector,
+};
+pub use crate::FlipsError;
+
+pub use flips_data::{
+    dataset::{balanced_test_set, generate_population},
+    partition, Dataset, DatasetProfile, LabelDistribution, PartitionStrategy,
+};
+pub use flips_fl::{
+    straggler::StragglerBias, FlAlgorithm, FlJob, FlJobConfig, History, LatencyModel,
+    LocalTrainingConfig, RoundRecord,
+};
+pub use flips_ml::{
+    metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model,
+};
+pub use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectorKind};
+pub use flips_tee::OverheadModel;

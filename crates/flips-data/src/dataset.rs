@@ -1,0 +1,277 @@
+//! Labelled datasets and the class-conditional Gaussian generator.
+
+use crate::dist::{categorical, largest_remainder};
+use crate::profile::DatasetProfile;
+use flips_ml::matrix::Matrix;
+use flips_ml::rng::{derive_seed, normal, seeded, shuffle};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset: features (rows = samples) and integer labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature matrix, `n × d`.
+    pub x: Matrix,
+    /// Labels, length `n`, each `< classes`.
+    pub y: Vec<usize>,
+    /// Number of distinct labels in the schema (not necessarily present).
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shapes and label ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != y.len()` or any label is out of range.
+    pub fn new(x: Matrix, y: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(x.rows(), y.len(), "features/labels length mismatch");
+        assert!(y.iter().all(|&l| l < classes), "label out of range");
+        Dataset { x, y, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Per-label sample counts (length = classes).
+    pub fn label_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.classes];
+        for &l in &self.y {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing the given sample indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            classes: self.classes,
+        }
+    }
+
+    /// Samples a mini-batch of `size` indices uniformly without
+    /// replacement (or the whole set if `size >= len`).
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, size: usize) -> Vec<usize> {
+        if size >= self.len() {
+            return (0..self.len()).collect();
+        }
+        flips_ml::rng::sample_without_replacement(rng, self.len(), size)
+    }
+}
+
+/// The class-mean geometry shared by a training population and its test
+/// set.
+///
+/// Class means are sampled once per (profile, seed) so that every party's
+/// data and the global test set are drawn from the *same* class-conditional
+/// Gaussians. Means are isotropic Gaussian directions scaled to the
+/// profile's `separation` radius; with the profiles' dimensionalities the
+/// directions are near-orthogonal, giving a task whose difficulty is set by
+/// `separation / noise_std`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassGeometry {
+    /// Per-class mean vectors, `classes × feature_dim`.
+    pub means: Matrix,
+    /// Within-class noise standard deviation.
+    pub noise_std: f64,
+}
+
+impl ClassGeometry {
+    /// Samples the geometry for a profile. Deterministic in `seed`.
+    pub fn for_profile(profile: &DatasetProfile, seed: u64) -> Self {
+        let mut rng = seeded(derive_seed(seed, 0xC1A5_5E5));
+        let mut means = Matrix::zeros(profile.classes, profile.feature_dim);
+        for c in 0..profile.classes {
+            let row = means.row_mut(c);
+            for slot in row.iter_mut() {
+                *slot = normal(&mut rng, 0.0, 1.0) as f32;
+            }
+            let norm = flips_ml::matrix::l2_norm(row).max(1e-9);
+            let scale = profile.separation as f32 / norm;
+            for slot in row.iter_mut() {
+                *slot *= scale;
+            }
+        }
+        ClassGeometry { means, noise_std: profile.noise_std }
+    }
+
+    /// Draws one sample of class `label`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, label: usize) -> Vec<f32> {
+        self.means
+            .row(label)
+            .iter()
+            .map(|&m| m + normal(rng, 0.0, self.noise_std) as f32)
+            .collect()
+    }
+
+    /// Generates `n` samples with labels drawn i.i.d. from `priors`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, priors: &[f64], n: usize) -> Dataset {
+        let classes = self.means.rows();
+        assert_eq!(priors.len(), classes, "prior length mismatch");
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label = categorical(rng, priors);
+            rows.push(self.sample(rng, label));
+            y.push(label);
+        }
+        Dataset::new(Matrix::from_rows(&rows), y, classes)
+    }
+
+    /// Generates a dataset with *exact* per-class counts.
+    pub fn generate_counts<R: Rng + ?Sized>(&self, rng: &mut R, counts: &[usize]) -> Dataset {
+        let classes = self.means.rows();
+        assert_eq!(counts.len(), classes, "count length mismatch");
+        let total: usize = counts.iter().sum();
+        let mut rows = Vec::with_capacity(total);
+        let mut y = Vec::with_capacity(total);
+        for (label, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                rows.push(self.sample(rng, label));
+                y.push(label);
+            }
+        }
+        // Shuffle so mini-batches are not label-sorted.
+        let mut order: Vec<usize> = (0..total).collect();
+        shuffle(rng, &mut order);
+        let rows: Vec<Vec<f32>> = order.iter().map(|&i| rows[i].clone()).collect();
+        let y: Vec<usize> = order.iter().map(|&i| y[i]).collect();
+        if rows.is_empty() {
+            return Dataset::new(Matrix::zeros(0, self.means.cols()), y, classes);
+        }
+        Dataset::new(Matrix::from_rows(&rows), y, classes)
+    }
+}
+
+/// Generates the profile's full training population: `total` samples whose
+/// label counts match the profile's class priors exactly (largest-remainder
+/// apportionment). Deterministic in `seed`.
+pub fn generate_population(profile: &DatasetProfile, total: usize, seed: u64) -> Dataset {
+    let geometry = ClassGeometry::for_profile(profile, seed);
+    let counts = largest_remainder(&profile.class_priors, total);
+    let mut rng = seeded(derive_seed(seed, 0xDA7A));
+    geometry.generate_counts(&mut rng, &counts)
+}
+
+/// Builds the paper's global *balanced* test set (§4.4): `per_class`
+/// samples of every label, generated from the same class geometry as the
+/// training population (same `seed`), unknown to any party.
+pub fn balanced_test_set(profile: &DatasetProfile, per_class: usize, seed: u64) -> Dataset {
+    let geometry = ClassGeometry::for_profile(profile, seed);
+    let mut rng = seeded(derive_seed(seed, 0x7E57));
+    geometry.generate_counts(&mut rng, &vec![per_class; profile.classes])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_matches_priors_exactly() {
+        let profile = DatasetProfile::ecg();
+        let ds = generate_population(&profile, 1000, 42);
+        assert_eq!(ds.len(), 1000);
+        let counts = ds.label_counts();
+        let expected = largest_remainder(&profile.class_priors, 1000);
+        let got: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn population_is_seed_deterministic() {
+        let profile = DatasetProfile::femnist();
+        let a = generate_population(&profile, 200, 7);
+        let b = generate_population(&profile, 200, 7);
+        assert_eq!(a, b);
+        let c = generate_population(&profile, 200, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn test_set_is_balanced() {
+        let profile = DatasetProfile::ham10000();
+        let ts = balanced_test_set(&profile, 30, 42);
+        assert_eq!(ts.len(), 30 * 7);
+        assert!(ts.label_counts().iter().all(|&c| c == 30));
+    }
+
+    #[test]
+    fn test_set_shares_geometry_with_population() {
+        // Same seed ⇒ same class means ⇒ a classifier trained on the
+        // population generalizes to the test set. Verify means line up by
+        // comparing per-class sample averages across the two draws.
+        let profile = DatasetProfile::fashion_mnist();
+        let pop = generate_population(&profile, 4000, 5);
+        let ts = balanced_test_set(&profile, 200, 5);
+        for class in 0..profile.classes {
+            let mean_of = |ds: &Dataset| -> Vec<f32> {
+                let idx: Vec<usize> =
+                    (0..ds.len()).filter(|&i| ds.y[i] == class).collect();
+                let sub = ds.x.select_rows(&idx);
+                let mut sums = sub.col_sums();
+                for s in &mut sums {
+                    *s /= idx.len() as f32;
+                }
+                sums
+            };
+            let d = flips_ml::matrix::euclidean_distance(&mean_of(&pop), &mean_of(&ts));
+            assert!(d < 1.0, "class {class} means differ by {d}");
+        }
+    }
+
+    #[test]
+    fn class_geometry_means_have_separation_radius() {
+        let profile = DatasetProfile::ecg();
+        let g = ClassGeometry::for_profile(&profile, 3);
+        for row in g.means.rows_iter() {
+            let norm = flips_ml::matrix::l2_norm(row);
+            assert!((norm - profile.separation as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn subset_extracts_requested_samples() {
+        let profile = DatasetProfile::femnist();
+        let ds = generate_population(&profile, 50, 1);
+        let sub = ds.subset(&[0, 10, 20]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.y[1], ds.y[10]);
+        assert_eq!(sub.x.row(2), ds.x.row(20));
+    }
+
+    #[test]
+    fn sample_batch_bounds() {
+        let profile = DatasetProfile::femnist();
+        let ds = generate_population(&profile, 20, 1);
+        let mut rng = seeded(0);
+        let b = ds.sample_batch(&mut rng, 8);
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|&i| i < 20));
+        let all = ds.sample_batch(&mut rng, 100);
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn generate_counts_handles_empty() {
+        let profile = DatasetProfile::ecg();
+        let g = ClassGeometry::for_profile(&profile, 9);
+        let mut rng = seeded(1);
+        let ds = g.generate_counts(&mut rng, &[0, 0, 0, 0, 0]);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn dataset_new_rejects_bad_labels() {
+        let _ = Dataset::new(Matrix::zeros(1, 2), vec![5], 3);
+    }
+}

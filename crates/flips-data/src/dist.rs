@@ -1,0 +1,229 @@
+//! Probability distributions implemented over `rand` core.
+//!
+//! Only the base `rand` crate is permitted in this workspace, so Gamma and
+//! Dirichlet sampling (needed for the paper's Dirichlet-allocation non-IID
+//! emulation, §4.3) are implemented here: Gamma via Marsaglia–Tsang
+//! squeeze, Dirichlet as normalized Gamma draws.
+
+use flips_ml::rng::standard_normal;
+use rand::Rng;
+
+/// Samples `Gamma(shape, 1)` using the Marsaglia–Tsang method.
+///
+/// For `shape < 1` the standard boosting identity
+/// `Gamma(a) = Gamma(a+1) · U^{1/a}` is applied.
+///
+/// # Panics
+///
+/// Panics if `shape <= 0` or is not finite.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        let x2 = x * x;
+        // Squeeze acceptance, then full acceptance.
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Samples a probability vector from `Dirichlet(alpha, ..., alpha)` of the
+/// given dimension (symmetric Dirichlet).
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or `dim == 0`.
+pub fn dirichlet_symmetric<R: Rng + ?Sized>(rng: &mut R, alpha: f64, dim: usize) -> Vec<f64> {
+    assert!(dim > 0, "dirichlet dimension must be positive");
+    dirichlet(rng, &vec![alpha; dim])
+}
+
+/// Samples from a general `Dirichlet(alphas)`.
+///
+/// # Panics
+///
+/// Panics if `alphas` is empty or contains a non-positive entry.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
+    assert!(!alphas.is_empty(), "dirichlet needs at least one alpha");
+    let mut draws: Vec<f64> = alphas.iter().map(|&a| gamma(rng, a)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Numerically possible for tiny alphas: fall back to a one-hot at a
+        // uniformly random coordinate, the α→0 limit of the Dirichlet.
+        let hot = rng.random_range(0..alphas.len());
+        draws.iter_mut().for_each(|d| *d = 0.0);
+        draws[hot] = 1.0;
+        return draws;
+    }
+    draws.iter_mut().for_each(|d| *d /= sum);
+    draws
+}
+
+/// Samples an index from a categorical distribution given (possibly
+/// unnormalized, non-negative) weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical needs at least one weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights must sum to a positive value");
+    let mut t = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Apportions `total` items into integer counts proportional to `props`
+/// using largest-remainder rounding, guaranteeing the counts sum to
+/// `total` exactly.
+pub fn largest_remainder(props: &[f64], total: usize) -> Vec<usize> {
+    assert!(!props.is_empty(), "largest_remainder needs proportions");
+    let sum: f64 = props.iter().sum();
+    if sum <= 0.0 {
+        let mut out = vec![0; props.len()];
+        out[0] = total;
+        return out;
+    }
+    let exact: Vec<f64> = props.iter().map(|&p| p / sum * total as f64).collect();
+    let mut counts: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut remainder: Vec<(usize, f64)> =
+        exact.iter().enumerate().map(|(i, &e)| (i, e - e.floor())).collect();
+    remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (i, _) in remainder.into_iter().take(total - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flips_ml::rng::seeded;
+
+    #[test]
+    fn gamma_mean_and_variance() {
+        // Gamma(k, 1): mean = k, var = k.
+        let mut rng = seeded(1);
+        for &shape in &[0.5, 1.0, 2.5, 9.0] {
+            let n = 40_000;
+            let samples: Vec<f64> = (0..n).map(|_| gamma(&mut rng, shape)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.1 * shape.max(1.0), "shape {shape}: mean {mean}");
+            assert!((var - shape).abs() < 0.2 * shape.max(1.0), "shape {shape}: var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_is_positive() {
+        let mut rng = seeded(2);
+        for _ in 0..1000 {
+            assert!(gamma(&mut rng, 0.3) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        let mut rng = seeded(3);
+        let _ = gamma(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_is_nonnegative() {
+        let mut rng = seeded(4);
+        for &alpha in &[0.1, 0.3, 0.6, 1.0, 10.0] {
+            let p = dirichlet_symmetric(&mut rng, alpha, 7);
+            assert_eq!(p.len(), 7);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_mass() {
+        // α = 0.05 should usually put most mass on one coordinate, while
+        // α = 100 should be near-uniform — the paper's non-IID dial (§4.3).
+        let mut rng = seeded(5);
+        let sparse_max: f64 = (0..200)
+            .map(|_| {
+                dirichlet_symmetric(&mut rng, 0.05, 10)
+                    .into_iter()
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / 200.0;
+        let dense_max: f64 = (0..200)
+            .map(|_| {
+                dirichlet_symmetric(&mut rng, 100.0, 10)
+                    .into_iter()
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / 200.0;
+        assert!(sparse_max > 0.65, "sparse mean-max {sparse_max}");
+        assert!(dense_max < 0.25, "dense mean-max {dense_max}");
+    }
+
+    #[test]
+    fn asymmetric_dirichlet_respects_expectation() {
+        // E[p_i] = α_i / Σα.
+        let mut rng = seeded(6);
+        let alphas = [1.0, 3.0];
+        let n = 20_000;
+        let mean0: f64 =
+            (0..n).map(|_| dirichlet(&mut rng, &alphas)[0]).sum::<f64>() / n as f64;
+        assert!((mean0 - 0.25).abs() < 0.02, "mean {mean0}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = seeded(7);
+        let weights = [1.0, 0.0, 3.0];
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[categorical(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac2 = counts[2] as f64 / n as f64;
+        assert!((frac2 - 0.75).abs() < 0.02, "frac {frac2}");
+    }
+
+    #[test]
+    fn largest_remainder_sums_exactly() {
+        let counts = largest_remainder(&[0.333, 0.333, 0.334], 100);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        let counts = largest_remainder(&[0.5, 0.25, 0.25], 7);
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        assert!(counts[0] >= counts[1] && counts[0] >= counts[2]);
+    }
+
+    #[test]
+    fn largest_remainder_handles_zero_proportions() {
+        let counts = largest_remainder(&[0.0, 0.0, 1.0], 10);
+        assert_eq!(counts, vec![0, 0, 10]);
+    }
+}

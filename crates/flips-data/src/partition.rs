@@ -1,0 +1,319 @@
+//! Non-IID data partitioning across FL parties.
+//!
+//! Implements the paper's §4.3 emulation: **Dirichlet allocation** — for
+//! every label `l`, sample party proportions `p_l ~ Dir_N(α)` and allocate
+//! that label's samples accordingly. `α → 0` degenerates to one label per
+//! party (extreme non-IID); `α ≥ 1` approaches IID. The paper evaluates
+//! `α ∈ {0.3, 0.6}`.
+//!
+//! Two reference strategies are included: [`PartitionStrategy::Iid`]
+//! (uniform shuffle-split) and [`PartitionStrategy::OneLabelPerParty`]
+//! (the α→0 pathological case, stated explicitly).
+
+use crate::dataset::Dataset;
+use crate::dist::{dirichlet_symmetric, largest_remainder};
+use crate::label_distribution::LabelDistribution;
+use crate::DataError;
+use flips_ml::rng::{derive_seed, seeded, shuffle};
+use serde::{Deserialize, Serialize};
+
+/// How to split a population across parties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Dirichlet allocation with concentration `alpha` (paper §4.3).
+    Dirichlet {
+        /// Concentration parameter; smaller = more non-IID.
+        alpha: f64,
+    },
+    /// Uniform IID split.
+    Iid,
+    /// Each party receives samples of exactly one label (α → 0 extreme).
+    OneLabelPerParty,
+}
+
+impl PartitionStrategy {
+    /// Short name for logs and reports.
+    pub fn label(&self) -> String {
+        match self {
+            PartitionStrategy::Dirichlet { alpha } => format!("dirichlet(α={alpha})"),
+            PartitionStrategy::Iid => "iid".into(),
+            PartitionStrategy::OneLabelPerParty => "one-label".into(),
+        }
+    }
+}
+
+/// The result of partitioning: one local dataset per party.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partitioned {
+    /// Per-party local datasets, index = party id.
+    pub parties: Vec<Dataset>,
+    /// The strategy that produced this split.
+    pub strategy: PartitionStrategy,
+}
+
+impl Partitioned {
+    /// Number of parties.
+    pub fn num_parties(&self) -> usize {
+        self.parties.len()
+    }
+
+    /// Label distribution of every party — the input to FLIPS clustering.
+    pub fn label_distributions(&self) -> Vec<LabelDistribution> {
+        self.parties.iter().map(LabelDistribution::from_dataset).collect()
+    }
+
+    /// Per-party sample counts (`n_i` in the FedAvg weighting).
+    pub fn sample_counts(&self) -> Vec<usize> {
+        self.parties.iter().map(Dataset::len).collect()
+    }
+}
+
+/// Partitions `population` across `num_parties` parties.
+///
+/// Every party is guaranteed at least `min_per_party` samples (deficit
+/// parties take samples from the largest parties), matching how practical
+/// FL deployments exclude or pad empty clients.
+///
+/// # Errors
+///
+/// Returns [`DataError::Unsatisfiable`] if the population is too small for
+/// the guarantee, and [`DataError::InvalidParameter`] for a non-positive
+/// `alpha` or zero parties.
+pub fn partition(
+    population: &Dataset,
+    num_parties: usize,
+    strategy: PartitionStrategy,
+    min_per_party: usize,
+    seed: u64,
+) -> Result<Partitioned, DataError> {
+    if num_parties == 0 {
+        return Err(DataError::InvalidParameter("zero parties".into()));
+    }
+    if let PartitionStrategy::Dirichlet { alpha } = strategy {
+        if alpha <= 0.0 || !alpha.is_finite() {
+            return Err(DataError::InvalidParameter(format!("alpha must be positive, got {alpha}")));
+        }
+    }
+    if population.len() < num_parties * min_per_party {
+        return Err(DataError::Unsatisfiable(format!(
+            "{} samples cannot give {} parties {} samples each",
+            population.len(),
+            num_parties,
+            min_per_party
+        )));
+    }
+
+    let mut rng = seeded(derive_seed(seed, 0x9A27));
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); num_parties];
+
+    match strategy {
+        PartitionStrategy::Iid => {
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            shuffle(&mut rng, &mut order);
+            for (i, idx) in order.into_iter().enumerate() {
+                assignment[i % num_parties].push(idx);
+            }
+        }
+        PartitionStrategy::Dirichlet { alpha } => {
+            for label in 0..population.classes {
+                let indices: Vec<usize> =
+                    (0..population.len()).filter(|&i| population.y[i] == label).collect();
+                if indices.is_empty() {
+                    continue;
+                }
+                let props = dirichlet_symmetric(&mut rng, alpha, num_parties);
+                let counts = largest_remainder(&props, indices.len());
+                let mut cursor = 0;
+                for (party, &c) in counts.iter().enumerate() {
+                    assignment[party].extend_from_slice(&indices[cursor..cursor + c]);
+                    cursor += c;
+                }
+            }
+        }
+        PartitionStrategy::OneLabelPerParty => {
+            // Parties are assigned labels proportionally to label volume so
+            // each party's share is roughly equal in size.
+            let label_counts = population.label_counts();
+            let props: Vec<f64> = label_counts.iter().map(|&c| c as f64).collect();
+            let parties_per_label = largest_remainder(&props, num_parties);
+            let mut party = 0;
+            let mut orphaned: Vec<usize> = Vec::new();
+            for (label, &n_parties) in parties_per_label.iter().enumerate() {
+                let indices: Vec<usize> =
+                    (0..population.len()).filter(|&i| population.y[i] == label).collect();
+                if n_parties == 0 {
+                    // Fewer parties than labels: this label owns no party;
+                    // its samples are spread below so none are lost.
+                    orphaned.extend(indices);
+                    continue;
+                }
+                let share = largest_remainder(&vec![1.0; n_parties], indices.len());
+                let mut cursor = 0;
+                for &c in &share {
+                    assignment[party].extend_from_slice(&indices[cursor..cursor + c]);
+                    cursor += c;
+                    party += 1;
+                }
+            }
+            // Orphaned samples go to the currently smallest parties —
+            // purity degrades only when parties < labels, where purity is
+            // unattainable anyway.
+            for idx in orphaned {
+                let smallest = (0..num_parties)
+                    .min_by_key(|&p| assignment[p].len())
+                    .expect("num_parties > 0");
+                assignment[smallest].push(idx);
+            }
+            // Any parties left unassigned (more parties than labels·shares)
+            // are topped up by the rebalancing pass below.
+        }
+    }
+
+    rebalance_minimum(&mut assignment, min_per_party);
+
+    let parties = assignment.iter().map(|idx| population.subset(idx)).collect();
+    Ok(Partitioned { parties, strategy })
+}
+
+/// Moves samples from the largest parties to any party below the minimum.
+fn rebalance_minimum(assignment: &mut [Vec<usize>], min_per_party: usize) {
+    if min_per_party == 0 {
+        return;
+    }
+    loop {
+        let Some(deficit) = assignment.iter().position(|a| a.len() < min_per_party) else {
+            return;
+        };
+        let donor = assignment
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, a)| a.len())
+            .map(|(i, _)| i)
+            .expect("non-empty assignment");
+        assert_ne!(donor, deficit, "rebalance invariant: donor must differ");
+        let moved = assignment[donor].pop().expect("donor non-empty");
+        assignment[deficit].push(moved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::generate_population;
+    use crate::profile::DatasetProfile;
+
+    fn population() -> Dataset {
+        generate_population(&DatasetProfile::femnist(), 2000, 42)
+    }
+
+    fn assert_is_partition(pop: &Dataset, parts: &Partitioned) {
+        let total: usize = parts.sample_counts().iter().sum();
+        assert_eq!(total, pop.len(), "partition must cover the population");
+        // Label multiset must be preserved.
+        let mut pop_counts = pop.label_counts();
+        for p in &parts.parties {
+            for (a, b) in pop_counts.iter_mut().zip(p.label_counts()) {
+                *a -= b;
+            }
+        }
+        assert!(pop_counts.iter().all(|&c| c == 0), "labels must be conserved");
+    }
+
+    #[test]
+    fn iid_partition_is_even_and_complete() {
+        let pop = population();
+        let parts = partition(&pop, 10, PartitionStrategy::Iid, 1, 1).unwrap();
+        assert_is_partition(&pop, &parts);
+        assert!(parts.sample_counts().iter().all(|&c| c == 200));
+    }
+
+    #[test]
+    fn dirichlet_partition_is_complete_and_respects_minimum() {
+        let pop = population();
+        for &alpha in &[0.1, 0.3, 0.6, 1.0] {
+            let parts =
+                partition(&pop, 50, PartitionStrategy::Dirichlet { alpha }, 5, 7).unwrap();
+            assert_is_partition(&pop, &parts);
+            assert!(parts.sample_counts().iter().all(|&c| c >= 5), "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn smaller_alpha_is_more_skewed() {
+        // Mean per-party label entropy decreases as alpha decreases.
+        let pop = population();
+        let entropy = |alpha: f64| {
+            let parts =
+                partition(&pop, 40, PartitionStrategy::Dirichlet { alpha }, 1, 3).unwrap();
+            parts
+                .label_distributions()
+                .iter()
+                .map(LabelDistribution::entropy)
+                .sum::<f64>()
+                / 40.0
+        };
+        let sparse = entropy(0.1);
+        let dense = entropy(5.0);
+        assert!(
+            sparse < dense - 0.3,
+            "entropy at α=0.1 ({sparse}) should be well below α=5 ({dense})"
+        );
+    }
+
+    #[test]
+    fn one_label_per_party_is_pure() {
+        let pop = population();
+        let parts = partition(&pop, 20, PartitionStrategy::OneLabelPerParty, 1, 9).unwrap();
+        assert_is_partition(&pop, &parts);
+        // Each party should be dominated by a single label. (The minimum
+        // guarantee may move a stray sample, so check near-purity.)
+        for ld in parts.label_distributions() {
+            let max = *ld.counts().iter().max().unwrap();
+            assert!(max as f64 / ld.total() as f64 > 0.9);
+        }
+    }
+
+    #[test]
+    fn partition_is_seed_deterministic() {
+        let pop = population();
+        let a = partition(&pop, 10, PartitionStrategy::Dirichlet { alpha: 0.3 }, 1, 11).unwrap();
+        let b = partition(&pop, 10, PartitionStrategy::Dirichlet { alpha: 0.3 }, 1, 11).unwrap();
+        assert_eq!(a.sample_counts(), b.sample_counts());
+        assert_eq!(a.parties[3], b.parties[3]);
+        let c = partition(&pop, 10, PartitionStrategy::Dirichlet { alpha: 0.3 }, 1, 12).unwrap();
+        assert_ne!(a.sample_counts(), c.sample_counts());
+    }
+
+    #[test]
+    fn rejects_zero_parties_and_bad_alpha() {
+        let pop = population();
+        assert!(matches!(
+            partition(&pop, 0, PartitionStrategy::Iid, 1, 1),
+            Err(DataError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            partition(&pop, 5, PartitionStrategy::Dirichlet { alpha: 0.0 }, 1, 1),
+            Err(DataError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsatisfiable_minimum() {
+        let pop = population();
+        assert!(matches!(
+            partition(&pop, 300, PartitionStrategy::Iid, 10, 1),
+            Err(DataError::Unsatisfiable(_))
+        ));
+    }
+
+    #[test]
+    fn label_distributions_match_parties() {
+        let pop = population();
+        let parts = partition(&pop, 8, PartitionStrategy::Dirichlet { alpha: 0.3 }, 1, 2).unwrap();
+        let lds = parts.label_distributions();
+        assert_eq!(lds.len(), 8);
+        for (party, ld) in parts.parties.iter().zip(&lds) {
+            assert_eq!(ld.total() as usize, party.len());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the data substrate's invariants.
+
+use flips_data::dataset::{balanced_test_set, generate_population};
+use flips_data::dist::{dirichlet_symmetric, gamma, largest_remainder};
+use flips_data::{partition, DatasetProfile, LabelDistribution, PartitionStrategy};
+use flips_ml::rng::seeded;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gamma_samples_are_positive_and_finite(
+        seed in 0u64..10_000,
+        shape in 0.05f64..20.0,
+    ) {
+        let mut rng = seeded(seed);
+        let x = gamma(&mut rng, shape);
+        prop_assert!(x.is_finite());
+        prop_assert!(x > 0.0);
+    }
+
+    #[test]
+    fn dirichlet_is_a_probability_vector(
+        seed in 0u64..10_000,
+        alpha in 0.05f64..50.0,
+        dim in 1usize..20,
+    ) {
+        let mut rng = seeded(seed);
+        let p = dirichlet_symmetric(&mut rng, alpha, dim);
+        prop_assert_eq!(p.len(), dim);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn largest_remainder_conserves_total(
+        props in proptest::collection::vec(0.0f64..10.0, 1..12),
+        total in 0usize..500,
+    ) {
+        prop_assume!(props.iter().sum::<f64>() > 0.0);
+        let counts = largest_remainder(&props, total);
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        prop_assert_eq!(counts.len(), props.len());
+    }
+
+    #[test]
+    fn partition_conserves_samples_and_labels(
+        seed in 0u64..1000,
+        parties in 2usize..20,
+        alpha in 0.05f64..5.0,
+    ) {
+        let profile = DatasetProfile::femnist();
+        let pop = generate_population(&profile, 600, seed);
+        let parts = partition(
+            &pop,
+            parties,
+            PartitionStrategy::Dirichlet { alpha },
+            1,
+            seed,
+        ).unwrap();
+        // Sample conservation.
+        prop_assert_eq!(parts.sample_counts().iter().sum::<usize>(), 600);
+        // Label multiset conservation.
+        let mut remaining = pop.label_counts();
+        for party in &parts.parties {
+            for (slot, c) in remaining.iter_mut().zip(party.label_counts()) {
+                prop_assert!(*slot >= c, "label over-allocated");
+                *slot -= c;
+            }
+        }
+        prop_assert!(remaining.iter().all(|&c| c == 0));
+        // Minimum guarantee.
+        prop_assert!(parts.sample_counts().iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn every_partition_strategy_is_exhaustive(
+        seed in 0u64..500,
+        parties in 2usize..12,
+    ) {
+        let profile = DatasetProfile::ecg();
+        let pop = generate_population(&profile, 400, seed);
+        for strategy in [
+            PartitionStrategy::Iid,
+            PartitionStrategy::Dirichlet { alpha: 0.3 },
+            PartitionStrategy::OneLabelPerParty,
+        ] {
+            let parts = partition(&pop, parties, strategy, 1, seed).unwrap();
+            prop_assert_eq!(parts.num_parties(), parties);
+            prop_assert_eq!(parts.sample_counts().iter().sum::<usize>(), 400);
+        }
+    }
+
+    #[test]
+    fn label_distribution_normalization_invariants(
+        counts in proptest::collection::vec(0u64..10_000, 1..16),
+    ) {
+        let ld = LabelDistribution::from_counts(counts.clone());
+        let n = ld.normalized();
+        prop_assert!((n.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(n.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Scaling counts leaves the normalized vector unchanged.
+        let scaled: Vec<u64> = counts.iter().map(|&c| c * 3).collect();
+        let ld3 = LabelDistribution::from_counts(scaled);
+        if ld.total() > 0 {
+            prop_assert!(ld.distance(&ld3) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn balanced_test_set_is_exactly_balanced(
+        seed in 0u64..200,
+        per_class in 1usize..40,
+    ) {
+        let profile = DatasetProfile::ham10000();
+        let ts = balanced_test_set(&profile, per_class, seed);
+        prop_assert!(ts.label_counts().iter().all(|&c| c == per_class as u64));
+    }
+
+    #[test]
+    fn population_generation_is_deterministic_per_seed(seed in 0u64..200) {
+        let profile = DatasetProfile::fashion_mnist();
+        let a = generate_population(&profile, 300, seed);
+        let b = generate_population(&profile, 300, seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,603 @@
+//! The FL aggregator — round orchestration (paper §2, Figure 1).
+//!
+//! Each [`FlJob::step`] performs one synchronization round:
+//!
+//! 1. **select** participants through the pluggable policy;
+//! 2. **dispatch** the global model (bytes accounted via the wire codec);
+//! 3. **inject stragglers** per the configured rate — their updates never
+//!    arrive, under-representing their data exactly as §2.3 describes;
+//! 4. **train locally** on every completing party (optionally across
+//!    threads — parties are independent);
+//! 5. **aggregate** with the algorithm's server optimizer;
+//! 6. **evaluate** balanced accuracy on the global test set held by the
+//!    aggregator (§4.4);
+//! 7. **feed back** losses, durations and update sketches to the selector.
+//!
+//! Every source of randomness derives from the single job seed, so runs
+//! are bit-reproducible, selector included.
+
+use crate::config::{FlAlgorithm, LocalTrainingConfig};
+use crate::history::{History, RoundRecord};
+use crate::latency::LatencyModel;
+use crate::message::{global_model_bytes, local_update_bytes};
+use crate::party::{LocalUpdate, Party};
+use crate::server::ServerState;
+use crate::straggler::{StragglerBias, StragglerInjector};
+use crate::FlError;
+use flips_data::Dataset;
+use flips_ml::metrics::ConfusionMatrix;
+use flips_ml::model::{Model, ModelSpec};
+use flips_ml::rng::{derive_seed, seeded};
+use flips_selection::gradclus::sketch_update;
+use flips_selection::{ParticipantSelector, PartyId, RoundFeedback};
+use std::collections::HashSet;
+
+/// Configuration of one FL job.
+#[derive(Debug, Clone)]
+pub struct FlJobConfig {
+    /// The agreed model architecture.
+    pub model: ModelSpec,
+    /// The FL algorithm.
+    pub algorithm: FlAlgorithm,
+    /// Round budget.
+    pub rounds: usize,
+    /// Parties per round (`Nr`; selectors may overprovision beyond it).
+    pub parties_per_round: usize,
+    /// Participant-side training hyper-parameters.
+    pub local: LocalTrainingConfig,
+    /// Fraction of each cohort dropped as stragglers (0, 0.10, 0.20 in
+    /// the paper).
+    pub straggler_rate: f64,
+    /// How straggler victims are chosen.
+    pub straggler_bias: StragglerBias,
+    /// Log-normal sigma of the platform-heterogeneity model.
+    pub latency_sigma: f64,
+    /// Use this latency model instead of sampling one from
+    /// `latency_sigma` (lets callers share the model with selectors that
+    /// profile latencies, e.g. TiFL).
+    pub latency_override: Option<LatencyModel>,
+    /// Dimension of the update sketches reported to GradClus.
+    pub sketch_dim: usize,
+    /// Train completing parties across threads.
+    pub parallel: bool,
+    /// Master seed; every stream derives from it.
+    pub seed: u64,
+}
+
+impl FlJobConfig {
+    /// A reasonable default configuration for `model` (callers override
+    /// fields as needed).
+    pub fn new(model: ModelSpec) -> Self {
+        FlJobConfig {
+            model,
+            algorithm: FlAlgorithm::fedyogi(),
+            rounds: 100,
+            parties_per_round: 10,
+            local: LocalTrainingConfig::default(),
+            straggler_rate: 0.0,
+            straggler_bias: StragglerBias::Uniform,
+            latency_sigma: 0.4,
+            latency_override: None,
+            sketch_dim: 32,
+            parallel: false,
+            seed: 0,
+        }
+    }
+}
+
+/// A running federated-learning job.
+pub struct FlJob {
+    config: FlJobConfig,
+    parties: Vec<Party>,
+    test_set: Dataset,
+    selector: Box<dyn ParticipantSelector>,
+    server: ServerState,
+    global: Vec<f32>,
+    eval_model: Box<dyn Model>,
+    latency: LatencyModel,
+    injector: StragglerInjector,
+    history: History,
+    round: usize,
+}
+
+impl std::fmt::Debug for FlJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlJob")
+            .field("algorithm", &self.config.algorithm)
+            .field("selector", &self.selector.name())
+            .field("parties", &self.parties.len())
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+impl FlJob {
+    /// Creates a job from per-party datasets, a global test set, a config
+    /// and a selection policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for inconsistent inputs (empty
+    /// roster, round size exceeding the roster, class/dimension
+    /// mismatches, selector sized for a different roster).
+    pub fn new(
+        party_datasets: Vec<Dataset>,
+        test_set: Dataset,
+        config: FlJobConfig,
+        selector: Box<dyn ParticipantSelector>,
+    ) -> Result<Self, FlError> {
+        if party_datasets.is_empty() {
+            return Err(FlError::InvalidConfig("no parties".into()));
+        }
+        if config.parties_per_round == 0 || config.parties_per_round > party_datasets.len() {
+            return Err(FlError::InvalidConfig(format!(
+                "parties_per_round {} must be in 1..={}",
+                config.parties_per_round,
+                party_datasets.len()
+            )));
+        }
+        if config.rounds == 0 {
+            return Err(FlError::InvalidConfig("zero rounds".into()));
+        }
+        if !(0.0..1.0).contains(&config.straggler_rate) {
+            return Err(FlError::InvalidConfig("straggler_rate must be in [0, 1)".into()));
+        }
+        if config.sketch_dim == 0 {
+            return Err(FlError::InvalidConfig("sketch_dim must be positive".into()));
+        }
+        config.local.validate()?;
+        if selector.num_parties() != party_datasets.len() {
+            return Err(FlError::InvalidConfig(format!(
+                "selector sized for {} parties, roster has {}",
+                selector.num_parties(),
+                party_datasets.len()
+            )));
+        }
+        let classes = config.model.num_classes();
+        let dim = config.model.input_dim();
+        if test_set.classes != classes || test_set.x.cols() != dim {
+            return Err(FlError::InvalidConfig(
+                "test set does not match the model architecture".into(),
+            ));
+        }
+        for (i, ds) in party_datasets.iter().enumerate() {
+            if ds.classes != classes || ds.x.cols() != dim {
+                return Err(FlError::InvalidConfig(format!(
+                    "party {i} dataset does not match the model architecture"
+                )));
+            }
+            if ds.is_empty() {
+                return Err(FlError::InvalidConfig(format!("party {i} has no data")));
+            }
+        }
+
+        let seed = config.seed;
+        let parties: Vec<Party> = party_datasets
+            .into_iter()
+            .enumerate()
+            .map(|(id, ds)| Party::new(id, ds, &config.model, seed))
+            .collect();
+        // Global model initialization (paper §2: agreed at job start).
+        let init_model = config.model.build(&mut seeded(derive_seed(seed, 0x6106A1)));
+        let global = init_model.params();
+        let latency = match &config.latency_override {
+            Some(model) if model.num_parties() == parties.len() => model.clone(),
+            Some(_) => {
+                return Err(FlError::InvalidConfig(
+                    "latency_override sized for a different roster".into(),
+                ))
+            }
+            None => LatencyModel::sample(parties.len(), config.latency_sigma, seed),
+        };
+        let injector =
+            StragglerInjector::new(config.straggler_rate, config.straggler_bias, seed);
+        Ok(FlJob {
+            server: ServerState::new(config.algorithm),
+            eval_model: init_model,
+            selector,
+            parties,
+            test_set,
+            global,
+            latency,
+            injector,
+            history: History::new(),
+            round: 0,
+            config,
+        })
+    }
+
+    /// The current round index (number of completed rounds).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The current global model parameters.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// The job history so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The per-party latency model in effect.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Per-party local sample counts (public job metadata).
+    pub fn sample_counts(&self) -> Vec<usize> {
+        self.parties.iter().map(Party::num_samples).collect()
+    }
+
+    /// Executes one synchronization round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection and aggregation failures.
+    pub fn step(&mut self) -> Result<&RoundRecord, FlError> {
+        let round = self.round;
+        let selected = self.selector.select(round, self.config.parties_per_round)?;
+        let bytes_down =
+            (selected.len() * global_model_bytes(self.global.len())) as u64;
+
+        // Straggler injection.
+        let victim_idx = self.injector.strike(&selected, &self.latency);
+        let victim_set: HashSet<usize> = victim_idx.iter().copied().collect();
+        let stragglers: Vec<PartyId> =
+            victim_idx.iter().map(|&i| selected[i]).collect();
+        let completing: Vec<PartyId> = selected
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !victim_set.contains(i))
+            .map(|(_, &p)| p)
+            .collect();
+
+        // Local training on completing parties.
+        let mut updates = self.train_parties(&completing, round);
+        updates.sort_by_key(|(p, _)| *p); // deterministic aggregation order
+
+        let completed: Vec<PartyId> = updates.iter().map(|(p, _)| *p).collect();
+        let bytes_up =
+            (updates.len() * local_update_bytes(self.global.len())) as u64;
+
+        // Aggregate and advance the global model (a fully-straggled round
+        // leaves the model unchanged, as a real aggregator would resample).
+        let mean_train_loss = if updates.is_empty() {
+            0.0
+        } else {
+            let locals: Vec<LocalUpdate> = updates.iter().map(|(_, u)| u.clone()).collect();
+            self.server.apply_round(&mut self.global, &locals)?;
+            locals.iter().map(|u| u.mean_loss).sum::<f64>() / locals.len() as f64
+        };
+
+        // Evaluate on the aggregator-held balanced test set.
+        self.eval_model.set_params(&self.global)?;
+        let predictions = flips_ml::model::predict(self.eval_model.as_ref(), &self.test_set.x);
+        let cm = ConfusionMatrix::from_predictions(
+            self.test_set.classes,
+            &self.test_set.y,
+            &predictions,
+        );
+        let accuracy = cm.balanced_accuracy();
+
+        let round_duration = updates
+            .iter()
+            .map(|(_, u)| u.duration)
+            .fold(0.0, f64::max);
+
+        // Selector feedback.
+        let mut feedback = RoundFeedback {
+            round,
+            selected: selected.clone(),
+            completed: completed.clone(),
+            stragglers: stragglers.clone(),
+            global_accuracy: accuracy,
+            ..Default::default()
+        };
+        for (p, u) in &updates {
+            feedback.train_loss.insert(*p, u.mean_loss);
+            feedback.duration.insert(*p, u.duration);
+            let delta: Vec<f32> =
+                u.params.iter().zip(&self.global).map(|(x, g)| x - g).collect();
+            feedback
+                .update_sketch
+                .insert(*p, sketch_update(&delta, self.config.sketch_dim));
+        }
+        self.selector.report(&feedback);
+
+        self.history.push(RoundRecord {
+            round,
+            selected,
+            completed,
+            stragglers,
+            accuracy,
+            per_label_recall: cm.recalls(),
+            mean_train_loss,
+            bytes_down,
+            bytes_up,
+            round_duration,
+        });
+        self.round += 1;
+        Ok(self.history.records().last().expect("just pushed"))
+    }
+
+    /// Runs the job to its round budget and returns the history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing round.
+    pub fn run(&mut self) -> Result<History, FlError> {
+        while self.round < self.config.rounds {
+            self.step()?;
+        }
+        Ok(self.history.clone())
+    }
+
+    /// Trains `completing` parties, in parallel when configured.
+    fn train_parties(
+        &mut self,
+        completing: &[PartyId],
+        round: usize,
+    ) -> Vec<(PartyId, LocalUpdate)> {
+        let global = &self.global;
+        let local_cfg = &self.config.local;
+        let mu = self.config.algorithm.proximal_mu();
+        let latency = &self.latency;
+        let seed = self.config.seed;
+
+        let completing_set: HashSet<PartyId> = completing.iter().copied().collect();
+        let mut selected_parties: Vec<&mut Party> = self
+            .parties
+            .iter_mut()
+            .filter(|p| completing_set.contains(&p.id()))
+            .collect();
+
+        if !self.config.parallel || selected_parties.len() < 2 {
+            return selected_parties
+                .iter_mut()
+                .map(|party| {
+                    (party.id(), party.train(global, round, local_cfg, mu, latency, seed))
+                })
+                .collect();
+        }
+
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+        let chunk = selected_parties.len().div_ceil(threads);
+        let mut results: Vec<(PartyId, LocalUpdate)> = Vec::with_capacity(selected_parties.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = selected_parties
+                .chunks_mut(chunk)
+                .map(|parties| {
+                    scope.spawn(move || {
+                        parties
+                            .iter_mut()
+                            .map(|party| {
+                                (
+                                    party.id(),
+                                    party.train(global, round, local_cfg, mu, latency, seed),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.extend(h.join().expect("training thread panicked"));
+            }
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flips_data::dataset::{balanced_test_set, generate_population};
+    use flips_data::{partition, DatasetProfile, PartitionStrategy};
+    use flips_selection::RandomSelector;
+
+    fn small_setup(
+        parties: usize,
+        alpha: f64,
+    ) -> (Vec<Dataset>, Dataset, DatasetProfile) {
+        let profile = DatasetProfile::femnist().scaled(parties, 30);
+        let pop = generate_population(&profile, profile.default_total_samples, 11);
+        let parts =
+            partition(&pop, parties, PartitionStrategy::Dirichlet { alpha }, 5, 11).unwrap();
+        let test = balanced_test_set(&profile, 20, 11);
+        (parts.parties, test, profile)
+    }
+
+    fn job(parallel: bool, straggler_rate: f64) -> FlJob {
+        let (datasets, test, profile) = small_setup(12, 0.5);
+        let config = FlJobConfig {
+            rounds: 6,
+            parties_per_round: 4,
+            straggler_rate,
+            parallel,
+            local: LocalTrainingConfig { epochs: 1, ..Default::default() },
+            ..FlJobConfig::new(profile.model.clone())
+        };
+        let selector = Box::new(RandomSelector::new(datasets.len(), 5));
+        FlJob::new(datasets, test, config, selector).unwrap()
+    }
+
+    #[test]
+    fn runs_the_configured_number_of_rounds() {
+        let mut j = job(false, 0.0);
+        let history = j.run().unwrap();
+        assert_eq!(history.len(), 6);
+        assert_eq!(j.round(), 6);
+        for (i, r) in history.records().iter().enumerate() {
+            assert_eq!(r.round, i);
+            assert_eq!(r.selected.len(), 4);
+            assert_eq!(r.completed.len(), 4);
+            assert!(r.stragglers.is_empty());
+            assert!(r.bytes_down > 0 && r.bytes_up > 0);
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_over_rounds() {
+        let (datasets, test, profile) = small_setup(10, 2.0);
+        let config = FlJobConfig {
+            rounds: 25,
+            parties_per_round: 5,
+            local: LocalTrainingConfig { epochs: 2, ..Default::default() },
+            ..FlJobConfig::new(profile.model.clone())
+        };
+        let selector = Box::new(RandomSelector::new(datasets.len(), 1));
+        let mut j = FlJob::new(datasets, test, config, selector).unwrap();
+        let history = j.run().unwrap();
+        let first = history.records()[0].accuracy;
+        let peak = history.peak_accuracy();
+        assert!(
+            peak > first + 0.2,
+            "no learning: first {first}, peak {peak}"
+        );
+        assert!(peak > 0.5, "peak {peak} too low for near-IID data");
+    }
+
+    #[test]
+    fn straggler_injection_reduces_completions() {
+        let mut j = job(false, 0.25);
+        let history = j.run().unwrap();
+        for r in history.records() {
+            assert_eq!(r.stragglers.len(), 1, "25% of 4 selected");
+            assert_eq!(r.completed.len(), 3);
+        }
+        assert_eq!(history.total_stragglers(), 6);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let mut seq = job(false, 0.1);
+        let mut par = job(true, 0.1);
+        let hs = seq.run().unwrap();
+        let hp = par.run().unwrap();
+        assert_eq!(hs.accuracy_series(), hp.accuracy_series());
+        assert_eq!(seq.global_params(), par.global_params());
+    }
+
+    #[test]
+    fn runs_are_seed_reproducible() {
+        let mut a = job(false, 0.2);
+        let mut b = job(false, 0.2);
+        assert_eq!(a.run().unwrap(), b.run().unwrap());
+    }
+
+    #[test]
+    fn byte_accounting_matches_wire_sizes() {
+        let mut j = job(false, 0.0);
+        let p = j.global_params().len();
+        let r = j.step().unwrap();
+        assert_eq!(r.bytes_down, (4 * global_model_bytes(p)) as u64);
+        assert_eq!(r.bytes_up, (4 * local_update_bytes(p)) as u64);
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        for algo in [
+            FlAlgorithm::FedAvg,
+            FlAlgorithm::fedprox(),
+            FlAlgorithm::fedyogi(),
+            FlAlgorithm::fedadam(),
+            FlAlgorithm::fedadagrad(),
+        ] {
+            let (datasets, test, profile) = small_setup(8, 1.0);
+            let config = FlJobConfig {
+                algorithm: algo,
+                rounds: 3,
+                parties_per_round: 3,
+                local: LocalTrainingConfig { epochs: 1, ..Default::default() },
+                ..FlJobConfig::new(profile.model.clone())
+            };
+            let selector = Box::new(RandomSelector::new(datasets.len(), 2));
+            let mut j = FlJob::new(datasets, test, config, selector).unwrap();
+            let h = j.run().unwrap();
+            assert_eq!(h.len(), 3, "{algo} failed to run");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_configs() {
+        let (datasets, test, profile) = small_setup(6, 1.0);
+        let base = FlJobConfig::new(profile.model.clone());
+
+        // Round size exceeding roster.
+        let cfg = FlJobConfig { parties_per_round: 7, ..base.clone() };
+        let sel = Box::new(RandomSelector::new(6, 1));
+        assert!(FlJob::new(datasets.clone(), test.clone(), cfg, sel).is_err());
+
+        // Selector sized for the wrong roster.
+        let cfg = FlJobConfig { parties_per_round: 2, ..base.clone() };
+        let sel = Box::new(RandomSelector::new(99, 1));
+        assert!(FlJob::new(datasets.clone(), test.clone(), cfg, sel).is_err());
+
+        // Test set from a different schema.
+        let other = balanced_test_set(&DatasetProfile::ecg(), 5, 1);
+        let cfg = FlJobConfig { parties_per_round: 2, ..base.clone() };
+        let sel = Box::new(RandomSelector::new(6, 1));
+        assert!(FlJob::new(datasets.clone(), other, cfg, sel).is_err());
+
+        // Zero rounds.
+        let cfg = FlJobConfig { rounds: 0, parties_per_round: 2, ..base };
+        let sel = Box::new(RandomSelector::new(6, 1));
+        assert!(FlJob::new(datasets, test, cfg, sel).is_err());
+    }
+
+    #[test]
+    fn feedback_reaches_the_selector() {
+        // A probe selector that records the feedback it receives.
+        struct Probe {
+            n: usize,
+            feedback_rounds: Vec<usize>,
+            saw_losses: bool,
+            saw_sketches: bool,
+        }
+        impl ParticipantSelector for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn select(
+                &mut self,
+                _round: usize,
+                target: usize,
+            ) -> Result<Vec<PartyId>, flips_selection::SelectionError> {
+                Ok((0..target).collect())
+            }
+            fn report(&mut self, fb: &RoundFeedback) {
+                self.feedback_rounds.push(fb.round);
+                self.saw_losses |= !fb.train_loss.is_empty();
+                self.saw_sketches |= !fb.update_sketch.is_empty();
+            }
+            fn num_parties(&self) -> usize {
+                self.n
+            }
+        }
+
+        let (datasets, test, profile) = small_setup(6, 1.0);
+        let config = FlJobConfig {
+            rounds: 2,
+            parties_per_round: 3,
+            local: LocalTrainingConfig { epochs: 1, ..Default::default() },
+            ..FlJobConfig::new(profile.model.clone())
+        };
+        let probe = Box::new(Probe {
+            n: 6,
+            feedback_rounds: vec![],
+            saw_losses: false,
+            saw_sketches: false,
+        });
+        let mut j = FlJob::new(datasets, test, config, probe).unwrap();
+        j.run().unwrap();
+        // The probe was moved into the job; verify via history instead:
+        // feedback effects are internal, so assert rounds ran and records
+        // carry the loss/sketch-bearing fields.
+        let h = j.history();
+        assert_eq!(h.len(), 2);
+        assert!(h.records().iter().all(|r| r.mean_train_loss > 0.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! FL algorithm and training configuration.
+
+use flips_ml::optimizer::StepDecay;
+use serde::{Deserialize, Serialize};
+
+/// The federated-learning algorithm — how client updates become the next
+/// global model (paper §2.1).
+///
+/// All algorithms here share the FedAvg *client* loop (τ local SGD steps)
+/// and differ in (a) an optional client-side proximal term (FedProx) and
+/// (b) the server optimizer applied to the aggregated pseudo-gradient
+/// (FedYogi / FedAdam / FedAdagrad).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FlAlgorithm {
+    /// Weighted averaging of client models (McMahan et al.).
+    FedAvg,
+    /// FedAvg with a client-side proximal term `µ/2‖x − m‖²` (Li et al.).
+    FedProx {
+        /// Proximal penalty µ.
+        mu: f32,
+    },
+    /// Adaptive server optimization with Yogi (Reddi et al.) — the paper's
+    /// best performer on non-IID data.
+    FedYogi {
+        /// Server learning rate.
+        server_lr: f32,
+    },
+    /// Adaptive server optimization with Adam.
+    FedAdam {
+        /// Server learning rate.
+        server_lr: f32,
+    },
+    /// Adaptive server optimization with Adagrad.
+    FedAdagrad {
+        /// Server learning rate.
+        server_lr: f32,
+    },
+}
+
+impl FlAlgorithm {
+    /// FedProx with the paper-typical µ = 0.01.
+    pub fn fedprox() -> Self {
+        FlAlgorithm::FedProx { mu: 0.01 }
+    }
+
+    /// FedYogi with the standard server learning rate 0.1.
+    pub fn fedyogi() -> Self {
+        FlAlgorithm::FedYogi { server_lr: 0.1 }
+    }
+
+    /// FedAdam with the standard server learning rate 0.1.
+    pub fn fedadam() -> Self {
+        FlAlgorithm::FedAdam { server_lr: 0.1 }
+    }
+
+    /// FedAdagrad with the standard server learning rate 0.1.
+    pub fn fedadagrad() -> Self {
+        FlAlgorithm::FedAdagrad { server_lr: 0.1 }
+    }
+
+    /// The paper's table label for this algorithm.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlAlgorithm::FedAvg => "FedAvg",
+            FlAlgorithm::FedProx { .. } => "FedProx",
+            FlAlgorithm::FedYogi { .. } => "FedYoGi",
+            FlAlgorithm::FedAdam { .. } => "FedAdam",
+            FlAlgorithm::FedAdagrad { .. } => "FedAdagrad",
+        }
+    }
+
+    /// The client-side proximal coefficient (zero except FedProx).
+    pub fn proximal_mu(&self) -> f32 {
+        match self {
+            FlAlgorithm::FedProx { mu } => *mu,
+            _ => 0.0,
+        }
+    }
+
+    /// The three algorithms the paper evaluates, in table order.
+    pub fn paper_algorithms() -> [FlAlgorithm; 3] {
+        [FlAlgorithm::fedyogi(), FlAlgorithm::fedprox(), FlAlgorithm::FedAvg]
+    }
+}
+
+impl std::fmt::Display for FlAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Participant-side training hyper-parameters (agreed at job start, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalTrainingConfig {
+    /// Local epochs over the party's dataset per round (τ).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Client learning-rate schedule across rounds.
+    pub lr_schedule: StepDecay,
+    /// Client SGD momentum.
+    pub momentum: f32,
+}
+
+impl Default for LocalTrainingConfig {
+    fn default() -> Self {
+        LocalTrainingConfig {
+            epochs: 2,
+            batch_size: 32,
+            lr_schedule: StepDecay::constant(0.05),
+            momentum: 0.0,
+        }
+    }
+}
+
+impl LocalTrainingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero epochs/batch size and non-positive learning rates.
+    pub fn validate(&self) -> Result<(), crate::FlError> {
+        if self.epochs == 0 {
+            return Err(crate::FlError::InvalidConfig("zero local epochs".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(crate::FlError::InvalidConfig("zero batch size".into()));
+        }
+        if self.lr_schedule.initial <= 0.0 {
+            return Err(crate::FlError::InvalidConfig("non-positive learning rate".into()));
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(crate::FlError::InvalidConfig("momentum must be in [0, 1)".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(FlAlgorithm::FedAvg.label(), "FedAvg");
+        assert_eq!(FlAlgorithm::fedprox().label(), "FedProx");
+        assert_eq!(FlAlgorithm::fedyogi().label(), "FedYoGi");
+    }
+
+    #[test]
+    fn proximal_mu_is_zero_except_fedprox() {
+        assert_eq!(FlAlgorithm::FedAvg.proximal_mu(), 0.0);
+        assert_eq!(FlAlgorithm::fedyogi().proximal_mu(), 0.0);
+        assert_eq!(FlAlgorithm::FedProx { mu: 0.03 }.proximal_mu(), 0.03);
+    }
+
+    #[test]
+    fn paper_algorithms_are_the_evaluated_three() {
+        let algos = FlAlgorithm::paper_algorithms();
+        assert_eq!(algos.map(|a| a.label()), ["FedYoGi", "FedProx", "FedAvg"]);
+    }
+
+    #[test]
+    fn local_config_validation() {
+        assert!(LocalTrainingConfig::default().validate().is_ok());
+        let bad = LocalTrainingConfig { epochs: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = LocalTrainingConfig { batch_size: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = LocalTrainingConfig {
+            lr_schedule: StepDecay::constant(0.0),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = LocalTrainingConfig { momentum: 1.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+}

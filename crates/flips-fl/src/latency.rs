@@ -1,0 +1,127 @@
+//! The platform-heterogeneity model.
+//!
+//! Real FL deployments span devices of wildly different capability (paper
+//! §2.3). This model assigns each party a multiplicative **speed factor**
+//! drawn log-normally — a standard heavy-tailed fit for device populations
+//! — and derives a simulated round duration from the party's sample count.
+//! Oort's system utility and TiFL's tiers both consume these durations.
+
+use flips_ml::rng::{derive_seed, normal, seeded};
+use serde::{Deserialize, Serialize};
+
+/// Per-party simulated compute latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Seconds of compute per training sample per epoch on a speed-1
+    /// device.
+    pub per_sample_cost: f64,
+    /// Fixed per-round overhead (startup + network), seconds.
+    pub fixed_cost: f64,
+    /// Speed factor per party (1.0 = reference device; larger = slower).
+    speed: Vec<f64>,
+}
+
+impl LatencyModel {
+    /// Samples a heterogeneity model for `num_parties` parties.
+    ///
+    /// `sigma` is the log-normal shape parameter; 0 makes all parties
+    /// identical, 0.5 gives a realistic ~5× spread between fast and slow
+    /// devices.
+    pub fn sample(num_parties: usize, sigma: f64, seed: u64) -> Self {
+        let mut rng = seeded(derive_seed(seed, 0x1A7E_9C7));
+        let speed =
+            (0..num_parties).map(|_| normal(&mut rng, 0.0, sigma).exp()).collect();
+        LatencyModel { per_sample_cost: 1e-4, fixed_cost: 0.05, speed }
+    }
+
+    /// A homogeneous model (all parties speed 1).
+    pub fn uniform(num_parties: usize) -> Self {
+        LatencyModel { per_sample_cost: 1e-4, fixed_cost: 0.05, speed: vec![1.0; num_parties] }
+    }
+
+    /// A model with explicitly given per-party speed factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any speed factor is non-positive.
+    pub fn with_speeds(speed: Vec<f64>) -> Self {
+        assert!(speed.iter().all(|&s| s > 0.0), "speed factors must be positive");
+        LatencyModel { per_sample_cost: 1e-4, fixed_cost: 0.05, speed }
+    }
+
+    /// Number of parties covered.
+    pub fn num_parties(&self) -> usize {
+        self.speed.len()
+    }
+
+    /// The speed factor of a party.
+    pub fn speed_factor(&self, party: usize) -> f64 {
+        self.speed[party]
+    }
+
+    /// Simulated duration of `epochs` local epochs over `num_samples`
+    /// samples at `party`.
+    pub fn duration(&self, party: usize, num_samples: usize, epochs: usize) -> f64 {
+        self.fixed_cost
+            + self.speed[party] * self.per_sample_cost * (num_samples * epochs) as f64
+    }
+
+    /// Per-party durations for a fixed workload — TiFL's profiling pass.
+    pub fn profile(&self, samples_per_party: &[usize], epochs: usize) -> Vec<f64> {
+        assert_eq!(samples_per_party.len(), self.speed.len(), "profile length mismatch");
+        (0..self.speed.len())
+            .map(|p| self.duration(p, samples_per_party[p], epochs))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_parties_have_identical_durations() {
+        let m = LatencyModel::uniform(5);
+        let d: Vec<f64> = (0..5).map(|p| m.duration(p, 100, 2)).collect();
+        assert!(d.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn duration_scales_with_work() {
+        let m = LatencyModel::uniform(1);
+        assert!(m.duration(0, 200, 2) > m.duration(0, 100, 2));
+        assert!(m.duration(0, 100, 4) > m.duration(0, 100, 2));
+    }
+
+    #[test]
+    fn sampled_model_is_heterogeneous_and_positive() {
+        let m = LatencyModel::sample(100, 0.5, 42);
+        let speeds: Vec<f64> = (0..100).map(|p| m.speed_factor(p)).collect();
+        assert!(speeds.iter().all(|&s| s > 0.0));
+        let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 2.0, "spread {max}/{min} too small for sigma 0.5");
+    }
+
+    #[test]
+    fn sigma_zero_degenerates_to_uniform() {
+        let m = LatencyModel::sample(10, 0.0, 1);
+        for p in 0..10 {
+            assert!((m.speed_factor(p) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        assert_eq!(LatencyModel::sample(20, 0.5, 7), LatencyModel::sample(20, 0.5, 7));
+        assert_ne!(LatencyModel::sample(20, 0.5, 7), LatencyModel::sample(20, 0.5, 8));
+    }
+
+    #[test]
+    fn profile_covers_all_parties() {
+        let m = LatencyModel::sample(4, 0.3, 3);
+        let prof = m.profile(&[10, 20, 30, 40], 2);
+        assert_eq!(prof.len(), 4);
+        assert!(prof.iter().all(|&d| d > 0.0));
+    }
+}

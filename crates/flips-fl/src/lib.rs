@@ -1,0 +1,85 @@
+//! # flips-fl — the federated-learning runtime
+//!
+//! A policy-agnostic FL aggregator in the mold the paper describes (§2):
+//! an aggregator coordinates rounds against a roster of parties holding
+//! private local datasets; each round it *selects* participants (through
+//! any [`flips_selection::ParticipantSelector`]), *dispatches* the global
+//! model, parties *train locally* (Algorithm 1, participant side),
+//! updates are *collected* — minus injected stragglers — *aggregated*, and
+//! the server optimizer advances the global model.
+//!
+//! Modules:
+//!
+//! - [`config`] — FL algorithms (FedAvg, FedProx, FedYogi, FedAdam,
+//!   FedAdagrad) and job/local-training configuration;
+//! - [`message`] — the wire protocol with exact byte accounting (the
+//!   paper's communication-cost metric);
+//! - [`party`] — participant-side local training;
+//! - [`latency`] — the platform-heterogeneity model (per-party speeds);
+//! - [`straggler`] — the fault injector emulating the paper's 10%/20%
+//!   straggler regimes;
+//! - [`server`] — update aggregation and server optimizers;
+//! - [`history`] — per-round records and the metrics the paper's tables
+//!   report (rounds-to-target, peak accuracy, bytes transferred);
+//! - [`aggregator`] — the orchestrator tying it all together.
+
+pub mod aggregator;
+pub mod config;
+pub mod history;
+pub mod latency;
+pub mod message;
+pub mod party;
+pub mod server;
+pub mod straggler;
+
+pub use aggregator::{FlJob, FlJobConfig};
+pub use config::{FlAlgorithm, LocalTrainingConfig};
+pub use history::{History, RoundRecord};
+pub use latency::LatencyModel;
+pub use straggler::StragglerInjector;
+
+/// Errors produced by the FL runtime.
+#[derive(Debug)]
+pub enum FlError {
+    /// Configuration rejected before the job started.
+    InvalidConfig(String),
+    /// A selection policy failed.
+    Selection(flips_selection::SelectionError),
+    /// A model/parameter operation failed.
+    Ml(flips_ml::MlError),
+    /// A wire message failed to decode.
+    Codec(String),
+}
+
+impl std::fmt::Display for FlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlError::InvalidConfig(m) => write!(f, "invalid FL job config: {m}"),
+            FlError::Selection(e) => write!(f, "selection failed: {e}"),
+            FlError::Ml(e) => write!(f, "model operation failed: {e}"),
+            FlError::Codec(m) => write!(f, "wire codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Selection(e) => Some(e),
+            FlError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flips_selection::SelectionError> for FlError {
+    fn from(e: flips_selection::SelectionError) -> Self {
+        FlError::Selection(e)
+    }
+}
+
+impl From<flips_ml::MlError> for FlError {
+    fn from(e: flips_ml::MlError) -> Self {
+        FlError::Ml(e)
+    }
+}

@@ -1,0 +1,231 @@
+//! The FL wire protocol, with exact byte accounting.
+//!
+//! The paper's headline cost metric is communication: rounds saved
+//! translate directly into model-update bytes not sent. This module
+//! defines the two messages of a round — the aggregator's global-model
+//! broadcast and each party's local update — with a compact little-endian
+//! binary codec so byte counts are exact and stable.
+//!
+//! (Only the `serde` *traits* are permitted in this workspace — no format
+//! crate — so the codec is hand-rolled on `bytes`.)
+
+use crate::FlError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Protocol magic, guards against decoding foreign buffers.
+const MAGIC: u32 = 0xF11F_5001;
+
+const TAG_GLOBAL: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+
+/// A message on the aggregator ↔ party wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireMessage {
+    /// Aggregator → party: the round's global model.
+    GlobalModel {
+        /// Round number.
+        round: u64,
+        /// Flat global-model parameters.
+        params: Vec<f32>,
+    },
+    /// Party → aggregator: a trained local update.
+    LocalUpdate {
+        /// Round number.
+        round: u64,
+        /// Sender party.
+        party: u64,
+        /// Local sample count `n_i` (the FedAvg weight).
+        num_samples: u64,
+        /// Mean local training loss (Oort's utility signal).
+        mean_loss: f32,
+        /// Simulated training duration, seconds.
+        duration: f32,
+        /// Flat trained parameters `x_i^(r,τ)`.
+        params: Vec<f32>,
+    },
+}
+
+impl WireMessage {
+    /// Encodes to the binary wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        buf.put_u32_le(MAGIC);
+        match self {
+            WireMessage::GlobalModel { round, params } => {
+                buf.put_u8(TAG_GLOBAL);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(params.len() as u64);
+                for &p in params {
+                    buf.put_f32_le(p);
+                }
+            }
+            WireMessage::LocalUpdate { round, party, num_samples, mean_loss, duration, params } => {
+                buf.put_u8(TAG_UPDATE);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*party);
+                buf.put_u64_le(*num_samples);
+                buf.put_f32_le(*mean_loss);
+                buf.put_f32_le(*duration);
+                buf.put_u64_le(params.len() as u64);
+                for &p in params {
+                    buf.put_f32_le(p);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from the binary wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Codec`] on bad magic, unknown tags or truncation.
+    pub fn decode(mut buf: Bytes) -> Result<Self, FlError> {
+        let need = |buf: &Bytes, n: usize| -> Result<(), FlError> {
+            if buf.remaining() < n {
+                Err(FlError::Codec(format!("truncated: need {n}, have {}", buf.remaining())))
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 5)?;
+        let magic = buf.get_u32_le();
+        if magic != MAGIC {
+            return Err(FlError::Codec(format!("bad magic {magic:#x}")));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_GLOBAL => {
+                need(&buf, 16)?;
+                let round = buf.get_u64_le();
+                let len = buf.get_u64_le() as usize;
+                need(&buf, len * 4)?;
+                let params = (0..len).map(|_| buf.get_f32_le()).collect();
+                Ok(WireMessage::GlobalModel { round, params })
+            }
+            TAG_UPDATE => {
+                need(&buf, 8 * 3 + 4 * 2 + 8)?;
+                let round = buf.get_u64_le();
+                let party = buf.get_u64_le();
+                let num_samples = buf.get_u64_le();
+                let mean_loss = buf.get_f32_le();
+                let duration = buf.get_f32_le();
+                let len = buf.get_u64_le() as usize;
+                need(&buf, len * 4)?;
+                let params = (0..len).map(|_| buf.get_f32_le()).collect();
+                Ok(WireMessage::LocalUpdate {
+                    round,
+                    party,
+                    num_samples,
+                    mean_loss,
+                    duration,
+                    params,
+                })
+            }
+            other => Err(FlError::Codec(format!("unknown tag {other}"))),
+        }
+    }
+
+    /// Exact encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WireMessage::GlobalModel { params, .. } => 4 + 1 + 8 + 8 + params.len() * 4,
+            WireMessage::LocalUpdate { params, .. } => 4 + 1 + 8 * 3 + 4 * 2 + 8 + params.len() * 4,
+        }
+    }
+}
+
+/// Wire size of one global-model broadcast for a model of `num_params`
+/// parameters (for communication accounting without building messages).
+pub fn global_model_bytes(num_params: usize) -> usize {
+    4 + 1 + 8 + 8 + num_params * 4
+}
+
+/// Wire size of one local update for a model of `num_params` parameters.
+pub fn local_update_bytes(num_params: usize) -> usize {
+    4 + 1 + 8 * 3 + 4 * 2 + 8 + num_params * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_update() -> WireMessage {
+        WireMessage::LocalUpdate {
+            round: 12,
+            party: 7,
+            num_samples: 250,
+            mean_loss: 0.42,
+            duration: 1.5,
+            params: vec![1.0, -2.5, 3.25, 0.0],
+        }
+    }
+
+    #[test]
+    fn global_model_round_trips() {
+        let msg = WireMessage::GlobalModel { round: 3, params: vec![0.5; 10] };
+        let decoded = WireMessage::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn local_update_round_trips() {
+        let msg = sample_update();
+        assert_eq!(WireMessage::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        for msg in [
+            WireMessage::GlobalModel { round: 0, params: vec![1.0; 33] },
+            sample_update(),
+            WireMessage::GlobalModel { round: 9, params: vec![] },
+        ] {
+            assert_eq!(msg.encode().len(), msg.wire_size());
+        }
+    }
+
+    #[test]
+    fn size_helpers_match_messages() {
+        let msg = WireMessage::GlobalModel { round: 0, params: vec![0.0; 17] };
+        assert_eq!(global_model_bytes(17), msg.wire_size());
+        let msg = sample_update();
+        assert_eq!(local_update_bytes(4), msg.wire_size());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample_update().encode().to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            WireMessage::decode(Bytes::from(bytes)),
+            Err(FlError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut bytes = sample_update().encode().to_vec();
+        bytes[4] = 99;
+        assert!(WireMessage::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = sample_update().encode();
+        for cut in 0..bytes.len() {
+            let truncated = bytes.slice(0..cut);
+            assert!(
+                WireMessage::decode(truncated).is_err(),
+                "decode succeeded on {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_params_are_legal() {
+        let msg = WireMessage::GlobalModel { round: 1, params: vec![] };
+        assert_eq!(WireMessage::decode(msg.encode()).unwrap(), msg);
+    }
+}

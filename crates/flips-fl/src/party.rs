@@ -1,0 +1,246 @@
+//! Participant-side local training (Algorithm 1, lines 1–7).
+//!
+//! A [`Party`] owns a private local dataset and a model instance of the
+//! job's agreed architecture. Each round it receives the global
+//! parameters, runs τ epochs of mini-batch SGD (with FedProx's proximal
+//! pull when configured), and returns its trained parameters with the
+//! metadata the aggregator and selectors need.
+
+use crate::config::LocalTrainingConfig;
+use crate::latency::LatencyModel;
+use flips_data::Dataset;
+use flips_ml::loss::add_proximal_grad;
+use flips_ml::model::{Model, ModelSpec};
+use flips_ml::optimizer::{Optimizer, Sgd};
+use flips_ml::rng::{derive_seed, seeded};
+use flips_selection::PartyId;
+
+/// The result of one party's local training for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalUpdate {
+    /// The trained parameters `x_i^(r,τ)`.
+    pub params: Vec<f32>,
+    /// Local sample count `n_i` (the aggregation weight).
+    pub num_samples: usize,
+    /// Mean training loss over all local steps this round.
+    pub mean_loss: f64,
+    /// Simulated training duration, seconds.
+    pub duration: f64,
+}
+
+/// One FL participant.
+pub struct Party {
+    id: PartyId,
+    data: Dataset,
+    model: Box<dyn Model>,
+}
+
+impl std::fmt::Debug for Party {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Party")
+            .field("id", &self.id)
+            .field("samples", &self.data.len())
+            .field("model_params", &self.model.num_params())
+            .finish()
+    }
+}
+
+impl Party {
+    /// Creates a party with its private dataset, instantiating the agreed
+    /// model architecture locally (weights are overwritten each round).
+    pub fn new(id: PartyId, data: Dataset, spec: &ModelSpec, seed: u64) -> Self {
+        let mut rng = seeded(derive_seed(seed, 0xBA57 ^ id as u64));
+        Party { id, data, model: spec.build(&mut rng) }
+    }
+
+    /// This party's identifier.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// Local sample count `n_i`.
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The party's label distribution — the secret it provisions to the
+    /// FLIPS enclave (never to the aggregator).
+    pub fn label_distribution(&self) -> flips_data::LabelDistribution {
+        flips_data::LabelDistribution::from_dataset(&self.data)
+    }
+
+    /// Runs one round of local training from `global_params`.
+    ///
+    /// `proximal_mu > 0` enables the FedProx pull toward the global model.
+    /// Deterministic in `(job seed, round, party id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_params` does not match the agreed architecture —
+    /// a protocol violation, not a recoverable condition.
+    pub fn train(
+        &mut self,
+        global_params: &[f32],
+        round: usize,
+        local: &LocalTrainingConfig,
+        proximal_mu: f32,
+        latency: &LatencyModel,
+        seed: u64,
+    ) -> LocalUpdate {
+        self.model
+            .set_params(global_params)
+            .expect("global model must match the agreed architecture");
+        let mut rng = seeded(derive_seed(
+            seed,
+            0x7121 ^ (round as u64) << 24 ^ self.id as u64,
+        ));
+        let lr = local.lr_schedule.at(round);
+        let mut opt: Sgd = if local.momentum > 0.0 {
+            Sgd::with_momentum(lr, local.momentum)
+        } else {
+            Sgd::new(lr)
+        };
+
+        let mut params = self.model.params();
+        let mut total_loss = 0.0f64;
+        let mut steps = 0usize;
+        for _ in 0..local.epochs {
+            let mut order: Vec<usize> = (0..self.data.len()).collect();
+            flips_ml::rng::shuffle(&mut rng, &mut order);
+            for batch_idx in order.chunks(local.batch_size) {
+                let x = self.data.x.select_rows(batch_idx);
+                let y: Vec<usize> = batch_idx.iter().map(|&i| self.data.y[i]).collect();
+                let (loss, mut grad) = self.model.loss_and_grad(&x, &y);
+                if proximal_mu > 0.0 {
+                    add_proximal_grad(&mut grad, &params, global_params, proximal_mu);
+                }
+                opt.step(&mut params, &grad);
+                self.model.set_params(&params).expect("param length is fixed");
+                total_loss += loss as f64;
+                steps += 1;
+            }
+        }
+
+        LocalUpdate {
+            params,
+            num_samples: self.data.len(),
+            mean_loss: if steps > 0 { total_loss / steps as f64 } else { 0.0 },
+            duration: latency.duration(self.id, self.data.len(), local.epochs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flips_data::dataset::generate_population;
+    use flips_data::DatasetProfile;
+    use flips_ml::matrix::l2_norm;
+
+    fn party_with_data(n: usize) -> Party {
+        let profile = DatasetProfile::femnist();
+        let data = generate_population(&profile, n, 3);
+        Party::new(0, data, &profile.model, 42)
+    }
+
+    fn spec() -> ModelSpec {
+        DatasetProfile::femnist().model
+    }
+
+    fn global_params() -> Vec<f32> {
+        spec().build(&mut seeded(0)).params()
+    }
+
+    #[test]
+    fn training_reduces_local_loss() {
+        let mut party = party_with_data(200);
+        let global = global_params();
+        let latency = LatencyModel::uniform(1);
+        let cfg = LocalTrainingConfig { epochs: 10, ..Default::default() };
+        let first = party.train(&global, 0, &cfg, 0.0, &latency, 1);
+        // Train again *from the trained parameters* — loss must be lower
+        // than the first round's mean.
+        let second = party.train(&first.params, 1, &cfg, 0.0, &latency, 1);
+        assert!(
+            second.mean_loss < first.mean_loss,
+            "loss {} -> {}",
+            first.mean_loss,
+            second.mean_loss
+        );
+    }
+
+    #[test]
+    fn update_reports_sample_count_and_duration() {
+        let mut party = party_with_data(150);
+        let latency = LatencyModel::uniform(1);
+        let up = party.train(
+            &global_params(),
+            0,
+            &LocalTrainingConfig::default(),
+            0.0,
+            &latency,
+            1,
+        );
+        assert_eq!(up.num_samples, 150);
+        assert!((up.duration - latency.duration(0, 150, 2)).abs() < 1e-12);
+        assert!(up.mean_loss > 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            let mut party = party_with_data(100);
+            party.train(
+                &global_params(),
+                3,
+                &LocalTrainingConfig::default(),
+                0.0,
+                &LatencyModel::uniform(1),
+                9,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn proximal_term_keeps_update_closer_to_global() {
+        let global = global_params();
+        let latency = LatencyModel::uniform(1);
+        let cfg = LocalTrainingConfig { epochs: 8, ..Default::default() };
+        let drift = |mu: f32| {
+            let mut party = party_with_data(200);
+            let up = party.train(&global, 0, &cfg, mu, &latency, 5);
+            let diff: Vec<f32> =
+                up.params.iter().zip(&global).map(|(a, b)| a - b).collect();
+            l2_norm(&diff)
+        };
+        let free = drift(0.0);
+        let anchored = drift(1.0);
+        assert!(
+            anchored < free,
+            "µ=1 drift {anchored} must be below µ=0 drift {free}"
+        );
+    }
+
+    #[test]
+    fn label_distribution_matches_data() {
+        let party = party_with_data(120);
+        assert_eq!(party.label_distribution().total(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "agreed architecture")]
+    fn wrong_global_length_is_a_protocol_violation() {
+        let mut party = party_with_data(50);
+        let _ = party.train(
+            &[0.0; 3],
+            0,
+            &LocalTrainingConfig::default(),
+            0.0,
+            &LatencyModel::uniform(1),
+            1,
+        );
+    }
+
+    use flips_ml::rng::seeded;
+}

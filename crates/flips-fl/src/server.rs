@@ -1,0 +1,245 @@
+//! Server-side aggregation and optimization.
+//!
+//! All evaluated algorithms aggregate client updates into the weighted
+//! average `x̄ = Σ nᵢ·xᵢ / Σ nᵢ` (paper §2.1). They differ in how the
+//! global model advances:
+//!
+//! - **FedAvg / FedProx** — the global model *becomes* `x̄`;
+//! - **FedYogi / FedAdam / FedAdagrad** — the server treats the
+//!   pseudo-gradient `g = m − x̄` as a gradient and runs one adaptive
+//!   optimizer step on the global parameters, keeping per-parameter
+//!   moment state across rounds.
+
+use crate::config::FlAlgorithm;
+use crate::party::LocalUpdate;
+use crate::FlError;
+use flips_ml::optimizer::{Adagrad, Adam, Optimizer, Sgd, Yogi};
+
+/// Computes the sample-weighted average of client updates.
+///
+/// # Errors
+///
+/// Returns [`FlError::InvalidConfig`] when `updates` is empty, all weights
+/// are zero, or parameter lengths disagree.
+pub fn weighted_average(updates: &[LocalUpdate]) -> Result<Vec<f32>, FlError> {
+    let first = updates
+        .first()
+        .ok_or_else(|| FlError::InvalidConfig("no updates to aggregate".into()))?;
+    let dim = first.params.len();
+    let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
+    if total <= 0.0 {
+        return Err(FlError::InvalidConfig("aggregation weights sum to zero".into()));
+    }
+    let mut avg = vec![0.0f64; dim];
+    for u in updates {
+        if u.params.len() != dim {
+            return Err(FlError::InvalidConfig(format!(
+                "update length {} != {}",
+                u.params.len(),
+                dim
+            )));
+        }
+        let w = u.num_samples as f64 / total;
+        for (a, &p) in avg.iter_mut().zip(&u.params) {
+            *a += w * p as f64;
+        }
+    }
+    Ok(avg.into_iter().map(|x| x as f32).collect())
+}
+
+/// The server's persistent optimizer state for one FL job.
+pub struct ServerState {
+    algorithm: FlAlgorithm,
+    optimizer: Option<Box<dyn Optimizer>>,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState").field("algorithm", &self.algorithm).finish()
+    }
+}
+
+impl ServerState {
+    /// Creates the server state for an algorithm.
+    pub fn new(algorithm: FlAlgorithm) -> Self {
+        let optimizer: Option<Box<dyn Optimizer>> = match algorithm {
+            FlAlgorithm::FedAvg | FlAlgorithm::FedProx { .. } => None,
+            FlAlgorithm::FedYogi { server_lr } => Some(Box::new(Yogi::new(server_lr))),
+            FlAlgorithm::FedAdam { server_lr } => Some(Box::new(Adam::new(server_lr))),
+            FlAlgorithm::FedAdagrad { server_lr } => Some(Box::new(Adagrad::new(server_lr))),
+        };
+        ServerState { algorithm, optimizer }
+    }
+
+    /// The algorithm this state serves.
+    pub fn algorithm(&self) -> FlAlgorithm {
+        self.algorithm
+    }
+
+    /// Applies one round of aggregated client updates to the global model
+    /// in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aggregation errors; rejects a length mismatch between
+    /// the global model and the aggregate.
+    pub fn apply_round(
+        &mut self,
+        global: &mut [f32],
+        updates: &[LocalUpdate],
+    ) -> Result<(), FlError> {
+        let avg = weighted_average(updates)?;
+        if avg.len() != global.len() {
+            return Err(FlError::InvalidConfig(format!(
+                "aggregate length {} != global {}",
+                avg.len(),
+                global.len()
+            )));
+        }
+        match &mut self.optimizer {
+            None => global.copy_from_slice(&avg),
+            Some(opt) => {
+                // Pseudo-gradient g = m − x̄; step does m ← m − lr·f(g),
+                // moving m toward x̄ adaptively.
+                let pseudo_grad: Vec<f32> =
+                    global.iter().zip(&avg).map(|(m, a)| m - a).collect();
+                opt.step(global, &pseudo_grad);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resets optimizer state (new job on the same architecture).
+    pub fn reset(&mut self) {
+        if let Some(opt) = &mut self.optimizer {
+            opt.reset();
+        }
+    }
+}
+
+/// Convenience: one plain-SGD server step with learning rate 1 is exactly
+/// FedAvg replacement — used by tests to cross-check the two paths.
+pub fn fedavg_as_sgd(global: &mut [f32], updates: &[LocalUpdate]) -> Result<(), FlError> {
+    let avg = weighted_average(updates)?;
+    let mut opt = Sgd::new(1.0);
+    let pseudo_grad: Vec<f32> = global.iter().zip(&avg).map(|(m, a)| m - a).collect();
+    opt.step(global, &pseudo_grad);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(params: Vec<f32>, n: usize) -> LocalUpdate {
+        LocalUpdate { params, num_samples: n, mean_loss: 0.0, duration: 0.0 }
+    }
+
+    #[test]
+    fn weighted_average_respects_sample_counts() {
+        let ups = vec![update(vec![0.0, 0.0], 10), update(vec![1.0, 2.0], 30)];
+        let avg = weighted_average(&ups).unwrap();
+        assert!((avg[0] - 0.75).abs() < 1e-6);
+        assert!((avg[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_weights_give_plain_mean() {
+        let ups = vec![update(vec![1.0], 5), update(vec![3.0], 5)];
+        assert_eq!(weighted_average(&ups).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_updates() {
+        assert!(weighted_average(&[]).is_err());
+        let ups = vec![update(vec![1.0], 1), update(vec![1.0, 2.0], 1)];
+        assert!(weighted_average(&ups).is_err());
+        let ups = vec![update(vec![1.0], 0)];
+        assert!(weighted_average(&ups).is_err());
+    }
+
+    #[test]
+    fn fedavg_replaces_global_with_average() {
+        let mut state = ServerState::new(FlAlgorithm::FedAvg);
+        let mut global = vec![9.0, 9.0];
+        let ups = vec![update(vec![1.0, 2.0], 10)];
+        state.apply_round(&mut global, &ups).unwrap();
+        assert_eq!(global, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fedavg_equals_sgd_with_unit_lr() {
+        let ups = vec![update(vec![1.0, -4.0], 3), update(vec![5.0, 2.0], 1)];
+        let mut a = vec![0.5, 0.5];
+        let mut b = a.clone();
+        ServerState::new(FlAlgorithm::FedAvg).apply_round(&mut a, &ups).unwrap();
+        fedavg_as_sgd(&mut b, &ups).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fedyogi_moves_toward_average_but_keeps_momentum_state() {
+        let mut state = ServerState::new(FlAlgorithm::fedyogi());
+        let mut global = vec![1.0f32];
+        let target = vec![update(vec![0.0], 1)];
+        let before = global[0];
+        state.apply_round(&mut global, &target).unwrap();
+        assert!(global[0] < before, "must move toward the average");
+        // Repeated application converges near the average.
+        for _ in 0..600 {
+            state.apply_round(&mut global, &target).unwrap();
+        }
+        assert!(global[0].abs() < 0.1, "global {global:?} should approach 0");
+    }
+
+    #[test]
+    fn fedprox_server_side_is_plain_averaging() {
+        // FedProx differs client-side only.
+        let mut prox = ServerState::new(FlAlgorithm::fedprox());
+        let mut avg = ServerState::new(FlAlgorithm::FedAvg);
+        let ups = vec![update(vec![2.0, 4.0], 7)];
+        let mut a = vec![0.0, 0.0];
+        let mut b = vec![0.0, 0.0];
+        prox.apply_round(&mut a, &ups).unwrap();
+        avg.apply_round(&mut b, &ups).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_variants_all_advance() {
+        for algo in
+            [FlAlgorithm::fedyogi(), FlAlgorithm::fedadam(), FlAlgorithm::fedadagrad()]
+        {
+            let mut state = ServerState::new(algo);
+            let mut global = vec![1.0f32, -1.0];
+            let ups = vec![update(vec![0.0, 0.0], 1)];
+            state.apply_round(&mut global, &ups).unwrap();
+            assert!(global[0] < 1.0 && global[1] > -1.0, "{algo}: {global:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_global_length_mismatch() {
+        let mut state = ServerState::new(FlAlgorithm::FedAvg);
+        let mut global = vec![0.0; 3];
+        let ups = vec![update(vec![1.0], 1)];
+        assert!(state.apply_round(&mut global, &ups).is_err());
+    }
+
+    #[test]
+    fn reset_restores_fresh_adaptive_behavior() {
+        let ups = vec![update(vec![0.0], 1)];
+        let mut fresh = ServerState::new(FlAlgorithm::fedyogi());
+        let mut reused = ServerState::new(FlAlgorithm::fedyogi());
+        let mut g1 = vec![1.0f32];
+        reused.apply_round(&mut g1, &ups).unwrap();
+        reused.reset();
+        let mut a = vec![1.0f32];
+        let mut b = vec![1.0f32];
+        reused.apply_round(&mut a, &ups).unwrap();
+        fresh.apply_round(&mut b, &ups).unwrap();
+        assert_eq!(a, b);
+    }
+}

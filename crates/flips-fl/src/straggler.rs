@@ -1,0 +1,152 @@
+//! Straggler fault injection.
+//!
+//! The paper emulates platform heterogeneity "by dropping 10% or 20% of
+//! participants involved in an FL round" (§5). The injector reproduces
+//! that: given the selected cohort it designates `round(rate · |cohort|)`
+//! victims whose updates never arrive. Victims are drawn uniformly by
+//! default, or biased toward slow parties (probability ∝ speed factor)
+//! for a more physical failure mode.
+
+use crate::latency::LatencyModel;
+use flips_data::dist::categorical;
+use flips_ml::rng::{derive_seed, seeded};
+use flips_selection::PartyId;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// How straggler victims are chosen within a round's cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StragglerBias {
+    /// Uniformly at random (the paper's emulation).
+    Uniform,
+    /// Probability proportional to the party's latency speed factor.
+    SlowBiased,
+}
+
+/// Drops a fixed fraction of each round's participants.
+#[derive(Debug)]
+pub struct StragglerInjector {
+    rate: f64,
+    bias: StragglerBias,
+    rng: StdRng,
+}
+
+impl StragglerInjector {
+    /// Creates an injector dropping `rate` of each cohort (0 disables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn new(rate: f64, bias: StragglerBias, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "straggler rate must be in [0, 1), got {rate}");
+        StragglerInjector { rate, bias, rng: seeded(derive_seed(seed, 0x57A6)) }
+    }
+
+    /// The configured drop rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Chooses this round's stragglers from the selected cohort.
+    ///
+    /// Returns the *indices into `selected`* of the victims, sorted
+    /// ascending.
+    pub fn strike(&mut self, selected: &[PartyId], latency: &LatencyModel) -> Vec<usize> {
+        let count = (self.rate * selected.len() as f64).round() as usize;
+        if count == 0 || selected.is_empty() {
+            return Vec::new();
+        }
+        let count = count.min(selected.len());
+        let mut victims: Vec<usize> = match self.bias {
+            StragglerBias::Uniform => {
+                flips_ml::rng::sample_without_replacement(&mut self.rng, selected.len(), count)
+            }
+            StragglerBias::SlowBiased => {
+                let mut weights: Vec<f64> =
+                    selected.iter().map(|&p| latency.speed_factor(p)).collect();
+                let mut picked = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let idx = categorical(&mut self.rng, &weights);
+                    weights[idx] = 0.0;
+                    picked.push(idx);
+                }
+                picked
+            }
+        };
+        victims.sort_unstable();
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_the_configured_fraction() {
+        let mut inj = StragglerInjector::new(0.2, StragglerBias::Uniform, 1);
+        let selected: Vec<PartyId> = (0..40).collect();
+        let latency = LatencyModel::uniform(40);
+        let victims = inj.strike(&selected, &latency);
+        assert_eq!(victims.len(), 8);
+        assert!(victims.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(victims.iter().all(|&v| v < 40));
+    }
+
+    #[test]
+    fn zero_rate_never_strikes() {
+        let mut inj = StragglerInjector::new(0.0, StragglerBias::Uniform, 2);
+        let selected: Vec<PartyId> = (0..10).collect();
+        assert!(inj.strike(&selected, &LatencyModel::uniform(10)).is_empty());
+    }
+
+    #[test]
+    fn rounds_small_cohorts_sensibly() {
+        // 10% of 4 parties rounds to 0; 10% of 6 rounds to 1.
+        let mut inj = StragglerInjector::new(0.1, StragglerBias::Uniform, 3);
+        let latency = LatencyModel::uniform(10);
+        assert!(inj.strike(&[0, 1, 2, 3], &latency).is_empty());
+        assert_eq!(inj.strike(&[0, 1, 2, 3, 4, 5], &latency).len(), 1);
+    }
+
+    #[test]
+    fn slow_bias_prefers_slow_parties() {
+        // Parties 0..5 fast, 5..10 drastically slow.
+        let speeds: Vec<f64> = (0..10).map(|p| if p < 5 { 0.01 } else { 100.0 }).collect();
+        let latency = LatencyModel::with_speeds(speeds);
+        let mut inj = StragglerInjector::new(0.3, StragglerBias::SlowBiased, 4);
+        let selected: Vec<PartyId> = (0..10).collect();
+        let mut slow_hits = 0;
+        let mut total = 0;
+        for _ in 0..50 {
+            for v in inj.strike(&selected, &latency) {
+                total += 1;
+                if selected[v] >= 5 {
+                    slow_hits += 1;
+                }
+            }
+        }
+        assert!(
+            slow_hits as f64 / total as f64 > 0.9,
+            "slow parties hit only {slow_hits}/{total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler rate")]
+    fn rejects_rate_of_one() {
+        let _ = StragglerInjector::new(1.0, StragglerBias::Uniform, 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = StragglerInjector::new(0.25, StragglerBias::Uniform, seed);
+            let selected: Vec<PartyId> = (0..20).collect();
+            let latency = LatencyModel::uniform(20);
+            (0..5).map(|_| inj.strike(&selected, &latency)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the FL runtime: wire-codec round-trips,
+//! aggregation invariants, straggler-injection bounds.
+
+use flips_fl::message::WireMessage;
+use flips_fl::party::LocalUpdate;
+use flips_fl::server::weighted_average;
+use flips_fl::straggler::{StragglerBias, StragglerInjector};
+use flips_fl::LatencyModel;
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1e6f32..1e6).prop_map(|x| x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn global_model_codec_round_trips(
+        round in 0u64..1_000_000,
+        params in proptest::collection::vec(finite_f32(), 0..64),
+    ) {
+        let msg = WireMessage::GlobalModel { round, params };
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), msg.wire_size());
+        prop_assert_eq!(WireMessage::decode(encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn local_update_codec_round_trips(
+        round in 0u64..1_000_000,
+        party in 0u64..10_000,
+        num_samples in 0u64..100_000,
+        mean_loss in 0.0f32..100.0,
+        duration in 0.0f32..1000.0,
+        params in proptest::collection::vec(finite_f32(), 0..64),
+    ) {
+        let msg = WireMessage::LocalUpdate {
+            round, party, num_samples, mean_loss, duration, params,
+        };
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), msg.wire_size());
+        prop_assert_eq!(WireMessage::decode(encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrupted_messages_never_decode_to_a_different_valid_value(
+        params in proptest::collection::vec(finite_f32(), 1..16),
+        flip_byte in 0usize..8,
+    ) {
+        // Flipping header bytes (magic/tag) must fail decoding, never
+        // silently succeed as something else.
+        let msg = WireMessage::GlobalModel { round: 7, params };
+        let mut bytes = msg.encode().to_vec();
+        let idx = flip_byte % 5; // within magic+tag
+        bytes[idx] ^= 0xFF;
+        prop_assert!(WireMessage::decode(bytes::Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn weighted_average_lies_within_the_convex_hull(
+        a in proptest::collection::vec(-100.0f32..100.0, 1..8),
+        b_offset in proptest::collection::vec(-100.0f32..100.0, 1..8),
+        na in 1usize..1000,
+        nb in 1usize..1000,
+    ) {
+        let n = a.len().min(b_offset.len());
+        let a = &a[..n];
+        let b: Vec<f32> = a.iter().zip(&b_offset[..n]).map(|(x, o)| x + o).collect();
+        let updates = vec![
+            LocalUpdate { params: a.to_vec(), num_samples: na, mean_loss: 0.0, duration: 0.0 },
+            LocalUpdate { params: b.clone(), num_samples: nb, mean_loss: 0.0, duration: 0.0 },
+        ];
+        let avg = weighted_average(&updates).unwrap();
+        for i in 0..n {
+            let lo = a[i].min(b[i]) - 1e-3;
+            let hi = a[i].max(b[i]) + 1e-3;
+            prop_assert!((lo..=hi).contains(&avg[i]), "coordinate {i} escaped hull");
+        }
+    }
+
+    #[test]
+    fn weighted_average_is_permutation_invariant(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 4),
+            2..6,
+        ),
+    ) {
+        let updates: Vec<LocalUpdate> = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| LocalUpdate {
+                params: p.clone(),
+                num_samples: i + 1,
+                mean_loss: 0.0,
+                duration: 0.0,
+            })
+            .collect();
+        let mut reversed = updates.clone();
+        reversed.reverse();
+        let a = weighted_average(&updates).unwrap();
+        let b = weighted_average(&reversed).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn straggler_injector_respects_rate_and_bounds(
+        rate in 0.0f64..0.9,
+        cohort in 1usize..60,
+        seed in 0u64..500,
+    ) {
+        let selected: Vec<usize> = (0..cohort).collect();
+        let latency = LatencyModel::uniform(cohort);
+        let mut inj = StragglerInjector::new(rate, StragglerBias::Uniform, seed);
+        let victims = inj.strike(&selected, &latency);
+        let expected = (rate * cohort as f64).round() as usize;
+        prop_assert_eq!(victims.len(), expected.min(cohort));
+        // Sorted, distinct, in-range indices.
+        prop_assert!(victims.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(victims.iter().all(|&v| v < cohort));
+    }
+
+    #[test]
+    fn latency_durations_are_monotone_in_work(
+        parties in 1usize..20,
+        sigma in 0.0f64..1.0,
+        seed in 0u64..300,
+        samples in 1usize..500,
+    ) {
+        let m = LatencyModel::sample(parties, sigma, seed);
+        for p in 0..parties {
+            let d1 = m.duration(p, samples, 1);
+            let d2 = m.duration(p, samples * 2, 1);
+            let d3 = m.duration(p, samples, 2);
+            prop_assert!(d1 > 0.0);
+            prop_assert!(d2 >= d1);
+            prop_assert!(d3 >= d1);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Activation functions and their derivatives.
+
+use crate::matrix::Matrix;
+
+/// Rectified linear unit applied element-wise in place.
+pub fn relu_inplace(m: &mut Matrix) {
+    m.map_inplace(|x| if x > 0.0 { x } else { 0.0 });
+}
+
+/// Element-wise derivative mask of ReLU evaluated at the *pre-activation*.
+///
+/// Entry is 1.0 where the input was positive, else 0.0.
+pub fn relu_grad_mask(pre_activation: &Matrix) -> Matrix {
+    let mut m = pre_activation.clone();
+    m.map_inplace(|x| if x > 0.0 { 1.0 } else { 0.0 });
+    m
+}
+
+/// Logistic sigmoid applied element-wise in place.
+pub fn sigmoid_inplace(m: &mut Matrix) {
+    m.map_inplace(|x| 1.0 / (1.0 + (-x).exp()));
+}
+
+/// Hyperbolic tangent applied element-wise in place.
+pub fn tanh_inplace(m: &mut Matrix) {
+    m.map_inplace(f32::tanh);
+}
+
+/// Row-wise numerically-stable softmax.
+///
+/// Each row of the result sums to 1. Operates in place on logits.
+pub fn softmax_rows_inplace(m: &mut Matrix) {
+    let cols = m.cols();
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        // `sum >= 1` because the max element maps to exp(0) = 1.
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix::from_rows(&[vec![-1.0, 0.0, 2.0]]);
+        relu_inplace(&mut m);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_grad_mask_is_indicator() {
+        let pre = Matrix::from_rows(&[vec![-1.0, 0.0, 2.0]]);
+        let mask = relu_grad_mask(&pre);
+        assert_eq!(mask.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        softmax_rows_inplace(&mut m);
+        for row in m.rows_iter() {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut m = Matrix::from_rows(&[vec![1000.0, 1001.0]]);
+        softmax_rows_inplace(&mut m);
+        assert!(m.as_slice().iter().all(|p| p.is_finite()));
+        assert!(m[(0, 1)] > m[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_preserves_ordering() {
+        let mut m = Matrix::from_rows(&[vec![0.5, 2.0, 1.0]]);
+        softmax_rows_inplace(&mut m);
+        assert!(m[(0, 1)] > m[(0, 2)]);
+        assert!(m[(0, 2)] > m[(0, 0)]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_limits() {
+        let mut m = Matrix::from_rows(&[vec![0.0, 20.0, -20.0]]);
+        sigmoid_inplace(&mut m);
+        assert!((m[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!(m[(0, 1)] > 0.999);
+        assert!(m[(0, 2)] < 0.001);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let mut m = Matrix::from_rows(&[vec![1.3, -1.3]]);
+        tanh_inplace(&mut m);
+        assert!((m[(0, 0)] + m[(0, 1)]).abs() < 1e-6);
+    }
+}

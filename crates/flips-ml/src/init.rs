@@ -1,0 +1,62 @@
+//! Weight-initialization schemes.
+
+use crate::matrix::Matrix;
+use crate::rng::normal;
+use rand::Rng;
+
+/// Xavier/Glorot-normal initialization: `N(0, 2 / (fan_in + fan_out))`.
+///
+/// Appropriate for layers followed by symmetric activations (tanh, softmax).
+pub fn xavier<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let std_dev = (2.0 / (fan_in + fan_out) as f64).sqrt();
+    gaussian(rng, fan_in, fan_out, std_dev)
+}
+
+/// He-normal initialization: `N(0, 2 / fan_in)`.
+///
+/// Appropriate for layers followed by ReLU.
+pub fn he<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let std_dev = (2.0 / fan_in as f64).sqrt();
+    gaussian(rng, fan_in, fan_out, std_dev)
+}
+
+/// A `rows × cols` matrix of `N(0, std_dev²)` draws.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std_dev: f64) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| normal(rng, 0.0, std_dev) as f32).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn xavier_variance_matches_formula() {
+        let mut rng = seeded(11);
+        let m = xavier(&mut rng, 100, 100);
+        let n = (m.rows() * m.cols()) as f64;
+        let mean = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var =
+            m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let expected = 2.0 / 200.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn he_variance_matches_formula() {
+        let mut rng = seeded(12);
+        let m = he(&mut rng, 50, 200);
+        let n = (m.rows() * m.cols()) as f64;
+        let var = m.as_slice().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / n;
+        let expected = 2.0 / 50.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let a = xavier(&mut seeded(9), 8, 8);
+        let b = xavier(&mut seeded(9), 8, 8);
+        assert_eq!(a, b);
+    }
+}

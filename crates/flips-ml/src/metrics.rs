@@ -1,0 +1,181 @@
+//! Classification metrics.
+//!
+//! The paper's headline metric (§4.4) is **balanced accuracy**: the mean of
+//! per-label recalls, which neutralizes label imbalance in the global test
+//! set. This module provides that, plus the confusion matrix it derives
+//! from and plain accuracy for comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// A `classes × classes` confusion matrix; `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix for `classes` labels.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes >= 2, "need at least two classes");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Builds a matrix from parallel actual/predicted label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn from_predictions(classes: usize, actual: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label slices differ in length");
+        let mut cm = ConfusionMatrix::new(classes);
+        for (&a, &p) in actual.iter().zip(predicted) {
+            cm.record(a, p);
+        }
+        cm
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes && predicted < self.classes, "label out of range");
+        self.counts[actual * self.classes + predicted] += 1;
+    }
+
+    /// Count of `(actual, predicted)` observations.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-label recall (`lAi` in the paper): correct predictions for label
+    /// `i` over total datapoints with label `i`. Labels absent from the
+    /// data yield `None`.
+    pub fn recall(&self, label: usize) -> Option<f64> {
+        assert!(label < self.classes, "label out of range");
+        let row_total: u64 = (0..self.classes).map(|p| self.count(label, p)).sum();
+        if row_total == 0 {
+            return None;
+        }
+        Some(self.count(label, label) as f64 / row_total as f64)
+    }
+
+    /// Per-label recalls for all labels present in the data.
+    pub fn recalls(&self) -> Vec<Option<f64>> {
+        (0..self.classes).map(|l| self.recall(l)).collect()
+    }
+
+    /// Balanced (macro) accuracy: mean of per-label recalls over labels
+    /// present in the data. The paper's `Acc = (lA1 + ... + lAm) / m`.
+    pub fn balanced_accuracy(&self) -> f64 {
+        let present: Vec<f64> = self.recalls().into_iter().flatten().collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().sum::<f64>() / present.len() as f64
+    }
+
+    /// Plain (micro) accuracy: total correct over total observations.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+}
+
+/// Balanced accuracy of predictions against ground truth (see
+/// [`ConfusionMatrix::balanced_accuracy`]).
+pub fn balanced_accuracy(classes: usize, actual: &[usize], predicted: &[usize]) -> f64 {
+    ConfusionMatrix::from_predictions(classes, actual, predicted).balanced_accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let y = vec![0, 1, 2, 0, 1, 2];
+        let cm = ConfusionMatrix::from_predictions(3, &y, &y);
+        assert_eq!(cm.balanced_accuracy(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_ignores_class_imbalance() {
+        // 90 of label 0 all correct, 10 of label 1 all wrong:
+        // micro accuracy = 0.9 but balanced accuracy = 0.5.
+        let mut actual = vec![0; 90];
+        actual.extend(vec![1; 10]);
+        let predicted = vec![0; 100];
+        let cm = ConfusionMatrix::from_predictions(2, &actual, &predicted);
+        assert!((cm.accuracy() - 0.9).abs() < 1e-9);
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_per_label() {
+        let actual = vec![0, 0, 1, 1];
+        let predicted = vec![0, 1, 1, 1];
+        let cm = ConfusionMatrix::from_predictions(2, &actual, &predicted);
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.recall(1), Some(1.0));
+    }
+
+    #[test]
+    fn absent_label_is_excluded_from_mean() {
+        // Only labels 0 and 1 appear; label 2 must not drag the mean down.
+        let actual = vec![0, 1];
+        let predicted = vec![0, 1];
+        let cm = ConfusionMatrix::from_predictions(3, &actual, &predicted);
+        assert_eq!(cm.recall(2), None);
+        assert_eq!(cm.balanced_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_scores_zero() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.balanced_accuracy(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn record_rejects_out_of_range() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn helper_matches_matrix_method() {
+        let actual = vec![0, 1, 1, 0];
+        let predicted = vec![0, 0, 1, 0];
+        let via_helper = balanced_accuracy(2, &actual, &predicted);
+        let via_matrix =
+            ConfusionMatrix::from_predictions(2, &actual, &predicted).balanced_accuracy();
+        assert_eq!(via_helper, via_matrix);
+    }
+}

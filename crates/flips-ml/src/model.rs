@@ -1,0 +1,744 @@
+//! Classification models with flat-parameter access.
+//!
+//! Three architectures stand in for the paper's GPU models (§4.2):
+//!
+//! | paper                         | here                      |
+//! |-------------------------------|---------------------------|
+//! | 1-D CNN (MIT-BIH ECG)         | [`Conv1dNet`]             |
+//! | DenseNet-121 (HAM10000)       | [`Mlp`]                   |
+//! | LeNet-5 (FEMNIST / Fashion)   | [`Mlp`] / [`LogisticRegression`] |
+//!
+//! All models expose parameters as a single flat vector so that federated
+//! aggregation, FedProx proximal pulls and adaptive server optimizers can
+//! operate uniformly (see the crate-level docs).
+
+use crate::activation::{relu_grad_mask, relu_inplace, softmax_rows_inplace};
+use crate::init;
+use crate::loss::{cross_entropy, cross_entropy_logit_grad_inplace};
+use crate::matrix::Matrix;
+use crate::MlError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised classifier trained with softmax cross-entropy.
+///
+/// Implementations are [`Send`] so parties can train in parallel threads.
+pub trait Model: Send {
+    /// Total number of scalar parameters.
+    fn num_params(&self) -> usize;
+
+    /// Flattens all parameters into one vector (stable, documented order).
+    fn params(&self) -> Vec<f32>;
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ParamLength`] if the length does not match
+    /// [`Model::num_params`].
+    fn set_params(&mut self, params: &[f32]) -> Result<(), MlError>;
+
+    /// Class probabilities for a batch (rows = samples).
+    fn predict_proba(&self, x: &Matrix) -> Matrix;
+
+    /// Mean cross-entropy loss and flat gradient for a batch.
+    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>);
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Expected input feature dimension.
+    fn input_dim(&self) -> usize;
+
+    /// Clones into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn Model>;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Predicted class labels (argmax of probabilities).
+pub fn predict(model: &dyn Model, x: &Matrix) -> Vec<usize> {
+    model.predict_proba(x).argmax_rows()
+}
+
+/// Mean cross-entropy of a model on a labelled batch, without gradients.
+pub fn evaluate_loss(model: &dyn Model, x: &Matrix, y: &[usize]) -> f32 {
+    cross_entropy(&model.predict_proba(x), y)
+}
+
+// ---------------------------------------------------------------------------
+// Logistic regression
+// ---------------------------------------------------------------------------
+
+/// Multinomial logistic regression: `softmax(X·W + b)`.
+///
+/// Parameter order: `W` row-major (`dim × classes`) followed by `b`
+/// (`classes`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    dim: usize,
+    classes: usize,
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+impl LogisticRegression {
+    /// Creates a model with Xavier-initialized weights and zero biases.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, dim: usize, classes: usize) -> Self {
+        assert!(dim > 0 && classes >= 2, "need dim>0 and classes>=2");
+        LogisticRegression { dim, classes, w: init::xavier(rng, dim, classes), b: vec![0.0; classes] }
+    }
+
+    fn logits(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.w);
+        z.add_row_broadcast(&self.b);
+        z
+    }
+}
+
+impl Model for LogisticRegression {
+    fn num_params(&self) -> usize {
+        self.dim * self.classes + self.classes
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut p = Vec::with_capacity(self.num_params());
+        p.extend_from_slice(self.w.as_slice());
+        p.extend_from_slice(&self.b);
+        p
+    }
+
+    fn set_params(&mut self, params: &[f32]) -> Result<(), MlError> {
+        if params.len() != self.num_params() {
+            return Err(MlError::ParamLength { expected: self.num_params(), got: params.len() });
+        }
+        let split = self.dim * self.classes;
+        self.w.as_mut_slice().copy_from_slice(&params[..split]);
+        self.b.copy_from_slice(&params[split..]);
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut z = self.logits(x);
+        softmax_rows_inplace(&mut z);
+        z
+    }
+
+    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>) {
+        let mut probs = self.predict_proba(x);
+        let loss = cross_entropy(&probs, y);
+        cross_entropy_logit_grad_inplace(&mut probs, y);
+        let dlogits = probs;
+        let dw = x.matmul_tn(&dlogits);
+        let db = dlogits.col_sums();
+        let mut grad = Vec::with_capacity(self.num_params());
+        grad.extend_from_slice(dw.as_slice());
+        grad.extend_from_slice(&db);
+        (loss, grad)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-layer perceptron
+// ---------------------------------------------------------------------------
+
+/// A fully-connected network with ReLU hidden activations and a softmax
+/// output layer.
+///
+/// `dims = [in, h1, ..., out]` gives the layer widths. Parameter order:
+/// for each layer in sequence, `W` row-major then `b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    dims: Vec<usize>,
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Creates an MLP with He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given or any dim is zero.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, dims: &[usize]) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in dims.windows(2) {
+            weights.push(init::he(rng, w[0], w[1]));
+            biases.push(vec![0.0; w[1]]);
+        }
+        Mlp { dims: dims.to_vec(), weights, biases }
+    }
+
+    /// Layer widths, `[in, h1, ..., out]`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Forward pass retaining pre-activations (`zs`) and activations
+    /// (`acts`, starting with the input) for backprop.
+    fn forward_full(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
+        let mut acts = vec![x.clone()];
+        let mut zs = Vec::new();
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let mut z = acts.last().expect("non-empty").matmul(w);
+            z.add_row_broadcast(b);
+            zs.push(z.clone());
+            if i + 1 < self.weights.len() {
+                relu_inplace(&mut z);
+            } else {
+                softmax_rows_inplace(&mut z);
+            }
+            acts.push(z);
+        }
+        (zs, acts)
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut p = Vec::with_capacity(self.num_params());
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            p.extend_from_slice(w.as_slice());
+            p.extend_from_slice(b);
+        }
+        p
+    }
+
+    fn set_params(&mut self, params: &[f32]) -> Result<(), MlError> {
+        if params.len() != self.num_params() {
+            return Err(MlError::ParamLength { expected: self.num_params(), got: params.len() });
+        }
+        let mut off = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            let wn = w.rows() * w.cols();
+            w.as_mut_slice().copy_from_slice(&params[off..off + wn]);
+            off += wn;
+            let bn = b.len();
+            b.copy_from_slice(&params[off..off + bn]);
+            off += bn;
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let (_, acts) = self.forward_full(x);
+        acts.into_iter().next_back().expect("non-empty activations")
+    }
+
+    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>) {
+        let (zs, acts) = self.forward_full(x);
+        let probs = acts.last().expect("non-empty");
+        let loss = cross_entropy(probs, y);
+
+        // delta = dL/dz for the current layer, starting from the output.
+        let mut delta = probs.clone();
+        cross_entropy_logit_grad_inplace(&mut delta, y);
+
+        let layers = self.weights.len();
+        let mut dws: Vec<Matrix> = Vec::with_capacity(layers);
+        let mut dbs: Vec<Vec<f32>> = Vec::with_capacity(layers);
+        for l in (0..layers).rev() {
+            dws.push(acts[l].matmul_tn(&delta));
+            dbs.push(delta.col_sums());
+            if l > 0 {
+                let mut prev = delta.matmul_nt(&self.weights[l]);
+                prev.hadamard_inplace(&relu_grad_mask(&zs[l - 1]));
+                delta = prev;
+            }
+        }
+        dws.reverse();
+        dbs.reverse();
+
+        let mut grad = Vec::with_capacity(self.num_params());
+        for (dw, db) in dws.iter().zip(&dbs) {
+            grad.extend_from_slice(dw.as_slice());
+            grad.extend_from_slice(db);
+        }
+        (loss, grad)
+    }
+
+    fn num_classes(&self) -> usize {
+        *self.dims.last().expect("non-empty dims")
+    }
+
+    fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1-D convolutional network
+// ---------------------------------------------------------------------------
+
+/// A small 1-D CNN: single-channel convolution → ReLU → flatten → linear
+/// classifier.
+///
+/// Stand-in for the paper's ECG 1-D CNN. The input row of length `len` is
+/// treated as a signal; `filters` kernels of width `kernel` slide with
+/// stride 1 over it (valid padding), and the full `filters × positions`
+/// activation map feeds the classifier (no pooling — position information
+/// is retained, which matters for the synthetic class geometry this
+/// reproduction trains on).
+///
+/// Parameter order: kernels row-major (`filters × kernel`), kernel biases
+/// (`filters`), classifier `W` row-major (`filters·positions × classes`),
+/// classifier bias (`classes`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1dNet {
+    len: usize,
+    kernel: usize,
+    filters: usize,
+    classes: usize,
+    kernels: Matrix,
+    kbias: Vec<f32>,
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+impl Conv1dNet {
+    /// Creates the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel > len` or any size is zero.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        len: usize,
+        kernel: usize,
+        filters: usize,
+        classes: usize,
+    ) -> Self {
+        assert!(kernel > 0 && kernel <= len, "kernel must fit in the signal");
+        assert!(filters > 0 && classes >= 2 && len > 0, "sizes must be positive");
+        let positions = len - kernel + 1;
+        Conv1dNet {
+            len,
+            kernel,
+            filters,
+            classes,
+            kernels: init::he(rng, kernel, filters).transpose(), // filters × kernel
+            kbias: vec![0.0; filters],
+            w: init::xavier(rng, filters * positions, classes),
+            b: vec![0.0; classes],
+        }
+    }
+
+    fn out_positions(&self) -> usize {
+        self.len - self.kernel + 1
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.filters * self.out_positions()
+    }
+
+    /// Convolution pre-activations for one sample: `filters × positions`.
+    fn conv_pre(&self, signal: &[f32]) -> Matrix {
+        let positions = self.out_positions();
+        let mut out = Matrix::zeros(self.filters, positions);
+        for f in 0..self.filters {
+            let k = self.kernels.row(f);
+            let row = out.row_mut(f);
+            for (p, slot) in row.iter_mut().enumerate() {
+                let mut acc = self.kbias[f];
+                for (j, &kj) in k.iter().enumerate() {
+                    acc += kj * signal[p + j];
+                }
+                *slot = acc;
+            }
+        }
+        out
+    }
+
+    /// Flattened ReLU feature maps for a batch
+    /// (`rows × filters·positions`), plus per-sample pre-activation maps
+    /// when `keep_pre` is set (needed for backprop).
+    fn features(&self, x: &Matrix, keep_pre: bool) -> (Matrix, Vec<Matrix>) {
+        assert_eq!(x.cols(), self.len, "conv1d input length mismatch");
+        let positions = self.out_positions();
+        let mut feats = Matrix::zeros(x.rows(), self.feature_dim());
+        let mut pres = Vec::new();
+        for (i, signal) in x.rows_iter().enumerate() {
+            let pre = self.conv_pre(signal);
+            let row = feats.row_mut(i);
+            for f in 0..self.filters {
+                for (p, &v) in pre.row(f).iter().enumerate() {
+                    row[f * positions + p] = v.max(0.0);
+                }
+            }
+            if keep_pre {
+                pres.push(pre);
+            }
+        }
+        (feats, pres)
+    }
+}
+
+impl Model for Conv1dNet {
+    fn num_params(&self) -> usize {
+        self.filters * self.kernel
+            + self.filters
+            + self.feature_dim() * self.classes
+            + self.classes
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut p = Vec::with_capacity(self.num_params());
+        p.extend_from_slice(self.kernels.as_slice());
+        p.extend_from_slice(&self.kbias);
+        p.extend_from_slice(self.w.as_slice());
+        p.extend_from_slice(&self.b);
+        p
+    }
+
+    fn set_params(&mut self, params: &[f32]) -> Result<(), MlError> {
+        if params.len() != self.num_params() {
+            return Err(MlError::ParamLength { expected: self.num_params(), got: params.len() });
+        }
+        let mut off = 0;
+        let kn = self.filters * self.kernel;
+        self.kernels.as_mut_slice().copy_from_slice(&params[off..off + kn]);
+        off += kn;
+        self.kbias.copy_from_slice(&params[off..off + self.filters]);
+        off += self.filters;
+        let wn = self.feature_dim() * self.classes;
+        self.w.as_mut_slice().copy_from_slice(&params[off..off + wn]);
+        off += wn;
+        self.b.copy_from_slice(&params[off..]);
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let (feats, _) = self.features(x, false);
+        let mut z = feats.matmul(&self.w);
+        z.add_row_broadcast(&self.b);
+        softmax_rows_inplace(&mut z);
+        z
+    }
+
+    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>) {
+        let positions = self.out_positions();
+        let (feats, pres) = self.features(x, true);
+        let mut z = feats.matmul(&self.w);
+        z.add_row_broadcast(&self.b);
+        softmax_rows_inplace(&mut z);
+        let loss = cross_entropy(&z, y);
+        cross_entropy_logit_grad_inplace(&mut z, y);
+        let dlogits = z;
+
+        let dw = feats.matmul_tn(&dlogits);
+        let db = dlogits.col_sums();
+        // Gradient w.r.t. the flattened feature map: rows × (F·P).
+        let dfeats = dlogits.matmul_nt(&self.w);
+
+        let mut dkernels = Matrix::zeros(self.filters, self.kernel);
+        let mut dkbias = vec![0.0; self.filters];
+        for (i, signal) in x.rows_iter().enumerate() {
+            let pre = &pres[i];
+            let dfeat_row = dfeats.row(i);
+            for f in 0..self.filters {
+                let pre_row = pre.row(f);
+                let dk_row = dkernels.row_mut(f);
+                for (p, &pr) in pre_row.iter().enumerate() {
+                    if pr > 0.0 {
+                        let upstream = dfeat_row[f * positions + p];
+                        if upstream == 0.0 {
+                            continue;
+                        }
+                        dkbias[f] += upstream;
+                        for (j, slot) in dk_row.iter_mut().enumerate() {
+                            *slot += upstream * signal[p + j];
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut grad = Vec::with_capacity(self.num_params());
+        grad.extend_from_slice(dkernels.as_slice());
+        grad.extend_from_slice(&dkbias);
+        grad.extend_from_slice(dw.as_slice());
+        grad.extend_from_slice(&db);
+        (loss, grad)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn input_dim(&self) -> usize {
+        self.len
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model specification (architecture sans weights)
+// ---------------------------------------------------------------------------
+
+/// A serializable architecture description.
+///
+/// FL parties must all build the *same* architecture; the aggregator ships a
+/// `ModelSpec` during job negotiation (paper §2: "agreeing on ... model
+/// architecture") and each party instantiates it locally.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Multinomial logistic regression.
+    LogisticRegression {
+        /// Input feature dimension.
+        dim: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Fully-connected network; `dims = [in, h1, ..., out]`.
+    Mlp {
+        /// Layer widths.
+        dims: Vec<usize>,
+    },
+    /// 1-D CNN (see [`Conv1dNet`]).
+    Conv1d {
+        /// Signal length.
+        len: usize,
+        /// Kernel width.
+        kernel: usize,
+        /// Number of filters.
+        filters: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl ModelSpec {
+    /// Instantiates the architecture with fresh weights from `rng`.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Box<dyn Model> {
+        match self {
+            ModelSpec::LogisticRegression { dim, classes } => {
+                Box::new(LogisticRegression::new(rng, *dim, *classes))
+            }
+            ModelSpec::Mlp { dims } => Box::new(Mlp::new(rng, dims)),
+            ModelSpec::Conv1d { len, kernel, filters, classes } => {
+                Box::new(Conv1dNet::new(rng, *len, *kernel, *filters, *classes))
+            }
+        }
+    }
+
+    /// Number of output classes of the architecture.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            ModelSpec::LogisticRegression { classes, .. } => *classes,
+            ModelSpec::Mlp { dims } => *dims.last().expect("non-empty dims"),
+            ModelSpec::Conv1d { classes, .. } => *classes,
+        }
+    }
+
+    /// Input feature dimension of the architecture.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            ModelSpec::LogisticRegression { dim, .. } => *dim,
+            ModelSpec::Mlp { dims } => dims[0],
+            ModelSpec::Conv1d { len, .. } => *len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    /// Central-difference gradient check: every analytic partial must agree
+    /// with the numeric estimate to a mixed absolute/relative tolerance.
+    fn check_gradients(model: &mut dyn Model, x: &Matrix, y: &[usize]) {
+        let (_, grad) = model.loss_and_grad(x, y);
+        let base = model.params();
+        let eps = 1e-3f32;
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            model.set_params(&plus).unwrap();
+            let lp = evaluate_loss(model, x, y);
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            model.set_params(&minus).unwrap();
+            let lm = evaluate_loss(model, x, y);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad[i];
+            let tol = 1e-2 * (1.0 + analytic.abs().max(numeric.abs()));
+            assert!(
+                (numeric - analytic).abs() < tol,
+                "param {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        model.set_params(&base).unwrap();
+    }
+
+    fn tiny_batch(dim: usize, classes: usize, n: usize) -> (Matrix, Vec<usize>) {
+        let mut rng = seeded(99);
+        let x = init::gaussian(&mut rng, n, dim, 1.0);
+        let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn logreg_gradient_check() {
+        let mut rng = seeded(1);
+        let mut m = LogisticRegression::new(&mut rng, 5, 3);
+        let (x, y) = tiny_batch(5, 3, 7);
+        check_gradients(&mut m, &x, &y);
+    }
+
+    #[test]
+    fn mlp_gradient_check() {
+        let mut rng = seeded(2);
+        let mut m = Mlp::new(&mut rng, &[4, 6, 3]);
+        let (x, y) = tiny_batch(4, 3, 5);
+        check_gradients(&mut m, &x, &y);
+    }
+
+    #[test]
+    fn deep_mlp_gradient_check() {
+        let mut rng = seeded(3);
+        let mut m = Mlp::new(&mut rng, &[3, 5, 4, 3]);
+        let (x, y) = tiny_batch(3, 3, 6);
+        check_gradients(&mut m, &x, &y);
+    }
+
+    #[test]
+    fn conv1d_gradient_check() {
+        let mut rng = seeded(4);
+        let mut m = Conv1dNet::new(&mut rng, 10, 3, 4, 3);
+        let (x, y) = tiny_batch(10, 3, 5);
+        check_gradients(&mut m, &x, &y);
+    }
+
+    #[test]
+    fn params_set_params_round_trip() {
+        let mut rng = seeded(5);
+        for mut model in [
+            Box::new(LogisticRegression::new(&mut rng, 6, 4)) as Box<dyn Model>,
+            Box::new(Mlp::new(&mut rng, &[6, 8, 4])),
+            Box::new(Conv1dNet::new(&mut rng, 12, 3, 5, 4)),
+        ] {
+            let p = model.params();
+            assert_eq!(p.len(), model.num_params());
+            let mut altered = p.clone();
+            for v in &mut altered {
+                *v += 1.0;
+            }
+            model.set_params(&altered).unwrap();
+            assert_eq!(model.params(), altered);
+            model.set_params(&p).unwrap();
+            assert_eq!(model.params(), p);
+        }
+    }
+
+    #[test]
+    fn set_params_rejects_wrong_length() {
+        let mut rng = seeded(6);
+        let mut m = LogisticRegression::new(&mut rng, 3, 2);
+        let err = m.set_params(&[0.0; 3]).unwrap_err();
+        assert_eq!(err, MlError::ParamLength { expected: 8, got: 3 });
+    }
+
+    #[test]
+    fn predict_proba_rows_are_distributions() {
+        let mut rng = seeded(7);
+        let m = Mlp::new(&mut rng, &[4, 5, 3]);
+        let (x, _) = tiny_batch(4, 3, 9);
+        let p = m.predict_proba(&x);
+        assert_eq!(p.shape(), (9, 3));
+        for row in p.rows_iter() {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sgd_training_reduces_loss_and_learns_separable_data() {
+        // Two well-separated Gaussian blobs; logistic regression must fit.
+        let mut rng = seeded(8);
+        let n = 100;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let cls = i % 2;
+            let center = if cls == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![
+                crate::rng::normal(&mut rng, center, 0.5) as f32,
+                crate::rng::normal(&mut rng, -center, 0.5) as f32,
+            ]);
+            y.push(cls);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut model = LogisticRegression::new(&mut rng, 2, 2);
+        let mut opt = crate::optimizer::Sgd::new(0.5);
+        let initial = evaluate_loss(&model, &x, &y);
+        for _ in 0..100 {
+            let (_, grad) = model.loss_and_grad(&x, &y);
+            let mut p = model.params();
+            crate::optimizer::Optimizer::step(&mut opt, &mut p, &grad);
+            model.set_params(&p).unwrap();
+        }
+        let fin = evaluate_loss(&model, &x, &y);
+        assert!(fin < initial * 0.2, "loss {initial} -> {fin}");
+        let preds = predict(&model, &x);
+        let correct = preds.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(correct as f32 / n as f32 > 0.95);
+    }
+
+    #[test]
+    fn model_spec_builds_matching_architecture() {
+        let mut rng = seeded(9);
+        let spec = ModelSpec::Mlp { dims: vec![10, 16, 5] };
+        let m = spec.build(&mut rng);
+        assert_eq!(m.num_classes(), 5);
+        assert_eq!(m.input_dim(), 10);
+        assert_eq!(spec.num_classes(), 5);
+        assert_eq!(spec.input_dim(), 10);
+    }
+
+    #[test]
+    fn model_spec_conv_dimensions() {
+        let spec = ModelSpec::Conv1d { len: 32, kernel: 5, filters: 8, classes: 5 };
+        let mut rng = seeded(10);
+        let m = spec.build(&mut rng);
+        let positions = 32 - 5 + 1;
+        assert_eq!(m.num_params(), 8 * 5 + 8 + 8 * positions * 5 + 5);
+    }
+
+    #[test]
+    fn two_parties_same_seed_build_identical_models() {
+        let spec = ModelSpec::LogisticRegression { dim: 4, classes: 3 };
+        let a = spec.build(&mut seeded(42));
+        let b = spec.build(&mut seeded(42));
+        assert_eq!(a.params(), b.params());
+    }
+}

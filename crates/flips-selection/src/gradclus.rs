@@ -1,0 +1,249 @@
+//! The GradClus baseline — clustered sampling on model updates (Fraboni
+//! et al., ICML'21; paper §4.1).
+//!
+//! GradClus maintains a per-party *gradient sketch*. Sketches start as
+//! random vectors and are replaced by (a low-dimensional projection of)
+//! the party's real model update whenever the party participates — the
+//! paper: "The gradients assigned in the beginning are random numbers and
+//! get iteratively updated as the party gets picked." Each round it
+//! performs hierarchical clustering over the pairwise similarity matrix of
+//! all sketches into `S(r)` clusters and samples **one party per cluster
+//! uniformly at random**.
+
+use crate::types::{
+    validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
+};
+use flips_clustering::hierarchical::{hierarchical_from_distances, pairwise_cosine_distance};
+use flips_clustering::Linkage;
+use flips_ml::rng::{normal, seeded};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The gradient-clustering participant selector.
+#[derive(Debug)]
+pub struct GradClusSelector {
+    sketches: Vec<Vec<f32>>,
+    sketch_dim: usize,
+    linkage: Linkage,
+    rng: StdRng,
+}
+
+impl GradClusSelector {
+    /// Creates a selector over `num_parties` parties with
+    /// `sketch_dim`-dimensional gradient sketches (initialized randomly).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero parties or a zero sketch dimension.
+    pub fn new(
+        num_parties: usize,
+        sketch_dim: usize,
+        seed: u64,
+    ) -> Result<Self, SelectionError> {
+        if num_parties == 0 {
+            return Err(SelectionError::InvalidConfiguration("zero parties".into()));
+        }
+        if sketch_dim == 0 {
+            return Err(SelectionError::InvalidConfiguration("zero sketch dim".into()));
+        }
+        let mut rng = seeded(seed);
+        let sketches = (0..num_parties)
+            .map(|_| (0..sketch_dim).map(|_| normal(&mut rng, 0.0, 1.0) as f32).collect())
+            .collect();
+        Ok(GradClusSelector { sketches, sketch_dim, linkage: Linkage::Average, rng })
+    }
+
+    /// The sketch dimension parties' updates are projected to.
+    pub fn sketch_dim(&self) -> usize {
+        self.sketch_dim
+    }
+
+    /// Current sketch of a party (diagnostics).
+    pub fn sketch(&self, party: PartyId) -> &[f32] {
+        &self.sketches[party]
+    }
+}
+
+impl ParticipantSelector for GradClusSelector {
+    fn name(&self) -> &'static str {
+        "grad_cls"
+    }
+
+    fn select(&mut self, _round: usize, target: usize) -> Result<Vec<PartyId>, SelectionError> {
+        let n = self.sketches.len();
+        validate_request(target, n)?;
+        // Hierarchical clustering over gradient similarity into `target`
+        // clusters; similarity = cosine (direction of the update matters,
+        // not its magnitude).
+        let distances = pairwise_cosine_distance(&self.sketches)
+            .map_err(|e| SelectionError::InvalidConfiguration(e.to_string()))?;
+        let labels = hierarchical_from_distances(&distances, target, self.linkage)
+            .map_err(|e| SelectionError::InvalidConfiguration(e.to_string()))?;
+        let mut clusters: Vec<Vec<PartyId>> = vec![Vec::new(); target];
+        for (party, &c) in labels.iter().enumerate() {
+            clusters[c].push(party);
+        }
+        // One uniform pick per cluster.
+        let mut selected = Vec::with_capacity(target);
+        for members in clusters.iter().filter(|m| !m.is_empty()) {
+            selected.push(members[self.rng.random_range(0..members.len())]);
+        }
+        Ok(selected)
+    }
+
+    fn report(&mut self, feedback: &RoundFeedback) {
+        for (&party, sketch) in &feedback.update_sketch {
+            if party < self.sketches.len() && sketch.len() == self.sketch_dim {
+                self.sketches[party] = sketch.clone();
+            }
+        }
+    }
+
+    fn num_parties(&self) -> usize {
+        self.sketches.len()
+    }
+}
+
+/// Projects a flat model update onto `dim` buckets by strided averaging —
+/// the sketch the FL runtime reports for GradClus.
+///
+/// Deterministic and cheap: bucket `b` averages coordinates
+/// `b, b+dim, b+2·dim, ...`, preserving coarse update direction.
+pub fn sketch_update(update: &[f32], dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "sketch dimension must be positive");
+    let mut out = vec![0.0f32; dim];
+    let mut counts = vec![0u32; dim];
+    for (i, &v) in update.iter().enumerate() {
+        out[i % dim] += v;
+        counts[i % dim] += 1;
+    }
+    for (o, c) in out.iter_mut().zip(counts) {
+        if c > 0 {
+            *o /= c as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn selects_requested_count_without_duplicates() {
+        let mut s = GradClusSelector::new(30, 8, 1).unwrap();
+        let picks = s.select(0, 10).unwrap();
+        assert_eq!(picks.len(), 10);
+        let set: HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn picks_one_party_per_gradient_group() {
+        // Construct sketches forming two clear direction groups, then ask
+        // for 2 clusters: exactly one pick per group.
+        let mut s = GradClusSelector::new(10, 4, 2).unwrap();
+        let mut fb = RoundFeedback::default();
+        for p in 0..10 {
+            let dir = if p < 5 { vec![1.0, 1.0, 0.0, 0.0] } else { vec![0.0, 0.0, -1.0, 1.0] };
+            fb.update_sketch.insert(p, dir);
+        }
+        s.report(&fb);
+        for round in 0..10 {
+            let picks = s.select(round, 2).unwrap();
+            assert_eq!(picks.len(), 2);
+            let groups: HashSet<bool> = picks.iter().map(|&p| p < 5).collect();
+            assert_eq!(groups.len(), 2, "round {round}: picks {picks:?} not diverse");
+        }
+    }
+
+    #[test]
+    fn report_updates_sketches() {
+        let mut s = GradClusSelector::new(5, 3, 3).unwrap();
+        let before = s.sketch(2).to_vec();
+        let mut fb = RoundFeedback::default();
+        fb.update_sketch.insert(2, vec![9.0, 9.0, 9.0]);
+        s.report(&fb);
+        assert_ne!(s.sketch(2), &before[..]);
+        assert_eq!(s.sketch(2), &[9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn report_ignores_malformed_sketches() {
+        let mut s = GradClusSelector::new(5, 3, 4).unwrap();
+        let before = s.sketch(1).to_vec();
+        let mut fb = RoundFeedback::default();
+        fb.update_sketch.insert(1, vec![1.0]); // wrong dim
+        fb.update_sketch.insert(99, vec![1.0, 1.0, 1.0]); // unknown party
+        s.report(&fb);
+        assert_eq!(s.sketch(1), &before[..]);
+    }
+
+    #[test]
+    fn sketch_update_strided_average() {
+        let update = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let sk = sketch_update(&update, 2);
+        // Bucket 0: (1+3+5)/3, bucket 1: (2+4+6)/3.
+        assert_eq!(sk, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn sketch_update_handles_short_input() {
+        let sk = sketch_update(&[2.0], 4);
+        assert_eq!(sk, vec![2.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn similar_updates_produce_similar_sketches() {
+        let a: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let mut b = a.clone();
+        b[0] += 0.01;
+        let sa = sketch_update(&a, 8);
+        let sb = sketch_update(&b, 8);
+        assert!(flips_ml::matrix::euclidean_distance(&sa, &sb) < 0.01);
+    }
+
+    #[test]
+    fn rejects_invalid_configs_and_targets() {
+        assert!(GradClusSelector::new(0, 8, 1).is_err());
+        assert!(GradClusSelector::new(8, 0, 1).is_err());
+        let mut s = GradClusSelector::new(5, 2, 1).unwrap();
+        assert!(s.select(0, 0).is_err());
+        assert!(s.select(0, 6).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_feedback() {
+        let run = || {
+            let mut s = GradClusSelector::new(20, 4, 77).unwrap();
+            let mut all = Vec::new();
+            for round in 0..4 {
+                let picks = s.select(round, 5).unwrap();
+                let mut fb = RoundFeedback::default();
+                for &p in &picks {
+                    fb.update_sketch
+                        .insert(p, vec![p as f32, 1.0, -(p as f32), 0.5]);
+                }
+                s.report(&fb);
+                all.push(picks);
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn initial_random_sketches_give_near_random_selection() {
+        // Before any feedback, sketches are random noise: selection should
+        // still return valid, diverse parties.
+        let mut s = GradClusSelector::new(25, 6, 5).unwrap();
+        let mut seen: HashMap<PartyId, usize> = HashMap::new();
+        for round in 0..20 {
+            for p in s.select(round, 5).unwrap() {
+                *seen.entry(p).or_default() += 1;
+            }
+        }
+        assert!(seen.len() > 10, "selection collapsed to {} parties", seen.len());
+    }
+}

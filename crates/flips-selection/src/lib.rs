@@ -1,0 +1,30 @@
+//! # flips-selection — participant-selection policies
+//!
+//! The paper's evaluation (§4.1) compares five ways of choosing the `Nr`
+//! parties that train in each FL round:
+//!
+//! | policy | module | idea |
+//! |---|---|---|
+//! | Random | [`random`] | uniform sampling without replacement (FedAvg default) |
+//! | **FLIPS** | [`flips`] | Algorithm 1 — equitable round-robin over label-distribution clusters, pick-count fairness, straggler overprovisioning from straggler clusters |
+//! | Oort | [`oort`] | Lai et al. (OSDI'21) — statistical × system utility with ε-greedy exploration |
+//! | GradClus | [`gradclus`] | Fraboni et al. (ICML'21) — hierarchical clustering of gradient sketches, one pick per cluster |
+//! | TiFL | [`tifl`] | Chai et al. (HPDC'20) — latency tiers with credits and adaptive accuracy-driven tier probabilities |
+//!
+//! All policies implement [`types::ParticipantSelector`]; the FL runtime
+//! drives them through a select → train → report loop and is
+//! policy-agnostic.
+
+pub mod flips;
+pub mod gradclus;
+pub mod oort;
+pub mod random;
+pub mod tifl;
+pub mod types;
+
+pub use flips::FlipsSelector;
+pub use gradclus::GradClusSelector;
+pub use oort::OortSelector;
+pub use random::RandomSelector;
+pub use tifl::TiflSelector;
+pub use types::{ParticipantSelector, PartyId, RoundFeedback, SelectionError, SelectorKind};

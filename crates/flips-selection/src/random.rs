@@ -1,0 +1,104 @@
+//! Uniform random participant selection — the predominant FL default
+//! (FedAvg, FedProx, FedYogi all sample `S(r)` uniformly; paper §2.1) and
+//! the primary baseline of the evaluation.
+
+use crate::types::{
+    validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
+};
+use flips_ml::rng::{sample_without_replacement, seeded};
+use rand::rngs::StdRng;
+
+/// Selects every party with equal probability, without replacement.
+#[derive(Debug)]
+pub struct RandomSelector {
+    num_parties: usize,
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// Creates a selector over `num_parties` parties.
+    pub fn new(num_parties: usize, seed: u64) -> Self {
+        RandomSelector { num_parties, rng: seeded(seed) }
+    }
+}
+
+impl ParticipantSelector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(&mut self, _round: usize, target: usize) -> Result<Vec<PartyId>, SelectionError> {
+        validate_request(target, self.num_parties)?;
+        Ok(sample_without_replacement(&mut self.rng, self.num_parties, target))
+    }
+
+    fn report(&mut self, _feedback: &RoundFeedback) {}
+
+    fn num_parties(&self) -> usize {
+        self.num_parties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_requested_count_without_duplicates() {
+        let mut s = RandomSelector::new(50, 1);
+        let picks = s.select(0, 10).unwrap();
+        assert_eq!(picks.len(), 10);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(picks.iter().all(|&p| p < 50));
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let mut a = RandomSelector::new(30, 7);
+        let mut b = RandomSelector::new(30, 7);
+        for round in 0..5 {
+            assert_eq!(a.select(round, 6).unwrap(), b.select(round, 6).unwrap());
+        }
+    }
+
+    #[test]
+    fn eventually_covers_all_parties() {
+        // The fairness property random selection does guarantee.
+        let mut s = RandomSelector::new(20, 3);
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..100 {
+            for p in s.select(round, 5).unwrap() {
+                seen.insert(p);
+            }
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn rejects_invalid_targets() {
+        let mut s = RandomSelector::new(5, 1);
+        assert!(s.select(0, 0).is_err());
+        assert!(s.select(0, 6).is_err());
+    }
+
+    #[test]
+    fn is_not_distribution_aware() {
+        // Statistical sanity: over many rounds, per-party selection counts
+        // are within a loose band of uniform — random selection cannot
+        // prioritize anything.
+        let mut s = RandomSelector::new(10, 11);
+        let mut counts = [0usize; 10];
+        for round in 0..1000 {
+            for p in s.select(round, 2).unwrap() {
+                counts[p] += 1;
+            }
+        }
+        // Expected 200 each.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((140..=260).contains(&c), "party {i} picked {c} times");
+        }
+    }
+}

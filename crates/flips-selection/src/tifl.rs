@@ -1,0 +1,357 @@
+//! The TiFL baseline — tier-based federated learning (Chai et al.,
+//! HPDC'20; paper §4.1).
+//!
+//! TiFL groups parties into **latency tiers** from profiled training
+//! times and, each round, picks one tier and samples all `Nr` parties from
+//! it, so a round is never slower than its slowest tier — the straggler
+//! mitigation. Two refinements from the paper:
+//!
+//! - **credits** bound how often each tier may be chosen, preserving
+//!   fairness across tiers;
+//! - **adaptive tier selection** re-weights the tier-choice probability
+//!   toward tiers whose observed global-model accuracy is lagging, and
+//!   re-tiers parties from freshly observed durations on the fly.
+
+use crate::types::{
+    validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
+};
+use flips_ml::rng::{sample_without_replacement, seeded};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the TiFL policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TiflConfig {
+    /// Number of latency tiers (the paper's default is 5).
+    pub num_tiers: usize,
+    /// Selection credits granted to each tier.
+    pub credits_per_tier: usize,
+    /// Re-tier from observed durations every this many rounds
+    /// (0 disables adaptive re-tiering).
+    pub retier_every: usize,
+    /// EWMA weight for per-tier accuracy estimates.
+    pub accuracy_ewma: f64,
+}
+
+impl Default for TiflConfig {
+    fn default() -> Self {
+        TiflConfig { num_tiers: 5, credits_per_tier: 50, retier_every: 20, accuracy_ewma: 0.5 }
+    }
+}
+
+/// The TiFL participant selector.
+#[derive(Debug)]
+pub struct TiflSelector {
+    config: TiflConfig,
+    /// Latest latency estimate per party (profiled, then updated online).
+    latencies: Vec<f64>,
+    /// Tier id per party (0 = fastest).
+    tier_of: Vec<usize>,
+    /// Members per tier.
+    tiers: Vec<Vec<PartyId>>,
+    /// Remaining credits per tier.
+    credits: Vec<usize>,
+    /// EWMA of global accuracy observed when each tier was used.
+    tier_accuracy: Vec<Option<f64>>,
+    /// The tier charged for the in-flight round.
+    last_tier: Option<usize>,
+    rng: StdRng,
+}
+
+impl TiflSelector {
+    /// Creates a selector from profiled per-party training latencies
+    /// (seconds) — the output of TiFL's profiling phase.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty profile or a zero tier count.
+    pub fn new(latencies: Vec<f64>, config: TiflConfig, seed: u64) -> Result<Self, SelectionError> {
+        if latencies.is_empty() {
+            return Err(SelectionError::InvalidConfiguration("no parties profiled".into()));
+        }
+        if config.num_tiers == 0 {
+            return Err(SelectionError::InvalidConfiguration("zero tiers".into()));
+        }
+        let num_tiers = config.num_tiers.min(latencies.len());
+        let (tiers, tier_of) = build_tiers(&latencies, num_tiers);
+        Ok(TiflSelector {
+            credits: vec![config.credits_per_tier; tiers.len()],
+            tier_accuracy: vec![None; tiers.len()],
+            tiers,
+            tier_of,
+            latencies,
+            config,
+            last_tier: None,
+            rng: seeded(seed),
+        })
+    }
+
+    /// Current tier membership (diagnostics; tier 0 is fastest).
+    pub fn tiers(&self) -> &[Vec<PartyId>] {
+        &self.tiers
+    }
+
+    /// Remaining credits per tier.
+    pub fn credits(&self) -> &[usize] {
+        &self.credits
+    }
+
+    /// Adaptive tier-choice weights: unevaluated tiers weigh highest;
+    /// evaluated tiers weigh by accuracy rank (worst accuracy → largest
+    /// weight), per TiFL §4.3.
+    fn tier_weights(&self) -> Vec<f64> {
+        let m = self.tiers.len();
+        // Rank evaluated tiers by accuracy ascending.
+        let mut evaluated: Vec<(usize, f64)> = self
+            .tier_accuracy
+            .iter()
+            .enumerate()
+            .filter_map(|(t, acc)| acc.map(|a| (t, a)))
+            .collect();
+        evaluated.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut weights = vec![m as f64; m]; // unevaluated default: max weight
+        for (rank, &(t, _)) in evaluated.iter().enumerate() {
+            weights[t] = (m - rank) as f64;
+        }
+        // Zero out tiers without credits or members.
+        for t in 0..m {
+            if self.credits[t] == 0 || self.tiers[t].is_empty() {
+                weights[t] = 0.0;
+            }
+        }
+        weights
+    }
+
+    fn retier(&mut self) {
+        let num_tiers = self.config.num_tiers.min(self.latencies.len());
+        let (tiers, tier_of) = build_tiers(&self.latencies, num_tiers);
+        self.tiers = tiers;
+        self.tier_of = tier_of;
+        // Credits and accuracy estimates carry over per tier index; resize
+        // defensively in case the tier count changed.
+        self.credits.resize(self.tiers.len(), self.config.credits_per_tier);
+        self.tier_accuracy.resize(self.tiers.len(), None);
+    }
+}
+
+/// Sorts parties by latency and splits them into `num_tiers` equal bands.
+fn build_tiers(latencies: &[f64], num_tiers: usize) -> (Vec<Vec<PartyId>>, Vec<usize>) {
+    let mut order: Vec<PartyId> = (0..latencies.len()).collect();
+    order.sort_by(|&a, &b| {
+        latencies[a].partial_cmp(&latencies[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut tiers = vec![Vec::new(); num_tiers];
+    let per = latencies.len().div_ceil(num_tiers);
+    let mut tier_of = vec![0usize; latencies.len()];
+    for (i, &p) in order.iter().enumerate() {
+        let t = (i / per).min(num_tiers - 1);
+        tiers[t].push(p);
+        tier_of[p] = t;
+    }
+    (tiers, tier_of)
+}
+
+impl ParticipantSelector for TiflSelector {
+    fn name(&self) -> &'static str {
+        "tifl"
+    }
+
+    fn select(&mut self, round: usize, target: usize) -> Result<Vec<PartyId>, SelectionError> {
+        validate_request(target, self.latencies.len())?;
+        if self.config.retier_every > 0 && round > 0 && round % self.config.retier_every == 0 {
+            self.retier();
+        }
+        let mut weights = self.tier_weights();
+        if weights.iter().all(|&w| w == 0.0) {
+            // All credits exhausted: TiFL would stop; a long-running job
+            // refreshes credits instead (documented deviation for round
+            // budgets exceeding total credits).
+            self.credits.iter_mut().for_each(|c| *c = self.config.credits_per_tier);
+            weights = self.tier_weights();
+        }
+        let tier = flips_data::dist::categorical(&mut self.rng, &weights);
+        self.credits[tier] = self.credits[tier].saturating_sub(1);
+        self.last_tier = Some(tier);
+
+        // Sample within the tier; top up from the next-fastest tiers when
+        // the tier is smaller than the round.
+        let mut selected = Vec::with_capacity(target);
+        let mut tier_order: Vec<usize> = std::iter::once(tier)
+            .chain((0..self.tiers.len()).filter(|&t| t != tier))
+            .collect();
+        tier_order[1..].sort_unstable();
+        for t in tier_order {
+            if selected.len() >= target {
+                break;
+            }
+            let members = &self.tiers[t];
+            let want = (target - selected.len()).min(members.len());
+            if want == 0 {
+                continue;
+            }
+            let picks = sample_without_replacement(&mut self.rng, members.len(), want);
+            selected.extend(picks.into_iter().map(|i| members[i]));
+        }
+        Ok(selected)
+    }
+
+    fn report(&mut self, feedback: &RoundFeedback) {
+        // Online latency refresh for adaptive re-tiering.
+        for (&p, &d) in &feedback.duration {
+            if p < self.latencies.len() {
+                self.latencies[p] = d;
+            }
+        }
+        // Stragglers observably exceeded the deadline: inflate their
+        // estimate so re-tiering demotes them.
+        for &p in &feedback.stragglers {
+            if p < self.latencies.len() {
+                self.latencies[p] *= 2.0;
+            }
+        }
+        if let Some(t) = self.last_tier.take() {
+            let acc = feedback.global_accuracy;
+            self.tier_accuracy[t] = Some(match self.tier_accuracy[t] {
+                Some(prev) => {
+                    (1.0 - self.config.accuracy_ewma) * prev + self.config.accuracy_ewma * acc
+                }
+                None => acc,
+            });
+        }
+    }
+
+    fn num_parties(&self) -> usize {
+        self.latencies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// 25 parties with latency equal to party id (5 clean tiers of 5).
+    fn selector() -> TiflSelector {
+        let latencies: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        TiflSelector::new(latencies, TiflConfig::default(), 3).unwrap()
+    }
+
+    #[test]
+    fn tiers_band_by_latency() {
+        let s = selector();
+        assert_eq!(s.tiers().len(), 5);
+        for (t, members) in s.tiers().iter().enumerate() {
+            assert_eq!(members.len(), 5);
+            for &p in members {
+                assert_eq!(p / 5, t, "party {p} in tier {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_round_draws_from_one_tier_when_it_fits() {
+        let mut s = selector();
+        for round in 0..10 {
+            let picks = s.select(round, 4).unwrap();
+            assert_eq!(picks.len(), 4);
+            let tiers: HashSet<usize> = picks.iter().map(|&p| s.tier_of[p]).collect();
+            assert_eq!(tiers.len(), 1, "round {round} mixed tiers: {picks:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_round_spills_into_other_tiers() {
+        let mut s = selector();
+        let picks = s.select(0, 12).unwrap();
+        assert_eq!(picks.len(), 12);
+        let set: HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn credits_are_consumed_and_refreshed() {
+        let latencies: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let cfg = TiflConfig { num_tiers: 2, credits_per_tier: 1, retier_every: 0, ..Default::default() };
+        let mut s = TiflSelector::new(latencies, cfg, 1).unwrap();
+        let _ = s.select(0, 3).unwrap();
+        let _ = s.select(1, 3).unwrap();
+        assert_eq!(s.credits(), &[0, 0]);
+        // Third round triggers a refresh rather than a panic.
+        let picks = s.select(2, 3).unwrap();
+        assert_eq!(picks.len(), 3);
+        assert!(s.credits().iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn lagging_tiers_gain_weight() {
+        let mut s = selector();
+        // Tell the selector tier 0 performs great and tier 4 poorly.
+        for (tier, acc) in [(0usize, 0.9f64), (4, 0.2)] {
+            s.last_tier = Some(tier);
+            s.report(&RoundFeedback { global_accuracy: acc, ..Default::default() });
+        }
+        let w = s.tier_weights();
+        assert!(w[4] > w[0], "lagging tier must outweigh leading tier: {w:?}");
+        // Unevaluated tiers keep the maximum weight.
+        assert_eq!(w[1], 5.0);
+    }
+
+    #[test]
+    fn straggler_latency_inflation_demotes_on_retier() {
+        let latencies: Vec<f64> = vec![1.0; 10];
+        let cfg = TiflConfig { num_tiers: 2, retier_every: 1, ..Default::default() };
+        let mut s = TiflSelector::new(latencies, cfg, 5).unwrap();
+        // Party 0 straggles hard, repeatedly.
+        for round in 0..3 {
+            let _ = s.select(round, 2).unwrap();
+            s.report(&RoundFeedback {
+                round,
+                stragglers: vec![0],
+                ..Default::default()
+            });
+        }
+        let _ = s.select(3, 2).unwrap(); // triggers retier
+        assert_eq!(s.tier_of[0], 1, "chronic straggler must land in the slow tier");
+    }
+
+    #[test]
+    fn accuracy_ewma_blends() {
+        let mut s = selector();
+        s.last_tier = Some(2);
+        s.report(&RoundFeedback { global_accuracy: 0.4, ..Default::default() });
+        s.last_tier = Some(2);
+        s.report(&RoundFeedback { global_accuracy: 0.8, ..Default::default() });
+        let acc = s.tier_accuracy[2].unwrap();
+        assert!((acc - 0.6).abs() < 1e-9, "0.5-EWMA of 0.4 then 0.8 is 0.6, got {acc}");
+    }
+
+    #[test]
+    fn rejects_bad_configs_and_targets() {
+        assert!(TiflSelector::new(vec![], TiflConfig::default(), 1).is_err());
+        assert!(TiflSelector::new(
+            vec![1.0],
+            TiflConfig { num_tiers: 0, ..Default::default() },
+            1
+        )
+        .is_err());
+        let mut s = selector();
+        assert!(s.select(0, 0).is_err());
+        assert!(s.select(0, 26).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let latencies: Vec<f64> = (0..20).map(|i| (i % 7) as f64).collect();
+            let mut s = TiflSelector::new(latencies, TiflConfig::default(), 11).unwrap();
+            (0..6).map(|r| s.select(r, 5).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn more_tiers_than_parties_is_clamped() {
+        let s = TiflSelector::new(vec![1.0, 2.0], TiflConfig::default(), 1).unwrap();
+        assert_eq!(s.tiers().len(), 2);
+    }
+}

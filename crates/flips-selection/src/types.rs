@@ -1,0 +1,175 @@
+//! Shared types of the selection layer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A party's identifier: its index in the job's party roster.
+pub type PartyId = usize;
+
+/// Errors produced by selection policies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionError {
+    /// The requested round size cannot be satisfied (more parties than
+    /// exist, zero parties, ...).
+    InvalidRequest(String),
+    /// The selector was constructed with inconsistent inputs.
+    InvalidConfiguration(String),
+}
+
+impl std::fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionError::InvalidRequest(m) => write!(f, "invalid selection request: {m}"),
+            SelectionError::InvalidConfiguration(m) => {
+                write!(f, "invalid selector configuration: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
+/// What the aggregator observed in one completed round — the feedback
+/// adaptive selectors learn from.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoundFeedback {
+    /// The round this feedback describes (0-based).
+    pub round: usize,
+    /// Parties that were dispatched the global model.
+    pub selected: Vec<PartyId>,
+    /// Parties whose updates arrived within the round deadline.
+    pub completed: Vec<PartyId>,
+    /// Parties that straggled (selected but no update in time).
+    pub stragglers: Vec<PartyId>,
+    /// Mean local training loss per completed party (Oort's statistical
+    /// utility signal).
+    pub train_loss: HashMap<PartyId, f64>,
+    /// Simulated wall-clock training duration per completed party, seconds
+    /// (Oort's system utility and TiFL's tiering signal).
+    pub duration: HashMap<PartyId, f64>,
+    /// Low-dimensional sketch of each completed party's model update
+    /// (GradClus's clustering signal).
+    pub update_sketch: HashMap<PartyId, Vec<f32>>,
+    /// Global-model balanced accuracy after this round's aggregation
+    /// (TiFL's adaptive-tier signal).
+    pub global_accuracy: f64,
+}
+
+/// A participant-selection policy.
+///
+/// The FL runtime calls [`select`](Self::select) at the start of each
+/// round and [`report`](Self::report) once the round resolves. Selectors
+/// are deterministic given their construction seed and the feedback
+/// sequence.
+pub trait ParticipantSelector: Send {
+    /// Short policy name (`"flips"`, `"oort"`, ...), used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the parties for `round`. `target` is the paper's `Nr`.
+    ///
+    /// Implementations may return *more* than `target` parties when they
+    /// overprovision against stragglers (FLIPS Algorithm 1 lines 27–31;
+    /// Oort's 1.3× rule), and must never return duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectionError::InvalidRequest`] when `target` is zero or
+    /// exceeds the population.
+    fn select(&mut self, round: usize, target: usize) -> Result<Vec<PartyId>, SelectionError>;
+
+    /// Delivers the outcome of a completed round.
+    fn report(&mut self, feedback: &RoundFeedback);
+
+    /// Total number of parties this selector draws from.
+    fn num_parties(&self) -> usize;
+}
+
+/// Validates a `select` request against the population size.
+pub(crate) fn validate_request(
+    target: usize,
+    num_parties: usize,
+) -> Result<(), SelectionError> {
+    if target == 0 {
+        return Err(SelectionError::InvalidRequest("target of zero parties".into()));
+    }
+    if target > num_parties {
+        return Err(SelectionError::InvalidRequest(format!(
+            "target {target} exceeds population {num_parties}"
+        )));
+    }
+    Ok(())
+}
+
+/// Which selection policy to instantiate — the unit the benchmark harness
+/// sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectorKind {
+    /// Uniform random selection.
+    Random,
+    /// FLIPS label-distribution cluster selection (Algorithm 1).
+    Flips,
+    /// Oort guided selection.
+    Oort,
+    /// Gradient-clustering selection.
+    GradClus,
+    /// Tier-based selection.
+    Tifl,
+}
+
+impl SelectorKind {
+    /// All policies, in the paper's comparison order.
+    pub fn all() -> [SelectorKind; 5] {
+        [
+            SelectorKind::Random,
+            SelectorKind::Flips,
+            SelectorKind::Oort,
+            SelectorKind::GradClus,
+            SelectorKind::Tifl,
+        ]
+    }
+
+    /// The label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SelectorKind::Random => "random",
+            SelectorKind::Flips => "flips",
+            SelectorKind::Oort => "oort",
+            SelectorKind::GradClus => "grad_cls",
+            SelectorKind::Tifl => "tifl",
+        }
+    }
+}
+
+impl std::fmt::Display for SelectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_request_bounds() {
+        assert!(validate_request(1, 10).is_ok());
+        assert!(validate_request(10, 10).is_ok());
+        assert!(validate_request(0, 10).is_err());
+        assert!(validate_request(11, 10).is_err());
+    }
+
+    #[test]
+    fn selector_kind_labels_match_paper() {
+        assert_eq!(SelectorKind::GradClus.label(), "grad_cls");
+        assert_eq!(SelectorKind::all().len(), 5);
+        assert_eq!(SelectorKind::Flips.to_string(), "flips");
+    }
+
+    #[test]
+    fn feedback_default_is_empty() {
+        let fb = RoundFeedback::default();
+        assert!(fb.selected.is_empty());
+        assert!(fb.train_loss.is_empty());
+        assert_eq!(fb.global_accuracy, 0.0);
+    }
+}

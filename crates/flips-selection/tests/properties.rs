@@ -1,0 +1,146 @@
+//! Property-based tests of selection-policy invariants shared by all
+//! policies: no duplicates, valid ids, request-size compliance.
+
+use flips_selection::oort::OortConfig;
+use flips_selection::tifl::TiflConfig;
+use flips_selection::{
+    FlipsSelector, GradClusSelector, OortSelector, ParticipantSelector, RandomSelector,
+    RoundFeedback, TiflSelector,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Builds every selector over `n` parties with `clusters` FLIPS clusters.
+fn all_selectors(n: usize, clusters: usize, seed: u64) -> Vec<Box<dyn ParticipantSelector>> {
+    let cluster_assignment: Vec<Vec<usize>> = (0..clusters)
+        .map(|c| (0..n).filter(|p| p % clusters == c).collect())
+        .collect();
+    vec![
+        Box::new(RandomSelector::new(n, seed)),
+        Box::new(FlipsSelector::new(cluster_assignment).unwrap()),
+        Box::new(OortSelector::new(vec![50; n], OortConfig::default(), seed)),
+        Box::new(GradClusSelector::new(n, 8, seed).unwrap()),
+        Box::new(
+            TiflSelector::new(
+                (0..n).map(|i| (i % 7) as f64 + 0.5).collect(),
+                TiflConfig::default(),
+                seed,
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn selections_are_valid_distinct_and_sufficient(
+        n in 4usize..40,
+        seed in 0u64..500,
+        rounds in 1usize..8,
+    ) {
+        let clusters = (n / 4).max(2);
+        let target = (n / 3).max(1);
+        for mut selector in all_selectors(n, clusters, seed) {
+            for round in 0..rounds {
+                let picks = selector.select(round, target).unwrap();
+                // At least the requested size (overprovisioning may add).
+                prop_assert!(
+                    picks.len() >= target,
+                    "{} returned {} < {target}",
+                    selector.name(),
+                    picks.len()
+                );
+                // All ids valid and pairwise distinct.
+                let set: HashSet<_> = picks.iter().copied().collect();
+                prop_assert_eq!(set.len(), picks.len(), "{} duplicated", selector.name());
+                prop_assert!(picks.iter().all(|&p| p < n));
+                // Feed back a plausible outcome.
+                let feedback = RoundFeedback {
+                    round,
+                    selected: picks.clone(),
+                    completed: picks.clone(),
+                    train_loss: picks.iter().map(|&p| (p, 1.0)).collect(),
+                    duration: picks.iter().map(|&p| (p, 0.5)).collect(),
+                    global_accuracy: 0.5,
+                    ..Default::default()
+                };
+                selector.report(&feedback);
+            }
+        }
+    }
+
+    #[test]
+    fn selectors_tolerate_straggler_feedback(
+        n in 6usize..30,
+        seed in 0u64..300,
+    ) {
+        let target = (n / 3).max(2);
+        for mut selector in all_selectors(n, 3, seed) {
+            for round in 0..5 {
+                let picks = selector.select(round, target).unwrap();
+                let (stragglers, completed): (Vec<_>, Vec<_>) =
+                    picks.iter().partition(|&&p| p % 3 == 0);
+                let feedback = RoundFeedback {
+                    round,
+                    selected: picks.clone(),
+                    completed: completed.clone(),
+                    stragglers,
+                    train_loss: completed.iter().map(|&p| (p, 0.8)).collect(),
+                    ..Default::default()
+                };
+                selector.report(&feedback);
+            }
+            // Still functional after straggler-heavy feedback.
+            let picks = selector.select(99, target).unwrap();
+            prop_assert!(picks.len() >= target);
+        }
+    }
+
+    #[test]
+    fn flips_pick_counts_stay_balanced_within_clusters(
+        per_cluster in 2usize..8,
+        clusters in 2usize..6,
+        rounds in 2usize..12,
+    ) {
+        let assignment: Vec<Vec<usize>> = (0..clusters)
+            .map(|c| (c * per_cluster..(c + 1) * per_cluster).collect())
+            .collect();
+        let mut s = FlipsSelector::new(assignment).unwrap();
+        let target = clusters; // one per cluster per round
+        for round in 0..rounds {
+            let _ = s.select(round, target).unwrap();
+        }
+        // Within every cluster, pick counts differ by at most 1 — the
+        // min-heap fairness invariant of Algorithm 1.
+        let counts = s.party_pick_counts();
+        for c in 0..clusters {
+            let members = &counts[c * per_cluster..(c + 1) * per_cluster];
+            let min = members.iter().min().unwrap();
+            let max = members.iter().max().unwrap();
+            prop_assert!(max - min <= 1, "cluster {c} counts {members:?}");
+        }
+    }
+
+    #[test]
+    fn flips_rounds_cover_clusters_equitably(
+        clusters in 2usize..8,
+        per_cluster in 2usize..6,
+    ) {
+        let assignment: Vec<Vec<usize>> = (0..clusters)
+            .map(|c| (c * per_cluster..(c + 1) * per_cluster).collect())
+            .collect();
+        let mut s = FlipsSelector::new(assignment).unwrap();
+        // Nr = 2 per cluster.
+        let target = clusters * 2.min(per_cluster);
+        let picks = s.select(0, target).unwrap();
+        let mut per = vec![0usize; clusters];
+        for p in picks {
+            per[p / per_cluster] += 1;
+        }
+        let min = per.iter().min().unwrap();
+        let max = per.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unequal cluster representation {per:?}");
+    }
+}

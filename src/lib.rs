@@ -1,0 +1,33 @@
+//! # FLIPS — Federated Learning using Intelligent Participant Selection
+//!
+//! This is the facade crate of the FLIPS reproduction workspace. It
+//! re-exports the public API of [`flips_core`], which in turn ties together
+//! the substrates:
+//!
+//! - [`flips_core::ml`] — the neural-network training stack,
+//! - [`flips_core::data`] — synthetic datasets and non-IID partitioning,
+//! - [`flips_core::clustering`] — K-Means++, Davies-Bouldin, hierarchical,
+//! - [`flips_core::tee`] — the simulated trusted execution environment,
+//! - [`flips_core::selection`] — FLIPS and baseline participant selectors,
+//! - [`flips_core::fl`] — the federated-learning aggregator runtime.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flips::prelude::*;
+//!
+//! let report = SimulationBuilder::new(DatasetProfile::femnist())
+//!     .parties(16)
+//!     .rounds(8)
+//!     .participation(0.25)
+//!     .alpha(0.3)
+//!     .algorithm(FlAlgorithm::fedyogi())
+//!     .selector(SelectorKind::Flips)
+//!     .clustering_restarts(3)
+//!     .test_per_class(10)
+//!     .seed(7)
+//!     .run()
+//!     .expect("simulation runs");
+//! assert_eq!(report.history.len(), 8);
+//! ```
+pub use flips_core::*;

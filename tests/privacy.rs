@@ -1,0 +1,132 @@
+//! Information-flow tests of the FLIPS privacy architecture (paper §3.3):
+//! attestation gates provisioning, sealed channels resist tampering, and
+//! enclave destruction erases clustering state.
+
+use flips::middleware::{FlipsMiddleware, MiddlewareConfig, CLUSTERING_CODE_ID};
+use flips::prelude::*;
+use flips::tee::attestation::PlatformKey;
+use flips::tee::{AttestationServer, Enclave, Measurement, SecureChannel, TeeError};
+
+fn sample_lds() -> Vec<LabelDistribution> {
+    (0..12)
+        .map(|i| {
+            let mut counts = vec![1u64; 5];
+            counts[i % 5] = 50;
+            LabelDistribution::from_counts(counts)
+        })
+        .collect()
+}
+
+fn fast_config(seed: u64) -> MiddlewareConfig {
+    MiddlewareConfig {
+        restarts: 3,
+        k_max: 6,
+        overhead: OverheadModel::none(),
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn attestation_rejects_unregistered_clustering_code() {
+    // A rogue aggregator swaps in different enclave code: parties'
+    // verification against the shared attestation server must fail.
+    let platform = PlatformKey::new(42);
+    let mut server = AttestationServer::new(platform);
+    server.register(Measurement::of_code(CLUSTERING_CODE_ID));
+
+    let rogue = Enclave::load(b"rogue-exfiltration-code", (), platform, OverheadModel::none());
+    let quote = rogue.quote(777);
+    assert!(matches!(server.verify(&quote, 777), Err(TeeError::AttestationFailed(_))));
+
+    // The genuine enclave passes.
+    let genuine = Enclave::load(CLUSTERING_CODE_ID, (), platform, OverheadModel::none());
+    assert!(server.verify(&genuine.quote(778), 778).is_ok());
+}
+
+#[test]
+fn attestation_rejects_foreign_platforms() {
+    // A quote signed by a different platform key (e.g. an emulated TEE)
+    // must not verify, even with the right measurement.
+    let real = PlatformKey::new(1);
+    let fake = PlatformKey::new(2);
+    let mut server = AttestationServer::new(real);
+    let m = Measurement::of_code(CLUSTERING_CODE_ID);
+    server.register(m);
+    assert!(server.verify(&fake.quote(m, 5), 5).is_err());
+}
+
+#[test]
+fn sealed_label_distributions_resist_tampering_in_transit() {
+    let mut rng = flips::ml::rng::seeded(3);
+    let (mut party, enclave_end) = SecureChannel::establish(&mut rng);
+    let mut sealed = party.seal(b"\x05\x00\x00\x00label-distribution-payload");
+    // A man-in-the-middle flips one ciphertext bit.
+    sealed.ciphertext[3] ^= 0x01;
+    assert_eq!(enclave_end.open(&sealed), Err(TeeError::IntegrityViolation));
+}
+
+#[test]
+fn ceremony_produces_selector_and_destroy_erases_it() {
+    let pc = FlipsMiddleware::cluster_privately(&sample_lds(), &fast_config(1)).unwrap();
+    assert!(pc.k() >= 2);
+    let mut selector = pc.into_selector();
+    assert_eq!(selector.select(0, 4).unwrap().len(), 4);
+    selector.destroy();
+    assert!(
+        selector.select(1, 4).is_err(),
+        "selection must fail after enclave destruction"
+    );
+}
+
+#[test]
+fn dropping_the_selector_wipes_enclave_state() {
+    // Drop = end of FL job; the enclave erases itself (paper: "deletes
+    // all information at the end of the FL job"). Verified indirectly:
+    // a fresh ceremony over the same inputs works identically, and the
+    // dropped selector cannot be observed — so assert the Drop impl runs
+    // without leaking by constructing and dropping many.
+    for seed in 0..5 {
+        let pc = FlipsMiddleware::cluster_privately(&sample_lds(), &fast_config(seed)).unwrap();
+        let _selector = pc.into_selector();
+        // dropped here
+    }
+}
+
+#[test]
+fn aggregator_facing_api_never_exposes_label_distributions() {
+    // Compile-time-ish check expressed at runtime: the public surface of
+    // TeeBackedSelector yields only party ids and counts. What we *can*
+    // assert: selection output contains ids only, and the only clustering
+    // fact the report carries is k.
+    let report = SimulationBuilder::new(DatasetProfile::ecg())
+        .parties(16)
+        .rounds(4)
+        .participation(0.25)
+        .selector(SelectorKind::Flips)
+        .clustering_restarts(3)
+        .test_per_class(5)
+        .seed(2)
+        .run()
+        .unwrap();
+    assert!(report.meta.k.is_some());
+    for r in report.history.records() {
+        for &p in &r.selected {
+            assert!(p < 16);
+        }
+    }
+}
+
+#[test]
+fn tee_overhead_is_accounted_when_enabled() {
+    let cfg = MiddlewareConfig {
+        restarts: 3,
+        k_max: 6,
+        overhead: OverheadModel::sev_like(),
+        seed: 4,
+        ..Default::default()
+    };
+    let pc = FlipsMiddleware::cluster_privately(&sample_lds(), &cfg).unwrap();
+    assert!(pc.tee_overhead() > std::time::Duration::ZERO);
+    assert!(pc.tee_entries() >= 13, "12 provisions + clustering");
+}

@@ -1,0 +1,93 @@
+//! Cross-crate property tests: invariants of whole simulations under
+//! randomized configurations (kept tiny — each case runs a full FL job).
+
+use flips::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulations_satisfy_round_invariants(
+        seed in 0u64..100,
+        selector_idx in 0usize..5,
+        straggler_pct in 0usize..3,
+        alpha_idx in 0usize..2,
+    ) {
+        let kind = SelectorKind::all()[selector_idx];
+        let alpha = [0.3, 0.6][alpha_idx];
+        let rate = [0.0, 0.1, 0.2][straggler_pct];
+        let report = SimulationBuilder::new(DatasetProfile::femnist())
+            .parties(15)
+            .rounds(4)
+            .participation(0.3)
+            .alpha(alpha)
+            .selector(kind)
+            .straggler_rate(rate)
+            .clustering_restarts(2)
+            .test_per_class(5)
+            .seed(seed)
+            .run()
+            .unwrap();
+
+        prop_assert_eq!(report.history.len(), 4);
+        let nr = report.meta.parties_per_round;
+        for r in report.history.records() {
+            // Cohort at least Nr, all ids valid and distinct.
+            prop_assert!(r.selected.len() >= nr);
+            let mut ids = r.selected.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), r.selected.len());
+            prop_assert!(r.selected.iter().all(|&p| p < 15));
+            // Outcome partition.
+            prop_assert_eq!(
+                r.completed.len() + r.stragglers.len(),
+                r.selected.len()
+            );
+            // Metrics in range.
+            prop_assert!((0.0..=1.0).contains(&r.accuracy));
+            prop_assert!(r.mean_train_loss >= 0.0);
+            // Monotone byte accounting.
+            prop_assert!(r.bytes_down >= r.bytes_up || r.stragglers.is_empty());
+        }
+        // Peak accuracy dominates every round's accuracy.
+        let peak = report.peak_accuracy();
+        prop_assert!(report
+            .history
+            .records()
+            .iter()
+            .all(|r| r.accuracy <= peak + 1e-12));
+    }
+
+    #[test]
+    fn rounds_to_target_is_consistent_with_the_series(
+        seed in 0u64..50,
+        target_pct in 10u32..95,
+    ) {
+        let report = SimulationBuilder::new(DatasetProfile::fashion_mnist())
+            .parties(12)
+            .rounds(5)
+            .participation(0.3)
+            .selector(SelectorKind::Random)
+            .test_per_class(5)
+            .seed(seed)
+            .run()
+            .unwrap();
+        let target = target_pct as f64 / 100.0;
+        match report.history.rounds_to_target(target) {
+            Some(r) => {
+                let series = report.history.accuracy_series();
+                prop_assert!(series[r - 1] >= target);
+                prop_assert!(series[..r - 1].iter().all(|&a| a < target));
+            }
+            None => {
+                prop_assert!(report
+                    .history
+                    .accuracy_series()
+                    .iter()
+                    .all(|&a| a < target));
+            }
+        }
+    }
+}
