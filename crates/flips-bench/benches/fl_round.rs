@@ -1,6 +1,10 @@
 //! End-to-end cost of one FL synchronization round (select → train →
 //! aggregate → evaluate) at a moderate scale, sequential vs parallel
 //! local training.
+//!
+//! Run with `--features baseline` to route the same workload through the
+//! naive GEMM kernels and the allocating training path — the before/after
+//! comparison for the zero-allocation hot-path work.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flips_core::prelude::*;
@@ -33,5 +37,38 @@ fn bench_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round);
+/// A FEMNIST-schema profile with a production-sized MLP (≈72k params):
+/// the GEMM-bound regime the paper's GPU models live in.
+pub fn large_profile() -> DatasetProfile {
+    let mut profile = DatasetProfile::femnist();
+    profile.name = "femnist-mlp256".into();
+    profile.model = ModelSpec::Mlp { dims: vec![16, 256, 192, 10] };
+    profile
+}
+
+fn bench_round_large_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fl_round_mlp256_16_parties_4_per_round");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter_batched(
+            || {
+                SimulationBuilder::new(large_profile())
+                    .parties(16)
+                    .rounds(1)
+                    .participation(0.25)
+                    .selector(SelectorKind::Random)
+                    .test_per_class(20)
+                    .seed(3)
+                    .build()
+                    .unwrap()
+                    .0
+            },
+            |mut job| black_box(job.step().unwrap().accuracy),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_round_large_model);
 criterion_main!(benches);

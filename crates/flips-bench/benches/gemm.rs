@@ -1,0 +1,87 @@
+//! GEMM kernel benchmarks: blocked/panel-packed kernels vs the retained
+//! naive baseline, across the shapes the training stack actually hits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flips_ml::Matrix;
+use std::hint::black_box;
+
+fn filled(rows: usize, cols: usize, scale: f32) -> Matrix {
+    // Dense pseudo-random data with no exact zeros (the naive kernels
+    // skip zero multipliers, which would skew the comparison).
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2_654_435_761).wrapping_add(11);
+            (((h >> 16) as f32 / 65536.0) - 0.5) * scale + scale * 1e-3
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nn");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 512] {
+        let a = filled(n, n, 0.01);
+        let b = filled(n, n, 0.02);
+        let mut out = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| {
+                a.matmul_into(black_box(&b), &mut out);
+                black_box(out.as_slice()[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(flips_ml::matrix::reference::matmul(black_box(&a), black_box(&b)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transposed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_transposed_256");
+    group.sample_size(20);
+    let a = filled(256, 256, 0.01);
+    let b = filled(256, 256, 0.02);
+    let mut out = Matrix::zeros(256, 256);
+    group.bench_function("tn_blocked", |bch| {
+        bch.iter(|| {
+            a.matmul_tn_into(&b, &mut out);
+            black_box(out.as_slice()[0])
+        })
+    });
+    group.bench_function("tn_naive", |bch| {
+        bch.iter(|| black_box(flips_ml::matrix::reference::matmul_tn(&a, &b)))
+    });
+    group.bench_function("nt_blocked", |bch| {
+        bch.iter(|| {
+            a.matmul_nt_into(&b, &mut out);
+            black_box(out.as_slice()[0])
+        })
+    });
+    group.bench_function("nt_naive", |bch| {
+        bch.iter(|| black_box(flips_ml::matrix::reference::matmul_nt(&a, &b)))
+    });
+    group.finish();
+}
+
+fn bench_training_shapes(c: &mut Criterion) {
+    // The minibatch shapes the FL training loop actually produces.
+    let mut group = c.benchmark_group("gemm_training_shapes");
+    group.sample_size(30);
+    for &(m, k, n) in &[(32usize, 16usize, 24usize), (32, 128, 256), (200, 16, 24)] {
+        let a = filled(m, k, 0.05);
+        let b = filled(k, n, 0.05);
+        group.bench_function(BenchmarkId::new("blocked", format!("{m}x{k}x{n}")), |bch| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_function(BenchmarkId::new("naive", format!("{m}x{k}x{n}")), |bch| {
+            bch.iter(|| black_box(flips_ml::matrix::reference::matmul(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_square, bench_transposed, bench_training_shapes);
+criterion_main!(benches);

@@ -35,9 +35,7 @@ fn drive(selector: &mut dyn ParticipantSelector) {
 
 fn bench_selectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("select_5_rounds_200_parties");
-    group.bench_function("random", |b| {
-        b.iter(|| drive(&mut RandomSelector::new(N, 1)))
-    });
+    group.bench_function("random", |b| b.iter(|| drive(&mut RandomSelector::new(N, 1))));
     group.bench_function("flips", |b| {
         let clusters: Vec<Vec<usize>> =
             (0..10).map(|c| (0..N).filter(|p| p % 10 == c).collect()).collect();

@@ -1,0 +1,102 @@
+//! Emits `BENCH_fl_round.json`: machine-readable perf numbers tracked
+//! across PRs (median ns per FL round, GEMM GFLOP/s).
+//!
+//! Usage: `cargo run --release -p flips-bench --bin bench_json [out.json]`
+//!
+//! The file lands in the current directory as `BENCH_fl_round.json`
+//! unless a path is given. Run once per PR (optionally also with
+//! `--features baseline`) and compare medians; see PERFORMANCE.md.
+
+use flips_core::prelude::*;
+use flips_ml::Matrix;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median of per-iteration times for `samples` runs of `f`, in ns.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn gemm_gflops(n: usize, samples: usize) -> f64 {
+    let data = |salt: u32| -> Vec<f32> {
+        (0..n * n)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2_654_435_761).wrapping_add(salt);
+                ((h >> 16) as f32 / 65536.0) - 0.5
+            })
+            .collect()
+    };
+    let a = Matrix::from_vec(n, n, data(1));
+    let b = Matrix::from_vec(n, n, data(2));
+    let mut out = Matrix::zeros(n, n);
+    let ns = median_ns(samples, || {
+        a.matmul_into(&b, &mut out);
+        black_box(out.as_slice()[0]);
+    });
+    2.0 * (n * n * n) as f64 / ns
+}
+
+fn fl_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) -> f64 {
+    let mut profile = DatasetProfile::femnist();
+    profile.name = "femnist-mlp256".into();
+    profile.model = ModelSpec::Mlp { dims: vec![16, 256, 192, 10] };
+    let build = || {
+        SimulationBuilder::new(profile.clone())
+            .parties(parties)
+            .rounds(rounds * (samples + 1))
+            .participation(per_round as f64 / parties as f64)
+            .selector(SelectorKind::Random)
+            .test_per_class(20)
+            .seed(3)
+            .build()
+            .expect("bench simulation builds")
+            .0
+    };
+    // Job construction (dataset synthesis, partitioning) stays outside
+    // the timed region: only the synchronization rounds are measured.
+    let mut job = build();
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for sample in 0..=samples {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(job.step().expect("round runs").accuracy);
+        }
+        if sample > 0 {
+            // Sample 0 is warm-up.
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2] / rounds as f64
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fl_round.json".into());
+    let kernel = if cfg!(feature = "baseline") { "naive-baseline" } else { "blocked" };
+
+    eprintln!("measuring GEMM 256x256 ({kernel}) ...");
+    let gflops_256 = gemm_gflops(256, 15);
+    eprintln!("  {gflops_256:.1} GFLOP/s");
+
+    eprintln!("measuring fl_round (femnist-mlp256, 16 parties, 4/round) ...");
+    let round_ns = fl_round_ns(16, 4, 3, 7);
+    eprintln!("  {:.2} ms/round", round_ns / 1e6);
+
+    let json = format!(
+        "{{\n  \"schema\": \"flips-bench/fl_round/v1\",\n  \"kernel\": \"{kernel}\",\n  \
+         \"fl_round_median_ns\": {round_ns:.0},\n  \"gemm_256_gflops\": {gflops_256:.2},\n  \
+         \"model\": \"mlp-16x256x192x10\",\n  \"parties\": 16,\n  \"parties_per_round\": 4\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

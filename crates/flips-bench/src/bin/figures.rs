@@ -147,7 +147,9 @@ fn convergence(dataset_idx: usize, stragglers: bool, scale: Scale) {
 /// Figure 13: recall trajectory of underrepresented labels (ECG
 /// arrhythmia classes; HAM `bcc`).
 fn figure13(scale: Scale) {
-    for (dataset_idx, label_idx, label_name) in [(0usize, 3usize, "F (fusion beats)"), (1, 1, "bcc")] {
+    for (dataset_idx, label_idx, label_name) in
+        [(0usize, 3usize, "F (fusion beats)"), (1, 1, "bcc")]
+    {
         let profile = dataset(dataset_idx);
         let mut names = Vec::new();
         let mut series: Vec<Vec<Option<f64>>> = Vec::new();
@@ -170,13 +172,7 @@ fn figure13(scale: Scale) {
         for r in 0..rounds {
             let row: Vec<String> = series
                 .iter()
-                .map(|s| {
-                    s.get(r)
-                        .copied()
-                        .flatten()
-                        .map(|a| format!("{a:.4}"))
-                        .unwrap_or_default()
-                })
+                .map(|s| s.get(r).copied().flatten().map(|a| format!("{a:.4}")).unwrap_or_default())
                 .collect();
             println!("{},{}", r + 1, row.join(","));
         }

@@ -35,10 +35,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--table" => {
-                let n = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+                let n = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
                 if table_layout(n).is_none() {
                     usage();
                 }
@@ -80,11 +77,8 @@ type Sweep = BTreeMap<(usize, usize, String), CellResult>;
 fn run_sweep(algorithm: FlAlgorithm, dataset_idx: usize, scale: Scale) -> Sweep {
     let mut sweep = Sweep::new();
     for (row, &(alpha, participation)) in TABLE_ROWS.iter().enumerate() {
-        let blocks: [(usize, &[SelectorKind]); 3] = [
-            (0, &NO_STRAGGLER_COLUMNS),
-            (1, &STRAGGLER_COLUMNS),
-            (2, &STRAGGLER_COLUMNS),
-        ];
+        let blocks: [(usize, &[SelectorKind]); 3] =
+            [(0, &NO_STRAGGLER_COLUMNS), (1, &STRAGGLER_COLUMNS), (2, &STRAGGLER_COLUMNS)];
         for (block, selectors) in blocks {
             let straggler_rate = [0.0, 0.10, 0.20][block];
             for &selector in selectors {
@@ -143,7 +137,12 @@ fn print_table(
         .chain(STRAGGLER_COLUMNS.iter().map(|s| format!("{}@10", s.label())))
         .chain(STRAGGLER_COLUMNS.iter().map(|s| format!("{}@20", s.label())))
         .collect();
-    println!("{:>5} {:>7} {}", "α", "party%", header_cols.iter().map(|c| format!("{c:>10}")).collect::<String>());
+    println!(
+        "{:>5} {:>7} {}",
+        "α",
+        "party%",
+        header_cols.iter().map(|c| format!("{c:>10}")).collect::<String>()
+    );
     for (row, &(alpha, participation)) in TABLE_ROWS.iter().enumerate() {
         let mut line = format!("{:>5} {:>7}", alpha, format!("{:.0}", participation * 100.0));
         let cols: Vec<(usize, SelectorKind)> = NO_STRAGGLER_COLUMNS

@@ -38,9 +38,7 @@ impl Scale {
     /// Round budget for a profile at this scale.
     pub fn rounds(&self, profile: &DatasetProfile) -> usize {
         match self {
-            Scale::Fast => {
-                profile.max_rounds.min(if profile.max_rounds > 200 { 100 } else { 80 })
-            }
+            Scale::Fast => profile.max_rounds.min(if profile.max_rounds > 200 { 100 } else { 80 }),
             Scale::Full => profile.max_rounds,
         }
     }

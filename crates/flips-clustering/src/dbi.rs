@@ -4,8 +4,8 @@
 //! averaged over each cluster's worst pairing — lower is better. The paper
 //! uses DBI as its cluster-purity metric when scanning `k` (§3.1, Eq. 3).
 
-use crate::kmeans::Clustering;
-use crate::{validate_points, ClusteringError};
+use crate::kmeans::{Clustering, FlatPoints};
+use crate::ClusteringError;
 use flips_ml::matrix::euclidean_distance;
 
 /// Computes the Davies-Bouldin index of a clustering over its points.
@@ -23,7 +23,20 @@ pub fn davies_bouldin_index(
     points: &[Vec<f32>],
     clustering: &Clustering,
 ) -> Result<f64, ClusteringError> {
-    validate_points(points)?;
+    let flat = FlatPoints::new(points)?;
+    davies_bouldin_index_flat(&flat, clustering)
+}
+
+/// [`davies_bouldin_index`] over a pre-flattened point set — the form the
+/// elbow scan drives, re-scoring the same points `restarts × k` times.
+///
+/// # Errors
+///
+/// Rejects assignment/point length mismatches.
+pub fn davies_bouldin_index_flat(
+    points: &FlatPoints,
+    clustering: &Clustering,
+) -> Result<f64, ClusteringError> {
     if clustering.assignments.len() != points.len() {
         return Err(ClusteringError::BadInput(format!(
             "{} assignments for {} points",
@@ -36,11 +49,11 @@ pub fn davies_bouldin_index(
         return Ok(0.0);
     }
 
-    // Per-cluster mean scatter S_i.
+    // Per-cluster mean scatter S_i (flat row-major sweep).
     let mut scatter = vec![0.0f64; k];
     let mut counts = vec![0usize; k];
-    for (p, &c) in points.iter().zip(&clustering.assignments) {
-        scatter[c] += euclidean_distance(p, &clustering.centroids[c]) as f64;
+    for (i, &c) in clustering.assignments.iter().enumerate() {
+        scatter[c] += euclidean_distance(points.point(i), &clustering.centroids[c]) as f64;
         counts[c] += 1;
     }
     for (s, &c) in scatter.iter_mut().zip(&counts) {
@@ -61,8 +74,7 @@ pub fn davies_bouldin_index(
             if i == j || counts[j] == 0 {
                 continue;
             }
-            let sep =
-                euclidean_distance(&clustering.centroids[i], &clustering.centroids[j]) as f64;
+            let sep = euclidean_distance(&clustering.centroids[i], &clustering.centroids[j]) as f64;
             let ratio = if sep > 0.0 { (scatter[i] + scatter[j]) / sep } else { f64::INFINITY };
             worst = worst.max(ratio);
         }
@@ -104,10 +116,7 @@ mod tests {
         let cl = kmeans(&mut rng, &loose, KMeansConfig::new(3)).unwrap();
         let dbi_tight = davies_bouldin_index(&tight, &ct).unwrap();
         let dbi_loose = davies_bouldin_index(&loose, &cl).unwrap();
-        assert!(
-            dbi_tight < dbi_loose,
-            "tight {dbi_tight} should beat loose {dbi_loose}"
-        );
+        assert!(dbi_tight < dbi_loose, "tight {dbi_tight} should beat loose {dbi_loose}");
     }
 
     #[test]

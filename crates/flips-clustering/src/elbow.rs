@@ -16,8 +16,8 @@
 //! second difference** of the curve; degenerate flat curves fall back to
 //! the DBI minimum.
 
-use crate::dbi::davies_bouldin_index;
-use crate::kmeans::{kmeans, KMeansConfig};
+use crate::dbi::davies_bouldin_index_flat;
+use crate::kmeans::{kmeans_flat, FlatPoints, KMeansConfig};
 use crate::ClusteringError;
 use flips_ml::rng::{derive_seed, seeded};
 use serde::{Deserialize, Serialize};
@@ -82,13 +82,15 @@ pub fn optimal_k(points: &[Vec<f32>], config: ElbowConfig) -> Result<ElbowResult
         return Err(ClusteringError::InvalidParameter("restarts must be >= 1".into()));
     }
 
+    // Flatten once; every restart of every candidate k reuses the buffer.
+    let flat = FlatPoints::new(points)?;
     let mut curve = Vec::with_capacity(config.k_max - config.k_min + 1);
     for k in config.k_min..=config.k_max {
         let mut total = 0.0f64;
         for t in 0..config.restarts {
             let mut rng = seeded(derive_seed(config.seed, (k * 1000 + t) as u64));
-            let clustering = kmeans(&mut rng, points, KMeansConfig::new(k))?;
-            total += davies_bouldin_index(points, &clustering)?;
+            let clustering = kmeans_flat(&mut rng, &flat, KMeansConfig::new(k))?;
+            total += davies_bouldin_index_flat(&flat, &clustering)?;
         }
         curve.push((k, total / config.restarts as f64));
     }
@@ -120,7 +122,7 @@ fn pick_elbow(curve: &[(usize, f64)], flat_tolerance: f64) -> usize {
         let second_diff = (c - b) - (b - a);
         // Strictly-greater comparison keeps the *first* sharp change on
         // ties, per the paper's wording.
-        if best.map_or(true, |(_, v)| second_diff > v) {
+        if best.is_none_or(|(_, v)| second_diff > v) {
             best = Some((k, second_diff));
         }
     }
@@ -143,8 +145,7 @@ mod tests {
         let mut points = Vec::new();
         for a in 0..archetypes {
             for _ in 0..per {
-                let mut p: Vec<f32> =
-                    (0..labels).map(|_| rng.random::<f32>() * 0.05).collect();
+                let mut p: Vec<f32> = (0..labels).map(|_| rng.random::<f32>() * 0.05).collect();
                 p[a % labels] += 1.0;
                 let sum: f32 = p.iter().sum();
                 for x in &mut p {
@@ -185,12 +186,7 @@ mod tests {
         let cfg = ElbowConfig { k_min: 2, k_max: 12, restarts: 8, flat_tolerance: 0.1, seed: 3 };
         let result = optimal_k(&points, cfg).unwrap();
         let dbi_at = |k: usize| {
-            result
-                .curve
-                .iter()
-                .find(|&&(kk, _)| kk == k)
-                .map(|&(_, d)| d)
-                .expect("k in curve")
+            result.curve.iter().find(|&&(kk, _)| kk == k).map(|&(_, d)| d).expect("k in curve")
         };
         // DBI at the true k should be dramatically below DBI at k = 2.
         assert!(dbi_at(5) < dbi_at(2) * 0.7, "curve {:?}", result.curve);
@@ -222,15 +218,8 @@ mod tests {
     #[test]
     fn pick_elbow_knee_shape() {
         // Steep drop until k = 5, then flat ⇒ elbow at 5.
-        let curve = vec![
-            (2, 1.00),
-            (3, 0.70),
-            (4, 0.45),
-            (5, 0.20),
-            (6, 0.19),
-            (7, 0.185),
-            (8, 0.18),
-        ];
+        let curve =
+            vec![(2, 1.00), (3, 0.70), (4, 0.45), (5, 0.20), (6, 0.19), (7, 0.185), (8, 0.18)];
         assert_eq!(pick_elbow(&curve, 0.1), 5);
     }
 }

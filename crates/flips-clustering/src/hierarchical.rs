@@ -6,8 +6,9 @@
 //! This module provides the substrate: bottom-up merging under a choice of
 //! linkage until the requested number of clusters remains.
 
-use crate::{validate_points, ClusteringError};
-use flips_ml::matrix::{dot, euclidean_distance, l2_norm};
+use crate::kmeans::FlatPoints;
+use crate::ClusteringError;
+use flips_ml::matrix::gemm::{gemm, Layout};
 use serde::{Deserialize, Serialize};
 
 /// Inter-cluster distance definition.
@@ -40,13 +41,21 @@ pub fn hierarchical_clusters(
 }
 
 /// Pairwise Euclidean distance matrix (`n × n`, symmetric, zero diagonal).
+///
+/// Computed from a flat point buffer via the norm expansion
+/// `‖x − y‖² = ‖x‖² + ‖y‖² − 2·x·y`: the full Gram matrix `X·Xᵀ` is one
+/// blocked GEMM, turning the `O(n²·d)` pair loop into an array sweep.
 pub fn pairwise_euclidean(points: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ClusteringError> {
-    validate_points(points)?;
-    let n = points.len();
+    let flat = FlatPoints::new(points)?;
+    let n = flat.len();
+    let gram = gram_matrix(&flat);
     let mut m = vec![vec![0.0f32; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = euclidean_distance(&points[i], &points[j]);
+            // Cancellation in the expansion can dip below zero for
+            // near-identical points; clamp before the square root.
+            let d2 = (flat.norm_sq(i) + flat.norm_sq(j) - 2.0 * gram[i * n + j]).max(0.0);
+            let d = d2.sqrt();
             m[i][j] = d;
             m[j][i] = d;
         }
@@ -56,21 +65,42 @@ pub fn pairwise_euclidean(points: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, Clusteri
 
 /// Pairwise cosine-*distance* matrix (`1 − cos`), the similarity GradClus
 /// uses on gradients. Zero vectors are treated as orthogonal to everything.
+///
+/// The dot products come from one Gram-matrix GEMM over the flat buffer.
 pub fn pairwise_cosine_distance(points: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ClusteringError> {
-    validate_points(points)?;
-    let n = points.len();
-    let norms: Vec<f32> = points.iter().map(|p| l2_norm(p)).collect();
+    let flat = FlatPoints::new(points)?;
+    let n = flat.len();
+    let gram = gram_matrix(&flat);
+    let norms: Vec<f32> = (0..n).map(|i| flat.norm_sq(i).sqrt()).collect();
     let mut m = vec![vec![0.0f32; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
             let denom = norms[i] * norms[j];
-            let cos = if denom > 0.0 { dot(&points[i], &points[j]) / denom } else { 0.0 };
+            let cos = if denom > 0.0 { gram[i * n + j] / denom } else { 0.0 };
             let d = 1.0 - cos.clamp(-1.0, 1.0);
             m[i][j] = d;
             m[j][i] = d;
         }
     }
     Ok(m)
+}
+
+/// `X·Xᵀ` over the flat point buffer.
+fn gram_matrix(flat: &FlatPoints) -> Vec<f32> {
+    let n = flat.len();
+    let mut gram = vec![0.0f32; n * n];
+    gemm(
+        Layout::Nt,
+        n,
+        flat.dim(),
+        n,
+        flat.as_slice(),
+        flat.dim(),
+        flat.as_slice(),
+        flat.dim(),
+        &mut gram,
+    );
+    gram
 }
 
 /// Agglomerative clustering directly from a precomputed distance matrix.
@@ -103,8 +133,7 @@ pub fn hierarchical_from_distances(
     while alive > num_clusters {
         // Find the closest pair of live clusters under the linkage.
         let mut best: Option<(usize, usize, f32)> = None;
-        let live: Vec<usize> =
-            (0..n).filter(|&c| active[c].is_some()).collect();
+        let live: Vec<usize> = (0..n).filter(|&c| active[c].is_some()).collect();
         for (ai, &a) in live.iter().enumerate() {
             for &b in &live[ai + 1..] {
                 let d = cluster_distance(
@@ -113,7 +142,7 @@ pub fn hierarchical_from_distances(
                     active[b].as_ref().expect("live"),
                     linkage,
                 );
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((a, b, d));
                 }
             }
@@ -127,22 +156,15 @@ pub fn hierarchical_from_distances(
 
     // Densely renumber the survivors.
     let mut labels = vec![0usize; n];
-    let mut next = 0usize;
-    for slot in active.iter().flatten() {
+    for (next, slot) in active.iter().flatten().enumerate() {
         for &member in slot {
             labels[member] = next;
         }
-        next += 1;
     }
     Ok(labels)
 }
 
-fn cluster_distance(
-    distances: &[Vec<f32>],
-    a: &[usize],
-    b: &[usize],
-    linkage: Linkage,
-) -> f32 {
+fn cluster_distance(distances: &[Vec<f32>], a: &[usize], b: &[usize], linkage: Linkage) -> f32 {
     match linkage {
         Linkage::Average => {
             let mut total = 0.0f64;
@@ -185,9 +207,7 @@ mod tests {
         let mut truth = Vec::new();
         for (center, label) in [(-5.0f32, 0usize), (5.0, 1)] {
             for _ in 0..12 {
-                points.push(vec![
-                    center + flips_ml::rng::normal(&mut rng, 0.0, 0.4) as f32,
-                ]);
+                points.push(vec![center + flips_ml::rng::normal(&mut rng, 0.0, 0.4) as f32]);
                 truth.push(label);
             }
         }
@@ -202,11 +222,7 @@ mod tests {
             // Consistent partition: all of blob 0 together, all of blob 1
             // together.
             for (l, t) in labels.iter().zip(&truth) {
-                assert_eq!(
-                    *l == labels[0],
-                    *t == truth[0],
-                    "linkage {linkage:?} split a blob"
-                );
+                assert_eq!(*l == labels[0], *t == truth[0], "linkage {linkage:?} split a blob");
             }
         }
     }
@@ -246,10 +262,10 @@ mod tests {
         assert!((m[0][2] - 0.0).abs() < 1e-6, "parallel vectors distance 0");
         assert!((m[0][1] - 1.0).abs() < 1e-6, "orthogonal vectors distance 1");
         assert!((m[0][3] - 2.0).abs() < 1e-6, "opposite vectors distance 2");
-        for i in 0..4 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..4 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
     }
@@ -257,11 +273,7 @@ mod tests {
     #[test]
     fn from_distances_respects_matrix_not_geometry() {
         // A crafted matrix where 0-2 are close and 1 is far from both.
-        let d = vec![
-            vec![0.0, 9.0, 1.0],
-            vec![9.0, 0.0, 8.0],
-            vec![1.0, 8.0, 0.0],
-        ];
+        let d = vec![vec![0.0, 9.0, 1.0], vec![9.0, 0.0, 8.0], vec![1.0, 8.0, 0.0]];
         let labels = hierarchical_from_distances(&d, 2, Linkage::Average).unwrap();
         assert_eq!(labels[0], labels[2]);
         assert_ne!(labels[0], labels[1]);

@@ -6,9 +6,23 @@
 //! (re-seeding an empty centroid at the point farthest from its assigned
 //! centroid), which matters on the near-discrete label-distribution inputs
 //! FLIPS feeds it.
+//!
+//! # Hot-path layout
+//!
+//! Points live in a flat row-major buffer ([`FlatPoints`]) with cached
+//! squared norms. The Lloyd assignment step uses the expansion
+//! `‖x − c‖² = ‖x‖² + ‖c‖² − 2·x·c`, so the `n×k` distance table is one
+//! GEMM (`X·Cᵀ`) against `flips-ml`'s blocked kernels plus an argmin
+//! sweep — no `Vec<Vec<f32>>` pointer chasing and no per-pair `sqrt`.
+//! The final assignment/inertia pass recomputes exact distances for the
+//! winning centroids, keeping reported inertia free of expansion
+//! cancellation error. The seed implementation is retained in
+//! [`reference`] (behind `cfg(test)` / the `reference-impl` feature) as
+//! the equivalence baseline.
 
 use crate::{validate_points, ClusteringError};
 use flips_ml::matrix::euclidean_distance;
+use flips_ml::matrix::gemm::{gemm, Layout};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +83,67 @@ impl Clustering {
     }
 }
 
+/// A point set flattened into one row-major buffer with cached squared
+/// norms — the clustering hot-path representation.
+///
+/// Build once, cluster many times (the elbow scan runs `restarts ×
+/// k_max` K-Means passes over the same points).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatPoints {
+    data: Vec<f32>,
+    n: usize,
+    dim: usize,
+    norms_sq: Vec<f32>,
+}
+
+impl FlatPoints {
+    /// Flattens a point set, validating shape.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or ragged input.
+    pub fn new(points: &[Vec<f32>]) -> Result<Self, ClusteringError> {
+        let dim = validate_points(points)?;
+        let n = points.len();
+        let mut data = Vec::with_capacity(n * dim);
+        for p in points {
+            data.extend_from_slice(p);
+        }
+        let norms_sq = data.chunks_exact(dim).map(|row| row.iter().map(|x| x * x).sum()).collect();
+        Ok(FlatPoints { data, n, dim, norms_sq })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the set is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Point `i` as a slice.
+    pub fn point(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Cached squared L2 norm of point `i`.
+    pub fn norm_sq(&self, i: usize) -> f32 {
+        self.norms_sq[i]
+    }
+}
+
 /// Runs k-means++ seeding followed by Lloyd iterations.
 ///
 /// # Errors
@@ -79,89 +154,140 @@ pub fn kmeans<R: Rng + ?Sized>(
     points: &[Vec<f32>],
     config: KMeansConfig,
 ) -> Result<Clustering, ClusteringError> {
-    let dim = validate_points(points)?;
+    let flat = FlatPoints::new(points)?;
+    kmeans_flat(rng, &flat, config)
+}
+
+/// [`kmeans`] over a pre-flattened point set (lets repeated runs — elbow
+/// scans, restarts — skip re-flattening).
+///
+/// # Errors
+///
+/// Rejects `k` outside `1..=n`.
+pub fn kmeans_flat<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &FlatPoints,
+    config: KMeansConfig,
+) -> Result<Clustering, ClusteringError> {
     let n = points.len();
-    if config.k == 0 || config.k > n {
-        return Err(ClusteringError::InvalidParameter(format!(
-            "k = {} must be in 1..={n}",
-            config.k
-        )));
+    let dim = points.dim();
+    let k = config.k;
+    if k == 0 || k > n {
+        return Err(ClusteringError::InvalidParameter(format!("k = {k} must be in 1..={n}")));
     }
 
-    let mut centroids = plus_plus_seed(rng, points, config.k);
+    let mut centroids = plus_plus_seed(rng, points, k);
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
 
+    // Reused per-iteration buffers: the Lloyd loop allocates nothing.
+    let mut cnorms_sq = vec![0.0f32; k];
+    let mut dots = vec![0.0f32; n * k];
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0usize; k];
+
     for iter in 0..config.max_iters.max(1) {
         iterations = iter + 1;
-        // Assignment step.
-        for (i, p) in points.iter().enumerate() {
-            assignments[i] = nearest(p, &centroids).0;
+
+        // Assignment step: one GEMM (X·Cᵀ) plus an argmin sweep over
+        // ‖x‖² + ‖c‖² − 2·x·c.
+        for (c, slot) in cnorms_sq.iter_mut().enumerate() {
+            let row = &centroids[c * dim..(c + 1) * dim];
+            *slot = row.iter().map(|x| x * x).sum();
         }
-        // Update step.
-        let mut sums = vec![vec![0.0f64; dim]; config.k];
-        let mut counts = vec![0usize; config.k];
-        for (p, &c) in points.iter().zip(&assignments) {
+        gemm(Layout::Nt, n, dim, k, points.as_slice(), dim, &centroids, dim, &mut dots);
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let xn = points.norm_sq(i);
+            let row = &dots[i * k..(i + 1) * k];
+            let mut best = (0usize, f32::INFINITY);
+            for (c, (&dot, &cn)) in row.iter().zip(&cnorms_sq).enumerate() {
+                let d2 = xn + cn - 2.0 * dot;
+                if d2 < best.1 {
+                    best = (c, d2);
+                }
+            }
+            *slot = best.0;
+        }
+
+        // Update step (f64 accumulation, as the seed implementation).
+        sums.fill(0.0);
+        counts.fill(0);
+        for (i, &c) in assignments.iter().enumerate() {
             counts[c] += 1;
-            for (s, &v) in sums[c].iter_mut().zip(p) {
+            let p = points.point(i);
+            for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(p) {
                 *s += v as f64;
             }
         }
         let mut movement = 0.0f32;
-        for c in 0..config.k {
+        for c in 0..k {
             if counts[c] == 0 {
                 // Empty-cluster repair: re-seed at the point farthest from
-                // its current centroid.
-                let far = points
-                    .iter()
-                    .enumerate()
-                    .max_by(|(i, p), (j, q)| {
-                        let di = euclidean_distance(p, &centroids[assignments[*i]]);
-                        let dj = euclidean_distance(q, &centroids[assignments[*j]]);
+                // its current centroid (exact distances — this is rare).
+                let far = (0..n)
+                    .max_by(|&i, &j| {
+                        let di = euclidean_distance(
+                            points.point(i),
+                            &centroids[assignments[i] * dim..(assignments[i] + 1) * dim],
+                        );
+                        let dj = euclidean_distance(
+                            points.point(j),
+                            &centroids[assignments[j] * dim..(assignments[j] + 1) * dim],
+                        );
                         di.partial_cmp(&dj).unwrap_or(std::cmp::Ordering::Equal)
                     })
-                    .map(|(i, _)| i)
                     .expect("non-empty points");
-                movement += euclidean_distance(&centroids[c], &points[far]);
-                centroids[c] = points[far].clone();
+                movement +=
+                    euclidean_distance(&centroids[c * dim..(c + 1) * dim], points.point(far));
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(points.point(far));
                 continue;
             }
-            let new: Vec<f32> =
-                sums[c].iter().map(|&s| (s / counts[c] as f64) as f32).collect();
-            movement += euclidean_distance(&centroids[c], &new);
-            centroids[c] = new;
+            // Divide (not multiply-by-reciprocal): bit-identical to the
+            // reference implementation's `s / count` rounding.
+            let count = counts[c] as f64;
+            let mut delta_sq = 0.0f32;
+            for (slot, &s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..]) {
+                let new = (s / count) as f32;
+                delta_sq += (*slot - new) * (*slot - new);
+                *slot = new;
+            }
+            movement += delta_sq.sqrt();
         }
         if movement <= config.tolerance {
             break;
         }
     }
 
-    // Final assignment against the converged centroids, plus inertia.
+    // Final assignment against the converged centroids, plus inertia —
+    // exact distances so cancellation error from the expansion never
+    // reaches reported results.
     let mut inertia = 0.0f64;
-    for (i, p) in points.iter().enumerate() {
-        let (c, d) = nearest(p, &centroids);
-        assignments[i] = c;
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        let (c, d) = nearest_flat(points.point(i), &centroids, dim);
+        *slot = c;
         inertia += (d as f64) * (d as f64);
     }
 
+    let centroids = centroids.chunks_exact(dim).map(<[f32]>::to_vec).collect();
     Ok(Clustering { assignments, centroids, inertia, iterations })
 }
 
 /// k-means++ seeding: first centroid uniform, each next centroid sampled
 /// with probability proportional to squared distance from the nearest
-/// chosen centroid.
-fn plus_plus_seed<R: Rng + ?Sized>(rng: &mut R, points: &[Vec<f32>], k: usize) -> Vec<Vec<f32>> {
+/// chosen centroid. Consumes the RNG stream exactly like the seed
+/// implementation, so fixed seeds reproduce historic runs.
+fn plus_plus_seed<R: Rng + ?Sized>(rng: &mut R, points: &FlatPoints, k: usize) -> Vec<f32> {
     let n = points.len();
-    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
-    centroids.push(points[rng.random_range(0..n)].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| {
-            let d = euclidean_distance(p, &centroids[0]) as f64;
+    let dim = points.dim();
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    centroids.extend_from_slice(points.point(rng.random_range(0..n)));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = euclidean_distance(points.point(i), &centroids[..dim]) as f64;
             d * d
         })
         .collect();
-    while centroids.len() < k {
+    while centroids.len() < k * dim {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             // All points coincide with existing centroids; any point works.
@@ -178,25 +304,161 @@ fn plus_plus_seed<R: Rng + ?Sized>(rng: &mut R, points: &[Vec<f32>], k: usize) -
             }
             chosen
         };
-        centroids.push(points[next].clone());
-        for (i, p) in points.iter().enumerate() {
-            let d = euclidean_distance(p, centroids.last().expect("non-empty")) as f64;
-            d2[i] = d2[i].min(d * d);
+        centroids.extend_from_slice(points.point(next));
+        let newest = &centroids[centroids.len() - dim..];
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let d = euclidean_distance(points.point(i), newest) as f64;
+            *slot = slot.min(d * d);
         }
     }
     centroids
 }
 
-/// Index and distance of the nearest centroid.
-fn nearest(point: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+/// Index and exact distance of the nearest centroid (flat layout).
+fn nearest_flat(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
     let mut best = (0usize, f32::INFINITY);
-    for (c, centroid) in centroids.iter().enumerate() {
+    for (c, centroid) in centroids.chunks_exact(dim).enumerate() {
         let d = euclidean_distance(point, centroid);
         if d < best.1 {
             best = (c, d);
         }
     }
     best
+}
+
+/// The seed's `Vec<Vec<f32>>` implementation, retained as the behavioral
+/// baseline for equivalence tests and benchmarks.
+#[cfg(any(test, feature = "reference-impl"))]
+pub mod reference {
+    use super::{Clustering, KMeansConfig};
+    use crate::{validate_points, ClusteringError};
+    use flips_ml::matrix::euclidean_distance;
+    use rand::Rng;
+
+    /// The seed implementation of [`super::kmeans`].
+    ///
+    /// # Errors
+    ///
+    /// As [`super::kmeans`].
+    pub fn kmeans<R: Rng + ?Sized>(
+        rng: &mut R,
+        points: &[Vec<f32>],
+        config: KMeansConfig,
+    ) -> Result<Clustering, ClusteringError> {
+        let dim = validate_points(points)?;
+        let n = points.len();
+        if config.k == 0 || config.k > n {
+            return Err(ClusteringError::InvalidParameter(format!(
+                "k = {} must be in 1..={n}",
+                config.k
+            )));
+        }
+
+        let mut centroids = plus_plus_seed(rng, points, config.k);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iters.max(1) {
+            iterations = iter + 1;
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest(p, &centroids).0;
+            }
+            let mut sums = vec![vec![0.0f64; dim]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (p, &c) in points.iter().zip(&assignments) {
+                counts[c] += 1;
+                for (s, &v) in sums[c].iter_mut().zip(p) {
+                    *s += v as f64;
+                }
+            }
+            let mut movement = 0.0f32;
+            for c in 0..config.k {
+                if counts[c] == 0 {
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(i, p), (j, q)| {
+                            let di = euclidean_distance(p, &centroids[assignments[*i]]);
+                            let dj = euclidean_distance(q, &centroids[assignments[*j]]);
+                            di.partial_cmp(&dj).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(i, _)| i)
+                        .expect("non-empty points");
+                    movement += euclidean_distance(&centroids[c], &points[far]);
+                    centroids[c] = points[far].clone();
+                    continue;
+                }
+                let new: Vec<f32> =
+                    sums[c].iter().map(|&s| (s / counts[c] as f64) as f32).collect();
+                movement += euclidean_distance(&centroids[c], &new);
+                centroids[c] = new;
+            }
+            if movement <= config.tolerance {
+                break;
+            }
+        }
+
+        let mut inertia = 0.0f64;
+        for (i, p) in points.iter().enumerate() {
+            let (c, d) = nearest(p, &centroids);
+            assignments[i] = c;
+            inertia += (d as f64) * (d as f64);
+        }
+
+        Ok(Clustering { assignments, centroids, inertia, iterations })
+    }
+
+    fn plus_plus_seed<R: Rng + ?Sized>(
+        rng: &mut R,
+        points: &[Vec<f32>],
+        k: usize,
+    ) -> Vec<Vec<f32>> {
+        let n = points.len();
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+        centroids.push(points[rng.random_range(0..n)].clone());
+        let mut d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                let d = euclidean_distance(p, &centroids[0]) as f64;
+                d * d
+            })
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                rng.random_range(0..n)
+            } else {
+                let mut t = rng.random::<f64>() * total;
+                let mut chosen = n - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    t -= w;
+                    if t <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            centroids.push(points[next].clone());
+            for (i, p) in points.iter().enumerate() {
+                let d = euclidean_distance(p, centroids.last().expect("non-empty")) as f64;
+                d2[i] = d2[i].min(d * d);
+            }
+        }
+        centroids
+    }
+
+    /// Index and distance of the nearest centroid.
+    pub(crate) fn nearest(point: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+        let mut best = (0usize, f32::INFINITY);
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = euclidean_distance(point, centroid);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -262,8 +524,7 @@ mod tests {
 
     #[test]
     fn k_equals_n_gives_zero_inertia() {
-        let points: Vec<Vec<f32>> =
-            (0..6).map(|i| vec![i as f32 * 3.0, -(i as f32)]).collect();
+        let points: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32 * 3.0, -(i as f32)]).collect();
         let mut rng = seeded(4);
         let result = kmeans(&mut rng, &points, KMeansConfig::new(6)).unwrap();
         assert!(result.inertia < 1e-9);
@@ -323,8 +584,30 @@ mod tests {
         let mut rng = seeded(10);
         let result = kmeans(&mut rng, &points, KMeansConfig::new(3)).unwrap();
         for (p, &c) in points.iter().zip(&result.assignments) {
-            let (nearest_c, _) = nearest(p, &result.centroids);
+            let (nearest_c, _) = reference::nearest(p, &result.centroids);
             assert_eq!(c, nearest_c);
         }
+    }
+
+    #[test]
+    fn flat_and_reference_agree_on_blobs() {
+        let (points, _) = three_blobs();
+        for seed in 0..8 {
+            let flat = kmeans(&mut seeded(seed), &points, KMeansConfig::new(3)).unwrap();
+            let refr = reference::kmeans(&mut seeded(seed), &points, KMeansConfig::new(3)).unwrap();
+            assert_eq!(flat.assignments, refr.assignments, "seed {seed}");
+            assert!((flat.inertia - refr.inertia).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn flat_points_expose_layout() {
+        let points = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let flat = FlatPoints::new(&points).unwrap();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.dim(), 2);
+        assert_eq!(flat.point(1), &[3.0, 4.0]);
+        assert_eq!(flat.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!((flat.norm_sq(1) - 25.0).abs() < 1e-6);
     }
 }

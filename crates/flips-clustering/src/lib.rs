@@ -21,10 +21,10 @@ pub mod elbow;
 pub mod hierarchical;
 pub mod kmeans;
 
-pub use dbi::davies_bouldin_index;
+pub use dbi::{davies_bouldin_index, davies_bouldin_index_flat};
 pub use elbow::{optimal_k, ElbowConfig};
 pub use hierarchical::{hierarchical_clusters, Linkage};
-pub use kmeans::{kmeans, Clustering, KMeansConfig};
+pub use kmeans::{kmeans, kmeans_flat, Clustering, FlatPoints, KMeansConfig};
 
 /// Errors produced by the clustering substrate.
 #[derive(Debug, Clone, PartialEq)]

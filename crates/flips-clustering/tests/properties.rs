@@ -1,0 +1,147 @@
+//! Property tests: the flat-buffer clustering hot path is behaviorally
+//! equivalent to the seed (`Vec<Vec<f32>>`) implementation.
+
+use flips_clustering::kmeans::reference;
+use flips_clustering::{kmeans, FlatPoints, KMeansConfig};
+use flips_ml::matrix::euclidean_distance;
+use flips_ml::rng::seeded;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Gaussian blobs with centers far apart relative to their spread, so
+/// nearest-centroid decisions never ride on float rounding.
+fn blobs(seed: u64, archetypes: usize, dim: usize, per: usize, spread: f64) -> Vec<Vec<f32>> {
+    let mut rng = seeded(seed);
+    let mut centers = Vec::new();
+    for a in 0..archetypes {
+        let mut c = vec![0.0f32; dim];
+        c[a % dim] = 40.0 + 10.0 * (a / dim) as f32;
+        centers.push(c);
+    }
+    let mut points = Vec::new();
+    for c in &centers {
+        for _ in 0..per {
+            points.push(
+                c.iter()
+                    .map(|&x| x + flips_ml::rng::normal(&mut rng, 0.0, spread) as f32)
+                    .collect(),
+            );
+        }
+    }
+    points
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flat_kmeans_assignments_match_seed_implementation(
+        seed in 0u64..10_000,
+        archetypes in 2usize..6,
+        dim in 2usize..10,
+        per in 3usize..12,
+    ) {
+        let points = blobs(seed, archetypes, dim, per, 0.6);
+        let k = archetypes.min(points.len());
+        let flat = kmeans(&mut seeded(seed ^ 0xF1A7), &points, KMeansConfig::new(k)).unwrap();
+        let refr =
+            reference::kmeans(&mut seeded(seed ^ 0xF1A7), &points, KMeansConfig::new(k)).unwrap();
+        // Identical RNG stream + well-separated data ⇒ identical
+        // trajectories: assignments must agree exactly.
+        prop_assert_eq!(&flat.assignments, &refr.assignments);
+        prop_assert_eq!(flat.iterations, refr.iterations);
+        prop_assert!(
+            (flat.inertia - refr.inertia).abs() <= 1e-3 * (1.0 + refr.inertia),
+            "inertia {} vs {}", flat.inertia, refr.inertia
+        );
+        for (a, b) in flat.centroids.iter().zip(&refr.centroids) {
+            prop_assert!(euclidean_distance(a, b) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn flat_kmeans_is_deterministic_and_valid(
+        seed in 0u64..10_000,
+        n in 4usize..40,
+        dim in 1usize..8,
+        k in 1usize..5,
+    ) {
+        // Arbitrary (non-separated) data: structural invariants and
+        // determinism must hold even when cluster boundaries are noisy.
+        let mut rng = seeded(seed);
+        let points: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f32>() * 10.0 - 5.0).collect())
+            .collect();
+        let k = k.min(n);
+        let a = kmeans(&mut seeded(seed), &points, KMeansConfig::new(k)).unwrap();
+        let b = kmeans(&mut seeded(seed), &points, KMeansConfig::new(k)).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.assignments.len(), n);
+        prop_assert!(a.assignments.iter().all(|&c| c < k));
+        prop_assert_eq!(a.sizes().iter().sum::<usize>(), n);
+        prop_assert!(a.inertia >= 0.0);
+    }
+
+    #[test]
+    fn pairwise_matrices_match_direct_computation(
+        seed in 0u64..5_000,
+        n in 2usize..20,
+        dim in 1usize..10,
+    ) {
+        use flips_clustering::hierarchical::{pairwise_cosine_distance, pairwise_euclidean};
+        use flips_ml::matrix::{dot, l2_norm};
+
+        let mut rng = seeded(seed);
+        let points: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f32>() * 4.0 - 2.0).collect())
+            .collect();
+
+        let eu = pairwise_euclidean(&points).unwrap();
+        let co = pairwise_cosine_distance(&points).unwrap();
+        for i in 0..n {
+            prop_assert_eq!(eu[i][i], 0.0);
+            prop_assert_eq!(co[i][i], 0.0);
+            for j in 0..n {
+                prop_assert_eq!(eu[i][j], eu[j][i]);
+                prop_assert_eq!(co[i][j], co[j][i]);
+                let direct = euclidean_distance(&points[i], &points[j]);
+                prop_assert!(
+                    (eu[i][j] - direct).abs() <= 1e-4 * (1.0 + direct),
+                    "euclidean mismatch at ({}, {}): {} vs {}", i, j, eu[i][j], direct
+                );
+                let denom = l2_norm(&points[i]) * l2_norm(&points[j]);
+                let direct_cos = if denom > 0.0 {
+                    1.0 - (dot(&points[i], &points[j]) / denom).clamp(-1.0, 1.0)
+                } else {
+                    1.0
+                };
+                if i != j {
+                    prop_assert!(
+                        (co[i][j] - direct_cos).abs() <= 1e-4,
+                        "cosine mismatch at ({}, {}): {} vs {}", i, j, co[i][j], direct_cos
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_points_round_trip(
+        seed in 0u64..1_000,
+        n in 1usize..30,
+        dim in 1usize..12,
+    ) {
+        let mut rng = seeded(seed);
+        let points: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f32>()).collect())
+            .collect();
+        let flat = FlatPoints::new(&points).unwrap();
+        prop_assert_eq!(flat.len(), n);
+        prop_assert_eq!(flat.dim(), dim);
+        for (i, p) in points.iter().enumerate() {
+            prop_assert_eq!(flat.point(i), p.as_slice());
+            let norm: f32 = p.iter().map(|x| x * x).sum();
+            prop_assert!((flat.norm_sq(i) - norm).abs() <= 1e-5 * (1.0 + norm));
+        }
+    }
+}

@@ -17,8 +17,7 @@ use flips_fl::{FlAlgorithm, FlJob, FlJobConfig, History, LatencyModel, LocalTrai
 use flips_selection::oort::OortConfig;
 use flips_selection::tifl::TiflConfig;
 use flips_selection::{
-    GradClusSelector, OortSelector, ParticipantSelector, RandomSelector, SelectorKind,
-    TiflSelector,
+    GradClusSelector, OortSelector, ParticipantSelector, RandomSelector, SelectorKind, TiflSelector,
 };
 use flips_tee::OverheadModel;
 use std::time::Duration;
@@ -228,9 +227,10 @@ impl SimulationBuilder {
         }
         let profile = match (self.parties, self.rounds) {
             (None, None) => self.profile.clone(),
-            (p, r) => self
-                .profile
-                .scaled(p.unwrap_or(self.profile.default_parties), r.unwrap_or(self.profile.max_rounds)),
+            (p, r) => self.profile.scaled(
+                p.unwrap_or(self.profile.default_parties),
+                r.unwrap_or(self.profile.max_rounds),
+            ),
         };
         profile.validate()?;
         let n = profile.default_parties;
@@ -271,8 +271,7 @@ impl SimulationBuilder {
                     seed: self.seed,
                     ..Default::default()
                 };
-                let pc =
-                    FlipsMiddleware::cluster_privately(&parts.label_distributions(), &mw_cfg)?;
+                let pc = FlipsMiddleware::cluster_privately(&parts.label_distributions(), &mw_cfg)?;
                 meta.k = Some(pc.k());
                 meta.clustering_tee_overhead = Some(pc.tee_overhead());
                 Box::new(pc.into_selector())
@@ -285,16 +284,12 @@ impl SimulationBuilder {
                 };
                 // The developer-preferred duration: 1.5× the median
                 // profiled round time.
-                let mut profile_times =
-                    latency.profile(&sample_counts, profile.local_epochs);
-                profile_times
-                    .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let mut profile_times = latency.profile(&sample_counts, profile.local_epochs);
+                profile_times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
                 cfg.preferred_duration = profile_times[profile_times.len() / 2] * 1.5;
                 Box::new(OortSelector::new(sample_counts.clone(), cfg, self.seed))
             }
-            SelectorKind::GradClus => {
-                Box::new(GradClusSelector::new(n, 32, self.seed)?)
-            }
+            SelectorKind::GradClus => Box::new(GradClusSelector::new(n, 32, self.seed)?),
             SelectorKind::Tifl => {
                 let profile_times = latency.profile(&sample_counts, profile.local_epochs);
                 Box::new(TiflSelector::new(profile_times, TiflConfig::default(), self.seed)?)

@@ -24,9 +24,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use flips_clustering::{kmeans, optimal_k, ElbowConfig, KMeansConfig};
 use flips_data::LabelDistribution;
 use flips_ml::rng::{derive_seed, seeded};
-use flips_selection::{
-    FlipsSelector, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
-};
+use flips_selection::{FlipsSelector, ParticipantSelector, PartyId, RoundFeedback, SelectionError};
 use flips_tee::attestation::PlatformKey;
 use flips_tee::{AttestationServer, Enclave, OverheadModel, SecureChannel, TeeError};
 use rand::Rng;
@@ -146,18 +144,15 @@ impl FlipsMiddleware {
         }
         if let Some(k) = config.fixed_k {
             if k == 0 || k > n {
-                return Err(FlipsError::InvalidConfig(format!(
-                    "fixed_k = {k} must be in 1..={n}"
-                )));
+                return Err(FlipsError::InvalidConfig(format!("fixed_k = {k} must be in 1..={n}")));
             }
         }
 
         let mut rng = seeded(derive_seed(config.seed, 0x7EE0));
 
         // (1) Load the enclave; register its measurement.
-        let platform = PlatformKey::new(
-            ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128,
-        );
+        let platform =
+            PlatformKey::new(((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128);
         let enclave = Enclave::load(
             CLUSTERING_CODE_ID,
             EnclaveState { distributions: vec![None; n], selector: None, k: 0 },
@@ -179,10 +174,8 @@ impl FlipsMiddleware {
             enclave
                 .enter(|state| -> Result<(), TeeError> {
                     let plain = enclave_end.open(&sealed)?;
-                    state.distributions[party] = Some(
-                        decode_distribution(plain)
-                            .map_err(|_| TeeError::IntegrityViolation)?,
-                    );
+                    state.distributions[party] =
+                        Some(decode_distribution(plain).map_err(|_| TeeError::IntegrityViolation)?);
                     Ok(())
                 })
                 .map_err(FlipsError::Tee)??;
@@ -215,11 +208,8 @@ impl FlipsMiddleware {
                 };
                 let mut krng = seeded(derive_seed(cluster_seed, k as u64));
                 let clustering = kmeans(&mut krng, &points, KMeansConfig::new(k))?;
-                let clusters: Vec<Vec<PartyId>> = clustering
-                    .members()
-                    .into_iter()
-                    .filter(|m| !m.is_empty())
-                    .collect();
+                let clusters: Vec<Vec<PartyId>> =
+                    clustering.members().into_iter().filter(|m| !m.is_empty()).collect();
                 let mut selector = FlipsSelector::new(clusters)?;
                 if !cfg.overprovision {
                     selector = selector.without_overprovisioning();
@@ -441,8 +431,7 @@ mod tests {
     fn destroying_the_enclave_stops_selection() {
         let lds = archetype_lds(3, 6, 4);
         let cfg = MiddlewareConfig { fixed_k: Some(3), ..fast_config(4) };
-        let mut sel =
-            FlipsMiddleware::cluster_privately(&lds, &cfg).unwrap().into_selector();
+        let mut sel = FlipsMiddleware::cluster_privately(&lds, &cfg).unwrap().into_selector();
         sel.destroy();
         assert!(sel.select(0, 3).is_err(), "destroyed enclave must refuse selection");
     }

@@ -20,8 +20,6 @@ pub use flips_fl::{
     straggler::StragglerBias, FlAlgorithm, FlJob, FlJobConfig, History, LatencyModel,
     LocalTrainingConfig, RoundRecord,
 };
-pub use flips_ml::{
-    metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model,
-};
+pub use flips_ml::{metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model};
 pub use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectorKind};
 pub use flips_tee::OverheadModel;

@@ -88,7 +88,7 @@ pub struct ClassGeometry {
 impl ClassGeometry {
     /// Samples the geometry for a profile. Deterministic in `seed`.
     pub fn for_profile(profile: &DatasetProfile, seed: u64) -> Self {
-        let mut rng = seeded(derive_seed(seed, 0xC1A5_5E5));
+        let mut rng = seeded(derive_seed(seed, 0x0C1A_55E5));
         let mut means = Matrix::zeros(profile.classes, profile.feature_dim);
         for c in 0..profile.classes {
             let row = means.row_mut(c);
@@ -106,11 +106,7 @@ impl ClassGeometry {
 
     /// Draws one sample of class `label`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, label: usize) -> Vec<f32> {
-        self.means
-            .row(label)
-            .iter()
-            .map(|&m| m + normal(rng, 0.0, self.noise_std) as f32)
-            .collect()
+        self.means.row(label).iter().map(|&m| m + normal(rng, 0.0, self.noise_std) as f32).collect()
     }
 
     /// Generates `n` samples with labels drawn i.i.d. from `priors`.
@@ -214,8 +210,7 @@ mod tests {
         let ts = balanced_test_set(&profile, 200, 5);
         for class in 0..profile.classes {
             let mean_of = |ds: &Dataset| -> Vec<f32> {
-                let idx: Vec<usize> =
-                    (0..ds.len()).filter(|&i| ds.y[i] == class).collect();
+                let idx: Vec<usize> = (0..ds.len()).filter(|&i| ds.y[i] == class).collect();
                 let sub = ds.x.select_rows(&idx);
                 let mut sums = sub.col_sums();
                 for s in &mut sums {

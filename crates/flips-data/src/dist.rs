@@ -168,19 +168,11 @@ mod tests {
         // α = 100 should be near-uniform — the paper's non-IID dial (§4.3).
         let mut rng = seeded(5);
         let sparse_max: f64 = (0..200)
-            .map(|_| {
-                dirichlet_symmetric(&mut rng, 0.05, 10)
-                    .into_iter()
-                    .fold(0.0, f64::max)
-            })
+            .map(|_| dirichlet_symmetric(&mut rng, 0.05, 10).into_iter().fold(0.0, f64::max))
             .sum::<f64>()
             / 200.0;
         let dense_max: f64 = (0..200)
-            .map(|_| {
-                dirichlet_symmetric(&mut rng, 100.0, 10)
-                    .into_iter()
-                    .fold(0.0, f64::max)
-            })
+            .map(|_| dirichlet_symmetric(&mut rng, 100.0, 10).into_iter().fold(0.0, f64::max))
             .sum::<f64>()
             / 200.0;
         assert!(sparse_max > 0.65, "sparse mean-max {sparse_max}");
@@ -193,8 +185,7 @@ mod tests {
         let mut rng = seeded(6);
         let alphas = [1.0, 3.0];
         let n = 20_000;
-        let mean0: f64 =
-            (0..n).map(|_| dirichlet(&mut rng, &alphas)[0]).sum::<f64>() / n as f64;
+        let mean0: f64 = (0..n).map(|_| dirichlet(&mut rng, &alphas)[0]).sum::<f64>() / n as f64;
         assert!((mean0 - 0.25).abs() < 0.02, "mean {mean0}");
     }
 

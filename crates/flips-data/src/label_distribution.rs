@@ -83,11 +83,7 @@ impl LabelDistribution {
     /// Shannon entropy (nats) of the normalized distribution — a diversity
     /// measure used in tests and diagnostics.
     pub fn entropy(&self) -> f64 {
-        self.normalized()
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| -(p as f64) * (p as f64).ln())
-            .sum()
+        self.normalized().iter().filter(|&&p| p > 0.0).map(|&p| -(p as f64) * (p as f64).ln()).sum()
     }
 }
 

@@ -91,7 +91,9 @@ pub fn partition(
     }
     if let PartitionStrategy::Dirichlet { alpha } = strategy {
         if alpha <= 0.0 || !alpha.is_finite() {
-            return Err(DataError::InvalidParameter(format!("alpha must be positive, got {alpha}")));
+            return Err(DataError::InvalidParameter(format!(
+                "alpha must be positive, got {alpha}"
+            )));
         }
     }
     if population.len() < num_parties * min_per_party {
@@ -159,9 +161,8 @@ pub fn partition(
             // purity degrades only when parties < labels, where purity is
             // unattainable anyway.
             for idx in orphaned {
-                let smallest = (0..num_parties)
-                    .min_by_key(|&p| assignment[p].len())
-                    .expect("num_parties > 0");
+                let smallest =
+                    (0..num_parties).min_by_key(|&p| assignment[p].len()).expect("num_parties > 0");
                 assignment[smallest].push(idx);
             }
             // Any parties left unassigned (more parties than labels·shares)
@@ -231,8 +232,7 @@ mod tests {
     fn dirichlet_partition_is_complete_and_respects_minimum() {
         let pop = population();
         for &alpha in &[0.1, 0.3, 0.6, 1.0] {
-            let parts =
-                partition(&pop, 50, PartitionStrategy::Dirichlet { alpha }, 5, 7).unwrap();
+            let parts = partition(&pop, 50, PartitionStrategy::Dirichlet { alpha }, 5, 7).unwrap();
             assert_is_partition(&pop, &parts);
             assert!(parts.sample_counts().iter().all(|&c| c >= 5), "alpha {alpha}");
         }
@@ -243,14 +243,8 @@ mod tests {
         // Mean per-party label entropy decreases as alpha decreases.
         let pop = population();
         let entropy = |alpha: f64| {
-            let parts =
-                partition(&pop, 40, PartitionStrategy::Dirichlet { alpha }, 1, 3).unwrap();
-            parts
-                .label_distributions()
-                .iter()
-                .map(LabelDistribution::entropy)
-                .sum::<f64>()
-                / 40.0
+            let parts = partition(&pop, 40, PartitionStrategy::Dirichlet { alpha }, 1, 3).unwrap();
+            parts.label_distributions().iter().map(LabelDistribution::entropy).sum::<f64>() / 40.0
         };
         let sparse = entropy(0.1);
         let dense = entropy(5.0);

@@ -98,6 +98,8 @@ pub struct FlJob {
     injector: StragglerInjector,
     history: History,
     round: usize,
+    /// Reused per-update delta buffer for selector sketches.
+    delta_buf: Vec<f32>,
 }
 
 impl std::fmt::Debug for FlJob {
@@ -189,8 +191,7 @@ impl FlJob {
             }
             None => LatencyModel::sample(parties.len(), config.latency_sigma, seed),
         };
-        let injector =
-            StragglerInjector::new(config.straggler_rate, config.straggler_bias, seed);
+        let injector = StragglerInjector::new(config.straggler_rate, config.straggler_bias, seed);
         Ok(FlJob {
             server: ServerState::new(config.algorithm),
             eval_model: init_model,
@@ -202,6 +203,7 @@ impl FlJob {
             injector,
             history: History::new(),
             round: 0,
+            delta_buf: Vec::new(),
             config,
         })
     }
@@ -239,14 +241,12 @@ impl FlJob {
     pub fn step(&mut self) -> Result<&RoundRecord, FlError> {
         let round = self.round;
         let selected = self.selector.select(round, self.config.parties_per_round)?;
-        let bytes_down =
-            (selected.len() * global_model_bytes(self.global.len())) as u64;
+        let bytes_down = (selected.len() * global_model_bytes(self.global.len())) as u64;
 
         // Straggler injection.
         let victim_idx = self.injector.strike(&selected, &self.latency);
         let victim_set: HashSet<usize> = victim_idx.iter().copied().collect();
-        let stragglers: Vec<PartyId> =
-            victim_idx.iter().map(|&i| selected[i]).collect();
+        let stragglers: Vec<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
         let completing: Vec<PartyId> = selected
             .iter()
             .enumerate()
@@ -259,16 +259,16 @@ impl FlJob {
         updates.sort_by_key(|(p, _)| *p); // deterministic aggregation order
 
         let completed: Vec<PartyId> = updates.iter().map(|(p, _)| *p).collect();
-        let bytes_up =
-            (updates.len() * local_update_bytes(self.global.len())) as u64;
+        let bytes_up = (updates.len() * local_update_bytes(self.global.len())) as u64;
 
         // Aggregate and advance the global model (a fully-straggled round
         // leaves the model unchanged, as a real aggregator would resample).
+        // Updates are aggregated by reference — no parameter-vector clones.
         let mean_train_loss = if updates.is_empty() {
             0.0
         } else {
-            let locals: Vec<LocalUpdate> = updates.iter().map(|(_, u)| u.clone()).collect();
-            self.server.apply_round(&mut self.global, &locals)?;
+            let locals: Vec<&LocalUpdate> = updates.iter().map(|(_, u)| u).collect();
+            self.server.apply_round_refs(&mut self.global, &locals)?;
             locals.iter().map(|u| u.mean_loss).sum::<f64>() / locals.len() as f64
         };
 
@@ -282,10 +282,7 @@ impl FlJob {
         );
         let accuracy = cm.balanced_accuracy();
 
-        let round_duration = updates
-            .iter()
-            .map(|(_, u)| u.duration)
-            .fold(0.0, f64::max);
+        let round_duration = updates.iter().map(|(_, u)| u.duration).fold(0.0, f64::max);
 
         // Selector feedback.
         let mut feedback = RoundFeedback {
@@ -299,11 +296,13 @@ impl FlJob {
         for (p, u) in &updates {
             feedback.train_loss.insert(*p, u.mean_loss);
             feedback.duration.insert(*p, u.duration);
-            let delta: Vec<f32> =
-                u.params.iter().zip(&self.global).map(|(x, g)| x - g).collect();
+            // Reusable delta buffer — the sketch is the only per-party
+            // allocation left, and it is handed to the selector.
+            self.delta_buf.clear();
+            self.delta_buf.extend(u.params.iter().zip(&self.global).map(|(x, g)| x - g));
             feedback
                 .update_sketch
-                .insert(*p, sketch_update(&delta, self.config.sketch_dim));
+                .insert(*p, sketch_update(&self.delta_buf, self.config.sketch_dim));
         }
         self.selector.report(&feedback);
 
@@ -348,18 +347,13 @@ impl FlJob {
         let seed = self.config.seed;
 
         let completing_set: HashSet<PartyId> = completing.iter().copied().collect();
-        let mut selected_parties: Vec<&mut Party> = self
-            .parties
-            .iter_mut()
-            .filter(|p| completing_set.contains(&p.id()))
-            .collect();
+        let mut selected_parties: Vec<&mut Party> =
+            self.parties.iter_mut().filter(|p| completing_set.contains(&p.id())).collect();
 
         if !self.config.parallel || selected_parties.len() < 2 {
             return selected_parties
                 .iter_mut()
-                .map(|party| {
-                    (party.id(), party.train(global, round, local_cfg, mu, latency, seed))
-                })
+                .map(|party| (party.id(), party.train(global, round, local_cfg, mu, latency, seed)))
                 .collect();
         }
 
@@ -398,10 +392,7 @@ mod tests {
     use flips_data::{partition, DatasetProfile, PartitionStrategy};
     use flips_selection::RandomSelector;
 
-    fn small_setup(
-        parties: usize,
-        alpha: f64,
-    ) -> (Vec<Dataset>, Dataset, DatasetProfile) {
+    fn small_setup(parties: usize, alpha: f64) -> (Vec<Dataset>, Dataset, DatasetProfile) {
         let profile = DatasetProfile::femnist().scaled(parties, 30);
         let pop = generate_population(&profile, profile.default_total_samples, 11);
         let parts =
@@ -453,10 +444,7 @@ mod tests {
         let history = j.run().unwrap();
         let first = history.records()[0].accuracy;
         let peak = history.peak_accuracy();
-        assert!(
-            peak > first + 0.2,
-            "no learning: first {first}, peak {peak}"
-        );
+        assert!(peak > first + 0.2, "no learning: first {first}, peak {peak}");
         assert!(peak > 0.5, "peak {peak} too low for near-IID data");
     }
 

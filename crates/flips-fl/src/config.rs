@@ -167,10 +167,8 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = LocalTrainingConfig { batch_size: 0, ..Default::default() };
         assert!(bad.validate().is_err());
-        let bad = LocalTrainingConfig {
-            lr_schedule: StepDecay::constant(0.0),
-            ..Default::default()
-        };
+        let bad =
+            LocalTrainingConfig { lr_schedule: StepDecay::constant(0.0), ..Default::default() };
         assert!(bad.validate().is_err());
         let bad = LocalTrainingConfig { momentum: 1.0, ..Default::default() };
         assert!(bad.validate().is_err());

@@ -28,9 +28,8 @@ impl LatencyModel {
     /// identical, 0.5 gives a realistic ~5× spread between fast and slow
     /// devices.
     pub fn sample(num_parties: usize, sigma: f64, seed: u64) -> Self {
-        let mut rng = seeded(derive_seed(seed, 0x1A7E_9C7));
-        let speed =
-            (0..num_parties).map(|_| normal(&mut rng, 0.0, sigma).exp()).collect();
+        let mut rng = seeded(derive_seed(seed, 0x01A7_E9C7));
+        let speed = (0..num_parties).map(|_| normal(&mut rng, 0.0, sigma).exp()).collect();
         LatencyModel { per_sample_cost: 1e-4, fixed_cost: 0.05, speed }
     }
 
@@ -62,16 +61,13 @@ impl LatencyModel {
     /// Simulated duration of `epochs` local epochs over `num_samples`
     /// samples at `party`.
     pub fn duration(&self, party: usize, num_samples: usize, epochs: usize) -> f64 {
-        self.fixed_cost
-            + self.speed[party] * self.per_sample_cost * (num_samples * epochs) as f64
+        self.fixed_cost + self.speed[party] * self.per_sample_cost * (num_samples * epochs) as f64
     }
 
     /// Per-party durations for a fixed workload — TiFL's profiling pass.
     pub fn profile(&self, samples_per_party: &[usize], epochs: usize) -> Vec<f64> {
         assert_eq!(samples_per_party.len(), self.speed.len(), "profile length mismatch");
-        (0..self.speed.len())
-            .map(|p| self.duration(p, samples_per_party[p], epochs))
-            .collect()
+        (0..self.speed.len()).map(|p| self.duration(p, samples_per_party[p], epochs)).collect()
     }
 }
 

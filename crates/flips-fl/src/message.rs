@@ -198,10 +198,7 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = sample_update().encode().to_vec();
         bytes[0] ^= 0xFF;
-        assert!(matches!(
-            WireMessage::decode(Bytes::from(bytes)),
-            Err(FlError::Codec(_))
-        ));
+        assert!(matches!(WireMessage::decode(Bytes::from(bytes)), Err(FlError::Codec(_))));
     }
 
     #[test]

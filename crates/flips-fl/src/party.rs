@@ -10,9 +10,10 @@ use crate::config::LocalTrainingConfig;
 use crate::latency::LatencyModel;
 use flips_data::Dataset;
 use flips_ml::loss::add_proximal_grad;
-use flips_ml::model::{Model, ModelSpec};
+use flips_ml::model::{Model, ModelSpec, TrainWorkspace};
 use flips_ml::optimizer::{Optimizer, Sgd};
 use flips_ml::rng::{derive_seed, seeded};
+use flips_ml::Matrix;
 use flips_selection::PartyId;
 
 /// The result of one party's local training for one round.
@@ -29,10 +30,22 @@ pub struct LocalUpdate {
 }
 
 /// One FL participant.
+///
+/// Besides its dataset and model, a party owns the reusable training
+/// buffers (workspace, minibatch views, parameter/epoch-order scratch):
+/// after the first full-size minibatch of its first round, local training
+/// performs no heap allocation.
 pub struct Party {
     id: PartyId,
     data: Dataset,
     model: Box<dyn Model>,
+    // Unused when the allocating `baseline` benchmark path is compiled in.
+    #[cfg_attr(feature = "baseline", allow(dead_code))]
+    ws: TrainWorkspace,
+    batch_x: Matrix,
+    batch_y: Vec<usize>,
+    order: Vec<usize>,
+    params: Vec<f32>,
 }
 
 impl std::fmt::Debug for Party {
@@ -50,7 +63,16 @@ impl Party {
     /// model architecture locally (weights are overwritten each round).
     pub fn new(id: PartyId, data: Dataset, spec: &ModelSpec, seed: u64) -> Self {
         let mut rng = seeded(derive_seed(seed, 0xBA57 ^ id as u64));
-        Party { id, data, model: spec.build(&mut rng) }
+        Party {
+            id,
+            data,
+            model: spec.build(&mut rng),
+            ws: TrainWorkspace::new(),
+            batch_x: Matrix::zeros(0, 0),
+            batch_y: Vec::new(),
+            order: Vec::new(),
+            params: Vec::new(),
+        }
     }
 
     /// This party's identifier.
@@ -90,10 +112,7 @@ impl Party {
         self.model
             .set_params(global_params)
             .expect("global model must match the agreed architecture");
-        let mut rng = seeded(derive_seed(
-            seed,
-            0x7121 ^ (round as u64) << 24 ^ self.id as u64,
-        ));
+        let mut rng = seeded(derive_seed(seed, 0x7121 ^ (round as u64) << 24 ^ self.id as u64));
         let lr = local.lr_schedule.at(round);
         let mut opt: Sgd = if local.momentum > 0.0 {
             Sgd::with_momentum(lr, local.momentum)
@@ -101,32 +120,62 @@ impl Party {
             Sgd::new(lr)
         };
 
-        let mut params = self.model.params();
+        // Reusable epoch-order and parameter buffers (no per-round or
+        // per-minibatch allocation after the first round's warm-up).
+        self.params.clear();
+        self.params.extend_from_slice(global_params);
         let mut total_loss = 0.0f64;
         let mut steps = 0usize;
         for _ in 0..local.epochs {
-            let mut order: Vec<usize> = (0..self.data.len()).collect();
-            flips_ml::rng::shuffle(&mut rng, &mut order);
-            for batch_idx in order.chunks(local.batch_size) {
-                let x = self.data.x.select_rows(batch_idx);
-                let y: Vec<usize> = batch_idx.iter().map(|&i| self.data.y[i]).collect();
-                let (loss, mut grad) = self.model.loss_and_grad(&x, &y);
-                if proximal_mu > 0.0 {
-                    add_proximal_grad(&mut grad, &params, global_params, proximal_mu);
-                }
-                opt.step(&mut params, &grad);
-                self.model.set_params(&params).expect("param length is fixed");
+            self.order.clear();
+            self.order.extend(0..self.data.len());
+            flips_ml::rng::shuffle(&mut rng, &mut self.order);
+            for start in (0..self.order.len()).step_by(local.batch_size) {
+                let batch_idx =
+                    &self.order[start..(start + local.batch_size).min(self.order.len())];
+                self.data.x.select_rows_into(batch_idx, &mut self.batch_x);
+                self.batch_y.clear();
+                self.batch_y.extend(batch_idx.iter().map(|&i| self.data.y[i]));
+                let loss = self.step_minibatch(global_params, proximal_mu, &mut opt);
                 total_loss += loss as f64;
                 steps += 1;
             }
         }
 
         LocalUpdate {
-            params,
+            params: self.params.clone(),
             num_samples: self.data.len(),
             mean_loss: if steps > 0 { total_loss / steps as f64 } else { 0.0 },
             duration: latency.duration(self.id, self.data.len(), local.epochs),
         }
+    }
+
+    /// One optimizer step on the current minibatch buffers.
+    ///
+    /// The default path runs through the model's workspace API (zero
+    /// allocation); the `baseline` feature restores the seed's allocating
+    /// `loss_and_grad` call for benchmark comparisons.
+    fn step_minibatch(&mut self, global_params: &[f32], proximal_mu: f32, opt: &mut Sgd) -> f32 {
+        #[cfg(not(feature = "baseline"))]
+        let loss = {
+            let loss = self.model.loss_and_grad_into(&self.batch_x, &self.batch_y, &mut self.ws);
+            if proximal_mu > 0.0 {
+                add_proximal_grad(self.ws.grad_mut(), &self.params, global_params, proximal_mu);
+            }
+            opt.step(&mut self.params, self.ws.grad());
+            loss
+        };
+        #[cfg(feature = "baseline")]
+        let loss = {
+            let (loss, mut grad) = self.model.loss_and_grad(&self.batch_x, &self.batch_y);
+            if proximal_mu > 0.0 {
+                add_proximal_grad(&mut grad, &self.params, global_params, proximal_mu);
+            }
+            opt.step(&mut self.params, &grad);
+            loss
+        };
+        self.model.set_params(&self.params).expect("param length is fixed");
+        loss
     }
 }
 
@@ -173,14 +222,8 @@ mod tests {
     fn update_reports_sample_count_and_duration() {
         let mut party = party_with_data(150);
         let latency = LatencyModel::uniform(1);
-        let up = party.train(
-            &global_params(),
-            0,
-            &LocalTrainingConfig::default(),
-            0.0,
-            &latency,
-            1,
-        );
+        let up =
+            party.train(&global_params(), 0, &LocalTrainingConfig::default(), 0.0, &latency, 1);
         assert_eq!(up.num_samples, 150);
         assert!((up.duration - latency.duration(0, 150, 2)).abs() < 1e-12);
         assert!(up.mean_loss > 0.0);
@@ -210,16 +253,12 @@ mod tests {
         let drift = |mu: f32| {
             let mut party = party_with_data(200);
             let up = party.train(&global, 0, &cfg, mu, &latency, 5);
-            let diff: Vec<f32> =
-                up.params.iter().zip(&global).map(|(a, b)| a - b).collect();
+            let diff: Vec<f32> = up.params.iter().zip(&global).map(|(a, b)| a - b).collect();
             l2_norm(&diff)
         };
         let free = drift(0.0);
         let anchored = drift(1.0);
-        assert!(
-            anchored < free,
-            "µ=1 drift {anchored} must be below µ=0 drift {free}"
-        );
+        assert!(anchored < free, "µ=1 drift {anchored} must be below µ=0 drift {free}");
     }
 
     #[test]

@@ -15,22 +15,23 @@ use crate::party::LocalUpdate;
 use crate::FlError;
 use flips_ml::optimizer::{Adagrad, Adam, Optimizer, Sgd, Yogi};
 
-/// Computes the sample-weighted average of client updates.
+/// Accumulates the sample-weighted average of `updates` into `accum`
+/// (resized to the parameter dimension; f64 accumulation as before).
 ///
 /// # Errors
 ///
 /// Returns [`FlError::InvalidConfig`] when `updates` is empty, all weights
 /// are zero, or parameter lengths disagree.
-pub fn weighted_average(updates: &[LocalUpdate]) -> Result<Vec<f32>, FlError> {
-    let first = updates
-        .first()
-        .ok_or_else(|| FlError::InvalidConfig("no updates to aggregate".into()))?;
+fn weighted_average_into(accum: &mut Vec<f64>, updates: &[&LocalUpdate]) -> Result<(), FlError> {
+    let first =
+        updates.first().ok_or_else(|| FlError::InvalidConfig("no updates to aggregate".into()))?;
     let dim = first.params.len();
     let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
     if total <= 0.0 {
         return Err(FlError::InvalidConfig("aggregation weights sum to zero".into()));
     }
-    let mut avg = vec![0.0f64; dim];
+    accum.clear();
+    accum.resize(dim, 0.0);
     for u in updates {
         if u.params.len() != dim {
             return Err(FlError::InvalidConfig(format!(
@@ -40,17 +41,38 @@ pub fn weighted_average(updates: &[LocalUpdate]) -> Result<Vec<f32>, FlError> {
             )));
         }
         let w = u.num_samples as f64 / total;
-        for (a, &p) in avg.iter_mut().zip(&u.params) {
+        for (a, &p) in accum.iter_mut().zip(&u.params) {
             *a += w * p as f64;
         }
     }
-    Ok(avg.into_iter().map(|x| x as f32).collect())
+    Ok(())
+}
+
+/// Computes the sample-weighted average of client updates.
+///
+/// (Allocating convenience wrapper; the round loop goes through
+/// [`ServerState::apply_round_refs`], which reuses persistent buffers.)
+///
+/// # Errors
+///
+/// As [`weighted_average_into`].
+pub fn weighted_average(updates: &[LocalUpdate]) -> Result<Vec<f32>, FlError> {
+    let refs: Vec<&LocalUpdate> = updates.iter().collect();
+    let mut accum = Vec::new();
+    weighted_average_into(&mut accum, &refs)?;
+    Ok(accum.into_iter().map(|x| x as f32).collect())
 }
 
 /// The server's persistent optimizer state for one FL job.
+///
+/// Holds the aggregation accumulator and pseudo-gradient scratch across
+/// rounds, so a synchronization round performs no aggregation-side heap
+/// allocation after the first round.
 pub struct ServerState {
     algorithm: FlAlgorithm,
     optimizer: Option<Box<dyn Optimizer>>,
+    accum: Vec<f64>,
+    scratch: Vec<f32>,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -68,7 +90,7 @@ impl ServerState {
             FlAlgorithm::FedAdam { server_lr } => Some(Box::new(Adam::new(server_lr))),
             FlAlgorithm::FedAdagrad { server_lr } => Some(Box::new(Adagrad::new(server_lr))),
         };
-        ServerState { algorithm, optimizer }
+        ServerState { algorithm, optimizer, accum: Vec::new(), scratch: Vec::new() }
     }
 
     /// The algorithm this state serves.
@@ -88,22 +110,43 @@ impl ServerState {
         global: &mut [f32],
         updates: &[LocalUpdate],
     ) -> Result<(), FlError> {
-        let avg = weighted_average(updates)?;
-        if avg.len() != global.len() {
+        let refs: Vec<&LocalUpdate> = updates.iter().collect();
+        self.apply_round_refs(global, &refs)
+    }
+
+    /// [`ServerState::apply_round`] over borrowed updates — the round
+    /// loop's form, which never clones parameter vectors and reuses the
+    /// server's persistent accumulator and scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerState::apply_round`].
+    pub fn apply_round_refs(
+        &mut self,
+        global: &mut [f32],
+        updates: &[&LocalUpdate],
+    ) -> Result<(), FlError> {
+        weighted_average_into(&mut self.accum, updates)?;
+        if self.accum.len() != global.len() {
             return Err(FlError::InvalidConfig(format!(
                 "aggregate length {} != global {}",
-                avg.len(),
+                self.accum.len(),
                 global.len()
             )));
         }
         match &mut self.optimizer {
-            None => global.copy_from_slice(&avg),
+            None => {
+                // FedAvg/FedProx: the global model becomes the average.
+                for (g, &a) in global.iter_mut().zip(&self.accum) {
+                    *g = a as f32;
+                }
+            }
             Some(opt) => {
                 // Pseudo-gradient g = m − x̄; step does m ← m − lr·f(g),
                 // moving m toward x̄ adaptively.
-                let pseudo_grad: Vec<f32> =
-                    global.iter().zip(&avg).map(|(m, a)| m - a).collect();
-                opt.step(global, &pseudo_grad);
+                self.scratch.clear();
+                self.scratch.extend(global.iter().zip(&self.accum).map(|(m, a)| m - *a as f32));
+                opt.step(global, &self.scratch);
             }
         }
         Ok(())
@@ -209,9 +252,7 @@ mod tests {
 
     #[test]
     fn adaptive_variants_all_advance() {
-        for algo in
-            [FlAlgorithm::fedyogi(), FlAlgorithm::fedadam(), FlAlgorithm::fedadagrad()]
-        {
+        for algo in [FlAlgorithm::fedyogi(), FlAlgorithm::fedadam(), FlAlgorithm::fedadagrad()] {
             let mut state = ServerState::new(algo);
             let mut global = vec![1.0f32, -1.0];
             let ups = vec![update(vec![0.0, 0.0], 1)];

@@ -126,10 +126,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            slow_hits as f64 / total as f64 > 0.9,
-            "slow parties hit only {slow_hits}/{total}"
-        );
+        assert!(slow_hits as f64 / total as f64 > 0.9, "slow parties hit only {slow_hits}/{total}");
     }
 
     #[test]

@@ -16,6 +16,22 @@ pub fn relu_grad_mask(pre_activation: &Matrix) -> Matrix {
     m
 }
 
+/// Multiplies `delta` in place by ReLU's derivative at `pre_activation`
+/// (zeroing entries whose pre-activation was non-positive) without
+/// materializing the mask matrix.
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn relu_grad_mask_mul(delta: &mut Matrix, pre_activation: &Matrix) {
+    assert_eq!(delta.shape(), pre_activation.shape(), "relu mask shape mismatch");
+    for (d, &z) in delta.as_mut_slice().iter_mut().zip(pre_activation.as_slice()) {
+        if z <= 0.0 {
+            *d = 0.0;
+        }
+    }
+}
+
 /// Logistic sigmoid applied element-wise in place.
 pub fn sigmoid_inplace(m: &mut Matrix) {
     m.map_inplace(|x| 1.0 / (1.0 + (-x).exp()));

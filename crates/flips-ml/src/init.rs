@@ -37,8 +37,7 @@ mod tests {
         let m = xavier(&mut rng, 100, 100);
         let n = (m.rows() * m.cols()) as f64;
         let mean = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var =
-            m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
         let expected = 2.0 / 200.0;
         assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
     }

@@ -1,9 +1,36 @@
-//! Row-major dense matrices.
+//! Row-major dense matrices with cache-blocked GEMM kernels.
 //!
 //! A deliberately small linear-algebra kernel: just the operations the
 //! training stack needs (GEMM with optional transposes, row-broadcast adds,
 //! element-wise maps) with bounds-checked constructors and debug-mode shape
 //! assertions.
+//!
+//! # Kernel design
+//!
+//! The three GEMM variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) share one blocked,
+//! panel-packed engine (see [`gemm`]):
+//!
+//! - the right-hand operand is packed once per call into `NR`-wide column
+//!   panels (`panel[j/NR][k][j%NR]`), so the micro-kernel streams
+//!   contiguous memory regardless of the transpose flavor — `A·Bᵀ` simply
+//!   packs with swapped indices and reuses the same inner loop;
+//! - the micro-kernel computes an `MR×NR` register tile with explicit
+//!   `f32::mul_add` (FMA), accumulating over `k` in ascending order so
+//!   results are **bit-identical for every blocking/threading
+//!   configuration**;
+//! - large products split their *output row range* across threads with
+//!   `std::thread::scope`; each thread owns a disjoint row panel, so the
+//!   reduction order never changes — seeded runs stay bit-reproducible at
+//!   any thread count;
+//! - pack buffers live in thread-local scratch reused across calls:
+//!   steady-state GEMM performs **zero heap allocation** when callers use
+//!   the `*_into` variants.
+//!
+//! The seed's naive kernels are retained in [`reference`] (behind
+//! `cfg(test)` / the `reference-kernels` feature) as the correctness and
+//! performance baseline; the `naive-gemm` feature routes the public
+//! `matmul*` API back through them so end-to-end benchmarks can measure
+//! the before/after delta.
 
 use serde::{Deserialize, Serialize};
 
@@ -19,7 +46,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.shape(), (2, 2));
 /// assert_eq!(m[(1, 0)], 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -98,6 +125,17 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes in place to `rows × cols`, reusing the existing capacity.
+    ///
+    /// Contents after the call are unspecified (workspace buffers call
+    /// this before being overwritten). No allocation occurs once the
+    /// backing buffer has grown to its steady-state size.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Borrows row `r` as a slice.
     ///
     /// # Panics
@@ -122,10 +160,18 @@ impl Matrix {
     /// Builds a new matrix from a subset of this matrix's rows.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (i, &r) in indices.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r));
-        }
+        self.select_rows_into(indices, &mut out);
         out
+    }
+
+    /// Copies a subset of rows into a caller-owned matrix (resized as
+    /// needed; allocation-free once `out` has warmed up).
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            let src = self.row(r);
+            out.row_mut(i).copy_from_slice(src);
+        }
     }
 
     /// Matrix product `self × rhs`.
@@ -134,74 +180,99 @@ impl Matrix {
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self × rhs` written into a caller-owned matrix (resized as
+    /// needed).
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} . {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // memory in both `rhs` and `out`.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.resize(self.rows, rhs.cols);
+        gemm::gemm(
+            gemm::Layout::Nn,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
     }
 
     /// `selfᵀ × rhs` without materializing the transpose.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// `selfᵀ × rhs` written into a caller-owned matrix.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        out.resize(self.cols, rhs.cols);
+        self.matmul_tn_into_slice(rhs, &mut out.data);
+    }
+
+    /// `selfᵀ × rhs` written into a caller-owned flat buffer of length
+    /// `self.cols * rhs.cols` (lets backward passes write gradients
+    /// straight into their flat-gradient segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape or buffer-length mismatch.
+    pub fn matmul_tn_into_slice(&self, rhs: &Matrix, out: &mut [f32]) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn: ({}x{})^T . {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        assert_eq!(out.len(), self.cols * rhs.cols, "matmul_tn output length");
+        gemm::gemm(
+            gemm::Layout::Tn,
+            self.cols,
+            self.rows,
+            rhs.cols,
+            &self.data,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            out,
+        );
     }
 
     /// `self × rhsᵀ` without materializing the transpose.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// `self × rhsᵀ` written into a caller-owned matrix.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt: {}x{} . ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
-        out
+        out.resize(self.rows, rhs.rows);
+        gemm::gemm(
+            gemm::Layout::Nt,
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &self.data,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
     }
 
     /// Returns the transpose.
@@ -232,6 +303,12 @@ impl Matrix {
         }
     }
 
+    /// Copies `src`'s contents and shape into `self`, reusing capacity.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Element-wise addition of `alpha * rhs` into `self`.
     pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
@@ -258,12 +335,23 @@ impl Matrix {
     /// Sum of each column (length = cols).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut sums = vec![0.0; self.cols];
+        self.col_sums_into(&mut sums);
+        sums
+    }
+
+    /// Sum of each column written into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.cols`.
+    pub fn col_sums_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "col_sums output length");
+        out.fill(0.0);
         for row in self.data.chunks_exact(self.cols) {
-            for (s, &x) in sums.iter_mut().zip(row) {
+            for (s, &x) in out.iter_mut().zip(row) {
                 *s += x;
             }
         }
-        sums
     }
 
     /// Frobenius norm.
@@ -298,6 +386,401 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
         assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
         &mut self.data[r * self.cols + c]
+    }
+}
+
+/// The blocked, panel-packed GEMM engine shared by all `matmul*` variants.
+pub mod gemm {
+    use std::cell::RefCell;
+
+    /// Rows per register micro-tile.
+    const MR: usize = 4;
+    /// Columns per register micro-tile (two AVX-512 lane sets; four AVX2).
+    const NR: usize = 32;
+    /// Minimum FLOP count (2·m·k·n) before output rows are split across
+    /// scoped threads; below this the spawn cost dominates.
+    const PARALLEL_FLOPS: usize = 1 << 23;
+    /// Upper bound on worker threads.
+    const MAX_THREADS: usize = 8;
+
+    thread_local! {
+        /// Reusable pack buffer: steady-state GEMM allocates nothing.
+        static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Which operand is logically transposed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Layout {
+        /// `out = A·B` — `A` is `m×k` (lda = k), `B` is `k×n` (ldb = n).
+        Nn,
+        /// `out = Aᵀ·B` — `A` is `k×m` (lda = m), `B` is `k×n` (ldb = n).
+        Tn,
+        /// `out = A·Bᵀ` — `A` is `m×k` (lda = k), `B` is `n×k` (ldb = k).
+        Nt,
+    }
+
+    /// Computes `out = op(A) · op(B)` where `out` is `m×n` and the shared
+    /// dimension is `k`, per [`Layout`]. `out` is fully overwritten.
+    ///
+    /// Accumulation runs over `k` in ascending order for every element,
+    /// independent of blocking and threading — bit-reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the dimensions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        layout: Layout,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        out: &mut [f32],
+    ) {
+        assert_eq!(out.len(), m * n, "gemm output length");
+        match layout {
+            Layout::Nn | Layout::Nt => assert_eq!(a.len(), m * lda, "gemm lhs length"),
+            Layout::Tn => assert_eq!(a.len(), k * lda, "gemm lhs length"),
+        }
+        match layout {
+            Layout::Nn | Layout::Tn => assert_eq!(b.len(), k * ldb, "gemm rhs length"),
+            Layout::Nt => assert_eq!(b.len(), n * ldb, "gemm rhs length"),
+        }
+        #[cfg(feature = "naive-gemm")]
+        {
+            return super::reference::gemm_naive(layout, m, k, n, a, lda, b, ldb, out);
+        }
+        #[allow(unreachable_code)]
+        {
+            if m == 0 || n == 0 {
+                return;
+            }
+            if k == 0 {
+                out.fill(0.0);
+                return;
+            }
+
+            PACK.with(|cell| {
+                let mut pack = cell.borrow_mut();
+                let panels = n.div_ceil(NR);
+                let need = panels * k * NR;
+                if pack.len() < need {
+                    pack.resize(need, 0.0);
+                }
+                let pack = &mut pack[..need];
+                match layout {
+                    // B indexed [k][j]: panel[p][kk][jj] = B[kk][p·NR+jj].
+                    Layout::Nn | Layout::Tn => {
+                        for p in 0..panels {
+                            let j0 = p * NR;
+                            let w = NR.min(n - j0);
+                            let dst = &mut pack[p * k * NR..(p + 1) * k * NR];
+                            if w < NR {
+                                // Keep tail lanes zeroed so stale values
+                                // from earlier calls cannot go subnormal
+                                // (the lanes are computed, then discarded).
+                                dst.fill(0.0);
+                            }
+                            for kk in 0..k {
+                                let src = &b[kk * ldb + j0..kk * ldb + j0 + w];
+                                dst[kk * NR..kk * NR + w].copy_from_slice(src);
+                            }
+                        }
+                    }
+                    // B indexed [j][k]: packing transposes on the fly.
+                    Layout::Nt => {
+                        for p in 0..panels {
+                            let j0 = p * NR;
+                            let w = NR.min(n - j0);
+                            let dst = &mut pack[p * k * NR..(p + 1) * k * NR];
+                            if w < NR {
+                                dst.fill(0.0);
+                            }
+                            for jj in 0..w {
+                                let src = &b[(j0 + jj) * ldb..(j0 + jj) * ldb + k];
+                                for (kk, &v) in src.iter().enumerate() {
+                                    dst[kk * NR + jj] = v;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                let threads = if 2 * m * k * n >= PARALLEL_FLOPS {
+                    std::thread::available_parallelism()
+                        .map_or(1, |t| t.get())
+                        .min(MAX_THREADS)
+                        .min(m)
+                } else {
+                    1
+                };
+                let pack: &[f32] = pack;
+                if threads <= 1 {
+                    compute_rows(layout, 0, m, k, n, a, lda, pack, out);
+                } else {
+                    // Disjoint row panels per thread: identical per-element
+                    // accumulation order at any thread count.
+                    let chunk = m.div_ceil(threads);
+                    std::thread::scope(|scope| {
+                        for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                            let i0 = t * chunk;
+                            let rows = out_chunk.len() / n;
+                            scope.spawn(move || {
+                                compute_rows(layout, i0, rows, k, n, a, lda, pack, out_chunk);
+                            });
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Computes `rows` output rows starting at logical row `i0`, writing
+    /// into `out` (which holds exactly those rows).
+    ///
+    /// The micro-kernels keep an `MR×NR` accumulator tile in registers,
+    /// feed it with `f32::mul_add` (forcing FMA codegen — rustc does not
+    /// contract `a*b + c` on its own), and accumulate `k` in ascending
+    /// order so every element's summation order is fixed.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_rows(
+        layout: Layout,
+        i0: usize,
+        rows: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        pack: &[f32],
+        out: &mut [f32],
+    ) {
+        let panels = n.div_ceil(NR);
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            for p in 0..panels {
+                let j0 = p * NR;
+                let w = NR.min(n - j0);
+                let panel = &pack[p * k * NR..(p + 1) * k * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                match layout {
+                    Layout::Nn | Layout::Nt => {
+                        // A rows are contiguous in k; broadcast a[i][k].
+                        micro_nn(&mut acc, mr, a, lda, i0 + i, k, panel);
+                    }
+                    Layout::Tn => {
+                        // out rows are A columns: a[kk][i0+i..] is a
+                        // contiguous mr-wide load per kk.
+                        micro_tn(&mut acc, mr, a, lda, i0 + i, panel);
+                    }
+                }
+                for (ii, acc_row) in acc.iter().enumerate().take(mr) {
+                    let dst = &mut out[(i + ii) * n + j0..(i + ii) * n + j0 + w];
+                    dst.copy_from_slice(&acc_row[..w]);
+                }
+            }
+            i += mr;
+        }
+    }
+
+    /// `MR×NR` micro-kernel for the non-transposed-lhs layouts.
+    #[inline]
+    fn micro_nn(
+        acc: &mut [[f32; NR]; MR],
+        mr: usize,
+        a: &[f32],
+        lda: usize,
+        row0: usize,
+        k: usize,
+        panel: &[f32],
+    ) {
+        if mr == MR {
+            let a0 = &a[row0 * lda..row0 * lda + k];
+            let a1 = &a[(row0 + 1) * lda..(row0 + 1) * lda + k];
+            let a2 = &a[(row0 + 2) * lda..(row0 + 2) * lda + k];
+            let a3 = &a[(row0 + 3) * lda..(row0 + 3) * lda + k];
+            let [acc0, acc1, acc2, acc3] = acc;
+            let streams =
+                panel.chunks_exact(NR).zip(a0.iter()).zip(a1.iter()).zip(a2.iter()).zip(a3.iter());
+            for ((((bv, &x0), &x1), &x2), &x3) in streams {
+                for j in 0..NR {
+                    acc0[j] = x0.mul_add(bv[j], acc0[j]);
+                    acc1[j] = x1.mul_add(bv[j], acc1[j]);
+                    acc2[j] = x2.mul_add(bv[j], acc2[j]);
+                    acc3[j] = x3.mul_add(bv[j], acc3[j]);
+                }
+            }
+        } else {
+            for (ii, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                let ar = &a[(row0 + ii) * lda..(row0 + ii) * lda + k];
+                for (bv, &aik) in panel.chunks_exact(NR).zip(ar) {
+                    for (dst, &bj) in acc_row.iter_mut().zip(bv) {
+                        *dst = aik.mul_add(bj, *dst);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `MR×NR` micro-kernel for the transposed-lhs layout (`Aᵀ·B`).
+    #[inline]
+    fn micro_tn(
+        acc: &mut [[f32; NR]; MR],
+        mr: usize,
+        a: &[f32],
+        lda: usize,
+        col0: usize,
+        panel: &[f32],
+    ) {
+        if mr == MR {
+            let [acc0, acc1, acc2, acc3] = acc;
+            for (kk, bv) in panel.chunks_exact(NR).enumerate() {
+                let av = &a[kk * lda + col0..kk * lda + col0 + MR];
+                for j in 0..NR {
+                    acc0[j] = av[0].mul_add(bv[j], acc0[j]);
+                    acc1[j] = av[1].mul_add(bv[j], acc1[j]);
+                    acc2[j] = av[2].mul_add(bv[j], acc2[j]);
+                    acc3[j] = av[3].mul_add(bv[j], acc3[j]);
+                }
+            }
+        } else {
+            for (kk, bv) in panel.chunks_exact(NR).enumerate() {
+                let av = &a[kk * lda + col0..kk * lda + col0 + mr];
+                for (ii, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                    let aik = av[ii];
+                    for (dst, &bj) in acc_row.iter_mut().zip(bv) {
+                        *dst = aik.mul_add(bj, *dst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The seed's naive triple-loop kernels, retained as the correctness and
+/// performance baseline for the blocked engine.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub mod reference {
+    use super::gemm::Layout;
+    use super::Matrix;
+
+    /// Naive `A·B` (the seed's i-k-j streaming loop).
+    pub fn matmul(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+        assert_eq!(lhs.cols, rhs.rows, "reference matmul shape");
+        let mut out = Matrix::zeros(lhs.rows, rhs.cols);
+        gemm_naive(
+            Layout::Nn,
+            lhs.rows,
+            lhs.cols,
+            rhs.cols,
+            &lhs.data,
+            lhs.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Naive `Aᵀ·B`.
+    pub fn matmul_tn(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+        assert_eq!(lhs.rows, rhs.rows, "reference matmul_tn shape");
+        let mut out = Matrix::zeros(lhs.cols, rhs.cols);
+        gemm_naive(
+            Layout::Tn,
+            lhs.cols,
+            lhs.rows,
+            rhs.cols,
+            &lhs.data,
+            lhs.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Naive `A·Bᵀ`.
+    pub fn matmul_nt(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+        assert_eq!(lhs.cols, rhs.cols, "reference matmul_nt shape");
+        let mut out = Matrix::zeros(lhs.rows, rhs.rows);
+        gemm_naive(
+            Layout::Nt,
+            lhs.rows,
+            lhs.cols,
+            rhs.rows,
+            &lhs.data,
+            lhs.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// The seed's loop nests over flat slices (also the `naive-gemm`
+    /// fallback inside the engine).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gemm_naive(
+        layout: Layout,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        out: &mut [f32],
+    ) {
+        out.fill(0.0);
+        match layout {
+            Layout::Nn => {
+                for i in 0..m {
+                    let a_row = &a[i * lda..i * lda + k];
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * ldb..kk * ldb + n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            Layout::Tn => {
+                for r in 0..k {
+                    let a_row = &a[r * lda..r * lda + m];
+                    let b_row = &b[r * ldb..r * ldb + n];
+                    for (i, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut out[i * n..(i + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            Layout::Nt => {
+                for i in 0..m {
+                    let a_row = &a[i * lda..i * lda + k];
+                    for j in 0..n {
+                        let b_row = &b[j * ldb..j * ldb + k];
+                        let mut acc = 0.0;
+                        for (&av, &bv) in a_row.iter().zip(b_row) {
+                            acc += av * bv;
+                        }
+                        out[i * n + j] = acc;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -371,6 +854,91 @@ mod tests {
         let via_helper = a.matmul_nt(&b);
         let via_transpose = a.matmul(&b.transpose());
         assert_eq!(via_helper, via_transpose);
+    }
+
+    /// Deterministic pseudo-random matrix for kernel cross-checks.
+    fn patterned(rows: usize, cols: usize, salt: u32) -> Matrix {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                ((h >> 16) as f32 / 65536.0) - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "kernel mismatch: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_across_shapes() {
+        // Shapes straddling every tile boundary: MR=4 and NR=32 tails, odd
+        // dims, tall/wide/degenerate-k cases.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 16),
+            (5, 17, 33),
+            (8, 1, 31),
+            (17, 64, 15),
+            (64, 64, 64),
+            (33, 129, 65),
+            (2, 300, 3),
+        ] {
+            let a = patterned(m, k, 1);
+            let b = patterned(k, n, 2);
+            assert_close(&a.matmul(&b), &reference::matmul(&a, &b), 1e-4);
+
+            let at = patterned(k, m, 3);
+            assert_close(&at.matmul_tn(&b), &reference::matmul_tn(&at, &b), 1e-4);
+
+            let bt = patterned(n, k, 4);
+            assert_close(&a.matmul_nt(&bt), &reference::matmul_nt(&a, &bt), 1e-4);
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_and_resize_output() {
+        let a = patterned(9, 12, 5);
+        let b = patterned(12, 21, 6);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (9, 21));
+        assert_close(&out, &reference::matmul(&a, &b), 1e-4);
+        // Second call with different shapes reuses the buffer.
+        let c = patterned(4, 12, 7);
+        c.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (4, 21));
+        assert_close(&out, &reference::matmul(&c, &b), 1e-4);
+    }
+
+    #[test]
+    fn tn_into_slice_writes_flat_gradient_segment() {
+        let a = patterned(10, 6, 8);
+        let b = patterned(10, 9, 9);
+        let mut buf = vec![0.0f32; 6 * 9];
+        a.matmul_tn_into_slice(&b, &mut buf);
+        let expect = reference::matmul_tn(&a, &b);
+        for (x, y) in buf.iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn large_gemm_is_deterministic_across_calls() {
+        // Exercises the threaded path (when cores are available) and a
+        // long-k accumulation; results must be bit-identical call to call.
+        let a = patterned(300, 600, 10);
+        let b = patterned(600, 200, 11);
+        let first = a.matmul(&b);
+        for _ in 0..2 {
+            assert_eq!(a.matmul(&b), first);
+        }
+        assert_close(&first, &reference::matmul(&a, &b), 1e-3);
     }
 
     #[test]

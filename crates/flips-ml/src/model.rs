@@ -12,13 +12,74 @@
 //! aggregation, FedProx proximal pulls and adaptive server optimizers can
 //! operate uniformly (see the crate-level docs).
 
-use crate::activation::{relu_grad_mask, relu_inplace, softmax_rows_inplace};
+use crate::activation::{relu_grad_mask_mul, relu_inplace, softmax_rows_inplace};
 use crate::init;
 use crate::loss::{cross_entropy, cross_entropy_logit_grad_inplace};
 use crate::matrix::Matrix;
 use crate::MlError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for forward/backward passes.
+///
+/// A workspace owns every intermediate the training stack needs —
+/// per-layer activations and pre-activations, backprop deltas, the conv
+/// feature maps and the flat gradient — sized lazily on first use and
+/// reused thereafter. A training loop that keeps one workspace per party
+/// performs **zero heap allocation** per minibatch once buffers have
+/// warmed up to the largest batch shape (buffers shrink logically via
+/// [`Matrix::resize`], which never releases capacity).
+#[derive(Debug, Default)]
+pub struct TrainWorkspace {
+    /// Post-activation outputs per layer (`acts[l]` for layer `l`).
+    acts: Vec<Matrix>,
+    /// Pre-activation values per layer (ReLU derivative masks).
+    zs: Vec<Matrix>,
+    /// Current backprop delta (`dL/dz` of the layer being processed).
+    delta: Matrix,
+    /// Double buffer for the next layer's delta.
+    delta_prev: Matrix,
+    /// Conv: flattened ReLU feature maps (`rows × filters·positions`).
+    feats: Matrix,
+    /// Conv: pre-activation maps in the same flattened layout.
+    pres: Matrix,
+    /// Conv: gradient w.r.t. the flattened feature maps.
+    dfeats: Matrix,
+    /// The flat gradient, laid out exactly like [`Model::params`].
+    grad: Vec<f32>,
+}
+
+impl TrainWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        TrainWorkspace::default()
+    }
+
+    /// The gradient produced by the last
+    /// [`Model::loss_and_grad_into`] call.
+    pub fn grad(&self) -> &[f32] {
+        &self.grad
+    }
+
+    /// Mutable view of the gradient (e.g. for proximal-term adjustments
+    /// applied between backward pass and optimizer step).
+    pub fn grad_mut(&mut self) -> &mut [f32] {
+        &mut self.grad
+    }
+
+    /// Consumes the workspace, returning the gradient buffer.
+    pub fn into_grad(self) -> Vec<f32> {
+        self.grad
+    }
+
+    /// Ensures `acts`/`zs` hold at least `layers` buffers.
+    fn ensure_layers(&mut self, layers: usize) {
+        while self.acts.len() < layers {
+            self.acts.push(Matrix::zeros(0, 0));
+            self.zs.push(Matrix::zeros(0, 0));
+        }
+    }
+}
 
 /// A supervised classifier trained with softmax cross-entropy.
 ///
@@ -42,7 +103,19 @@ pub trait Model: Send {
     fn predict_proba(&self, x: &Matrix) -> Matrix;
 
     /// Mean cross-entropy loss and flat gradient for a batch.
-    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>);
+    ///
+    /// Convenience wrapper over [`Model::loss_and_grad_into`] paying one
+    /// workspace construction per call; hot loops should hold a
+    /// [`TrainWorkspace`] and call the `_into` form directly.
+    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>) {
+        let mut ws = TrainWorkspace::new();
+        let loss = self.loss_and_grad_into(x, y, &mut ws);
+        (loss, ws.into_grad())
+    }
+
+    /// Mean cross-entropy loss for a batch; the flat gradient is left in
+    /// `ws.grad()`. Allocation-free once `ws` has warmed up.
+    fn loss_and_grad_into(&self, x: &Matrix, y: &[usize], ws: &mut TrainWorkspace) -> f32;
 
     /// Number of output classes.
     fn num_classes(&self) -> usize;
@@ -90,7 +163,12 @@ impl LogisticRegression {
     /// Creates a model with Xavier-initialized weights and zero biases.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, dim: usize, classes: usize) -> Self {
         assert!(dim > 0 && classes >= 2, "need dim>0 and classes>=2");
-        LogisticRegression { dim, classes, w: init::xavier(rng, dim, classes), b: vec![0.0; classes] }
+        LogisticRegression {
+            dim,
+            classes,
+            w: init::xavier(rng, dim, classes),
+            b: vec![0.0; classes],
+        }
     }
 
     fn logits(&self, x: &Matrix) -> Matrix {
@@ -128,17 +206,19 @@ impl Model for LogisticRegression {
         z
     }
 
-    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>) {
-        let mut probs = self.predict_proba(x);
-        let loss = cross_entropy(&probs, y);
-        cross_entropy_logit_grad_inplace(&mut probs, y);
-        let dlogits = probs;
-        let dw = x.matmul_tn(&dlogits);
-        let db = dlogits.col_sums();
-        let mut grad = Vec::with_capacity(self.num_params());
-        grad.extend_from_slice(dw.as_slice());
-        grad.extend_from_slice(&db);
-        (loss, grad)
+    fn loss_and_grad_into(&self, x: &Matrix, y: &[usize], ws: &mut TrainWorkspace) -> f32 {
+        // Probabilities and the logit gradient share ws.delta.
+        x.matmul_into(&self.w, &mut ws.delta);
+        ws.delta.add_row_broadcast(&self.b);
+        softmax_rows_inplace(&mut ws.delta);
+        let loss = cross_entropy(&ws.delta, y);
+        cross_entropy_logit_grad_inplace(&mut ws.delta, y);
+
+        ws.grad.resize(self.num_params(), 0.0);
+        let split = self.dim * self.classes;
+        x.matmul_tn_into_slice(&ws.delta, &mut ws.grad[..split]);
+        ws.delta.col_sums_into(&mut ws.grad[split..]);
+        loss
     }
 
     fn num_classes(&self) -> usize {
@@ -193,23 +273,32 @@ impl Mlp {
         &self.dims
     }
 
-    /// Forward pass retaining pre-activations (`zs`) and activations
-    /// (`acts`, starting with the input) for backprop.
-    fn forward_full(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
-        let mut acts = vec![x.clone()];
-        let mut zs = Vec::new();
-        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
-            let mut z = acts.last().expect("non-empty").matmul(w);
-            z.add_row_broadcast(b);
-            zs.push(z.clone());
-            if i + 1 < self.weights.len() {
-                relu_inplace(&mut z);
+    /// Forward pass into workspace buffers: `ws.zs[l]` holds layer `l`'s
+    /// pre-activations, `ws.acts[l]` its (ReLU / softmax) outputs. No
+    /// input clone, no per-layer allocation after warm-up.
+    fn forward_ws(&self, x: &Matrix, ws: &mut TrainWorkspace) {
+        let layers = self.weights.len();
+        ws.ensure_layers(layers);
+        for l in 0..layers {
+            let (done, rest) = ws.acts.split_at_mut(l);
+            let src: &Matrix = if l == 0 { x } else { &done[l - 1] };
+            let z = &mut ws.zs[l];
+            src.matmul_into(&self.weights[l], z);
+            z.add_row_broadcast(&self.biases[l]);
+            let act = &mut rest[0];
+            act.copy_from(z);
+            if l + 1 < layers {
+                relu_inplace(act);
             } else {
-                softmax_rows_inplace(&mut z);
+                softmax_rows_inplace(act);
             }
-            acts.push(z);
         }
-        (zs, acts)
+    }
+
+    /// Flat-parameter offset of layer `l`'s weight block (its bias block
+    /// follows immediately after the weights).
+    fn layer_offset(&self, l: usize) -> usize {
+        self.dims.windows(2).take(l).map(|w| w[0] * w[1] + w[1]).sum()
     }
 }
 
@@ -244,40 +333,36 @@ impl Model for Mlp {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        let (_, acts) = self.forward_full(x);
-        acts.into_iter().next_back().expect("non-empty activations")
+        let mut ws = TrainWorkspace::new();
+        self.forward_ws(x, &mut ws);
+        ws.acts.pop().expect("non-empty activations")
     }
 
-    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>) {
-        let (zs, acts) = self.forward_full(x);
-        let probs = acts.last().expect("non-empty");
+    fn loss_and_grad_into(&self, x: &Matrix, y: &[usize], ws: &mut TrainWorkspace) -> f32 {
+        self.forward_ws(x, ws);
+        let layers = self.weights.len();
+        let probs = &ws.acts[layers - 1];
         let loss = cross_entropy(probs, y);
 
         // delta = dL/dz for the current layer, starting from the output.
-        let mut delta = probs.clone();
-        cross_entropy_logit_grad_inplace(&mut delta, y);
+        ws.delta.copy_from(probs);
+        cross_entropy_logit_grad_inplace(&mut ws.delta, y);
 
-        let layers = self.weights.len();
-        let mut dws: Vec<Matrix> = Vec::with_capacity(layers);
-        let mut dbs: Vec<Vec<f32>> = Vec::with_capacity(layers);
+        ws.grad.resize(self.num_params(), 0.0);
         for l in (0..layers).rev() {
-            dws.push(acts[l].matmul_tn(&delta));
-            dbs.push(delta.col_sums());
+            let woff = self.layer_offset(l);
+            let wn = self.dims[l] * self.dims[l + 1];
+            let bn = self.dims[l + 1];
+            let src: &Matrix = if l == 0 { x } else { &ws.acts[l - 1] };
+            src.matmul_tn_into_slice(&ws.delta, &mut ws.grad[woff..woff + wn]);
+            ws.delta.col_sums_into(&mut ws.grad[woff + wn..woff + wn + bn]);
             if l > 0 {
-                let mut prev = delta.matmul_nt(&self.weights[l]);
-                prev.hadamard_inplace(&relu_grad_mask(&zs[l - 1]));
-                delta = prev;
+                ws.delta.matmul_nt_into(&self.weights[l], &mut ws.delta_prev);
+                relu_grad_mask_mul(&mut ws.delta_prev, &ws.zs[l - 1]);
+                std::mem::swap(&mut ws.delta, &mut ws.delta_prev);
             }
         }
-        dws.reverse();
-        dbs.reverse();
-
-        let mut grad = Vec::with_capacity(self.num_params());
-        for (dw, db) in dws.iter().zip(&dbs) {
-            grad.extend_from_slice(dw.as_slice());
-            grad.extend_from_slice(db);
-        }
-        (loss, grad)
+        loss
     }
 
     fn num_classes(&self) -> usize {
@@ -358,54 +443,41 @@ impl Conv1dNet {
         self.filters * self.out_positions()
     }
 
-    /// Convolution pre-activations for one sample: `filters × positions`.
-    fn conv_pre(&self, signal: &[f32]) -> Matrix {
-        let positions = self.out_positions();
-        let mut out = Matrix::zeros(self.filters, positions);
-        for f in 0..self.filters {
-            let k = self.kernels.row(f);
-            let row = out.row_mut(f);
-            for (p, slot) in row.iter_mut().enumerate() {
-                let mut acc = self.kbias[f];
-                for (j, &kj) in k.iter().enumerate() {
-                    acc += kj * signal[p + j];
-                }
-                *slot = acc;
-            }
-        }
-        out
-    }
-
-    /// Flattened ReLU feature maps for a batch
-    /// (`rows × filters·positions`), plus per-sample pre-activation maps
-    /// when `keep_pre` is set (needed for backprop).
-    fn features(&self, x: &Matrix, keep_pre: bool) -> (Matrix, Vec<Matrix>) {
+    /// Computes the batch's pre-activation maps into `ws.pres` and the
+    /// flattened ReLU feature maps into `ws.feats`, both laid out
+    /// `rows × filters·positions` with a sample's filter `f`, position
+    /// `p` value at column `f·positions + p`. Allocation-free after
+    /// warm-up.
+    fn features_into(&self, x: &Matrix, ws: &mut TrainWorkspace) {
         assert_eq!(x.cols(), self.len, "conv1d input length mismatch");
         let positions = self.out_positions();
-        let mut feats = Matrix::zeros(x.rows(), self.feature_dim());
-        let mut pres = Vec::new();
+        ws.pres.resize(x.rows(), self.feature_dim());
+        ws.feats.resize(x.rows(), self.feature_dim());
         for (i, signal) in x.rows_iter().enumerate() {
-            let pre = self.conv_pre(signal);
-            let row = feats.row_mut(i);
+            let pre_row = ws.pres.row_mut(i);
             for f in 0..self.filters {
-                for (p, &v) in pre.row(f).iter().enumerate() {
-                    row[f * positions + p] = v.max(0.0);
+                let kernel = self.kernels.row(f);
+                let dst = &mut pre_row[f * positions..(f + 1) * positions];
+                for (p, slot) in dst.iter_mut().enumerate() {
+                    let mut acc = self.kbias[f];
+                    for (j, &kj) in kernel.iter().enumerate() {
+                        acc += kj * signal[p + j];
+                    }
+                    *slot = acc;
                 }
             }
-            if keep_pre {
-                pres.push(pre);
+            let feat_row = ws.feats.row_mut(i);
+            let pre_row = ws.pres.row(i);
+            for (dst, &v) in feat_row.iter_mut().zip(pre_row) {
+                *dst = v.max(0.0);
             }
         }
-        (feats, pres)
     }
 }
 
 impl Model for Conv1dNet {
     fn num_params(&self) -> usize {
-        self.filters * self.kernel
-            + self.filters
-            + self.feature_dim() * self.classes
-            + self.classes
+        self.filters * self.kernel + self.filters + self.feature_dim() * self.classes + self.classes
     }
 
     fn params(&self) -> Vec<f32> {
@@ -435,37 +507,47 @@ impl Model for Conv1dNet {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        let (feats, _) = self.features(x, false);
-        let mut z = feats.matmul(&self.w);
+        let mut ws = TrainWorkspace::new();
+        self.features_into(x, &mut ws);
+        let mut z = ws.feats.matmul(&self.w);
         z.add_row_broadcast(&self.b);
         softmax_rows_inplace(&mut z);
         z
     }
 
-    fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f32, Vec<f32>) {
+    fn loss_and_grad_into(&self, x: &Matrix, y: &[usize], ws: &mut TrainWorkspace) -> f32 {
         let positions = self.out_positions();
-        let (feats, pres) = self.features(x, true);
-        let mut z = feats.matmul(&self.w);
-        z.add_row_broadcast(&self.b);
-        softmax_rows_inplace(&mut z);
-        let loss = cross_entropy(&z, y);
-        cross_entropy_logit_grad_inplace(&mut z, y);
-        let dlogits = z;
+        self.features_into(x, ws);
+        ws.feats.matmul_into(&self.w, &mut ws.delta);
+        ws.delta.add_row_broadcast(&self.b);
+        softmax_rows_inplace(&mut ws.delta);
+        let loss = cross_entropy(&ws.delta, y);
+        cross_entropy_logit_grad_inplace(&mut ws.delta, y);
+        let dlogits = &ws.delta;
 
-        let dw = feats.matmul_tn(&dlogits);
-        let db = dlogits.col_sums();
+        // Classifier gradients land straight in their flat segments.
+        ws.grad.resize(self.num_params(), 0.0);
+        let kn = self.filters * self.kernel;
+        let woff = kn + self.filters;
+        let wn = self.feature_dim() * self.classes;
+        ws.feats.matmul_tn_into_slice(dlogits, &mut ws.grad[woff..woff + wn]);
+        ws.delta.col_sums_into(&mut ws.grad[woff + wn..]);
+
         // Gradient w.r.t. the flattened feature map: rows × (F·P).
-        let dfeats = dlogits.matmul_nt(&self.w);
+        ws.delta.matmul_nt_into(&self.w, &mut ws.dfeats);
 
-        let mut dkernels = Matrix::zeros(self.filters, self.kernel);
-        let mut dkbias = vec![0.0; self.filters];
+        // Kernel gradients accumulate; zero their segments first.
+        let (dkernels, rest) = ws.grad.split_at_mut(kn);
+        let dkbias = &mut rest[..self.filters];
+        dkernels.fill(0.0);
+        dkbias.fill(0.0);
         for (i, signal) in x.rows_iter().enumerate() {
-            let pre = &pres[i];
-            let dfeat_row = dfeats.row(i);
+            let pre_row = ws.pres.row(i);
+            let dfeat_row = ws.dfeats.row(i);
             for f in 0..self.filters {
-                let pre_row = pre.row(f);
-                let dk_row = dkernels.row_mut(f);
-                for (p, &pr) in pre_row.iter().enumerate() {
+                let dk_row = &mut dkernels[f * self.kernel..(f + 1) * self.kernel];
+                let pre = &pre_row[f * positions..(f + 1) * positions];
+                for (p, &pr) in pre.iter().enumerate() {
                     if pr > 0.0 {
                         let upstream = dfeat_row[f * positions + p];
                         if upstream == 0.0 {
@@ -479,13 +561,7 @@ impl Model for Conv1dNet {
                 }
             }
         }
-
-        let mut grad = Vec::with_capacity(self.num_params());
-        grad.extend_from_slice(dkernels.as_slice());
-        grad.extend_from_slice(&dkbias);
-        grad.extend_from_slice(dw.as_slice());
-        grad.extend_from_slice(&db);
-        (loss, grad)
+        loss
     }
 
     fn num_classes(&self) -> usize {
@@ -732,6 +808,44 @@ mod tests {
         let m = spec.build(&mut rng);
         let positions = 32 - 5 + 1;
         assert_eq!(m.num_params(), 8 * 5 + 8 + 8 * positions * 5 + 5);
+    }
+
+    #[test]
+    fn workspace_path_matches_allocating_path() {
+        let mut rng = seeded(21);
+        let models: Vec<Box<dyn Model>> = vec![
+            Box::new(LogisticRegression::new(&mut rng, 6, 4)),
+            Box::new(Mlp::new(&mut rng, &[6, 9, 5, 4])),
+            Box::new(Conv1dNet::new(&mut rng, 6, 3, 3, 4)),
+        ];
+        let (x, y) = tiny_batch(6, 4, 9);
+        let mut ws = TrainWorkspace::new();
+        for model in &models {
+            let (loss_alloc, grad_alloc) = model.loss_and_grad(&x, &y);
+            // Run the workspace path twice: the second call reuses warm
+            // buffers and must agree exactly.
+            for _ in 0..2 {
+                let loss_ws = model.loss_and_grad_into(&x, &y, &mut ws);
+                assert_eq!(loss_ws, loss_alloc);
+                assert_eq!(ws.grad(), grad_alloc.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_adapts_to_shrinking_batches() {
+        // Last minibatch of an epoch is smaller; buffers must logically
+        // shrink and still produce exact results.
+        let mut rng = seeded(22);
+        let model = Mlp::new(&mut rng, &[5, 7, 3]);
+        let mut ws = TrainWorkspace::new();
+        let (big_x, big_y) = tiny_batch(5, 3, 12);
+        model.loss_and_grad_into(&big_x, &big_y, &mut ws);
+        let (small_x, small_y) = tiny_batch(5, 3, 4);
+        let loss_ws = model.loss_and_grad_into(&small_x, &small_y, &mut ws);
+        let (loss_alloc, grad_alloc) = model.loss_and_grad(&small_x, &small_y);
+        assert_eq!(loss_ws, loss_alloc);
+        assert_eq!(ws.grad(), grad_alloc.as_slice());
     }
 
     #[test]

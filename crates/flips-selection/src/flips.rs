@@ -28,9 +28,7 @@
 //! `β = 0.2` — so the estimate can also recover when stragglers disappear;
 //! with persistent stragglers both formulas converge to the true rate.
 
-use crate::types::{
-    validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
-};
+use crate::types::{validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError};
 use std::collections::HashSet;
 
 /// Smoothing weight of the straggler-rate EWMA (see the fidelity note).
@@ -139,9 +137,7 @@ impl FlipsSelector {
             .iter()
             .enumerate()
             .filter(|&(c, _)| {
-                self.clusters[c]
-                    .iter()
-                    .any(|p| !chosen.contains(p) && !exclude.contains(p))
+                self.clusters[c].iter().any(|p| !chosen.contains(p) && !exclude.contains(p))
             })
             .min_by_key(|&(c, &picks)| (picks, c))
             .map(|(c, _)| c)
@@ -212,8 +208,7 @@ impl ParticipantSelector for FlipsSelector {
                 // cluster. If it has no eligible member left, this slot is
                 // skipped — representation cannot be restored from
                 // elsewhere without changing the label mix.
-                let Some(party) = self.next_party(cluster, &chosen, &self.straggler_parties)
-                else {
+                let Some(party) = self.next_party(cluster, &chosen, &self.straggler_parties) else {
                     continue;
                 };
                 self.commit_pick(party);
@@ -265,8 +260,7 @@ mod tests {
 
     /// 4 clusters × 5 parties: cluster c owns parties 5c..5c+5.
     fn four_clusters() -> FlipsSelector {
-        let clusters: Vec<Vec<PartyId>> =
-            (0..4).map(|c| (c * 5..(c + 1) * 5).collect()).collect();
+        let clusters: Vec<Vec<PartyId>> = (0..4).map(|c| (c * 5..(c + 1) * 5).collect()).collect();
         FlipsSelector::new(clusters).unwrap()
     }
 

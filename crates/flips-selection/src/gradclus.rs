@@ -10,9 +10,7 @@
 //! all sketches into `S(r)` clusters and samples **one party per cluster
 //! uniformly at random**.
 
-use crate::types::{
-    validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
-};
+use crate::types::{validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError};
 use flips_clustering::hierarchical::{hierarchical_from_distances, pairwise_cosine_distance};
 use flips_clustering::Linkage;
 use flips_ml::rng::{normal, seeded};
@@ -35,11 +33,7 @@ impl GradClusSelector {
     /// # Errors
     ///
     /// Rejects zero parties or a zero sketch dimension.
-    pub fn new(
-        num_parties: usize,
-        sketch_dim: usize,
-        seed: u64,
-    ) -> Result<Self, SelectionError> {
+    pub fn new(num_parties: usize, sketch_dim: usize, seed: u64) -> Result<Self, SelectionError> {
         if num_parties == 0 {
             return Err(SelectionError::InvalidConfiguration("zero parties".into()));
         }
@@ -222,8 +216,7 @@ mod tests {
                 let picks = s.select(round, 5).unwrap();
                 let mut fb = RoundFeedback::default();
                 for &p in &picks {
-                    fb.update_sketch
-                        .insert(p, vec![p as f32, 1.0, -(p as f32), 0.5]);
+                    fb.update_sketch.insert(p, vec![p as f32, 1.0, -(p as f32), 0.5]);
                 }
                 s.report(&fb);
                 all.push(picks);

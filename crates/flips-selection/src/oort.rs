@@ -20,9 +20,7 @@
 //! §5.3). Stragglers have their utility halved, mirroring Oort's
 //! de-prioritization of unreliable clients.
 
-use crate::types::{
-    validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
-};
+use crate::types::{validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError};
 use flips_ml::rng::{sample_without_replacement, seeded};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -139,12 +137,8 @@ impl OortSelector {
 
     /// The clipping threshold: `clip_quantile` of current utilities.
     fn clip_threshold(&self) -> f64 {
-        let mut utils: Vec<f64> = self
-            .stats
-            .iter()
-            .filter(|s| s.last_round.is_some())
-            .map(|s| s.utility)
-            .collect();
+        let mut utils: Vec<f64> =
+            self.stats.iter().filter(|s| s.last_round.is_some()).map(|s| s.utility).collect();
         if utils.is_empty() {
             return f64::INFINITY;
         }
@@ -189,8 +183,7 @@ impl ParticipantSelector for OortSelector {
 
         // Explore: uniform over never-selected parties.
         if explore_want > 0 {
-            let picks =
-                sample_without_replacement(&mut self.rng, unexplored.len(), explore_want);
+            let picks = sample_without_replacement(&mut self.rng, unexplored.len(), explore_want);
             for i in picks {
                 let p = unexplored[i];
                 if chosen.insert(p) {
@@ -296,9 +289,8 @@ mod tests {
         // Make every party explored with known losses: party 7 has a much
         // higher loss than everyone else.
         let all: Vec<PartyId> = (0..20).collect();
-        let losses: Vec<(PartyId, f64)> = (0..20)
-            .map(|p| (p, if p == 7 { 5.0 } else { 0.1 + 0.01 * p as f64 }))
-            .collect();
+        let losses: Vec<(PartyId, f64)> =
+            (0..20).map(|p| (p, if p == 7 { 5.0 } else { 0.1 + 0.01 * p as f64 })).collect();
         s.report(&feedback(0, &all, &losses, &[]));
         for st in &mut s.stats {
             st.explored = true;
@@ -346,19 +338,19 @@ mod tests {
 
     #[test]
     fn overprovisioning_selects_extra() {
-        let mut s = OortSelector::new(
-            vec![100; 40],
-            OortConfig::with_straggler_overprovisioning(),
-            1,
-        );
+        let mut s =
+            OortSelector::new(vec![100; 40], OortConfig::with_straggler_overprovisioning(), 1);
         let picks = s.select(0, 10).unwrap();
         assert_eq!(picks.len(), 13, "1.3x overprovisioning");
     }
 
     #[test]
     fn overprovisioning_is_capped_at_population() {
-        let mut s =
-            OortSelector::new(vec![10; 10], OortConfig { overprovision: 5.0, ..Default::default() }, 1);
+        let mut s = OortSelector::new(
+            vec![10; 10],
+            OortConfig { overprovision: 5.0, ..Default::default() },
+            1,
+        );
         let picks = s.select(0, 9).unwrap();
         assert_eq!(picks.len(), 10);
     }

@@ -2,9 +2,7 @@
 //! (FedAvg, FedProx, FedYogi all sample `S(r)` uniformly; paper §2.1) and
 //! the primary baseline of the evaluation.
 
-use crate::types::{
-    validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
-};
+use crate::types::{validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError};
 use flips_ml::rng::{sample_without_replacement, seeded};
 use rand::rngs::StdRng;
 

@@ -12,9 +12,7 @@
 //!   toward tiers whose observed global-model accuracy is lagging, and
 //!   re-tiers parties from freshly observed durations on the fly.
 
-use crate::types::{
-    validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
-};
+use crate::types::{validate_request, ParticipantSelector, PartyId, RoundFeedback, SelectionError};
 use flips_ml::rng::{sample_without_replacement, seeded};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -114,9 +112,9 @@ impl TiflSelector {
             weights[t] = (m - rank) as f64;
         }
         // Zero out tiers without credits or members.
-        for t in 0..m {
+        for (t, w) in weights.iter_mut().enumerate() {
             if self.credits[t] == 0 || self.tiers[t].is_empty() {
-                weights[t] = 0.0;
+                *w = 0.0;
             }
         }
         weights
@@ -158,7 +156,10 @@ impl ParticipantSelector for TiflSelector {
 
     fn select(&mut self, round: usize, target: usize) -> Result<Vec<PartyId>, SelectionError> {
         validate_request(target, self.latencies.len())?;
-        if self.config.retier_every > 0 && round > 0 && round % self.config.retier_every == 0 {
+        if self.config.retier_every > 0
+            && round > 0
+            && round.is_multiple_of(self.config.retier_every)
+        {
             self.retier();
         }
         let mut weights = self.tier_weights();
@@ -176,9 +177,8 @@ impl ParticipantSelector for TiflSelector {
         // Sample within the tier; top up from the next-fastest tiers when
         // the tier is smaller than the round.
         let mut selected = Vec::with_capacity(target);
-        let mut tier_order: Vec<usize> = std::iter::once(tier)
-            .chain((0..self.tiers.len()).filter(|&t| t != tier))
-            .collect();
+        let mut tier_order: Vec<usize> =
+            std::iter::once(tier).chain((0..self.tiers.len()).filter(|&t| t != tier)).collect();
         tier_order[1..].sort_unstable();
         for t in tier_order {
             if selected.len() >= target {
@@ -271,7 +271,8 @@ mod tests {
     #[test]
     fn credits_are_consumed_and_refreshed() {
         let latencies: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let cfg = TiflConfig { num_tiers: 2, credits_per_tier: 1, retier_every: 0, ..Default::default() };
+        let cfg =
+            TiflConfig { num_tiers: 2, credits_per_tier: 1, retier_every: 0, ..Default::default() };
         let mut s = TiflSelector::new(latencies, cfg, 1).unwrap();
         let _ = s.select(0, 3).unwrap();
         let _ = s.select(1, 3).unwrap();
@@ -304,11 +305,7 @@ mod tests {
         // Party 0 straggles hard, repeatedly.
         for round in 0..3 {
             let _ = s.select(round, 2).unwrap();
-            s.report(&RoundFeedback {
-                round,
-                stragglers: vec![0],
-                ..Default::default()
-            });
+            s.report(&RoundFeedback { round, stragglers: vec![0], ..Default::default() });
         }
         let _ = s.select(3, 2).unwrap(); // triggers retier
         assert_eq!(s.tier_of[0], 1, "chronic straggler must land in the slow tier");
@@ -328,12 +325,8 @@ mod tests {
     #[test]
     fn rejects_bad_configs_and_targets() {
         assert!(TiflSelector::new(vec![], TiflConfig::default(), 1).is_err());
-        assert!(TiflSelector::new(
-            vec![1.0],
-            TiflConfig { num_tiers: 0, ..Default::default() },
-            1
-        )
-        .is_err());
+        assert!(TiflSelector::new(vec![1.0], TiflConfig { num_tiers: 0, ..Default::default() }, 1)
+            .is_err());
         let mut s = selector();
         assert!(s.select(0, 0).is_err());
         assert!(s.select(0, 26).is_err());

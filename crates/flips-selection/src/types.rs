@@ -85,10 +85,7 @@ pub trait ParticipantSelector: Send {
 }
 
 /// Validates a `select` request against the population size.
-pub(crate) fn validate_request(
-    target: usize,
-    num_parties: usize,
-) -> Result<(), SelectionError> {
+pub(crate) fn validate_request(target: usize, num_parties: usize) -> Result<(), SelectionError> {
     if target == 0 {
         return Err(SelectionError::InvalidRequest("target of zero parties".into()));
     }

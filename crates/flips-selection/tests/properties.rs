@@ -12,9 +12,8 @@ use std::collections::HashSet;
 
 /// Builds every selector over `n` parties with `clusters` FLIPS clusters.
 fn all_selectors(n: usize, clusters: usize, seed: u64) -> Vec<Box<dyn ParticipantSelector>> {
-    let cluster_assignment: Vec<Vec<usize>> = (0..clusters)
-        .map(|c| (0..n).filter(|p| p % clusters == c).collect())
-        .collect();
+    let cluster_assignment: Vec<Vec<usize>> =
+        (0..clusters).map(|c| (0..n).filter(|p| p % clusters == c).collect()).collect();
     vec![
         Box::new(RandomSelector::new(n, seed)),
         Box::new(FlipsSelector::new(cluster_assignment).unwrap()),

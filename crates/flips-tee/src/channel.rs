@@ -47,10 +47,7 @@ impl SecureChannel {
     /// enclave-side endpoints sharing a fresh session key.
     pub fn establish<R: Rng + ?Sized>(rng: &mut R) -> (SecureChannel, SecureChannel) {
         let session_key = ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128;
-        (
-            SecureChannel { session_key, send_nonce: 0 },
-            SecureChannel { session_key, send_nonce: 0 },
-        )
+        (SecureChannel { session_key, send_nonce: 0 }, SecureChannel { session_key, send_nonce: 0 })
     }
 
     /// Seals a payload for the peer.

@@ -67,11 +67,7 @@ fn main() -> Result<(), FlipsError> {
         flips.peak_accuracy()
     );
     let peak_rare = |r: &SimulationReport| {
-        r.history
-            .label_recall_series(rare)
-            .into_iter()
-            .flatten()
-            .fold(0.0f64, f64::max)
+        r.history.label_recall_series(rare).into_iter().flatten().fold(0.0f64, f64::max)
     };
     println!(
         "peak '{}' recall      : random {:.3} vs flips {:.3}",

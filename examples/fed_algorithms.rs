@@ -21,10 +21,7 @@ fn main() -> Result<(), FlipsError> {
         FlAlgorithm::fedadam(),
         FlAlgorithm::fedadagrad(),
     ];
-    println!(
-        "{:<12} {:>10} {:>14} {:>12}",
-        "algorithm", "peak acc", "rounds-to-80%", "final acc"
-    );
+    println!("{:<12} {:>10} {:>14} {:>12}", "algorithm", "peak acc", "rounds-to-80%", "final acc");
     for algorithm in algorithms {
         let report = SimulationBuilder::new(DatasetProfile::femnist())
             .parties(60)

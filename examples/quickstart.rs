@@ -28,10 +28,7 @@ fn main() -> Result<(), FlipsError> {
     println!("parties        : {}", report.meta.num_parties);
     println!("parties/round  : {}", report.meta.parties_per_round);
     println!("clusters (k)   : {:?}", report.meta.k);
-    println!(
-        "TEE overhead   : {:?} (clustering ceremony)",
-        report.meta.clustering_tee_overhead
-    );
+    println!("TEE overhead   : {:?} (clustering ceremony)", report.meta.clustering_tee_overhead);
     println!();
     println!("round  balanced-accuracy");
     for (i, acc) in report.history.accuracy_series().iter().enumerate() {
@@ -42,10 +39,7 @@ fn main() -> Result<(), FlipsError> {
     println!();
     println!("peak accuracy  : {:.4}", report.peak_accuracy());
     match report.rounds_to_target() {
-        Some(r) => println!(
-            "target {:.0}% hit : round {r}",
-            report.meta.target_accuracy * 100.0
-        ),
+        Some(r) => println!("target {:.0}% hit : round {r}", report.meta.target_accuracy * 100.0),
         None => println!(
             "target {:.0}%     : not reached in budget",
             report.meta.target_accuracy * 100.0

@@ -35,10 +35,7 @@ fn build(
 }
 
 fn main() -> Result<(), FlipsError> {
-    println!(
-        "{:<28} {:>8} {:>10} {:>12}",
-        "configuration", "peak", "final", "stragglers"
-    );
+    println!("{:<28} {:>8} {:>10} {:>12}", "configuration", "peak", "final", "stragglers");
     for rate in [0.0, 0.10, 0.20] {
         for (label, kind, overprovision) in [
             ("flips", SelectorKind::Flips, true),

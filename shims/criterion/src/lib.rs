@@ -1,0 +1,302 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface this workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation — with a simple but honest measurement loop:
+//! a warm-up, then `sample_size` samples of an auto-calibrated batch of
+//! iterations, reporting the median per-iteration time (and derived
+//! throughput). Set `FLIPS_BENCH_FAST=1` to shrink sampling for smoke
+//! runs.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (ignored by the stand-in's timer —
+/// setup is always excluded from measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier (`name`, optionally `/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/bench`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: default_sample_size(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_bench(id.to_string(), default_sample_size(), None, f);
+        self.results.push(result);
+        self
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the summary table (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if !self.results.is_empty() {
+            eprintln!("-- {} benchmarks measured --", self.results.len());
+        }
+    }
+}
+
+fn default_sample_size() -> usize {
+    if std::env::var_os("FLIPS_BENCH_FAST").is_some() {
+        10
+    } else {
+        30
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let result = run_bench(full, self.sample_size, self.throughput, f);
+        self.parent.results.push(result);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<S, O, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F>(
+    id: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up & calibration: time one iteration, then size batches so a
+    // sample lasts ≥ ~2 ms (or a single iteration if it is slower).
+    let mut probe = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut probe);
+    let once = probe.elapsed.max(Duration::from_nanos(1));
+    let per_sample = Duration::from_millis(2);
+    let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median_ns = samples_ns[samples_ns.len() / 2];
+
+    let mut line = format!("bench: {id:<56} median {:>12} ns/iter", format_ns(median_ns));
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        let gib = bytes as f64 / median_ns * 1e9 / (1u64 << 30) as f64;
+        line.push_str(&format!("  ({gib:.2} GiB/s)"));
+    }
+    eprintln!("{line}");
+    BenchResult { id, median_ns, throughput }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.0}", ns)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records_medians() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("nop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(c.results().len(), 3);
+        assert!(c.results().iter().all(|r| r.median_ns >= 0.0));
+        assert_eq!(c.results()[1].id, "g/sum/8");
+    }
+}

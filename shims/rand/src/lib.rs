@@ -1,0 +1,228 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal subset of the `rand` 0.9 API surface it actually
+//! uses: the [`Rng`] / [`SeedableRng`] traits, [`rngs::StdRng`], uniform
+//! `random::<T>()` for the primitive types the codebase samples, and
+//! `random_range` over integer ranges.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna, public domain),
+//! seeded through the SplitMix64 expander — the exact construction the
+//! reference xoshiro implementation recommends. It is deterministic,
+//! `Clone`, and statistically strong enough for the moment/uniformity
+//! assertions in this workspace's test suite. Note the stream differs
+//! from upstream `StdRng` (ChaCha12); all seeds in this repository were
+//! chosen against *this* generator.
+
+/// A source of randomness over 64-bit words plus typed sampling helpers.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of a primitive type from its standard uniform
+    /// distribution (`[0, 1)` for floats, full range for integers).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn random_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types sampleable by [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one standard-uniform sample.
+    fn sample_standard<G: Rng + ?Sized>(g: &mut G) -> Self;
+}
+
+impl StandardUniform for u64 {
+    fn sample_standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        g.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample_standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for u128 {
+    fn sample_standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        ((g.next_u64() as u128) << 64) | g.next_u64() as u128
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample_standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample_standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard<G: Rng + ?Sized>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)`; `hi > lo` guaranteed by callers.
+    fn sample_below<G: Rng + ?Sized>(g: &mut G, lo: Self, hi: Self) -> Self;
+    /// The successor, saturating at the type maximum (for `..=` ranges).
+    fn saturating_succ(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_below<G: Rng + ?Sized>(g: &mut G, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                // Debiased multiply-shift (Lemire); the rejection loop
+                // terminates with overwhelming probability per iteration.
+                let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+                loop {
+                    let x = g.next_u64();
+                    if x < zone || zone == 0 {
+                        let hi128 = ((x as u128 * span as u128) >> 64) as u64;
+                        return lo.wrapping_add(hi128 as $t);
+                    }
+                }
+            }
+            fn saturating_succ(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T: UniformInt> {
+    /// Samples one value from the range.
+    fn sample_from<G: Rng + ?Sized>(self, g: &mut G) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<G: Rng + ?Sized>(self, g: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_below(g, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<G: Rng + ?Sized>(self, g: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::sample_below(g, lo, hi.saturating_succ())
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for `StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut z = seed;
+            let mut next = move || {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut w = z;
+                w = (w ^ (w >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                w = (w ^ (w >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                w ^ (w >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(StdRng::seed_from_u64(1).next_u64(), StdRng::seed_from_u64(2).next_u64());
+    }
+
+    #[test]
+    fn floats_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_every_bucket_uniformly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+        for _ in 0..1_000 {
+            let v = rng.random_range(5..=9usize);
+            assert!((5..=9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names this workspace imports
+//! — as marker traits in the type namespace and as no-op derives in the
+//! macro namespace (the same dual-name arrangement real serde uses). No
+//! serialization machinery exists: every codec in the workspace is
+//! hand-rolled (see `flips-fl::message`), and the derives only mark types
+//! as wire-ready for a future format crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (no methods in the offline stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no methods in the offline stand-in).
+pub trait Deserialize<'de>: Sized {}

@@ -49,10 +49,7 @@ fn parallel_training_matches_sequential() {
     for kind in [SelectorKind::Flips, SelectorKind::Random] {
         let seq = run(kind, 7, false);
         let par = run(kind, 7, true);
-        assert_eq!(
-            seq.history, par.history,
-            "{kind}: parallel execution changed results"
-        );
+        assert_eq!(seq.history, par.history, "{kind}: parallel execution changed results");
     }
 }
 

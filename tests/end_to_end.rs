@@ -34,14 +34,11 @@ fn all_selectors_complete_on_all_profiles() {
 
 #[test]
 fn round_records_are_internally_consistent() {
-    let report = builder(DatasetProfile::ecg(), SelectorKind::Flips)
-        .straggler_rate(0.2)
-        .run()
-        .unwrap();
+    let report =
+        builder(DatasetProfile::ecg(), SelectorKind::Flips).straggler_rate(0.2).run().unwrap();
     for r in report.history.records() {
         // completed ∪ stragglers == selected (as sets).
-        let mut resolved: Vec<_> =
-            r.completed.iter().chain(&r.stragglers).copied().collect();
+        let mut resolved: Vec<_> = r.completed.iter().chain(&r.stragglers).copied().collect();
         resolved.sort_unstable();
         let mut selected = r.selected.clone();
         selected.sort_unstable();
@@ -83,12 +80,8 @@ fn flips_beats_random_on_imbalanced_non_iid_data() {
             .peak_accuracy()
     };
     let flips: f64 = [3u64, 4].iter().map(|&s| run(SelectorKind::Flips, s)).sum::<f64>() / 2.0;
-    let random: f64 =
-        [3u64, 4].iter().map(|&s| run(SelectorKind::Random, s)).sum::<f64>() / 2.0;
-    assert!(
-        flips > random + 0.03,
-        "flips {flips:.3} must clearly beat random {random:.3}"
-    );
+    let random: f64 = [3u64, 4].iter().map(|&s| run(SelectorKind::Random, s)).sum::<f64>() / 2.0;
+    assert!(flips > random + 0.03, "flips {flips:.3} must clearly beat random {random:.3}");
 }
 
 #[test]
@@ -113,13 +106,7 @@ fn flips_lifts_rare_label_recall() {
     let mean_peak_rare = |r: &SimulationReport| {
         rare_labels
             .iter()
-            .map(|&l| {
-                r.history
-                    .label_recall_series(l)
-                    .into_iter()
-                    .flatten()
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|&l| r.history.label_recall_series(l).into_iter().flatten().fold(0.0f64, f64::max))
             .sum::<f64>()
             / rare_labels.len() as f64
     };
@@ -161,14 +148,10 @@ fn higher_alpha_is_easier_for_random_selection() {
 
 #[test]
 fn communication_accounting_scales_with_model_and_cohort() {
-    let small = builder(DatasetProfile::femnist(), SelectorKind::Random)
-        .participation(0.2)
-        .run()
-        .unwrap();
-    let large = builder(DatasetProfile::femnist(), SelectorKind::Random)
-        .participation(0.5)
-        .run()
-        .unwrap();
+    let small =
+        builder(DatasetProfile::femnist(), SelectorKind::Random).participation(0.2).run().unwrap();
+    let large =
+        builder(DatasetProfile::femnist(), SelectorKind::Random).participation(0.5).run().unwrap();
     assert!(
         large.history.total_bytes() > small.history.total_bytes(),
         "more participants per round must cost more bytes"

@@ -73,10 +73,7 @@ fn ceremony_produces_selector_and_destroy_erases_it() {
     let mut selector = pc.into_selector();
     assert_eq!(selector.select(0, 4).unwrap().len(), 4);
     selector.destroy();
-    assert!(
-        selector.select(1, 4).is_err(),
-        "selection must fail after enclave destruction"
-    );
+    assert!(selector.select(1, 4).is_err(), "selection must fail after enclave destruction");
 }
 
 #[test]

@@ -37,10 +37,7 @@ fn flips_overprovisions_while_stragglers_are_outstanding() {
 
 #[test]
 fn ablation_switch_suppresses_overprovisioning() {
-    let report = builder(SelectorKind::Flips, 0.2)
-        .without_overprovisioning()
-        .run()
-        .unwrap();
+    let report = builder(SelectorKind::Flips, 0.2).without_overprovisioning().run().unwrap();
     let nr = report.meta.parties_per_round;
     assert!(
         report.history.records().iter().all(|r| r.selected.len() == nr),
