@@ -40,20 +40,34 @@ fn bench_square(c: &mut Criterion) {
 }
 
 fn bench_transposed(c: &mut Criterion) {
+    // `Aᵀ·B` across sizes: the flavor the backward pass leans on, and the
+    // one the lhs A-panel pack exists for (strided lhs loads otherwise
+    // left it ~1.7× over naive at 256).
+    let mut group = c.benchmark_group("gemm_tn");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 512] {
+        let a = filled(n, n, 0.01);
+        let b = filled(n, n, 0.02);
+        let mut out = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| {
+                a.matmul_tn_into(&b, &mut out);
+                black_box(out.as_slice()[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(flips_ml::matrix::reference::matmul_tn(black_box(&a), black_box(&b)))
+            })
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("gemm_transposed_256");
     group.sample_size(20);
     let a = filled(256, 256, 0.01);
     let b = filled(256, 256, 0.02);
     let mut out = Matrix::zeros(256, 256);
-    group.bench_function("tn_blocked", |bch| {
-        bch.iter(|| {
-            a.matmul_tn_into(&b, &mut out);
-            black_box(out.as_slice()[0])
-        })
-    });
-    group.bench_function("tn_naive", |bch| {
-        bch.iter(|| black_box(flips_ml::matrix::reference::matmul_tn(&a, &b)))
-    });
     group.bench_function("nt_blocked", |bch| {
         bch.iter(|| {
             a.matmul_nt_into(&b, &mut out);

@@ -9,6 +9,7 @@ fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_codec");
     for &params in &[1_000usize, 10_000, 100_000] {
         let msg = WireMessage::LocalUpdate {
+            job: 9,
             round: 7,
             party: 42,
             num_samples: 250,

@@ -26,7 +26,7 @@ fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-fn gemm_gflops(n: usize, samples: usize) -> f64 {
+fn gemm_matrices(n: usize) -> (Matrix, Matrix) {
     let data = |salt: u32| -> Vec<f32> {
         (0..n * n)
             .map(|i| {
@@ -35,11 +35,24 @@ fn gemm_gflops(n: usize, samples: usize) -> f64 {
             })
             .collect()
     };
-    let a = Matrix::from_vec(n, n, data(1));
-    let b = Matrix::from_vec(n, n, data(2));
+    (Matrix::from_vec(n, n, data(1)), Matrix::from_vec(n, n, data(2)))
+}
+
+fn gemm_gflops(n: usize, samples: usize) -> f64 {
+    let (a, b) = gemm_matrices(n);
     let mut out = Matrix::zeros(n, n);
     let ns = median_ns(samples, || {
         a.matmul_into(&b, &mut out);
+        black_box(out.as_slice()[0]);
+    });
+    2.0 * (n * n * n) as f64 / ns
+}
+
+fn gemm_tn_gflops(n: usize, samples: usize) -> f64 {
+    let (a, b) = gemm_matrices(n);
+    let mut out = Matrix::zeros(n, n);
+    let ns = median_ns(samples, || {
+        a.matmul_tn_into(&b, &mut out);
         black_box(out.as_slice()[0]);
     });
     2.0 * (n * n * n) as f64 / ns
@@ -87,13 +100,17 @@ fn main() {
     let gflops_256 = gemm_gflops(256, 15);
     eprintln!("  {gflops_256:.1} GFLOP/s");
 
+    eprintln!("measuring GEMM-TN 256x256 ({kernel}) ...");
+    let tn_gflops_256 = gemm_tn_gflops(256, 15);
+    eprintln!("  {tn_gflops_256:.1} GFLOP/s");
+
     eprintln!("measuring fl_round (femnist-mlp256, 16 parties, 4/round) ...");
     let round_ns = fl_round_ns(16, 4, 3, 7);
     eprintln!("  {:.2} ms/round", round_ns / 1e6);
 
     let json = format!(
         "{{\n  \"schema\": \"flips-bench/fl_round/v1\",\n  \"kernel\": \"{kernel}\",\n  \
-         \"fl_round_median_ns\": {round_ns:.0},\n  \"gemm_256_gflops\": {gflops_256:.2},\n  \
+         \"fl_round_median_ns\": {round_ns:.0},\n  \"gemm_256_gflops\": {gflops_256:.2},\n  \"gemm_tn_256_gflops\": {tn_gflops_256:.2},\n  \
          \"model\": \"mlp-16x256x192x10\",\n  \"parties\": 16,\n  \"parties_per_round\": 4\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");

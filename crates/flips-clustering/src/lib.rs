@@ -5,7 +5,7 @@
 //! formalizes (Eq. 1) is NP-complete, so the paper — and this crate —
 //! solves it heuristically:
 //!
-//! - [`kmeans`] — Lloyd's algorithm with **k-means++** seeding and
+//! - [`mod@kmeans`] — Lloyd's algorithm with **k-means++** seeding and
 //!   empty-cluster repair;
 //! - [`dbi`] — the **Davies-Bouldin index**, the purity metric used to pick
 //!   the number of clusters;

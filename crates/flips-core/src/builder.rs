@@ -255,6 +255,7 @@ impl SimulationBuilder {
             k: None,
             clustering_tee_overhead: None,
             seed: self.seed,
+            job_id: 0,
         };
 
         let sample_counts = parts.sample_counts();
@@ -318,6 +319,7 @@ impl SimulationBuilder {
             seed: self.seed,
         };
         let job = FlJob::new(parts.parties, test, config, selector)?;
+        meta.job_id = job.coordinator().job_id();
         Ok((job, meta))
     }
 
@@ -360,6 +362,9 @@ pub struct SimulationMeta {
     pub clustering_tee_overhead: Option<Duration>,
     /// Master seed.
     pub seed: u64,
+    /// Protocol job identifier stamped on every wire message (derived
+    /// from the seed by the runtime).
+    pub job_id: u64,
 }
 
 /// The outcome of a completed simulation.
@@ -434,6 +439,16 @@ mod tests {
         let b = tiny(SelectorKind::Flips).run().unwrap();
         assert_eq!(a.history, b.history);
         assert_eq!(a.meta.k, b.meta.k);
+    }
+
+    #[test]
+    fn meta_carries_the_protocol_job_id() {
+        let a = tiny(SelectorKind::Random).run().unwrap();
+        let b = tiny(SelectorKind::Random).run().unwrap();
+        assert_ne!(a.meta.job_id, 0);
+        assert_eq!(a.meta.job_id, b.meta.job_id, "derived from the seed");
+        let c = tiny(SelectorKind::Random).seed(9).run().unwrap();
+        assert_ne!(a.meta.job_id, c.meta.job_id);
     }
 
     #[test]

@@ -17,8 +17,9 @@ pub use flips_data::{
     partition, Dataset, DatasetProfile, LabelDistribution, PartitionStrategy,
 };
 pub use flips_fl::{
-    straggler::StragglerBias, FlAlgorithm, FlJob, FlJobConfig, History, LatencyModel,
-    LocalTrainingConfig, RoundRecord,
+    straggler::StragglerBias, Coordinator, CoordinatorConfig, Effect, Event, FlAlgorithm, FlJob,
+    FlJobConfig, History, LatencyModel, LocalTrainingConfig, PartyEndpoint, RejectReason,
+    RoundRecord, WireMessage,
 };
 pub use flips_ml::{metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model};
 pub use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectorKind};

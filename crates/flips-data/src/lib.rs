@@ -10,10 +10,10 @@
 //!   only on label distributions, so this preserves the evaluated behaviour
 //!   (see `DESIGN.md` §1);
 //! - the **Dirichlet partitioner** the paper uses to emulate non-IIDness
-//!   ([`partition`]), plus IID and pathological one-label partitioners;
-//! - [`LabelDistribution`](label_distribution::LabelDistribution) — the
+//!   ([`partition()`]), plus IID and pathological one-label partitioners;
+//! - [`LabelDistribution`] — the
 //!   semantic party descriptor FLIPS clusters on;
-//! - a **balanced global test set** ([`dataset::Dataset::balanced_test_set`])
+//! - a **balanced global test set** ([`dataset::balanced_test_set`])
 //!   mirroring the paper's §4.4 evaluation protocol.
 
 pub mod dataset;

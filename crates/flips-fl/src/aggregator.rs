@@ -1,36 +1,43 @@
-//! The FL aggregator — round orchestration (paper §2, Figure 1).
+//! The in-process FL driver — mechanism pumping the sans-IO protocol.
 //!
-//! Each [`FlJob::step`] performs one synchronization round:
+//! After the coordinator redesign, [`FlJob`] is a thin *driver*: all round
+//! policy (selection, duplicate rejection, deadline close, aggregation,
+//! evaluation, selector feedback) lives in the pure
+//! [`Coordinator`] state machine, and all participant behavior in
+//! [`PartyEndpoint`].
+//! The driver supplies the three things the state machines cannot:
 //!
-//! 1. **select** participants through the pluggable policy;
-//! 2. **dispatch** the global model (bytes accounted via the wire codec);
-//! 3. **inject stragglers** per the configured rate — their updates never
-//!    arrive, under-representing their data exactly as §2.3 describes;
-//! 4. **train locally** on every completing party (optionally across
-//!    threads — parties are independent);
-//! 5. **aggregate** with the algorithm's server optimizer;
-//! 6. **evaluate** balanced accuracy on the global test set held by the
-//!    aggregator (§4.4);
-//! 7. **feed back** losses, durations and update sketches to the selector.
+//! 1. **transport** — it moves [`WireMessage`]s between the coordinator's
+//!    [`Effect::Send`]s and the endpoints (in-process, so messages travel
+//!    as values; byte counts still come from the wire codec);
+//! 2. **clocks** — it decides when the round deadline fires. The
+//!    configured straggler rate picks the parties whose updates would
+//!    miss that deadline (the paper's §5 emulation); the driver skips
+//!    simulating work whose result never arrives and feeds
+//!    [`Event::DeadlineExpired`] so the coordinator closes them out as
+//!    stragglers;
+//! 3. **scheduling** — local training runs sequentially or across scoped
+//!    threads; either way updates reach the coordinator in deterministic
+//!    order, and aggregation order is fixed by party id regardless.
 //!
 //! Every source of randomness derives from the single job seed, so runs
 //! are bit-reproducible, selector included.
 
 use crate::config::{FlAlgorithm, LocalTrainingConfig};
+use crate::coordinator::{Coordinator, CoordinatorConfig};
+use crate::endpoint::PartyEndpoint;
+use crate::events::{Effect, Event};
 use crate::history::{History, RoundRecord};
 use crate::latency::LatencyModel;
-use crate::message::{global_model_bytes, local_update_bytes};
-use crate::party::{LocalUpdate, Party};
-use crate::server::ServerState;
+use crate::message::WireMessage;
 use crate::straggler::{StragglerBias, StragglerInjector};
 use crate::FlError;
 use flips_data::Dataset;
-use flips_ml::metrics::ConfusionMatrix;
-use flips_ml::model::{Model, ModelSpec};
-use flips_ml::rng::{derive_seed, seeded};
-use flips_selection::gradclus::sketch_update;
-use flips_selection::{ParticipantSelector, PartyId, RoundFeedback};
+use flips_ml::model::ModelSpec;
+use flips_ml::rng::derive_seed;
+use flips_selection::{ParticipantSelector, PartyId};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Configuration of one FL job.
 #[derive(Debug, Clone)]
@@ -45,8 +52,8 @@ pub struct FlJobConfig {
     pub parties_per_round: usize,
     /// Participant-side training hyper-parameters.
     pub local: LocalTrainingConfig,
-    /// Fraction of each cohort dropped as stragglers (0, 0.10, 0.20 in
-    /// the paper).
+    /// Fraction of each cohort whose updates miss the round deadline
+    /// (0, 0.10, 0.20 in the paper).
     pub straggler_rate: f64,
     /// How straggler victims are chosen.
     pub straggler_bias: StragglerBias,
@@ -85,30 +92,23 @@ impl FlJobConfig {
     }
 }
 
-/// A running federated-learning job.
+/// A running federated-learning job: the coordinator state machine, one
+/// endpoint per party, and the in-process pump between them.
 pub struct FlJob {
-    config: FlJobConfig,
-    parties: Vec<Party>,
-    test_set: Dataset,
-    selector: Box<dyn ParticipantSelector>,
-    server: ServerState,
-    global: Vec<f32>,
-    eval_model: Box<dyn Model>,
-    latency: LatencyModel,
+    coordinator: Coordinator,
+    endpoints: Vec<PartyEndpoint>,
+    latency: Arc<LatencyModel>,
     injector: StragglerInjector,
-    history: History,
-    round: usize,
-    /// Reused per-update delta buffer for selector sketches.
-    delta_buf: Vec<f32>,
+    parallel: bool,
+    rounds: usize,
 }
 
 impl std::fmt::Debug for FlJob {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlJob")
-            .field("algorithm", &self.config.algorithm)
-            .field("selector", &self.selector.name())
-            .field("parties", &self.parties.len())
-            .field("round", &self.round)
+            .field("coordinator", &self.coordinator)
+            .field("parties", &self.endpoints.len())
+            .field("round", &self.coordinator.round())
             .finish()
     }
 }
@@ -128,40 +128,19 @@ impl FlJob {
         config: FlJobConfig,
         selector: Box<dyn ParticipantSelector>,
     ) -> Result<Self, FlError> {
+        // Round/cohort/sketch bounds are validated once, by
+        // `Coordinator::new` below; this driver only checks what the
+        // coordinator cannot see — datasets, training hyper-parameters
+        // and the simulation knobs.
         if party_datasets.is_empty() {
             return Err(FlError::InvalidConfig("no parties".into()));
-        }
-        if config.parties_per_round == 0 || config.parties_per_round > party_datasets.len() {
-            return Err(FlError::InvalidConfig(format!(
-                "parties_per_round {} must be in 1..={}",
-                config.parties_per_round,
-                party_datasets.len()
-            )));
-        }
-        if config.rounds == 0 {
-            return Err(FlError::InvalidConfig("zero rounds".into()));
         }
         if !(0.0..1.0).contains(&config.straggler_rate) {
             return Err(FlError::InvalidConfig("straggler_rate must be in [0, 1)".into()));
         }
-        if config.sketch_dim == 0 {
-            return Err(FlError::InvalidConfig("sketch_dim must be positive".into()));
-        }
         config.local.validate()?;
-        if selector.num_parties() != party_datasets.len() {
-            return Err(FlError::InvalidConfig(format!(
-                "selector sized for {} parties, roster has {}",
-                selector.num_parties(),
-                party_datasets.len()
-            )));
-        }
         let classes = config.model.num_classes();
         let dim = config.model.input_dim();
-        if test_set.classes != classes || test_set.x.cols() != dim {
-            return Err(FlError::InvalidConfig(
-                "test set does not match the model architecture".into(),
-            ));
-        }
         for (i, ds) in party_datasets.iter().enumerate() {
             if ds.classes != classes || ds.x.cols() != dim {
                 return Err(FlError::InvalidConfig(format!(
@@ -174,53 +153,81 @@ impl FlJob {
         }
 
         let seed = config.seed;
-        let parties: Vec<Party> = party_datasets
-            .into_iter()
-            .enumerate()
-            .map(|(id, ds)| Party::new(id, ds, &config.model, seed))
-            .collect();
-        // Global model initialization (paper §2: agreed at job start).
-        let init_model = config.model.build(&mut seeded(derive_seed(seed, 0x6106A1)));
-        let global = init_model.params();
+        let num_parties = party_datasets.len();
         let latency = match &config.latency_override {
-            Some(model) if model.num_parties() == parties.len() => model.clone(),
+            Some(model) if model.num_parties() == num_parties => model.clone(),
             Some(_) => {
                 return Err(FlError::InvalidConfig(
                     "latency_override sized for a different roster".into(),
                 ))
             }
-            None => LatencyModel::sample(parties.len(), config.latency_sigma, seed),
+            None => LatencyModel::sample(num_parties, config.latency_sigma, seed),
         };
+        let latency = Arc::new(latency);
+
+        let job_id = derive_seed(seed, 0x4A0B_F11F);
+        let coordinator = Coordinator::new(
+            CoordinatorConfig {
+                job_id,
+                model: config.model.clone(),
+                algorithm: config.algorithm,
+                rounds: config.rounds,
+                parties_per_round: config.parties_per_round,
+                sketch_dim: config.sketch_dim,
+                seed,
+            },
+            num_parties,
+            test_set,
+            selector,
+        )?;
+
+        let proximal_mu = config.algorithm.proximal_mu();
+        let endpoints: Vec<PartyEndpoint> = party_datasets
+            .into_iter()
+            .enumerate()
+            .map(|(id, ds)| {
+                PartyEndpoint::new(
+                    id,
+                    ds,
+                    &config.model,
+                    job_id,
+                    config.local,
+                    proximal_mu,
+                    Arc::clone(&latency),
+                    seed,
+                )
+            })
+            .collect();
+
         let injector = StragglerInjector::new(config.straggler_rate, config.straggler_bias, seed);
         Ok(FlJob {
-            server: ServerState::new(config.algorithm),
-            eval_model: init_model,
-            selector,
-            parties,
-            test_set,
-            global,
+            coordinator,
+            endpoints,
             latency,
             injector,
-            history: History::new(),
-            round: 0,
-            delta_buf: Vec::new(),
-            config,
+            parallel: config.parallel,
+            rounds: config.rounds,
         })
     }
 
     /// The current round index (number of completed rounds).
     pub fn round(&self) -> usize {
-        self.round
+        self.coordinator.round()
     }
 
     /// The current global model parameters.
     pub fn global_params(&self) -> &[f32] {
-        &self.global
+        self.coordinator.global_params()
     }
 
     /// The job history so far.
     pub fn history(&self) -> &History {
-        &self.history
+        self.coordinator.history()
+    }
+
+    /// The protocol state machine this driver pumps.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
     }
 
     /// The per-party latency model in effect.
@@ -230,96 +237,67 @@ impl FlJob {
 
     /// Per-party local sample counts (public job metadata).
     pub fn sample_counts(&self) -> Vec<usize> {
-        self.parties.iter().map(Party::num_samples).collect()
+        self.endpoints.iter().map(PartyEndpoint::num_samples).collect()
     }
 
-    /// Executes one synchronization round.
+    /// Executes one synchronization round: opens it on the coordinator,
+    /// delivers the outbound messages, trains the parties whose updates
+    /// make the deadline, pumps the replies back and fires the deadline.
     ///
     /// # Errors
     ///
     /// Propagates selection and aggregation failures.
     pub fn step(&mut self) -> Result<&RoundRecord, FlError> {
-        let round = self.round;
-        let selected = self.selector.select(round, self.config.parties_per_round)?;
-        let bytes_down = (selected.len() * global_model_bytes(self.global.len())) as u64;
-
-        // Straggler injection.
-        let victim_idx = self.injector.strike(&selected, &self.latency);
-        let victim_set: HashSet<usize> = victim_idx.iter().copied().collect();
-        let stragglers: Vec<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
-        let completing: Vec<PartyId> = selected
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !victim_set.contains(i))
-            .map(|(_, &p)| p)
-            .collect();
-
-        // Local training on completing parties.
-        let mut updates = self.train_parties(&completing, round);
-        updates.sort_by_key(|(p, _)| *p); // deterministic aggregation order
-
-        let completed: Vec<PartyId> = updates.iter().map(|(p, _)| *p).collect();
-        let bytes_up = (updates.len() * local_update_bytes(self.global.len())) as u64;
-
-        // Aggregate and advance the global model (a fully-straggled round
-        // leaves the model unchanged, as a real aggregator would resample).
-        // Updates are aggregated by reference — no parameter-vector clones.
-        let mean_train_loss = if updates.is_empty() {
-            0.0
-        } else {
-            let locals: Vec<&LocalUpdate> = updates.iter().map(|(_, u)| u).collect();
-            self.server.apply_round_refs(&mut self.global, &locals)?;
-            locals.iter().map(|u| u.mean_loss).sum::<f64>() / locals.len() as f64
-        };
-
-        // Evaluate on the aggregator-held balanced test set.
-        self.eval_model.set_params(&self.global)?;
-        let predictions = flips_ml::model::predict(self.eval_model.as_ref(), &self.test_set.x);
-        let cm = ConfusionMatrix::from_predictions(
-            self.test_set.classes,
-            &self.test_set.y,
-            &predictions,
-        );
-        let accuracy = cm.balanced_accuracy();
-
-        let round_duration = updates.iter().map(|(_, u)| u.duration).fold(0.0, f64::max);
-
-        // Selector feedback.
-        let mut feedback = RoundFeedback {
-            round,
-            selected: selected.clone(),
-            completed: completed.clone(),
-            stragglers: stragglers.clone(),
-            global_accuracy: accuracy,
-            ..Default::default()
-        };
-        for (p, u) in &updates {
-            feedback.train_loss.insert(*p, u.mean_loss);
-            feedback.duration.insert(*p, u.duration);
-            // Reusable delta buffer — the sketch is the only per-party
-            // allocation left, and it is handed to the selector.
-            self.delta_buf.clear();
-            self.delta_buf.extend(u.params.iter().zip(&self.global).map(|(x, g)| x - g));
-            feedback
-                .update_sketch
-                .insert(*p, sketch_update(&self.delta_buf, self.config.sketch_dim));
+        // Open: selection notices + global-model broadcasts.
+        let effects = self.coordinator.open_round()?;
+        let mut notices: Vec<WireMessage> = Vec::new();
+        let mut broadcasts: Vec<(PartyId, WireMessage)> = Vec::new();
+        let mut selected: Vec<PartyId> = Vec::new();
+        for effect in effects {
+            let Effect::Send { to, msg } = effect else { continue };
+            match msg {
+                WireMessage::SelectionNotice { .. } => {
+                    selected.push(to);
+                    notices.push(msg);
+                }
+                _ => broadcasts.push((to, msg)),
+            }
         }
-        self.selector.report(&feedback);
 
-        self.history.push(RoundRecord {
-            round,
-            selected,
-            completed,
-            stragglers,
-            accuracy,
-            per_label_recall: cm.recalls(),
-            mean_train_loss,
-            bytes_down,
-            bytes_up,
-            round_duration,
-        });
-        self.round += 1;
-        Ok(self.history.records().last().expect("just pushed"))
+        // The round clock: the injector picks the parties whose updates
+        // will miss the deadline. Their training is never simulated — the
+        // result would be discarded — so the deadline close below is what
+        // turns them into stragglers.
+        let victim_idx = self.injector.strike(&selected, &self.latency);
+        let victim_set: HashSet<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
+
+        // Selection notices reach everyone; heartbeat acks flow back.
+        let mut inbound: Vec<WireMessage> = Vec::with_capacity(2 * selected.len());
+        for (to, notice) in selected.iter().zip(&notices) {
+            inbound.extend(self.endpoints[*to].handle(notice)?);
+        }
+
+        // Local training on the parties that make the deadline.
+        let deliveries: Vec<(PartyId, WireMessage)> =
+            broadcasts.into_iter().filter(|(to, _)| !victim_set.contains(to)).collect();
+        inbound.extend(self.train_endpoints(&deliveries)?);
+
+        // Pump replies; the cohort completing early closes the round,
+        // otherwise the deadline does.
+        let mut close_effects: Vec<Effect> = Vec::new();
+        for msg in inbound {
+            close_effects.extend(self.coordinator.handle(Event::UpdateReceived(msg))?);
+        }
+        if self.coordinator.open_cohort().is_some() {
+            close_effects.extend(self.coordinator.handle(Event::DeadlineExpired)?);
+        }
+        // Deliver the coordinator's straggler aborts.
+        for effect in close_effects {
+            if let Effect::Send { to, msg } = effect {
+                self.endpoints[to].handle(&msg)?;
+            }
+        }
+        Ok(self.coordinator.history().records().last().expect("round just closed"))
     }
 
     /// Runs the job to its round budget and returns the history.
@@ -328,69 +306,79 @@ impl FlJob {
     ///
     /// Propagates the first failing round.
     pub fn run(&mut self) -> Result<History, FlError> {
-        while self.round < self.config.rounds {
+        while self.coordinator.round() < self.rounds {
             self.step()?;
         }
-        Ok(self.history.clone())
+        Ok(self.coordinator.history().clone())
     }
 
-    /// Trains `completing` parties, in parallel when configured.
-    fn train_parties(
+    /// Delivers `GlobalModel` messages to their endpoints (in parallel
+    /// when configured) and collects the `LocalUpdate` replies.
+    fn train_endpoints(
         &mut self,
-        completing: &[PartyId],
-        round: usize,
-    ) -> Vec<(PartyId, LocalUpdate)> {
-        let global = &self.global;
-        let local_cfg = &self.config.local;
-        let mu = self.config.algorithm.proximal_mu();
-        let latency = &self.latency;
-        let seed = self.config.seed;
+        deliveries: &[(PartyId, WireMessage)],
+    ) -> Result<Vec<WireMessage>, FlError> {
+        let by_party: std::collections::HashMap<PartyId, &WireMessage> =
+            deliveries.iter().map(|(p, m)| (*p, m)).collect();
+        // Roster order, as the pre-protocol trainer used; training is
+        // seed-deterministic per (round, party), so order only needs to
+        // be stable, not specific.
+        let mut jobs: Vec<(&mut PartyEndpoint, &WireMessage)> = self
+            .endpoints
+            .iter_mut()
+            .filter_map(|ep| by_party.get(&ep.id()).map(|msg| (ep, *msg)))
+            .collect();
 
-        let completing_set: HashSet<PartyId> = completing.iter().copied().collect();
-        let mut selected_parties: Vec<&mut Party> =
-            self.parties.iter_mut().filter(|p| completing_set.contains(&p.id())).collect();
-
-        if !self.config.parallel || selected_parties.len() < 2 {
-            return selected_parties
-                .iter_mut()
-                .map(|party| (party.id(), party.train(global, round, local_cfg, mu, latency, seed)))
-                .collect();
+        if !self.parallel || jobs.len() < 2 {
+            let mut replies = Vec::with_capacity(jobs.len());
+            for (ep, msg) in &mut jobs {
+                replies.extend(ep.handle(msg)?);
+            }
+            return Ok(replies);
         }
 
         let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
-        let chunk = selected_parties.len().div_ceil(threads);
-        let mut results: Vec<(PartyId, LocalUpdate)> = Vec::with_capacity(selected_parties.len());
+        let chunk = jobs.len().div_ceil(threads);
+        let mut replies: Vec<WireMessage> = Vec::with_capacity(jobs.len());
+        let mut first_err: Option<FlError> = None;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = selected_parties
+            let handles: Vec<_> = jobs
                 .chunks_mut(chunk)
-                .map(|parties| {
+                .map(|chunk_jobs| {
                     scope.spawn(move || {
-                        parties
-                            .iter_mut()
-                            .map(|party| {
-                                (
-                                    party.id(),
-                                    party.train(global, round, local_cfg, mu, latency, seed),
-                                )
-                            })
-                            .collect::<Vec<_>>()
+                        let mut out = Vec::with_capacity(chunk_jobs.len());
+                        for (ep, msg) in chunk_jobs {
+                            out.push(ep.handle(msg));
+                        }
+                        out
                     })
                 })
                 .collect();
             for h in handles {
-                results.extend(h.join().expect("training thread panicked"));
+                for result in h.join().expect("training thread panicked") {
+                    match result {
+                        Ok(msgs) => replies.extend(msgs),
+                        Err(e) => first_err = first_err.take().or(Some(e)),
+                    }
+                }
             }
         });
-        results
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(replies),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::{
+        global_model_bytes, heartbeat_bytes, local_update_bytes, selection_notice_bytes,
+    };
     use flips_data::dataset::{balanced_test_set, generate_population};
     use flips_data::{partition, DatasetProfile, PartitionStrategy};
-    use flips_selection::RandomSelector;
+    use flips_selection::{RandomSelector, RoundFeedback, SelectionError};
 
     fn small_setup(parties: usize, alpha: f64) -> (Vec<Dataset>, Dataset, DatasetProfile) {
         let profile = DatasetProfile::femnist().scaled(parties, 30);
@@ -478,11 +466,27 @@ mod tests {
 
     #[test]
     fn byte_accounting_matches_wire_sizes() {
+        // Down: one selection notice + one model broadcast per selected
+        // party. Up: one heartbeat ack + one trained update per party
+        // (no stragglers at rate 0).
         let mut j = job(false, 0.0);
         let p = j.global_params().len();
         let r = j.step().unwrap();
-        assert_eq!(r.bytes_down, (4 * global_model_bytes(p)) as u64);
-        assert_eq!(r.bytes_up, (4 * local_update_bytes(p)) as u64);
+        assert_eq!(r.bytes_down, (4 * (selection_notice_bytes() + global_model_bytes(p))) as u64);
+        assert_eq!(r.bytes_up, (4 * (heartbeat_bytes() + local_update_bytes(p))) as u64);
+    }
+
+    #[test]
+    fn straggled_rounds_account_for_abort_messages() {
+        let mut j = job(false, 0.25);
+        let p = j.global_params().len();
+        let r = j.step().unwrap();
+        assert_eq!(r.stragglers.len(), 1);
+        // Down: 4 notices + 4 models + 1 abort; the abort's exact size
+        // depends on its reason string, so check bounds.
+        let base = (4 * (selection_notice_bytes() + global_model_bytes(p))) as u64;
+        assert!(r.bytes_down > base, "abort bytes missing");
+        assert_eq!(r.bytes_up, (4 * heartbeat_bytes() + 3 * local_update_bytes(p)) as u64);
     }
 
     #[test]
@@ -536,6 +540,63 @@ mod tests {
         assert!(FlJob::new(datasets, test, cfg, sel).is_err());
     }
 
+    /// A selector returning whatever cohort it was constructed with.
+    struct Scripted {
+        n: usize,
+        cohort: Vec<PartyId>,
+    }
+    impl ParticipantSelector for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn select(
+            &mut self,
+            _round: usize,
+            _target: usize,
+        ) -> Result<Vec<PartyId>, SelectionError> {
+            Ok(self.cohort.clone())
+        }
+        fn report(&mut self, _fb: &RoundFeedback) {}
+        fn num_parties(&self) -> usize {
+            self.n
+        }
+    }
+
+    #[test]
+    fn duplicate_selections_are_deduplicated() {
+        // Regression: a buggy policy returning the same party twice must
+        // not double-train or double-aggregate it.
+        let (datasets, test, profile) = small_setup(6, 1.0);
+        let config = FlJobConfig {
+            rounds: 1,
+            parties_per_round: 3,
+            local: LocalTrainingConfig { epochs: 1, ..Default::default() },
+            ..FlJobConfig::new(profile.model.clone())
+        };
+        let sel = Box::new(Scripted { n: 6, cohort: vec![2, 4, 2, 4, 1] });
+        let mut j = FlJob::new(datasets, test, config, sel).unwrap();
+        let r = j.step().unwrap();
+        assert_eq!(r.selected, vec![2, 4, 1], "dedup keeps first occurrence, in order");
+        assert_eq!(r.completed, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn out_of_range_selection_is_rejected() {
+        let (datasets, test, profile) = small_setup(6, 1.0);
+        let config = FlJobConfig {
+            rounds: 1,
+            parties_per_round: 3,
+            local: LocalTrainingConfig { epochs: 1, ..Default::default() },
+            ..FlJobConfig::new(profile.model.clone())
+        };
+        let sel = Box::new(Scripted { n: 6, cohort: vec![1, 99] });
+        let mut j = FlJob::new(datasets, test, config, sel).unwrap();
+        match j.step() {
+            Err(FlError::InvalidConfig(m)) => assert!(m.contains("99"), "{m}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
     #[test]
     fn feedback_reaches_the_selector() {
         // A probe selector that records the feedback it receives.
@@ -553,7 +614,7 @@ mod tests {
                 &mut self,
                 _round: usize,
                 target: usize,
-            ) -> Result<Vec<PartyId>, flips_selection::SelectionError> {
+            ) -> Result<Vec<PartyId>, SelectionError> {
                 Ok((0..target).collect())
             }
             fn report(&mut self, fb: &RoundFeedback) {

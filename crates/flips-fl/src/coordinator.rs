@@ -1,0 +1,502 @@
+//! The sans-IO round coordinator — selection/aggregation *policy* as a
+//! pure state machine (paper §2, Figure 1).
+//!
+//! [`Coordinator`] owns everything the aggregator side of the protocol
+//! *decides*: which parties join a round, which updates are accepted,
+//! when a round closes, how updates aggregate into the global model, and
+//! what the selector learns from the outcome. It owns nothing the
+//! aggregator side *does*: no sockets, no threads, no clocks, no local
+//! training. Drivers feed [`Event`]s and execute the returned
+//! [`Effect`]s; see [`crate::events`] for the vocabulary and
+//! [`crate::FlJob`] for the in-process simulation driver.
+//!
+//! A round's lifecycle:
+//!
+//! ```text
+//!  Idle ──open_round()──▶ Open ──UpdateReceived*──▶ Open
+//!                          │  ▲                      │
+//!                          │  └──── Heartbeat ───────┘
+//!                          │
+//!            DeadlineExpired │ (or cohort complete)
+//!                          ▼
+//!            close: aggregate → evaluate → selector feedback
+//!                          │
+//!          RoundClosed(record) [+ JobFinished(history)]
+//! ```
+//!
+//! Rounds have real open/close semantics: duplicate updates are rejected
+//! (never double-aggregated), late updates for closed rounds bounce with
+//! [`RejectReason::WrongRound`], and parties that miss the deadline close
+//! as stragglers — the deadline *is* the straggler mechanism, there is no
+//! separate injection path inside the protocol.
+
+use crate::config::FlAlgorithm;
+use crate::events::{Effect, Event, RejectReason};
+use crate::history::{History, RoundRecord};
+use crate::message::WireMessage;
+use crate::party::LocalUpdate;
+use crate::server::ServerState;
+use crate::FlError;
+use flips_data::Dataset;
+use flips_ml::metrics::ConfusionMatrix;
+use flips_ml::model::{Model, ModelSpec};
+use flips_ml::rng::{derive_seed, seeded};
+use flips_selection::gradclus::sketch_update;
+use flips_selection::{ParticipantSelector, PartyId, RoundFeedback};
+use std::collections::HashSet;
+
+/// Static configuration of one coordinator.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Job identifier stamped on every message (rejects foreign traffic).
+    pub job_id: u64,
+    /// The agreed model architecture.
+    pub model: ModelSpec,
+    /// The FL algorithm (server-side optimizer).
+    pub algorithm: FlAlgorithm,
+    /// Round budget.
+    pub rounds: usize,
+    /// Parties per round (`Nr`; selectors may overprovision beyond it).
+    pub parties_per_round: usize,
+    /// Dimension of the update sketches reported to GradClus.
+    pub sketch_dim: usize,
+    /// Master seed; the global-model initialization stream derives from
+    /// it.
+    pub seed: u64,
+}
+
+/// Book-keeping of the currently open round.
+#[derive(Debug)]
+struct OpenRound {
+    round: u64,
+    /// Selection order, as the policy returned it.
+    selected: Vec<PartyId>,
+    selected_set: HashSet<PartyId>,
+    /// Parties whose update has not arrived (and are not dropped).
+    pending: HashSet<PartyId>,
+    /// Accepted updates, insertion order (sorted at close).
+    updates: Vec<(PartyId, LocalUpdate)>,
+    /// Parties the driver reported gone.
+    dropped: HashSet<PartyId>,
+    /// Parties that acked their selection notice.
+    heartbeats: HashSet<PartyId>,
+    bytes_down: u64,
+    bytes_up: u64,
+}
+
+/// The aggregator-side protocol state machine.
+///
+/// See the [module docs](self) for the event/effect contract.
+pub struct Coordinator {
+    config: CoordinatorConfig,
+    num_parties: usize,
+    selector: Box<dyn ParticipantSelector>,
+    server: ServerState,
+    global: Vec<f32>,
+    eval_model: Box<dyn Model>,
+    test_set: Dataset,
+    history: History,
+    /// Completed rounds.
+    round: usize,
+    open: Option<OpenRound>,
+    finished: bool,
+    /// Reused per-update delta buffer for selector sketches.
+    delta_buf: Vec<f32>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("job_id", &self.config.job_id)
+            .field("algorithm", &self.config.algorithm)
+            .field("selector", &self.selector.name())
+            .field("round", &self.round)
+            .field("open", &self.open.is_some())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl Coordinator {
+    /// Creates a coordinator for a roster of `num_parties` parties.
+    ///
+    /// The global model is initialized from the job seed (paper §2:
+    /// agreed at job start), exactly as every party initializes its local
+    /// architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for inconsistent inputs (zero
+    /// rounds, round size exceeding the roster, selector sized for a
+    /// different roster, test set not matching the architecture).
+    pub fn new(
+        config: CoordinatorConfig,
+        num_parties: usize,
+        test_set: Dataset,
+        selector: Box<dyn ParticipantSelector>,
+    ) -> Result<Self, FlError> {
+        if num_parties == 0 {
+            return Err(FlError::InvalidConfig("no parties".into()));
+        }
+        if config.parties_per_round == 0 || config.parties_per_round > num_parties {
+            return Err(FlError::InvalidConfig(format!(
+                "parties_per_round {} must be in 1..={num_parties}",
+                config.parties_per_round,
+            )));
+        }
+        if config.rounds == 0 {
+            return Err(FlError::InvalidConfig("zero rounds".into()));
+        }
+        if config.sketch_dim == 0 {
+            return Err(FlError::InvalidConfig("sketch_dim must be positive".into()));
+        }
+        if selector.num_parties() != num_parties {
+            return Err(FlError::InvalidConfig(format!(
+                "selector sized for {} parties, roster has {num_parties}",
+                selector.num_parties(),
+            )));
+        }
+        if test_set.classes != config.model.num_classes()
+            || test_set.x.cols() != config.model.input_dim()
+        {
+            return Err(FlError::InvalidConfig(
+                "test set does not match the model architecture".into(),
+            ));
+        }
+        let init_model = config.model.build(&mut seeded(derive_seed(config.seed, 0x6106A1)));
+        let global = init_model.params();
+        Ok(Coordinator {
+            server: ServerState::new(config.algorithm),
+            eval_model: init_model,
+            selector,
+            num_parties,
+            test_set,
+            global,
+            history: History::new(),
+            round: 0,
+            open: None,
+            finished: false,
+            delta_buf: Vec::new(),
+            config,
+        })
+    }
+
+    /// The job identifier stamped on every outbound message.
+    pub fn job_id(&self) -> u64 {
+        self.config.job_id
+    }
+
+    /// Number of completed rounds.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Whether the round budget is exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The current global model parameters.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// The job history so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The open round's cohort in selection order, if a round is open.
+    pub fn open_cohort(&self) -> Option<&[PartyId]> {
+        self.open.as_ref().map(|o| o.selected.as_slice())
+    }
+
+    /// Parties that have acked their selection notice this round.
+    pub fn heartbeats_this_round(&self) -> usize {
+        self.open.as_ref().map_or(0, |o| o.heartbeats.len())
+    }
+
+    /// Opens the next round: runs the selection policy and emits one
+    /// [`WireMessage::SelectionNotice`] and one
+    /// [`WireMessage::GlobalModel`] per selected party.
+    ///
+    /// The selector's output is guarded: duplicate ids are dropped
+    /// (keeping first occurrence, preserving selection order) and
+    /// out-of-roster ids are a hard error — a policy bug must not corrupt
+    /// the round.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Protocol`] if a round is already open or the job
+    /// finished; [`FlError::InvalidConfig`] for out-of-roster selections;
+    /// selection failures propagate.
+    pub fn open_round(&mut self) -> Result<Vec<Effect>, FlError> {
+        if self.finished {
+            return Err(FlError::Protocol("job finished: no more rounds to open".into()));
+        }
+        if let Some(open) = &self.open {
+            return Err(FlError::Protocol(format!("round {} is already open", open.round)));
+        }
+        let raw = self.selector.select(self.round, self.config.parties_per_round)?;
+        let mut seen = HashSet::with_capacity(raw.len());
+        let mut selected = Vec::with_capacity(raw.len());
+        for p in raw {
+            if p >= self.num_parties {
+                return Err(FlError::InvalidConfig(format!(
+                    "selector returned party {p}, roster has {}",
+                    self.num_parties
+                )));
+            }
+            if seen.insert(p) {
+                selected.push(p);
+            }
+        }
+        if selected.is_empty() {
+            return Err(FlError::InvalidConfig("selector returned no parties".into()));
+        }
+
+        let round = self.round as u64;
+        let job = self.config.job_id;
+        let mut effects = Vec::with_capacity(2 * selected.len());
+        let mut bytes_down = 0u64;
+        for &p in &selected {
+            let notice = WireMessage::SelectionNotice { job, round, party: p as u64 };
+            let model = WireMessage::GlobalModel { job, round, params: self.global.clone() };
+            bytes_down += (notice.wire_size() + model.wire_size()) as u64;
+            effects.push(Effect::Send { to: p, msg: notice });
+            effects.push(Effect::Send { to: p, msg: model });
+        }
+        self.open = Some(OpenRound {
+            round,
+            selected_set: seen,
+            pending: selected.iter().copied().collect(),
+            selected,
+            updates: Vec::new(),
+            dropped: HashSet::new(),
+            heartbeats: HashSet::new(),
+            bytes_down,
+            bytes_up: 0,
+        });
+        Ok(effects)
+    }
+
+    /// Feeds one event into the state machine.
+    ///
+    /// Invalid inbound messages never corrupt state — they surface as
+    /// [`Effect::Rejected`] and the round continues. A deadline with no
+    /// open round is a benign no-op (timers may fire late).
+    ///
+    /// # Errors
+    ///
+    /// Only aggregation/evaluation failures at round close propagate.
+    pub fn handle(&mut self, event: Event) -> Result<Vec<Effect>, FlError> {
+        match event {
+            Event::UpdateReceived(msg) => self.handle_message(msg),
+            Event::PartyDropped(party) => {
+                let Some(open) = &mut self.open else { return Ok(Vec::new()) };
+                if open.selected_set.contains(&party) && open.pending.remove(&party) {
+                    open.dropped.insert(party);
+                    if open.pending.is_empty() {
+                        return self.close_round();
+                    }
+                }
+                Ok(Vec::new())
+            }
+            Event::DeadlineExpired => {
+                if self.open.is_some() {
+                    self.close_round()
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+        }
+    }
+
+    fn handle_message(&mut self, msg: WireMessage) -> Result<Vec<Effect>, FlError> {
+        let reject = |party: Option<PartyId>, round: u64, reason: RejectReason| {
+            Ok(vec![Effect::Rejected { party, round, reason }])
+        };
+        match msg {
+            WireMessage::LocalUpdate {
+                job,
+                round,
+                party,
+                num_samples,
+                mean_loss,
+                duration,
+                params,
+            } => {
+                let pid = party as PartyId;
+                let some = Some(pid);
+                if job != self.config.job_id {
+                    return reject(some, round, RejectReason::WrongJob);
+                }
+                let Some(open) = &mut self.open else {
+                    return reject(some, round, RejectReason::NoOpenRound);
+                };
+                if round != open.round {
+                    return reject(some, round, RejectReason::WrongRound);
+                }
+                if party >= self.num_parties as u64 || !open.selected_set.contains(&pid) {
+                    return reject(some, round, RejectReason::NotSelected);
+                }
+                if open.dropped.contains(&pid) {
+                    return reject(some, round, RejectReason::PartyDropped);
+                }
+                if open.updates.iter().any(|(p, _)| *p == pid) {
+                    return reject(some, round, RejectReason::DuplicateUpdate);
+                }
+                if params.len() != self.global.len() {
+                    return reject(some, round, RejectReason::WrongModelSize);
+                }
+                open.bytes_up += crate::message::local_update_bytes(params.len()) as u64;
+                open.pending.remove(&pid);
+                open.updates.push((
+                    pid,
+                    LocalUpdate { params, num_samples: num_samples as usize, mean_loss, duration },
+                ));
+                if open.pending.is_empty() {
+                    return self.close_round();
+                }
+                Ok(Vec::new())
+            }
+            WireMessage::Heartbeat { job, round, party } => {
+                let pid = party as PartyId;
+                if job != self.config.job_id {
+                    return reject(Some(pid), round, RejectReason::WrongJob);
+                }
+                let Some(open) = &mut self.open else {
+                    return reject(Some(pid), round, RejectReason::NoOpenRound);
+                };
+                if round != open.round {
+                    return reject(Some(pid), round, RejectReason::WrongRound);
+                }
+                if !open.selected_set.contains(&pid) {
+                    return reject(Some(pid), round, RejectReason::NotSelected);
+                }
+                open.bytes_up += crate::message::heartbeat_bytes() as u64;
+                open.heartbeats.insert(pid);
+                Ok(Vec::new())
+            }
+            WireMessage::Abort { job, round, party, .. } => {
+                // A party withdrawing is equivalent to the transport
+                // losing it — but only a *this-job* abort may mutate
+                // round state; foreign traffic bounces like any other
+                // message.
+                let pid = party as PartyId;
+                if job != self.config.job_id {
+                    return reject(Some(pid), round, RejectReason::WrongJob);
+                }
+                let Some(open_round) = self.open.as_ref().map(|o| o.round) else {
+                    return reject(Some(pid), round, RejectReason::NoOpenRound);
+                };
+                if round == open_round {
+                    self.handle(Event::PartyDropped(pid))
+                } else {
+                    reject(Some(pid), round, RejectReason::WrongRound)
+                }
+            }
+            WireMessage::SelectionNotice { round, party, .. } => {
+                reject(Some(party as PartyId), round, RejectReason::WrongDirection)
+            }
+            WireMessage::GlobalModel { round, .. } => {
+                reject(None, round, RejectReason::WrongDirection)
+            }
+        }
+    }
+
+    /// Closes the open round: aggregates accepted updates in party-id
+    /// order, evaluates on the aggregator-held balanced test set, feeds
+    /// the selector, records the round and tells stragglers to abort.
+    fn close_round(&mut self) -> Result<Vec<Effect>, FlError> {
+        let mut open = self.open.take().expect("close_round requires an open round");
+        let round = self.round;
+
+        // Deterministic aggregation order, independent of arrival order.
+        open.updates.sort_by_key(|(p, _)| *p);
+        let completed: Vec<PartyId> = open.updates.iter().map(|(p, _)| *p).collect();
+        let completed_set: HashSet<PartyId> = completed.iter().copied().collect();
+        let stragglers: Vec<PartyId> =
+            open.selected.iter().copied().filter(|p| !completed_set.contains(p)).collect();
+
+        // Aggregate and advance the global model (a fully-straggled round
+        // leaves the model unchanged, as a real aggregator would
+        // resample). Updates are aggregated by reference — no
+        // parameter-vector clones.
+        let mean_train_loss = if open.updates.is_empty() {
+            0.0
+        } else {
+            let locals: Vec<&LocalUpdate> = open.updates.iter().map(|(_, u)| u).collect();
+            self.server.apply_round_refs(&mut self.global, &locals)?;
+            locals.iter().map(|u| u.mean_loss).sum::<f64>() / locals.len() as f64
+        };
+
+        // Evaluate on the aggregator-held balanced test set (§4.4).
+        self.eval_model.set_params(&self.global)?;
+        let predictions = flips_ml::model::predict(self.eval_model.as_ref(), &self.test_set.x);
+        let cm = ConfusionMatrix::from_predictions(
+            self.test_set.classes,
+            &self.test_set.y,
+            &predictions,
+        );
+        let accuracy = cm.balanced_accuracy();
+
+        let round_duration = open.updates.iter().map(|(_, u)| u.duration).fold(0.0, f64::max);
+
+        // Selector feedback — the round-close event is the only channel
+        // through which policies learn.
+        let mut feedback = RoundFeedback::for_round(
+            round,
+            open.selected.clone(),
+            completed.clone(),
+            stragglers.clone(),
+            accuracy,
+        );
+        for (p, u) in &open.updates {
+            feedback.train_loss.insert(*p, u.mean_loss);
+            feedback.duration.insert(*p, u.duration);
+            // Reusable delta buffer — the sketch is the only per-party
+            // allocation left, and it is handed to the selector.
+            self.delta_buf.clear();
+            self.delta_buf.extend(u.params.iter().zip(&self.global).map(|(x, g)| x - g));
+            feedback
+                .update_sketch
+                .insert(*p, sketch_update(&self.delta_buf, self.config.sketch_dim));
+        }
+        self.selector.report(&feedback);
+
+        // Stragglers are told to stop working on the now-closed round.
+        let mut effects: Vec<Effect> = Vec::with_capacity(stragglers.len() + 2);
+        for &p in &stragglers {
+            let msg = WireMessage::Abort {
+                job: self.config.job_id,
+                round: open.round,
+                party: p as u64,
+                reason: "deadline expired".into(),
+            };
+            open.bytes_down += msg.wire_size() as u64;
+            effects.push(Effect::Send { to: p, msg });
+        }
+
+        let record = RoundRecord {
+            round,
+            selected: open.selected,
+            completed,
+            stragglers,
+            accuracy,
+            per_label_recall: cm.recalls(),
+            mean_train_loss,
+            bytes_down: open.bytes_down,
+            bytes_up: open.bytes_up,
+            round_duration,
+        };
+        self.history.push(record.clone());
+        self.round += 1;
+        effects.push(Effect::RoundClosed(record));
+        if self.round == self.config.rounds {
+            self.finished = true;
+            effects.push(Effect::JobFinished(self.history.clone()));
+        }
+        Ok(effects)
+    }
+}

@@ -1,0 +1,133 @@
+//! Events and effects of the sans-IO round protocol.
+//!
+//! The [`Coordinator`](crate::coordinator::Coordinator) is a pure state
+//! machine: drivers feed it [`Event`]s (things that happened in the
+//! outside world — a message arrived, a deadline fired, a party vanished)
+//! and receive [`Effect`]s (things the driver must now make happen — send
+//! a message, record a closed round, finish the job). The coordinator
+//! itself performs no I/O, reads no clocks and trains no models, so the
+//! same state machine runs under the in-process simulation driver, a
+//! future async transport, or a deterministic unit test that hand-feeds
+//! events.
+
+use crate::history::{History, RoundRecord};
+use crate::message::WireMessage;
+use flips_selection::PartyId;
+
+/// An input to the coordinator state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A wire message arrived from a party ([`WireMessage::LocalUpdate`],
+    /// [`WireMessage::Heartbeat`] or [`WireMessage::Abort`]).
+    UpdateReceived(WireMessage),
+    /// The driver's clock says the open round's collection window ended.
+    /// Parties that have not delivered an update by now are this round's
+    /// stragglers.
+    DeadlineExpired,
+    /// The transport lost a party mid-round (connection drop, crash).
+    /// Subsumed by [`Event::DeadlineExpired`] for accounting — a dropped
+    /// party simply closes as a straggler — but lets the coordinator stop
+    /// waiting for it early.
+    PartyDropped(PartyId),
+}
+
+/// An output of the coordinator state machine: an instruction to the
+/// driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Deliver `msg` to party `to`.
+    Send {
+        /// Destination party.
+        to: PartyId,
+        /// The message to deliver.
+        msg: WireMessage,
+    },
+    /// An inbound message was rejected; purely observational (the
+    /// coordinator's state is unchanged).
+    Rejected {
+        /// The party whose message was rejected (`None` when the message
+        /// carries no sender, e.g. an echoed `GlobalModel`).
+        party: Option<PartyId>,
+        /// The round the message claimed to belong to.
+        round: u64,
+        /// Why it was rejected.
+        reason: RejectReason,
+    },
+    /// A round closed; its record has been appended to the history.
+    RoundClosed(RoundRecord),
+    /// The round budget is exhausted; the job's full history.
+    JobFinished(History),
+}
+
+/// Why an inbound message was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The party already delivered an update this round (the XAIN
+    /// coordinator's `DuplicatedUpdateError`).
+    DuplicateUpdate,
+    /// The sender was not selected for the round (or is outside the
+    /// roster).
+    NotSelected,
+    /// The message belongs to a different job.
+    WrongJob,
+    /// The message's round is not the open round (late straggler update
+    /// or time-traveling future round).
+    WrongRound,
+    /// No round is open.
+    NoOpenRound,
+    /// The update's parameter vector does not match the agreed
+    /// architecture.
+    WrongModelSize,
+    /// An aggregator-bound direction violation (e.g. a party echoing a
+    /// `GlobalModel` back).
+    WrongDirection,
+    /// The party was reported dropped earlier this round.
+    PartyDropped,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RejectReason::DuplicateUpdate => "duplicate update",
+            RejectReason::NotSelected => "party not selected",
+            RejectReason::WrongJob => "wrong job id",
+            RejectReason::WrongRound => "wrong round",
+            RejectReason::NoOpenRound => "no open round",
+            RejectReason::WrongModelSize => "model size mismatch",
+            RejectReason::WrongDirection => "wrong message direction",
+            RejectReason::PartyDropped => "party was dropped",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_reasons_render() {
+        for r in [
+            RejectReason::DuplicateUpdate,
+            RejectReason::NotSelected,
+            RejectReason::WrongJob,
+            RejectReason::WrongRound,
+            RejectReason::NoOpenRound,
+            RejectReason::WrongModelSize,
+            RejectReason::WrongDirection,
+            RejectReason::PartyDropped,
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn events_and_effects_are_comparable() {
+        let e = Event::DeadlineExpired;
+        assert_eq!(e, Event::DeadlineExpired);
+        assert_ne!(e, Event::PartyDropped(3));
+        let msg = WireMessage::Heartbeat { job: 1, round: 0, party: 2 };
+        let eff = Effect::Send { to: 2, msg: msg.clone() };
+        assert_eq!(eff, Effect::Send { to: 2, msg });
+    }
+}

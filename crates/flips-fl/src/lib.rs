@@ -1,12 +1,15 @@
 //! # flips-fl — the federated-learning runtime
 //!
-//! A policy-agnostic FL aggregator in the mold the paper describes (§2):
-//! an aggregator coordinates rounds against a roster of parties holding
-//! private local datasets; each round it *selects* participants (through
+//! A policy-agnostic FL aggregator in the mold the paper describes (§2),
+//! built **sans-IO**: round policy is a pure state machine that consumes
+//! protocol events and emits effects, and everything that touches the
+//! outside world (transport, clocks, training schedulers) lives in a
+//! driver. Each round, the coordinator *selects* participants (through
 //! any [`flips_selection::ParticipantSelector`]), *dispatches* the global
-//! model, parties *train locally* (Algorithm 1, participant side),
-//! updates are *collected* — minus injected stragglers — *aggregated*, and
-//! the server optimizer advances the global model.
+//! model as wire messages, parties *train locally* (Algorithm 1,
+//! participant side), updates are *collected* until the round deadline —
+//! parties that miss it close as stragglers — then *aggregated*, and the
+//! server optimizer advances the global model.
 //!
 //! Modules:
 //!
@@ -14,17 +17,29 @@
 //!   FedAdagrad) and job/local-training configuration;
 //! - [`message`] — the wire protocol with exact byte accounting (the
 //!   paper's communication-cost metric);
+//! - [`events`] — the [`Event`]/[`Effect`] vocabulary of the sans-IO
+//!   protocol;
+//! - [`coordinator`] — the aggregator-side protocol state machine
+//!   (selection, round open/close, duplicate rejection, aggregation,
+//!   evaluation, selector feedback) — no I/O, clocks or training;
+//! - [`endpoint`] — the party-side protocol state machine
+//!   (`GlobalModel` in, `LocalUpdate` out);
 //! - [`party`] — participant-side local training;
 //! - [`latency`] — the platform-heterogeneity model (per-party speeds);
-//! - [`straggler`] — the fault injector emulating the paper's 10%/20%
-//!   straggler regimes;
+//! - [`straggler`] — the simulation's deadline model: picks the parties
+//!   whose updates miss each round's deadline (the paper's 10%/20%
+//!   straggler regimes);
 //! - [`server`] — update aggregation and server optimizers;
 //! - [`history`] — per-round records and the metrics the paper's tables
 //!   report (rounds-to-target, peak accuracy, bytes transferred);
-//! - [`aggregator`] — the orchestrator tying it all together.
+//! - [`aggregator`] — the in-process driver pumping coordinator and
+//!   endpoints.
 
 pub mod aggregator;
 pub mod config;
+pub mod coordinator;
+pub mod endpoint;
+pub mod events;
 pub mod history;
 pub mod latency;
 pub mod message;
@@ -34,8 +49,12 @@ pub mod straggler;
 
 pub use aggregator::{FlJob, FlJobConfig};
 pub use config::{FlAlgorithm, LocalTrainingConfig};
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use endpoint::PartyEndpoint;
+pub use events::{Effect, Event, RejectReason};
 pub use history::{History, RoundRecord};
 pub use latency::LatencyModel;
+pub use message::WireMessage;
 pub use straggler::StragglerInjector;
 
 /// Errors produced by the FL runtime.
@@ -49,6 +68,9 @@ pub enum FlError {
     Ml(flips_ml::MlError),
     /// A wire message failed to decode.
     Codec(String),
+    /// The round protocol was violated (round opened twice, job driven
+    /// past its budget, a message sent in the wrong direction).
+    Protocol(String),
 }
 
 impl std::fmt::Display for FlError {
@@ -58,6 +80,7 @@ impl std::fmt::Display for FlError {
             FlError::Selection(e) => write!(f, "selection failed: {e}"),
             FlError::Ml(e) => write!(f, "model operation failed: {e}"),
             FlError::Codec(m) => write!(f, "wire codec error: {m}"),
+            FlError::Protocol(m) => write!(f, "protocol violation: {m}"),
         }
     }
 }

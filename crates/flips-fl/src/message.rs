@@ -2,9 +2,24 @@
 //!
 //! The paper's headline cost metric is communication: rounds saved
 //! translate directly into model-update bytes not sent. This module
-//! defines the two messages of a round — the aggregator's global-model
-//! broadcast and each party's local update — with a compact little-endian
-//! binary codec so byte counts are exact and stable.
+//! defines the messages of a synchronization round with a compact
+//! little-endian binary codec so byte counts are exact and stable.
+//!
+//! A round exchanges five message kinds:
+//!
+//! - [`WireMessage::SelectionNotice`] — aggregator → party: "you are in
+//!   round `round` of job `job`";
+//! - [`WireMessage::GlobalModel`] — aggregator → party: the round's
+//!   global parameters;
+//! - [`WireMessage::LocalUpdate`] — party → aggregator: the trained
+//!   local update;
+//! - [`WireMessage::Heartbeat`] — party → aggregator: liveness ack;
+//! - [`WireMessage::Abort`] — either direction: abandon the round/job.
+//!
+//! Every message carries the `(job, round)` pair so a transport can
+//! multiplex concurrent jobs and the coordinator can reject stale or
+//! foreign traffic. Update statistics (`mean_loss`, `duration`) travel as
+//! `f64` so an in-process round trip through the protocol is bit-exact.
 //!
 //! (Only the `serde` *traits* are permitted in this workspace — no format
 //! crate — so the codec is hand-rolled on `bytes`.)
@@ -14,16 +29,33 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 /// Protocol magic, guards against decoding foreign buffers.
-const MAGIC: u32 = 0xF11F_5001;
+const MAGIC: u32 = 0xF11F_5002;
 
 const TAG_GLOBAL: u8 = 1;
 const TAG_UPDATE: u8 = 2;
+const TAG_NOTICE: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_ABORT: u8 = 5;
+
+/// magic + tag.
+const HEADER: usize = 4 + 1;
 
 /// A message on the aggregator ↔ party wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WireMessage {
+    /// Aggregator → party: selection announcement for a round.
+    SelectionNotice {
+        /// Job identifier.
+        job: u64,
+        /// Round number.
+        round: u64,
+        /// The selected party.
+        party: u64,
+    },
     /// Aggregator → party: the round's global model.
     GlobalModel {
+        /// Job identifier.
+        job: u64,
         /// Round number.
         round: u64,
         /// Flat global-model parameters.
@@ -31,6 +63,8 @@ pub enum WireMessage {
     },
     /// Party → aggregator: a trained local update.
     LocalUpdate {
+        /// Job identifier.
+        job: u64,
         /// Round number.
         round: u64,
         /// Sender party.
@@ -38,39 +72,113 @@ pub enum WireMessage {
         /// Local sample count `n_i` (the FedAvg weight).
         num_samples: u64,
         /// Mean local training loss (Oort's utility signal).
-        mean_loss: f32,
+        mean_loss: f64,
         /// Simulated training duration, seconds.
-        duration: f32,
+        duration: f64,
         /// Flat trained parameters `x_i^(r,τ)`.
         params: Vec<f32>,
+    },
+    /// Party → aggregator: liveness ack for an open round.
+    Heartbeat {
+        /// Job identifier.
+        job: u64,
+        /// Round number.
+        round: u64,
+        /// Sender party.
+        party: u64,
+    },
+    /// Either direction: abandon the round (aggregator → party) or
+    /// withdraw from it (party → aggregator).
+    Abort {
+        /// Job identifier.
+        job: u64,
+        /// Round number.
+        round: u64,
+        /// The party the abort concerns (sender when party-originated,
+        /// addressee otherwise).
+        party: u64,
+        /// Human-readable cause.
+        reason: String,
     },
 }
 
 impl WireMessage {
+    /// The job identifier every message carries.
+    pub fn job(&self) -> u64 {
+        match self {
+            WireMessage::SelectionNotice { job, .. }
+            | WireMessage::GlobalModel { job, .. }
+            | WireMessage::LocalUpdate { job, .. }
+            | WireMessage::Heartbeat { job, .. }
+            | WireMessage::Abort { job, .. } => *job,
+        }
+    }
+
+    /// The round number every message carries.
+    pub fn round(&self) -> u64 {
+        match self {
+            WireMessage::SelectionNotice { round, .. }
+            | WireMessage::GlobalModel { round, .. }
+            | WireMessage::LocalUpdate { round, .. }
+            | WireMessage::Heartbeat { round, .. }
+            | WireMessage::Abort { round, .. } => *round,
+        }
+    }
+
     /// Encodes to the binary wire format.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_size());
         buf.put_u32_le(MAGIC);
         match self {
-            WireMessage::GlobalModel { round, params } => {
+            WireMessage::SelectionNotice { job, round, party } => {
+                buf.put_u8(TAG_NOTICE);
+                buf.put_u64_le(*job);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*party);
+            }
+            WireMessage::GlobalModel { job, round, params } => {
                 buf.put_u8(TAG_GLOBAL);
+                buf.put_u64_le(*job);
                 buf.put_u64_le(*round);
                 buf.put_u64_le(params.len() as u64);
                 for &p in params {
                     buf.put_f32_le(p);
                 }
             }
-            WireMessage::LocalUpdate { round, party, num_samples, mean_loss, duration, params } => {
+            WireMessage::LocalUpdate {
+                job,
+                round,
+                party,
+                num_samples,
+                mean_loss,
+                duration,
+                params,
+            } => {
                 buf.put_u8(TAG_UPDATE);
+                buf.put_u64_le(*job);
                 buf.put_u64_le(*round);
                 buf.put_u64_le(*party);
                 buf.put_u64_le(*num_samples);
-                buf.put_f32_le(*mean_loss);
-                buf.put_f32_le(*duration);
+                buf.put_f64_le(*mean_loss);
+                buf.put_f64_le(*duration);
                 buf.put_u64_le(params.len() as u64);
                 for &p in params {
                     buf.put_f32_le(p);
                 }
+            }
+            WireMessage::Heartbeat { job, round, party } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u64_le(*job);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*party);
+            }
+            WireMessage::Abort { job, round, party, reason } => {
+                buf.put_u8(TAG_ABORT);
+                buf.put_u64_le(*job);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*party);
+                buf.put_u32_le(reason.len() as u32);
+                buf.put_slice(reason.as_bytes());
             }
         }
         buf.freeze()
@@ -78,9 +186,13 @@ impl WireMessage {
 
     /// Decodes from the binary wire format.
     ///
+    /// Decoding never panics: bad magic, unknown tags, truncation,
+    /// overlong length prefixes and invalid UTF-8 all surface as
+    /// [`FlError::Codec`].
+    ///
     /// # Errors
     ///
-    /// Returns [`FlError::Codec`] on bad magic, unknown tags or truncation.
+    /// Returns [`FlError::Codec`] on any malformed buffer.
     pub fn decode(mut buf: Bytes) -> Result<Self, FlError> {
         let need = |buf: &Bytes, n: usize| -> Result<(), FlError> {
             if buf.remaining() < n {
@@ -89,32 +201,53 @@ impl WireMessage {
                 Ok(())
             }
         };
-        need(&buf, 5)?;
+        // A length prefix is only plausible if that many payload bytes
+        // are actually present — checked with overflow-safe arithmetic so
+        // a hostile prefix cannot trigger a huge allocation or a panic.
+        let need_elems = |buf: &Bytes, len: u64, elem: usize| -> Result<usize, FlError> {
+            let len =
+                usize::try_from(len).ok().and_then(|l| l.checked_mul(elem).map(|bytes| (l, bytes)));
+            match len {
+                Some((l, bytes)) if buf.remaining() >= bytes => Ok(l),
+                _ => Err(FlError::Codec("length prefix exceeds buffer".into())),
+            }
+        };
+        need(&buf, HEADER)?;
         let magic = buf.get_u32_le();
         if magic != MAGIC {
             return Err(FlError::Codec(format!("bad magic {magic:#x}")));
         }
         let tag = buf.get_u8();
-        match tag {
-            TAG_GLOBAL => {
-                need(&buf, 16)?;
+        let msg = match tag {
+            TAG_NOTICE => {
+                need(&buf, 8 * 3)?;
+                let job = buf.get_u64_le();
                 let round = buf.get_u64_le();
-                let len = buf.get_u64_le() as usize;
-                need(&buf, len * 4)?;
+                let party = buf.get_u64_le();
+                Ok(WireMessage::SelectionNotice { job, round, party })
+            }
+            TAG_GLOBAL => {
+                need(&buf, 8 * 3)?;
+                let job = buf.get_u64_le();
+                let round = buf.get_u64_le();
+                let raw_len = buf.get_u64_le();
+                let len = need_elems(&buf, raw_len, 4)?;
                 let params = (0..len).map(|_| buf.get_f32_le()).collect();
-                Ok(WireMessage::GlobalModel { round, params })
+                Ok(WireMessage::GlobalModel { job, round, params })
             }
             TAG_UPDATE => {
-                need(&buf, 8 * 3 + 4 * 2 + 8)?;
+                need(&buf, 8 * 7)?;
+                let job = buf.get_u64_le();
                 let round = buf.get_u64_le();
                 let party = buf.get_u64_le();
                 let num_samples = buf.get_u64_le();
-                let mean_loss = buf.get_f32_le();
-                let duration = buf.get_f32_le();
-                let len = buf.get_u64_le() as usize;
-                need(&buf, len * 4)?;
+                let mean_loss = buf.get_f64_le();
+                let duration = buf.get_f64_le();
+                let raw_len = buf.get_u64_le();
+                let len = need_elems(&buf, raw_len, 4)?;
                 let params = (0..len).map(|_| buf.get_f32_le()).collect();
                 Ok(WireMessage::LocalUpdate {
+                    job,
                     round,
                     party,
                     num_samples,
@@ -123,28 +256,69 @@ impl WireMessage {
                     params,
                 })
             }
+            TAG_HEARTBEAT => {
+                need(&buf, 8 * 3)?;
+                let job = buf.get_u64_le();
+                let round = buf.get_u64_le();
+                let party = buf.get_u64_le();
+                Ok(WireMessage::Heartbeat { job, round, party })
+            }
+            TAG_ABORT => {
+                need(&buf, 8 * 3 + 4)?;
+                let job = buf.get_u64_le();
+                let round = buf.get_u64_le();
+                let party = buf.get_u64_le();
+                let raw_len = u64::from(buf.get_u32_le());
+                let len = need_elems(&buf, raw_len, 1)?;
+                let reason = String::from_utf8(buf.copy_take(len))
+                    .map_err(|_| FlError::Codec("abort reason is not UTF-8".into()))?;
+                Ok(WireMessage::Abort { job, round, party, reason })
+            }
             other => Err(FlError::Codec(format!("unknown tag {other}"))),
+        }?;
+        // A message is exactly one frame: trailing bytes mean the tag and
+        // payload disagree (e.g. a corrupted tag re-parsing a longer
+        // variant's prefix) and must not decode silently.
+        if buf.remaining() != 0 {
+            return Err(FlError::Codec(format!(
+                "{} trailing bytes after message",
+                buf.remaining()
+            )));
         }
+        Ok(msg)
     }
 
     /// Exact encoded size in bytes.
     pub fn wire_size(&self) -> usize {
         match self {
-            WireMessage::GlobalModel { params, .. } => 4 + 1 + 8 + 8 + params.len() * 4,
-            WireMessage::LocalUpdate { params, .. } => 4 + 1 + 8 * 3 + 4 * 2 + 8 + params.len() * 4,
+            WireMessage::SelectionNotice { .. } => selection_notice_bytes(),
+            WireMessage::GlobalModel { params, .. } => global_model_bytes(params.len()),
+            WireMessage::LocalUpdate { params, .. } => local_update_bytes(params.len()),
+            WireMessage::Heartbeat { .. } => heartbeat_bytes(),
+            WireMessage::Abort { reason, .. } => HEADER + 8 * 3 + 4 + reason.len(),
         }
     }
+}
+
+/// Wire size of one selection notice.
+pub fn selection_notice_bytes() -> usize {
+    HEADER + 8 * 3
 }
 
 /// Wire size of one global-model broadcast for a model of `num_params`
 /// parameters (for communication accounting without building messages).
 pub fn global_model_bytes(num_params: usize) -> usize {
-    4 + 1 + 8 + 8 + num_params * 4
+    HEADER + 8 * 3 + num_params * 4
 }
 
 /// Wire size of one local update for a model of `num_params` parameters.
 pub fn local_update_bytes(num_params: usize) -> usize {
-    4 + 1 + 8 * 3 + 4 * 2 + 8 + num_params * 4
+    HEADER + 8 * 7 + num_params * 4
+}
+
+/// Wire size of one heartbeat.
+pub fn heartbeat_bytes() -> usize {
+    HEADER + 8 * 3
 }
 
 #[cfg(test)]
@@ -153,6 +327,7 @@ mod tests {
 
     fn sample_update() -> WireMessage {
         WireMessage::LocalUpdate {
+            job: 99,
             round: 12,
             party: 7,
             num_samples: 250,
@@ -162,36 +337,109 @@ mod tests {
         }
     }
 
-    #[test]
-    fn global_model_round_trips() {
-        let msg = WireMessage::GlobalModel { round: 3, params: vec![0.5; 10] };
-        let decoded = WireMessage::decode(msg.encode()).unwrap();
-        assert_eq!(decoded, msg);
+    fn one_of_each() -> [WireMessage; 5] {
+        [
+            WireMessage::SelectionNotice { job: 1, round: 2, party: 3 },
+            WireMessage::GlobalModel { job: 1, round: 2, params: vec![0.5; 10] },
+            sample_update(),
+            WireMessage::Heartbeat { job: 1, round: 2, party: 3 },
+            WireMessage::Abort { job: 1, round: 2, party: 3, reason: "deadline".into() },
+        ]
     }
 
     #[test]
-    fn local_update_round_trips() {
-        let msg = sample_update();
-        assert_eq!(WireMessage::decode(msg.encode()).unwrap(), msg);
+    fn every_variant_round_trips() {
+        for msg in one_of_each() {
+            assert_eq!(WireMessage::decode(msg.encode()).unwrap(), msg, "{msg:?}");
+        }
     }
 
     #[test]
     fn wire_size_matches_encoding() {
-        for msg in [
-            WireMessage::GlobalModel { round: 0, params: vec![1.0; 33] },
-            sample_update(),
-            WireMessage::GlobalModel { round: 9, params: vec![] },
-        ] {
-            assert_eq!(msg.encode().len(), msg.wire_size());
+        let mut msgs = one_of_each().to_vec();
+        msgs.push(WireMessage::GlobalModel { job: 0, round: 9, params: vec![] });
+        msgs.push(WireMessage::Abort { job: 0, round: 0, party: 0, reason: String::new() });
+        for msg in msgs {
+            assert_eq!(msg.encode().len(), msg.wire_size(), "{msg:?}");
         }
     }
 
     #[test]
     fn size_helpers_match_messages() {
-        let msg = WireMessage::GlobalModel { round: 0, params: vec![0.0; 17] };
+        let msg = WireMessage::GlobalModel { job: 4, round: 0, params: vec![0.0; 17] };
         assert_eq!(global_model_bytes(17), msg.wire_size());
-        let msg = sample_update();
-        assert_eq!(local_update_bytes(4), msg.wire_size());
+        assert_eq!(local_update_bytes(4), sample_update().wire_size());
+        let msg = WireMessage::SelectionNotice { job: 1, round: 1, party: 1 };
+        assert_eq!(selection_notice_bytes(), msg.wire_size());
+        let msg = WireMessage::Heartbeat { job: 1, round: 1, party: 1 };
+        assert_eq!(heartbeat_bytes(), msg.wire_size());
+    }
+
+    #[test]
+    fn job_and_round_accessors_cover_every_variant() {
+        for msg in one_of_each() {
+            assert_eq!(msg.job(), msg.clone().job());
+            assert!(msg.round() <= 12);
+        }
+        assert_eq!(sample_update().job(), 99);
+        assert_eq!(sample_update().round(), 12);
+    }
+
+    #[test]
+    fn update_statistics_survive_exactly() {
+        // f64 on the wire: the coordinator's aggregation sees bit-exact
+        // loss/duration, so an in-process protocol round trip cannot
+        // perturb the job history.
+        let loss = 0.1f64 + 0.2;
+        let duration = 1.0 / 3.0;
+        let msg = WireMessage::LocalUpdate {
+            job: 1,
+            round: 1,
+            party: 1,
+            num_samples: 10,
+            mean_loss: loss,
+            duration,
+            params: vec![],
+        };
+        match WireMessage::decode(msg.encode()).unwrap() {
+            WireMessage::LocalUpdate { mean_loss, duration: d, .. } => {
+                assert_eq!(mean_loss.to_bits(), loss.to_bits());
+                assert_eq!(d.to_bits(), duration.to_bits());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_corruption_cannot_reparse_payload_bearing_messages() {
+        // The decoder rejects trailing bytes, so a flipped tag cannot
+        // silently re-parse a params-carrying message as a shorter
+        // fixed-size variant (e.g. LocalUpdate → SelectionNotice).
+        let payload_bearing =
+            [sample_update(), WireMessage::GlobalModel { job: 1, round: 2, params: vec![1.0; 8] }];
+        for msg in payload_bearing {
+            let bytes = msg.encode().to_vec();
+            for bit in 0..8 {
+                let mut corrupted = bytes.clone();
+                corrupted[4] ^= 1 << bit;
+                assert!(
+                    WireMessage::decode(Bytes::from(corrupted)).is_err(),
+                    "{msg:?} decoded with tag bit {bit} flipped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        for msg in one_of_each() {
+            let mut bytes = msg.encode().to_vec();
+            bytes.push(0);
+            assert!(
+                WireMessage::decode(Bytes::from(bytes)).is_err(),
+                "{msg:?} decoded with a trailing byte"
+            );
+        }
     }
 
     #[test]
@@ -210,19 +458,43 @@ mod tests {
 
     #[test]
     fn rejects_truncation_at_every_length() {
-        let bytes = sample_update().encode();
-        for cut in 0..bytes.len() {
-            let truncated = bytes.slice(0..cut);
-            assert!(
-                WireMessage::decode(truncated).is_err(),
-                "decode succeeded on {cut}-byte prefix"
-            );
+        for msg in one_of_each() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                let truncated = bytes.slice(0..cut);
+                assert!(
+                    WireMessage::decode(truncated).is_err(),
+                    "decode succeeded on {cut}-byte prefix of {msg:?}"
+                );
+            }
         }
     }
 
     #[test]
+    fn rejects_hostile_length_prefix_without_allocation() {
+        // A params count of u64::MAX must fail cleanly (no overflow, no
+        // attempted 64 EiB allocation).
+        let mut bytes =
+            WireMessage::GlobalModel { job: 1, round: 1, params: vec![] }.encode().to_vec();
+        let len_off = bytes.len() - 8;
+        bytes[len_off..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(WireMessage::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_utf8_abort_reason() {
+        let mut bytes = WireMessage::Abort { job: 1, round: 1, party: 1, reason: "xx".into() }
+            .encode()
+            .to_vec();
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF;
+        bytes[n - 2] = 0xFE;
+        assert!(WireMessage::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
     fn empty_params_are_legal() {
-        let msg = WireMessage::GlobalModel { round: 1, params: vec![] };
+        let msg = WireMessage::GlobalModel { job: 0, round: 1, params: vec![] };
         assert_eq!(WireMessage::decode(msg.encode()).unwrap(), msg);
     }
 }

@@ -85,6 +85,11 @@ impl Party {
         self.data.len()
     }
 
+    /// Parameter count of the agreed architecture.
+    pub fn num_params(&self) -> usize {
+        self.model.num_params()
+    }
+
     /// The party's label distribution — the secret it provisions to the
     /// FLIPS enclave (never to the aggregator).
     pub fn label_distribution(&self) -> flips_data::LabelDistribution {

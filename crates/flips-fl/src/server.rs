@@ -55,7 +55,7 @@ fn weighted_average_into(accum: &mut Vec<f64>, updates: &[&LocalUpdate]) -> Resu
 ///
 /// # Errors
 ///
-/// As [`weighted_average_into`].
+/// As the round loop's in-place aggregation.
 pub fn weighted_average(updates: &[LocalUpdate]) -> Result<Vec<f32>, FlError> {
     let refs: Vec<&LocalUpdate> = updates.iter().collect();
     let mut accum = Vec::new();

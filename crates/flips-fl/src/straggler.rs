@@ -1,11 +1,16 @@
-//! Straggler fault injection.
+//! Straggler fault injection — the simulation driver's deadline model.
 //!
 //! The paper emulates platform heterogeneity "by dropping 10% or 20% of
 //! participants involved in an FL round" (§5). The injector reproduces
 //! that: given the selected cohort it designates `round(rate · |cohort|)`
-//! victims whose updates never arrive. Victims are drawn uniformly by
-//! default, or biased toward slow parties (probability ∝ speed factor)
-//! for a more physical failure mode.
+//! victims whose updates miss the round deadline. Victims are drawn
+//! uniformly by default, or biased toward slow parties (probability ∝
+//! speed factor) for a more physical failure mode.
+//!
+//! Note this is *driver* machinery, not protocol: the coordinator knows
+//! nothing about injection — it just closes the round when the driver's
+//! deadline fires, and whoever has not delivered an update is a
+//! straggler.
 
 use crate::latency::LatencyModel;
 use flips_data::dist::categorical;

@@ -1,0 +1,432 @@
+//! Pure state-machine tests of the sans-IO [`Coordinator`]: every round
+//! phase — select → dispatch → partial updates → deadline close →
+//! aggregate — is driven by hand-fed events, with zero I/O, zero threads
+//! and zero training. Updates are fabricated wire messages, not model
+//! outputs: the protocol does not care.
+
+use flips_data::dataset::balanced_test_set;
+use flips_data::DatasetProfile;
+use flips_fl::config::FlAlgorithm;
+use flips_fl::coordinator::{Coordinator, CoordinatorConfig};
+use flips_fl::events::{Effect, Event, RejectReason};
+use flips_fl::message::WireMessage;
+use flips_fl::FlError;
+use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectionError};
+
+const JOB: u64 = 0xF00D;
+
+/// A deterministic policy selecting `cohort` every round, recording the
+/// feedback it receives.
+struct Scripted {
+    n: usize,
+    cohort: Vec<PartyId>,
+    reports: Vec<(usize, Vec<PartyId>, Vec<PartyId>)>,
+}
+
+impl Scripted {
+    fn new(n: usize, cohort: Vec<PartyId>) -> Self {
+        Scripted { n, cohort, reports: Vec::new() }
+    }
+}
+
+impl ParticipantSelector for Scripted {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+    fn select(&mut self, _round: usize, _target: usize) -> Result<Vec<PartyId>, SelectionError> {
+        Ok(self.cohort.clone())
+    }
+    fn report(&mut self, fb: &RoundFeedback) {
+        self.reports.push((fb.round, fb.completed.clone(), fb.stragglers.clone()));
+    }
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+}
+
+fn coordinator(rounds: usize, cohort: Vec<PartyId>) -> Coordinator {
+    let profile = DatasetProfile::femnist();
+    let test = balanced_test_set(&profile, 4, 5);
+    Coordinator::new(
+        CoordinatorConfig {
+            job_id: JOB,
+            model: profile.model.clone(),
+            algorithm: FlAlgorithm::FedAvg,
+            rounds,
+            parties_per_round: cohort.len().max(1),
+            sketch_dim: 8,
+            seed: 7,
+        },
+        8,
+        test,
+        Box::new(Scripted::new(8, cohort)),
+    )
+    .unwrap()
+}
+
+fn update(party: u64, round: u64, dim: usize, value: f32) -> Event {
+    Event::UpdateReceived(WireMessage::LocalUpdate {
+        job: JOB,
+        round,
+        party,
+        num_samples: 10,
+        mean_loss: 0.5,
+        duration: 1.0 + party as f64,
+        params: vec![value; dim],
+    })
+}
+
+fn heartbeat(party: u64, round: u64) -> Event {
+    Event::UpdateReceived(WireMessage::Heartbeat { job: JOB, round, party })
+}
+
+fn rejection(effects: &[Effect]) -> Option<RejectReason> {
+    effects.iter().find_map(|e| match e {
+        Effect::Rejected { reason, .. } => Some(*reason),
+        _ => None,
+    })
+}
+
+#[test]
+fn open_round_dispatches_notice_and_model_per_party() {
+    let mut c = coordinator(3, vec![1, 4, 6]);
+    let effects = c.open_round().unwrap();
+    assert_eq!(effects.len(), 6, "one notice + one model per party");
+    for (i, &p) in [1usize, 4, 6].iter().enumerate() {
+        match &effects[2 * i] {
+            Effect::Send { to, msg: WireMessage::SelectionNotice { job, round, party } } => {
+                assert_eq!((*to, *job, *round, *party), (p, JOB, 0, p as u64));
+            }
+            other => panic!("expected SelectionNotice, got {other:?}"),
+        }
+        match &effects[2 * i + 1] {
+            Effect::Send { to, msg: WireMessage::GlobalModel { params, .. } } => {
+                assert_eq!(*to, p);
+                assert_eq!(params.len(), c.global_params().len());
+            }
+            other => panic!("expected GlobalModel, got {other:?}"),
+        }
+    }
+    assert_eq!(c.open_cohort(), Some(&[1usize, 4, 6][..]));
+}
+
+#[test]
+fn deadline_close_aggregates_partials_and_aborts_stragglers() {
+    let mut c = coordinator(3, vec![1, 4, 6]);
+    let dim = c.global_params().len();
+    c.open_round().unwrap();
+
+    // Everyone acks; only parties 4 and 1 deliver before the deadline.
+    for p in [1u64, 4, 6] {
+        assert!(c.handle(heartbeat(p, 0)).unwrap().is_empty());
+    }
+    assert_eq!(c.heartbeats_this_round(), 3);
+    assert!(c.handle(update(4, 0, dim, 2.0)).unwrap().is_empty());
+    assert!(c.handle(update(1, 0, dim, 4.0)).unwrap().is_empty());
+
+    let effects = c.handle(Event::DeadlineExpired).unwrap();
+    // Straggler 6 is told to abort, then the round record lands.
+    assert!(effects
+        .iter()
+        .any(|e| matches!(e, Effect::Send { to: 6, msg: WireMessage::Abort { .. } })));
+    let record = effects
+        .iter()
+        .find_map(|e| match e {
+            Effect::RoundClosed(r) => Some(r),
+            _ => None,
+        })
+        .expect("round must close");
+    assert_eq!(record.round, 0);
+    assert_eq!(record.selected, vec![1, 4, 6]);
+    assert_eq!(record.completed, vec![1, 4], "sorted by party id");
+    assert_eq!(record.stragglers, vec![6]);
+    assert_eq!(record.round_duration, 5.0, "slowest completing party (4)");
+    // FedAvg with equal weights: global becomes the mean of 4.0 and 2.0.
+    assert!(c.global_params().iter().all(|&g| (g - 3.0).abs() < 1e-6));
+    assert_eq!(c.round(), 1);
+    assert!(!c.is_finished());
+}
+
+#[test]
+fn duplicate_updates_are_rejected_without_state_damage() {
+    let mut c = coordinator(1, vec![2, 3]);
+    let dim = c.global_params().len();
+    c.open_round().unwrap();
+    assert!(c.handle(update(2, 0, dim, 8.0)).unwrap().is_empty());
+
+    // The same party again — with different parameters, which must NOT
+    // replace the accepted ones (first-write-wins, as in XAIN's round
+    // manager).
+    let effects = c.handle(update(2, 0, dim, -99.0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::DuplicateUpdate));
+
+    let effects = c.handle(update(3, 0, dim, 4.0)).unwrap();
+    // Cohort complete -> auto-close without an explicit deadline.
+    let record = effects
+        .iter()
+        .find_map(|e| match e {
+            Effect::RoundClosed(r) => Some(r.clone()),
+            _ => None,
+        })
+        .expect("full cohort closes the round");
+    assert_eq!(record.completed, vec![2, 3]);
+    assert!(record.stragglers.is_empty());
+    assert!(c.global_params().iter().all(|&g| (g - 6.0).abs() < 1e-6), "mean of 8 and 4");
+    assert!(effects.iter().any(|e| matches!(e, Effect::JobFinished(_))));
+    assert!(c.is_finished());
+}
+
+#[test]
+fn foreign_and_malformed_updates_bounce() {
+    let mut c = coordinator(2, vec![0, 1]);
+    let dim = c.global_params().len();
+
+    // Before any round is open.
+    let effects = c.handle(update(0, 0, dim, 1.0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::NoOpenRound));
+
+    c.open_round().unwrap();
+    // Wrong job id.
+    let msg = WireMessage::LocalUpdate {
+        job: JOB + 1,
+        round: 0,
+        party: 0,
+        num_samples: 1,
+        mean_loss: 0.0,
+        duration: 0.0,
+        params: vec![0.0; dim],
+    };
+    let effects = c.handle(Event::UpdateReceived(msg)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::WrongJob));
+
+    // Wrong round (future).
+    let effects = c.handle(update(0, 5, dim, 1.0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::WrongRound));
+
+    // Not selected / out of roster.
+    let effects = c.handle(update(7, 0, dim, 1.0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::NotSelected));
+    let effects = c.handle(update(100, 0, dim, 1.0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::NotSelected));
+
+    // Parameter vector of the wrong architecture.
+    let effects = c.handle(update(0, 0, dim + 1, 1.0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::WrongModelSize));
+
+    // A party echoing the aggregator's own message back.
+    let echo = WireMessage::GlobalModel { job: JOB, round: 0, params: vec![0.0; dim] };
+    let effects = c.handle(Event::UpdateReceived(echo)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::WrongDirection));
+
+    // None of that perturbed the round: both parties can still complete.
+    assert!(c.handle(update(0, 0, dim, 1.0)).unwrap().is_empty());
+    let effects = c.handle(update(1, 0, dim, 1.0)).unwrap();
+    assert!(effects.iter().any(|e| matches!(e, Effect::RoundClosed(_))));
+}
+
+#[test]
+fn dropped_parties_close_as_stragglers() {
+    let mut c = coordinator(2, vec![0, 1, 2]);
+    let dim = c.global_params().len();
+    c.open_round().unwrap();
+    assert!(c.handle(Event::PartyDropped(1)).unwrap().is_empty());
+
+    // An update from the dropped party is refused.
+    let effects = c.handle(update(1, 0, dim, 1.0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::PartyDropped));
+
+    // The remaining parties complete -> the drop triggers no waiting.
+    assert!(c.handle(update(0, 0, dim, 1.0)).unwrap().is_empty());
+    let effects = c.handle(update(2, 0, dim, 1.0)).unwrap();
+    let record = effects
+        .iter()
+        .find_map(|e| match e {
+            Effect::RoundClosed(r) => Some(r.clone()),
+            _ => None,
+        })
+        .expect("round closes once all live parties delivered");
+    assert_eq!(record.completed, vec![0, 2]);
+    assert_eq!(record.stragglers, vec![1]);
+}
+
+#[test]
+fn party_abort_message_acts_as_a_drop() {
+    let mut c = coordinator(2, vec![0, 1]);
+    let dim = c.global_params().len();
+    c.open_round().unwrap();
+    let abort = WireMessage::Abort { job: JOB, round: 0, party: 1, reason: "low battery".into() };
+    assert!(c.handle(Event::UpdateReceived(abort)).unwrap().is_empty());
+    let effects = c.handle(update(0, 0, dim, 1.0)).unwrap();
+    let record = effects
+        .iter()
+        .find_map(|e| match e {
+            Effect::RoundClosed(r) => Some(r.clone()),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(record.stragglers, vec![1]);
+}
+
+#[test]
+fn foreign_job_abort_does_not_drop_a_party() {
+    // Regression: on a multiplexed transport, another job's Abort with a
+    // matching round number must bounce with WrongJob, not silently turn
+    // a pending party into a straggler.
+    let mut c = coordinator(2, vec![0, 1]);
+    let dim = c.global_params().len();
+    c.open_round().unwrap();
+    let foreign =
+        WireMessage::Abort { job: JOB + 1, round: 0, party: 1, reason: "not yours".into() };
+    let effects = c.handle(Event::UpdateReceived(foreign)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::WrongJob));
+
+    // Party 1 is still pending and can complete normally.
+    assert!(c.handle(update(0, 0, dim, 1.0)).unwrap().is_empty());
+    let effects = c.handle(update(1, 0, dim, 1.0)).unwrap();
+    let record = effects
+        .iter()
+        .find_map(|e| match e {
+            Effect::RoundClosed(r) => Some(r.clone()),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(record.completed, vec![0, 1]);
+    assert!(record.stragglers.is_empty());
+}
+
+#[test]
+fn round_lifecycle_is_enforced() {
+    let mut c = coordinator(1, vec![0, 1]);
+    let dim = c.global_params().len();
+
+    // A deadline with no open round is a benign no-op (late timer).
+    assert!(c.handle(Event::DeadlineExpired).unwrap().is_empty());
+
+    c.open_round().unwrap();
+    assert!(matches!(c.open_round(), Err(FlError::Protocol(_))), "double open");
+
+    c.handle(update(0, 0, dim, 1.0)).unwrap();
+    c.handle(Event::DeadlineExpired).unwrap();
+    assert!(c.is_finished());
+    assert!(matches!(c.open_round(), Err(FlError::Protocol(_))), "open after finish");
+}
+
+#[test]
+fn fully_straggled_round_leaves_the_model_unchanged() {
+    let mut c = coordinator(2, vec![0, 1]);
+    let before = c.global_params().to_vec();
+    c.open_round().unwrap();
+    let effects = c.handle(Event::DeadlineExpired).unwrap();
+    let record = effects
+        .iter()
+        .find_map(|e| match e {
+            Effect::RoundClosed(r) => Some(r.clone()),
+            _ => None,
+        })
+        .unwrap();
+    assert!(record.completed.is_empty());
+    assert_eq!(record.stragglers, vec![0, 1]);
+    assert_eq!(record.mean_train_loss, 0.0);
+    assert_eq!(c.global_params(), before.as_slice());
+}
+
+#[test]
+fn selector_feedback_flows_through_round_close() {
+    // The selector learns only via the round-close event — check the
+    // reported cohorts match the records.
+    let profile = DatasetProfile::femnist();
+    let test = balanced_test_set(&profile, 4, 5);
+    let mut c = Coordinator::new(
+        CoordinatorConfig {
+            job_id: JOB,
+            model: profile.model.clone(),
+            algorithm: FlAlgorithm::FedAvg,
+            rounds: 2,
+            parties_per_round: 2,
+            sketch_dim: 8,
+            seed: 7,
+        },
+        8,
+        test,
+        Box::new(Scripted::new(8, vec![3, 5])),
+    )
+    .unwrap();
+    let dim = c.global_params().len();
+    for round in 0..2u64 {
+        c.open_round().unwrap();
+        c.handle(update(3, round, dim, 1.0)).unwrap();
+        c.handle(Event::DeadlineExpired).unwrap();
+    }
+    let h = c.history();
+    assert_eq!(h.len(), 2);
+    for r in h.records() {
+        assert_eq!(r.completed, vec![3]);
+        assert_eq!(r.stragglers, vec![5]);
+    }
+}
+
+#[test]
+fn coordinator_guards_against_malicious_selectors() {
+    // Duplicates are deduplicated preserving order; out-of-roster ids
+    // are a hard error.
+    let mut c = coordinator(1, vec![5, 2, 5, 2, 7]);
+    c.open_round().unwrap();
+    assert_eq!(c.open_cohort(), Some(&[5usize, 2, 7][..]));
+
+    let mut c = coordinator(1, vec![1, 8]);
+    assert!(matches!(c.open_round(), Err(FlError::InvalidConfig(_))));
+
+    let mut c = coordinator(1, vec![]);
+    assert!(matches!(c.open_round(), Err(FlError::InvalidConfig(_))));
+}
+
+#[test]
+fn stale_heartbeats_and_unknown_senders_are_rejected() {
+    let mut c = coordinator(2, vec![0, 1]);
+    let effects = c.handle(heartbeat(0, 0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::NoOpenRound));
+    // An abort with no round open reports the same state, not WrongRound.
+    let idle_abort = WireMessage::Abort { job: JOB, round: 0, party: 0, reason: "x".into() };
+    let effects = c.handle(Event::UpdateReceived(idle_abort)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::NoOpenRound));
+    c.open_round().unwrap();
+    let effects = c.handle(heartbeat(0, 3)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::WrongRound));
+    let effects = c.handle(heartbeat(6, 0)).unwrap();
+    assert_eq!(rejection(&effects), Some(RejectReason::NotSelected));
+    assert_eq!(c.heartbeats_this_round(), 0);
+}
+
+#[test]
+fn bytes_account_every_message_on_the_wire() {
+    use flips_fl::message::{
+        global_model_bytes, heartbeat_bytes, local_update_bytes, selection_notice_bytes,
+    };
+    let mut c = coordinator(1, vec![0, 1]);
+    let dim = c.global_params().len();
+    c.open_round().unwrap();
+    c.handle(heartbeat(0, 0)).unwrap();
+    c.handle(update(0, 0, dim, 1.0)).unwrap();
+    let effects = c.handle(Event::DeadlineExpired).unwrap();
+    let record = effects
+        .iter()
+        .find_map(|e| match e {
+            Effect::RoundClosed(r) => Some(r.clone()),
+            _ => None,
+        })
+        .unwrap();
+    let abort_bytes: u64 = effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { msg: msg @ WireMessage::Abort { .. }, .. } => {
+                Some(msg.wire_size() as u64)
+            }
+            _ => None,
+        })
+        .sum();
+    assert_eq!(
+        record.bytes_down,
+        2 * (selection_notice_bytes() + global_model_bytes(dim)) as u64 + abort_bytes
+    );
+    assert_eq!(record.bytes_up, (heartbeat_bytes() + local_update_bytes(dim)) as u64);
+}

@@ -12,49 +12,88 @@ fn finite_f32() -> impl Strategy<Value = f32> {
     (-1e6f32..1e6).prop_map(|x| x)
 }
 
+/// A strategy producing one message of every protocol variant.
+fn any_message() -> impl Strategy<Value = WireMessage> {
+    (
+        0u8..5,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..10_000,
+        proptest::collection::vec(finite_f32(), 0..64),
+        0usize..24,
+    )
+        .prop_map(|(kind, job, round, party, params, reason_len)| match kind {
+            0 => WireMessage::SelectionNotice { job, round, party },
+            1 => WireMessage::GlobalModel { job, round, params },
+            2 => WireMessage::LocalUpdate {
+                job,
+                round,
+                party,
+                num_samples: party.wrapping_mul(3) % 100_000,
+                mean_loss: params.first().copied().unwrap_or(0.5) as f64,
+                duration: (round % 977) as f64 * 0.01,
+                params,
+            },
+            3 => WireMessage::Heartbeat { job, round, party },
+            _ => WireMessage::Abort { job, round, party, reason: "x".repeat(reason_len) },
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn global_model_codec_round_trips(
-        round in 0u64..1_000_000,
-        params in proptest::collection::vec(finite_f32(), 0..64),
-    ) {
-        let msg = WireMessage::GlobalModel { round, params };
+    fn every_variant_round_trips_and_sizes_exactly(msg in any_message()) {
+        // wire_size() always equals encode().len(), for every variant.
         let encoded = msg.encode();
         prop_assert_eq!(encoded.len(), msg.wire_size());
         prop_assert_eq!(WireMessage::decode(encoded).unwrap(), msg);
     }
 
     #[test]
-    fn local_update_codec_round_trips(
-        round in 0u64..1_000_000,
-        party in 0u64..10_000,
-        num_samples in 0u64..100_000,
-        mean_loss in 0.0f32..100.0,
-        duration in 0.0f32..1000.0,
-        params in proptest::collection::vec(finite_f32(), 0..64),
-    ) {
-        let msg = WireMessage::LocalUpdate {
-            round, party, num_samples, mean_loss, duration, params,
-        };
-        let encoded = msg.encode();
-        prop_assert_eq!(encoded.len(), msg.wire_size());
-        prop_assert_eq!(WireMessage::decode(encoded).unwrap(), msg);
+    fn truncated_messages_never_decode(msg in any_message(), frac in 0.0f64..1.0) {
+        // Every proper prefix must fail cleanly — no panic, no partial
+        // value.
+        let bytes = msg.encode();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(WireMessage::decode(bytes.slice(0..cut)).is_err());
     }
 
     #[test]
-    fn corrupted_messages_never_decode_to_a_different_valid_value(
-        params in proptest::collection::vec(finite_f32(), 1..16),
-        flip_byte in 0usize..8,
+    fn corrupted_messages_never_panic(
+        msg in any_message(),
+        flip_byte in 0usize..4096,
+        xor in 1u8..=255,
     ) {
-        // Flipping header bytes (magic/tag) must fail decoding, never
-        // silently succeed as something else.
-        let msg = WireMessage::GlobalModel { round: 7, params };
+        // Flipping any byte either fails decoding or yields another
+        // well-formed message (payload bits are not self-describing) —
+        // but it must never panic. Magic flips must always fail; a tag
+        // flip must fail whenever it changes the frame length (the
+        // decoder rejects trailing bytes), i.e. for every message whose
+        // variants differ in size. Only fixed-size variants of identical
+        // layout (notice/heartbeat, or an empty-params model) can alias
+        // under a tag flip — the tag is their sole discriminator.
         let mut bytes = msg.encode().to_vec();
-        let idx = flip_byte % 5; // within magic+tag
-        bytes[idx] ^= 0xFF;
-        prop_assert!(WireMessage::decode(bytes::Bytes::from(bytes)).is_err());
+        let idx = flip_byte % bytes.len();
+        bytes[idx] ^= xor;
+        let result = WireMessage::decode(bytes::Bytes::from(bytes));
+        if idx < 4 {
+            prop_assert!(result.is_err(), "corrupted magic decoded");
+        }
+    }
+
+    #[test]
+    fn foreign_buffers_never_panic(
+        junk in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        // Arbitrary bytes (random length, random content) must never
+        // panic the decoder; decoding only succeeds if the buffer
+        // happens to start with the protocol magic.
+        let result = WireMessage::decode(bytes::Bytes::from(junk.clone()));
+        if junk.len() < 5 || junk[..4] != 0xF11F_5002u32.to_le_bytes() {
+            prop_assert!(result.is_err());
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! Design decisions:
 //!
-//! - **Flat parameter vectors.** Every [`Model`](model::Model) exposes its
+//! - **Flat parameter vectors.** Every [`Model`] exposes its
 //!   parameters as one flattened `Vec<f32>`. Federated-learning servers
 //!   aggregate flat vectors, FedProx adds a proximal pull toward a flat
 //!   global vector, and adaptive server optimizers (Yogi/Adam/Adagrad) keep

@@ -14,6 +14,10 @@
 //!   panels (`panel[j/NR][k][j%NR]`), so the micro-kernel streams
 //!   contiguous memory regardless of the transpose flavor — `A·Bᵀ` simply
 //!   packs with swapped indices and reuses the same inner loop;
+//! - the `Aᵀ·B` flavor additionally packs its *left* operand into
+//!   `MR`-wide column panels (`apanel[i/MR][k][i%MR]`): the lhs walk is
+//!   otherwise strided by the full row length per `k` step, which left
+//!   `gemm_tn` ~1.7× over naive before the pack;
 //! - the micro-kernel computes an `MR×NR` register tile with explicit
 //!   `f32::mul_add` (FMA), accumulating over `k` in ascending order so
 //!   results are **bit-identical for every blocking/threading
@@ -26,7 +30,7 @@
 //!   steady-state GEMM performs **zero heap allocation** when callers use
 //!   the `*_into` variants.
 //!
-//! The seed's naive kernels are retained in [`reference`] (behind
+//! The seed's naive kernels are retained in [`mod@reference`] (behind
 //! `cfg(test)` / the `reference-kernels` feature) as the correctness and
 //! performance baseline; the `naive-gemm` feature routes the public
 //! `matmul*` API back through them so end-to-end benchmarks can measure
@@ -404,8 +408,11 @@ pub mod gemm {
     const MAX_THREADS: usize = 8;
 
     thread_local! {
-        /// Reusable pack buffer: steady-state GEMM allocates nothing.
+        /// Reusable rhs pack buffer: steady-state GEMM allocates nothing.
         static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+        /// Reusable lhs pack buffer for the `Aᵀ·B` flavor (per worker
+        /// thread: each packs exactly the output rows it owns).
+        static APACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     }
 
     /// Which operand is logically transposed.
@@ -518,36 +525,88 @@ pub mod gemm {
                     1
                 };
                 let pack: &[f32] = pack;
-                if threads <= 1 {
-                    compute_rows(layout, 0, m, k, n, a, lda, pack, out);
-                } else {
-                    // Disjoint row panels per thread: identical per-element
-                    // accumulation order at any thread count.
-                    let chunk = m.div_ceil(threads);
-                    std::thread::scope(|scope| {
-                        for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
-                            let i0 = t * chunk;
-                            let rows = out_chunk.len() / n;
-                            scope.spawn(move || {
-                                compute_rows(layout, i0, rows, k, n, a, lda, pack, out_chunk);
+                match layout {
+                    Layout::Nn | Layout::Nt => {
+                        if threads <= 1 {
+                            compute_rows_nn(0, m, k, n, a, lda, pack, out);
+                        } else {
+                            // Disjoint row panels per thread: identical
+                            // per-element accumulation order at any
+                            // thread count.
+                            let chunk = m.div_ceil(threads);
+                            std::thread::scope(|scope| {
+                                for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                                    let i0 = t * chunk;
+                                    let rows = out_chunk.len() / n;
+                                    scope.spawn(move || {
+                                        compute_rows_nn(i0, rows, k, n, a, lda, pack, out_chunk);
+                                    });
+                                }
                             });
                         }
-                    });
+                    }
+                    Layout::Tn => APACK.with(|acell| {
+                        // Pack the lhs — all m output rows (= lhs
+                        // columns) — into MR-wide panels contiguous in
+                        // k, so the micro-kernel streams both operands
+                        // sequentially instead of striding the lhs by
+                        // lda every k step. Packed once on the calling
+                        // thread (the thread-local buffer is reused
+                        // across calls, like the rhs pack) and shared
+                        // read-only with the workers; the O(m·k) copy
+                        // amortizes over the n/NR panel sweeps.
+                        let mut apack = acell.borrow_mut();
+                        let need = m.div_ceil(MR) * k * MR;
+                        if apack.len() < need {
+                            apack.resize(need, 0.0);
+                        }
+                        let apack = &mut apack[..need];
+                        let mut i = 0;
+                        while i < m {
+                            let mr = MR.min(m - i);
+                            let dst = &mut apack[(i / MR) * k * MR..(i / MR + 1) * k * MR];
+                            if mr < MR {
+                                // Tail lanes are computed and discarded;
+                                // keep them zeroed so stale values
+                                // cannot go subnormal.
+                                dst.fill(0.0);
+                            }
+                            for kk in 0..k {
+                                let src = &a[kk * lda + i..kk * lda + i + mr];
+                                dst[kk * MR..kk * MR + mr].copy_from_slice(src);
+                            }
+                            i += MR;
+                        }
+                        let apack: &[f32] = apack;
+                        if threads <= 1 {
+                            compute_rows_tn(0, m, k, n, apack, pack, out);
+                        } else {
+                            // MR-aligned chunks so every worker's row
+                            // range starts on a pack-tile boundary.
+                            let chunk = m.div_ceil(threads).div_ceil(MR) * MR;
+                            std::thread::scope(|scope| {
+                                for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                                    let i0 = t * chunk;
+                                    let rows = out_chunk.len() / n;
+                                    scope.spawn(move || {
+                                        compute_rows_tn(i0, rows, k, n, apack, pack, out_chunk);
+                                    });
+                                }
+                            });
+                        }
+                    }),
                 }
             });
         }
     }
 
-    /// Computes `rows` output rows starting at logical row `i0`, writing
-    /// into `out` (which holds exactly those rows).
-    ///
     /// The micro-kernels keep an `MR×NR` accumulator tile in registers,
     /// feed it with `f32::mul_add` (forcing FMA codegen — rustc does not
     /// contract `a*b + c` on its own), and accumulate `k` in ascending
     /// order so every element's summation order is fixed.
+    /// Tile sweep for the non-transposed-lhs layouts.
     #[allow(clippy::too_many_arguments)]
-    fn compute_rows(
-        layout: Layout,
+    fn compute_rows_nn(
         i0: usize,
         rows: usize,
         k: usize,
@@ -566,17 +625,44 @@ pub mod gemm {
                 let w = NR.min(n - j0);
                 let panel = &pack[p * k * NR..(p + 1) * k * NR];
                 let mut acc = [[0.0f32; NR]; MR];
-                match layout {
-                    Layout::Nn | Layout::Nt => {
-                        // A rows are contiguous in k; broadcast a[i][k].
-                        micro_nn(&mut acc, mr, a, lda, i0 + i, k, panel);
-                    }
-                    Layout::Tn => {
-                        // out rows are A columns: a[kk][i0+i..] is a
-                        // contiguous mr-wide load per kk.
-                        micro_tn(&mut acc, mr, a, lda, i0 + i, panel);
-                    }
+                // A rows are contiguous in k; broadcast a[i][k].
+                micro_nn(&mut acc, mr, a, lda, i0 + i, k, panel);
+                for (ii, acc_row) in acc.iter().enumerate().take(mr) {
+                    let dst = &mut out[(i + ii) * n + j0..(i + ii) * n + j0 + w];
+                    dst.copy_from_slice(&acc_row[..w]);
                 }
+            }
+            i += mr;
+        }
+    }
+
+    /// Tile sweep for the transposed-lhs layout over the packed lhs.
+    ///
+    /// `i0` is the global output-row offset of this worker's range and
+    /// must be a multiple of `MR` so the range starts on a pack-tile
+    /// boundary (`apack` covers the full matrix).
+    fn compute_rows_tn(
+        i0: usize,
+        rows: usize,
+        k: usize,
+        n: usize,
+        apack: &[f32],
+        pack: &[f32],
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(i0 % MR, 0, "worker range must start on a pack tile");
+        let panels = n.div_ceil(NR);
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            let tile = (i0 + i) / MR;
+            let apanel = &apack[tile * k * MR..(tile + 1) * k * MR];
+            for p in 0..panels {
+                let j0 = p * NR;
+                let w = NR.min(n - j0);
+                let panel = &pack[p * k * NR..(p + 1) * k * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                micro_tn(&mut acc, mr, apanel, panel);
                 for (ii, acc_row) in acc.iter().enumerate().take(mr) {
                     let dst = &mut out[(i + ii) * n + j0..(i + ii) * n + j0 + w];
                     dst.copy_from_slice(&acc_row[..w]);
@@ -625,20 +711,14 @@ pub mod gemm {
         }
     }
 
-    /// `MR×NR` micro-kernel for the transposed-lhs layout (`Aᵀ·B`).
+    /// `MR×NR` micro-kernel for the transposed-lhs layout (`Aᵀ·B`) over
+    /// the `MR`-wide lhs panel: both operands stream contiguously, one
+    /// `MR`-chunk and one `NR`-chunk per `k` step.
     #[inline]
-    fn micro_tn(
-        acc: &mut [[f32; NR]; MR],
-        mr: usize,
-        a: &[f32],
-        lda: usize,
-        col0: usize,
-        panel: &[f32],
-    ) {
+    fn micro_tn(acc: &mut [[f32; NR]; MR], mr: usize, apanel: &[f32], panel: &[f32]) {
         if mr == MR {
             let [acc0, acc1, acc2, acc3] = acc;
-            for (kk, bv) in panel.chunks_exact(NR).enumerate() {
-                let av = &a[kk * lda + col0..kk * lda + col0 + MR];
+            for (av, bv) in apanel.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
                 for j in 0..NR {
                     acc0[j] = av[0].mul_add(bv[j], acc0[j]);
                     acc1[j] = av[1].mul_add(bv[j], acc1[j]);
@@ -647,8 +727,7 @@ pub mod gemm {
                 }
             }
         } else {
-            for (kk, bv) in panel.chunks_exact(NR).enumerate() {
-                let av = &a[kk * lda + col0..kk * lda + col0 + mr];
+            for (av, bv) in apanel.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
                 for (ii, acc_row) in acc.iter_mut().enumerate().take(mr) {
                     let aik = av[ii];
                     for (dst, &bj) in acc_row.iter_mut().zip(bv) {
@@ -939,6 +1018,21 @@ mod tests {
             assert_eq!(a.matmul(&b), first);
         }
         assert_close(&first, &reference::matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn large_tn_gemm_is_correct_and_deterministic() {
+        // Above PARALLEL_FLOPS with an output-row count (301) that is
+        // neither a multiple of the tile size nor of any thread count:
+        // the shared lhs pack must hold up across MR-aligned worker
+        // splits, and repeated calls must be bit-identical.
+        let at = patterned(600, 301, 12);
+        let b = patterned(600, 200, 13);
+        let first = at.matmul_tn(&b);
+        for _ in 0..2 {
+            assert_eq!(at.matmul_tn(&b), first);
+        }
+        assert_close(&first, &reference::matmul_tn(&at, &b), 1e-3);
     }
 
     #[test]

@@ -55,6 +55,29 @@ pub struct RoundFeedback {
     pub global_accuracy: f64,
 }
 
+impl RoundFeedback {
+    /// Starts the feedback record a coordinator builds at round close:
+    /// the cohort outcome plus the post-aggregation accuracy, with the
+    /// per-party signal maps (loss, duration, sketches) left for the
+    /// caller to fill from the round's accepted updates.
+    pub fn for_round(
+        round: usize,
+        selected: Vec<PartyId>,
+        completed: Vec<PartyId>,
+        stragglers: Vec<PartyId>,
+        global_accuracy: f64,
+    ) -> Self {
+        RoundFeedback {
+            round,
+            selected,
+            completed,
+            stragglers,
+            global_accuracy,
+            ..Default::default()
+        }
+    }
+}
+
 /// A participant-selection policy.
 ///
 /// The FL runtime calls [`select`](Self::select) at the start of each
@@ -160,6 +183,17 @@ mod tests {
         assert_eq!(SelectorKind::GradClus.label(), "grad_cls");
         assert_eq!(SelectorKind::all().len(), 5);
         assert_eq!(SelectorKind::Flips.to_string(), "flips");
+    }
+
+    #[test]
+    fn for_round_carries_cohort_and_leaves_signals_empty() {
+        let fb = RoundFeedback::for_round(3, vec![0, 1, 2], vec![0, 2], vec![1], 0.5);
+        assert_eq!(fb.round, 3);
+        assert_eq!(fb.selected, vec![0, 1, 2]);
+        assert_eq!(fb.completed, vec![0, 2]);
+        assert_eq!(fb.stragglers, vec![1]);
+        assert_eq!(fb.global_accuracy, 0.5);
+        assert!(fb.train_loss.is_empty() && fb.duration.is_empty() && fb.update_sketch.is_empty());
     }
 
     #[test]

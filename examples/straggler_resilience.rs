@@ -10,6 +10,13 @@
 //! ablation DESIGN.md calls out), plus Oort with its 1.3× rule. FLIPS
 //! replaces stragglers with parties from the *same label-distribution
 //! cluster*, so the round's label mix stays intact.
+//!
+//! Under the sans-IO protocol, "dropping" a party means its `LocalUpdate`
+//! misses the round deadline: the driver withholds the message, the
+//! coordinator closes the round on `DeadlineExpired`, and whoever has
+//! not delivered closes out as a straggler (and is sent an `Abort`).
+//! Selectors observe exactly what a real deployment would — selected,
+//! completed, stragglers — via the round-close feedback.
 
 use flips::prelude::*;
 

@@ -216,6 +216,8 @@ pub mod strategy {
         (A, B, C)
         (A, B, C, D)
         (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
     }
 }
 
@@ -223,7 +225,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// Length specifications accepted by [`vec()`]: a fixed `usize` or a
     /// `usize` range.
     pub trait IntoLenRange {
         /// `(min, max)` inclusive bounds.
@@ -255,7 +257,7 @@ pub mod collection {
         VecStrategy { element, min_len, max_len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min_len: usize,

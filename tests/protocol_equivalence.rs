@@ -1,0 +1,215 @@
+//! Equivalence of the sans-IO protocol driver with the pre-refactor
+//! monolithic round loop.
+//!
+//! The golden values below were captured from the repository state
+//! *before* the coordinator redesign (the `FlJob::step` god-loop), per
+//! selector kind, on a seeded 12-party / 4-round / 25%-straggler
+//! simulation. The message-driven driver must replay the exact same
+//! trajectories: accuracy and loss to the bit (hence `f64::to_bits`
+//! comparisons), cohorts and stragglers to the element.
+//!
+//! Byte counters are deliberately not pinned: the protocol now also
+//! carries selection notices, heartbeats and aborts, so per-round wire
+//! bytes legitimately grew. They are checked for self-consistency
+//! against the codec instead.
+
+use flips::fl::message::{
+    global_model_bytes, heartbeat_bytes, local_update_bytes, selection_notice_bytes,
+};
+use flips::prelude::*;
+
+/// One golden round: accuracy bits, mean-train-loss bits, duration bits,
+/// selected, completed, stragglers.
+type GoldenRound = (u64, u64, u64, &'static [usize], &'static [usize], &'static [usize]);
+
+fn golden(kind: SelectorKind) -> &'static [GoldenRound] {
+    match kind {
+        SelectorKind::Random => &[
+            (0x3fc999999999999a, 0x400075c4dd555555, 0x3fb7cbb2fc103b7a, &[2, 1, 4], &[1, 2], &[4]),
+            (0x3fd2666666666666, 0x3ff6601f3bd27d28, 0x3fb6c2f6c5564444, &[5, 1, 0], &[0, 1], &[5]),
+            (
+                0x3fd0cccccccccccd,
+                0x400a50f5e1b6db6e,
+                0x3fb30856c9ed9208,
+                &[6, 11, 8],
+                &[6, 8],
+                &[11],
+            ),
+            (0x3fd4cccccccccccd, 0x3ff5e8688071c71c, 0x3fb6c2f6c5564444, &[2, 1, 5], &[1, 5], &[2]),
+        ],
+        SelectorKind::Flips => &[
+            (0x3fc999999999999a, 0x400075c4dd555555, 0x3fb7cbb2fc103b7a, &[1, 2, 3], &[1, 2], &[3]),
+            (
+                0x3fd0000000000000,
+                0x3ff999fc8c3e4e90,
+                0x3fb6c2f6c5564444,
+                &[0, 1, 10, 8],
+                &[1, 8, 10],
+                &[0],
+            ),
+            (0x3fd7333333333333, 0x3ff7847be8555556, 0x3fbdccbd1dbc0820, &[4, 1, 2], &[2, 4], &[1]),
+            (0x3fd999999999999a, 0x3ff1ffa301555555, 0x3fb6c2f6c5564444, &[3, 5, 1], &[1, 5], &[3]),
+        ],
+        SelectorKind::Oort => &[
+            (
+                0x3fc999999999999a,
+                0x400128c8378e38e3,
+                0x3fbdccbd1dbc0820,
+                &[2, 1, 4, 6],
+                &[1, 2, 4],
+                &[6],
+            ),
+            (
+                0x3fd599999999999a,
+                0x3ff736ec8fe38e39,
+                0x3fc16cde88e8ead0,
+                &[0, 7, 9, 11],
+                &[7, 9, 11],
+                &[0],
+            ),
+            (
+                0x3fdc000000000000,
+                0x3ff94cab392e52e5,
+                0x3fbdccbd1dbc0820,
+                &[4, 8, 5, 3],
+                &[3, 4, 8],
+                &[5],
+            ),
+            (
+                0x3fe0000000000000,
+                0x3fef627cf53cf3d0,
+                0x3fb6c2f6c5564444,
+                &[1, 7, 8, 10],
+                &[1, 8, 10],
+                &[7],
+            ),
+        ],
+        SelectorKind::GradClus => &[
+            (0x3fce666666666666, 0x4000b15456aaaaaa, 0x3fc16cde88e8ead0, &[7, 3, 6], &[3, 7], &[6]),
+            (0x3fd4000000000000, 0x3ffa785db0000000, 0x3fc16cde88e8ead0, &[0, 7, 2], &[2, 7], &[0]),
+            (
+                0x3fd7333333333333,
+                0x3fff2bcee5666666,
+                0x3fbdccbd1dbc0820,
+                &[4, 10, 9],
+                &[4, 9],
+                &[10],
+            ),
+            (
+                0x3fdd99999999999a,
+                0x3ff1f64b2ceeeeef,
+                0x3fbdccbd1dbc0820,
+                &[8, 4, 11],
+                &[4, 11],
+                &[8],
+            ),
+        ],
+        SelectorKind::Tifl => &[
+            (
+                0x3fc3333333333333,
+                0x40060906fc000000,
+                0x3fb122f22e1da45d,
+                &[6, 10, 8],
+                &[6, 10],
+                &[8],
+            ),
+            (
+                0x3fd0000000000000,
+                0x3ff7328d9c249249,
+                0x3fb30856c9ed9208,
+                &[6, 8, 10],
+                &[8, 10],
+                &[6],
+            ),
+            (
+                0x3fd199999999999a,
+                0x400040a05e000000,
+                0x3fb6f45993f7f742,
+                &[1, 11, 9],
+                &[1, 9],
+                &[11],
+            ),
+            (0x3fd8cccccccccccd, 0x3fffa49d9ac16c16, 0x3fc16cde88e8ead0, &[2, 4, 7], &[4, 7], &[2]),
+        ],
+    }
+}
+
+fn run(kind: SelectorKind) -> SimulationReport {
+    SimulationBuilder::new(DatasetProfile::femnist())
+        .parties(12)
+        .rounds(4)
+        .participation(0.25)
+        .alpha(0.3)
+        .selector(kind)
+        .straggler_rate(0.25)
+        .clustering_restarts(3)
+        .test_per_class(8)
+        .seed(11)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn new_driver_replays_pre_refactor_histories_bit_exactly() {
+    for kind in SelectorKind::all() {
+        let report = run(kind);
+        let records = report.history.records();
+        let expected = golden(kind);
+        assert_eq!(records.len(), expected.len(), "{kind}: round count");
+        for (r, (acc, loss, dur, selected, completed, stragglers)) in records.iter().zip(expected) {
+            assert_eq!(
+                r.accuracy.to_bits(),
+                *acc,
+                "{kind} round {}: accuracy {} diverged from the pre-refactor path",
+                r.round,
+                r.accuracy
+            );
+            assert_eq!(r.mean_train_loss.to_bits(), *loss, "{kind} round {}: loss", r.round);
+            assert_eq!(r.round_duration.to_bits(), *dur, "{kind} round {}: duration", r.round);
+            assert_eq!(r.selected, *selected, "{kind} round {}: cohort", r.round);
+            assert_eq!(r.completed, *completed, "{kind} round {}: completions", r.round);
+            assert_eq!(r.stragglers, *stragglers, "{kind} round {}: stragglers", r.round);
+        }
+    }
+}
+
+#[test]
+fn byte_accounting_is_self_consistent_with_the_extended_codec() {
+    // Bytes are not pinned to the pre-refactor values (the protocol
+    // gained notices/heartbeats/aborts); they must instead be exactly
+    // derivable from the codec's per-message sizes.
+    let report = run(SelectorKind::Random);
+    for r in report.history.records() {
+        // Recover the parameter count from the down-link equation:
+        // bytes_down = |selected|·(notice + model(p)) + |stragglers|·abort.
+        // The abort reason is fixed ("deadline expired", 16 bytes), so
+        // solve and cross-check both directions.
+        let abort_size = flips::fl::WireMessage::Abort {
+            job: 0,
+            round: 0,
+            party: 0,
+            reason: "deadline expired".into(),
+        }
+        .wire_size() as u64;
+        let n_sel = r.selected.len() as u64;
+        let n_str = r.stragglers.len() as u64;
+        let n_com = r.completed.len() as u64;
+        let fixed = n_sel * selection_notice_bytes() as u64 + n_str * abort_size;
+        assert!(r.bytes_down > fixed, "round {}: down bytes too small", r.round);
+        let per_model = (r.bytes_down - fixed) / n_sel;
+        let params = (per_model as usize - global_model_bytes(0)) / 4;
+        assert_eq!(
+            r.bytes_down,
+            n_sel * (selection_notice_bytes() + global_model_bytes(params)) as u64
+                + n_str * abort_size,
+            "round {}: down bytes",
+            r.round
+        );
+        assert_eq!(
+            r.bytes_up,
+            n_sel * heartbeat_bytes() as u64 + n_com * local_update_bytes(params) as u64,
+            "round {}: up bytes",
+            r.round
+        );
+    }
+}
