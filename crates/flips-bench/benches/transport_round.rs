@@ -1,0 +1,60 @@
+//! End-to-end cost of FL rounds driven through the serialized transport
+//! stack (encode → frame → length-prefixed byte pipe → decode), versus
+//! the in-process pass-by-value driver on the identical seeded workload.
+//!
+//! The delta between the two groups is the full price of the wire: two
+//! codec passes and two framed copies per message, plus the driver's
+//! demux/timer machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flips_core::prelude::*;
+use std::hint::black_box;
+
+fn builder() -> SimulationBuilder {
+    SimulationBuilder::new(DatasetProfile::femnist())
+        .parties(16)
+        .rounds(3)
+        .participation(0.25)
+        .selector(SelectorKind::Random)
+        .test_per_class(20)
+        .seed(3)
+}
+
+fn bench_transport_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_round_16_parties_4_per_round");
+    group.sample_size(10);
+
+    group.bench_function("in_process_by_value", |b| {
+        b.iter_batched(
+            || builder().build().unwrap().0,
+            |mut job| black_box(job.run().unwrap().peak_accuracy()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("serialized_stream", |b| {
+        b.iter_batched(
+            || {
+                let JobParts { coordinator, endpoints, clock, latency } =
+                    builder().build().unwrap().0.into_parts();
+                let (agg_pipe, party_pipe) = duplex();
+                let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
+                let id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
+                let mut pool = PartyPool::new(StreamTransport::new(party_pipe));
+                pool.add_job(id, endpoints);
+                (driver, pool)
+            },
+            |(mut driver, mut pool)| {
+                run_lockstep(&mut driver, &mut pool).unwrap();
+                let id = driver.job_ids()[0];
+                black_box(driver.history(id).unwrap().peak_accuracy())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport_round);
+criterion_main!(benches);

@@ -58,25 +58,30 @@ fn gemm_tn_gflops(n: usize, samples: usize) -> f64 {
     2.0 * (n * n * n) as f64 / ns
 }
 
-fn fl_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) -> f64 {
+/// The round benchmarks' shared workload: `fl_round_ns` and
+/// `transport_round_ns` must drive the *same* seeded job — one
+/// configuration, two drivers — or their ratio stops meaning "the price
+/// of the wire".
+fn mlp256_job(parties: usize, per_round: usize, total_rounds: usize) -> flips_core::fl::FlJob {
     let mut profile = DatasetProfile::femnist();
     profile.name = "femnist-mlp256".into();
     profile.model = ModelSpec::Mlp { dims: vec![16, 256, 192, 10] };
-    let build = || {
-        SimulationBuilder::new(profile.clone())
-            .parties(parties)
-            .rounds(rounds * (samples + 1))
-            .participation(per_round as f64 / parties as f64)
-            .selector(SelectorKind::Random)
-            .test_per_class(20)
-            .seed(3)
-            .build()
-            .expect("bench simulation builds")
-            .0
-    };
+    SimulationBuilder::new(profile)
+        .parties(parties)
+        .rounds(total_rounds)
+        .participation(per_round as f64 / parties as f64)
+        .selector(SelectorKind::Random)
+        .test_per_class(20)
+        .seed(3)
+        .build()
+        .expect("bench simulation builds")
+        .0
+}
+
+fn fl_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) -> f64 {
     // Job construction (dataset synthesis, partitioning) stays outside
     // the timed region: only the synchronization rounds are measured.
-    let mut job = build();
+    let mut job = mlp256_job(parties, per_round, rounds * (samples + 1));
     let mut times: Vec<f64> = Vec::with_capacity(samples);
     for sample in 0..=samples {
         let start = Instant::now();
@@ -88,6 +93,49 @@ fn fl_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) 
             times.push(start.elapsed().as_nanos() as f64);
         }
     }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2] / rounds as f64
+}
+
+/// Median ns per round for the same workload as [`fl_round_ns`], driven
+/// through the serialized transport stack: every message encoded, framed
+/// onto a length-prefixed in-process byte pipe, reassembled and decoded.
+/// The delta against `fl_round_median_ns` is the price of the wire.
+///
+/// Methodology mirrors [`fl_round_ns`] exactly — ONE continuously
+/// running job with a `rounds · (samples + 1)` budget, timed in
+/// `rounds`-round windows with window 0 discarded as warm-up — so the
+/// two medians compare the same rounds of the same seeded trajectory.
+fn transport_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) -> f64 {
+    let job = mlp256_job(parties, per_round, rounds * (samples + 1));
+    let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+    let (agg_pipe, party_pipe) = duplex();
+    let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
+    let id = driver.add_job(coordinator, Box::new(clock), latency).expect("fresh job id");
+    let mut pool = PartyPool::new(StreamTransport::new(party_pipe));
+    pool.add_job(id, endpoints);
+
+    driver.start().expect("round 0 opens");
+    let mut window_starts = vec![Instant::now()];
+    let mut next_boundary = rounds;
+    loop {
+        let drove = driver.pump().expect("driver pumps");
+        while driver.history(id).expect("job").len() >= next_boundary {
+            window_starts.push(Instant::now());
+            next_boundary += rounds;
+        }
+        let pooled = pool.pump().expect("pool pumps");
+        if !drove && !pooled {
+            if driver.is_finished() {
+                break;
+            }
+            assert!(driver.advance_clock().expect("clock advances"), "driver stalled");
+        }
+    }
+    black_box(driver.history(id).expect("history").len());
+
+    let mut times: Vec<f64> =
+        window_starts.windows(2).skip(1).map(|w| (w[1] - w[0]).as_nanos() as f64).collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     times[times.len() / 2] / rounds as f64
 }
@@ -108,9 +156,18 @@ fn main() {
     let round_ns = fl_round_ns(16, 4, 3, 7);
     eprintln!("  {:.2} ms/round", round_ns / 1e6);
 
+    eprintln!("measuring transport_round (same workload, serialized stream) ...");
+    let transport_ns = transport_round_ns(16, 4, 3, 7);
+    eprintln!(
+        "  {:.2} ms/round ({:+.1}% vs in-process)",
+        transport_ns / 1e6,
+        100.0 * (transport_ns - round_ns) / round_ns
+    );
+
     let json = format!(
         "{{\n  \"schema\": \"flips-bench/fl_round/v1\",\n  \"kernel\": \"{kernel}\",\n  \
-         \"fl_round_median_ns\": {round_ns:.0},\n  \"gemm_256_gflops\": {gflops_256:.2},\n  \"gemm_tn_256_gflops\": {tn_gflops_256:.2},\n  \
+         \"fl_round_median_ns\": {round_ns:.0},\n  \"transport_round_median_ns\": {transport_ns:.0},\n  \
+         \"gemm_256_gflops\": {gflops_256:.2},\n  \"gemm_tn_256_gflops\": {tn_gflops_256:.2},\n  \
          \"model\": \"mlp-16x256x192x10\",\n  \"parties\": 16,\n  \"parties_per_round\": 4\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");

@@ -17,9 +17,11 @@ pub use flips_data::{
     partition, Dataset, DatasetProfile, LabelDistribution, PartitionStrategy,
 };
 pub use flips_fl::{
-    straggler::StragglerBias, Coordinator, CoordinatorConfig, Effect, Event, FlAlgorithm, FlJob,
-    FlJobConfig, History, LatencyModel, LocalTrainingConfig, PartyEndpoint, RejectReason,
-    RoundRecord, WireMessage,
+    run_lockstep, straggler::StragglerBias, transport::duplex, Clock, Coordinator,
+    CoordinatorConfig, DriverStats, Effect, Event, FlAlgorithm, FlJob, FlJobConfig, History,
+    JobParts, LatencyModel, LocalTrainingConfig, MemoryTransport, MultiJobDriver, PartyEndpoint,
+    PartyPool, RejectReason, RoundRecord, StragglerInjector, StreamTransport, TimerWheel,
+    Transport, WireMessage,
 };
 pub use flips_ml::{metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model};
 pub use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectorKind};

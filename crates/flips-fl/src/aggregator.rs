@@ -30,7 +30,7 @@ use crate::events::{Effect, Event};
 use crate::history::{History, RoundRecord};
 use crate::latency::LatencyModel;
 use crate::message::WireMessage;
-use crate::straggler::{StragglerBias, StragglerInjector};
+use crate::straggler::{Clock, StragglerBias, StragglerInjector};
 use crate::FlError;
 use flips_data::Dataset;
 use flips_ml::model::ModelSpec;
@@ -264,11 +264,12 @@ impl FlJob {
             }
         }
 
-        // The round clock: the injector picks the parties whose updates
-        // will miss the deadline. Their training is never simulated — the
-        // result would be discarded — so the deadline close below is what
-        // turns them into stragglers.
-        let victim_idx = self.injector.strike(&selected, &self.latency);
+        // The round clock: the injector (through the shared `Clock`
+        // contract, the same one the timer-wheel driver consults) picks
+        // the parties whose updates will miss the deadline. Their
+        // training is never simulated — the result would be discarded —
+        // so the deadline close below is what turns them into stragglers.
+        let victim_idx = Clock::missed_deadline(&mut self.injector, &selected, &self.latency);
         let victim_set: HashSet<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
 
         // Selection notices reach everyone; heartbeat acks flow back.
@@ -310,6 +311,23 @@ impl FlJob {
             self.step()?;
         }
         Ok(self.coordinator.history().clone())
+    }
+
+    /// Decomposes the job into the pieces a different driver can own.
+    ///
+    /// The in-process `FlJob` and the serialized-transport
+    /// [`crate::driver::MultiJobDriver`] run the *same* coordinator,
+    /// endpoints and deadline clock; splitting a built job (rather than
+    /// re-deriving its parts) guarantees both drivers start from
+    /// bit-identical seeded state — which is how the transport
+    /// equivalence suite pins them to each other.
+    pub fn into_parts(self) -> JobParts {
+        JobParts {
+            coordinator: self.coordinator,
+            endpoints: self.endpoints,
+            clock: self.injector,
+            latency: self.latency,
+        }
     }
 
     /// Delivers `GlobalModel` messages to their endpoints (in parallel
@@ -367,6 +385,28 @@ impl FlJob {
             Some(e) => Err(e),
             None => Ok(replies),
         }
+    }
+}
+
+/// A job split into driver-agnostic pieces (see [`FlJob::into_parts`]):
+/// the protocol state machines plus the simulation's deadline clock.
+pub struct JobParts {
+    /// The aggregator-side protocol state machine.
+    pub coordinator: Coordinator,
+    /// One endpoint per party, roster order.
+    pub endpoints: Vec<PartyEndpoint>,
+    /// The deadline clock (the configured straggler injector).
+    pub clock: StragglerInjector,
+    /// The platform-heterogeneity model the clock consults.
+    pub latency: Arc<LatencyModel>,
+}
+
+impl std::fmt::Debug for JobParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobParts")
+            .field("job_id", &self.coordinator.job_id())
+            .field("parties", &self.endpoints.len())
+            .finish()
     }
 }
 

@@ -374,8 +374,14 @@ impl Coordinator {
                 if !open.selected_set.contains(&pid) {
                     return reject(Some(pid), round, RejectReason::NotSelected);
                 }
-                open.bytes_up += crate::message::heartbeat_bytes() as u64;
-                open.heartbeats.insert(pid);
+                // Idempotent: an at-least-once transport may redeliver
+                // the ack within the deadline window, and a duplicate
+                // must not inflate the round's byte accounting (the
+                // transport suite pins histories bit-identical under
+                // duplicate delivery).
+                if open.heartbeats.insert(pid) {
+                    open.bytes_up += crate::message::heartbeat_bytes() as u64;
+                }
                 Ok(Vec::new())
             }
             WireMessage::Abort { job, round, party, .. } => {

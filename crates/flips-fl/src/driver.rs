@@ -1,0 +1,546 @@
+//! The serialized-transport driver: many concurrent FL jobs multiplexed
+//! over one byte channel.
+//!
+//! This is the second driver over the sans-IO protocol (the first is the
+//! in-process [`crate::FlJob`]). Where `FlJob` passes one job's messages
+//! by value, the [`MultiJobDriver`] owns **N coordinators keyed by job
+//! id** and speaks to the party side exclusively through a
+//! [`Transport`]: every message is [`WireMessage::encode`]d, framed with
+//! its destination, sent as bytes, and [`WireMessage::decode`]d on the
+//! far side — the codec is on the hot path, not just under test.
+//!
+//! The pieces:
+//!
+//! - [`TimerWheel`] — a deterministic virtual clock. Each opened round
+//!   schedules a `(job, round)` deadline entry; the wheel advances only
+//!   when the wire is quiet (no frames in flight), so a run's timer
+//!   order is a pure function of the job set, never of host scheduling.
+//! - [`MultiJobDriver`] — demultiplexes inbound frames to the right
+//!   coordinator by the job id every message carries, drains each
+//!   coordinator's effects back onto the wire, and fires
+//!   [`Event::DeadlineExpired`] per job from the wheel. Corrupt frames
+//!   and unknown job ids are counted and dropped — they cannot disturb
+//!   any job's round state.
+//! - [`PartyPool`] — the party side of the wire: all jobs'
+//!   [`PartyEndpoint`]s keyed by `(job, party)`, decoding inbound
+//!   frames, training, and encoding replies.
+//!
+//! Who misses a deadline is decided by the job's [`Clock`] (the same
+//! trait the in-process driver's straggler injector implements), so the
+//! two drivers share deadline semantics by construction; a seeded run
+//! over this path is bit-identical to the same seed under `FlJob` (see
+//! `tests/protocol_equivalence.rs`).
+
+use crate::coordinator::Coordinator;
+use crate::events::{Effect, Event};
+use crate::history::History;
+use crate::latency::LatencyModel;
+use crate::message::{deframe, frame, AGGREGATOR_DEST};
+use crate::straggler::Clock;
+use crate::transport::Transport;
+use crate::{FlError, PartyEndpoint, WireMessage};
+use flips_selection::PartyId;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// A deadline entry on the wheel: close `job`'s round `round` (if that
+/// round is still the open one when the tick fires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Deadline {
+    job: u64,
+    round: u64,
+}
+
+/// A deterministic timer wheel over virtual ticks.
+///
+/// Entries fire in `(tick, insertion order)` — no wall clock anywhere,
+/// so two runs with the same schedule fire identically.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    /// `tick → entries`, fired front-to-back per tick.
+    slots: BTreeMap<u64, Vec<Deadline>>,
+    now: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel at tick 0.
+    pub fn new() -> Self {
+        TimerWheel::default()
+    }
+
+    /// The current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Timers currently scheduled.
+    pub fn pending(&self) -> usize {
+        self.slots.values().map(Vec::len).sum()
+    }
+
+    /// Schedules an entry `delay` ticks from now (clamped to ≥ 1 — a
+    /// deadline in the past could fire before the round's own frames).
+    fn schedule(&mut self, delay: u64, entry: Deadline) {
+        self.slots.entry(self.now + delay.max(1)).or_default().push(entry);
+    }
+
+    /// Advances to the next tick holding entries and returns them, or
+    /// `None` when the wheel is empty.
+    fn advance(&mut self) -> Option<Vec<Deadline>> {
+        let (&tick, _) = self.slots.iter().next()?;
+        self.now = tick;
+        self.slots.remove(&tick)
+    }
+}
+
+/// Counters of what the driver saw on the wire. Purely observational —
+/// none of these paths mutate round state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Frames sent (downlink).
+    pub frames_sent: u64,
+    /// Frames received (uplink), including rejected ones.
+    pub frames_received: u64,
+    /// Frames that failed deframing/decoding (truncation, corruption).
+    pub corrupt_frames: u64,
+    /// Well-formed messages carrying a job id no coordinator owns.
+    pub unknown_job_frames: u64,
+    /// Messages a coordinator bounced ([`Effect::Rejected`]).
+    pub rejected_messages: u64,
+}
+
+/// One job under the driver's management. Who misses each round's
+/// deadline is decided by the clock at round open; those parties' model
+/// delivery is withheld, as the in-process driver does — work whose
+/// result never arrives is not simulated.
+struct JobState {
+    coordinator: Coordinator,
+    clock: Box<dyn Clock>,
+    latency: Arc<LatencyModel>,
+}
+
+/// The aggregator side of a serialized link: N coordinators multiplexed
+/// over one [`Transport`].
+///
+/// Drive it with [`MultiJobDriver::start`], then alternate
+/// [`MultiJobDriver::pump`] (while frames flow) and
+/// [`MultiJobDriver::advance_clock`] (when the wire is quiet) until
+/// [`MultiJobDriver::is_finished`] — or let [`run_lockstep`] do exactly
+/// that against an in-process [`PartyPool`].
+pub struct MultiJobDriver<T: Transport> {
+    transport: T,
+    /// Job id → state; `BTreeMap` so every sweep is in stable id order.
+    jobs: BTreeMap<u64, JobState>,
+    wheel: TimerWheel,
+    stats: DriverStats,
+    started: bool,
+}
+
+impl<T: Transport> std::fmt::Debug for MultiJobDriver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiJobDriver")
+            .field("jobs", &self.jobs.len())
+            .field("tick", &self.wheel.now())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<T: Transport> MultiJobDriver<T> {
+    /// A driver over `transport` with no jobs yet.
+    pub fn new(transport: T) -> Self {
+        MultiJobDriver {
+            transport,
+            jobs: BTreeMap::new(),
+            wheel: TimerWheel::new(),
+            stats: DriverStats::default(),
+            started: false,
+        }
+    }
+
+    /// Registers a job: its coordinator (which carries the job id every
+    /// message is keyed by), its deadline clock, and the latency model
+    /// the clock consults. Returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] if the job id is already registered
+    /// (two jobs seeded identically — re-seed one);
+    /// [`FlError::Protocol`] after [`MultiJobDriver::start`].
+    pub fn add_job(
+        &mut self,
+        coordinator: Coordinator,
+        clock: Box<dyn Clock>,
+        latency: Arc<LatencyModel>,
+    ) -> Result<u64, FlError> {
+        if self.started {
+            return Err(FlError::Protocol("cannot add jobs to a started driver".into()));
+        }
+        let id = coordinator.job_id();
+        if self.jobs.contains_key(&id) {
+            return Err(FlError::InvalidConfig(format!("job id {id:#x} already registered")));
+        }
+        self.jobs.insert(id, JobState { coordinator, clock, latency });
+        Ok(id)
+    }
+
+    /// Opens round 0 of every job (in job-id order) and puts the first
+    /// frames on the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Protocol`] on a second `start` or an empty job set;
+    /// selection/transport failures propagate.
+    pub fn start(&mut self) -> Result<(), FlError> {
+        if self.started {
+            return Err(FlError::Protocol("driver already started".into()));
+        }
+        if self.jobs.is_empty() {
+            return Err(FlError::Protocol("no jobs registered".into()));
+        }
+        self.started = true;
+        let ids: Vec<u64> = self.jobs.keys().copied().collect();
+        for id in ids {
+            self.open_next_round(id)?;
+        }
+        Ok(())
+    }
+
+    /// Whether every job has exhausted its round budget.
+    pub fn is_finished(&self) -> bool {
+        self.jobs.values().all(|j| j.coordinator.is_finished())
+    }
+
+    /// The registered job ids, ascending.
+    pub fn job_ids(&self) -> Vec<u64> {
+        self.jobs.keys().copied().collect()
+    }
+
+    /// A job's history so far.
+    pub fn history(&self, job: u64) -> Option<&History> {
+        self.jobs.get(&job).map(|j| j.coordinator.history())
+    }
+
+    /// A job's coordinator (inspection in tests/examples).
+    pub fn coordinator(&self, job: u64) -> Option<&Coordinator> {
+        self.jobs.get(&job).map(|j| &j.coordinator)
+    }
+
+    /// Wire/rejection counters.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// The current virtual tick.
+    pub fn tick(&self) -> u64 {
+        self.wheel.now()
+    }
+
+    /// Drains every frame currently available on the transport, routing
+    /// each decoded message to its job's coordinator and sending the
+    /// resulting effects. Rounds that complete early (full cohort
+    /// delivered) close and reopen inline.
+    ///
+    /// Returns whether any frame was processed — pump until `false`
+    /// (the wire is quiet), then [`MultiJobDriver::advance_clock`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and coordinator aggregation/evaluation
+    /// failures propagate. Corrupt frames and unknown job ids do *not* —
+    /// they are counted in [`DriverStats`] and dropped, leaving every
+    /// job's round state untouched.
+    pub fn pump(&mut self) -> Result<bool, FlError> {
+        let mut progressed = false;
+        while let Some(raw) = self.transport.try_recv()? {
+            progressed = true;
+            self.stats.frames_received += 1;
+            let msg = match deframe(raw) {
+                Ok((AGGREGATOR_DEST, msg)) => msg,
+                // A party-addressed frame on the uplink is misrouted;
+                // treat like any other malformed traffic.
+                Ok(_) | Err(FlError::Codec(_)) => {
+                    self.stats.corrupt_frames += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let job_id = msg.job();
+            if !self.jobs.contains_key(&job_id) {
+                self.stats.unknown_job_frames += 1;
+                continue;
+            }
+            let effects = self
+                .jobs
+                .get_mut(&job_id)
+                .expect("checked")
+                .coordinator
+                .handle(Event::UpdateReceived(msg))?;
+            self.apply_effects(job_id, effects)?;
+        }
+        Ok(progressed)
+    }
+
+    /// Advances the timer wheel to the next live deadline and fires it
+    /// (plus any stale entries for rounds that already closed early,
+    /// which are skipped harmlessly). Call only when the wire is quiet —
+    /// [`MultiJobDriver::pump`] returned `false` and the peer has
+    /// nothing in flight — or simulated time will overtake in-flight
+    /// frames.
+    ///
+    /// Returns whether any deadline fired; `false` means the wheel is
+    /// empty (every job finished, or nothing was started).
+    ///
+    /// # Errors
+    ///
+    /// Aggregation/evaluation/selection and transport failures
+    /// propagate.
+    pub fn advance_clock(&mut self) -> Result<bool, FlError> {
+        while let Some(entries) = self.wheel.advance() {
+            let mut fired = false;
+            for Deadline { job, round } in entries {
+                let Some(state) = self.jobs.get_mut(&job) else { continue };
+                // Stale entry: the round closed early (or the job
+                // finished) before its deadline came up.
+                let live = state.coordinator.open_cohort().is_some()
+                    && state.coordinator.round() as u64 == round;
+                if !live {
+                    continue;
+                }
+                fired = true;
+                let effects = state.coordinator.handle(Event::DeadlineExpired)?;
+                self.apply_effects(job, effects)?;
+            }
+            if fired {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Executes a batch of coordinator effects: sends go on the wire
+    /// (encoded + framed), rejections are counted, and a closed round
+    /// immediately opens the job's next one.
+    fn apply_effects(&mut self, job_id: u64, effects: Vec<Effect>) -> Result<(), FlError> {
+        let mut reopen = false;
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.send_to_party(to, &msg)?,
+                Effect::Rejected { .. } => self.stats.rejected_messages += 1,
+                Effect::RoundClosed(_) => reopen = true,
+                Effect::JobFinished(_) => {}
+            }
+        }
+        if reopen {
+            self.open_next_round(job_id)?;
+        }
+        Ok(())
+    }
+
+    /// Opens a job's next round (unless finished): runs selection,
+    /// consults the clock for this round's deadline victims, schedules
+    /// the deadline on the wheel, and sends the round's frames —
+    /// selection notices to the whole cohort, the global model to every
+    /// party whose update will make the deadline.
+    fn open_next_round(&mut self, job_id: u64) -> Result<(), FlError> {
+        let state = self.jobs.get_mut(&job_id).expect("job registered");
+        if state.coordinator.is_finished() {
+            return Ok(());
+        }
+        let round = state.coordinator.round() as u64;
+        let effects = state.coordinator.open_round()?;
+        let selected: Vec<PartyId> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, msg: WireMessage::SelectionNotice { .. } } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        let victim_idx = state.clock.missed_deadline(&selected, &state.latency);
+        let victims: HashSet<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
+        let deadline_ticks = state.clock.deadline_ticks();
+        self.wheel.schedule(deadline_ticks, Deadline { job: job_id, round });
+        for effect in effects {
+            let Effect::Send { to, msg } = effect else { continue };
+            if victims.contains(&to) && matches!(msg, WireMessage::GlobalModel { .. }) {
+                continue; // misses the deadline; never simulated
+            }
+            self.send_to_party(to, &msg)?;
+        }
+        Ok(())
+    }
+
+    fn send_to_party(&mut self, to: PartyId, msg: &WireMessage) -> Result<(), FlError> {
+        self.stats.frames_sent += 1;
+        self.transport.send(frame(to as u64, msg))
+    }
+}
+
+/// The party side of a serialized link: every job's endpoints, keyed by
+/// `(job id, party id)`.
+pub struct PartyPool<T: Transport> {
+    transport: T,
+    endpoints: BTreeMap<(u64, PartyId), PartyEndpoint>,
+    /// Frames that failed to decode or addressed no registered endpoint.
+    unroutable: u64,
+    /// Routable frames the endpoint refused (direction/architecture
+    /// protocol violations).
+    rejected: u64,
+}
+
+impl<T: Transport> std::fmt::Debug for PartyPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartyPool")
+            .field("endpoints", &self.endpoints.len())
+            .field("unroutable", &self.unroutable)
+            .field("rejected", &self.rejected)
+            .finish()
+    }
+}
+
+impl<T: Transport> PartyPool<T> {
+    /// An empty pool over `transport`.
+    pub fn new(transport: T) -> Self {
+        PartyPool { transport, endpoints: BTreeMap::new(), unroutable: 0, rejected: 0 }
+    }
+
+    /// Registers a job's endpoints (endpoint ids key the routing, the
+    /// job id comes from each inbound message).
+    pub fn add_job(&mut self, job: u64, endpoints: Vec<PartyEndpoint>) {
+        for ep in endpoints {
+            self.endpoints.insert((job, ep.id()), ep);
+        }
+    }
+
+    /// Endpoints registered.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the pool has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Frames this pool could not route (corrupt, or addressed to an
+    /// unregistered `(job, party)`).
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// Routable frames an endpoint refused as protocol violations.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Processes every frame currently available: decode, route to the
+    /// `(job, party)` endpoint, run the endpoint (training included),
+    /// and send its replies back up the wire. Returns whether any frame
+    /// was processed.
+    ///
+    /// Corrupt, unroutable and protocol-violating frames are counted
+    /// and dropped — a bad frame must not take the pool (or any other
+    /// job) down. That includes frames that *route* but that the
+    /// endpoint refuses (a wrong-direction message, a model that does
+    /// not match the agreed architecture): on the wire those are
+    /// hostile traffic, mirroring how the coordinator bounces the
+    /// symmetric cases with [`Effect::Rejected`].
+    ///
+    /// # Errors
+    ///
+    /// Only transport failures propagate.
+    pub fn pump(&mut self) -> Result<bool, FlError> {
+        let mut progressed = false;
+        while let Some(raw) = self.transport.try_recv()? {
+            progressed = true;
+            let Ok((dest, msg)) = deframe(raw) else {
+                self.unroutable += 1;
+                continue;
+            };
+            let Some(endpoint) = self.endpoints.get_mut(&(msg.job(), dest as PartyId)) else {
+                self.unroutable += 1;
+                continue;
+            };
+            let Ok(replies) = endpoint.handle(&msg) else {
+                self.rejected += 1;
+                continue;
+            };
+            for reply in replies {
+                self.transport.send(frame(AGGREGATOR_DEST, &reply))?;
+            }
+        }
+        Ok(progressed)
+    }
+}
+
+/// Runs a driver and an in-process party pool to completion, lock-step:
+/// pump both until the wire is quiet in both directions, then advance
+/// the driver's clock; repeat until every job finishes.
+///
+/// # Errors
+///
+/// Propagates the first driver/pool failure, and a
+/// [`FlError::Protocol`] if the system stalls (quiet wire, no live
+/// deadline, unfinished jobs — a wiring bug, e.g. endpoints registered
+/// under the wrong job id).
+pub fn run_lockstep<A: Transport, B: Transport>(
+    driver: &mut MultiJobDriver<A>,
+    pool: &mut PartyPool<B>,
+) -> Result<(), FlError> {
+    driver.start()?;
+    loop {
+        loop {
+            let drove = driver.pump()?;
+            let pooled = pool.pump()?;
+            if !drove && !pooled {
+                break;
+            }
+        }
+        if driver.is_finished() {
+            return Ok(());
+        }
+        if !driver.advance_clock()? {
+            return Err(FlError::Protocol(
+                "driver stalled: wire quiet, no live deadline, jobs unfinished".into(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MemoryTransport;
+
+    #[test]
+    fn wheel_fires_in_tick_then_insertion_order() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(2, Deadline { job: 1, round: 0 });
+        wheel.schedule(1, Deadline { job: 2, round: 0 });
+        wheel.schedule(2, Deadline { job: 3, round: 0 });
+        assert_eq!(wheel.pending(), 3);
+        assert_eq!(wheel.advance().unwrap(), vec![Deadline { job: 2, round: 0 }]);
+        assert_eq!(wheel.now(), 1);
+        assert_eq!(
+            wheel.advance().unwrap(),
+            vec![Deadline { job: 1, round: 0 }, Deadline { job: 3, round: 0 }]
+        );
+        assert_eq!(wheel.now(), 2);
+        assert!(wheel.advance().is_none());
+    }
+
+    #[test]
+    fn zero_delay_schedules_are_clamped_forward() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(0, Deadline { job: 1, round: 0 });
+        assert_eq!(wheel.advance().unwrap(), vec![Deadline { job: 1, round: 0 }]);
+        assert_eq!(wheel.now(), 1, "a deadline can never fire at its own open tick");
+    }
+
+    #[test]
+    fn empty_driver_refuses_to_start() {
+        let (a, _b) = MemoryTransport::pair();
+        let mut driver = MultiJobDriver::new(a);
+        assert!(matches!(driver.start(), Err(FlError::Protocol(_))));
+    }
+}

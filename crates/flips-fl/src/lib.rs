@@ -33,11 +33,19 @@
 //! - [`history`] — per-round records and the metrics the paper's tables
 //!   report (rounds-to-target, peak accuracy, bytes transferred);
 //! - [`aggregator`] — the in-process driver pumping coordinator and
-//!   endpoints.
+//!   endpoints;
+//! - [`transport`] — frame-oriented byte transports (in-memory channel,
+//!   length-prefix-framed streams) every message crosses as encoded
+//!   bytes;
+//! - [`driver`] — the serialized-transport driver: a timer wheel plus a
+//!   [`driver::MultiJobDriver`] multiplexing many concurrent jobs over
+//!   one transport, and the [`driver::PartyPool`] serving the party side
+//!   of the wire.
 
 pub mod aggregator;
 pub mod config;
 pub mod coordinator;
+pub mod driver;
 pub mod endpoint;
 pub mod events;
 pub mod history;
@@ -46,16 +54,19 @@ pub mod message;
 pub mod party;
 pub mod server;
 pub mod straggler;
+pub mod transport;
 
-pub use aggregator::{FlJob, FlJobConfig};
+pub use aggregator::{FlJob, FlJobConfig, JobParts};
 pub use config::{FlAlgorithm, LocalTrainingConfig};
 pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use driver::{run_lockstep, DriverStats, MultiJobDriver, PartyPool, TimerWheel};
 pub use endpoint::PartyEndpoint;
 pub use events::{Effect, Event, RejectReason};
 pub use history::{History, RoundRecord};
 pub use latency::LatencyModel;
 pub use message::WireMessage;
-pub use straggler::StragglerInjector;
+pub use straggler::{Clock, StragglerInjector};
+pub use transport::{duplex, MemoryTransport, StreamTransport, Transport};
 
 /// Errors produced by the FL runtime.
 #[derive(Debug)]
@@ -71,6 +82,8 @@ pub enum FlError {
     /// The round protocol was violated (round opened twice, job driven
     /// past its budget, a message sent in the wrong direction).
     Protocol(String),
+    /// A transport failed to move frames (broken pipe, I/O error).
+    Transport(String),
 }
 
 impl std::fmt::Display for FlError {
@@ -81,6 +94,7 @@ impl std::fmt::Display for FlError {
             FlError::Ml(e) => write!(f, "model operation failed: {e}"),
             FlError::Codec(m) => write!(f, "wire codec error: {m}"),
             FlError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            FlError::Transport(m) => write!(f, "transport failure: {m}"),
         }
     }
 }

@@ -300,6 +300,44 @@ impl WireMessage {
     }
 }
 
+/// Frame destination of aggregator-bound (uplink) traffic.
+///
+/// Downlink frames carry the destination party id; party ids live in
+/// `0..roster`, so the all-ones sentinel can never collide with one.
+pub const AGGREGATOR_DEST: u64 = u64::MAX;
+
+/// Bytes a frame adds in front of the encoded message (the destination).
+pub const FRAME_HEADER: usize = 8;
+
+/// Wraps an encoded message into a transport frame: an 8-byte
+/// little-endian destination followed by the [`WireMessage::encode`]
+/// bytes. The destination is a party id on the downlink and
+/// [`AGGREGATOR_DEST`] on the uplink; the *source* needs no header field
+/// because every uplink message kind already carries its sender.
+pub fn frame(dest: u64, msg: &WireMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER + msg.wire_size());
+    buf.put_u64_le(dest);
+    buf.put_slice(msg.encode().as_slice());
+    buf.freeze()
+}
+
+/// Splits a transport frame into its destination and decoded message.
+///
+/// # Errors
+///
+/// Returns [`FlError::Codec`] on a frame too short for its header or on
+/// any payload the message decoder rejects.
+pub fn deframe(mut frame: Bytes) -> Result<(u64, WireMessage), FlError> {
+    if frame.remaining() < FRAME_HEADER {
+        return Err(FlError::Codec(format!(
+            "frame of {} bytes is shorter than its header",
+            frame.remaining()
+        )));
+    }
+    let dest = frame.get_u64_le();
+    Ok((dest, WireMessage::decode(frame)?))
+}
+
 /// Wire size of one selection notice.
 pub fn selection_notice_bytes() -> usize {
     HEADER + 8 * 3

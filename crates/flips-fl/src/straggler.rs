@@ -19,6 +19,42 @@ use flips_selection::PartyId;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+/// The round-deadline clock every FL driver consults.
+///
+/// Both drivers — the in-process [`crate::FlJob`] and the
+/// timer-wheel-based [`crate::driver::MultiJobDriver`] — share the same
+/// deadline semantics through this trait, so they cannot drift:
+///
+/// - [`Clock::missed_deadline`] answers **who** — which members of the
+///   round's cohort will not deliver an update before the collection
+///   window closes. The driver never simulates work whose result is
+///   destined for the floor; those parties close as stragglers when the
+///   deadline fires.
+/// - [`Clock::deadline_ticks`] answers **when** — how many virtual ticks
+///   the window stays open on the timer wheel. The in-process driver has
+///   no wheel (it fires the deadline as soon as every surviving update
+///   is pumped), which is exactly the wheel schedule with every
+///   completion inside the window, so histories agree bit-for-bit.
+pub trait Clock {
+    /// Indices into `cohort` of the parties whose updates miss this
+    /// round's deadline, sorted ascending. Called exactly once per round
+    /// open, in round order — implementations may hold RNG state.
+    fn missed_deadline(&mut self, cohort: &[PartyId], latency: &LatencyModel) -> Vec<usize>;
+
+    /// Virtual ticks from round open to deadline on the timer wheel.
+    /// Must be at least 1; defaults to 1 (deadline on the next quiet
+    /// tick).
+    fn deadline_ticks(&self) -> u64 {
+        1
+    }
+}
+
+impl Clock for StragglerInjector {
+    fn missed_deadline(&mut self, cohort: &[PartyId], latency: &LatencyModel) -> Vec<usize> {
+        self.strike(cohort, latency)
+    }
+}
+
 /// How straggler victims are chosen within a round's cohort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StragglerBias {

@@ -1,0 +1,502 @@
+//! Frame-oriented byte transports for the FL wire protocol.
+//!
+//! A [`Transport`] moves opaque frames — [`crate::message::frame`]d,
+//! [`crate::WireMessage::encode`]d bytes — between the aggregator driver
+//! and the party side. Unlike the in-process [`crate::FlJob`] path, **every**
+//! message that crosses a transport exists as serialized bytes, so the
+//! codec (and its rejection of corrupt traffic) is exercised end to end.
+//!
+//! Two implementations are provided:
+//!
+//! - [`MemoryTransport`] — a pair of in-memory frame queues. Frames stay
+//!   intact (the queue is the framing); handles are cloneable so tests
+//!   can inject or observe traffic on a live link.
+//! - [`StreamTransport`] — length-prefix framing over any
+//!   `Read + Write` byte stream: a `std::net::TcpStream` in nonblocking
+//!   mode, or the in-process [`duplex`] pipe for deterministic tests.
+//!
+//! All transports here are *polled*: [`Transport::try_recv`] returns
+//! `Ok(None)` when no complete frame is available instead of blocking.
+//! That keeps drivers lock-step-schedulable (the
+//! [`crate::driver::MultiJobDriver`] advances its timer wheel only when
+//! the wire is quiet), which is what makes serialized runs bit-exactly
+//! reproducible.
+
+use crate::FlError;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::{Arc, Mutex};
+
+/// Frames larger than this are rejected before allocation — no legal
+/// message in this workspace approaches 256 MiB, so a corrupt length
+/// prefix cannot make a receiver balloon.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// A bidirectional, frame-oriented byte channel.
+pub trait Transport {
+    /// Queues one frame for the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] when the underlying channel cannot
+    /// accept the frame (closed pipe, I/O error).
+    fn send(&mut self, frame: Bytes) -> Result<(), FlError>;
+
+    /// Receives the next complete frame, or `None` when nothing is
+    /// currently available (never blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] on I/O failure or a frame whose
+    /// length prefix exceeds [`MAX_FRAME_BYTES`].
+    fn try_recv(&mut self) -> Result<Option<Bytes>, FlError>;
+}
+
+/// Shared queue of one direction of a memory link.
+type FrameQueue = Arc<Mutex<VecDeque<Bytes>>>;
+
+/// An in-memory transport endpoint: what this end sends, the peer
+/// receives, in order, intact.
+///
+/// Cloning an endpoint yields another handle onto the *same* queues —
+/// the fault-injection tests use a clone to slip corrupt or duplicate
+/// frames onto a live link without disturbing the real endpoints.
+#[derive(Clone)]
+pub struct MemoryTransport {
+    outbound: FrameQueue,
+    inbound: FrameQueue,
+}
+
+impl std::fmt::Debug for MemoryTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryTransport")
+            .field("queued_in", &self.inbound.lock().map(|q| q.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl MemoryTransport {
+    /// Creates a connected pair of endpoints.
+    pub fn pair() -> (MemoryTransport, MemoryTransport) {
+        let a_to_b: FrameQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let b_to_a: FrameQueue = Arc::new(Mutex::new(VecDeque::new()));
+        (
+            MemoryTransport { outbound: Arc::clone(&a_to_b), inbound: Arc::clone(&b_to_a) },
+            MemoryTransport { outbound: b_to_a, inbound: a_to_b },
+        )
+    }
+
+    /// Frames waiting to be received on this end.
+    pub fn pending(&self) -> usize {
+        self.inbound.lock().map(|q| q.len()).unwrap_or(0)
+    }
+}
+
+impl Transport for MemoryTransport {
+    fn send(&mut self, frame: Bytes) -> Result<(), FlError> {
+        self.outbound
+            .lock()
+            .map_err(|_| FlError::Transport("memory channel poisoned".into()))?
+            .push_back(frame);
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Bytes>, FlError> {
+        Ok(self
+            .inbound
+            .lock()
+            .map_err(|_| FlError::Transport("memory channel poisoned".into()))?
+            .pop_front())
+    }
+}
+
+/// Length-prefix framing over a byte stream: each frame travels as a
+/// little-endian `u32` length followed by that many payload bytes.
+///
+/// The stream must be *nonblocking* (reads return
+/// [`ErrorKind::WouldBlock`] when no bytes are available) — both the
+/// in-process [`duplex`] pipe and a `TcpStream` after
+/// `set_nonblocking(true)` qualify. Partial frames are reassembled
+/// across calls, so a frame split by the kernel's socket buffering
+/// decodes exactly once, whole.
+pub struct StreamTransport<S> {
+    stream: S,
+    /// Reassembly buffer; consumed frames advance `cursor` instead of
+    /// shifting the buffer, so a burst of frames is extracted in O(n)
+    /// total (the buffer compacts once fully drained).
+    pending: Vec<u8>,
+    cursor: usize,
+    /// The stream reported end-of-file: the peer is gone for good.
+    eof: bool,
+    /// Scratch buffer for `read` calls.
+    chunk: Box<[u8; 16 * 1024]>,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for StreamTransport<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamTransport")
+            .field("stream", &self.stream)
+            .field("buffered", &(self.pending.len() - self.cursor))
+            .field("eof", &self.eof)
+            .finish()
+    }
+}
+
+impl<S: Read + Write> StreamTransport<S> {
+    /// Wraps a nonblocking byte stream.
+    pub fn new(stream: S) -> Self {
+        StreamTransport {
+            stream,
+            pending: Vec::new(),
+            cursor: 0,
+            eof: false,
+            chunk: Box::new([0u8; 16 * 1024]),
+        }
+    }
+
+    /// Consumes the transport, returning the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Whether the stream reported end-of-file (the peer closed its
+    /// write side).
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Pulls whatever the stream has ready into the reassembly buffer.
+    fn fill(&mut self) -> Result<(), FlError> {
+        if self.eof {
+            return Ok(());
+        }
+        loop {
+            match self.stream.read(&mut self.chunk[..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(n) => self.pending.extend_from_slice(&self.chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FlError::Transport(format!("stream read failed: {e}"))),
+            }
+        }
+    }
+}
+
+impl<S: Read + Write> Transport for StreamTransport<S> {
+    fn send(&mut self, frame: Bytes) -> Result<(), FlError> {
+        // Mirror the receive-side cap before anything hits the wire: an
+        // oversized frame would otherwise be fatal on the *peer's*
+        // try_recv (poisoning every multiplexed job from the wrong side
+        // of the link), and ≥ 4 GiB would silently wrap the u32 prefix
+        // and desync the stream.
+        if frame.len() > MAX_FRAME_BYTES {
+            return Err(FlError::Transport(format!(
+                "refusing to send a {}-byte frame (cap {MAX_FRAME_BYTES})",
+                frame.len()
+            )));
+        }
+        self.stream
+            .write_all(&(frame.len() as u32).to_le_bytes())
+            .and_then(|()| self.stream.write_all(frame.as_slice()))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| FlError::Transport(format!("stream write failed: {e}")))
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Bytes>, FlError> {
+        self.fill()?;
+        let buffered = &self.pending[self.cursor..];
+        if buffered.len() < 4 {
+            // A dead peer must not look like a quiet wire: a stream
+            // that ended mid-frame is an error, a cleanly drained one
+            // is distinguishable from idle via `is_eof`.
+            return if self.eof && !buffered.is_empty() {
+                Err(FlError::Transport("stream closed mid-frame by the peer".into()))
+            } else {
+                Ok(None)
+            };
+        }
+        let len = u32::from_le_bytes(buffered[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(FlError::Transport(format!(
+                "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )));
+        }
+        if buffered.len() < 4 + len {
+            return if self.eof {
+                Err(FlError::Transport("stream closed mid-frame by the peer".into()))
+            } else {
+                Ok(None) // frame still in flight
+            };
+        }
+        let mut frame = BytesMut::with_capacity(len);
+        frame.put_slice(&buffered[4..4 + len]);
+        self.cursor += 4 + len;
+        if self.cursor == self.pending.len() {
+            self.pending.clear();
+            self.cursor = 0;
+        } else if self.cursor > self.pending.len() - self.cursor {
+            // A busy stream may never hit a fully-drained instant;
+            // reclaim the consumed prefix once it outweighs the live
+            // tail (each byte is memmoved at most once this way), so
+            // the buffer tracks in-flight bytes, not bytes-ever-seen.
+            self.pending.drain(..self.cursor);
+            self.cursor = 0;
+        }
+        Ok(Some(frame.freeze()))
+    }
+}
+
+/// One direction of an in-process byte pipe.
+type ByteQueue = Arc<Mutex<Vec<u8>>>;
+
+/// One end of an in-process duplex byte pipe (see [`duplex`]).
+///
+/// Reads drain whatever the peer has written (returning
+/// [`ErrorKind::WouldBlock`] when empty, like a nonblocking socket);
+/// writes always succeed. The pipe deliberately has no backpressure —
+/// it stands in for a socket in deterministic single-threaded tests and
+/// benchmarks, where "peer not scheduled yet" is the only reason bytes
+/// linger.
+pub struct PipeEnd {
+    read_from: ByteQueue,
+    write_to: ByteQueue,
+}
+
+impl std::fmt::Debug for PipeEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeEnd")
+            .field("readable", &self.read_from.lock().map(|b| b.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+/// Creates an in-process bidirectional byte pipe: what either end
+/// writes, the other reads, as a raw byte stream (no message
+/// boundaries — that is [`StreamTransport`]'s job, which is exactly why
+/// the pair exercises real framing).
+pub fn duplex() -> (PipeEnd, PipeEnd) {
+    let a_to_b: ByteQueue = Arc::new(Mutex::new(Vec::new()));
+    let b_to_a: ByteQueue = Arc::new(Mutex::new(Vec::new()));
+    (
+        PipeEnd { read_from: Arc::clone(&b_to_a), write_to: Arc::clone(&a_to_b) },
+        PipeEnd { read_from: a_to_b, write_to: b_to_a },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut queue = self
+            .read_from
+            .lock()
+            .map_err(|_| std::io::Error::new(ErrorKind::BrokenPipe, "pipe poisoned"))?;
+        if queue.is_empty() {
+            return Err(std::io::Error::new(ErrorKind::WouldBlock, "pipe empty"));
+        }
+        let n = queue.len().min(buf.len());
+        buf[..n].copy_from_slice(&queue[..n]);
+        queue.drain(..n);
+        Ok(n)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.write_to
+            .lock()
+            .map_err(|_| std::io::Error::new(ErrorKind::BrokenPipe, "pipe poisoned"))?
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{deframe, frame, AGGREGATOR_DEST};
+    use crate::WireMessage;
+
+    fn msg(party: u64) -> WireMessage {
+        WireMessage::Heartbeat { job: 9, round: 2, party }
+    }
+
+    #[test]
+    fn memory_pair_delivers_in_order_both_directions() {
+        let (mut a, mut b) = MemoryTransport::pair();
+        a.send(frame(0, &msg(0))).unwrap();
+        a.send(frame(1, &msg(1))).unwrap();
+        b.send(frame(AGGREGATOR_DEST, &msg(2))).unwrap();
+        let (d0, m0) = deframe(b.try_recv().unwrap().unwrap()).unwrap();
+        let (d1, m1) = deframe(b.try_recv().unwrap().unwrap()).unwrap();
+        assert_eq!((d0, m0), (0, msg(0)));
+        assert_eq!((d1, m1), (1, msg(1)));
+        assert!(b.try_recv().unwrap().is_none());
+        let (d2, m2) = deframe(a.try_recv().unwrap().unwrap()).unwrap();
+        assert_eq!((d2, m2), (AGGREGATOR_DEST, msg(2)));
+    }
+
+    #[test]
+    fn memory_clone_shares_the_link() {
+        let (mut a, b) = MemoryTransport::pair();
+        let mut injector = b.clone();
+        injector.send(frame(AGGREGATOR_DEST, &msg(7))).unwrap();
+        assert_eq!(b.pending(), 0, "injection is peer-bound, not self-bound");
+        let (_, m) = deframe(a.try_recv().unwrap().unwrap()).unwrap();
+        assert_eq!(m, msg(7));
+    }
+
+    #[test]
+    fn stream_transport_round_trips_frames_over_a_pipe() {
+        let (a, b) = duplex();
+        let mut tx = StreamTransport::new(a);
+        let mut rx = StreamTransport::new(b);
+        let big = WireMessage::GlobalModel { job: 3, round: 0, params: vec![0.25; 10_000] };
+        tx.send(frame(5, &big)).unwrap();
+        tx.send(frame(6, &msg(6))).unwrap();
+        let (d, m) = deframe(rx.try_recv().unwrap().unwrap()).unwrap();
+        assert_eq!((d, &m), (5, &big));
+        let (d, m) = deframe(rx.try_recv().unwrap().unwrap()).unwrap();
+        assert_eq!((d, m), (6, msg(6)));
+        assert!(rx.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_transport_reassembles_partial_frames() {
+        // Feed a frame byte-by-byte: try_recv must withhold it until the
+        // last byte arrives, then deliver it whole.
+        let (mut raw, b) = duplex();
+        let mut rx = StreamTransport::new(b);
+        let frame_bytes = {
+            let payload = frame(4, &msg(4));
+            let mut on_wire = (payload.len() as u32).to_le_bytes().to_vec();
+            on_wire.extend_from_slice(payload.as_slice());
+            on_wire
+        };
+        for &byte in &frame_bytes[..frame_bytes.len() - 1] {
+            raw.write_all(&[byte]).unwrap();
+            assert!(rx.try_recv().unwrap().is_none(), "frame delivered before complete");
+        }
+        raw.write_all(&frame_bytes[frame_bytes.len() - 1..]).unwrap();
+        let (d, m) = deframe(rx.try_recv().unwrap().unwrap()).unwrap();
+        assert_eq!((d, m), (4, msg(4)));
+    }
+
+    /// A one-shot stream: yields its bytes, then reports end-of-file —
+    /// the shape of a peer that wrote and disconnected.
+    struct FiniteStream(Vec<u8>);
+
+    impl Read for FiniteStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.0.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0.drain(..n);
+            Ok(n)
+        }
+    }
+
+    impl Write for FiniteStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn clean_eof_drains_buffered_frames_then_reads_idle() {
+        let payload = frame(1, &msg(1));
+        let mut on_wire = (payload.len() as u32).to_le_bytes().to_vec();
+        on_wire.extend_from_slice(payload.as_slice());
+        let mut rx = StreamTransport::new(FiniteStream(on_wire));
+        assert_eq!(deframe(rx.try_recv().unwrap().unwrap()).unwrap(), (1, msg(1)));
+        assert!(rx.try_recv().unwrap().is_none(), "cleanly drained");
+        assert!(rx.is_eof(), "disconnect is observable");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_a_transport_error_not_a_quiet_wire() {
+        // A dead peer must surface, or the driver would close every
+        // remaining round with 100% stragglers and "complete" bogusly.
+        let payload = frame(1, &msg(1));
+        let mut on_wire = (payload.len() as u32).to_le_bytes().to_vec();
+        on_wire.extend_from_slice(payload.as_slice());
+        for cut in [2, 7, on_wire.len() - 1] {
+            let mut rx = StreamTransport::new(FiniteStream(on_wire[..cut].to_vec()));
+            assert!(
+                matches!(rx.try_recv(), Err(FlError::Transport(_))),
+                "stream cut at byte {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_of_frames_is_extracted_without_requeueing() {
+        // Many frames landing in one fill() come out one per try_recv,
+        // in order (the cursor, not a drain, does the consuming).
+        let (mut raw, b) = duplex();
+        let mut rx = StreamTransport::new(b);
+        for party in 0..50u64 {
+            let payload = frame(party, &msg(party));
+            raw.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+            raw.write_all(payload.as_slice()).unwrap();
+        }
+        for party in 0..50u64 {
+            let (d, m) = deframe(rx.try_recv().unwrap().unwrap()).unwrap();
+            assert_eq!((d, m), (party, msg(party)));
+        }
+        assert!(rx.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_transport_rejects_hostile_length_prefix() {
+        let (mut raw, b) = duplex();
+        let mut rx = StreamTransport::new(b);
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        assert!(matches!(rx.try_recv(), Err(FlError::Transport(_))));
+    }
+
+    #[test]
+    fn deframe_rejects_short_and_corrupt_frames() {
+        assert!(deframe(Bytes::from(vec![1, 2, 3])).is_err(), "shorter than the header");
+        let mut corrupt = frame(2, &msg(2)).to_vec();
+        corrupt[FRAME_HEADER_END] ^= 0xFF; // clobber the message magic
+        assert!(deframe(Bytes::from(corrupt)).is_err());
+    }
+
+    const FRAME_HEADER_END: usize = crate::message::FRAME_HEADER;
+
+    #[test]
+    fn works_over_nonblocking_tcp() {
+        // The same framing over a real socket pair — nonblocking, so
+        // try_recv polls instead of hanging.
+        let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => l,
+            Err(_) => return, // sandboxed environments may forbid sockets
+        };
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+        server.set_nonblocking(true).unwrap();
+        let mut tx = StreamTransport::new(client);
+        let mut rx = StreamTransport::new(server);
+        tx.send(frame(1, &msg(1))).unwrap();
+        // A nonblocking socket may need a few polls before delivery.
+        for _ in 0..1000 {
+            if let Some(f) = rx.try_recv().unwrap() {
+                assert_eq!(deframe(f).unwrap(), (1, msg(1)));
+                return;
+            }
+            std::thread::yield_now();
+        }
+        panic!("frame never arrived over TCP");
+    }
+}

@@ -398,6 +398,30 @@ fn stale_heartbeats_and_unknown_senders_are_rejected() {
 }
 
 #[test]
+fn duplicate_heartbeats_within_the_window_count_bytes_once() {
+    // An at-least-once transport can redeliver a heartbeat while its
+    // round is still open; the ack is idempotent and must not inflate
+    // bytes_up (histories stay bit-identical under duplicate delivery).
+    use flips_fl::message::{heartbeat_bytes, local_update_bytes};
+    let mut c = coordinator(1, vec![0]);
+    let dim = c.global_params().len();
+    c.open_round().unwrap();
+    for _ in 0..3 {
+        assert!(c.handle(heartbeat(0, 0)).unwrap().is_empty());
+    }
+    assert_eq!(c.heartbeats_this_round(), 1);
+    let effects = c.handle(update(0, 0, dim, 1.0)).unwrap();
+    let record = effects
+        .iter()
+        .find_map(|e| match e {
+            Effect::RoundClosed(r) => Some(r.clone()),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(record.bytes_up, (heartbeat_bytes() + local_update_bytes(dim)) as u64);
+}
+
+#[test]
 fn bytes_account_every_message_on_the_wire() {
     use flips_fl::message::{
         global_model_bytes, heartbeat_bytes, local_update_bytes, selection_notice_bytes,

@@ -160,6 +160,20 @@ impl std::ops::Deref for Bytes {
     }
 }
 
+impl Bytes {
+    /// Consumes `N` bytes as a fixed-size array without allocating —
+    /// the scalar `get_*` cursor methods ride on this, which matters:
+    /// decoding a model message reads ~10⁵ scalars, and the trait's
+    /// `copy_take` default would heap-allocate for every one.
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.len(), "buffer underflow: need {N}, have {}", self.len());
+        let out: [u8; N] =
+            self.data[self.start..self.start + N].try_into().expect("length checked");
+        self.start += N;
+        out
+    }
+}
+
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
@@ -170,6 +184,26 @@ impl Buf for Bytes {
         let out = self.data[self.start..self.start + n].to_vec();
         self.start += n;
         out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take_array())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
     }
 }
 

@@ -134,7 +134,7 @@ fn golden(kind: SelectorKind) -> &'static [GoldenRound] {
     }
 }
 
-fn run(kind: SelectorKind) -> SimulationReport {
+fn builder(kind: SelectorKind) -> SimulationBuilder {
     SimulationBuilder::new(DatasetProfile::femnist())
         .parties(12)
         .rounds(4)
@@ -145,8 +145,26 @@ fn run(kind: SelectorKind) -> SimulationReport {
         .clustering_restarts(3)
         .test_per_class(8)
         .seed(11)
-        .run()
-        .unwrap()
+}
+
+fn run(kind: SelectorKind) -> SimulationReport {
+    builder(kind).run().unwrap()
+}
+
+/// Runs the same seeded job through the serialized stream transport:
+/// every message encoded, framed, length-prefixed onto a byte pipe,
+/// reassembled and decoded on the far side.
+fn run_over_stream_transport(kind: SelectorKind) -> History {
+    let (job, meta) = builder(kind).build().unwrap();
+    let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+    let (agg_pipe, party_pipe) = duplex();
+    let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
+    let job_id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
+    assert_eq!(job_id, meta.job_id);
+    let mut pool = PartyPool::new(StreamTransport::new(party_pipe));
+    pool.add_job(job_id, endpoints);
+    run_lockstep(&mut driver, &mut pool).unwrap();
+    driver.history(job_id).unwrap().clone()
 }
 
 #[test]
@@ -171,6 +189,76 @@ fn new_driver_replays_pre_refactor_histories_bit_exactly() {
             assert_eq!(r.stragglers, *stragglers, "{kind} round {}: stragglers", r.round);
         }
     }
+}
+
+#[test]
+fn serialized_stream_transport_replays_the_goldens_bit_exactly() {
+    // The acceptance bar for the transport layer: a seeded single-job
+    // run in which every message crosses a length-prefix-framed byte
+    // stream (encode → frame → pipe → reassemble → decode) reproduces
+    // the pinned pre-refactor histories bit-for-bit, per selector kind.
+    for kind in SelectorKind::all() {
+        let history = run_over_stream_transport(kind);
+        let records = history.records();
+        let expected = golden(kind);
+        assert_eq!(records.len(), expected.len(), "{kind}: round count over the wire");
+        for (r, (acc, loss, dur, selected, completed, stragglers)) in records.iter().zip(expected) {
+            assert_eq!(r.accuracy.to_bits(), *acc, "{kind} round {}: accuracy", r.round);
+            assert_eq!(r.mean_train_loss.to_bits(), *loss, "{kind} round {}: loss", r.round);
+            assert_eq!(r.round_duration.to_bits(), *dur, "{kind} round {}: duration", r.round);
+            assert_eq!(r.selected, *selected, "{kind} round {}: cohort", r.round);
+            assert_eq!(r.completed, *completed, "{kind} round {}: completions", r.round);
+            assert_eq!(r.stragglers, *stragglers, "{kind} round {}: stragglers", r.round);
+        }
+    }
+}
+
+#[test]
+fn transport_and_in_process_drivers_agree_on_every_field() {
+    // Beyond the golden fields: the full `RoundRecord`s (byte counters,
+    // per-label recalls, everything `PartialEq` sees) must be identical
+    // between the in-process driver and the serialized transport.
+    let in_process = run(SelectorKind::Oort).history;
+    let over_wire = run_over_stream_transport(SelectorKind::Oort);
+    assert_eq!(in_process, over_wire);
+}
+
+#[test]
+fn three_multiplexed_jobs_complete_with_isolated_deterministic_histories() {
+    // Three differently-seeded jobs share ONE serialized stream — their
+    // frames interleave on the same byte pipe — and each must finish
+    // with exactly the history it produces when it runs alone.
+    let seeds = [11u64, 23, 37];
+    let solo: Vec<History> = seeds
+        .iter()
+        .map(|&seed| {
+            let (mut job, _) = builder(SelectorKind::Random).seed(seed).build().unwrap();
+            job.run().unwrap()
+        })
+        .collect();
+
+    let (agg_pipe, party_pipe) = duplex();
+    let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
+    let mut pool = PartyPool::new(StreamTransport::new(party_pipe));
+    let mut ids = Vec::new();
+    for &seed in &seeds {
+        let (job, _) = builder(SelectorKind::Random).seed(seed).build().unwrap();
+        let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+        let id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
+        pool.add_job(id, endpoints);
+        ids.push(id);
+    }
+    run_lockstep(&mut driver, &mut pool).unwrap();
+
+    assert!(driver.is_finished());
+    for (id, solo_history) in ids.iter().zip(&solo) {
+        let multiplexed = driver.history(*id).unwrap();
+        assert_eq!(multiplexed, solo_history, "job {id:#x} diverged under multiplexing");
+    }
+    let stats = driver.stats();
+    assert_eq!(stats.corrupt_frames, 0);
+    assert_eq!(stats.unknown_job_frames, 0);
+    assert_eq!(stats.rejected_messages, 0);
 }
 
 #[test]

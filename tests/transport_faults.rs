@@ -1,0 +1,307 @@
+//! Transport fault injection: hostile and misrouted frames on a live
+//! multiplexed link must be counted and dropped without disturbing any
+//! job's round state.
+//!
+//! The suite runs two concurrent jobs over one [`MemoryTransport`] link
+//! (frame boundaries are explicit there, so a "truncated frame" is a
+//! well-defined artifact; on the stream transport a short frame simply
+//! never completes) and slips faults onto the wire through cloned
+//! handles while legitimate traffic is in flight. The oracle is always
+//! the same: each job's final history equals its fault-free solo run,
+//! bit for bit.
+
+use flips::fl::message::{frame, AGGREGATOR_DEST};
+use flips::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+const SEEDS: [u64; 2] = [11, 23];
+
+fn builder(seed: u64) -> SimulationBuilder {
+    SimulationBuilder::new(DatasetProfile::femnist())
+        .parties(10)
+        .rounds(3)
+        .participation(0.3)
+        .selector(SelectorKind::Random)
+        .straggler_rate(0.25)
+        .test_per_class(6)
+        .seed(seed)
+}
+
+fn solo_histories() -> Vec<History> {
+    SEEDS
+        .iter()
+        .map(|&seed| {
+            let (mut job, _) = builder(seed).build().unwrap();
+            job.run().unwrap()
+        })
+        .collect()
+}
+
+/// A transport wrapper that records a copy of every frame it sends —
+/// the duplicate-delivery tests replay captured uplink traffic.
+struct Tap<T: Transport> {
+    inner: T,
+    sent: Arc<Mutex<Vec<bytes::Bytes>>>,
+}
+
+impl<T: Transport> Transport for Tap<T> {
+    fn send(&mut self, frame: bytes::Bytes) -> Result<(), flips::fl::FlError> {
+        self.sent.lock().unwrap().push(frame.clone());
+        self.inner.send(frame)
+    }
+    fn try_recv(&mut self) -> Result<Option<bytes::Bytes>, flips::fl::FlError> {
+        self.inner.try_recv()
+    }
+}
+
+struct Link {
+    driver: MultiJobDriver<MemoryTransport>,
+    pool: PartyPool<Tap<MemoryTransport>>,
+    /// Extra handle whose sends land in the DRIVER's inbox.
+    to_driver: MemoryTransport,
+    /// Extra handle whose sends land in the POOL's inbox.
+    to_pool: MemoryTransport,
+    /// Copies of every uplink frame the pool sent.
+    uplink: Arc<Mutex<Vec<bytes::Bytes>>>,
+    ids: Vec<u64>,
+}
+
+fn two_job_link() -> Link {
+    let (agg_end, party_end) = MemoryTransport::pair();
+    let to_driver = party_end.clone();
+    let to_pool = agg_end.clone();
+    let uplink = Arc::new(Mutex::new(Vec::new()));
+    let mut driver = MultiJobDriver::new(agg_end);
+    let mut pool = PartyPool::new(Tap { inner: party_end, sent: Arc::clone(&uplink) });
+    let mut ids = Vec::new();
+    for &seed in &SEEDS {
+        let (job, _) = builder(seed).build().unwrap();
+        let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+        let id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
+        pool.add_job(id, endpoints);
+        ids.push(id);
+    }
+    Link { driver, pool, to_driver, to_pool, uplink, ids }
+}
+
+/// Runs the link to completion, invoking `inject` once per round window
+/// (while that window's frames are in flight).
+fn run_with_faults(link: &mut Link, mut inject: impl FnMut(u64, &mut Link)) {
+    link.driver.start().unwrap();
+    let mut window = 0u64;
+    loop {
+        inject(window, link);
+        window += 1;
+        loop {
+            let drove = link.driver.pump().unwrap();
+            let pooled = link.pool.pump().unwrap();
+            if !drove && !pooled {
+                break;
+            }
+        }
+        if link.driver.is_finished() {
+            return;
+        }
+        assert!(link.driver.advance_clock().unwrap(), "driver stalled");
+    }
+}
+
+fn assert_histories_clean(link: &Link, solo: &[History]) {
+    for (id, clean) in link.ids.iter().zip(solo) {
+        assert_eq!(
+            link.driver.history(*id).unwrap(),
+            clean,
+            "job {id:#x} history disturbed by injected faults"
+        );
+    }
+}
+
+fn heartbeat_frame(job: u64) -> bytes::Bytes {
+    frame(AGGREGATOR_DEST, &WireMessage::Heartbeat { job, round: 0, party: 3 })
+}
+
+#[test]
+fn truncated_and_corrupt_frames_are_dropped_without_side_effects() {
+    let solo = solo_histories();
+    let mut link = two_job_link();
+    let job0 = link.ids[0];
+    run_with_faults(&mut link, |window, link| {
+        if window > 2 {
+            return;
+        }
+        // A frame cut mid-header, one cut mid-payload, and one with a
+        // clobbered protocol magic.
+        let whole = heartbeat_frame(job0);
+        link.to_driver.send(whole.slice(0..5)).unwrap();
+        link.to_driver.send(whole.slice(0..whole.len() - 3)).unwrap();
+        let mut bad_magic = whole.to_vec();
+        bad_magic[8] ^= 0xFF;
+        link.to_driver.send(bytes::Bytes::from(bad_magic)).unwrap();
+    });
+    assert_eq!(link.driver.stats().corrupt_frames, 9, "3 windows × 3 bad frames");
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn unknown_job_id_mid_stream_is_counted_and_isolated() {
+    let solo = solo_histories();
+    let mut link = two_job_link();
+    run_with_faults(&mut link, |window, link| {
+        if window > 1 {
+            return;
+        }
+        // Well-formed traffic for a job nobody registered, in both
+        // directions: the driver counts it, the pool counts it, neither
+        // routes it anywhere.
+        link.to_driver.send(heartbeat_frame(0xDEAD_BEEF)).unwrap();
+        let foreign = WireMessage::GlobalModel { job: 0xDEAD_BEEF, round: 0, params: vec![1.0; 4] };
+        link.to_pool.send(frame(2, &foreign)).unwrap();
+    });
+    assert_eq!(link.driver.stats().unknown_job_frames, 2);
+    assert_eq!(link.pool.unroutable(), 2);
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn hostile_routable_downlink_is_rejected_by_the_pool_not_fatal() {
+    // Frames that decode AND route to a real endpoint but violate the
+    // protocol (wrong direction, wrong architecture) must be counted
+    // and dropped by the pool — one such frame must not take down the
+    // pump and with it every multiplexed job.
+    let solo = solo_histories();
+    let mut link = two_job_link();
+    let job0 = link.ids[0];
+    run_with_faults(&mut link, |window, link| {
+        if window > 1 {
+            return;
+        }
+        // Wrong direction: an aggregator-bound update sent down to a party.
+        let wrong_direction = WireMessage::LocalUpdate {
+            job: job0,
+            round: 0,
+            party: 3,
+            num_samples: 1,
+            mean_loss: 0.0,
+            duration: 0.0,
+            params: vec![],
+        };
+        link.to_pool.send(frame(3, &wrong_direction)).unwrap();
+        // Wrong architecture: a global model that matches no agreed spec.
+        let wrong_arch = WireMessage::GlobalModel { job: job0, round: 9, params: vec![0.0; 3] };
+        link.to_pool.send(frame(3, &wrong_arch)).unwrap();
+    });
+    assert_eq!(link.pool.rejected(), 4, "2 windows × 2 hostile frames");
+    assert_eq!(link.pool.unroutable(), 0);
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn duplicate_delivery_is_rejected_not_double_aggregated() {
+    let solo = solo_histories();
+    let mut link = two_job_link();
+    run_with_faults(&mut link, |window, link| {
+        if window == 0 {
+            return; // let round 0 produce real uplink traffic first
+        }
+        // Redeliver every update the pool has sent so far — classic
+        // at-least-once transport behavior. Each replay must bounce
+        // with `DuplicateUpdate`/`WrongRound`, never re-aggregate.
+        let captured: Vec<bytes::Bytes> = link.uplink.lock().unwrap().clone();
+        for dup in captured {
+            link.to_driver.send(dup).unwrap();
+        }
+    });
+    assert!(
+        link.driver.stats().rejected_messages > 0,
+        "replayed frames must surface as rejections"
+    );
+    assert_eq!(link.driver.stats().corrupt_frames, 0);
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn interleaved_uplink_frames_from_two_jobs_demultiplex_cleanly() {
+    let solo = solo_histories();
+    let mut link = two_job_link();
+    // Per-pump interleaving already mixes the two jobs' frames on the
+    // shared queue; additionally hold ALL uplink traffic back each
+    // window and release it riffle-shuffled across jobs, so the driver
+    // sees j0,j1,j0,j1,… in a single drain.
+    link.driver.start().unwrap();
+    loop {
+        loop {
+            let pooled = link.pool.pump().unwrap();
+            // Capture the pool's pending uplink, reorder, re-send.
+            let mut held = Vec::new();
+            while let Some(f) = link.to_pool.try_recv().unwrap() {
+                held.push(f);
+            }
+            let (evens, odds): (Vec<_>, Vec<_>) =
+                held.into_iter().enumerate().partition(|(i, _)| i % 2 == 0);
+            for (_, f) in odds.into_iter().chain(evens) {
+                link.to_driver.send(f).unwrap();
+            }
+            let drove = link.driver.pump().unwrap();
+            if !drove && !pooled {
+                break;
+            }
+        }
+        if link.driver.is_finished() {
+            break;
+        }
+        assert!(link.driver.advance_clock().unwrap(), "driver stalled");
+    }
+    assert_histories_clean(&link, &solo);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Any schedule of truncations, corruptions, foreign-job frames and
+    /// duplicate replays leaves every job's history bit-identical to its
+    /// fault-free run.
+    #[test]
+    fn random_fault_schedules_never_disturb_round_state(
+        fault_kinds in proptest::collection::vec(0usize..4, 1..6),
+        cut in 1usize..20,
+        flip_bit in 0usize..8,
+        window_mask in 0u64..8,
+    ) {
+        let solo = solo_histories();
+        let mut link = two_job_link();
+        let job0 = link.ids[0];
+        run_with_faults(&mut link, |window, link| {
+            if window >= 3 || (window_mask >> window) & 1 == 0 {
+                return;
+            }
+            for &kind in &fault_kinds {
+                match kind {
+                    0 => {
+                        let whole = heartbeat_frame(job0);
+                        let cut = cut.min(whole.len() - 1);
+                        link.to_driver.send(whole.slice(0..cut)).unwrap();
+                    }
+                    1 => {
+                        let mut corrupt = heartbeat_frame(job0).to_vec();
+                        let idx = 8 + cut % 5; // somewhere in the message header
+                        corrupt[idx] ^= 1 << flip_bit;
+                        link.to_driver.send(bytes::Bytes::from(corrupt)).unwrap();
+                    }
+                    2 => link.to_driver.send(heartbeat_frame(0xF0E1_D2C3)).unwrap(),
+                    _ => {
+                        let captured: Vec<bytes::Bytes> =
+                            link.uplink.lock().unwrap().clone();
+                        if let Some(f) = captured.last() {
+                            link.to_driver.send(f.clone()).unwrap();
+                        }
+                    }
+                }
+            }
+        });
+        prop_assert!(link.driver.is_finished());
+        for (id, clean) in link.ids.iter().zip(&solo) {
+            prop_assert_eq!(link.driver.history(*id).unwrap(), clean);
+        }
+    }
+}
