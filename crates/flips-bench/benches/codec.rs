@@ -1,0 +1,121 @@
+//! Model-payload codec micro-benchmarks: encode/decode cost and encoded
+//! bytes per codec on the tracked mlp-16×256×192×10 model.
+//!
+//! Three sizes print per codec, mirroring the wire's life cycle:
+//! `first_global` (no reference yet — delta goes inline), `rebroadcast`
+//! (the same round's 2nd..Nth model copy — deltas collapse to RLE
+//! zeros), and `next_round` (an SGD-sized nudge — small-exponent
+//! deltas). Encoded bytes print alongside the timings, since bytes, not
+//! ns, are what a codec buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flips_core::fl::codec::{CodecMap, ModelCodec, PayloadCodec, Role};
+use flips_core::fl::WireMessage;
+use flips_core::prelude::ModelSpec;
+use flips_ml::rng::seeded;
+use std::hint::black_box;
+
+fn model_params() -> Vec<f32> {
+    ModelSpec::Mlp { dims: vec![16, 256, 192, 10] }.build(&mut seeded(3)).params()
+}
+
+/// An SGD-sized perturbation: same exponents, low-mantissa churn.
+fn nudged(params: &[f32]) -> Vec<f32> {
+    params.iter().map(|x| x * (1.0 + 1e-4) + 1e-7).collect()
+}
+
+fn global(round: u64, params: &[f32]) -> WireMessage {
+    WireMessage::GlobalModel { job: 1, round, params: params.to_vec().into() }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let params = model_params();
+    let next = nudged(&params);
+    let mut group = c.benchmark_group("model_codec_mlp256");
+
+    for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::F16] {
+        // Encoded bytes per scenario — the headline numbers for
+        // PERFORMANCE.md's wire table.
+        let mut tx = PayloadCodec::new(codec, Role::Sender);
+        let mut buf = bytes::BytesMut::new();
+        global(0, &params).encode_into(&mut tx, &mut buf);
+        let first_bytes = buf.len();
+        buf.clear();
+        global(0, &params).encode_into(&mut tx, &mut buf);
+        let rebroadcast_bytes = buf.len();
+        buf.clear();
+        global(1, &next).encode_into(&mut tx, &mut buf);
+        let next_round_bytes = buf.len();
+        eprintln!(
+            "codec {:>14}: first_global {:>7} B, rebroadcast {:>7} B, next_round {:>7} B",
+            codec.label(),
+            first_bytes,
+            rebroadcast_bytes,
+            next_round_bytes
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("encode_next_round", codec.label()),
+            &codec,
+            |b, &codec| {
+                let mut tx = PayloadCodec::new(codec, Role::Sender);
+                let mut scratch = bytes::BytesMut::new();
+                global(0, &params).encode_into(&mut tx, &mut scratch);
+                // Alternate two payloads so every iteration is a
+                // genuine cross-round delta, never the O(1)
+                // rebroadcast fast path.
+                let msgs = [global(1, &next), global(2, &params)];
+                let mut i = 0usize;
+                b.iter(|| {
+                    scratch.clear();
+                    msgs[i & 1].encode_into(&mut tx, &mut scratch);
+                    i += 1;
+                    black_box(scratch.len())
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("decode_next_round", codec.label()),
+            &codec,
+            |b, &codec| {
+                let mut tx = PayloadCodec::new(codec, Role::Sender);
+                let mut rx = CodecMap::new(Role::Receiver);
+                rx.register(1, codec);
+                let mut scratch = bytes::BytesMut::new();
+                // Establish the reference on both ends, then measure
+                // decoding an SGD-sized LocalUpdate delta — the update
+                // path never advances the reference, so every
+                // iteration decodes the same steady-state frame to the
+                // same (checked) values.
+                global(0, &params).encode_into(&mut tx, &mut scratch);
+                WireMessage::decode_with(scratch.clone().freeze(), &mut rx).unwrap();
+                scratch.clear();
+                let update = WireMessage::LocalUpdate {
+                    job: 1,
+                    round: 1,
+                    party: 2,
+                    num_samples: 64,
+                    mean_loss: 0.5,
+                    duration: 0.1,
+                    params: next.clone(),
+                };
+                update.encode_into(&mut tx, &mut scratch);
+                let encoded = scratch.freeze();
+                b.iter(|| {
+                    let msg = WireMessage::decode_with(encoded.clone(), &mut rx).unwrap();
+                    let WireMessage::LocalUpdate { params, .. } = &msg else { unreachable!() };
+                    assert_eq!(params.len(), next.len());
+                    if codec.is_lossless() {
+                        assert_eq!(params[0].to_bits(), next[0].to_bits());
+                    }
+                    black_box(params.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

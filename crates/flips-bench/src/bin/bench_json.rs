@@ -1,5 +1,6 @@
 //! Emits `BENCH_fl_round.json`: machine-readable perf numbers tracked
-//! across PRs (median ns per FL round, GEMM GFLOP/s).
+//! across PRs (median ns per FL round, GEMM GFLOP/s, wire bytes per
+//! round under the negotiated model codec).
 //!
 //! Usage: `cargo run --release -p flips-bench --bin bench_json [out.json]`
 //!
@@ -62,7 +63,12 @@ fn gemm_tn_gflops(n: usize, samples: usize) -> f64 {
 /// `transport_round_ns` must drive the *same* seeded job — one
 /// configuration, two drivers — or their ratio stops meaning "the price
 /// of the wire".
-fn mlp256_job(parties: usize, per_round: usize, total_rounds: usize) -> flips_core::fl::FlJob {
+fn mlp256_job(
+    parties: usize,
+    per_round: usize,
+    total_rounds: usize,
+    codec: ModelCodec,
+) -> flips_core::fl::FlJob {
     let mut profile = DatasetProfile::femnist();
     profile.name = "femnist-mlp256".into();
     profile.model = ModelSpec::Mlp { dims: vec![16, 256, 192, 10] };
@@ -72,6 +78,7 @@ fn mlp256_job(parties: usize, per_round: usize, total_rounds: usize) -> flips_co
         .participation(per_round as f64 / parties as f64)
         .selector(SelectorKind::Random)
         .test_per_class(20)
+        .codec(codec)
         .seed(3)
         .build()
         .expect("bench simulation builds")
@@ -81,7 +88,7 @@ fn mlp256_job(parties: usize, per_round: usize, total_rounds: usize) -> flips_co
 fn fl_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) -> f64 {
     // Job construction (dataset synthesis, partitioning) stays outside
     // the timed region: only the synchronization rounds are measured.
-    let mut job = mlp256_job(parties, per_round, rounds * (samples + 1));
+    let mut job = mlp256_job(parties, per_round, rounds * (samples + 1), ModelCodec::Raw);
     let mut times: Vec<f64> = Vec::with_capacity(samples);
     for sample in 0..=samples {
         let start = Instant::now();
@@ -106,8 +113,18 @@ fn fl_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) 
 /// running job with a `rounds · (samples + 1)` budget, timed in
 /// `rounds`-round windows with window 0 discarded as warm-up — so the
 /// two medians compare the same rounds of the same seeded trajectory.
-fn transport_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) -> f64 {
-    let job = mlp256_job(parties, per_round, rounds * (samples + 1));
+/// Returns `(median ns/round, exact wire bytes/round)` — the byte count
+/// is a pure function of the seeded trajectory and the codec, so it is
+/// gated exactly (not with a tolerance band) in CI.
+fn transport_round_ns(
+    parties: usize,
+    per_round: usize,
+    rounds: usize,
+    samples: usize,
+    codec: ModelCodec,
+) -> (f64, u64) {
+    let total_rounds = rounds * (samples + 1);
+    let job = mlp256_job(parties, per_round, total_rounds, codec);
     let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
     let (agg_pipe, party_pipe) = duplex();
     let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
@@ -133,11 +150,13 @@ fn transport_round_ns(parties: usize, per_round: usize, rounds: usize, samples: 
         }
     }
     black_box(driver.history(id).expect("history").len());
+    let stats = driver.stats();
+    let bytes_per_round = (stats.bytes_sent + stats.bytes_received) / total_rounds as u64;
 
     let mut times: Vec<f64> =
         window_starts.windows(2).skip(1).map(|w| (w[1] - w[0]).as_nanos() as f64).collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    times[times.len() / 2] / rounds as f64
+    (times[times.len() / 2] / rounds as f64, bytes_per_round)
 }
 
 fn main() {
@@ -156,17 +175,31 @@ fn main() {
     let round_ns = fl_round_ns(16, 4, 3, 7);
     eprintln!("  {:.2} ms/round", round_ns / 1e6);
 
-    eprintln!("measuring transport_round (same workload, serialized stream) ...");
-    let transport_ns = transport_round_ns(16, 4, 3, 7);
+    eprintln!("measuring transport_round (same workload, serialized stream, raw codec) ...");
+    let (transport_ns, raw_bytes) = transport_round_ns(16, 4, 3, 7, ModelCodec::Raw);
     eprintln!(
-        "  {:.2} ms/round ({:+.1}% vs in-process)",
+        "  {:.2} ms/round ({:+.1}% vs in-process), {} B/round on the wire",
         transport_ns / 1e6,
-        100.0 * (transport_ns - round_ns) / round_ns
+        100.0 * (transport_ns - round_ns) / round_ns,
+        raw_bytes
+    );
+
+    eprintln!("measuring transport_round (DeltaLossless codec) ...");
+    let (delta_ns, delta_bytes) = transport_round_ns(16, 4, 3, 7, ModelCodec::DeltaLossless);
+    eprintln!(
+        "  {:.2} ms/round ({:+.1}% vs in-process), {} B/round on the wire ({:.1}% of raw)",
+        delta_ns / 1e6,
+        100.0 * (delta_ns - round_ns) / round_ns,
+        delta_bytes,
+        100.0 * delta_bytes as f64 / raw_bytes as f64
     );
 
     let json = format!(
         "{{\n  \"schema\": \"flips-bench/fl_round/v1\",\n  \"kernel\": \"{kernel}\",\n  \
          \"fl_round_median_ns\": {round_ns:.0},\n  \"transport_round_median_ns\": {transport_ns:.0},\n  \
+         \"transport_round_delta_median_ns\": {delta_ns:.0},\n  \
+         \"transport_bytes_per_round\": {delta_bytes},\n  \
+         \"transport_bytes_per_round_raw\": {raw_bytes},\n  \
          \"gemm_256_gflops\": {gflops_256:.2},\n  \"gemm_tn_256_gflops\": {tn_gflops_256:.2},\n  \
          \"model\": \"mlp-16x256x192x10\",\n  \"parties\": 16,\n  \"parties_per_round\": 4\n}}\n"
     );

@@ -13,7 +13,9 @@ use crate::FlipsError;
 use flips_data::dataset::{balanced_test_set, generate_population};
 use flips_data::{partition, DatasetProfile, PartitionStrategy};
 use flips_fl::straggler::StragglerBias;
-use flips_fl::{FlAlgorithm, FlJob, FlJobConfig, History, LatencyModel, LocalTrainingConfig};
+use flips_fl::{
+    FlAlgorithm, FlJob, FlJobConfig, History, LatencyModel, LocalTrainingConfig, ModelCodec,
+};
 use flips_selection::oort::OortConfig;
 use flips_selection::tifl::TiflConfig;
 use flips_selection::{
@@ -45,6 +47,7 @@ pub struct SimulationBuilder {
     overprovision: bool,
     tee_overhead: OverheadModel,
     local: Option<LocalTrainingConfig>,
+    codec: ModelCodec,
     parallel: bool,
     seed: u64,
 }
@@ -72,6 +75,7 @@ impl SimulationBuilder {
             overprovision: true,
             tee_overhead: OverheadModel::sev_like(),
             local: None,
+            codec: ModelCodec::Raw,
             parallel: false,
             seed: 0,
         }
@@ -198,6 +202,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets the model-payload wire codec the job's serialized drivers
+    /// use (`Raw` by default; `DeltaLossless` is bit-exact, `F16` is
+    /// lossy and opt-in only). Histories and byte *accounting* are
+    /// codec-independent.
+    #[must_use]
+    pub fn codec(mut self, codec: ModelCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// Trains completing parties across threads.
     #[must_use]
     pub fn parallel(mut self, parallel: bool) -> Self {
@@ -315,6 +329,7 @@ impl SimulationBuilder {
             latency_sigma: self.latency_sigma,
             latency_override: Some(latency),
             sketch_dim: 32,
+            codec: self.codec,
             parallel: self.parallel,
             seed: self.seed,
         };

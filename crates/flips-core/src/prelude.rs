@@ -19,9 +19,9 @@ pub use flips_data::{
 pub use flips_fl::{
     run_lockstep, straggler::StragglerBias, transport::duplex, Clock, Coordinator,
     CoordinatorConfig, DriverStats, Effect, Event, FlAlgorithm, FlJob, FlJobConfig, History,
-    JobParts, LatencyModel, LocalTrainingConfig, MemoryTransport, MultiJobDriver, PartyEndpoint,
-    PartyPool, RejectReason, RoundRecord, StragglerInjector, StreamTransport, TimerWheel,
-    Transport, WireMessage,
+    JobParts, LatencyModel, LocalTrainingConfig, MemoryTransport, ModelCodec, MultiJobDriver,
+    PartyEndpoint, PartyPool, RejectReason, RoundRecord, StragglerInjector, StreamTransport,
+    TimerWheel, Transport, WireMessage,
 };
 pub use flips_ml::{metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model};
 pub use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectorKind};

@@ -23,6 +23,7 @@
 //! Every source of randomness derives from the single job seed, so runs
 //! are bit-reproducible, selector included.
 
+use crate::codec::ModelCodec;
 use crate::config::{FlAlgorithm, LocalTrainingConfig};
 use crate::coordinator::{Coordinator, CoordinatorConfig};
 use crate::endpoint::PartyEndpoint;
@@ -65,6 +66,10 @@ pub struct FlJobConfig {
     pub latency_override: Option<LatencyModel>,
     /// Dimension of the update sketches reported to GradClus.
     pub sketch_dim: usize,
+    /// The model-payload wire codec (announced in selection notices,
+    /// used by serialized drivers; `Raw` is the compatibility default
+    /// and `F16` is lossy — opt-in only).
+    pub codec: ModelCodec,
     /// Train completing parties across threads.
     pub parallel: bool,
     /// Master seed; every stream derives from it.
@@ -86,6 +91,7 @@ impl FlJobConfig {
             latency_sigma: 0.4,
             latency_override: None,
             sketch_dim: 32,
+            codec: ModelCodec::Raw,
             parallel: false,
             seed: 0,
         }
@@ -174,6 +180,7 @@ impl FlJob {
                 rounds: config.rounds,
                 parties_per_round: config.parties_per_round,
                 sketch_dim: config.sketch_dim,
+                codec: config.codec,
                 seed,
             },
             num_parties,

@@ -30,6 +30,7 @@
 //! as stragglers — the deadline *is* the straggler mechanism, there is no
 //! separate injection path inside the protocol.
 
+use crate::codec::ModelCodec;
 use crate::config::FlAlgorithm;
 use crate::events::{Effect, Event, RejectReason};
 use crate::history::{History, RoundRecord};
@@ -60,6 +61,10 @@ pub struct CoordinatorConfig {
     pub parties_per_round: usize,
     /// Dimension of the update sketches reported to GradClus.
     pub sketch_dim: usize,
+    /// The model-payload wire codec announced in every selection notice
+    /// (negotiated once per job; serialized drivers encode model frames
+    /// with it). Byte *accounting* stays raw-canonical regardless.
+    pub codec: ModelCodec,
     /// Master seed; the global-model initialization stream derives from
     /// it.
     pub seed: u64,
@@ -186,6 +191,12 @@ impl Coordinator {
         self.config.job_id
     }
 
+    /// The model-payload wire codec this job announces in its selection
+    /// notices.
+    pub fn codec(&self) -> ModelCodec {
+        self.config.codec
+    }
+
     /// Number of completed rounds.
     pub fn round(&self) -> usize {
         self.round
@@ -259,9 +270,20 @@ impl Coordinator {
         let job = self.config.job_id;
         let mut effects = Vec::with_capacity(2 * selected.len());
         let mut bytes_down = 0u64;
+        // ONE shared copy of the round's parameters: every dispatched
+        // model clones the `Arc`, not the floats (the per-dispatch
+        // `Vec<f32>` clone was the protocol layer's last hot-path
+        // allocation — see PERFORMANCE.md).
+        let params: std::sync::Arc<[f32]> = std::sync::Arc::from(self.global.as_slice());
         for &p in &selected {
-            let notice = WireMessage::SelectionNotice { job, round, party: p as u64 };
-            let model = WireMessage::GlobalModel { job, round, params: self.global.clone() };
+            let notice = WireMessage::SelectionNotice {
+                job,
+                round,
+                party: p as u64,
+                codec: self.config.codec,
+            };
+            let model =
+                WireMessage::GlobalModel { job, round, params: std::sync::Arc::clone(&params) };
             bytes_down += (notice.wire_size() + model.wire_size()) as u64;
             effects.push(Effect::Send { to: p, msg: notice });
             effects.push(Effect::Send { to: p, msg: model });

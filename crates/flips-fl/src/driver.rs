@@ -31,14 +31,16 @@
 //! over this path is bit-identical to the same seed under `FlJob` (see
 //! `tests/protocol_equivalence.rs`).
 
+use crate::codec::{CodecMap, ModelCodec, Negotiation, Role};
 use crate::coordinator::Coordinator;
 use crate::events::{Effect, Event};
 use crate::history::History;
 use crate::latency::LatencyModel;
-use crate::message::{deframe, frame, AGGREGATOR_DEST};
+use crate::message::{deframe_with, frame_into, frame_job, AGGREGATOR_DEST};
 use crate::straggler::Clock;
 use crate::transport::Transport;
 use crate::{FlError, PartyEndpoint, WireMessage};
+use bytes::BytesMut;
 use flips_selection::PartyId;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -101,8 +103,18 @@ pub struct DriverStats {
     pub frames_sent: u64,
     /// Frames received (uplink), including rejected ones.
     pub frames_received: u64,
+    /// Bytes sent (downlink), as actually encoded by each job's
+    /// negotiated codec — compare against the raw-canonical accounting
+    /// in [`crate::RoundRecord`] to read off the compression win.
+    pub bytes_sent: u64,
+    /// Bytes received (uplink), frame headers included.
+    pub bytes_received: u64,
     /// Frames that failed deframing/decoding (truncation, corruption).
     pub corrupt_frames: u64,
+    /// Frames whose model payload carried a corrupt codec tag or one
+    /// disagreeing with the job's negotiated codec — dropped without
+    /// touching round state.
+    pub codec_mismatch_frames: u64,
     /// Well-formed messages carrying a job id no coordinator owns.
     pub unknown_job_frames: u64,
     /// Messages a coordinator bounced ([`Effect::Rejected`]).
@@ -133,6 +145,11 @@ pub struct MultiJobDriver<T: Transport> {
     jobs: BTreeMap<u64, JobState>,
     wheel: TimerWheel,
     stats: DriverStats,
+    /// Per-job payload codec state (sender side of global models).
+    codecs: CodecMap,
+    /// Reused frame-encode scratch: grow-only, so the steady-state
+    /// encode path performs no heap allocation.
+    scratch: BytesMut,
     started: bool,
 }
 
@@ -154,6 +171,8 @@ impl<T: Transport> MultiJobDriver<T> {
             jobs: BTreeMap::new(),
             wheel: TimerWheel::new(),
             stats: DriverStats::default(),
+            codecs: CodecMap::new(Role::Sender),
+            scratch: BytesMut::new(),
             started: false,
         }
     }
@@ -180,6 +199,7 @@ impl<T: Transport> MultiJobDriver<T> {
         if self.jobs.contains_key(&id) {
             return Err(FlError::InvalidConfig(format!("job id {id:#x} already registered")));
         }
+        self.codecs.register(id, coordinator.codec());
         self.jobs.insert(id, JobState { coordinator, clock, latency });
         Ok(id)
     }
@@ -231,6 +251,11 @@ impl<T: Transport> MultiJobDriver<T> {
         self.stats
     }
 
+    /// The payload codec a job's model frames travel with.
+    pub fn codec_of(&self, job: u64) -> Option<ModelCodec> {
+        self.codecs.codec_of(job)
+    }
+
     /// The current virtual tick.
     pub fn tick(&self) -> u64 {
         self.wheel.now()
@@ -255,12 +280,26 @@ impl<T: Transport> MultiJobDriver<T> {
         while let Some(raw) = self.transport.try_recv()? {
             progressed = true;
             self.stats.frames_received += 1;
-            let msg = match deframe(raw) {
+            self.stats.bytes_received += raw.len() as u64;
+            let peeked_job = frame_job(&raw);
+            let msg = match deframe_with(raw, &mut self.codecs) {
                 Ok((AGGREGATOR_DEST, msg)) => msg,
                 // A party-addressed frame on the uplink is misrouted;
                 // treat like any other malformed traffic.
                 Ok(_) | Err(FlError::Codec(_)) => {
                     self.stats.corrupt_frames += 1;
+                    continue;
+                }
+                Err(FlError::CodecMismatch(_)) => {
+                    // A compressed frame for a job nobody owns fails
+                    // the raw-fallback tag check before it can reach
+                    // the unknown-job check below — attribute it to
+                    // the routing counter, not the codec one.
+                    if peeked_job.is_some_and(|j| self.jobs.contains_key(&j)) {
+                        self.stats.codec_mismatch_frames += 1;
+                    } else {
+                        self.stats.unknown_job_frames += 1;
+                    }
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -371,8 +410,12 @@ impl<T: Transport> MultiJobDriver<T> {
     }
 
     fn send_to_party(&mut self, to: PartyId, msg: &WireMessage) -> Result<(), FlError> {
+        // Encode with the job's negotiated codec into the reused
+        // scratch: zero allocation once the scratch has warmed up.
+        frame_into(to as u64, msg, self.codecs.for_job(msg.job()), &mut self.scratch);
         self.stats.frames_sent += 1;
-        self.transport.send(frame(to as u64, msg))
+        self.stats.bytes_sent += self.scratch.len() as u64;
+        self.transport.send(self.scratch.as_slice())
     }
 }
 
@@ -381,11 +424,20 @@ impl<T: Transport> MultiJobDriver<T> {
 pub struct PartyPool<T: Transport> {
     transport: T,
     endpoints: BTreeMap<(u64, PartyId), PartyEndpoint>,
+    /// Per-job payload codec state (receiver side of global models),
+    /// negotiated from the codec each selection notice announces.
+    codecs: CodecMap,
+    /// Reused frame-encode scratch for uplink replies.
+    scratch: BytesMut,
     /// Frames that failed to decode or addressed no registered endpoint.
     unroutable: u64,
     /// Routable frames the endpoint refused (direction/architecture
     /// protocol violations).
     rejected: u64,
+    /// Frames dropped for a corrupt/mismatched model codec tag.
+    codec_mismatch: u64,
+    /// Selection notices dropped for trying to renegotiate a job codec.
+    renegotiations_rejected: u64,
 }
 
 impl<T: Transport> std::fmt::Debug for PartyPool<T> {
@@ -401,12 +453,26 @@ impl<T: Transport> std::fmt::Debug for PartyPool<T> {
 impl<T: Transport> PartyPool<T> {
     /// An empty pool over `transport`.
     pub fn new(transport: T) -> Self {
-        PartyPool { transport, endpoints: BTreeMap::new(), unroutable: 0, rejected: 0 }
+        PartyPool {
+            transport,
+            endpoints: BTreeMap::new(),
+            codecs: CodecMap::new(Role::Receiver),
+            scratch: BytesMut::new(),
+            unroutable: 0,
+            rejected: 0,
+            codec_mismatch: 0,
+            renegotiations_rejected: 0,
+        }
     }
 
     /// Registers a job's endpoints (endpoint ids key the routing, the
-    /// job id comes from each inbound message).
+    /// job id comes from each inbound message). The agreed architecture
+    /// size is pinned on the job's codec state, so no wrong-length
+    /// decoded model can ever become the job's delta reference.
     pub fn add_job(&mut self, job: u64, endpoints: Vec<PartyEndpoint>) {
+        if let Some(ep) = endpoints.first() {
+            self.codecs.expect_len(job, ep.party().num_params());
+        }
         for ep in endpoints {
             self.endpoints.insert((job, ep.id()), ep);
         }
@@ -433,6 +499,31 @@ impl<T: Transport> PartyPool<T> {
         self.rejected
     }
 
+    /// Frames dropped for a corrupt or mismatched model codec tag.
+    pub fn codec_mismatch(&self) -> u64 {
+        self.codec_mismatch
+    }
+
+    /// Selection notices dropped for trying to renegotiate a job codec.
+    pub fn renegotiations_rejected(&self) -> u64 {
+        self.renegotiations_rejected
+    }
+
+    /// The codec negotiated for a job, if any notice arrived yet.
+    pub fn negotiated_codec(&self, job: u64) -> Option<ModelCodec> {
+        self.codecs.codec_of(job)
+    }
+
+    /// Pins a job's codec from out-of-band configuration instead of
+    /// trusting the first wire notice (trust-on-first-frame lets one
+    /// forged notice wedge a job before its real notice arrives — see
+    /// the trust-boundary notes in [`crate::codec`]). Subsequent
+    /// notices must match or they are dropped and counted as
+    /// renegotiations.
+    pub fn pin_codec(&mut self, job: u64, codec: ModelCodec) {
+        self.codecs.register(job, codec);
+    }
+
     /// Processes every frame currently available: decode, route to the
     /// `(job, party)` endpoint, run the endpoint (training included),
     /// and send its replies back up the wire. Returns whether any frame
@@ -453,20 +544,56 @@ impl<T: Transport> PartyPool<T> {
         let mut progressed = false;
         while let Some(raw) = self.transport.try_recv()? {
             progressed = true;
-            let Ok((dest, msg)) = deframe(raw) else {
-                self.unroutable += 1;
-                continue;
+            let peeked_job = frame_job(&raw);
+            let msg = match deframe_with(raw, &mut self.codecs) {
+                Ok((dest, msg)) => {
+                    if self.endpoints.contains_key(&(msg.job(), dest as PartyId)) {
+                        (dest, msg)
+                    } else {
+                        self.unroutable += 1;
+                        continue;
+                    }
+                }
+                Err(FlError::CodecMismatch(_)) => {
+                    // Only a job with a negotiated codec can genuinely
+                    // mismatch; anything else is unroutable traffic.
+                    if peeked_job.is_some_and(|j| self.codecs.codec_of(j).is_some()) {
+                        self.codec_mismatch += 1;
+                    } else {
+                        self.unroutable += 1;
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    self.unroutable += 1;
+                    continue;
+                }
             };
-            let Some(endpoint) = self.endpoints.get_mut(&(msg.job(), dest as PartyId)) else {
-                self.unroutable += 1;
-                continue;
-            };
+            let (dest, msg) = msg;
+            // The wire-level half of codec negotiation: the first
+            // notice for a job pins the codec its model frames will be
+            // decoded with; a conflicting notice is dropped before it
+            // can reach (and confuse) an endpoint. Idempotent repeats
+            // pass through — the endpoint re-acks and counts them.
+            if let WireMessage::SelectionNotice { job, codec, .. } = &msg {
+                if self.codecs.negotiate(*job, *codec) == Negotiation::Conflict {
+                    self.renegotiations_rejected += 1;
+                    continue;
+                }
+            }
+            let endpoint = self.endpoints.get_mut(&(msg.job(), dest as PartyId)).expect("checked");
             let Ok(replies) = endpoint.handle(&msg) else {
                 self.rejected += 1;
                 continue;
             };
             for reply in replies {
-                self.transport.send(frame(AGGREGATOR_DEST, &reply))?;
+                frame_into(
+                    AGGREGATOR_DEST,
+                    &reply,
+                    self.codecs.for_job(reply.job()),
+                    &mut self.scratch,
+                );
+                self.transport.send(self.scratch.as_slice())?;
             }
         }
         Ok(progressed)

@@ -7,6 +7,7 @@
 //! into a trained [`WireMessage::LocalUpdate`]. Like the coordinator it
 //! performs no I/O itself; the driver moves the messages.
 
+use crate::codec::ModelCodec;
 use crate::config::LocalTrainingConfig;
 use crate::latency::LatencyModel;
 use crate::message::WireMessage;
@@ -28,6 +29,16 @@ pub struct PartyEndpoint {
     /// monotonic, so any `GlobalModel` at or below this high-water mark
     /// is stale and skipped without training.
     aborted_round: Option<u64>,
+    /// The model-payload codec pinned by the first selection notice
+    /// (negotiated once; a conflicting later notice is refused).
+    negotiated: Option<ModelCodec>,
+    /// Round of the last acked selection notice — detects redelivery.
+    last_notice_round: Option<u64>,
+    /// Redelivered selection notices (same round, same codec): acked
+    /// again — an at-least-once transport may retransmit — but counted.
+    duplicate_notices: u64,
+    /// Notices refused because they tried to renegotiate the codec.
+    rejected_renegotiations: u64,
 }
 
 impl std::fmt::Debug for PartyEndpoint {
@@ -64,6 +75,10 @@ impl PartyEndpoint {
             latency,
             seed,
             aborted_round: None,
+            negotiated: None,
+            last_notice_round: None,
+            duplicate_notices: 0,
+            rejected_renegotiations: 0,
         }
     }
 
@@ -87,9 +102,28 @@ impl PartyEndpoint {
         self.aborted_round
     }
 
+    /// The model-payload codec pinned by the first selection notice.
+    pub fn negotiated_codec(&self) -> Option<ModelCodec> {
+        self.negotiated
+    }
+
+    /// Redelivered selection notices seen (acked again, but counted).
+    pub fn duplicate_notices(&self) -> u64 {
+        self.duplicate_notices
+    }
+
+    /// Selection notices refused for trying to renegotiate the codec.
+    pub fn rejected_renegotiations(&self) -> u64 {
+        self.rejected_renegotiations
+    }
+
     /// Consumes one aggregator message and produces the party's replies.
     ///
-    /// - `SelectionNotice` → `Heartbeat` ack;
+    /// - `SelectionNotice` → `Heartbeat` ack. The first notice pins the
+    ///   job's model-payload codec; redelivered notices are idempotent
+    ///   (acked again, counted) and a notice carrying a *different*
+    ///   codec is refused without a reply — a job's codec is negotiated
+    ///   exactly once;
     /// - `GlobalModel` → local training → `LocalUpdate`;
     /// - `Abort` → no reply (the round is noted as aborted);
     /// - messages stamped with a foreign job id are dropped without a
@@ -109,7 +143,22 @@ impl PartyEndpoint {
             return Ok(Vec::new());
         }
         match msg {
-            WireMessage::SelectionNotice { round, .. } => {
+            WireMessage::SelectionNotice { round, codec, .. } => {
+                match self.negotiated {
+                    None => self.negotiated = Some(*codec),
+                    Some(pinned) if pinned == *codec => {}
+                    Some(_) => {
+                        // Codec renegotiation mid-job: refuse without a
+                        // reply (answering would ack a handshake this
+                        // endpoint did not accept).
+                        self.rejected_renegotiations += 1;
+                        return Ok(Vec::new());
+                    }
+                }
+                if self.last_notice_round == Some(*round) {
+                    self.duplicate_notices += 1;
+                }
+                self.last_notice_round = Some(*round);
                 Ok(vec![WireMessage::Heartbeat { job: self.job_id, round: *round, party: me }])
             }
             WireMessage::GlobalModel { round, params, .. } => {
@@ -187,7 +236,8 @@ mod tests {
     #[test]
     fn selection_notice_is_acked_with_a_heartbeat() {
         let mut ep = endpoint(7);
-        let notice = WireMessage::SelectionNotice { job: 7, round: 3, party: 4 };
+        let notice =
+            WireMessage::SelectionNotice { job: 7, round: 3, party: 4, codec: ModelCodec::Raw };
         let replies = ep.handle(&notice).unwrap();
         assert_eq!(replies, vec![WireMessage::Heartbeat { job: 7, round: 3, party: 4 }]);
     }
@@ -195,7 +245,7 @@ mod tests {
     #[test]
     fn global_model_trains_and_returns_a_local_update() {
         let mut ep = endpoint(7);
-        let msg = WireMessage::GlobalModel { job: 7, round: 0, params: global_params() };
+        let msg = WireMessage::GlobalModel { job: 7, round: 0, params: global_params().into() };
         let replies = ep.handle(&msg).unwrap();
         assert_eq!(replies.len(), 1);
         match &replies[0] {
@@ -217,16 +267,17 @@ mod tests {
         // misrouted message drop an innocent party in whichever job the
         // reply lands in — so misrouted traffic is ignored entirely.
         let mut ep = endpoint(7);
-        let msg = WireMessage::GlobalModel { job: 8, round: 0, params: global_params() };
+        let msg = WireMessage::GlobalModel { job: 8, round: 0, params: global_params().into() };
         assert!(ep.handle(&msg).unwrap().is_empty());
-        let notice = WireMessage::SelectionNotice { job: 8, round: 0, party: 4 };
+        let notice =
+            WireMessage::SelectionNotice { job: 8, round: 0, party: 4, codec: ModelCodec::Raw };
         assert!(ep.handle(&notice).unwrap().is_empty());
     }
 
     #[test]
     fn architecture_mismatch_is_a_protocol_error() {
         let mut ep = endpoint(7);
-        let msg = WireMessage::GlobalModel { job: 7, round: 0, params: vec![0.0; 3] };
+        let msg = WireMessage::GlobalModel { job: 7, round: 0, params: vec![0.0; 3].into() };
         assert!(matches!(ep.handle(&msg), Err(FlError::Protocol(_))));
     }
 
@@ -245,16 +296,16 @@ mod tests {
         let mut ep = endpoint(7);
         let abort = WireMessage::Abort { job: 7, round: 3, party: 4, reason: "deadline".into() };
         ep.handle(&abort).unwrap();
-        let late = WireMessage::GlobalModel { job: 7, round: 3, params: global_params() };
+        let late = WireMessage::GlobalModel { job: 7, round: 3, params: global_params().into() };
         assert!(ep.handle(&late).unwrap().is_empty());
         // A newer abort must not forget older aborted rounds: after
         // Abort(5), the delayed model for round 3 stays skipped.
         let abort5 = WireMessage::Abort { job: 7, round: 5, party: 4, reason: "deadline".into() };
         ep.handle(&abort5).unwrap();
-        let late3 = WireMessage::GlobalModel { job: 7, round: 3, params: global_params() };
+        let late3 = WireMessage::GlobalModel { job: 7, round: 3, params: global_params().into() };
         assert!(ep.handle(&late3).unwrap().is_empty());
         // A later round trains normally.
-        let next = WireMessage::GlobalModel { job: 7, round: 6, params: global_params() };
+        let next = WireMessage::GlobalModel { job: 7, round: 6, params: global_params().into() };
         assert_eq!(ep.handle(&next).unwrap().len(), 1);
     }
 
@@ -272,5 +323,53 @@ mod tests {
         let mut ep = endpoint(7);
         let hb = WireMessage::Heartbeat { job: 7, round: 0, party: 4 };
         assert!(matches!(ep.handle(&hb), Err(FlError::Protocol(_))));
+    }
+
+    fn notice(round: u64, codec: ModelCodec) -> WireMessage {
+        WireMessage::SelectionNotice { job: 7, round, party: 4, codec }
+    }
+
+    #[test]
+    fn first_notice_pins_the_codec() {
+        let mut ep = endpoint(7);
+        assert_eq!(ep.negotiated_codec(), None);
+        ep.handle(&notice(0, ModelCodec::DeltaLossless)).unwrap();
+        assert_eq!(ep.negotiated_codec(), Some(ModelCodec::DeltaLossless));
+    }
+
+    #[test]
+    fn duplicate_notices_are_idempotent_and_counted() {
+        // An at-least-once transport may redeliver the notice within the
+        // round window: the endpoint must re-ack (the lost-heartbeat
+        // recovery path) while counting the redelivery — and the
+        // coordinator's byte accounting already dedups the re-ack.
+        let mut ep = endpoint(7);
+        let n = notice(2, ModelCodec::DeltaLossless);
+        assert_eq!(ep.handle(&n).unwrap().len(), 1);
+        assert_eq!(ep.duplicate_notices(), 0);
+        for dup in 1..=3 {
+            let replies = ep.handle(&n).unwrap();
+            assert_eq!(replies.len(), 1, "redelivered notice must still be acked");
+            assert_eq!(ep.duplicate_notices(), dup);
+        }
+        // The next round's notice is not a duplicate.
+        assert_eq!(ep.handle(&notice(3, ModelCodec::DeltaLossless)).unwrap().len(), 1);
+        assert_eq!(ep.duplicate_notices(), 3);
+    }
+
+    #[test]
+    fn codec_renegotiation_is_refused_without_a_reply() {
+        let mut ep = endpoint(7);
+        ep.handle(&notice(0, ModelCodec::DeltaLossless)).unwrap();
+        let replies = ep.handle(&notice(1, ModelCodec::F16)).unwrap();
+        assert!(replies.is_empty(), "a renegotiating notice must not be acked");
+        assert_eq!(ep.rejected_renegotiations(), 1);
+        assert_eq!(
+            ep.negotiated_codec(),
+            Some(ModelCodec::DeltaLossless),
+            "the pinned codec must survive the renegotiation attempt"
+        );
+        // Matching notices keep working.
+        assert_eq!(ep.handle(&notice(1, ModelCodec::DeltaLossless)).unwrap().len(), 1);
     }
 }

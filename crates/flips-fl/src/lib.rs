@@ -17,6 +17,9 @@
 //!   FedAdagrad) and job/local-training configuration;
 //! - [`message`] — the wire protocol with exact byte accounting (the
 //!   paper's communication-cost metric);
+//! - [`codec`] — pluggable, per-job negotiated model-payload codecs
+//!   (raw f32, bit-exact XOR-delta compression, opt-in f16) and the
+//!   reference-model state both ends of a wire share;
 //! - [`events`] — the [`Event`]/[`Effect`] vocabulary of the sans-IO
 //!   protocol;
 //! - [`coordinator`] — the aggregator-side protocol state machine
@@ -43,6 +46,7 @@
 //!   of the wire.
 
 pub mod aggregator;
+pub mod codec;
 pub mod config;
 pub mod coordinator;
 pub mod driver;
@@ -57,6 +61,7 @@ pub mod straggler;
 pub mod transport;
 
 pub use aggregator::{FlJob, FlJobConfig, JobParts};
+pub use codec::{CodecMap, ModelCodec, Negotiation, PayloadCodec};
 pub use config::{FlAlgorithm, LocalTrainingConfig};
 pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use driver::{run_lockstep, DriverStats, MultiJobDriver, PartyPool, TimerWheel};
@@ -79,6 +84,10 @@ pub enum FlError {
     Ml(flips_ml::MlError),
     /// A wire message failed to decode.
     Codec(String),
+    /// A model payload's codec tag was corrupt or disagreed with the
+    /// job's negotiated codec — kept distinct from [`FlError::Codec`] so
+    /// drivers can count mismatches separately from generic corruption.
+    CodecMismatch(String),
     /// The round protocol was violated (round opened twice, job driven
     /// past its budget, a message sent in the wrong direction).
     Protocol(String),
@@ -93,6 +102,7 @@ impl std::fmt::Display for FlError {
             FlError::Selection(e) => write!(f, "selection failed: {e}"),
             FlError::Ml(e) => write!(f, "model operation failed: {e}"),
             FlError::Codec(m) => write!(f, "wire codec error: {m}"),
+            FlError::CodecMismatch(m) => write!(f, "model codec mismatch: {m}"),
             FlError::Protocol(m) => write!(f, "protocol violation: {m}"),
             FlError::Transport(m) => write!(f, "transport failure: {m}"),
         }

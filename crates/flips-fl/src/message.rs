@@ -8,7 +8,8 @@
 //! A round exchanges five message kinds:
 //!
 //! - [`WireMessage::SelectionNotice`] — aggregator → party: "you are in
-//!   round `round` of job `job`";
+//!   round `round` of job `job`" (and announces the job's negotiated
+//!   model-payload codec);
 //! - [`WireMessage::GlobalModel`] — aggregator → party: the round's
 //!   global parameters;
 //! - [`WireMessage::LocalUpdate`] — party → aggregator: the trained
@@ -21,12 +22,28 @@
 //! foreign traffic. Update statistics (`mean_loss`, `duration`) travel as
 //! `f64` so an in-process round trip through the protocol is bit-exact.
 //!
+//! Model parameter payloads travel through the job's negotiated
+//! [`ModelCodec`] (see [`crate::codec`]): [`WireMessage::encode`] /
+//! [`WireMessage::decode`] are the raw-codec compatibility pair, while
+//! the hot wire path uses [`WireMessage::encode_into`] (writing into a
+//! caller-owned, reused scratch buffer — no allocation per message) and
+//! [`WireMessage::decode_with`] (resolving the per-job payload codec).
+//!
+//! The byte-accounting helpers ([`WireMessage::wire_size`],
+//! [`global_model_bytes`], …) report the **raw-codec canonical size**:
+//! the paper's communication metric stays codec-independent (and seeded
+//! histories stay bit-identical whichever codec the wire negotiates);
+//! the actually-transmitted bytes per codec are counted by the driver
+//! ([`crate::DriverStats`]).
+//!
 //! (Only the `serde` *traits* are permitted in this workspace — no format
 //! crate — so the codec is hand-rolled on `bytes`.)
 
+use crate::codec::{CodecMap, ModelCodec, PayloadCodec, Role};
 use crate::FlError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Protocol magic, guards against decoding foreign buffers.
 const MAGIC: u32 = 0xF11F_5002;
@@ -40,6 +57,9 @@ const TAG_ABORT: u8 = 5;
 /// magic + tag.
 const HEADER: usize = 4 + 1;
 
+/// Codec tag + parameter count prefixing every params block.
+const PARAMS_HEAD: usize = 1 + 8;
+
 /// A message on the aggregator ↔ party wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WireMessage {
@@ -51,6 +71,9 @@ pub enum WireMessage {
         round: u64,
         /// The selected party.
         party: u64,
+        /// The job's model-payload codec (negotiated once per job; a
+        /// later notice carrying a different codec is refused).
+        codec: ModelCodec,
     },
     /// Aggregator → party: the round's global model.
     GlobalModel {
@@ -58,8 +81,9 @@ pub enum WireMessage {
         job: u64,
         /// Round number.
         round: u64,
-        /// Flat global-model parameters.
-        params: Vec<f32>,
+        /// Flat global-model parameters, shared — one broadcast round
+        /// clones the `Arc`, never the floats.
+        params: Arc<[f32]>,
     },
     /// Party → aggregator: a trained local update.
     LocalUpdate {
@@ -125,25 +149,38 @@ impl WireMessage {
         }
     }
 
-    /// Encodes to the binary wire format.
+    /// Encodes to the binary wire format with the raw payload codec
+    /// (compatibility convenience; the wire path uses
+    /// [`WireMessage::encode_into`] with the job's negotiated codec and
+    /// a reused scratch buffer).
     pub fn encode(&self) -> Bytes {
+        let mut codec = PayloadCodec::new(ModelCodec::Raw, Role::Sender);
         let mut buf = BytesMut::with_capacity(self.wire_size());
+        self.encode_into(&mut codec, &mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the binary wire format to `buf`, encoding model payloads
+    /// through `codec`. The buffer is reserved ahead, so with a reused
+    /// (grow-only) scratch the steady-state encode performs **no heap
+    /// allocation** — the symmetric fix to the decode path's
+    /// allocation-free scalar reads.
+    pub fn encode_into(&self, codec: &mut PayloadCodec, buf: &mut BytesMut) {
+        buf.reserve(self.max_encoded_size(codec.codec()));
         buf.put_u32_le(MAGIC);
         match self {
-            WireMessage::SelectionNotice { job, round, party } => {
+            WireMessage::SelectionNotice { job, round, party, codec: announced } => {
                 buf.put_u8(TAG_NOTICE);
                 buf.put_u64_le(*job);
                 buf.put_u64_le(*round);
                 buf.put_u64_le(*party);
+                buf.put_u8(announced.tag());
             }
             WireMessage::GlobalModel { job, round, params } => {
                 buf.put_u8(TAG_GLOBAL);
                 buf.put_u64_le(*job);
                 buf.put_u64_le(*round);
-                buf.put_u64_le(params.len() as u64);
-                for &p in params {
-                    buf.put_f32_le(p);
-                }
+                codec.encode_global(*round, params, buf);
             }
             WireMessage::LocalUpdate {
                 job,
@@ -161,10 +198,7 @@ impl WireMessage {
                 buf.put_u64_le(*num_samples);
                 buf.put_f64_le(*mean_loss);
                 buf.put_f64_le(*duration);
-                buf.put_u64_le(params.len() as u64);
-                for &p in params {
-                    buf.put_f32_le(p);
-                }
+                codec.encode_update(params, buf);
             }
             WireMessage::Heartbeat { job, round, party } => {
                 buf.put_u8(TAG_HEARTBEAT);
@@ -181,19 +215,38 @@ impl WireMessage {
                 buf.put_slice(reason.as_bytes());
             }
         }
-        buf.freeze()
     }
 
-    /// Decodes from the binary wire format.
+    /// Decodes from the binary wire format, resolving model payloads
+    /// with the raw codec (compatibility convenience for single-job
+    /// raw-wire callers; the multiplexed drivers use
+    /// [`WireMessage::decode_with`]).
     ///
     /// Decoding never panics: bad magic, unknown tags, truncation,
     /// overlong length prefixes and invalid UTF-8 all surface as
-    /// [`FlError::Codec`].
+    /// [`FlError::Codec`]; a non-raw payload codec tag surfaces as
+    /// [`FlError::CodecMismatch`].
     ///
     /// # Errors
     ///
-    /// Returns [`FlError::Codec`] on any malformed buffer.
-    pub fn decode(mut buf: Bytes) -> Result<Self, FlError> {
+    /// Returns [`FlError::Codec`] / [`FlError::CodecMismatch`] on any
+    /// malformed buffer.
+    pub fn decode(buf: Bytes) -> Result<Self, FlError> {
+        let mut map = CodecMap::new(Role::Receiver);
+        Self::decode_with(buf, &mut map)
+    }
+
+    /// Decodes from the binary wire format, resolving each model payload
+    /// through the per-job codec state in `codecs` (jobs not registered
+    /// there decode with the raw fallback).
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Codec`] on any malformed buffer;
+    /// [`FlError::CodecMismatch`] when a model payload's codec tag is
+    /// corrupt or disagrees with the job's negotiated codec. Neither
+    /// touches any round state — drivers count and drop.
+    pub fn decode_with(mut buf: Bytes, codecs: &mut CodecMap) -> Result<Self, FlError> {
         let need = |buf: &Bytes, n: usize| -> Result<(), FlError> {
             if buf.remaining() < n {
                 Err(FlError::Codec(format!("truncated: need {n}, have {}", buf.remaining())))
@@ -220,32 +273,31 @@ impl WireMessage {
         let tag = buf.get_u8();
         let msg = match tag {
             TAG_NOTICE => {
-                need(&buf, 8 * 3)?;
+                need(&buf, 8 * 3 + 1)?;
                 let job = buf.get_u64_le();
                 let round = buf.get_u64_le();
                 let party = buf.get_u64_le();
-                Ok(WireMessage::SelectionNotice { job, round, party })
+                let codec = ModelCodec::from_tag(buf.get_u8()).ok_or_else(|| {
+                    FlError::CodecMismatch("selection notice carries a corrupt codec tag".into())
+                })?;
+                Ok(WireMessage::SelectionNotice { job, round, party, codec })
             }
             TAG_GLOBAL => {
-                need(&buf, 8 * 3)?;
+                need(&buf, 8 * 2)?;
                 let job = buf.get_u64_le();
                 let round = buf.get_u64_le();
-                let raw_len = buf.get_u64_le();
-                let len = need_elems(&buf, raw_len, 4)?;
-                let params = (0..len).map(|_| buf.get_f32_le()).collect();
+                let params = codecs.for_job(job).decode_global(round, &mut buf)?;
                 Ok(WireMessage::GlobalModel { job, round, params })
             }
             TAG_UPDATE => {
-                need(&buf, 8 * 7)?;
+                need(&buf, 8 * 6)?;
                 let job = buf.get_u64_le();
                 let round = buf.get_u64_le();
                 let party = buf.get_u64_le();
                 let num_samples = buf.get_u64_le();
                 let mean_loss = buf.get_f64_le();
                 let duration = buf.get_f64_le();
-                let raw_len = buf.get_u64_le();
-                let len = need_elems(&buf, raw_len, 4)?;
-                let params = (0..len).map(|_| buf.get_f32_le()).collect();
+                let params = codecs.for_job(job).decode_update(&mut buf)?;
                 Ok(WireMessage::LocalUpdate {
                     job,
                     round,
@@ -288,7 +340,10 @@ impl WireMessage {
         Ok(msg)
     }
 
-    /// Exact encoded size in bytes.
+    /// Exact encoded size in bytes **under the raw payload codec** — the
+    /// canonical byte-accounting size (codec-independent, so histories
+    /// stay comparable across wire codecs). For the raw codec this is
+    /// exactly `encode().len()`.
     pub fn wire_size(&self) -> usize {
         match self {
             WireMessage::SelectionNotice { .. } => selection_notice_bytes(),
@@ -296,6 +351,20 @@ impl WireMessage {
             WireMessage::LocalUpdate { params, .. } => local_update_bytes(params.len()),
             WireMessage::Heartbeat { .. } => heartbeat_bytes(),
             WireMessage::Abort { reason, .. } => HEADER + 8 * 3 + 4 + reason.len(),
+        }
+    }
+
+    /// Worst-case encoded size under `codec` (what [`Self::encode_into`]
+    /// reserves ahead).
+    fn max_encoded_size(&self, codec: ModelCodec) -> usize {
+        match self {
+            WireMessage::GlobalModel { params, .. } => {
+                HEADER + 8 * 2 + codec.max_params_block_bytes(params.len())
+            }
+            WireMessage::LocalUpdate { params, .. } => {
+                HEADER + 8 * 3 + 8 + 8 + 8 + codec.max_params_block_bytes(params.len())
+            }
+            other => other.wire_size(),
         }
     }
 }
@@ -311,23 +380,62 @@ pub const FRAME_HEADER: usize = 8;
 
 /// Wraps an encoded message into a transport frame: an 8-byte
 /// little-endian destination followed by the [`WireMessage::encode`]
-/// bytes. The destination is a party id on the downlink and
-/// [`AGGREGATOR_DEST`] on the uplink; the *source* needs no header field
-/// because every uplink message kind already carries its sender.
+/// bytes (raw payload codec). The destination is a party id on the
+/// downlink and [`AGGREGATOR_DEST`] on the uplink; the *source* needs no
+/// header field because every uplink message kind already carries its
+/// sender.
 pub fn frame(dest: u64, msg: &WireMessage) -> Bytes {
+    let mut codec = PayloadCodec::new(ModelCodec::Raw, Role::Sender);
     let mut buf = BytesMut::with_capacity(FRAME_HEADER + msg.wire_size());
-    buf.put_u64_le(dest);
-    buf.put_slice(msg.encode().as_slice());
+    frame_into(dest, msg, &mut codec, &mut buf);
     buf.freeze()
 }
 
-/// Splits a transport frame into its destination and decoded message.
+/// Builds a transport frame into a caller-owned scratch buffer,
+/// encoding model payloads through the job's `codec`. Clears `out`
+/// first; the scratch is grow-only, so the steady-state frame path
+/// allocates nothing.
+pub fn frame_into(dest: u64, msg: &WireMessage, codec: &mut PayloadCodec, out: &mut BytesMut) {
+    out.clear();
+    out.reserve(FRAME_HEADER);
+    out.put_u64_le(dest);
+    msg.encode_into(codec, out);
+}
+
+/// Peeks the job id of a framed message without decoding it: every
+/// message kind carries its job at the same fixed offset
+/// (`dest ‖ magic ‖ tag ‖ job`). Returns `None` for frames too short to
+/// hold one. Drivers use this to attribute an undecodable frame (e.g. a
+/// codec mismatch) to the right counter — unknown job vs bad payload.
+pub fn frame_job(frame: &Bytes) -> Option<u64> {
+    let bytes = frame.as_slice();
+    let job = bytes.get(FRAME_HEADER + HEADER..FRAME_HEADER + HEADER + 8)?;
+    Some(u64::from_le_bytes(job.try_into().expect("8 bytes")))
+}
+
+/// Splits a transport frame into its destination and decoded message
+/// (raw payload codec; the multiplexed drivers use [`deframe_with`]).
 ///
 /// # Errors
 ///
 /// Returns [`FlError::Codec`] on a frame too short for its header or on
 /// any payload the message decoder rejects.
-pub fn deframe(mut frame: Bytes) -> Result<(u64, WireMessage), FlError> {
+pub fn deframe(frame: Bytes) -> Result<(u64, WireMessage), FlError> {
+    let mut map = CodecMap::new(Role::Receiver);
+    deframe_with(frame, &mut map)
+}
+
+/// Splits a transport frame into its destination and decoded message,
+/// resolving model payloads through the per-job codec state in `codecs`.
+///
+/// # Errors
+///
+/// As [`WireMessage::decode_with`], plus [`FlError::Codec`] on a frame
+/// shorter than its header.
+pub fn deframe_with(
+    mut frame: Bytes,
+    codecs: &mut CodecMap,
+) -> Result<(u64, WireMessage), FlError> {
     if frame.remaining() < FRAME_HEADER {
         return Err(FlError::Codec(format!(
             "frame of {} bytes is shorter than its header",
@@ -335,23 +443,25 @@ pub fn deframe(mut frame: Bytes) -> Result<(u64, WireMessage), FlError> {
         )));
     }
     let dest = frame.get_u64_le();
-    Ok((dest, WireMessage::decode(frame)?))
+    Ok((dest, WireMessage::decode_with(frame, codecs)?))
 }
 
 /// Wire size of one selection notice.
 pub fn selection_notice_bytes() -> usize {
-    HEADER + 8 * 3
+    HEADER + 8 * 3 + 1
 }
 
-/// Wire size of one global-model broadcast for a model of `num_params`
-/// parameters (for communication accounting without building messages).
+/// Raw-codec wire size of one global-model broadcast for a model of
+/// `num_params` parameters (for communication accounting without
+/// building messages).
 pub fn global_model_bytes(num_params: usize) -> usize {
-    HEADER + 8 * 3 + num_params * 4
+    HEADER + 8 * 2 + PARAMS_HEAD + num_params * 4
 }
 
-/// Wire size of one local update for a model of `num_params` parameters.
+/// Raw-codec wire size of one local update for a model of `num_params`
+/// parameters.
 pub fn local_update_bytes(num_params: usize) -> usize {
-    HEADER + 8 * 7 + num_params * 4
+    HEADER + 8 * 3 + 8 + 8 + 8 + PARAMS_HEAD + num_params * 4
 }
 
 /// Wire size of one heartbeat.
@@ -377,8 +487,13 @@ mod tests {
 
     fn one_of_each() -> [WireMessage; 5] {
         [
-            WireMessage::SelectionNotice { job: 1, round: 2, party: 3 },
-            WireMessage::GlobalModel { job: 1, round: 2, params: vec![0.5; 10] },
+            WireMessage::SelectionNotice {
+                job: 1,
+                round: 2,
+                party: 3,
+                codec: ModelCodec::DeltaLossless,
+            },
+            WireMessage::GlobalModel { job: 1, round: 2, params: vec![0.5; 10].into() },
             sample_update(),
             WireMessage::Heartbeat { job: 1, round: 2, party: 3 },
             WireMessage::Abort { job: 1, round: 2, party: 3, reason: "deadline".into() },
@@ -395,7 +510,7 @@ mod tests {
     #[test]
     fn wire_size_matches_encoding() {
         let mut msgs = one_of_each().to_vec();
-        msgs.push(WireMessage::GlobalModel { job: 0, round: 9, params: vec![] });
+        msgs.push(WireMessage::GlobalModel { job: 0, round: 9, params: Vec::new().into() });
         msgs.push(WireMessage::Abort { job: 0, round: 0, party: 0, reason: String::new() });
         for msg in msgs {
             assert_eq!(msg.encode().len(), msg.wire_size(), "{msg:?}");
@@ -404,13 +519,81 @@ mod tests {
 
     #[test]
     fn size_helpers_match_messages() {
-        let msg = WireMessage::GlobalModel { job: 4, round: 0, params: vec![0.0; 17] };
+        let msg = WireMessage::GlobalModel { job: 4, round: 0, params: vec![0.0; 17].into() };
         assert_eq!(global_model_bytes(17), msg.wire_size());
         assert_eq!(local_update_bytes(4), sample_update().wire_size());
-        let msg = WireMessage::SelectionNotice { job: 1, round: 1, party: 1 };
+        let msg =
+            WireMessage::SelectionNotice { job: 1, round: 1, party: 1, codec: ModelCodec::Raw };
         assert_eq!(selection_notice_bytes(), msg.wire_size());
         let msg = WireMessage::Heartbeat { job: 1, round: 1, party: 1 };
         assert_eq!(heartbeat_bytes(), msg.wire_size());
+    }
+
+    #[test]
+    fn notice_codec_survives_the_wire() {
+        for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::F16] {
+            let msg = WireMessage::SelectionNotice { job: 1, round: 0, party: 2, codec };
+            match WireMessage::decode(msg.encode()).unwrap() {
+                WireMessage::SelectionNotice { codec: got, .. } => assert_eq!(got, codec),
+                other => panic!("wrong variant {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn notice_with_corrupt_codec_tag_is_rejected() {
+        let msg =
+            WireMessage::SelectionNotice { job: 1, round: 0, party: 2, codec: ModelCodec::Raw };
+        let mut bytes = msg.encode().to_vec();
+        let n = bytes.len();
+        bytes[n - 1] = 0x5A;
+        assert!(matches!(WireMessage::decode(Bytes::from(bytes)), Err(FlError::CodecMismatch(_))));
+    }
+
+    #[test]
+    fn non_raw_payload_needs_negotiated_context() {
+        // A delta-encoded model frame cannot decode through the
+        // raw-compatibility path — it must surface as a codec mismatch,
+        // not as garbage parameters.
+        let msg = WireMessage::GlobalModel { job: 7, round: 0, params: vec![1.0; 8].into() };
+        let mut codec = PayloadCodec::new(ModelCodec::DeltaLossless, Role::Sender);
+        let mut buf = BytesMut::new();
+        msg.encode_into(&mut codec, &mut buf);
+        assert!(matches!(WireMessage::decode(buf.freeze()), Err(FlError::CodecMismatch(_))));
+    }
+
+    #[test]
+    fn negotiated_delta_wire_round_trips_bit_exactly() {
+        let mut tx = CodecMap::new(Role::Sender);
+        let mut rx = CodecMap::new(Role::Receiver);
+        tx.register(7, ModelCodec::DeltaLossless);
+        rx.register(7, ModelCodec::DeltaLossless);
+        let r0 = WireMessage::GlobalModel {
+            job: 7,
+            round: 0,
+            params: vec![1.0, f32::NAN, -0.0, 3.5].into(),
+        };
+        let r1 = WireMessage::GlobalModel {
+            job: 7,
+            round: 1,
+            params: vec![1.0625, f32::NAN, 0.0, 3.4375].into(),
+        };
+        for msg in [&r0, &r1] {
+            let mut buf = BytesMut::new();
+            frame_into(5, msg, tx.for_job(7), &mut buf);
+            let (dest, decoded) = deframe_with(buf.freeze(), &mut rx).unwrap();
+            assert_eq!(dest, 5);
+            let (
+                WireMessage::GlobalModel { params: want, .. },
+                WireMessage::GlobalModel { params: got, .. },
+            ) = (msg, &decoded)
+            else {
+                panic!("wrong variant {decoded:?}")
+            };
+            let want: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+            let got: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(want, got);
+        }
     }
 
     #[test]
@@ -453,8 +636,10 @@ mod tests {
         // The decoder rejects trailing bytes, so a flipped tag cannot
         // silently re-parse a params-carrying message as a shorter
         // fixed-size variant (e.g. LocalUpdate → SelectionNotice).
-        let payload_bearing =
-            [sample_update(), WireMessage::GlobalModel { job: 1, round: 2, params: vec![1.0; 8] }];
+        let payload_bearing = [
+            sample_update(),
+            WireMessage::GlobalModel { job: 1, round: 2, params: vec![1.0; 8].into() },
+        ];
         for msg in payload_bearing {
             let bytes = msg.encode().to_vec();
             for bit in 0..8 {
@@ -512,8 +697,9 @@ mod tests {
     fn rejects_hostile_length_prefix_without_allocation() {
         // A params count of u64::MAX must fail cleanly (no overflow, no
         // attempted 64 EiB allocation).
-        let mut bytes =
-            WireMessage::GlobalModel { job: 1, round: 1, params: vec![] }.encode().to_vec();
+        let mut bytes = WireMessage::GlobalModel { job: 1, round: 1, params: Vec::new().into() }
+            .encode()
+            .to_vec();
         let len_off = bytes.len() - 8;
         bytes[len_off..].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(WireMessage::decode(Bytes::from(bytes)).is_err());
@@ -532,7 +718,27 @@ mod tests {
 
     #[test]
     fn empty_params_are_legal() {
-        let msg = WireMessage::GlobalModel { job: 0, round: 1, params: vec![] };
+        let msg = WireMessage::GlobalModel { job: 0, round: 1, params: Vec::new().into() };
         assert_eq!(WireMessage::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn frame_into_reuses_the_scratch_without_reallocating() {
+        // The zero-copy contract on the hot path: after the first
+        // (warm-up) frame, re-framing messages of the same shape moves
+        // neither the scratch buffer nor its capacity.
+        let mut codec = PayloadCodec::new(ModelCodec::Raw, Role::Sender);
+        let mut scratch = BytesMut::new();
+        let msg = WireMessage::GlobalModel { job: 3, round: 0, params: vec![0.5; 4096].into() };
+        frame_into(1, &msg, &mut codec, &mut scratch);
+        let cap = scratch.capacity();
+        let ptr = scratch.as_slice().as_ptr();
+        for round in 1..5u64 {
+            let msg = WireMessage::GlobalModel { job: 3, round, params: vec![0.25; 4096].into() };
+            frame_into(1, &msg, &mut codec, &mut scratch);
+            assert_eq!(scratch.capacity(), cap, "scratch grew on a same-shape message");
+            assert_eq!(scratch.as_slice().as_ptr(), ptr, "scratch moved");
+            assert_eq!(scratch.len(), FRAME_HEADER + msg.wire_size());
+        }
     }
 }

@@ -23,7 +23,7 @@
 //! reproducible.
 
 use crate::FlError;
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::sync::{Arc, Mutex};
@@ -37,11 +37,16 @@ pub const MAX_FRAME_BYTES: usize = 256 << 20;
 pub trait Transport {
     /// Queues one frame for the peer.
     ///
+    /// Takes a borrowed frame so senders can encode into a reused
+    /// scratch buffer: a transport that must own the bytes (the
+    /// in-memory queue) copies once here, while a stream transport
+    /// writes them straight through with no allocation at all.
+    ///
     /// # Errors
     ///
     /// Returns [`FlError::Transport`] when the underlying channel cannot
     /// accept the frame (closed pipe, I/O error).
-    fn send(&mut self, frame: Bytes) -> Result<(), FlError>;
+    fn send(&mut self, frame: &[u8]) -> Result<(), FlError>;
 
     /// Receives the next complete frame, or `None` when nothing is
     /// currently available (never blocks).
@@ -94,11 +99,11 @@ impl MemoryTransport {
 }
 
 impl Transport for MemoryTransport {
-    fn send(&mut self, frame: Bytes) -> Result<(), FlError> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), FlError> {
         self.outbound
             .lock()
             .map_err(|_| FlError::Transport("memory channel poisoned".into()))?
-            .push_back(frame);
+            .push_back(Bytes::from(frame.to_vec()));
         Ok(())
     }
 
@@ -187,7 +192,7 @@ impl<S: Read + Write> StreamTransport<S> {
 }
 
 impl<S: Read + Write> Transport for StreamTransport<S> {
-    fn send(&mut self, frame: Bytes) -> Result<(), FlError> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), FlError> {
         // Mirror the receive-side cap before anything hits the wire: an
         // oversized frame would otherwise be fatal on the *peer's*
         // try_recv (poisoning every multiplexed job from the wrong side
@@ -201,7 +206,7 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
         }
         self.stream
             .write_all(&(frame.len() as u32).to_le_bytes())
-            .and_then(|()| self.stream.write_all(frame.as_slice()))
+            .and_then(|()| self.stream.write_all(frame))
             .and_then(|()| self.stream.flush())
             .map_err(|e| FlError::Transport(format!("stream write failed: {e}")))
     }
@@ -232,8 +237,7 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
                 Ok(None) // frame still in flight
             };
         }
-        let mut frame = BytesMut::with_capacity(len);
-        frame.put_slice(&buffered[4..4 + len]);
+        let frame = Bytes::from(buffered[4..4 + len].to_vec());
         self.cursor += 4 + len;
         if self.cursor == self.pending.len() {
             self.pending.clear();
@@ -246,7 +250,7 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
             self.pending.drain(..self.cursor);
             self.cursor = 0;
         }
-        Ok(Some(frame.freeze()))
+        Ok(Some(frame))
     }
 }
 
@@ -330,9 +334,9 @@ mod tests {
     #[test]
     fn memory_pair_delivers_in_order_both_directions() {
         let (mut a, mut b) = MemoryTransport::pair();
-        a.send(frame(0, &msg(0))).unwrap();
-        a.send(frame(1, &msg(1))).unwrap();
-        b.send(frame(AGGREGATOR_DEST, &msg(2))).unwrap();
+        a.send(&frame(0, &msg(0))).unwrap();
+        a.send(&frame(1, &msg(1))).unwrap();
+        b.send(&frame(AGGREGATOR_DEST, &msg(2))).unwrap();
         let (d0, m0) = deframe(b.try_recv().unwrap().unwrap()).unwrap();
         let (d1, m1) = deframe(b.try_recv().unwrap().unwrap()).unwrap();
         assert_eq!((d0, m0), (0, msg(0)));
@@ -346,7 +350,7 @@ mod tests {
     fn memory_clone_shares_the_link() {
         let (mut a, b) = MemoryTransport::pair();
         let mut injector = b.clone();
-        injector.send(frame(AGGREGATOR_DEST, &msg(7))).unwrap();
+        injector.send(&frame(AGGREGATOR_DEST, &msg(7))).unwrap();
         assert_eq!(b.pending(), 0, "injection is peer-bound, not self-bound");
         let (_, m) = deframe(a.try_recv().unwrap().unwrap()).unwrap();
         assert_eq!(m, msg(7));
@@ -357,9 +361,9 @@ mod tests {
         let (a, b) = duplex();
         let mut tx = StreamTransport::new(a);
         let mut rx = StreamTransport::new(b);
-        let big = WireMessage::GlobalModel { job: 3, round: 0, params: vec![0.25; 10_000] };
-        tx.send(frame(5, &big)).unwrap();
-        tx.send(frame(6, &msg(6))).unwrap();
+        let big = WireMessage::GlobalModel { job: 3, round: 0, params: vec![0.25; 10_000].into() };
+        tx.send(&frame(5, &big)).unwrap();
+        tx.send(&frame(6, &msg(6))).unwrap();
         let (d, m) = deframe(rx.try_recv().unwrap().unwrap()).unwrap();
         assert_eq!((d, &m), (5, &big));
         let (d, m) = deframe(rx.try_recv().unwrap().unwrap()).unwrap();
@@ -488,7 +492,7 @@ mod tests {
         server.set_nonblocking(true).unwrap();
         let mut tx = StreamTransport::new(client);
         let mut rx = StreamTransport::new(server);
-        tx.send(frame(1, &msg(1))).unwrap();
+        tx.send(&frame(1, &msg(1))).unwrap();
         // A nonblocking socket may need a few polls before delivery.
         for _ in 0..1000 {
             if let Some(f) = rx.try_recv().unwrap() {

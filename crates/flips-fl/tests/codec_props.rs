@@ -1,0 +1,172 @@
+//! Property tests of the model-payload codecs.
+//!
+//! The load-bearing claim is **bit-exactness**: `DeltaLossless` must
+//! reproduce arbitrary `f32` vectors — NaN payloads, ±0.0, subnormals,
+//! infinities, any bit pattern at all — exactly, whatever reference
+//! model the two ends share. Everything downstream (golden-history
+//! pinning over the compressed wire) rests on this.
+
+use bytes::Buf;
+use flips_fl::codec::{f16_bits_to_f32, f32_to_f16_bits, ModelCodec, PayloadCodec, Role};
+use flips_fl::FlError;
+use proptest::prelude::*;
+
+/// Any f32 bit pattern, NaNs and subnormals included.
+fn any_f32_bits() -> impl Strategy<Value = f32> {
+    (0u64..=u32::MAX as u64).prop_map(|bits| f32::from_bits(bits as u32))
+}
+
+/// Vectors biased toward the hostile corners: every strategy draw mixes
+/// arbitrary bit patterns with the named special values.
+fn hostile_vec() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        (any_f32_bits(), 0u64..8).prop_map(|(x, pick)| match pick {
+            0 => f32::NAN,
+            1 => -0.0,
+            2 => 0.0,
+            3 => f32::from_bits(1),           // smallest subnormal
+            4 => f32::from_bits(0x8000_0001), // negative subnormal
+            5 => f32::INFINITY,
+            _ => x,
+        }),
+        0..128,
+    )
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn sender(codec: ModelCodec) -> PayloadCodec {
+    PayloadCodec::new(codec, Role::Sender)
+}
+
+fn receiver(codec: ModelCodec) -> PayloadCodec {
+    PayloadCodec::new(codec, Role::Receiver)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DeltaLossless round-trips arbitrary f32 vectors bit-exactly —
+    /// both the inline first frame and the XOR-delta frames against an
+    /// equally arbitrary reference.
+    #[test]
+    fn delta_round_trips_arbitrary_vectors_bit_exactly(
+        reference in hostile_vec(),
+        payload_bits in proptest::collection::vec(0u64..=u32::MAX as u64, 0..128),
+    ) {
+        let mut tx = sender(ModelCodec::DeltaLossless);
+        let mut rx = receiver(ModelCodec::DeltaLossless);
+
+        // Establish the (arbitrary, NaN-laden) reference on both ends.
+        let mut frame0 = bytes::BytesMut::new();
+        tx.encode_global(0, &reference, &mut frame0);
+        let got = rx.decode_global(0, &mut frame0.freeze()).unwrap();
+        prop_assert_eq!(bits(&got), bits(&reference));
+
+        // A payload of the same length deltas against it; any other
+        // length falls back to inline. Both must be bit-exact.
+        let payload: Vec<f32> = payload_bits
+            .iter()
+            .map(|&b| f32::from_bits(b as u32))
+            .chain(reference.iter().copied().map(|r| f32::from_bits(r.to_bits() ^ 0x8000_0000)))
+            .take(reference.len().max(payload_bits.len()))
+            .collect();
+        let mut frame1 = bytes::BytesMut::new();
+        tx.encode_update(&payload, &mut frame1);
+        let mut encoded = frame1.freeze();
+        let decoded = rx.decode_update(&mut encoded).unwrap();
+        prop_assert_eq!(encoded.remaining(), 0, "block not consumed exactly");
+        prop_assert_eq!(bits(&decoded), bits(&payload));
+    }
+
+    /// A multi-round conversation stays in sync: every global advances
+    /// the reference on both ends, every update deltas against it, and
+    /// every payload survives bit-for-bit.
+    #[test]
+    fn delta_conversation_stays_bit_exact_across_rounds(
+        rounds in proptest::collection::vec(hostile_vec(), 1..5),
+    ) {
+        let mut tx = sender(ModelCodec::DeltaLossless);
+        let mut rx = receiver(ModelCodec::DeltaLossless);
+        for (round, global) in rounds.iter().enumerate() {
+            let mut down = bytes::BytesMut::new();
+            tx.encode_global(round as u64, global, &mut down);
+            let got = rx.decode_global(round as u64, &mut down.freeze()).unwrap();
+            prop_assert_eq!(bits(&got), bits(global), "round {} global", round);
+
+            // The party trains and replies with a perturbed update.
+            let update: Vec<f32> =
+                global.iter().map(|x| f32::from_bits(x.to_bits().wrapping_add(3))).collect();
+            let mut up = bytes::BytesMut::new();
+            rx.encode_update(&update, &mut up);
+            let decoded = tx.decode_update(&mut up.freeze()).unwrap();
+            prop_assert_eq!(bits(&decoded), bits(&update), "round {} update", round);
+        }
+    }
+
+    /// Corrupting any single byte of a delta params block never panics:
+    /// it either fails cleanly or decodes to some well-formed vector
+    /// (payload bits are not self-describing) — and a codec-tag flip is
+    /// reported as the distinct mismatch error.
+    #[test]
+    fn corrupt_delta_blocks_never_panic(
+        reference in proptest::collection::vec(any_f32_bits(), 1..64),
+        flip_at in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let mut tx = sender(ModelCodec::DeltaLossless);
+        let mut rx = receiver(ModelCodec::DeltaLossless);
+        let mut frame0 = bytes::BytesMut::new();
+        tx.encode_global(0, &reference, &mut frame0);
+        rx.decode_global(0, &mut frame0.freeze()).unwrap();
+        let mut frame1 = bytes::BytesMut::new();
+        tx.encode_update(&reference, &mut frame1);
+        let mut corrupted = frame1.freeze().to_vec();
+        let idx = flip_at % corrupted.len();
+        corrupted[idx] ^= xor;
+        let result = rx.decode_update(&mut bytes::Bytes::from(corrupted));
+        if idx == 0 {
+            prop_assert!(
+                matches!(result, Err(FlError::CodecMismatch(_))),
+                "codec-tag corruption must surface as a mismatch"
+            );
+        }
+        // Any other corruption: Ok or Err are both acceptable, reaching
+        // here without a panic is the property.
+    }
+
+    /// The f16 grid is a fixed point: encode∘decode is the identity on
+    /// values already representable in half precision, so a second
+    /// quantization pass is free of further loss.
+    #[test]
+    fn f16_quantization_is_idempotent(v in hostile_vec()) {
+        let mut tx = sender(ModelCodec::F16);
+        let mut rx = receiver(ModelCodec::F16);
+        let mut first = bytes::BytesMut::new();
+        tx.encode_update(&v, &mut first);
+        let once = rx.decode_update(&mut first.freeze()).unwrap();
+        let mut second = bytes::BytesMut::new();
+        tx.encode_update(&once, &mut second);
+        let twice = rx.decode_update(&mut second.freeze()).unwrap();
+        for (a, b) in once.iter().zip(&twice) {
+            if a.is_nan() {
+                prop_assert!(b.is_nan());
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Scalar f16 conversion: finite halves survive a full round trip
+    /// exactly, and every f32 maps to a half within half-ULP-correct
+    /// distance (monotone rounding sanity).
+    #[test]
+    fn f16_scalar_round_trip(h in 0u64..0x7C00u64) {
+        let h = h as u16;
+        prop_assert_eq!(f32_to_f16_bits(f16_bits_to_f32(h)), h);
+        let neg = h | 0x8000;
+        prop_assert_eq!(f32_to_f16_bits(f16_bits_to_f32(neg)), neg);
+    }
+}

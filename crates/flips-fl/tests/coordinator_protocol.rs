@@ -6,6 +6,7 @@
 
 use flips_data::dataset::balanced_test_set;
 use flips_data::DatasetProfile;
+use flips_fl::codec::ModelCodec;
 use flips_fl::config::FlAlgorithm;
 use flips_fl::coordinator::{Coordinator, CoordinatorConfig};
 use flips_fl::events::{Effect, Event, RejectReason};
@@ -55,6 +56,7 @@ fn coordinator(rounds: usize, cohort: Vec<PartyId>) -> Coordinator {
             rounds,
             parties_per_round: cohort.len().max(1),
             sketch_dim: 8,
+            codec: ModelCodec::Raw,
             seed: 7,
         },
         8,
@@ -94,7 +96,7 @@ fn open_round_dispatches_notice_and_model_per_party() {
     assert_eq!(effects.len(), 6, "one notice + one model per party");
     for (i, &p) in [1usize, 4, 6].iter().enumerate() {
         match &effects[2 * i] {
-            Effect::Send { to, msg: WireMessage::SelectionNotice { job, round, party } } => {
+            Effect::Send { to, msg: WireMessage::SelectionNotice { job, round, party, .. } } => {
                 assert_eq!((*to, *job, *round, *party), (p, JOB, 0, p as u64));
             }
             other => panic!("expected SelectionNotice, got {other:?}"),
@@ -214,7 +216,7 @@ fn foreign_and_malformed_updates_bounce() {
     assert_eq!(rejection(&effects), Some(RejectReason::WrongModelSize));
 
     // A party echoing the aggregator's own message back.
-    let echo = WireMessage::GlobalModel { job: JOB, round: 0, params: vec![0.0; dim] };
+    let echo = WireMessage::GlobalModel { job: JOB, round: 0, params: vec![0.0; dim].into() };
     let effects = c.handle(Event::UpdateReceived(echo)).unwrap();
     assert_eq!(rejection(&effects), Some(RejectReason::WrongDirection));
 
@@ -344,6 +346,7 @@ fn selector_feedback_flows_through_round_close() {
             rounds: 2,
             parties_per_round: 2,
             sketch_dim: 8,
+            codec: ModelCodec::Raw,
             seed: 7,
         },
         8,

@@ -1,6 +1,7 @@
 //! Property-based tests of the FL runtime: wire-codec round-trips,
 //! aggregation invariants, straggler-injection bounds.
 
+use flips_fl::codec::ModelCodec;
 use flips_fl::message::WireMessage;
 use flips_fl::party::LocalUpdate;
 use flips_fl::server::weighted_average;
@@ -23,8 +24,17 @@ fn any_message() -> impl Strategy<Value = WireMessage> {
         0usize..24,
     )
         .prop_map(|(kind, job, round, party, params, reason_len)| match kind {
-            0 => WireMessage::SelectionNotice { job, round, party },
-            1 => WireMessage::GlobalModel { job, round, params },
+            0 => WireMessage::SelectionNotice {
+                job,
+                round,
+                party,
+                codec: match party % 3 {
+                    0 => ModelCodec::Raw,
+                    1 => ModelCodec::DeltaLossless,
+                    _ => ModelCodec::F16,
+                },
+            },
+            1 => WireMessage::GlobalModel { job, round, params: params.into() },
             2 => WireMessage::LocalUpdate {
                 job,
                 round,

@@ -37,10 +37,13 @@ impl Clock for PacedClock {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Each job negotiates its own model-payload codec on the shared
+    // wire: alpha stays on the raw default, bravo compresses losslessly,
+    // carol opts into lossy f16.
     let configs = [
-        ("alpha", SelectorKind::Flips, 0.00, 43u64, 1u64),
-        ("bravo", SelectorKind::Oort, 0.25, 44, 2),
-        ("carol", SelectorKind::Random, 0.25, 45, 3),
+        ("alpha", SelectorKind::Flips, 0.00, 43u64, 1u64, ModelCodec::Raw),
+        ("bravo", SelectorKind::Oort, 0.25, 44, 2, ModelCodec::DeltaLossless),
+        ("carol", SelectorKind::Random, 0.25, 45, 3, ModelCodec::F16),
     ];
 
     let (agg_pipe, party_pipe) = duplex();
@@ -49,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("registering jobs on one serialized link:");
     let mut ids = Vec::new();
-    for (name, selector, straggler_rate, seed, ticks) in configs {
+    for (name, selector, straggler_rate, seed, ticks, codec) in configs {
         let (job, meta) = SimulationBuilder::new(DatasetProfile::femnist())
             .parties(15)
             .rounds(8)
@@ -58,6 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .straggler_rate(straggler_rate)
             .clustering_restarts(4)
             .test_per_class(10)
+            .codec(codec)
             .seed(seed)
             .build()?;
         let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
@@ -69,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pool.add_job(id, endpoints);
         println!(
             "  job {name}: id {id:#018x}, {} parties, {:?} selection, {}% stragglers, \
-             deadline every {ticks} tick(s)",
+             deadline every {ticks} tick(s), {codec} payloads",
             meta.num_parties,
             selector,
             (straggler_rate * 100.0) as u32,
@@ -82,18 +86,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = driver.stats();
     println!(
-        "done at virtual tick {}: {} frames down, {} frames up, {} rejected\n",
+        "done at virtual tick {}: {} frames down ({:.2} MiB), {} frames up ({:.2} MiB), \
+         {} rejected\n",
         driver.tick(),
         stats.frames_sent,
+        stats.bytes_sent as f64 / (1024.0 * 1024.0),
         stats.frames_received,
+        stats.bytes_received as f64 / (1024.0 * 1024.0),
         stats.rejected_messages
     );
 
-    println!("job    rounds  peak-acc  stragglers  wire-MiB");
+    println!("job    codec           rounds  peak-acc  stragglers  accounted-MiB");
     for (name, id) in &ids {
         let history = driver.history(*id).expect("job ran");
+        let codec = driver.codec_of(*id).expect("registered");
         println!(
-            "{name:6} {:6}  {:8.4}  {:10}  {:8.2}",
+            "{name:6} {:14} {:6}  {:8.4}  {:10}  {:13.2}",
+            codec.label(),
             history.len(),
             history.peak_accuracy(),
             history.total_stragglers(),

@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rounds: 3,
             parties_per_round: 3,
             sketch_dim: 16,
+            codec: ModelCodec::Raw,
             seed,
         },
         parties,

@@ -119,6 +119,20 @@ impl Bytes {
         }
     }
 
+    /// Splits off the first `n` unconsumed bytes as a shared view,
+    /// advancing this cursor past them — a zero-copy alternative to
+    /// [`Buf::copy_take`] for length-prefixed payload sections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "buffer underflow: need {n}, have {}", self.len());
+        let out = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + n };
+        self.start += n;
+        out
+    }
+
     /// Copies the unconsumed view into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
@@ -234,15 +248,63 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Bytes the buffer can hold before reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reserves room for at least `additional` more bytes — encoders
+    /// reserve a message's full size ahead so the `put_*` stream below
+    /// never reallocates mid-message (grow-only, capacity is kept).
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Clears the contents, keeping capacity — the reuse point for a
+    /// caller-owned encode scratch buffer.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// The written bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
 }
 
+/// The scalar `put_*` writes are overridden with fixed-size-array
+/// appends (the write-side twin of [`Bytes`]' `take_array` reads):
+/// encoding a model message writes ~10⁵ scalars, and with the message's
+/// size reserved ahead each append is a bounds check plus a word store —
+/// no reallocation, no per-scalar temporary.
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
     }
 }
 
@@ -272,6 +334,47 @@ mod tests {
         let s = b.slice(1..4);
         assert_eq!(s.as_slice(), &[2, 3, 4]);
         assert_eq!(b.len(), 5, "slicing must not consume the parent");
+    }
+
+    #[test]
+    fn split_to_shares_storage_and_advances() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_slice(), &[1, 2]);
+        assert_eq!(b.as_slice(), &[3, 4, 5]);
+        assert_eq!(b.get_u8(), 3, "cursor continues after the split");
+    }
+
+    #[test]
+    fn writes_within_reserved_capacity_never_reallocate() {
+        // The reserve-ahead contract: after reserving a message's size,
+        // the whole put_* stream lands in place — same backing pointer,
+        // same capacity, no mid-encode reallocation.
+        let total = 1 + 4 + 8 + 4 + 8 + 7;
+        let mut w = BytesMut::new();
+        w.reserve(total);
+        let cap = w.capacity();
+        assert!(cap >= total);
+        w.put_u8(1);
+        let ptr = w.as_slice().as_ptr();
+        w.put_u32_le(2);
+        w.put_u64_le(3);
+        w.put_f32_le(4.0);
+        w.put_f64_le(5.0);
+        w.put_slice(&[6; 7]);
+        assert_eq!(w.len(), total);
+        assert_eq!(w.capacity(), cap, "capacity grew despite reserve-ahead");
+        assert_eq!(w.as_slice().as_ptr(), ptr, "buffer moved despite sufficient capacity");
+    }
+
+    #[test]
+    fn clear_keeps_capacity_for_reuse() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(&[1; 48]);
+        let cap = w.capacity();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), cap, "clear must be grow-only");
     }
 
     #[test]

@@ -153,18 +153,25 @@ fn run(kind: SelectorKind) -> SimulationReport {
 
 /// Runs the same seeded job through the serialized stream transport:
 /// every message encoded, framed, length-prefixed onto a byte pipe,
-/// reassembled and decoded on the far side.
-fn run_over_stream_transport(kind: SelectorKind) -> History {
-    let (job, meta) = builder(kind).build().unwrap();
+/// reassembled and decoded on the far side. Returns the history plus
+/// the driver's wire counters (actual bytes under `codec`).
+fn run_over_stream_transport_with(kind: SelectorKind, codec: ModelCodec) -> (History, DriverStats) {
+    let (job, meta) = builder(kind).codec(codec).build().unwrap();
     let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
     let (agg_pipe, party_pipe) = duplex();
     let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
     let job_id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
     assert_eq!(job_id, meta.job_id);
+    assert_eq!(driver.codec_of(job_id), Some(codec));
     let mut pool = PartyPool::new(StreamTransport::new(party_pipe));
     pool.add_job(job_id, endpoints);
     run_lockstep(&mut driver, &mut pool).unwrap();
-    driver.history(job_id).unwrap().clone()
+    assert_eq!(pool.negotiated_codec(job_id), Some(codec), "notice handshake must pin the codec");
+    (driver.history(job_id).unwrap().clone(), driver.stats())
+}
+
+fn run_over_stream_transport(kind: SelectorKind) -> History {
+    run_over_stream_transport_with(kind, ModelCodec::Raw).0
 }
 
 #[test]
@@ -211,6 +218,77 @@ fn serialized_stream_transport_replays_the_goldens_bit_exactly() {
             assert_eq!(r.stragglers, *stragglers, "{kind} round {}: stragglers", r.round);
         }
     }
+}
+
+#[test]
+fn delta_compressed_wire_replays_the_goldens_bit_exactly() {
+    // The codec acceptance bar: `DeltaLossless` is bit-exact, so the
+    // same seeded runs over the *compressed* wire must still reproduce
+    // the pre-refactor goldens — accuracy, loss and duration to the
+    // bit, cohorts to the element — while moving measurably fewer
+    // bytes than the raw wire.
+    for kind in SelectorKind::all() {
+        let (history, stats) = run_over_stream_transport_with(kind, ModelCodec::DeltaLossless);
+        let records = history.records();
+        let expected = golden(kind);
+        assert_eq!(records.len(), expected.len(), "{kind}: round count over the delta wire");
+        for (r, (acc, loss, dur, selected, completed, stragglers)) in records.iter().zip(expected) {
+            assert_eq!(r.accuracy.to_bits(), *acc, "{kind} round {}: accuracy", r.round);
+            assert_eq!(r.mean_train_loss.to_bits(), *loss, "{kind} round {}: loss", r.round);
+            assert_eq!(r.round_duration.to_bits(), *dur, "{kind} round {}: duration", r.round);
+            assert_eq!(r.selected, *selected, "{kind} round {}: cohort", r.round);
+            assert_eq!(r.completed, *completed, "{kind} round {}: completions", r.round);
+            assert_eq!(r.stragglers, *stragglers, "{kind} round {}: stragglers", r.round);
+        }
+        assert_eq!(stats.codec_mismatch_frames, 0, "{kind}");
+        assert_eq!(stats.corrupt_frames, 0, "{kind}");
+    }
+}
+
+#[test]
+fn delta_codec_moves_fewer_bytes_than_raw() {
+    // Same seeded workload, both codecs: identical histories (checked
+    // above), different wire bills. The raw accounting in the records
+    // is codec-independent; the DriverStats byte counters measure what
+    // actually crossed the pipe.
+    let (raw_history, raw) = run_over_stream_transport_with(SelectorKind::Random, ModelCodec::Raw);
+    let (delta_history, delta) =
+        run_over_stream_transport_with(SelectorKind::Random, ModelCodec::DeltaLossless);
+    assert_eq!(raw_history, delta_history, "codecs must not change round outcomes");
+    // Downlink: within a round the 2nd..Nth copies of the broadcast
+    // XOR to zero and collapse, so the model-bearing downlink roughly
+    // halves even on this tiny model. Uplink: each trained update is a
+    // distinct high-entropy delta, so the win there is thinner — the
+    // realistic mlp-16×256×192×10 numbers are tracked in
+    // BENCH_fl_round.json (`transport_bytes_per_round`).
+    assert!(
+        (delta.bytes_sent as f64) < 0.55 * raw.bytes_sent as f64,
+        "delta downlink should collapse rebroadcasts: {} vs {}",
+        delta.bytes_sent,
+        raw.bytes_sent
+    );
+    let raw_bytes = raw.bytes_sent + raw.bytes_received;
+    let delta_bytes = delta.bytes_sent + delta.bytes_received;
+    assert!(
+        (delta_bytes as f64) < 0.8 * raw_bytes as f64,
+        "DeltaLossless must cut total wire bytes: {delta_bytes} vs {raw_bytes}"
+    );
+}
+
+#[test]
+fn f16_wire_completes_with_halved_model_frames() {
+    // F16 is lossy — histories are NOT pinned to the goldens — but the
+    // protocol must run to completion and the wire bill must drop to
+    // roughly half the raw model bytes.
+    let (raw_history, raw) = run_over_stream_transport_with(SelectorKind::Random, ModelCodec::Raw);
+    let (f16_history, f16) = run_over_stream_transport_with(SelectorKind::Random, ModelCodec::F16);
+    assert_eq!(f16_history.len(), raw_history.len(), "every round must close under f16");
+    let raw_bytes = raw.bytes_sent + raw.bytes_received;
+    let f16_bytes = f16.bytes_sent + f16.bytes_received;
+    assert!(
+        (f16_bytes as f64) < 0.6 * raw_bytes as f64,
+        "f16 should halve model frames: {f16_bytes} vs {raw_bytes}"
+    );
 }
 
 #[test]

@@ -28,6 +28,13 @@ fn builder(seed: u64) -> SimulationBuilder {
         .seed(seed)
 }
 
+/// The same two jobs with `DeltaLossless` negotiated on the wire. The
+/// histories are codec-independent, so the raw solo runs stay the
+/// oracle.
+fn delta_builder(seed: u64) -> SimulationBuilder {
+    builder(seed).codec(ModelCodec::DeltaLossless)
+}
+
 fn solo_histories() -> Vec<History> {
     SEEDS
         .iter()
@@ -46,8 +53,8 @@ struct Tap<T: Transport> {
 }
 
 impl<T: Transport> Transport for Tap<T> {
-    fn send(&mut self, frame: bytes::Bytes) -> Result<(), flips::fl::FlError> {
-        self.sent.lock().unwrap().push(frame.clone());
+    fn send(&mut self, frame: &[u8]) -> Result<(), flips::fl::FlError> {
+        self.sent.lock().unwrap().push(bytes::Bytes::from(frame.to_vec()));
         self.inner.send(frame)
     }
     fn try_recv(&mut self) -> Result<Option<bytes::Bytes>, flips::fl::FlError> {
@@ -68,6 +75,14 @@ struct Link {
 }
 
 fn two_job_link() -> Link {
+    link_from(builder)
+}
+
+fn two_job_delta_link() -> Link {
+    link_from(delta_builder)
+}
+
+fn link_from(make: fn(u64) -> SimulationBuilder) -> Link {
     let (agg_end, party_end) = MemoryTransport::pair();
     let to_driver = party_end.clone();
     let to_pool = agg_end.clone();
@@ -76,7 +91,7 @@ fn two_job_link() -> Link {
     let mut pool = PartyPool::new(Tap { inner: party_end, sent: Arc::clone(&uplink) });
     let mut ids = Vec::new();
     for &seed in &SEEDS {
-        let (job, _) = builder(seed).build().unwrap();
+        let (job, _) = make(seed).build().unwrap();
         let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
         let id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
         pool.add_job(id, endpoints);
@@ -133,11 +148,11 @@ fn truncated_and_corrupt_frames_are_dropped_without_side_effects() {
         // A frame cut mid-header, one cut mid-payload, and one with a
         // clobbered protocol magic.
         let whole = heartbeat_frame(job0);
-        link.to_driver.send(whole.slice(0..5)).unwrap();
-        link.to_driver.send(whole.slice(0..whole.len() - 3)).unwrap();
+        link.to_driver.send(&whole.slice(0..5)).unwrap();
+        link.to_driver.send(&whole.slice(0..whole.len() - 3)).unwrap();
         let mut bad_magic = whole.to_vec();
         bad_magic[8] ^= 0xFF;
-        link.to_driver.send(bytes::Bytes::from(bad_magic)).unwrap();
+        link.to_driver.send(&bad_magic).unwrap();
     });
     assert_eq!(link.driver.stats().corrupt_frames, 9, "3 windows × 3 bad frames");
     assert_histories_clean(&link, &solo);
@@ -154,9 +169,10 @@ fn unknown_job_id_mid_stream_is_counted_and_isolated() {
         // Well-formed traffic for a job nobody registered, in both
         // directions: the driver counts it, the pool counts it, neither
         // routes it anywhere.
-        link.to_driver.send(heartbeat_frame(0xDEAD_BEEF)).unwrap();
-        let foreign = WireMessage::GlobalModel { job: 0xDEAD_BEEF, round: 0, params: vec![1.0; 4] };
-        link.to_pool.send(frame(2, &foreign)).unwrap();
+        link.to_driver.send(&heartbeat_frame(0xDEAD_BEEF)).unwrap();
+        let foreign =
+            WireMessage::GlobalModel { job: 0xDEAD_BEEF, round: 0, params: vec![1.0; 4].into() };
+        link.to_pool.send(&frame(2, &foreign)).unwrap();
     });
     assert_eq!(link.driver.stats().unknown_job_frames, 2);
     assert_eq!(link.pool.unroutable(), 2);
@@ -186,10 +202,11 @@ fn hostile_routable_downlink_is_rejected_by_the_pool_not_fatal() {
             duration: 0.0,
             params: vec![],
         };
-        link.to_pool.send(frame(3, &wrong_direction)).unwrap();
+        link.to_pool.send(&frame(3, &wrong_direction)).unwrap();
         // Wrong architecture: a global model that matches no agreed spec.
-        let wrong_arch = WireMessage::GlobalModel { job: job0, round: 9, params: vec![0.0; 3] };
-        link.to_pool.send(frame(3, &wrong_arch)).unwrap();
+        let wrong_arch =
+            WireMessage::GlobalModel { job: job0, round: 9, params: vec![0.0; 3].into() };
+        link.to_pool.send(&frame(3, &wrong_arch)).unwrap();
     });
     assert_eq!(link.pool.rejected(), 4, "2 windows × 2 hostile frames");
     assert_eq!(link.pool.unroutable(), 0);
@@ -209,7 +226,7 @@ fn duplicate_delivery_is_rejected_not_double_aggregated() {
         // with `DuplicateUpdate`/`WrongRound`, never re-aggregate.
         let captured: Vec<bytes::Bytes> = link.uplink.lock().unwrap().clone();
         for dup in captured {
-            link.to_driver.send(dup).unwrap();
+            link.to_driver.send(&dup).unwrap();
         }
     });
     assert!(
@@ -240,7 +257,7 @@ fn interleaved_uplink_frames_from_two_jobs_demultiplex_cleanly() {
             let (evens, odds): (Vec<_>, Vec<_>) =
                 held.into_iter().enumerate().partition(|(i, _)| i % 2 == 0);
             for (_, f) in odds.into_iter().chain(evens) {
-                link.to_driver.send(f).unwrap();
+                link.to_driver.send(&f).unwrap();
             }
             let drove = link.driver.pump().unwrap();
             if !drove && !pooled {
@@ -280,20 +297,20 @@ proptest! {
                     0 => {
                         let whole = heartbeat_frame(job0);
                         let cut = cut.min(whole.len() - 1);
-                        link.to_driver.send(whole.slice(0..cut)).unwrap();
+                        link.to_driver.send(&whole.slice(0..cut)).unwrap();
                     }
                     1 => {
                         let mut corrupt = heartbeat_frame(job0).to_vec();
                         let idx = 8 + cut % 5; // somewhere in the message header
                         corrupt[idx] ^= 1 << flip_bit;
-                        link.to_driver.send(bytes::Bytes::from(corrupt)).unwrap();
+                        link.to_driver.send(&corrupt).unwrap();
                     }
-                    2 => link.to_driver.send(heartbeat_frame(0xF0E1_D2C3)).unwrap(),
+                    2 => link.to_driver.send(&heartbeat_frame(0xF0E1_D2C3)).unwrap(),
                     _ => {
                         let captured: Vec<bytes::Bytes> =
                             link.uplink.lock().unwrap().clone();
                         if let Some(f) = captured.last() {
-                            link.to_driver.send(f.clone()).unwrap();
+                            link.to_driver.send(f).unwrap();
                         }
                     }
                 }
@@ -304,4 +321,229 @@ proptest! {
             prop_assert_eq!(link.driver.history(*id).unwrap(), clean);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Compressed-payload faults: the DeltaLossless wire under hostile bytes.
+// ---------------------------------------------------------------------
+
+/// A delta-tagged `LocalUpdate` frame for `job` built from a fresh
+/// sender codec (no reference → inline mode), yielding bytes whose
+/// params block the fault tests can corrupt surgically.
+fn delta_update_frame(job: u64) -> Vec<u8> {
+    use flips::fl::codec::{PayloadCodec, Role};
+    use flips::fl::message::frame_into;
+    let msg = WireMessage::LocalUpdate {
+        job,
+        round: 0,
+        party: 3,
+        num_samples: 5,
+        mean_loss: 0.5,
+        duration: 0.1,
+        params: vec![1.0, 2.0, 3.0],
+    };
+    let mut codec = PayloadCodec::new(ModelCodec::DeltaLossless, Role::Sender);
+    let mut buf = bytes::BytesMut::new();
+    frame_into(AGGREGATOR_DEST, &msg, &mut codec, &mut buf);
+    buf.freeze().to_vec()
+}
+
+#[test]
+fn delta_wire_survives_corrupt_truncated_and_mismatched_codec_frames() {
+    // Both jobs negotiate DeltaLossless; the oracle stays the raw solo
+    // runs (histories are codec-independent). Each window slips four
+    // hostile frames onto the uplink:
+    //   1. a raw-tagged update for a delta job  → codec mismatch
+    //   2. a delta update with a corrupt mode byte → corrupt frame
+    //   3. a truncated delta update             → corrupt frame
+    //   4. a delta update whose codec tag byte is clobbered entirely
+    //      → codec mismatch (corrupt tag)
+    let solo = solo_histories();
+    let mut link = two_job_delta_link();
+    let job0 = link.ids[0];
+    run_with_faults(&mut link, |window, link| {
+        if window > 1 {
+            return;
+        }
+        let raw_tagged = frame(
+            AGGREGATOR_DEST,
+            &WireMessage::LocalUpdate {
+                job: job0,
+                round: 0,
+                party: 3,
+                num_samples: 5,
+                mean_loss: 0.5,
+                duration: 0.1,
+                params: vec![1.0, 2.0, 3.0],
+            },
+        );
+        link.to_driver.send(&raw_tagged).unwrap();
+
+        let clean = delta_update_frame(job0);
+        // The params block starts after frame dest (8) + magic+tag (5) +
+        // job/round/party/samples (32) + loss/duration (16) = 61; its
+        // layout is codec tag (61), count u64 (62..70), mode (70).
+        let mut bad_mode = clean.clone();
+        bad_mode[70] = 0xEE;
+        link.to_driver.send(&bad_mode).unwrap();
+
+        link.to_driver.send(&clean[..clean.len() - 4]).unwrap();
+
+        let mut bad_tag = clean.clone();
+        bad_tag[61] = 0x66;
+        link.to_driver.send(&bad_tag).unwrap();
+    });
+    let stats = link.driver.stats();
+    assert_eq!(stats.codec_mismatch_frames, 4, "2 windows × (raw-tagged + corrupt-tag)");
+    assert_eq!(stats.corrupt_frames, 4, "2 windows × (bad mode + truncation)");
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn delta_downlink_rejects_mismatched_codec_models() {
+    // A raw-tagged GlobalModel pushed down a delta-negotiated job's
+    // wire must be dropped by the pool's codec layer — never handed to
+    // an endpoint, never able to move the reference model.
+    let solo = solo_histories();
+    let mut link = two_job_delta_link();
+    let job0 = link.ids[0];
+    run_with_faults(&mut link, |window, link| {
+        if window > 1 {
+            return;
+        }
+        let raw_model =
+            WireMessage::GlobalModel { job: job0, round: 0, params: vec![0.5; 8].into() };
+        link.to_pool.send(&frame(3, &raw_model)).unwrap();
+    });
+    assert_eq!(link.pool.codec_mismatch(), 2);
+    assert_eq!(link.pool.rejected(), 0, "the mismatch must be dropped before the endpoint");
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn codec_renegotiation_notices_are_dropped_and_counted() {
+    // A forged notice trying to flip an established delta job to raw
+    // must bounce at the pool's negotiation layer and at most annoy the
+    // counters — the pinned codec, and the histories, stay put.
+    let solo = solo_histories();
+    let mut link = two_job_delta_link();
+    let job0 = link.ids[0];
+    run_with_faults(&mut link, |window, link| {
+        if window != 1 {
+            return; // after round 0 established the codec
+        }
+        let forged =
+            WireMessage::SelectionNotice { job: job0, round: 1, party: 3, codec: ModelCodec::F16 };
+        link.to_pool.send(&frame(3, &forged)).unwrap();
+    });
+    assert_eq!(link.pool.renegotiations_rejected(), 1);
+    assert_eq!(link.pool.negotiated_codec(link.ids[0]), Some(ModelCodec::DeltaLossless));
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn duplicate_selection_notices_are_idempotent_on_the_delta_wire() {
+    // Redelivered notice frames (same round, same codec) re-ack without
+    // perturbing negotiation, byte accounting or round state — the
+    // codec-negotiation twin of PR 3's duplicate-heartbeat fix.
+    let solo = solo_histories();
+    let mut link = two_job_delta_link();
+    let job0 = link.ids[0];
+    let dup = frame(
+        3,
+        &WireMessage::SelectionNotice {
+            job: job0,
+            round: 0,
+            party: 3,
+            codec: ModelCodec::DeltaLossless,
+        },
+    );
+    run_with_faults(&mut link, |window, link| {
+        if window != 0 {
+            return;
+        }
+        // Redeliver party 3's round-0 notice twice while the round is
+        // in flight. The endpoint re-acks each copy; the coordinator
+        // accepts the heartbeat idempotently if 3 is in the cohort and
+        // bounces it otherwise — in no case does round state move.
+        link.to_pool.send(&dup).unwrap();
+        link.to_pool.send(&dup).unwrap();
+    });
+    assert_eq!(link.pool.renegotiations_rejected(), 0);
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn forged_inline_frame_cannot_poison_the_delta_reference() {
+    // A self-contained MODE_INLINE GlobalModel forged with a fresh
+    // sender codec decodes without needing any reference — but it must
+    // not *become* the pool's reference: the pool pins the agreed
+    // architecture size at add_job, so this wrong-length frame (with a
+    // sky-high round that would otherwise pin ref_round forever) is
+    // rejected by the endpoint and leaves the job's delta state — and
+    // hence every later legitimate delta frame — untouched.
+    use flips::fl::codec::{PayloadCodec, Role};
+    use flips::fl::message::frame_into;
+    let solo = solo_histories();
+    let mut link = two_job_delta_link();
+    let job0 = link.ids[0];
+    run_with_faults(&mut link, |window, link| {
+        if window > 1 {
+            return;
+        }
+        let forged =
+            WireMessage::GlobalModel { job: job0, round: u64::MAX, params: vec![0.0; 3].into() };
+        let mut codec = PayloadCodec::new(ModelCodec::DeltaLossless, Role::Sender);
+        let mut buf = bytes::BytesMut::new();
+        frame_into(3, &forged, &mut codec, &mut buf);
+        link.to_pool.send(buf.as_slice()).unwrap();
+    });
+    assert_eq!(link.pool.rejected(), 2, "the endpoint must reject the wrong architecture");
+    assert_eq!(link.pool.codec_mismatch(), 0, "the frame itself decodes — it is delta-tagged");
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn pre_pinned_codec_defeats_a_forged_first_notice() {
+    // Trust-on-first-frame lets one forged notice (injected before the
+    // job's real round-0 notice) wedge a delta job permanently. A pool
+    // that pins each job's codec from out-of-band configuration is
+    // immune: the forged Raw notice conflicts with the pin and drops,
+    // the legitimate notices match, and the job runs to its clean
+    // histories.
+    let solo = solo_histories();
+    let mut link = two_job_delta_link();
+    for &id in &link.ids {
+        link.pool.pin_codec(id, ModelCodec::DeltaLossless);
+    }
+    let job0 = link.ids[0];
+    // Inject the forged notice BEFORE start() puts any legitimate
+    // frame on the wire — the strongest position for the attacker.
+    let forged =
+        WireMessage::SelectionNotice { job: job0, round: 0, party: 3, codec: ModelCodec::Raw };
+    link.to_pool.send(&frame(3, &forged)).unwrap();
+    run_with_faults(&mut link, |_, _| {});
+    assert_eq!(link.pool.renegotiations_rejected(), 1, "the forged notice must conflict");
+    assert_eq!(link.pool.negotiated_codec(job0), Some(ModelCodec::DeltaLossless));
+    assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn compressed_frames_for_unknown_jobs_count_as_unknown_not_codec_mismatch() {
+    // A well-formed delta-tagged frame whose job id no coordinator owns
+    // cannot decode (no codec state exists for it) — but the operator
+    // signal must say "unknown job", not "codec bug": the driver peeks
+    // the fixed-offset job id to attribute the drop correctly.
+    let solo = solo_histories();
+    let mut link = two_job_delta_link();
+    run_with_faults(&mut link, |window, link| {
+        if window > 1 {
+            return;
+        }
+        link.to_driver.send(&delta_update_frame(0xDEAD_BEEF)).unwrap();
+    });
+    let stats = link.driver.stats();
+    assert_eq!(stats.unknown_job_frames, 2);
+    assert_eq!(stats.codec_mismatch_frames, 0);
+    assert_histories_clean(&link, &solo);
 }
