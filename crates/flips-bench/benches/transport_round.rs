@@ -35,7 +35,7 @@ fn bench_transport_round(c: &mut Criterion) {
     group.bench_function("serialized_stream", |b| {
         b.iter_batched(
             || {
-                let JobParts { coordinator, endpoints, clock, latency } =
+                let JobParts { coordinator, endpoints, clock, latency, .. } =
                     builder().build().unwrap().0.into_parts();
                 let (agg_pipe, party_pipe) = duplex();
                 let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));

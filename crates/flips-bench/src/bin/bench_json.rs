@@ -125,7 +125,7 @@ fn transport_round_ns(
 ) -> (f64, u64) {
     let total_rounds = rounds * (samples + 1);
     let job = mlp256_job(parties, per_round, total_rounds, codec);
-    let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+    let JobParts { coordinator, endpoints, clock, latency, .. } = job.into_parts();
     let (agg_pipe, party_pipe) = duplex();
     let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
     let id = driver.add_job(coordinator, Box::new(clock), latency).expect("fresh job id");
@@ -157,6 +157,42 @@ fn transport_round_ns(
         window_starts.windows(2).skip(1).map(|w| (w[1] - w[0]).as_nanos() as f64).collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     (times[times.len() / 2] / rounds as f64, bytes_per_round)
+}
+
+/// Median ns per round for the [`fl_round_ns`] workload executed on the
+/// threaded sharded runtime: the roster split across `shards` worker
+/// threads, the driver on a dedicated coordinator thread, every message
+/// crossing a per-shard in-memory link. The delta against
+/// `fl_round_median_ns` is the price of the threads (spawn, routing,
+/// quiet detection) — on a multi-core host the parallel training should
+/// win it back and more; on a single-core CI box it is pure overhead
+/// and the number keeps that honest.
+///
+/// Unlike the continuously-running single-job benches, `run_sharded`
+/// consumes its jobs, so each sample times a fresh `rounds`-round run
+/// (construction excluded); sample 0 is discarded as warm-up.
+fn sharded_round_ns(
+    parties: usize,
+    per_round: usize,
+    rounds: usize,
+    samples: usize,
+    shards: usize,
+) -> f64 {
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for sample in 0..=samples {
+        let job = mlp256_job(parties, per_round, rounds, ModelCodec::Raw);
+        let parts = job.into_parts();
+        let start = Instant::now();
+        let outcome =
+            run_sharded(vec![parts], &RuntimeOptions::new(shards)).expect("sharded run completes");
+        let elapsed = start.elapsed().as_nanos() as f64;
+        black_box(outcome.histories.len());
+        if sample > 0 {
+            times.push(elapsed / rounds as f64);
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
 }
 
 fn main() {
@@ -194,14 +230,31 @@ fn main() {
         100.0 * delta_bytes as f64 / raw_bytes as f64
     );
 
+    eprintln!("measuring sharded_round (same workload, threaded runtime, shard sweep) ...");
+    let mut sharded_sweep = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let ns = sharded_round_ns(16, 4, 3, 5, shards);
+        eprintln!(
+            "  {shards} shard(s): {:.2} ms/round ({:+.1}% vs in-process)",
+            ns / 1e6,
+            100.0 * (ns - round_ns) / round_ns
+        );
+        sharded_sweep.push((shards, ns));
+    }
+    let sharded_ns = sharded_sweep[1].1;
+
     let json = format!(
         "{{\n  \"schema\": \"flips-bench/fl_round/v1\",\n  \"kernel\": \"{kernel}\",\n  \
          \"fl_round_median_ns\": {round_ns:.0},\n  \"transport_round_median_ns\": {transport_ns:.0},\n  \
          \"transport_round_delta_median_ns\": {delta_ns:.0},\n  \
+         \"sharded_round_median_ns\": {sharded_ns:.0},\n  \
+         \"sharded_round_1shard_median_ns\": {:.0},\n  \
+         \"sharded_round_4shard_median_ns\": {:.0},\n  \
          \"transport_bytes_per_round\": {delta_bytes},\n  \
          \"transport_bytes_per_round_raw\": {raw_bytes},\n  \
          \"gemm_256_gflops\": {gflops_256:.2},\n  \"gemm_tn_256_gflops\": {tn_gflops_256:.2},\n  \
-         \"model\": \"mlp-16x256x192x10\",\n  \"parties\": 16,\n  \"parties_per_round\": 4\n}}\n"
+         \"model\": \"mlp-16x256x192x10\",\n  \"parties\": 16,\n  \"parties_per_round\": 4\n}}\n",
+        sharded_sweep[0].1, sharded_sweep[2].1
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("wrote {out_path}");

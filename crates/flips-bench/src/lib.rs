@@ -13,6 +13,19 @@
 //! Table numbering matches the paper: tables 1–8 are FedYogi, 9–16
 //! FedProx, 17–24 FedAvg; within each algorithm block the datasets run
 //! ECG, HAM10000, FEMNIST, FashionMNIST with (rounds, peak) pairs.
+//!
+//! # Example
+//!
+//! A [`Scale`] maps the paper's grid onto a machine budget:
+//!
+//! ```
+//! use flips_bench::Scale;
+//! use flips_core::prelude::DatasetProfile;
+//!
+//! let profile = DatasetProfile::femnist();
+//! assert!(Scale::Fast.parties(&profile) <= Scale::Full.parties(&profile));
+//! assert!(Scale::Fast.rounds(&profile) <= Scale::Full.rounds(&profile));
+//! ```
 
 use flips_core::prelude::*;
 

@@ -15,6 +15,22 @@
 //! - [`hierarchical`] — average-linkage agglomerative clustering over a
 //!   similarity matrix, the substrate of the GradClus baseline (Fraboni et
 //!   al., ICML'21).
+//!
+//! # Example
+//!
+//! Two well-separated blobs cluster cleanly at `k = 2`:
+//!
+//! ```
+//! use flips_clustering::kmeans::{kmeans, KMeansConfig};
+//! use flips_ml::rng::seeded;
+//!
+//! let points: Vec<Vec<f32>> =
+//!     vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]];
+//! let clustering = kmeans(&mut seeded(7), &points, KMeansConfig::new(2)).unwrap();
+//! assert_eq!(clustering.assignments[0], clustering.assignments[1]);
+//! assert_eq!(clustering.assignments[2], clustering.assignments[3]);
+//! assert_ne!(clustering.assignments[0], clustering.assignments[2]);
+//! ```
 
 pub mod dbi;
 pub mod elbow;

@@ -17,11 +17,12 @@ pub use flips_data::{
     partition, Dataset, DatasetProfile, LabelDistribution, PartitionStrategy,
 };
 pub use flips_fl::{
-    run_lockstep, straggler::StragglerBias, transport::duplex, Clock, Coordinator,
-    CoordinatorConfig, DriverStats, Effect, Event, FlAlgorithm, FlJob, FlJobConfig, History,
-    JobParts, LatencyModel, LocalTrainingConfig, MemoryTransport, ModelCodec, MultiJobDriver,
-    PartyEndpoint, PartyPool, RejectReason, RoundRecord, StragglerInjector, StreamTransport,
-    TimerWheel, Transport, WireMessage,
+    run_lockstep, run_sharded, straggler::StragglerBias, transport::duplex, Clock, Coordinator,
+    CoordinatorConfig, DeadlinePolicy, DriverStats, Effect, Event, FlAlgorithm, FlJob, FlJobConfig,
+    History, JobParts, LatencyModel, LocalTrainingConfig, MemoryTransport, ModelCodec,
+    MultiJobDriver, ObservedLatency, PartyEndpoint, PartyPool, RejectReason, RoundRecord,
+    RuntimeOptions, ShardedOutcome, StragglerInjector, StreamTransport, TimerWheel, Transport,
+    WireMessage,
 };
 pub use flips_ml::{metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model};
 pub use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectorKind};

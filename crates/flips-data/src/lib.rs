@@ -15,6 +15,22 @@
 //!   semantic party descriptor FLIPS clusters on;
 //! - a **balanced global test set** ([`dataset::balanced_test_set`])
 //!   mirroring the paper's §4.4 evaluation protocol.
+//!
+//! # Example
+//!
+//! Generate a seeded population and split it non-IID across parties:
+//!
+//! ```
+//! use flips_data::dataset::generate_population;
+//! use flips_data::{partition, DatasetProfile, PartitionStrategy};
+//!
+//! let profile = DatasetProfile::femnist().scaled(4, 10);
+//! let population = generate_population(&profile, profile.default_total_samples, 7);
+//! let parts =
+//!     partition(&population, 4, PartitionStrategy::Dirichlet { alpha: 0.5 }, 5, 7).unwrap();
+//! assert_eq!(parts.parties.len(), 4);
+//! assert!(parts.parties.iter().all(|p| p.len() >= 5), "per-party floor honored");
+//! ```
 
 pub mod dataset;
 pub mod dist;

@@ -24,12 +24,12 @@
 //! are bit-reproducible, selector included.
 
 use crate::codec::ModelCodec;
-use crate::config::{FlAlgorithm, LocalTrainingConfig};
+use crate::config::{DeadlinePolicy, FlAlgorithm, LocalTrainingConfig};
 use crate::coordinator::{Coordinator, CoordinatorConfig};
 use crate::endpoint::PartyEndpoint;
 use crate::events::{Effect, Event};
 use crate::history::{History, RoundRecord};
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyModel, ObservedLatency};
 use crate::message::WireMessage;
 use crate::straggler::{Clock, StragglerBias, StragglerInjector};
 use crate::FlError;
@@ -54,10 +54,16 @@ pub struct FlJobConfig {
     /// Participant-side training hyper-parameters.
     pub local: LocalTrainingConfig,
     /// Fraction of each cohort whose updates miss the round deadline
-    /// (0, 0.10, 0.20 in the paper).
+    /// (0, 0.10, 0.20 in the paper). Only meaningful under
+    /// [`DeadlinePolicy::Injected`].
     pub straggler_rate: f64,
-    /// How straggler victims are chosen.
+    /// How straggler victims are chosen (injected path only).
     pub straggler_bias: StragglerBias,
+    /// How each round's collection deadline is decided — the paper's
+    /// synthetic victim injection, or a deadline derived from observed
+    /// round-trip latency (see [`DeadlinePolicy`]). A latency-derived
+    /// policy is mutually exclusive with a non-zero `straggler_rate`.
+    pub deadline: DeadlinePolicy,
     /// Log-normal sigma of the platform-heterogeneity model.
     pub latency_sigma: f64,
     /// Use this latency model instead of sampling one from
@@ -88,6 +94,7 @@ impl FlJobConfig {
             local: LocalTrainingConfig::default(),
             straggler_rate: 0.0,
             straggler_bias: StragglerBias::Uniform,
+            deadline: DeadlinePolicy::Injected,
             latency_sigma: 0.4,
             latency_override: None,
             sketch_dim: 32,
@@ -105,6 +112,8 @@ pub struct FlJob {
     endpoints: Vec<PartyEndpoint>,
     latency: Arc<LatencyModel>,
     injector: StragglerInjector,
+    deadline: DeadlinePolicy,
+    observed: ObservedLatency,
     parallel: bool,
     rounds: usize,
 }
@@ -143,6 +152,14 @@ impl FlJob {
         }
         if !(0.0..1.0).contains(&config.straggler_rate) {
             return Err(FlError::InvalidConfig("straggler_rate must be in [0, 1)".into()));
+        }
+        config.deadline.validate()?;
+        if config.deadline.is_latency_derived() && config.straggler_rate > 0.0 {
+            return Err(FlError::InvalidConfig(
+                "straggler_rate injection and a latency-derived deadline are mutually \
+                 exclusive: pick one straggler model"
+                    .into(),
+            ));
         }
         config.local.validate()?;
         let classes = config.model.num_classes();
@@ -212,6 +229,8 @@ impl FlJob {
             endpoints,
             latency,
             injector,
+            deadline: config.deadline,
+            observed: ObservedLatency::new(),
             parallel: config.parallel,
             rounds: config.rounds,
         })
@@ -271,13 +290,19 @@ impl FlJob {
             }
         }
 
-        // The round clock: the injector (through the shared `Clock`
-        // contract, the same one the timer-wheel driver consults) picks
-        // the parties whose updates will miss the deadline. Their
-        // training is never simulated — the result would be discarded —
-        // so the deadline close below is what turns them into stragglers.
-        let victim_idx = Clock::missed_deadline(&mut self.injector, &selected, &self.latency);
-        let victim_set: HashSet<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
+        // The round clock. Injected path: the injector (through the
+        // shared `Clock` contract, the same one the timer-wheel driver
+        // consults) picks the parties whose updates will miss the
+        // deadline; their training is never simulated — the result
+        // would be discarded. Observed path: everyone trains, and the
+        // deadline derived from previously observed round trips decides
+        // post hoc whose reply was too slow.
+        let (victim_set, deadline) = if self.deadline.is_latency_derived() {
+            (HashSet::new(), self.deadline.deadline_secs(&mut self.observed))
+        } else {
+            let victim_idx = Clock::missed_deadline(&mut self.injector, &selected, &self.latency);
+            (victim_idx.iter().map(|&i| selected[i]).collect::<HashSet<PartyId>>(), None)
+        };
 
         // Selection notices reach everyone; heartbeat acks flow back.
         let mut inbound: Vec<WireMessage> = Vec::with_capacity(2 * selected.len());
@@ -285,10 +310,26 @@ impl FlJob {
             inbound.extend(self.endpoints[*to].handle(notice)?);
         }
 
-        // Local training on the parties that make the deadline.
+        // Local training on the parties that make the deadline (all of
+        // them, on the observed path).
         let deliveries: Vec<(PartyId, WireMessage)> =
             broadcasts.into_iter().filter(|(to, _)| !victim_set.contains(to)).collect();
-        inbound.extend(self.train_endpoints(&deliveries)?);
+        for reply in self.train_endpoints(&deliveries)? {
+            // Latency-derived deadline check, mirroring the serialized
+            // driver: every reply's simulated duration is a sample, and
+            // a reply slower than this round's deadline is withheld —
+            // the deadline close below turns its sender into a
+            // straggler.
+            if self.deadline.is_latency_derived() {
+                if let WireMessage::LocalUpdate { duration, .. } = &reply {
+                    self.observed.record(*duration);
+                    if deadline.is_some_and(|d| *duration > d) {
+                        continue;
+                    }
+                }
+            }
+            inbound.push(reply);
+        }
 
         // Pump replies; the cohort completing early closes the round,
         // otherwise the deadline does.
@@ -334,7 +375,14 @@ impl FlJob {
             endpoints: self.endpoints,
             clock: self.injector,
             latency: self.latency,
+            deadline: self.deadline,
         }
+    }
+
+    /// The round-trip durations observed so far (latency-derived
+    /// deadline path; empty under [`DeadlinePolicy::Injected`]).
+    pub fn observed_latency(&self) -> &ObservedLatency {
+        &self.observed
     }
 
     /// Delivers `GlobalModel` messages to their endpoints (in parallel
@@ -402,10 +450,14 @@ pub struct JobParts {
     pub coordinator: Coordinator,
     /// One endpoint per party, roster order.
     pub endpoints: Vec<PartyEndpoint>,
-    /// The deadline clock (the configured straggler injector).
+    /// The deadline clock (the configured straggler injector; consulted
+    /// only under [`DeadlinePolicy::Injected`]).
     pub clock: StragglerInjector,
     /// The platform-heterogeneity model the clock consults.
     pub latency: Arc<LatencyModel>,
+    /// The configured deadline policy — drivers route on it (see
+    /// [`crate::driver::MultiJobDriver::add_parts`]).
+    pub deadline: DeadlinePolicy,
 }
 
 impl std::fmt::Debug for JobParts {

@@ -72,6 +72,29 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How model-parameter payloads are encoded on the wire for one job.
+///
+/// # Example
+///
+/// A sender/receiver codec pair round-trips a global model bit-exactly
+/// under [`ModelCodec::DeltaLossless`] — the first model goes inline
+/// and establishes the shared reference, later rounds travel as
+/// XOR-deltas:
+///
+/// ```
+/// use bytes::BytesMut;
+/// use flips_fl::codec::{ModelCodec, PayloadCodec, Role};
+///
+/// let mut tx = PayloadCodec::new(ModelCodec::DeltaLossless, Role::Sender);
+/// let mut rx = PayloadCodec::new(ModelCodec::DeltaLossless, Role::Receiver);
+/// for (round, params) in [[1.0f32, -2.5, 0.0], [1.25, -2.5, 0.0]].iter().enumerate() {
+///     let mut buf = BytesMut::new();
+///     tx.encode_global(round as u64, params, &mut buf);
+///     let mut wire = buf.freeze();
+///     let decoded = rx.decode_global(round as u64, &mut wire).unwrap();
+///     assert_eq!(&decoded[..], params, "bit-exact across the compressed wire");
+/// }
+/// assert!(rx.has_reference(), "the receiver tracks the sender's reference");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ModelCodec {
     /// f32 little-endian, the compatibility default.

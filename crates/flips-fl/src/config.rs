@@ -1,5 +1,6 @@
-//! FL algorithm and training configuration.
+//! FL algorithm, training and deadline-pressure configuration.
 
+use crate::latency::ObservedLatency;
 use flips_ml::optimizer::StepDecay;
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +137,135 @@ impl LocalTrainingConfig {
     }
 }
 
+/// Virtual timer-wheel ticks per simulated second (microsecond
+/// resolution). Latency-derived deadlines are scheduled on the
+/// [`crate::TimerWheel`] in these units, so two jobs with different
+/// observed latencies interleave their deadline ticks realistically
+/// instead of all firing on the same "next quiet tick".
+pub const TICKS_PER_SECOND: f64 = 1_000_000.0;
+
+/// How a round's collection deadline is chosen — the knob that turns
+/// deadline pressure from a synthetic fault injection into a measured
+/// property of the population.
+///
+/// The policy is *driver* machinery, like the [`crate::StragglerInjector`]
+/// it generalizes: the sans-IO [`crate::Coordinator`] never sees it. It
+/// only learns that a deadline expired and closes whoever has not
+/// delivered as stragglers.
+///
+/// - [`DeadlinePolicy::Injected`] keeps the paper's §5 emulation: a
+///   seeded injector designates `rate · |cohort|` victims per round and
+///   their updates are never delivered.
+/// - [`DeadlinePolicy::LatencyQuantile`] derives each round's deadline
+///   from *observed* round-trip latency: the deadline is
+///   `slack × quantile_q(observed durations)`. A party whose simulated
+///   round trip exceeds it misses the round — who straggles follows from
+///   the latency model, not from a coin flip.
+/// - [`DeadlinePolicy::FixedSeconds`] is the degenerate fixed-budget
+///   policy (useful in tests and for SLA-style rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum DeadlinePolicy {
+    /// Synthetic victim sets from the seeded straggler injector (the
+    /// paper's emulation; configured via `straggler_rate` /
+    /// `straggler_bias`).
+    #[default]
+    Injected,
+    /// Deadline = `slack × quantile_q(observed round-trip durations)`,
+    /// recomputed at every round open from all samples observed so far.
+    /// Until the first sample arrives (round 0) the deadline is
+    /// unbounded — the warm-up round is how the driver learns the
+    /// population.
+    LatencyQuantile {
+        /// The quantile of observed durations the deadline anchors on,
+        /// in `[0, 1]` (e.g. 0.9 = the 90th percentile).
+        q: f64,
+        /// Multiplicative slack over the anchor quantile (≥ 0; values
+        /// below 1 make even median parties miss).
+        slack: f64,
+    },
+    /// A fixed per-round collection window in simulated seconds.
+    FixedSeconds {
+        /// The window length (> 0).
+        secs: f64,
+    },
+}
+
+impl DeadlinePolicy {
+    /// The paper-flavored latency-derived default: 90th percentile of
+    /// observed round trips with 1.5× slack — healthy parties always
+    /// make it, heavy-tail outliers miss.
+    pub fn latency_default() -> Self {
+        DeadlinePolicy::LatencyQuantile { q: 0.9, slack: 1.5 }
+    }
+
+    /// Whether this policy derives deadlines from observation (anything
+    /// but the legacy injector).
+    pub fn is_latency_derived(&self) -> bool {
+        !matches!(self, DeadlinePolicy::Injected)
+    }
+
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects quantiles outside `[0, 1]`, non-finite or negative slack,
+    /// and non-positive fixed windows.
+    pub fn validate(&self) -> Result<(), crate::FlError> {
+        match *self {
+            DeadlinePolicy::Injected => Ok(()),
+            DeadlinePolicy::LatencyQuantile { q, slack } => {
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(crate::FlError::InvalidConfig(format!(
+                        "deadline quantile {q} must be in [0, 1]"
+                    )));
+                }
+                if !slack.is_finite() || slack < 0.0 {
+                    return Err(crate::FlError::InvalidConfig(format!(
+                        "deadline slack {slack} must be finite and non-negative"
+                    )));
+                }
+                Ok(())
+            }
+            DeadlinePolicy::FixedSeconds { secs } => {
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(crate::FlError::InvalidConfig(format!(
+                        "fixed deadline {secs} must be finite and positive"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The deadline for the next round, in simulated seconds, given the
+    /// round trips observed so far. `None` means unbounded (accept every
+    /// update) — the warm-up state of [`DeadlinePolicy::LatencyQuantile`]
+    /// before any sample exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`DeadlinePolicy::Injected`]: the injector path decides
+    /// *who* misses, not *when*, and drivers must branch before asking.
+    pub fn deadline_secs(&self, observed: &mut ObservedLatency) -> Option<f64> {
+        match *self {
+            DeadlinePolicy::Injected => {
+                panic!("the injected policy has no derived deadline; drivers use the Clock path")
+            }
+            DeadlinePolicy::LatencyQuantile { q, slack } => {
+                observed.quantile(q).map(|anchor| anchor * slack)
+            }
+            DeadlinePolicy::FixedSeconds { secs } => Some(secs),
+        }
+    }
+
+    /// Converts a deadline in simulated seconds to timer-wheel ticks
+    /// (rounded up, at least 1 — a deadline can never fire at its own
+    /// open tick).
+    pub fn ticks(deadline_secs: f64) -> u64 {
+        ((deadline_secs * TICKS_PER_SECOND).ceil() as u64).max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +302,49 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = LocalTrainingConfig { momentum: 1.0, ..Default::default() };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn deadline_policy_validation() {
+        assert!(DeadlinePolicy::Injected.validate().is_ok());
+        assert!(DeadlinePolicy::latency_default().validate().is_ok());
+        assert!(DeadlinePolicy::LatencyQuantile { q: 1.5, slack: 1.0 }.validate().is_err());
+        assert!(DeadlinePolicy::LatencyQuantile { q: 0.5, slack: -1.0 }.validate().is_err());
+        assert!(DeadlinePolicy::LatencyQuantile { q: 0.5, slack: f64::NAN }.validate().is_err());
+        assert!(DeadlinePolicy::FixedSeconds { secs: 0.0 }.validate().is_err());
+        assert!(DeadlinePolicy::FixedSeconds { secs: 0.25 }.validate().is_ok());
+    }
+
+    #[test]
+    fn latency_quantile_warms_up_unbounded_then_tracks_observations() {
+        let policy = DeadlinePolicy::LatencyQuantile { q: 1.0, slack: 2.0 };
+        let mut obs = ObservedLatency::new();
+        assert_eq!(policy.deadline_secs(&mut obs), None, "no samples: unbounded warm-up");
+        obs.record(0.2);
+        obs.record(0.1);
+        assert_eq!(policy.deadline_secs(&mut obs), Some(0.4), "2× the observed max");
+    }
+
+    #[test]
+    fn fixed_policy_ignores_observations() {
+        let policy = DeadlinePolicy::FixedSeconds { secs: 0.3 };
+        let mut obs = ObservedLatency::new();
+        assert_eq!(policy.deadline_secs(&mut obs), Some(0.3));
+        obs.record(9.0);
+        assert_eq!(policy.deadline_secs(&mut obs), Some(0.3));
+    }
+
+    #[test]
+    fn tick_conversion_rounds_up_and_clamps_forward() {
+        assert_eq!(DeadlinePolicy::ticks(0.0), 1);
+        assert_eq!(DeadlinePolicy::ticks(1e-9), 1);
+        assert_eq!(DeadlinePolicy::ticks(0.5), 500_000);
+        assert_eq!(DeadlinePolicy::ticks(1.0000001), 1_000_001);
+    }
+
+    #[test]
+    #[should_panic(expected = "no derived deadline")]
+    fn injected_policy_has_no_derived_deadline() {
+        let _ = DeadlinePolicy::Injected.deadline_secs(&mut ObservedLatency::new());
     }
 }

@@ -92,6 +92,43 @@ struct OpenRound {
 /// The aggregator-side protocol state machine.
 ///
 /// See the [module docs](self) for the event/effect contract.
+///
+/// # Example
+///
+/// Drive one round by hand — open it, then expire the deadline; every
+/// side effect a real deployment would need (sends, closes) comes back
+/// as an [`Effect`] for the driver to execute:
+///
+/// ```
+/// use flips_data::dataset::balanced_test_set;
+/// use flips_data::DatasetProfile;
+/// use flips_fl::{Coordinator, CoordinatorConfig, Effect, Event, FlAlgorithm, ModelCodec};
+/// use flips_selection::RandomSelector;
+///
+/// let profile = DatasetProfile::femnist();
+/// let config = CoordinatorConfig {
+///     job_id: 0xF11F,
+///     model: profile.model.clone(),
+///     algorithm: FlAlgorithm::fedyogi(),
+///     rounds: 1,
+///     parties_per_round: 2,
+///     sketch_dim: 8,
+///     codec: ModelCodec::Raw,
+///     seed: 7,
+/// };
+/// let selector = Box::new(RandomSelector::new(6, 7));
+/// let test_set = balanced_test_set(&profile, 4, 7);
+/// let mut coordinator = Coordinator::new(config, 6, test_set, selector).unwrap();
+///
+/// let effects = coordinator.open_round().unwrap();
+/// assert_eq!(effects.len(), 4, "2 selected parties × (notice + model)");
+///
+/// // No update arrived before the driver's deadline: the round closes
+/// // with every selected party a straggler, and the job (budget 1) ends.
+/// let closed = coordinator.handle(Event::DeadlineExpired).unwrap();
+/// assert!(closed.iter().any(|e| matches!(e, Effect::RoundClosed(_))));
+/// assert!(coordinator.is_finished());
+/// ```
 pub struct Coordinator {
     config: CoordinatorConfig,
     num_parties: usize,

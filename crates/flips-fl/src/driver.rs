@@ -32,14 +32,15 @@
 //! `tests/protocol_equivalence.rs`).
 
 use crate::codec::{CodecMap, ModelCodec, Negotiation, Role};
+use crate::config::DeadlinePolicy;
 use crate::coordinator::Coordinator;
 use crate::events::{Effect, Event};
 use crate::history::History;
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyModel, ObservedLatency};
 use crate::message::{deframe_with, frame_into, frame_job, AGGREGATOR_DEST};
 use crate::straggler::Clock;
 use crate::transport::Transport;
-use crate::{FlError, PartyEndpoint, WireMessage};
+use crate::{FlError, JobParts, PartyEndpoint, WireMessage};
 use bytes::BytesMut;
 use flips_selection::PartyId;
 use std::collections::{BTreeMap, HashSet};
@@ -119,16 +120,85 @@ pub struct DriverStats {
     pub unknown_job_frames: u64,
     /// Messages a coordinator bounced ([`Effect::Rejected`]).
     pub rejected_messages: u64,
+    /// Updates that arrived past their round's latency-derived deadline
+    /// (withheld from the coordinator; the wheel closes the sender out
+    /// as a straggler). Always 0 on the injected-clock path.
+    pub late_updates: u64,
 }
 
-/// One job under the driver's management. Who misses each round's
-/// deadline is decided by the clock at round open; those parties' model
-/// delivery is withheld, as the in-process driver does — work whose
-/// result never arrives is not simulated.
+/// How a job under the driver decides its round deadlines.
+///
+/// The two variants are the two straggler models this workspace
+/// supports:
+///
+/// - [`DeadlineSource::Injected`] — a seeded [`Clock`] designates each
+///   round's victims up front and their model delivery is withheld (the
+///   paper's §5 emulation; work whose result never arrives is not
+///   simulated).
+/// - [`DeadlineSource::Observed`] — every party trains and replies;
+///   each reply's simulated round-trip duration feeds the job's
+///   [`ObservedLatency`] samples, the [`DeadlinePolicy`] derives the next
+///   round's deadline from them, and an update whose duration exceeds
+///   the open round's deadline is withheld as late. No victim set is
+///   ever injected on this path.
+pub enum DeadlineSource {
+    /// Victim sets decided a priori by a seeded clock.
+    Injected(Box<dyn Clock>),
+    /// Deadlines derived from observed round-trip latency.
+    Observed {
+        /// The policy deriving each round's deadline.
+        policy: DeadlinePolicy,
+        /// Round-trip samples observed so far.
+        observed: ObservedLatency,
+    },
+}
+
+impl DeadlineSource {
+    /// An observed-latency source with no samples yet.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] if `policy` is invalid or is
+    /// [`DeadlinePolicy::Injected`] (which needs a [`Clock`], not a
+    /// sample set).
+    pub fn observed(policy: DeadlinePolicy) -> Result<Self, FlError> {
+        policy.validate()?;
+        if !policy.is_latency_derived() {
+            return Err(FlError::InvalidConfig(
+                "DeadlinePolicy::Injected needs a Clock; use DeadlineSource::Injected".into(),
+            ));
+        }
+        Ok(DeadlineSource::Observed { policy, observed: ObservedLatency::new() })
+    }
+}
+
+impl std::fmt::Debug for DeadlineSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeadlineSource::Injected(_) => f.write_str("Injected"),
+            DeadlineSource::Observed { policy, observed } => f
+                .debug_struct("Observed")
+                .field("policy", policy)
+                .field("samples", &observed.len())
+                .finish(),
+        }
+    }
+}
+
+/// One job under the driver's management: its protocol state machine
+/// plus the deadline machinery (see [`DeadlineSource`]).
 struct JobState {
     coordinator: Coordinator,
-    clock: Box<dyn Clock>,
+    deadline: DeadlineSource,
     latency: Arc<LatencyModel>,
+    /// The open round's latency-derived deadline in simulated seconds
+    /// (`None` = unbounded). Meaningless on the injected path.
+    current_deadline: Option<f64>,
+    /// Parties whose round-trip sample was already recorded this round —
+    /// an at-least-once transport may redeliver an update, and a
+    /// duplicate must not inflate the sample multiset the next deadline
+    /// derives from.
+    sampled: HashSet<PartyId>,
 }
 
 /// The aggregator side of a serialized link: N coordinators multiplexed
@@ -139,14 +209,55 @@ struct JobState {
 /// [`MultiJobDriver::advance_clock`] (when the wire is quiet) until
 /// [`MultiJobDriver::is_finished`] — or let [`run_lockstep`] do exactly
 /// that against an in-process [`PartyPool`].
+///
+/// # Example
+///
+/// Serve one seeded job over an in-memory frame link — every message
+/// crosses the wire as encoded bytes:
+///
+/// ```
+/// use flips_data::dataset::{balanced_test_set, generate_population};
+/// use flips_data::{partition, DatasetProfile, PartitionStrategy};
+/// use flips_fl::{
+///     run_lockstep, FlJob, FlJobConfig, LocalTrainingConfig, MemoryTransport, MultiJobDriver,
+///     PartyPool,
+/// };
+/// use flips_selection::RandomSelector;
+///
+/// let profile = DatasetProfile::femnist().scaled(6, 30);
+/// let population = generate_population(&profile, profile.default_total_samples, 3);
+/// let parts = partition(&population, 6, PartitionStrategy::Iid, 5, 3).unwrap();
+/// let config = FlJobConfig {
+///     rounds: 1,
+///     parties_per_round: 2,
+///     local: LocalTrainingConfig { epochs: 1, ..Default::default() },
+///     ..FlJobConfig::new(profile.model.clone())
+/// };
+/// let selector = Box::new(RandomSelector::new(6, 3));
+/// let job =
+///     FlJob::new(parts.parties, balanced_test_set(&profile, 4, 3), config, selector).unwrap();
+///
+/// let (agg_end, party_end) = MemoryTransport::pair();
+/// let mut driver = MultiJobDriver::new(agg_end);
+/// let (id, endpoints) = driver.add_parts(job.into_parts()).unwrap();
+/// let mut pool = PartyPool::new(party_end);
+/// pool.add_job(id, endpoints);
+///
+/// run_lockstep(&mut driver, &mut pool).unwrap();
+/// assert_eq!(driver.history(id).unwrap().len(), 1);
+/// ```
 pub struct MultiJobDriver<T: Transport> {
     transport: T,
     /// Job id → state; `BTreeMap` so every sweep is in stable id order.
     jobs: BTreeMap<u64, JobState>,
     wheel: TimerWheel,
     stats: DriverStats,
-    /// Per-job payload codec state (sender side of global models).
-    codecs: CodecMap,
+    /// Per-link, per-job payload codec state (sender side of global
+    /// models), one map per transport link: the delta reference is
+    /// *link* state — two shards of a sharded wire see different frame
+    /// subsets, so sharing one reference across links would desync the
+    /// moment a broadcast skips a shard (see [`Transport::links`]).
+    codecs: Vec<CodecMap>,
     /// Reused frame-encode scratch: grow-only, so the steady-state
     /// encode path performs no heap allocation.
     scratch: BytesMut,
@@ -166,12 +277,13 @@ impl<T: Transport> std::fmt::Debug for MultiJobDriver<T> {
 impl<T: Transport> MultiJobDriver<T> {
     /// A driver over `transport` with no jobs yet.
     pub fn new(transport: T) -> Self {
+        let links = transport.links().max(1);
         MultiJobDriver {
             transport,
             jobs: BTreeMap::new(),
             wheel: TimerWheel::new(),
             stats: DriverStats::default(),
-            codecs: CodecMap::new(Role::Sender),
+            codecs: (0..links).map(|_| CodecMap::new(Role::Sender)).collect(),
             scratch: BytesMut::new(),
             started: false,
         }
@@ -180,6 +292,9 @@ impl<T: Transport> MultiJobDriver<T> {
     /// Registers a job: its coordinator (which carries the job id every
     /// message is keyed by), its deadline clock, and the latency model
     /// the clock consults. Returns the job id.
+    ///
+    /// This is the injected-victim path; for latency-derived deadlines
+    /// use [`MultiJobDriver::add_job_observed`].
     ///
     /// # Errors
     ///
@@ -192,6 +307,53 @@ impl<T: Transport> MultiJobDriver<T> {
         clock: Box<dyn Clock>,
         latency: Arc<LatencyModel>,
     ) -> Result<u64, FlError> {
+        self.add_job_with(coordinator, DeadlineSource::Injected(clock), latency)
+    }
+
+    /// Registers a job whose round deadlines are derived from observed
+    /// round-trip latency by `policy` (see [`DeadlineSource::Observed`]).
+    /// No victim set is ever injected on this path. Returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiJobDriver::add_job`], plus [`FlError::InvalidConfig`]
+    /// for an invalid or [`DeadlinePolicy::Injected`] policy.
+    pub fn add_job_observed(
+        &mut self,
+        coordinator: Coordinator,
+        policy: DeadlinePolicy,
+        latency: Arc<LatencyModel>,
+    ) -> Result<u64, FlError> {
+        let source = DeadlineSource::observed(policy)?;
+        self.add_job_with(coordinator, source, latency)
+    }
+
+    /// Registers a split [`crate::FlJob`] (see [`crate::FlJob::into_parts`]),
+    /// routing it to the deadline source its configuration asks for, and
+    /// returns the job id together with the endpoints the caller must
+    /// hand to the party side ([`PartyPool::add_job`] or a sharded
+    /// runtime).
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiJobDriver::add_job`].
+    pub fn add_parts(&mut self, parts: JobParts) -> Result<(u64, Vec<PartyEndpoint>), FlError> {
+        let JobParts { coordinator, endpoints, clock, latency, deadline } = parts;
+        let source = if deadline.is_latency_derived() {
+            DeadlineSource::observed(deadline)?
+        } else {
+            DeadlineSource::Injected(Box::new(clock))
+        };
+        let id = self.add_job_with(coordinator, source, latency)?;
+        Ok((id, endpoints))
+    }
+
+    fn add_job_with(
+        &mut self,
+        coordinator: Coordinator,
+        deadline: DeadlineSource,
+        latency: Arc<LatencyModel>,
+    ) -> Result<u64, FlError> {
         if self.started {
             return Err(FlError::Protocol("cannot add jobs to a started driver".into()));
         }
@@ -199,8 +361,19 @@ impl<T: Transport> MultiJobDriver<T> {
         if self.jobs.contains_key(&id) {
             return Err(FlError::InvalidConfig(format!("job id {id:#x} already registered")));
         }
-        self.codecs.register(id, coordinator.codec());
-        self.jobs.insert(id, JobState { coordinator, clock, latency });
+        for link_codecs in &mut self.codecs {
+            link_codecs.register(id, coordinator.codec());
+        }
+        self.jobs.insert(
+            id,
+            JobState {
+                coordinator,
+                deadline,
+                latency,
+                current_deadline: None,
+                sampled: HashSet::new(),
+            },
+        );
         Ok(id)
     }
 
@@ -251,9 +424,10 @@ impl<T: Transport> MultiJobDriver<T> {
         self.stats
     }
 
-    /// The payload codec a job's model frames travel with.
+    /// The payload codec a job's model frames travel with (identical on
+    /// every link).
     pub fn codec_of(&self, job: u64) -> Option<ModelCodec> {
-        self.codecs.codec_of(job)
+        self.codecs[0].codec_of(job)
     }
 
     /// The current virtual tick.
@@ -277,12 +451,18 @@ impl<T: Transport> MultiJobDriver<T> {
     /// job's round state untouched.
     pub fn pump(&mut self) -> Result<bool, FlError> {
         let mut progressed = false;
-        while let Some(raw) = self.transport.try_recv()? {
+        while let Some((link, raw)) = self.transport.try_recv_tagged()? {
             progressed = true;
             self.stats.frames_received += 1;
             self.stats.bytes_received += raw.len() as u64;
             let peeked_job = frame_job(&raw);
-            let msg = match deframe_with(raw, &mut self.codecs) {
+            let Some(link_codecs) = self.codecs.get_mut(link) else {
+                return Err(FlError::Transport(format!(
+                    "transport tagged a frame with link {link}, but only {} exist",
+                    self.codecs.len()
+                )));
+            };
+            let msg = match deframe_with(raw, link_codecs) {
                 Ok((AGGREGATOR_DEST, msg)) => msg,
                 // A party-addressed frame on the uplink is misrouted;
                 // treat like any other malformed traffic.
@@ -305,16 +485,47 @@ impl<T: Transport> MultiJobDriver<T> {
                 Err(e) => return Err(e),
             };
             let job_id = msg.job();
-            if !self.jobs.contains_key(&job_id) {
+            let Some(state) = self.jobs.get_mut(&job_id) else {
                 self.stats.unknown_job_frames += 1;
                 continue;
+            };
+            // The latency-derived deadline check: every cohort member's
+            // simulated round-trip duration is a sample, and an update
+            // slower than the open round's deadline is withheld — the
+            // wheel will close its sender out as a straggler. The
+            // decision compares two deterministic quantities (seeded
+            // training duration vs. a deadline derived from the closed
+            // rounds' sample multiset), so it is independent of arrival
+            // order — which is what keeps sharded runs equivalent to
+            // single-threaded ones. Samples are deduplicated per
+            // `(round, party)` so replayed frames cannot perturb the
+            // multiset, and only this round's cohort contributes.
+            if let DeadlineSource::Observed { observed, .. } = &mut state.deadline {
+                if let WireMessage::LocalUpdate { round, party, duration, .. } = &msg {
+                    let pid = *party as PartyId;
+                    let in_open_round = state.coordinator.round() as u64 == *round
+                        && state.coordinator.open_cohort().is_some_and(|c| c.contains(&pid));
+                    if in_open_round {
+                        let first_arrival = state.sampled.insert(pid);
+                        if first_arrival {
+                            observed.record(*duration);
+                        }
+                        if state.current_deadline.is_some_and(|d| *duration > d) {
+                            // Every copy is withheld (a redelivered late
+                            // update reaching the coordinator would be
+                            // *accepted* — the party is still pending),
+                            // but only the first arrival counts, so
+                            // `late_updates` equals the straggler count
+                            // under at-least-once delivery too.
+                            if first_arrival {
+                                self.stats.late_updates += 1;
+                            }
+                            continue;
+                        }
+                    }
+                }
             }
-            let effects = self
-                .jobs
-                .get_mut(&job_id)
-                .expect("checked")
-                .coordinator
-                .handle(Event::UpdateReceived(msg))?;
+            let effects = state.coordinator.handle(Event::UpdateReceived(msg))?;
             self.apply_effects(job_id, effects)?;
         }
         Ok(progressed)
@@ -377,10 +588,14 @@ impl<T: Transport> MultiJobDriver<T> {
     }
 
     /// Opens a job's next round (unless finished): runs selection,
-    /// consults the clock for this round's deadline victims, schedules
-    /// the deadline on the wheel, and sends the round's frames —
-    /// selection notices to the whole cohort, the global model to every
-    /// party whose update will make the deadline.
+    /// resolves this round's deadline, schedules it on the wheel, and
+    /// sends the round's frames.
+    ///
+    /// On the injected path the clock picks this round's victims and
+    /// their model delivery is withheld (work whose result never arrives
+    /// is not simulated). On the observed path every cohort member gets
+    /// the model — who misses follows from each reply's duration against
+    /// the latency-derived deadline, checked in [`MultiJobDriver::pump`].
     fn open_next_round(&mut self, job_id: u64) -> Result<(), FlError> {
         let state = self.jobs.get_mut(&job_id).expect("job registered");
         if state.coordinator.is_finished() {
@@ -395,9 +610,23 @@ impl<T: Transport> MultiJobDriver<T> {
                 _ => None,
             })
             .collect();
-        let victim_idx = state.clock.missed_deadline(&selected, &state.latency);
-        let victims: HashSet<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
-        let deadline_ticks = state.clock.deadline_ticks();
+        state.sampled.clear();
+        let (victims, deadline_ticks) = match &mut state.deadline {
+            DeadlineSource::Injected(clock) => {
+                let victim_idx = clock.missed_deadline(&selected, &state.latency);
+                let victims: HashSet<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
+                (victims, clock.deadline_ticks())
+            }
+            DeadlineSource::Observed { policy, observed } => {
+                let deadline = policy.deadline_secs(observed);
+                state.current_deadline = deadline;
+                // An unbounded (warm-up) deadline still schedules an
+                // entry: it only fires if the round somehow stalls, and
+                // a stale entry is skipped harmlessly.
+                let ticks = deadline.map_or(1, DeadlinePolicy::ticks);
+                (HashSet::new(), ticks)
+            }
+        };
         self.wheel.schedule(deadline_ticks, Deadline { job: job_id, round });
         for effect in effects {
             let Effect::Send { to, msg } = effect else { continue };
@@ -409,10 +638,28 @@ impl<T: Transport> MultiJobDriver<T> {
         Ok(())
     }
 
+    /// The open round's latency-derived deadline for `job`, in simulated
+    /// seconds (`None` = no such job, injected path, or unbounded
+    /// warm-up round).
+    pub fn current_deadline(&self, job: u64) -> Option<f64> {
+        self.jobs.get(&job).and_then(|j| j.current_deadline)
+    }
+
     fn send_to_party(&mut self, to: PartyId, msg: &WireMessage) -> Result<(), FlError> {
-        // Encode with the job's negotiated codec into the reused
+        // Encode with the job's negotiated codec — against the codec
+        // state of the link this frame will travel on — into the reused
         // scratch: zero allocation once the scratch has warmed up.
-        frame_into(to as u64, msg, self.codecs.for_job(msg.job()), &mut self.scratch);
+        let link = self.transport.link_for(msg.job(), to as u64);
+        let Some(link_codecs) = self.codecs.get_mut(link) else {
+            // Same contract violation `pump` hard-errors on: encoding
+            // against the wrong link's CodecMap would silently desync
+            // the delta reference, which is far worse than failing.
+            return Err(FlError::Transport(format!(
+                "transport routed a frame to link {link}, but only {} exist",
+                self.codecs.len()
+            )));
+        };
+        frame_into(to as u64, msg, link_codecs.for_job(msg.job()), &mut self.scratch);
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += self.scratch.len() as u64;
         self.transport.send(self.scratch.as_slice())

@@ -5,6 +5,18 @@
 //! drawn log-normally — a standard heavy-tailed fit for device populations
 //! — and derives a simulated round duration from the party's sample count.
 //! Oort's system utility and TiFL's tiers both consume these durations.
+//!
+//! The model is consumed from two directions:
+//!
+//! - *a priori* by selectors that profile device speed (TiFL's tiers,
+//!   Oort's system utility) and by the legacy straggler injector's
+//!   slow-biased victim draw;
+//! - *a posteriori* through [`ObservedLatency`]: drivers feed every
+//!   round-trip duration a party actually reports back into a per-job
+//!   sample set, and the [`crate::config::DeadlinePolicy`] derives the
+//!   next round's deadline from those observations — the straggler model
+//!   the paper injects synthetically becomes an emergent property of the
+//!   measured population.
 
 use flips_ml::rng::{derive_seed, normal, seeded};
 use serde::{Deserialize, Serialize};
@@ -71,6 +83,78 @@ impl LatencyModel {
     }
 }
 
+/// Round-trip latency samples observed on a live job.
+///
+/// Every [`crate::WireMessage::LocalUpdate`] reports the simulated
+/// duration of the round trip that produced it (dispatch → local
+/// training → reply). Drivers record each one here, and the
+/// [`crate::config::DeadlinePolicy`] turns the accumulated sample set
+/// into the next round's deadline.
+///
+/// Order independence is load-bearing: sharded drivers observe the same
+/// *multiset* of samples in a nondeterministic *order*, so every derived
+/// statistic must be a pure function of the multiset. [`quantile`]
+/// guarantees that by sorting internally.
+///
+/// [`quantile`]: ObservedLatency::quantile
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObservedLatency {
+    /// All samples, in arrival order (never consulted in that order).
+    samples: Vec<f64>,
+    /// Scratch for quantile extraction, sorted on demand.
+    sorted: Vec<f64>,
+    /// Samples appended since `sorted` was last rebuilt.
+    dirty: bool,
+}
+
+impl ObservedLatency {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        ObservedLatency::default()
+    }
+
+    /// Records one observed round-trip duration (seconds).
+    ///
+    /// Non-finite or negative samples are ignored — a corrupt wire
+    /// message must not be able to poison the deadline statistics.
+    pub fn record(&mut self, duration: f64) {
+        if duration.is_finite() && duration >= 0.0 {
+            self.samples.push(duration);
+            self.dirty = true;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the observed samples, or `None`
+    /// while no sample exists. Uses the nearest-rank method on the
+    /// sorted multiset, so the result is independent of arrival order —
+    /// the property that lets sharded and single-threaded drivers derive
+    /// identical deadlines.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if self.dirty {
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.samples);
+            self.sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+            self.dirty = false;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +203,56 @@ mod tests {
         let prof = m.profile(&[10, 20, 30, 40], 2);
         assert_eq!(prof.len(), 4);
         assert!(prof.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn observed_quantiles_are_order_independent() {
+        let mut forward = ObservedLatency::new();
+        let mut backward = ObservedLatency::new();
+        let samples = [0.5, 0.1, 0.9, 0.3, 0.7];
+        for &s in &samples {
+            forward.record(s);
+        }
+        for &s in samples.iter().rev() {
+            backward.record(s);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(forward.quantile(q), backward.quantile(q), "q = {q}");
+        }
+        assert_eq!(forward.quantile(0.5), Some(0.5));
+        assert_eq!(forward.quantile(1.0), Some(0.9));
+        assert_eq!(forward.quantile(0.0), Some(0.1));
+    }
+
+    #[test]
+    fn observed_is_empty_until_a_sample_arrives() {
+        let mut obs = ObservedLatency::new();
+        assert!(obs.is_empty());
+        assert_eq!(obs.quantile(0.5), None);
+        obs.record(0.2);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs.quantile(0.5), Some(0.2));
+    }
+
+    #[test]
+    fn hostile_samples_are_ignored() {
+        let mut obs = ObservedLatency::new();
+        obs.record(f64::NAN);
+        obs.record(f64::INFINITY);
+        obs.record(-1.0);
+        assert!(obs.is_empty(), "non-finite/negative samples must not poison the stats");
+        obs.record(0.4);
+        obs.record(f64::NAN);
+        assert_eq!(obs.quantile(1.0), Some(0.4));
+    }
+
+    #[test]
+    fn quantile_tracks_samples_recorded_after_a_query() {
+        // The sorted cache must invalidate on new samples.
+        let mut obs = ObservedLatency::new();
+        obs.record(0.1);
+        assert_eq!(obs.quantile(1.0), Some(0.1));
+        obs.record(0.9);
+        assert_eq!(obs.quantile(1.0), Some(0.9));
     }
 }

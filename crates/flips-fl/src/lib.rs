@@ -43,7 +43,43 @@
 //! - [`driver`] — the serialized-transport driver: a timer wheel plus a
 //!   [`driver::MultiJobDriver`] multiplexing many concurrent jobs over
 //!   one transport, and the [`driver::PartyPool`] serving the party side
-//!   of the wire.
+//!   of the wire;
+//! - [`runtime`] — the threaded sharded runtime: party shards training
+//!   in parallel on worker threads, the driver on a dedicated
+//!   coordinator thread, histories bit-identical to the single-threaded
+//!   paths.
+//!
+//! # Example: one seeded round trip
+//!
+//! Drive a small seeded job to completion and read its history (the
+//! one-stop [`SimulationBuilder`] in `flips-core` wraps exactly this):
+//!
+//! ```
+//! use flips_fl::{FlJob, FlJobConfig, LocalTrainingConfig};
+//! use flips_data::dataset::{balanced_test_set, generate_population};
+//! use flips_data::{partition, DatasetProfile, PartitionStrategy};
+//! use flips_selection::RandomSelector;
+//!
+//! let profile = DatasetProfile::femnist().scaled(8, 30);
+//! let population = generate_population(&profile, profile.default_total_samples, 7);
+//! let parts =
+//!     partition(&population, 8, PartitionStrategy::Dirichlet { alpha: 1.0 }, 5, 7).unwrap();
+//! let test = balanced_test_set(&profile, 5, 7);
+//! let config = FlJobConfig {
+//!     rounds: 2,
+//!     parties_per_round: 3,
+//!     local: LocalTrainingConfig { epochs: 1, ..Default::default() },
+//!     ..FlJobConfig::new(profile.model.clone())
+//! };
+//! let selector = Box::new(RandomSelector::new(8, 7));
+//! let mut job = FlJob::new(parts.parties, test, config, selector).unwrap();
+//! let history = job.run().unwrap();
+//! assert_eq!(history.len(), 2);
+//! ```
+//!
+//! [`SimulationBuilder`]: https://docs.rs/flips-core
+
+#![warn(missing_docs)]
 
 pub mod aggregator;
 pub mod codec;
@@ -56,20 +92,24 @@ pub mod history;
 pub mod latency;
 pub mod message;
 pub mod party;
+pub mod runtime;
 pub mod server;
 pub mod straggler;
 pub mod transport;
 
 pub use aggregator::{FlJob, FlJobConfig, JobParts};
 pub use codec::{CodecMap, ModelCodec, Negotiation, PayloadCodec};
-pub use config::{FlAlgorithm, LocalTrainingConfig};
+pub use config::{DeadlinePolicy, FlAlgorithm, LocalTrainingConfig};
 pub use coordinator::{Coordinator, CoordinatorConfig};
-pub use driver::{run_lockstep, DriverStats, MultiJobDriver, PartyPool, TimerWheel};
+pub use driver::{
+    run_lockstep, DeadlineSource, DriverStats, MultiJobDriver, PartyPool, TimerWheel,
+};
 pub use endpoint::PartyEndpoint;
 pub use events::{Effect, Event, RejectReason};
 pub use history::{History, RoundRecord};
-pub use latency::LatencyModel;
+pub use latency::{LatencyModel, ObservedLatency};
 pub use message::WireMessage;
+pub use runtime::{run_sharded, RuntimeOptions, ShardedOutcome};
 pub use straggler::{Clock, StragglerInjector};
 pub use transport::{duplex, MemoryTransport, StreamTransport, Transport};
 

@@ -408,9 +408,22 @@ pub fn frame_into(dest: u64, msg: &WireMessage, codec: &mut PayloadCodec, out: &
 /// hold one. Drivers use this to attribute an undecodable frame (e.g. a
 /// codec mismatch) to the right counter — unknown job vs bad payload.
 pub fn frame_job(frame: &Bytes) -> Option<u64> {
-    let bytes = frame.as_slice();
-    let job = bytes.get(FRAME_HEADER + HEADER..FRAME_HEADER + HEADER + 8)?;
+    frame_job_of(frame.as_slice())
+}
+
+/// Slice-level twin of [`frame_job`], for senders that hold the frame
+/// as raw bytes (the sharded runtime's router peeks before routing).
+pub fn frame_job_of(frame: &[u8]) -> Option<u64> {
+    let job = frame.get(FRAME_HEADER + HEADER..FRAME_HEADER + HEADER + 8)?;
     Some(u64::from_le_bytes(job.try_into().expect("8 bytes")))
+}
+
+/// Peeks the destination of a transport frame (the first header field):
+/// a party id on the downlink, [`AGGREGATOR_DEST`] on the uplink.
+/// Returns `None` for frames too short to hold one.
+pub fn frame_dest(frame: &[u8]) -> Option<u64> {
+    let dest = frame.get(..FRAME_HEADER)?;
+    Some(u64::from_le_bytes(dest.try_into().expect("8 bytes")))
 }
 
 /// Splits a transport frame into its destination and decoded message

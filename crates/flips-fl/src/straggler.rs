@@ -35,7 +35,7 @@ use serde::{Deserialize, Serialize};
 ///   no wheel (it fires the deadline as soon as every surviving update
 ///   is pumped), which is exactly the wheel schedule with every
 ///   completion inside the window, so histories agree bit-for-bit.
-pub trait Clock {
+pub trait Clock: Send {
     /// Indices into `cohort` of the parties whose updates miss this
     /// round's deadline, sorted ascending. Called exactly once per round
     /// open, in round order — implementations may hold RNG state.

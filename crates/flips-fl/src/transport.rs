@@ -34,6 +34,34 @@ use std::sync::{Arc, Mutex};
 pub const MAX_FRAME_BYTES: usize = 256 << 20;
 
 /// A bidirectional, frame-oriented byte channel.
+///
+/// # Example
+///
+/// The in-memory pair is the simplest implementation — frames travel
+/// intact and in order, and an empty queue reads as `None` rather than
+/// blocking:
+///
+/// ```
+/// use flips_fl::{MemoryTransport, Transport};
+///
+/// let (mut a, mut b) = MemoryTransport::pair();
+/// a.send(b"frame-1").unwrap();
+/// let frame = b.try_recv().unwrap().expect("one frame queued");
+/// assert_eq!(frame.as_slice(), b"frame-1");
+/// assert!(b.try_recv().unwrap().is_none(), "polled, never blocks");
+/// ```
+///
+/// A transport is usually one point-to-point link, but it may
+/// *multiplex several independent links* behind one interface — the
+/// sharded runtime's [`crate::runtime::ShardRouter`] fans one logical
+/// wire out across N worker-shard links. Stateful payload codecs (the
+/// delta reference of [`crate::ModelCodec::DeltaLossless`]) are
+/// per-link state, so multi-link transports must expose their topology:
+/// [`Transport::links`] declares how many links exist,
+/// [`Transport::link_for`] routes an outbound `(job, destination)` to
+/// its link, and [`Transport::try_recv_tagged`] attributes each inbound
+/// frame to the link it arrived on. Point-to-point transports keep the
+/// defaults (a single link `0`).
 pub trait Transport {
     /// Queues one frame for the peer.
     ///
@@ -56,6 +84,30 @@ pub trait Transport {
     /// Returns [`FlError::Transport`] on I/O failure or a frame whose
     /// length prefix exceeds [`MAX_FRAME_BYTES`].
     fn try_recv(&mut self) -> Result<Option<Bytes>, FlError>;
+
+    /// Number of independent links this transport multiplexes (1 for a
+    /// point-to-point channel). Senders keep per-link codec state sized
+    /// by this.
+    fn links(&self) -> usize {
+        1
+    }
+
+    /// The link that will carry an outbound frame for `(job, dest)`.
+    /// Must be below [`Transport::links`].
+    fn link_for(&self, _job: u64, _dest: u64) -> usize {
+        0
+    }
+
+    /// Receives the next complete frame together with the link it
+    /// arrived on. The default wraps [`Transport::try_recv`] with link
+    /// `0`; multi-link transports must override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::try_recv`].
+    fn try_recv_tagged(&mut self) -> Result<Option<(usize, Bytes)>, FlError> {
+        Ok(self.try_recv()?.map(|frame| (0, frame)))
+    }
 }
 
 /// Shared queue of one direction of a memory link.

@@ -21,6 +21,21 @@
 //! - **Balanced accuracy.** The paper's accuracy metric is the mean of
 //!   per-label recalls (its Eq. in §4.4); [`metrics`] implements exactly
 //!   that.
+//!
+//! # Example
+//!
+//! Build a model from a spec and step it — the flat parameter vector is
+//! the entire interface the FL layers aggregate over:
+//!
+//! ```
+//! use flips_ml::model::ModelSpec;
+//! use flips_ml::rng::seeded;
+//!
+//! let spec = ModelSpec::Mlp { dims: vec![4, 8, 3] };
+//! let model = spec.build(&mut seeded(7));
+//! assert_eq!(model.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+//! assert_eq!(model.params().len(), model.num_params());
+//! ```
 
 pub mod activation;
 pub mod init;

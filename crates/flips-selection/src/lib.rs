@@ -14,6 +14,20 @@
 //! All policies implement [`types::ParticipantSelector`]; the FL runtime
 //! drives them through a select → train → report loop and is
 //! policy-agnostic.
+//!
+//! # Example
+//!
+//! Every selector answers the same question — which parties train this
+//! round:
+//!
+//! ```
+//! use flips_selection::{ParticipantSelector, RandomSelector};
+//!
+//! let mut selector = RandomSelector::new(10, 7);
+//! let cohort = selector.select(0, 3).unwrap();
+//! assert_eq!(cohort.len(), 3);
+//! assert!(cohort.iter().all(|&p| p < 10), "cohort drawn from the roster");
+//! ```
 
 pub mod flips;
 pub mod gradclus;

@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .codec(codec)
             .seed(seed)
             .build()?;
-        let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+        let JobParts { coordinator, endpoints, clock, latency, .. } = job.into_parts();
         let id = driver.add_job(
             coordinator,
             Box::new(PacedClock { injector: clock, ticks }),

@@ -157,7 +157,7 @@ fn run(kind: SelectorKind) -> SimulationReport {
 /// the driver's wire counters (actual bytes under `codec`).
 fn run_over_stream_transport_with(kind: SelectorKind, codec: ModelCodec) -> (History, DriverStats) {
     let (job, meta) = builder(kind).codec(codec).build().unwrap();
-    let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+    let JobParts { coordinator, endpoints, clock, latency, .. } = job.into_parts();
     let (agg_pipe, party_pipe) = duplex();
     let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
     let job_id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
@@ -321,7 +321,7 @@ fn three_multiplexed_jobs_complete_with_isolated_deterministic_histories() {
     let mut ids = Vec::new();
     for &seed in &seeds {
         let (job, _) = builder(SelectorKind::Random).seed(seed).build().unwrap();
-        let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+        let JobParts { coordinator, endpoints, clock, latency, .. } = job.into_parts();
         let id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
         pool.add_job(id, endpoints);
         ids.push(id);

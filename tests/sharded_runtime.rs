@@ -1,0 +1,258 @@
+//! Equivalence of the threaded sharded runtime with the single-threaded
+//! seeded paths, and of latency-derived deadlines with an external
+//! replay of the deadline policy.
+//!
+//! The acceptance bar for the threaded runtime is the same one every
+//! driver in this workspace has had to clear: a seeded run must be
+//! **bit-identical** however it is executed. The single-threaded
+//! in-process [`FlJob`] run is the golden oracle; the serialized
+//! lockstep driver and 1-, 2- and 4-shard threaded runs (with and
+//! without scheduling jitter and hostile frames in flight) must all
+//! reproduce it — per-round accepted-update sets to the element, every
+//! `RoundRecord` field to the bit.
+//!
+//! On the latency-derived path no victim set is ever injected: the
+//! suite replays the deadline policy outside the runtime (durations are
+//! a pure function of the latency model) and checks the runtime's
+//! stragglers are exactly the parties the policy predicts.
+
+use flips::fl::message::{frame, AGGREGATOR_DEST};
+use flips::fl::runtime::{run_sharded, RuntimeOptions, ShardedOutcome};
+use flips::fl::{ObservedLatency, PartyPool, StreamTransport};
+use flips::prelude::*;
+
+/// The shared workload: 12 parties, 4 rounds, heterogeneous latency
+/// (log-normal σ = 0.8 gives a solid fast/slow spread), and a deadline
+/// at 1.1× the observed median round trip — tight enough that the slow
+/// tail misses rounds once the warm-up round has seeded the samples.
+fn latency_builder(seed: u64) -> SimulationBuilder {
+    SimulationBuilder::new(DatasetProfile::femnist())
+        .parties(12)
+        .rounds(4)
+        .participation(0.25)
+        .alpha(0.3)
+        .selector(SelectorKind::Random)
+        .deadline(DeadlinePolicy::LatencyQuantile { q: 0.5, slack: 1.1 })
+        .latency_sigma(0.8)
+        .clustering_restarts(3)
+        .test_per_class(8)
+        .seed(seed)
+}
+
+/// The legacy injected-victims workload (the transport suites' shape).
+fn injected_builder(seed: u64) -> SimulationBuilder {
+    SimulationBuilder::new(DatasetProfile::femnist())
+        .parties(12)
+        .rounds(4)
+        .participation(0.25)
+        .alpha(0.3)
+        .selector(SelectorKind::Random)
+        .straggler_rate(0.25)
+        .clustering_restarts(3)
+        .test_per_class(8)
+        .seed(seed)
+}
+
+fn sharded(builder: &SimulationBuilder, opts: &RuntimeOptions) -> (History, ShardedOutcome) {
+    let (job, meta) = builder.build().unwrap();
+    let mut outcome = run_sharded(vec![job.into_parts()], opts).unwrap();
+    let history = outcome.histories.remove(&meta.job_id).unwrap();
+    (history, outcome)
+}
+
+#[test]
+fn sharded_runs_reproduce_the_single_thread_golden_bit_exactly() {
+    // The tentpole acceptance criterion: 1, 2 and 4 shards, same
+    // history as the seeded single-threaded in-process run — full
+    // `RoundRecord` equality, which subsumes per-round accepted-update
+    // (`completed`) set equality.
+    let golden = latency_builder(11).run().unwrap().history;
+    assert!(
+        golden.total_stragglers() > 0,
+        "the workload must exercise deadline pressure, or the test proves nothing"
+    );
+    for shards in [1, 2, 4] {
+        let (history, outcome) = sharded(&latency_builder(11), &RuntimeOptions::new(shards));
+        assert_eq!(history, golden, "{shards}-shard history diverged from the golden");
+        assert_eq!(outcome.stats.corrupt_frames, 0);
+        assert_eq!(outcome.stats.unknown_job_frames, 0);
+        assert!(
+            outcome.stats.late_updates > 0,
+            "stragglers on this path must come from late updates, not injection"
+        );
+    }
+}
+
+#[test]
+fn lockstep_serialized_driver_agrees_on_the_latency_deadline_path() {
+    // The latency-derived deadline is a driver-layer policy; the
+    // single-threaded serialized driver must implement it identically
+    // to both the in-process job and the threaded runtime.
+    let golden = latency_builder(11).run().unwrap().history;
+    let (job, meta) = latency_builder(11).build().unwrap();
+    let (agg_pipe, party_pipe) = duplex();
+    let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
+    let (id, endpoints) = driver.add_parts(job.into_parts()).unwrap();
+    assert_eq!(id, meta.job_id);
+    let mut pool = PartyPool::new(StreamTransport::new(party_pipe));
+    pool.add_job(id, endpoints);
+    run_lockstep(&mut driver, &mut pool).unwrap();
+    assert_eq!(driver.history(id).unwrap(), &golden);
+    assert!(driver.stats().late_updates > 0);
+}
+
+#[test]
+fn run_threaded_builder_entry_point_matches_run() {
+    let golden = latency_builder(23).run().unwrap();
+    let threaded = latency_builder(23).run_threaded(2).unwrap();
+    assert_eq!(threaded.history, golden.history);
+    assert_eq!(threaded.meta.job_id, golden.meta.job_id);
+}
+
+#[test]
+fn stragglers_are_exactly_the_parties_the_deadline_policy_predicts() {
+    // No injected victim set exists on this path, so who straggles must
+    // be derivable outside the runtime: replay the policy against the
+    // latency model (round-trip durations are a pure function of party
+    // id — fixed samples, fixed epochs) and compare round by round.
+    let policy = DeadlinePolicy::LatencyQuantile { q: 0.5, slack: 1.1 };
+    let (job, _) = latency_builder(11).build().unwrap();
+    let latency = job.latency_model().clone();
+    let samples = job.sample_counts();
+    let epochs = DatasetProfile::femnist().local_epochs;
+    let duration = |p: usize| latency.duration(p, samples[p], epochs);
+
+    let (history, _) = sharded(&latency_builder(11), &RuntimeOptions::new(2));
+    let mut observed = ObservedLatency::new();
+    let mut saw_straggler_round = false;
+    for record in history.records() {
+        let deadline = policy.deadline_secs(&mut observed);
+        let expected: Vec<usize> = record
+            .selected
+            .iter()
+            .copied()
+            .filter(|&p| deadline.is_some_and(|d| duration(p) > d))
+            .collect();
+        assert_eq!(
+            record.stragglers, expected,
+            "round {}: stragglers must follow from the latency model (deadline {deadline:?})",
+            record.round
+        );
+        saw_straggler_round |= !expected.is_empty();
+        for &p in &record.selected {
+            observed.record(duration(p));
+        }
+    }
+    assert!(saw_straggler_round, "the replay never predicted a straggler — tighten the policy");
+}
+
+#[test]
+fn late_update_count_equals_total_stragglers() {
+    // Every straggler on the observed path is a party whose reply
+    // arrived and was withheld — the two counters must agree exactly.
+    let (history, outcome) = sharded(&latency_builder(11), &RuntimeOptions::new(4));
+    assert_eq!(outcome.stats.late_updates as usize, history.total_stragglers());
+}
+
+#[test]
+fn fixed_deadline_policy_runs_and_aborts_the_slow_tail() {
+    // A hard SLA window: parties slower than 120 ms of simulated round
+    // trip miss every round they are selected for, from round 0 (no
+    // warm-up — the window is fixed).
+    let builder = latency_builder(31).deadline(DeadlinePolicy::FixedSeconds { secs: 0.12 });
+    let golden = builder.run().unwrap().history;
+    let (history, _) = sharded(&builder, &RuntimeOptions::new(3));
+    assert_eq!(history, golden);
+}
+
+#[test]
+fn injected_victim_sets_also_shard_identically() {
+    // The legacy path must survive the threading unchanged: the victim
+    // draw happens on the coordinator thread at round open, so the
+    // shard count cannot perturb the injector's RNG stream.
+    let golden = injected_builder(11).run().unwrap().history;
+    for shards in [1, 2, 4] {
+        let (history, outcome) = sharded(&injected_builder(11), &RuntimeOptions::new(shards));
+        assert_eq!(history, golden, "{shards}-shard injected run diverged");
+        assert_eq!(outcome.stats.late_updates, 0, "no late updates on the injected path");
+    }
+}
+
+#[test]
+fn multiple_jobs_with_mixed_policies_and_codecs_share_the_sharded_wire() {
+    // Three jobs — different seeds, codecs and deadline models — run
+    // concurrently across the same shard set; each must finish with
+    // exactly its solo history.
+    let configs: Vec<SimulationBuilder> = vec![
+        latency_builder(11).codec(ModelCodec::DeltaLossless),
+        injected_builder(23),
+        latency_builder(37).deadline(DeadlinePolicy::FixedSeconds { secs: 0.12 }),
+    ];
+    let solo: Vec<(u64, History)> = configs
+        .iter()
+        .map(|b| {
+            let report = b.run().unwrap();
+            (report.meta.job_id, report.history)
+        })
+        .collect();
+    let jobs: Vec<_> = configs.iter().map(|b| b.build().unwrap().0.into_parts()).collect();
+    let outcome = run_sharded(jobs, &RuntimeOptions::new(3)).unwrap();
+    assert_eq!(outcome.histories.len(), 3);
+    for (id, history) in &solo {
+        assert_eq!(
+            outcome.histories.get(id),
+            Some(history),
+            "job {id:#x} diverged under sharded multiplexing"
+        );
+    }
+}
+
+/// Hostile frames for the chaos thread: a truncated frame, a corrupt
+/// magic, a well-formed frame for a job nobody owns, and a forged
+/// duplicate heartbeat for a real job. All must be dropped, rejected or
+/// deduplicated without moving any round's state.
+fn chaos_frames(real_job: u64) -> Vec<bytes::Bytes> {
+    let whole =
+        frame(AGGREGATOR_DEST, &WireMessage::Heartbeat { job: real_job, round: 0, party: 1 });
+    let mut corrupt = whole.to_vec();
+    corrupt[8] ^= 0xFF;
+    vec![
+        whole.slice(0..5),
+        bytes::Bytes::from(corrupt),
+        frame(AGGREGATOR_DEST, &WireMessage::Heartbeat { job: 0xDEAD_BEEF, round: 0, party: 3 }),
+        whole,
+    ]
+}
+
+#[test]
+fn scheduling_jitter_and_chaos_frames_never_move_the_histories() {
+    // The randomized-schedule stress test: perturb every worker with
+    // pseudo-random sleeps while a chaos thread slips hostile frames
+    // onto both directions of the wire at unsynchronized times. The
+    // fault kinds mirror `tests/transport_faults.rs`; the oracle is the
+    // same — bit-identical histories, whatever the interleaving.
+    let golden = latency_builder(11).run().unwrap().history;
+    let (job, meta) = latency_builder(11).build().unwrap();
+    drop(job);
+    for (shards, jitter_seed) in [(2, 7u64), (3, 99), (4, 1234)] {
+        let mut opts = RuntimeOptions::new(shards);
+        opts.jitter_ns = 200_000;
+        opts.jitter_seed = jitter_seed;
+        opts.chaos_uplink = chaos_frames(meta.job_id);
+        opts.chaos_downlink = vec![frame(
+            1,
+            &WireMessage::GlobalModel { job: 0xDEAD_BEEF, round: 0, params: vec![1.0; 4].into() },
+        )];
+        let (history, outcome) = sharded(&latency_builder(11), &opts);
+        assert_eq!(
+            history, golden,
+            "jitter seed {jitter_seed} over {shards} shards moved the history"
+        );
+        // The chaos traffic must be visible in the counters (dropped,
+        // not lost): 2 corrupt/truncated + 1 unknown job on the uplink,
+        // 1 unroutable on some shard's downlink.
+        assert_eq!(outcome.stats.corrupt_frames, 2);
+        assert_eq!(outcome.stats.unknown_job_frames, 1);
+        assert_eq!(outcome.shard_unroutable.iter().sum::<u64>(), 1);
+    }
+}

@@ -92,7 +92,7 @@ fn link_from(make: fn(u64) -> SimulationBuilder) -> Link {
     let mut ids = Vec::new();
     for &seed in &SEEDS {
         let (job, _) = make(seed).build().unwrap();
-        let JobParts { coordinator, endpoints, clock, latency } = job.into_parts();
+        let JobParts { coordinator, endpoints, clock, latency, .. } = job.into_parts();
         let id = driver.add_job(coordinator, Box::new(clock), latency).unwrap();
         pool.add_job(id, endpoints);
         ids.push(id);

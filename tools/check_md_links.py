@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repository's markdown files resolve.
+
+Scans every tracked ``*.md`` at the repository root and under ``docs/``
+for inline links/images (``[text](target)``) and validates the ones that
+point into the repository:
+
+- relative file links must name an existing file or directory;
+- fragment-only links (``#section``) and relative links with fragments
+  must match a heading anchor in the target file (GitHub slug rules,
+  simplified: lowercase, spaces to dashes, punctuation stripped).
+
+External links (``http://``, ``https://``, ``mailto:``) are not fetched
+— CI must not depend on the network — but obviously malformed ones
+(empty targets) still fail.
+
+Exit code 0 when every link resolves, 1 otherwise (each failure is
+printed as ``file:line: message``).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links/images: [text](target) — stops at the first unbalanced
+# ')' so "(see [x](y))" parses. Reference-style links are rare in this
+# repo and intentionally out of scope.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (simplified but sufficient here)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if m:
+            anchors.add(slugify(m.group(1)))
+    return anchors
+
+
+def md_files() -> list[Path]:
+    files = sorted(ROOT.glob("*.md"))
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def main() -> int:
+    failures = []
+    for md in md_files():
+        in_fence = False
+        for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK.finditer(line):
+                target = m.group(1)
+                where = f"{md.relative_to(ROOT)}:{lineno}"
+                if not target:
+                    failures.append(f"{where}: empty link target")
+                    continue
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    resolved = (md.parent / path_part).resolve()
+                    if not resolved.exists():
+                        failures.append(f"{where}: broken link {target!r}")
+                        continue
+                    if fragment and resolved.suffix == ".md":
+                        if fragment not in anchors_of(resolved):
+                            failures.append(
+                                f"{where}: no heading {fragment!r} in {path_part!r}"
+                            )
+                elif fragment and fragment not in anchors_of(md):
+                    failures.append(f"{where}: no heading {fragment!r} in this file")
+    if failures:
+        print("markdown link check FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"markdown link check OK ({len(md_files())} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
