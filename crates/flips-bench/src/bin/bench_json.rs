@@ -182,9 +182,12 @@ fn sharded_round_ns(
     for sample in 0..=samples {
         let job = mlp256_job(parties, per_round, rounds, ModelCodec::Raw);
         let parts = job.into_parts();
+        // Default guards ride on the measured path: the perf gate on
+        // this number is what keeps the guard plane's per-frame cost
+        // honest (a regression here means admit() got expensive).
+        let opts = RuntimeOptions::new(shards).with_guard(GuardConfig::default());
         let start = Instant::now();
-        let outcome =
-            run_sharded(vec![parts], &RuntimeOptions::new(shards)).expect("sharded run completes");
+        let outcome = run_sharded(vec![parts], &opts).expect("sharded run completes");
         let elapsed = start.elapsed().as_nanos() as f64;
         black_box(outcome.histories.len());
         if sample > 0 {

@@ -17,12 +17,13 @@ pub use flips_data::{
     partition, Dataset, DatasetProfile, LabelDistribution, PartitionStrategy,
 };
 pub use flips_fl::{
-    run_lockstep, run_sharded, straggler::StragglerBias, transport::duplex, Clock, Coordinator,
+    run_lockstep, run_sharded, straggler::StragglerBias, transport::duplex, BreakerConfig,
+    BreakerState, ChaosAction, ChaosSchedule, ChaosTransport, ChaosWeights, Clock, Coordinator,
     CoordinatorConfig, DeadlinePolicy, DriverStats, Effect, Event, FlAlgorithm, FlJob, FlJobConfig,
-    History, JobParts, LatencyModel, LocalTrainingConfig, MemoryTransport, ModelCodec,
-    MultiJobDriver, ObservedLatency, PartyEndpoint, PartyPool, RejectReason, RoundRecord,
-    RuntimeOptions, ShardedOutcome, StragglerInjector, StreamTransport, TimerWheel, Transport,
-    WireMessage,
+    GuardConfig, GuardPlane, History, JobParts, LatencyModel, LocalTrainingConfig, MemoryTransport,
+    ModelCodec, MultiJobDriver, ObservedLatency, PartyEndpoint, PartyPool, RateLimit, RejectReason,
+    RoundRecord, RuntimeOptions, ScriptedClock, ShardedOutcome, StragglerInjector, StreamTransport,
+    TimerWheel, Transport, WireMessage,
 };
 pub use flips_ml::{metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model};
 pub use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectorKind};

@@ -183,6 +183,23 @@ pub enum DeadlinePolicy {
         /// below 1 make even median parties miss).
         slack: f64,
     },
+    /// Deadline = `slack × EWMA(per-round mean durations)`: an
+    /// exponentially weighted moving average over the *batch means* of
+    /// each closed round's observed durations, so the deadline tracks a
+    /// drifting population faster than a whole-history quantile while
+    /// staying a pure function of the per-round sample multisets
+    /// (batches are sealed at round opens — a deterministic point — and
+    /// each batch mean is summed in sorted order, so sharded arrival
+    /// order cannot move a bit; see [`ObservedLatency::ewma`]).
+    /// Unbounded until the first sample arrives, like
+    /// [`DeadlinePolicy::LatencyQuantile`].
+    Ewma {
+        /// Smoothing factor in `(0, 1]`: the weight of the newest
+        /// round's mean (1 = track only the last round).
+        alpha: f64,
+        /// Multiplicative slack over the smoothed mean (≥ 0).
+        slack: f64,
+    },
     /// A fixed per-round collection window in simulated seconds.
     FixedSeconds {
         /// The window length (> 0).
@@ -226,6 +243,19 @@ impl DeadlinePolicy {
                 }
                 Ok(())
             }
+            DeadlinePolicy::Ewma { alpha, slack } => {
+                if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
+                    return Err(crate::FlError::InvalidConfig(format!(
+                        "EWMA alpha {alpha} must be in (0, 1]"
+                    )));
+                }
+                if !slack.is_finite() || slack < 0.0 {
+                    return Err(crate::FlError::InvalidConfig(format!(
+                        "deadline slack {slack} must be finite and non-negative"
+                    )));
+                }
+                Ok(())
+            }
             DeadlinePolicy::FixedSeconds { secs } => {
                 if !secs.is_finite() || secs <= 0.0 {
                     return Err(crate::FlError::InvalidConfig(format!(
@@ -253,6 +283,14 @@ impl DeadlinePolicy {
             }
             DeadlinePolicy::LatencyQuantile { q, slack } => {
                 observed.quantile(q).map(|anchor| anchor * slack)
+            }
+            DeadlinePolicy::Ewma { alpha, slack } => {
+                // Called exactly once per round open by every driver, so
+                // sealing here gives each round its own batch — the same
+                // boundaries on the in-process, lockstep and sharded
+                // paths, which is what keeps their histories identical.
+                observed.seal_batch();
+                observed.ewma(alpha).map(|anchor| anchor * slack)
             }
             DeadlinePolicy::FixedSeconds { secs } => Some(secs),
         }
@@ -313,6 +351,30 @@ mod tests {
         assert!(DeadlinePolicy::LatencyQuantile { q: 0.5, slack: f64::NAN }.validate().is_err());
         assert!(DeadlinePolicy::FixedSeconds { secs: 0.0 }.validate().is_err());
         assert!(DeadlinePolicy::FixedSeconds { secs: 0.25 }.validate().is_ok());
+        assert!(DeadlinePolicy::Ewma { alpha: 0.5, slack: 1.2 }.validate().is_ok());
+        assert!(DeadlinePolicy::Ewma { alpha: 1.0, slack: 0.0 }.validate().is_ok());
+        assert!(DeadlinePolicy::Ewma { alpha: 0.0, slack: 1.0 }.validate().is_err());
+        assert!(DeadlinePolicy::Ewma { alpha: 1.5, slack: 1.0 }.validate().is_err());
+        assert!(DeadlinePolicy::Ewma { alpha: f64::NAN, slack: 1.0 }.validate().is_err());
+        assert!(DeadlinePolicy::Ewma { alpha: 0.5, slack: -0.1 }.validate().is_err());
+        assert!(DeadlinePolicy::Ewma { alpha: 0.5, slack: 1.0 }.is_latency_derived());
+    }
+
+    #[test]
+    fn ewma_policy_warms_up_unbounded_then_smooths_batch_means() {
+        let policy = DeadlinePolicy::Ewma { alpha: 0.5, slack: 2.0 };
+        let mut obs = ObservedLatency::new();
+        assert_eq!(policy.deadline_secs(&mut obs), None, "no samples: unbounded warm-up");
+        // Round 0 closes with mean 0.2.
+        obs.record(0.1);
+        obs.record(0.3);
+        assert_eq!(policy.deadline_secs(&mut obs), Some(0.4), "first batch: 2 × 0.2");
+        // Round 1 closes with mean 0.6 → EWMA 0.5·0.6 + 0.5·0.2 = 0.4.
+        obs.record(0.6);
+        assert_eq!(policy.deadline_secs(&mut obs), Some(0.8), "2 × smoothed 0.4");
+        // A deadline query with no new samples seals nothing: replaying
+        // the policy never perturbs the batch structure.
+        assert_eq!(policy.deadline_secs(&mut obs), Some(0.8));
     }
 
     #[test]

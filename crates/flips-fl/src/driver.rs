@@ -34,12 +34,13 @@
 use crate::codec::{CodecMap, ModelCodec, Negotiation, Role};
 use crate::config::DeadlinePolicy;
 use crate::coordinator::Coordinator;
-use crate::events::{Effect, Event};
+use crate::events::{Effect, Event, RejectReason};
+use crate::guard::{FrameKind, FrameVerdict, GuardConfig, GuardPlane};
 use crate::history::History;
 use crate::latency::{LatencyModel, ObservedLatency};
-use crate::message::{deframe_with, frame_into, frame_job, AGGREGATOR_DEST};
+use crate::message::{deframe_with, frame_into, frame_job, frame_party_of, AGGREGATOR_DEST};
 use crate::straggler::Clock;
-use crate::transport::Transport;
+use crate::transport::{Transport, MAX_FRAME_BYTES};
 use crate::{FlError, JobParts, PartyEndpoint, WireMessage};
 use bytes::BytesMut;
 use flips_selection::PartyId;
@@ -124,6 +125,37 @@ pub struct DriverStats {
     /// (withheld from the coordinator; the wheel closes the sender out
     /// as a straggler). Always 0 on the injected-clock path.
     pub late_updates: u64,
+    /// Frames dropped by the guard plane's size cap before decode
+    /// (see [`GuardConfig::max_frame_bytes`]).
+    pub oversized_frames: u64,
+    /// Frames refused because the sender's token bucket was empty
+    /// (each refusal also strikes the sender's breaker).
+    pub rate_limited_frames: u64,
+    /// Frames dropped because the sender's circuit breaker was open.
+    pub breaker_dropped_frames: u64,
+    /// Frames refused by per-round admission control (round already at
+    /// its admission budget).
+    pub admission_refused_frames: u64,
+    /// Breaker trips: parties ejected at a round open (a party
+    /// re-tripping after a failed half-open probe counts again).
+    pub parties_ejected: u64,
+    /// Round opens refused because the driver was draining.
+    pub drain_refused_selections: u64,
+}
+
+/// The final snapshot a drained driver reports (see
+/// [`MultiJobDriver::drain_report`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Wire counters at quiescence.
+    pub stats: DriverStats,
+    /// The virtual tick the driver reached.
+    pub tick: u64,
+    /// `(job id, rounds completed)` per registered job, ascending by id.
+    pub rounds_completed: Vec<(u64, usize)>,
+    /// Jobs that still have a round open — empty once the drain is
+    /// complete ([`MultiJobDriver::is_quiescent`]).
+    pub open_rounds: Vec<u64>,
 }
 
 /// How a job under the driver decides its round deadlines.
@@ -261,6 +293,10 @@ pub struct MultiJobDriver<T: Transport> {
     /// Reused frame-encode scratch: grow-only, so the steady-state
     /// encode path performs no heap allocation.
     scratch: BytesMut,
+    /// The inbound guard plane, if installed (see [`crate::guard`]).
+    guard: Option<GuardPlane>,
+    /// Graceful drain: open rounds finish, new opens are refused.
+    draining: bool,
     started: bool,
 }
 
@@ -285,7 +321,97 @@ impl<T: Transport> MultiJobDriver<T> {
             stats: DriverStats::default(),
             codecs: (0..links).map(|_| CodecMap::new(Role::Sender)).collect(),
             scratch: BytesMut::new(),
+            guard: None,
+            draining: false,
             started: false,
+        }
+    }
+
+    /// Installs (or replaces) the inbound guard plane (see
+    /// [`crate::guard`] for the stage order and breaker semantics).
+    /// Guard decisions are part of the seeded history, so the guard must
+    /// be in place before [`MultiJobDriver::start`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] if `config` fails
+    /// [`GuardConfig::validate`]; [`FlError::Protocol`] after
+    /// [`MultiJobDriver::start`].
+    pub fn set_guard(&mut self, config: GuardConfig) -> Result<(), FlError> {
+        if self.started {
+            return Err(FlError::Protocol("cannot install a guard on a started driver".into()));
+        }
+        self.guard = Some(GuardPlane::new(config)?);
+        Ok(())
+    }
+
+    /// The installed guard plane (breaker states and the transition
+    /// log), if any.
+    pub fn guard(&self) -> Option<&GuardPlane> {
+        self.guard.as_ref()
+    }
+
+    /// Enters graceful drain: every open round runs to its deadline
+    /// normally, but no further round is opened — each refused open is
+    /// counted in [`DriverStats::drain_refused_selections`]. Once no
+    /// round remains open the driver is
+    /// [`MultiJobDriver::is_quiescent`] and [`run_lockstep`] returns
+    /// with the partial histories intact.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether [`MultiJobDriver::begin_drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether a draining driver has reached quiescence: no job has a
+    /// round open (each is either finished or was refused its next
+    /// open). Always `false` unless draining.
+    pub fn is_quiescent(&self) -> bool {
+        self.draining
+            && self
+                .jobs
+                .values()
+                .all(|j| j.coordinator.is_finished() || j.coordinator.open_cohort().is_none())
+    }
+
+    /// The final snapshot of a drained driver — call once
+    /// [`MultiJobDriver::is_quiescent`].
+    pub fn drain_report(&self) -> DrainReport {
+        DrainReport {
+            stats: self.stats,
+            tick: self.wheel.now(),
+            rounds_completed: self
+                .jobs
+                .iter()
+                .map(|(&id, j)| (id, j.coordinator.history().len()))
+                .collect(),
+            open_rounds: self
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.coordinator.open_cohort().is_some())
+                .map(|(&id, _)| id)
+                .collect(),
+        }
+    }
+
+    /// Strikes the sender an undecodable frame *claims* to be from, when
+    /// the claimed job is registered and corrupt-striking is enabled.
+    /// Attribution is necessarily header-claimed — an attacker can frame
+    /// another party — but a forger who can write arbitrary headers
+    /// could impersonate that party outright anyway; the guard's
+    /// trust boundary is the frame header, same as routing's.
+    fn strike_claimed_sender(&mut self, job: Option<u64>, party: Option<u64>) {
+        let Some(guard) = &mut self.guard else { return };
+        if !guard.strikes_on_corrupt() {
+            return;
+        }
+        if let (Some(job), Some(party)) = (job, party) {
+            if self.jobs.contains_key(&job) {
+                guard.strike(job, party);
+            }
         }
     }
 
@@ -424,6 +550,12 @@ impl<T: Transport> MultiJobDriver<T> {
         self.stats
     }
 
+    /// The underlying transport — e.g. to read a
+    /// [`crate::ChaosTransport`]'s applied-action log after a run.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     /// The payload codec a job's model frames travel with (identical on
     /// every link).
     pub fn codec_of(&self, job: u64) -> Option<ModelCodec> {
@@ -455,7 +587,19 @@ impl<T: Transport> MultiJobDriver<T> {
             progressed = true;
             self.stats.frames_received += 1;
             self.stats.bytes_received += raw.len() as u64;
+            // Guard stage 1 — size cap, before any decode work touches
+            // the payload. The claimed sender is struck like a corrupt
+            // frame's: an oversized frame is hostile framing either way.
+            if let Some(guard) = &self.guard {
+                if !guard.frame_len_ok(raw.len()) {
+                    self.stats.oversized_frames += 1;
+                    let (job, party) = (frame_job(&raw), frame_party_of(&raw));
+                    self.strike_claimed_sender(job, party);
+                    continue;
+                }
+            }
             let peeked_job = frame_job(&raw);
+            let peeked_party = frame_party_of(&raw);
             let Some(link_codecs) = self.codecs.get_mut(link) else {
                 return Err(FlError::Transport(format!(
                     "transport tagged a frame with link {link}, but only {} exist",
@@ -468,6 +612,7 @@ impl<T: Transport> MultiJobDriver<T> {
                 // treat like any other malformed traffic.
                 Ok(_) | Err(FlError::Codec(_)) => {
                     self.stats.corrupt_frames += 1;
+                    self.strike_claimed_sender(peeked_job, peeked_party);
                     continue;
                 }
                 Err(FlError::CodecMismatch(_)) => {
@@ -477,6 +622,7 @@ impl<T: Transport> MultiJobDriver<T> {
                     // the routing counter, not the codec one.
                     if peeked_job.is_some_and(|j| self.jobs.contains_key(&j)) {
                         self.stats.codec_mismatch_frames += 1;
+                        self.strike_claimed_sender(peeked_job, peeked_party);
                     } else {
                         self.stats.unknown_job_frames += 1;
                     }
@@ -489,6 +635,44 @@ impl<T: Transport> MultiJobDriver<T> {
                 self.stats.unknown_job_frames += 1;
                 continue;
             };
+            // Guard stages 2–4 — breaker, rate limit, admission — for
+            // any message claiming a sender. The checks run in that
+            // order: an ejected party's traffic never consumes tokens or
+            // admission budget, and a rate-limited frame never consumes
+            // admission budget. All three verdicts are pure functions of
+            // the per-party frame sequence and round opens, so they are
+            // identical under any transport interleaving that preserves
+            // per-party order.
+            if let Some(guard) = &mut self.guard {
+                let party = match &msg {
+                    WireMessage::LocalUpdate { party, .. }
+                    | WireMessage::Heartbeat { party, .. }
+                    | WireMessage::Abort { party, .. } => Some(*party),
+                    _ => None,
+                };
+                if let Some(party) = party {
+                    let kind = if matches!(msg, WireMessage::LocalUpdate { .. }) {
+                        FrameKind::Update
+                    } else {
+                        FrameKind::Control
+                    };
+                    match guard.admit(job_id, party, kind) {
+                        FrameVerdict::Admit => {}
+                        FrameVerdict::BreakerOpen => {
+                            self.stats.breaker_dropped_frames += 1;
+                            continue;
+                        }
+                        FrameVerdict::RateLimited => {
+                            self.stats.rate_limited_frames += 1;
+                            continue;
+                        }
+                        FrameVerdict::RoundFull => {
+                            self.stats.admission_refused_frames += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
             // The latency-derived deadline check: every cohort member's
             // simulated round-trip duration is a sample, and an update
             // slower than the open round's deadline is withheld — the
@@ -519,6 +703,14 @@ impl<T: Transport> MultiJobDriver<T> {
                             // under at-least-once delivery too.
                             if first_arrival {
                                 self.stats.late_updates += 1;
+                                // Chronic lateness as a breaker signal is
+                                // opt-in: a slow party is usually
+                                // heterogeneity, not hostility.
+                                if let Some(guard) = &mut self.guard {
+                                    if guard.strikes_on_late() {
+                                        guard.strike(job_id, pid as u64);
+                                    }
+                                }
                             }
                             continue;
                         }
@@ -576,7 +768,17 @@ impl<T: Transport> MultiJobDriver<T> {
         for effect in effects {
             match effect {
                 Effect::Send { to, msg } => self.send_to_party(to, &msg)?,
-                Effect::Rejected { .. } => self.stats.rejected_messages += 1,
+                Effect::Rejected { party, reason, .. } => {
+                    self.stats.rejected_messages += 1;
+                    // A coordinator bounce is breaker evidence — except a
+                    // duplicate, which is exactly what an at-least-once
+                    // transport legitimately redelivers.
+                    if reason != RejectReason::DuplicateUpdate {
+                        if let (Some(guard), Some(p)) = (&mut self.guard, party) {
+                            guard.strike(job_id, p as u64);
+                        }
+                    }
+                }
                 Effect::RoundClosed(_) => reopen = true,
                 Effect::JobFinished(_) => {}
             }
@@ -601,6 +803,10 @@ impl<T: Transport> MultiJobDriver<T> {
         if state.coordinator.is_finished() {
             return Ok(());
         }
+        if self.draining {
+            self.stats.drain_refused_selections += 1;
+            return Ok(());
+        }
         let round = state.coordinator.round() as u64;
         let effects = state.coordinator.open_round()?;
         let selected: Vec<PartyId> = effects
@@ -611,7 +817,7 @@ impl<T: Transport> MultiJobDriver<T> {
             })
             .collect();
         state.sampled.clear();
-        let (victims, deadline_ticks) = match &mut state.deadline {
+        let (mut victims, deadline_ticks) = match &mut state.deadline {
             DeadlineSource::Injected(clock) => {
                 let victim_idx = clock.missed_deadline(&selected, &state.latency);
                 let victims: HashSet<PartyId> = victim_idx.iter().map(|&i| selected[i]).collect();
@@ -627,6 +833,19 @@ impl<T: Transport> MultiJobDriver<T> {
                 (HashSet::new(), ticks)
             }
         };
+        // Guard stage 5 — breaker evaluation at the deterministic point.
+        // A round open is the one moment every execution mode reaches in
+        // the same order with the same accumulated strikes, so breaker
+        // transitions here are arrival-order-independent. An ejected
+        // party is treated exactly like an injected victim: its model is
+        // withheld and the round closes it out as a straggler, which is
+        // what makes ejection equivalence testable against a
+        // [`crate::ScriptedClock`] reference run.
+        if let Some(guard) = &mut self.guard {
+            let outcome = guard.on_round_open(job_id, &selected);
+            self.stats.parties_ejected += u64::from(outcome.tripped);
+            victims.extend(outcome.ejected);
+        }
         self.wheel.schedule(deadline_ticks, Deadline { job: job_id, round });
         for effect in effects {
             let Effect::Send { to, msg } = effect else { continue };
@@ -685,6 +904,10 @@ pub struct PartyPool<T: Transport> {
     codec_mismatch: u64,
     /// Selection notices dropped for trying to renegotiate a job codec.
     renegotiations_rejected: u64,
+    /// Downlink frame-size cap, if a guard config was applied.
+    max_frame: Option<usize>,
+    /// Frames dropped by the size cap.
+    oversized: u64,
 }
 
 impl<T: Transport> std::fmt::Debug for PartyPool<T> {
@@ -709,7 +932,23 @@ impl<T: Transport> PartyPool<T> {
             rejected: 0,
             codec_mismatch: 0,
             renegotiations_rejected: 0,
+            max_frame: None,
+            oversized: 0,
         }
+    }
+
+    /// Applies the guard plane's frame-size cap to this pool's inbound
+    /// (downlink) frames. The party side trusts its own aggregator, so
+    /// size is the only guard stage that applies down here — there is no
+    /// per-party attribution or round-open signal on this side of the
+    /// wire.
+    pub fn set_guard(&mut self, config: &GuardConfig) {
+        self.max_frame = Some(config.max_frame_bytes.min(MAX_FRAME_BYTES));
+    }
+
+    /// Frames dropped by the guard's size cap ([`PartyPool::set_guard`]).
+    pub fn oversized(&self) -> u64 {
+        self.oversized
     }
 
     /// Registers a job's endpoints (endpoint ids key the routing, the
@@ -791,6 +1030,10 @@ impl<T: Transport> PartyPool<T> {
         let mut progressed = false;
         while let Some(raw) = self.transport.try_recv()? {
             progressed = true;
+            if self.max_frame.is_some_and(|cap| raw.len() > cap) {
+                self.oversized += 1;
+                continue;
+            }
             let peeked_job = frame_job(&raw);
             let msg = match deframe_with(raw, &mut self.codecs) {
                 Ok((dest, msg)) => {
@@ -849,7 +1092,9 @@ impl<T: Transport> PartyPool<T> {
 
 /// Runs a driver and an in-process party pool to completion, lock-step:
 /// pump both until the wire is quiet in both directions, then advance
-/// the driver's clock; repeat until every job finishes.
+/// the driver's clock; repeat until every job finishes — or, if the
+/// driver is draining ([`MultiJobDriver::begin_drain`]), until it
+/// reaches quiescence with its partial histories intact.
 ///
 /// # Errors
 ///
@@ -870,7 +1115,7 @@ pub fn run_lockstep<A: Transport, B: Transport>(
                 break;
             }
         }
-        if driver.is_finished() {
+        if driver.is_finished() || driver.is_quiescent() {
             return Ok(());
         }
         if !driver.advance_clock()? {

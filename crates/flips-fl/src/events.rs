@@ -9,6 +9,12 @@
 //! same state machine runs under the in-process simulation driver, a
 //! future async transport, or a deterministic unit test that hand-feeds
 //! events.
+//!
+//! [`Effect::Rejected`] doubles as a guard-plane signal: drivers with a
+//! [`crate::GuardPlane`] installed convert each rejection (except the
+//! benign [`RejectReason::DuplicateUpdate`], which at-least-once
+//! transports legitimately produce) into a breaker strike against the
+//! rejected sender — see [`crate::guard`].
 
 use crate::history::{History, RoundRecord};
 use crate::message::WireMessage;

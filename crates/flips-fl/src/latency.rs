@@ -105,6 +105,11 @@ pub struct ObservedLatency {
     sorted: Vec<f64>,
     /// Samples appended since `sorted` was last rebuilt.
     dirty: bool,
+    /// Batch boundaries (end indices into `samples`), sealed by
+    /// [`ObservedLatency::seal_batch`] at round opens. The EWMA policy
+    /// smooths over per-batch means, so the boundaries — not arrival
+    /// order — are what must be deterministic.
+    batches: Vec<usize>,
 }
 
 impl ObservedLatency {
@@ -152,6 +157,55 @@ impl ObservedLatency {
         }
         let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         Some(self.sorted[rank - 1])
+    }
+
+    /// Seals the samples recorded since the last seal into one batch
+    /// (a no-op when nothing new arrived, so replaying a policy query
+    /// never perturbs the batch structure). Drivers call this once per
+    /// round open — a deterministic point — giving every execution mode
+    /// identical batch boundaries.
+    pub fn seal_batch(&mut self) {
+        let end = self.samples.len();
+        if self.batches.last().copied().unwrap_or(0) < end {
+            self.batches.push(end);
+        }
+    }
+
+    /// Batches sealed so far.
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The exponentially weighted moving average of the per-batch mean
+    /// durations (`alpha` = weight of the newest batch), or `None`
+    /// while no batch holds a sample. Unsealed tail samples count as
+    /// one provisional batch.
+    ///
+    /// Bit-exact order independence is load-bearing here exactly as in
+    /// [`ObservedLatency::quantile`]: each batch mean is summed over the
+    /// batch's samples in *sorted* order (f64 addition does not
+    /// associate), so sharded drivers — which observe a batch's multiset
+    /// in nondeterministic order — derive the identical deadline.
+    pub fn ewma(&self, alpha: f64) -> Option<f64> {
+        let mut scratch = Vec::new();
+        let mut start = 0usize;
+        let mut smoothed: Option<f64> = None;
+        let ends = self.batches.iter().copied().chain(
+            (self.batches.last().copied().unwrap_or(0) < self.samples.len())
+                .then_some(self.samples.len()),
+        );
+        for end in ends {
+            scratch.clear();
+            scratch.extend_from_slice(&self.samples[start..end]);
+            scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+            let mean = scratch.iter().sum::<f64>() / scratch.len() as f64;
+            smoothed = Some(match smoothed {
+                None => mean,
+                Some(prev) => alpha * mean + (1.0 - alpha) * prev,
+            });
+            start = end;
+        }
+        smoothed
     }
 }
 
@@ -244,6 +298,63 @@ mod tests {
         obs.record(0.4);
         obs.record(f64::NAN);
         assert_eq!(obs.quantile(1.0), Some(0.4));
+    }
+
+    #[test]
+    fn ewma_is_order_independent_within_batches() {
+        // Same batches, different arrival order inside each — the bit
+        // pattern of the smoothed mean must not move.
+        let mut forward = ObservedLatency::new();
+        let mut backward = ObservedLatency::new();
+        for batch in [[0.5, 0.1, 0.9], [0.3, 0.7, 0.2]] {
+            for &s in &batch {
+                forward.record(s);
+            }
+            for &s in batch.iter().rev() {
+                backward.record(s);
+            }
+            forward.seal_batch();
+            backward.seal_batch();
+        }
+        let (a, b) = (forward.ewma(0.3).unwrap(), backward.ewma(0.3).unwrap());
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn ewma_weights_recent_batches_by_alpha() {
+        let mut obs = ObservedLatency::new();
+        assert_eq!(obs.ewma(0.5), None, "no samples, no average");
+        obs.record(0.2);
+        obs.seal_batch();
+        assert_eq!(obs.ewma(0.5), Some(0.2), "one batch: its mean");
+        obs.record(1.0);
+        obs.seal_batch();
+        assert_eq!(obs.ewma(0.5), Some(0.6), "0.5·1.0 + 0.5·0.2");
+        assert_eq!(obs.ewma(1.0), Some(1.0), "alpha 1 tracks only the newest batch");
+    }
+
+    #[test]
+    fn unsealed_tail_counts_as_a_provisional_batch() {
+        let mut obs = ObservedLatency::new();
+        obs.record(0.2);
+        obs.seal_batch();
+        obs.record(0.8);
+        assert_eq!(obs.ewma(0.5), Some(0.5), "tail batch participates");
+        obs.seal_batch();
+        assert_eq!(obs.ewma(0.5), Some(0.5), "sealing the tail changes nothing");
+        assert_eq!(obs.num_batches(), 2);
+    }
+
+    #[test]
+    fn sealing_with_no_new_samples_is_a_no_op() {
+        let mut obs = ObservedLatency::new();
+        obs.seal_batch();
+        assert_eq!(obs.num_batches(), 0, "an empty set seals nothing");
+        obs.record(0.4);
+        obs.seal_batch();
+        obs.seal_batch();
+        obs.seal_batch();
+        assert_eq!(obs.num_batches(), 1, "replayed seals must not split batches");
     }
 
     #[test]

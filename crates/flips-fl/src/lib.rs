@@ -44,6 +44,14 @@
 //!   [`driver::MultiJobDriver`] multiplexing many concurrent jobs over
 //!   one transport, and the [`driver::PartyPool`] serving the party side
 //!   of the wire;
+//! - [`guard`] — the deterministic inbound guard plane: per-party
+//!   token-bucket rate limits, circuit breakers ejecting chronically
+//!   hostile parties, per-round admission control, and graceful drain —
+//!   all driven by round opens, never by wall clocks;
+//! - [`chaos`] — the seeded fault-injection harness: a replayable
+//!   schedule of drop/duplicate/corrupt/delay/flood actions applied at
+//!   the transport seam, for exercising the guard plane (and everything
+//!   above it) deterministically;
 //! - [`runtime`] — the threaded sharded runtime: party shards training
 //!   in parallel on worker threads, the driver on a dedicated
 //!   coordinator thread, histories bit-identical to the single-threaded
@@ -82,12 +90,14 @@
 #![warn(missing_docs)]
 
 pub mod aggregator;
+pub mod chaos;
 pub mod codec;
 pub mod config;
 pub mod coordinator;
 pub mod driver;
 pub mod endpoint;
 pub mod events;
+pub mod guard;
 pub mod history;
 pub mod latency;
 pub mod message;
@@ -98,19 +108,24 @@ pub mod straggler;
 pub mod transport;
 
 pub use aggregator::{FlJob, FlJobConfig, JobParts};
+pub use chaos::{ChaosAction, ChaosEvent, ChaosSchedule, ChaosTransport, ChaosWeights};
 pub use codec::{CodecMap, ModelCodec, Negotiation, PayloadCodec};
 pub use config::{DeadlinePolicy, FlAlgorithm, LocalTrainingConfig};
 pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use driver::{
-    run_lockstep, DeadlineSource, DriverStats, MultiJobDriver, PartyPool, TimerWheel,
+    run_lockstep, DeadlineSource, DrainReport, DriverStats, MultiJobDriver, PartyPool, TimerWheel,
 };
 pub use endpoint::PartyEndpoint;
 pub use events::{Effect, Event, RejectReason};
+pub use guard::{
+    BreakerConfig, BreakerState, BreakerTransition, FrameKind, FrameVerdict, GuardConfig,
+    GuardPlane, OpenOutcome, RateLimit,
+};
 pub use history::{History, RoundRecord};
 pub use latency::{LatencyModel, ObservedLatency};
 pub use message::WireMessage;
 pub use runtime::{run_sharded, RuntimeOptions, ShardedOutcome};
-pub use straggler::{Clock, StragglerInjector};
+pub use straggler::{Clock, ScriptedClock, StragglerInjector};
 pub use transport::{duplex, MemoryTransport, StreamTransport, Transport};
 
 /// Errors produced by the FL runtime.

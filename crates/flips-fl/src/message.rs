@@ -418,6 +418,35 @@ pub fn frame_job_of(frame: &[u8]) -> Option<u64> {
     Some(u64::from_le_bytes(job.try_into().expect("8 bytes")))
 }
 
+/// Peeks the claimed sender of a framed party-bearing message without
+/// decoding it: selection notices, local updates, heartbeats and aborts
+/// all carry their party at the same fixed offset
+/// (`dest ‖ magic ‖ tag ‖ job ‖ round ‖ party`). Returns `None` for
+/// global models (which carry no party) and for frames too short to
+/// hold the field. The guard plane uses this to attribute an
+/// *undecodable* frame (corrupt payload, codec mismatch) to the sender
+/// its header claims — the claim is untrusted, which is exactly why it
+/// feeds a circuit breaker rather than any round state.
+pub fn frame_party_of(frame: &[u8]) -> Option<u64> {
+    let tag = *frame.get(FRAME_HEADER + 4)?;
+    if !matches!(tag, TAG_NOTICE | TAG_UPDATE | TAG_HEARTBEAT | TAG_ABORT) {
+        return None;
+    }
+    let off = FRAME_HEADER + HEADER + 16;
+    let party = frame.get(off..off + 8)?;
+    Some(u64::from_le_bytes(party.try_into().expect("8 bytes")))
+}
+
+/// Peeks whether a framed message is a party's local update — the one
+/// frame kind whose delivery order within a round is provably
+/// irrelevant (accepted updates are re-sorted by party id at round
+/// close). [`crate::chaos`] scopes its delay action to these frames:
+/// reordering a *control* frame can push a heartbeat past its round's
+/// eager close, which legitimately changes observed byte accounting.
+pub fn frame_is_update(frame: &[u8]) -> bool {
+    frame.get(FRAME_HEADER + 4) == Some(&TAG_UPDATE)
+}
+
 /// Peeks the destination of a transport frame (the first header field):
 /// a party id on the downlink, [`AGGREGATOR_DEST`] on the uplink.
 /// Returns `None` for frames too short to hold one.
@@ -617,6 +646,23 @@ mod tests {
         }
         assert_eq!(sample_update().job(), 99);
         assert_eq!(sample_update().round(), 12);
+    }
+
+    #[test]
+    fn frame_party_peek_covers_party_bearing_variants() {
+        for msg in one_of_each() {
+            let framed = frame(1, &msg);
+            let expected = match &msg {
+                WireMessage::GlobalModel { .. } => None,
+                WireMessage::SelectionNotice { party, .. }
+                | WireMessage::LocalUpdate { party, .. }
+                | WireMessage::Heartbeat { party, .. }
+                | WireMessage::Abort { party, .. } => Some(*party),
+            };
+            assert_eq!(frame_party_of(framed.as_slice()), expected, "{msg:?}");
+        }
+        assert_eq!(frame_party_of(&[0u8; 5]), None, "too short for a tag");
+        assert_eq!(frame_party_of(&[0u8; 20]), None, "unknown tag");
     }
 
     #[test]

@@ -59,7 +59,9 @@
 //! Only then does [`MultiJobDriver::advance_clock`] fire the next
 //! deadline.
 
+use crate::chaos::{ChaosEvent, ChaosSchedule, ChaosTransport};
 use crate::driver::{DriverStats, MultiJobDriver, PartyPool};
+use crate::guard::{BreakerTransition, GuardConfig};
 use crate::message::{frame_dest, frame_job_of};
 use crate::transport::{MemoryTransport, Transport};
 use crate::{FlError, History, JobParts, PartyEndpoint};
@@ -95,6 +97,13 @@ pub struct RuntimeOptions {
     /// Hostile frames slipped onto shard 0's downlink inbox while the
     /// run is in flight.
     pub chaos_downlink: Vec<Bytes>,
+    /// Inbound guard plane installed on the driver (and, for the
+    /// frame-size stage, on every shard pool). `None` runs unguarded.
+    pub guard: Option<GuardConfig>,
+    /// Seeded chaos schedule applied at the driver's uplink seam
+    /// ([`ChaosTransport`] around the [`ShardRouter`]). `None` runs the
+    /// wire untouched.
+    pub chaos: Option<ChaosSchedule>,
 }
 
 impl RuntimeOptions {
@@ -106,7 +115,23 @@ impl RuntimeOptions {
             jitter_seed: 0,
             chaos_uplink: Vec::new(),
             chaos_downlink: Vec::new(),
+            guard: None,
+            chaos: None,
         }
+    }
+
+    /// Installs an inbound guard plane on the run's driver.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Applies a seeded chaos schedule to the run's uplink.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 }
 
@@ -130,6 +155,15 @@ pub struct ShardedOutcome {
     pub shard_unroutable: Vec<u64>,
     /// Per-shard counts of routable frames an endpoint refused.
     pub shard_rejected: Vec<u64>,
+    /// Per-shard counts of downlink frames dropped by the guard's size
+    /// cap (all zero when no guard was installed).
+    pub shard_oversized: Vec<u64>,
+    /// The guard plane's breaker transition log (empty when no guard
+    /// was installed).
+    pub breaker_transitions: Vec<BreakerTransition>,
+    /// The chaos actions actually applied, in application order (empty
+    /// when no schedule was installed).
+    pub chaos_events: Vec<ChaosEvent>,
 }
 
 /// The coordinator side of the sharded wire: one [`MemoryTransport`]
@@ -301,7 +335,18 @@ pub fn run_sharded(jobs: Vec<JobParts>, opts: &RuntimeOptions) -> Result<Sharded
         driver_jobs.push((coordinator, clock, latency, deadline));
     }
 
-    let mut driver = MultiJobDriver::new(ShardRouter { links: driver_ends, routes });
+    // The chaos seam sits between the router and the driver, so every
+    // uplink frame (whichever shard it came from) passes the schedule;
+    // with no schedule the wrapper is inert passthrough.
+    let router = ShardRouter { links: driver_ends, routes };
+    let wire = match &opts.chaos {
+        Some(schedule) => ChaosTransport::new(router, schedule.clone()),
+        None => ChaosTransport::inert(router),
+    };
+    let mut driver = MultiJobDriver::new(wire);
+    if let Some(guard) = opts.guard {
+        driver.set_guard(guard)?;
+    }
     for (coordinator, clock, latency, deadline) in driver_jobs {
         if deadline.is_latency_derived() {
             driver.add_job_observed(coordinator, deadline, latency)?;
@@ -316,6 +361,9 @@ pub fn run_sharded(jobs: Vec<JobParts>, opts: &RuntimeOptions) -> Result<Sharded
     let mut pools = Vec::with_capacity(shards);
     for (end, assignments) in shard_ends.into_iter().zip(per_shard) {
         let mut pool = PartyPool::new(end);
+        if let Some(guard) = &opts.guard {
+            pool.set_guard(guard);
+        }
         for (job_id, codec, eps) in assignments {
             pool.pin_codec(job_id, codec);
             pool.add_job(job_id, eps);
@@ -397,6 +445,9 @@ pub fn run_sharded(jobs: Vec<JobParts>, opts: &RuntimeOptions) -> Result<Sharded
         histories,
         stats: driver.stats(),
         shard_unroutable: finished_pools.iter().map(PartyPool::unroutable).collect(),
+        shard_oversized: finished_pools.iter().map(PartyPool::oversized).collect(),
+        breaker_transitions: driver.guard().map_or_else(Vec::new, |g| g.transitions().to_vec()),
+        chaos_events: driver.transport().log().to_vec(),
         shard_rejected: finished_pools.drain(..).map(|p| p.rejected()).collect(),
     })
 }
@@ -436,11 +487,11 @@ fn worker_loop(
 }
 
 /// The coordinator thread body.
-fn drive(
-    mut driver: MultiJobDriver<ShardRouter>,
+fn drive<T: Transport + Send>(
+    mut driver: MultiJobDriver<T>,
     states: &[ShardState],
     worker_error: &Mutex<Option<FlError>>,
-) -> Result<MultiJobDriver<ShardRouter>, FlError> {
+) -> Result<MultiJobDriver<T>, FlError> {
     let run = (|| {
         driver.start()?;
         loop {

@@ -55,6 +55,50 @@ impl Clock for StragglerInjector {
     }
 }
 
+/// A clock replaying an explicit per-round victim script: round `r`'s
+/// victims are exactly `rounds[r] ∩ cohort` (rounds past the script's
+/// end strike nobody).
+///
+/// This is the reference implementation the guard plane's **ejection
+/// equivalence** is pinned against: a breaker-ejected party is treated
+/// exactly like an injected victim (model withheld, closes as a
+/// straggler), so a guarded run with a hostile party must be
+/// bit-identical to an unguarded run scripting that party as the victim
+/// in the same rounds — see `tests/guard_plane.rs`.
+#[derive(Debug, Clone)]
+pub struct ScriptedClock {
+    rounds: Vec<Vec<PartyId>>,
+    cursor: usize,
+    ticks: u64,
+}
+
+impl ScriptedClock {
+    /// A clock striking `rounds[r]` at the r-th round open.
+    pub fn new(rounds: Vec<Vec<PartyId>>) -> Self {
+        ScriptedClock { rounds, cursor: 0, ticks: 1 }
+    }
+
+    /// Sets the deadline window in virtual ticks (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_ticks(mut self, ticks: u64) -> Self {
+        self.ticks = ticks.max(1);
+        self
+    }
+}
+
+impl Clock for ScriptedClock {
+    fn missed_deadline(&mut self, cohort: &[PartyId], _latency: &LatencyModel) -> Vec<usize> {
+        let script = self.rounds.get(self.cursor);
+        self.cursor += 1;
+        let Some(victims) = script else { return Vec::new() };
+        cohort.iter().enumerate().filter(|(_, p)| victims.contains(p)).map(|(i, _)| i).collect()
+    }
+
+    fn deadline_ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
 /// How straggler victims are chosen within a round's cohort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StragglerBias {
@@ -174,6 +218,27 @@ mod tests {
     #[should_panic(expected = "straggler rate")]
     fn rejects_rate_of_one() {
         let _ = StragglerInjector::new(1.0, StragglerBias::Uniform, 5);
+    }
+
+    #[test]
+    fn scripted_clock_replays_its_script_then_goes_quiet() {
+        let mut clock = ScriptedClock::new(vec![vec![3, 7], vec![], vec![5]]).with_ticks(4);
+        let latency = LatencyModel::uniform(10);
+        assert_eq!(clock.deadline_ticks(), 4);
+        // Victims resolve to cohort indices; absent parties are ignored.
+        assert_eq!(clock.missed_deadline(&[1, 3, 5, 7], &latency), vec![1, 3]);
+        assert_eq!(clock.missed_deadline(&[1, 3, 5, 7], &latency), Vec::<usize>::new());
+        assert_eq!(clock.missed_deadline(&[5, 6], &latency), vec![0]);
+        assert_eq!(
+            clock.missed_deadline(&[5, 6], &latency),
+            Vec::<usize>::new(),
+            "past the script's end nobody is struck"
+        );
+    }
+
+    #[test]
+    fn scripted_clock_clamps_zero_ticks_forward() {
+        assert_eq!(ScriptedClock::new(vec![]).with_ticks(0).deadline_ticks(), 1);
     }
 
     #[test]

@@ -81,19 +81,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ids.push((name, id));
     }
 
+    // The guard plane rides between the wire and the coordinators; on a
+    // clean link its permissive defaults are pure observation.
+    driver.set_guard(GuardConfig::default())?;
+
     println!("\nrunning all jobs to completion over the shared wire ...");
     run_lockstep(&mut driver, &mut pool)?;
 
     let stats = driver.stats();
     println!(
         "done at virtual tick {}: {} frames down ({:.2} MiB), {} frames up ({:.2} MiB), \
-         {} rejected\n",
+         {} rejected",
         driver.tick(),
         stats.frames_sent,
         stats.bytes_sent as f64 / (1024.0 * 1024.0),
         stats.frames_received,
         stats.bytes_received as f64 / (1024.0 * 1024.0),
         stats.rejected_messages
+    );
+    println!(
+        "guard plane: {} rate-limited, {} breaker-dropped, {} admission-refused, \
+         {} oversized, {} parties ejected\n",
+        stats.rate_limited_frames,
+        stats.breaker_dropped_frames,
+        stats.admission_refused_frames,
+        stats.oversized_frames,
+        stats.parties_ejected
     );
 
     println!("job    codec           rounds  peak-acc  stragglers  accounted-MiB");

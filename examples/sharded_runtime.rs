@@ -76,6 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     format!("p{:02.0} quantile x {slack}", q * 100.0)
                 }
                 DeadlinePolicy::FixedSeconds { secs } => format!("fixed {} ms", secs * 1e3),
+                DeadlinePolicy::Ewma { alpha, slack } => format!("ewma a={alpha} x {slack}"),
                 DeadlinePolicy::Injected => "injected victims".into(),
             };
             println!(

@@ -207,6 +207,50 @@ fn multiple_jobs_with_mixed_policies_and_codecs_share_the_sharded_wire() {
     }
 }
 
+#[test]
+fn ewma_deadline_policy_shards_identically_with_guards_enabled() {
+    // The EWMA deadline is sealed per round open (order-independent
+    // batch means), so it must shard exactly like the quantile policy —
+    // here additionally with the default guard plane installed, which
+    // must be invisible on a conformant run.
+    let builder = latency_builder(11).deadline(DeadlinePolicy::Ewma { alpha: 0.3, slack: 1.1 });
+    let golden = builder.run().unwrap().history;
+    assert!(
+        golden.total_stragglers() > 0,
+        "the EWMA window must bite the slow tail, or the test proves nothing"
+    );
+    for shards in [1, 2, 4] {
+        let opts = RuntimeOptions::new(shards).with_guard(GuardConfig::default());
+        let (history, outcome) = sharded(&builder, &opts);
+        assert_eq!(history, golden, "{shards}-shard EWMA history diverged from the golden");
+        assert_eq!(outcome.stats.parties_ejected, 0);
+        assert_eq!(outcome.stats.rate_limited_frames, 0);
+        assert!(outcome.breaker_transitions.is_empty());
+    }
+}
+
+#[test]
+fn guards_and_seeded_chaos_leave_sharded_latency_histories_untouched() {
+    // The latency-deadline flavor of the guard-plane acceptance bar:
+    // seeded chaos schedules (duplicates, corrupt copies, delays and
+    // floods at an unowned job) on the 2-shard uplink, default guards
+    // installed — bit-identical histories, chaos visible in the log.
+    let golden = latency_builder(11).run().unwrap().history;
+    for chaos_seed in [5u64, 77, 4242] {
+        let opts = RuntimeOptions::new(2)
+            .with_guard(GuardConfig::default())
+            .with_chaos(ChaosSchedule::seeded(chaos_seed));
+        let (history, outcome) = sharded(&latency_builder(11), &opts);
+        assert_eq!(history, golden, "chaos seed {chaos_seed} moved the 2-shard history");
+        assert_eq!(outcome.stats.parties_ejected, 0, "seed {chaos_seed} tripped a breaker");
+        assert!(outcome.breaker_transitions.is_empty());
+        assert!(
+            !outcome.chaos_events.is_empty(),
+            "seed {chaos_seed} applied no chaos — the run proves nothing"
+        );
+    }
+}
+
 /// Hostile frames for the chaos thread: a truncated frame, a corrupt
 /// magic, a well-formed frame for a job nobody owns, and a forged
 /// duplicate heartbeat for a real job. All must be dropped, rejected or

@@ -272,6 +272,69 @@ fn interleaved_uplink_frames_from_two_jobs_demultiplex_cleanly() {
     assert_histories_clean(&link, &solo);
 }
 
+#[test]
+fn corrupt_frames_strike_the_claimed_sender_and_trip_its_breaker() {
+    // Guard attribution: a corrupt frame cannot be trusted, but its
+    // header-claimed sender can be charged for it. Enough clobbered
+    // frames all claiming one party must open that party's breaker —
+    // and nobody else's.
+    let mut link = two_job_link();
+    link.driver
+        .set_guard(GuardConfig {
+            rate_limit: None,
+            admission_factor: None,
+            breaker: Some(BreakerConfig { strike_threshold: 3, ..BreakerConfig::default() }),
+            ..GuardConfig::default()
+        })
+        .unwrap();
+    let job0 = link.ids[0];
+    run_with_faults(&mut link, |window, link| {
+        if window != 0 {
+            return;
+        }
+        for _ in 0..4 {
+            // heartbeat_frame claims party 3; flip the message magic so
+            // only the fixed-offset header peek can attribute it.
+            let mut bad = heartbeat_frame(job0).to_vec();
+            bad[8] ^= 0xFF;
+            link.to_driver.send(&bad).unwrap();
+        }
+    });
+    assert_eq!(link.driver.stats().corrupt_frames, 4);
+    let transitions = link.driver.guard().unwrap().transitions();
+    assert!(
+        transitions.iter().any(|t| t.job == job0 && t.party == 3 && t.to == BreakerState::Open),
+        "4 corrupt frames over a 3-strike threshold must open party 3's breaker: {transitions:?}"
+    );
+    assert!(
+        transitions.iter().all(|t| t.party == 3),
+        "no other party may be charged for the corruption: {transitions:?}"
+    );
+}
+
+#[test]
+fn pool_frame_cap_drops_oversized_downlink_frames() {
+    // The pool side of the configurable frame cap: an 800KB frame
+    // pushed down a 512KB-capped wire is dropped and counted before
+    // any decode, and every job still reaches its clean history.
+    let solo = solo_histories();
+    let mut link = two_job_link();
+    let guard = GuardConfig { max_frame_bytes: 1 << 19, ..GuardConfig::default() };
+    link.pool.set_guard(&guard);
+    let job0 = link.ids[0];
+    run_with_faults(&mut link, |window, link| {
+        if window > 1 {
+            return;
+        }
+        let huge =
+            WireMessage::GlobalModel { job: job0, round: 0, params: vec![1.0; 200_000].into() };
+        link.to_pool.send(&frame(2, &huge)).unwrap();
+    });
+    assert_eq!(link.pool.oversized(), 2, "2 windows × 1 over-cap frame");
+    assert_eq!(link.pool.unroutable(), 0);
+    assert_histories_clean(&link, &solo);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
