@@ -198,6 +198,44 @@ fn sharded_round_ns(
     times[times.len() / 2]
 }
 
+/// Median ns per round for the [`fl_round_ns`] workload executed on the
+/// epoll socket runtime: the roster split across `links` real TCP
+/// loopback connections, one party worker thread per link, the
+/// coordinator behind `epoll_wait`. The delta against
+/// `sharded_round_median_ns` is the price of the kernel — syscalls,
+/// socket buffers and the quiescence probe round trips that replace
+/// in-memory quiet detection.
+///
+/// Methodology mirrors [`sharded_round_ns`]: `run_socket` consumes its
+/// jobs, so each sample times a fresh `rounds`-round run (construction
+/// and the TCP accept handshake are excluded by nothing — connection
+/// setup is part of what a deployment pays per run); sample 0 is
+/// discarded as warm-up. Default guards ride on the measured path.
+fn socket_round_ns(
+    parties: usize,
+    per_round: usize,
+    rounds: usize,
+    samples: usize,
+    links: usize,
+) -> f64 {
+    use flips_net::SocketOptions;
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for sample in 0..=samples {
+        let job = mlp256_job(parties, per_round, rounds, ModelCodec::Raw);
+        let parts = job.into_parts();
+        let opts = SocketOptions::new(links).with_guard(GuardConfig::default());
+        let start = Instant::now();
+        let outcome = flips_net::run_socket(vec![parts], &opts).expect("socket run completes");
+        let elapsed = start.elapsed().as_nanos() as f64;
+        black_box(outcome.histories.len());
+        if sample > 0 {
+            times.push(elapsed / rounds as f64);
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fl_round.json".into());
     let kernel = if cfg!(feature = "baseline") { "naive-baseline" } else { "blocked" };
@@ -246,6 +284,14 @@ fn main() {
     }
     let sharded_ns = sharded_sweep[1].1;
 
+    eprintln!("measuring socket_round (same workload, epoll TCP runtime, 2 links) ...");
+    let socket_ns = socket_round_ns(16, 4, 3, 5, 2);
+    eprintln!(
+        "  {:.2} ms/round ({:+.1}% vs sharded)",
+        socket_ns / 1e6,
+        100.0 * (socket_ns - sharded_ns) / sharded_ns
+    );
+
     let json = format!(
         "{{\n  \"schema\": \"flips-bench/fl_round/v1\",\n  \"kernel\": \"{kernel}\",\n  \
          \"fl_round_median_ns\": {round_ns:.0},\n  \"transport_round_median_ns\": {transport_ns:.0},\n  \
@@ -253,6 +299,7 @@ fn main() {
          \"sharded_round_median_ns\": {sharded_ns:.0},\n  \
          \"sharded_round_1shard_median_ns\": {:.0},\n  \
          \"sharded_round_4shard_median_ns\": {:.0},\n  \
+         \"socket_round_median_ns\": {socket_ns:.0},\n  \
          \"transport_bytes_per_round\": {delta_bytes},\n  \
          \"transport_bytes_per_round_raw\": {raw_bytes},\n  \
          \"gemm_256_gflops\": {gflops_256:.2},\n  \"gemm_tn_256_gflops\": {tn_gflops_256:.2},\n  \

@@ -1000,6 +1000,18 @@ impl<T: Transport> PartyPool<T> {
         self.codecs.codec_of(job)
     }
 
+    /// The underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the underlying transport — a socket-backed
+    /// pool's event loop needs it to answer link-level control traffic
+    /// and to resume buffered writes on write readiness.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
     /// Pins a job's codec from out-of-band configuration instead of
     /// trusting the first wire notice (trust-on-first-frame lets one
     /// forged notice wedge a job before its real notice arrives — see

@@ -197,6 +197,13 @@ pub struct StreamTransport<S> {
     /// Payload bytes of an over-cap frame still to be discarded before
     /// the next length prefix.
     skip: usize,
+    /// Send-side staging for bytes the kernel would not take: when a
+    /// nonblocking write returns [`ErrorKind::WouldBlock`] mid-frame,
+    /// the unwritten tail lands here and [`StreamTransport::flush`]
+    /// resumes it — a frame is never torn on the wire. Consumed bytes
+    /// advance `out_cursor`; the buffer compacts once drained.
+    outbox: Vec<u8>,
+    out_cursor: usize,
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for StreamTransport<S> {
@@ -238,7 +245,80 @@ impl<S: Read + Write> StreamTransport<S> {
             max_frame: cap.min(MAX_FRAME_BYTES),
             oversized: 0,
             skip: 0,
+            outbox: Vec::new(),
+            out_cursor: 0,
         }
+    }
+
+    /// Whether send-side bytes are waiting for the stream to accept
+    /// them ([`StreamTransport::flush`] has work to do). An event loop
+    /// registers write interest exactly while this holds.
+    pub fn wants_write(&self) -> bool {
+        self.out_cursor < self.outbox.len()
+    }
+
+    /// Bytes currently staged in the send buffer.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len() - self.out_cursor
+    }
+
+    /// Pushes staged send-side bytes into the stream until it reports
+    /// [`ErrorKind::WouldBlock`] or the buffer drains. Returns whether
+    /// the buffer is now empty (`true` = nothing left to write; an
+    /// event loop drops write interest on `true`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Transport`] on any I/O failure other than
+    /// `WouldBlock`.
+    pub fn flush(&mut self) -> Result<bool, FlError> {
+        while self.out_cursor < self.outbox.len() {
+            match self.stream.write(&self.outbox[self.out_cursor..]) {
+                Ok(0) => {
+                    return Err(FlError::Transport(
+                        "stream refused buffered bytes (peer closed?)".into(),
+                    ))
+                }
+                Ok(n) => self.out_cursor += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FlError::Transport(format!("stream write failed: {e}"))),
+            }
+        }
+        self.outbox.clear();
+        self.out_cursor = 0;
+        let _ = self.stream.flush();
+        Ok(true)
+    }
+
+    /// Writes `bytes` through the stream, staging whatever the kernel
+    /// refuses in the outbox (order-preserving: if bytes are already
+    /// staged, the new ones queue behind them).
+    fn write_or_stage(&mut self, bytes: &[u8]) -> Result<(), FlError> {
+        // Anything already staged must go first, or frames interleave.
+        if self.wants_write() {
+            self.flush()?;
+            if self.wants_write() {
+                self.outbox.extend_from_slice(bytes);
+                return Ok(());
+            }
+        }
+        let mut written = 0;
+        while written < bytes.len() {
+            match self.stream.write(&bytes[written..]) {
+                Ok(0) => {
+                    return Err(FlError::Transport("stream refused bytes (peer closed?)".into()))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.outbox.extend_from_slice(&bytes[written..]);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FlError::Transport(format!("stream write failed: {e}"))),
+            }
+        }
+        Ok(())
     }
 
     /// Frames skipped by the configurable cap (see
@@ -250,6 +330,12 @@ impl<S: Read + Write> StreamTransport<S> {
     /// Consumes the transport, returning the underlying stream.
     pub fn into_inner(self) -> S {
         self.stream
+    }
+
+    /// The underlying stream (e.g. to half-close a socket while the
+    /// transport's counters stay alive).
+    pub fn get_ref(&self) -> &S {
+        &self.stream
     }
 
     /// Whether the stream reported end-of-file (the peer closed its
@@ -305,11 +391,16 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
                 frame.len()
             )));
         }
-        self.stream
-            .write_all(&(frame.len() as u32).to_le_bytes())
-            .and_then(|()| self.stream.write_all(frame))
-            .and_then(|()| self.stream.flush())
-            .map_err(|e| FlError::Transport(format!("stream write failed: {e}")))
+        // A nonblocking stream may take only part of the frame (a full
+        // kernel socket buffer reads as `WouldBlock` mid-write): the
+        // unwritten tail is staged in the outbox rather than erroring,
+        // and [`StreamTransport::flush`] resumes it on write readiness.
+        self.write_or_stage(&(frame.len() as u32).to_le_bytes())?;
+        self.write_or_stage(frame)?;
+        if !self.wants_write() {
+            let _ = self.stream.flush();
+        }
+        Ok(())
     }
 
     fn try_recv(&mut self) -> Result<Option<Bytes>, FlError> {
@@ -646,6 +737,104 @@ mod tests {
     }
 
     const FRAME_HEADER_END: usize = crate::message::FRAME_HEADER;
+
+    #[test]
+    fn send_buffers_partial_frames_when_the_socket_backs_up_and_drains_on_flush() {
+        // The backpressure regression test: keep sending large frames
+        // into a nonblocking TCP socket whose peer reads nothing. The
+        // kernel buffer fills, `write` starts returning `WouldBlock`
+        // mid-frame, and send must stage the tail instead of erroring
+        // (the pre-fix `write_all` surfaced `WouldBlock` as a transport
+        // error). Draining the peer plus `flush` must then deliver
+        // every frame intact, in order.
+        let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => l,
+            Err(_) => return, // sandboxed environments may forbid sockets
+        };
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+        server.set_nonblocking(true).unwrap();
+        let mut tx = StreamTransport::new(client);
+        let mut rx = StreamTransport::new(server);
+
+        // 64 KiB payloads overwhelm default socket buffers quickly;
+        // keep sending until the kernel actually refuses bytes so the
+        // test is independent of the host's buffer sizing.
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for i in 0..512u32 {
+            let frame = vec![(i % 251) as u8; 64 * 1024 + (i % 7) as usize];
+            tx.send(&frame).unwrap(); // must never error with WouldBlock
+            frames.push(frame);
+            if tx.wants_write() && frames.len() >= 4 {
+                break;
+            }
+        }
+        assert!(tx.wants_write(), "the kernel buffer never filled — grow the payloads");
+
+        // Drain: alternate receiving (freeing kernel buffer space) and
+        // flushing the staged tail until everything is through.
+        let mut received = Vec::new();
+        for _ in 0..100_000 {
+            let _ = tx.flush().unwrap();
+            while let Some(frame) = rx.try_recv().unwrap() {
+                received.push(frame);
+            }
+            if received.len() == frames.len() && !tx.wants_write() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(!tx.wants_write(), "outbox never drained");
+        assert_eq!(received.len(), frames.len());
+        for (got, want) in received.iter().zip(&frames) {
+            assert_eq!(got.as_slice(), want.as_slice(), "frame torn or reordered");
+        }
+    }
+
+    #[test]
+    fn staged_sends_queue_behind_each_other_in_order() {
+        // A stream that accepts a few bytes then blocks: successive
+        // sends must stage in order and flush() must resume mid-frame.
+        struct Throttled {
+            taken: Vec<u8>,
+            budget: usize,
+        }
+        impl Read for Throttled {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "nothing"))
+            }
+        }
+        impl Write for Throttled {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(std::io::Error::new(ErrorKind::WouldBlock, "full"));
+                }
+                let n = self.budget.min(buf.len());
+                self.taken.extend_from_slice(&buf[..n]);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut tx = StreamTransport::new(Throttled { taken: Vec::new(), budget: 6 });
+        tx.send(b"abcdef").unwrap(); // 4-byte prefix + 2 payload bytes fit
+        assert!(tx.wants_write());
+        assert_eq!(tx.outbox_len(), 4, "4 payload bytes staged");
+        tx.send(b"gh").unwrap(); // fully staged behind the first tail
+        assert_eq!(tx.outbox_len(), 4 + 4 + 2);
+        assert!(!tx.flush().unwrap(), "no budget: nothing moves");
+        tx.stream.budget = usize::MAX;
+        assert!(tx.flush().unwrap(), "budget restored: everything drains");
+        let mut want = 6u32.to_le_bytes().to_vec();
+        want.extend_from_slice(b"abcdef");
+        want.extend_from_slice(&2u32.to_le_bytes());
+        want.extend_from_slice(b"gh");
+        assert_eq!(tx.stream.taken, want, "bytes arrive exactly once, in order");
+    }
 
     #[test]
     fn works_over_nonblocking_tcp() {

@@ -1,0 +1,88 @@
+//! The deployable FLIPS party worker.
+//!
+//! `flips-party <config.toml> [slot]` reads the *same* config as
+//! `flips-server`, rebuilds the same seeded jobs, keeps the endpoints
+//! whose party id maps to its link slot (`p % links == slot`, default
+//! slot 0), connects out to the server and serves them with the
+//! readiness-driven [`flips_net::party_loop`] until the coordinator's
+//! shutdown notice.
+//!
+//! Both sides deriving the jobs from one file is the deployment story
+//! for a simulation workspace: there is no model-state bootstrap
+//! endpoint, the seed *is* the bootstrap. Slot 0 additionally binds the
+//! config's `[party] health` address, if any (one address can serve one
+//! process).
+//!
+//! Stdout: `CONNECTED <addr>`, then `PARTY COMPLETE parties=<n>` after
+//! a clean shutdown handshake.
+
+use flips_net::{connect_with_retry, party_loop, NetConfig, PartyJob};
+use std::io::Write;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::time::Duration;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("flips-party: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args().nth(1).ok_or("usage: flips-party <config.toml> [slot]")?;
+    let slot: usize = std::env::args().nth(2).map_or(Ok(0), |s| s.parse())?;
+    let cfg = NetConfig::parse(&std::fs::read_to_string(&path)?)?;
+    if slot >= cfg.links {
+        return Err(format!(
+            "link slot {slot} out of range: the config declares {} link(s)",
+            cfg.links
+        )
+        .into());
+    }
+
+    let mut link_jobs: Vec<PartyJob> = Vec::with_capacity(cfg.jobs.len());
+    let mut parties = 0usize;
+    for spec in &cfg.jobs {
+        let (job, meta) = spec.builder()?.build()?;
+        let parts = job.into_parts();
+        let codec = parts.coordinator.codec();
+        let endpoints: Vec<_> =
+            parts.endpoints.into_iter().filter(|ep| ep.id() % cfg.links == slot).collect();
+        if endpoints.is_empty() {
+            continue;
+        }
+        parties += endpoints.len();
+        eprintln!(
+            "flips-party: slot {slot} owns {} of {} parties of job {:#018x}",
+            endpoints.len(),
+            spec.parties,
+            meta.job_id
+        );
+        link_jobs.push((meta.job_id, codec, endpoints));
+    }
+
+    let addr = cfg
+        .connect
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| format!("connect address {:?} resolves to nothing", cfg.connect))?;
+    let health = if slot == 0 {
+        cfg.party_health.as_deref().map(TcpListener::bind).transpose()?
+    } else {
+        None
+    };
+    let stream = connect_with_retry(addr, Duration::from_secs(60))?;
+    println!("CONNECTED {addr}");
+    std::io::stdout().flush()?;
+
+    let pool = party_loop(stream, slot as u32, link_jobs, cfg.guard.as_ref(), health)?;
+    if pool.unroutable() > 0 || pool.rejected() > 0 {
+        eprintln!(
+            "flips-party: slot {slot} counters: unroutable={} rejected={}",
+            pool.unroutable(),
+            pool.rejected()
+        );
+    }
+    println!("PARTY COMPLETE parties={parties}");
+    Ok(())
+}

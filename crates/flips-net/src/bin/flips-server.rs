@@ -1,0 +1,104 @@
+//! The deployable FLIPS coordinator.
+//!
+//! `flips-server <config.toml>` binds the config's listen address,
+//! waits for one `flips-party` process per link, runs every configured
+//! job to completion behind the epoll event loop — guard plane, health
+//! plane and all — then keeps the health endpoint up for final scrapes
+//! until killed.
+//!
+//! Stdout is line-oriented and machine-readable (the e2e smoke test
+//! parses it): `LISTENING <addr>`, `HEALTH <addr>`, one `JOB <id>
+//! rounds=<n> accuracy=<a>` per finished job, then `RUN COMPLETE`.
+
+use flips_net::{render_server_metrics, request_path, serve, NetConfig, ServerOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("flips-server: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args().nth(1).ok_or("usage: flips-server <config.toml>")?;
+    let cfg = NetConfig::parse(&std::fs::read_to_string(&path)?)?;
+
+    let listener = TcpListener::bind(&cfg.listen)?;
+    println!("LISTENING {}", listener.local_addr()?);
+    let health = cfg.health.as_deref().map(TcpListener::bind).transpose()?;
+    if let Some(h) = &health {
+        println!("HEALTH {}", h.local_addr()?);
+    }
+    std::io::stdout().flush()?;
+
+    let mut jobs = Vec::with_capacity(cfg.jobs.len());
+    for spec in &cfg.jobs {
+        let (job, meta) = spec.builder()?.build()?;
+        eprintln!(
+            "flips-server: job {:#018x} ({} parties, {} rounds, {:?})",
+            meta.job_id, spec.parties, spec.rounds, spec.selector
+        );
+        jobs.push(job.into_parts());
+    }
+
+    let mut opts = ServerOptions::new(cfg.links);
+    opts.guard = cfg.guard;
+    // The health listener is cloned so scrapes keep working after the
+    // run: the event loop serves it while jobs are live, the tail loop
+    // below serves it once they finish.
+    let in_loop_health = health.as_ref().map(TcpListener::try_clone).transpose()?;
+    let outcome = serve(&listener, jobs, &opts, in_loop_health)?;
+
+    for (id, history) in &outcome.histories {
+        println!(
+            "JOB {id:#018x} rounds={} accuracy={:.4}",
+            history.len(),
+            history.final_accuracy()
+        );
+    }
+    println!("RUN COMPLETE");
+    std::io::stdout().flush()?;
+
+    if let Some(listener) = health {
+        let transitions = outcome.breaker_transitions.len() as u64;
+        let jobs = outcome.histories.len() as u64;
+        let body = render_server_metrics(&outcome.stats, transitions, jobs, true);
+        listener.set_nonblocking(false)?;
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            let _ = answer(stream, &body);
+        }
+    }
+    Ok(())
+}
+
+/// Answers one post-run health request with the final metrics.
+fn answer(stream: TcpStream, metrics: &str) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    // Drain the headers so the peer is not mid-write when we respond.
+    let mut line = String::new();
+    while reader.read_line(&mut line).is_ok() && !line.trim_end().is_empty() {
+        line.clear();
+    }
+    let (status, body) = match request_path(request.as_bytes()).as_deref() {
+        Some("/healthz") => ("200 OK", "ok\n".to_string()),
+        Some("/metrics") => ("200 OK", metrics.to_string()),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = std::io::copy(&mut stream, &mut std::io::sink());
+    Ok(())
+}

@@ -1,0 +1,777 @@
+//! TOML configuration for the deployable binaries.
+//!
+//! One file describes a whole deployment — both `flips-server` and
+//! `flips-party` read the *same* config, so the two sides provably
+//! build the same seeded jobs (the party side keeps only the endpoints
+//! its link slot owns; the server keeps the coordinator pieces):
+//!
+//! ```toml
+//! links = 2
+//!
+//! [server]
+//! listen = "127.0.0.1:7100"
+//! health = "127.0.0.1:7101"
+//!
+//! [party]
+//! connect = "127.0.0.1:7100"
+//!
+//! [guard]
+//! max_frame_bytes = 1048576
+//! rate_burst = 64
+//! rate_per_round = 16
+//! breaker_strikes = 3
+//! breaker_cooldown_rounds = 2
+//! strike_on_late = false
+//! strike_on_corrupt = true
+//! admission_factor = 16
+//!
+//! [[job]]
+//! seed = 11
+//! parties = 12
+//! rounds = 4
+//! selector = "random"
+//! codec = "raw"
+//! deadline = "latency-quantile"
+//! deadline_q = 0.5
+//! deadline_slack = 1.1
+//! latency_sigma = 0.8
+//! ```
+//!
+//! The parser is a deliberately minimal hand-rolled subset (this
+//! workspace builds offline, so no crates.io `toml`): `[tables]`,
+//! `[[arrays-of-tables]]`, `key = value` with string/integer/float/
+//! boolean scalars, and `#` comments. Everything a deployment needs,
+//! nothing it doesn't.
+
+use flips_core::prelude::{
+    DatasetProfile, DeadlinePolicy, GuardConfig, ModelCodec, SelectorKind, SimulationBuilder,
+};
+use flips_fl::guard::{BreakerConfig, RateLimit};
+use flips_fl::FlError;
+use std::collections::BTreeMap;
+
+/// A scalar TOML value (the subset the binaries need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A double-quoted string.
+    Str(String),
+    /// A signed integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+type Table = BTreeMap<String, TomlValue>;
+
+/// A parsed TOML document: the root/named tables plus arrays-of-tables.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TomlDoc {
+    /// Named tables; the root table lives under `""`.
+    pub tables: BTreeMap<String, Table>,
+    /// `[[name]]` arrays, in declaration order.
+    pub arrays: BTreeMap<String, Vec<Table>>,
+}
+
+fn bad(line_no: usize, msg: impl std::fmt::Display) -> FlError {
+    FlError::InvalidConfig(format!("config line {line_no}: {msg}"))
+}
+
+/// Parses one scalar value.
+fn parse_value(raw: &str, line_no: usize) -> Result<TomlValue, FlError> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(end) = rest.find('"') else {
+            return Err(bad(line_no, "unterminated string"));
+        };
+        let tail = rest[end + 1..].trim();
+        if !tail.is_empty() && !tail.starts_with('#') {
+            return Err(bad(line_no, format!("trailing characters after string: {tail:?}")));
+        }
+        return Ok(TomlValue::Str(rest[..end].to_string()));
+    }
+    // Past the string case, a comment can be split off blindly.
+    let raw = raw.split('#').next().unwrap_or_default().trim();
+    match raw {
+        "" => Err(bad(line_no, "missing value")),
+        "true" => Ok(TomlValue::Bool(true)),
+        "false" => Ok(TomlValue::Bool(false)),
+        _ => {
+            if raw.contains(['.', 'e', 'E']) {
+                raw.parse::<f64>()
+                    .map(TomlValue::Float)
+                    .map_err(|_| bad(line_no, format!("not a float: {raw:?}")))
+            } else {
+                raw.parse::<i64>()
+                    .map(TomlValue::Int)
+                    .map_err(|_| bad(line_no, format!("not a number: {raw:?}")))
+            }
+        }
+    }
+}
+
+/// Parses a TOML document (see the [module docs](self) for the
+/// supported subset).
+///
+/// # Errors
+///
+/// [`FlError::InvalidConfig`] naming the offending line for any syntax
+/// outside the subset.
+pub fn parse_toml(text: &str) -> Result<TomlDoc, FlError> {
+    enum Cursor {
+        Table(String),
+        Array(String),
+    }
+    let mut doc = TomlDoc::default();
+    let mut cursor = Cursor::Table(String::new());
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let Some(name) = header.strip_suffix("]]") else {
+                return Err(bad(line_no, "malformed [[array]] header"));
+            };
+            let name = name.trim().to_string();
+            if name.is_empty() {
+                return Err(bad(line_no, "empty [[array]] header"));
+            }
+            doc.arrays.entry(name.clone()).or_default().push(Table::new());
+            cursor = Cursor::Array(name);
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(bad(line_no, "malformed [table] header"));
+            };
+            let name = name.trim().to_string();
+            if name.is_empty() {
+                return Err(bad(line_no, "empty [table] header"));
+            }
+            doc.tables.entry(name.clone()).or_default();
+            cursor = Cursor::Table(name);
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(bad(line_no, format!("expected `key = value`, got {line:?}")));
+        };
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err(bad(line_no, "empty key"));
+        }
+        let value = parse_value(value, line_no)?;
+        let table = match &cursor {
+            Cursor::Table(name) => doc.tables.entry(name.clone()).or_default(),
+            Cursor::Array(name) => doc
+                .arrays
+                .get_mut(name)
+                .and_then(|v| v.last_mut())
+                .expect("array cursor points at a pushed table"),
+        };
+        if table.insert(key.clone(), value).is_some() {
+            return Err(bad(line_no, format!("duplicate key {key:?}")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Typed accessors over one [`Table`].
+struct Fields<'a> {
+    table: &'a Table,
+    context: &'a str,
+}
+
+impl<'a> Fields<'a> {
+    fn missing(&self, key: &str) -> FlError {
+        FlError::InvalidConfig(format!("{}: missing required key {key:?}", self.context))
+    }
+
+    fn wrong(&self, key: &str, want: &str) -> FlError {
+        FlError::InvalidConfig(format!("{}: key {key:?} must be a {want}", self.context))
+    }
+
+    fn str_opt(&self, key: &str) -> Result<Option<String>, FlError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Str(s)) => Ok(Some(s.clone())),
+            Some(_) => Err(self.wrong(key, "string")),
+        }
+    }
+
+    fn str_req(&self, key: &str) -> Result<String, FlError> {
+        self.str_opt(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn uint_opt(&self, key: &str) -> Result<Option<u64>, FlError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+            Some(_) => Err(self.wrong(key, "non-negative integer")),
+        }
+    }
+
+    fn uint_req(&self, key: &str) -> Result<u64, FlError> {
+        self.uint_opt(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn float_opt(&self, key: &str) -> Result<Option<f64>, FlError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Float(f)) => Ok(Some(*f)),
+            Some(TomlValue::Int(i)) => Ok(Some(*i as f64)),
+            Some(_) => Err(self.wrong(key, "number")),
+        }
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> Result<bool, FlError> {
+        match self.table.get(key) {
+            None => Ok(default),
+            Some(TomlValue::Bool(b)) => Ok(*b),
+            Some(_) => Err(self.wrong(key, "boolean")),
+        }
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), FlError> {
+        for key in self.table.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(FlError::InvalidConfig(format!(
+                    "{}: unknown key {key:?}",
+                    self.context
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One job's full seeded description — enough for both sides of the
+/// wire to rebuild bit-identical protocol state machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The dataset profile: `"femnist"` or `"fashion-mnist"`.
+    pub dataset: String,
+    /// Seed of every stream in the job (also determines the job id).
+    pub seed: u64,
+    /// Roster size.
+    pub parties: usize,
+    /// Round budget.
+    pub rounds: usize,
+    /// Fraction of the roster selected per round.
+    pub participation: f64,
+    /// Dirichlet non-IID concentration.
+    pub alpha: f64,
+    /// The participant-selection policy.
+    pub selector: SelectorKind,
+    /// The model-payload codec both sides pin.
+    pub codec: ModelCodec,
+    /// The round-deadline policy.
+    pub deadline: DeadlinePolicy,
+    /// Log-normal σ of the platform-heterogeneity model.
+    pub latency_sigma: f64,
+    /// Injected straggler rate (the [`DeadlinePolicy::Injected`] path).
+    pub straggler_rate: f64,
+    /// Held-out test samples per class.
+    pub test_per_class: usize,
+    /// k-means restarts of the label-distribution clustering.
+    pub clustering_restarts: usize,
+}
+
+impl JobSpec {
+    /// The builder producing this job's seeded [`flips_fl::FlJob`] —
+    /// identical on every process that parses the same config.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] for an unknown dataset name.
+    pub fn builder(&self) -> Result<SimulationBuilder, FlError> {
+        let profile = match self.dataset.as_str() {
+            "femnist" => DatasetProfile::femnist(),
+            "fashion-mnist" => DatasetProfile::fashion_mnist(),
+            other => {
+                return Err(FlError::InvalidConfig(format!("unknown dataset {other:?}")));
+            }
+        };
+        Ok(SimulationBuilder::new(profile)
+            .parties(self.parties)
+            .rounds(self.rounds)
+            .participation(self.participation)
+            .alpha(self.alpha)
+            .selector(self.selector)
+            .codec(self.codec)
+            .deadline(self.deadline)
+            .latency_sigma(self.latency_sigma)
+            .straggler_rate(self.straggler_rate)
+            .test_per_class(self.test_per_class)
+            .clustering_restarts(self.clustering_restarts)
+            .seed(self.seed))
+    }
+}
+
+/// A full deployment description (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// TCP links the roster is split across (party `p` → link
+    /// `p % links`); also the number of party processes the server
+    /// waits for.
+    pub links: usize,
+    /// The server's data-plane listen address.
+    pub listen: String,
+    /// The server's health/metrics listen address, if any.
+    pub health: Option<String>,
+    /// The address parties connect to (usually `listen` with a
+    /// routable host).
+    pub connect: String,
+    /// The party's health/metrics listen address, if any.
+    pub party_health: Option<String>,
+    /// The inbound guard plane, if any.
+    pub guard: Option<GuardConfig>,
+    /// The jobs to run, in declaration order.
+    pub jobs: Vec<JobSpec>,
+}
+
+fn selector_from_name(name: &str) -> Result<SelectorKind, FlError> {
+    match name {
+        "random" => Ok(SelectorKind::Random),
+        "flips" => Ok(SelectorKind::Flips),
+        "oort" => Ok(SelectorKind::Oort),
+        "gradclus" => Ok(SelectorKind::GradClus),
+        "tifl" => Ok(SelectorKind::Tifl),
+        other => Err(FlError::InvalidConfig(format!("unknown selector {other:?}"))),
+    }
+}
+
+fn selector_name(kind: SelectorKind) -> &'static str {
+    match kind {
+        SelectorKind::Random => "random",
+        SelectorKind::Flips => "flips",
+        SelectorKind::Oort => "oort",
+        SelectorKind::GradClus => "gradclus",
+        SelectorKind::Tifl => "tifl",
+    }
+}
+
+fn codec_from_name(name: &str) -> Result<ModelCodec, FlError> {
+    match name {
+        "raw" => Ok(ModelCodec::Raw),
+        "delta-lossless" => Ok(ModelCodec::DeltaLossless),
+        "f16" => Ok(ModelCodec::F16),
+        other => Err(FlError::InvalidConfig(format!("unknown codec {other:?}"))),
+    }
+}
+
+fn codec_name(codec: ModelCodec) -> &'static str {
+    match codec {
+        ModelCodec::Raw => "raw",
+        ModelCodec::DeltaLossless => "delta-lossless",
+        ModelCodec::F16 => "f16",
+    }
+}
+
+fn job_from_table(table: &Table, index: usize) -> Result<JobSpec, FlError> {
+    let context = format!("[[job]] #{index}");
+    let f = Fields { table, context: &context };
+    f.reject_unknown(&[
+        "dataset",
+        "seed",
+        "parties",
+        "rounds",
+        "participation",
+        "alpha",
+        "selector",
+        "codec",
+        "deadline",
+        "deadline_q",
+        "deadline_slack",
+        "deadline_secs",
+        "ewma_alpha",
+        "latency_sigma",
+        "straggler_rate",
+        "test_per_class",
+        "clustering_restarts",
+    ])?;
+    let deadline = match f.str_opt("deadline")?.as_deref().unwrap_or("injected") {
+        "injected" => DeadlinePolicy::Injected,
+        "latency-quantile" => DeadlinePolicy::LatencyQuantile {
+            q: f.float_opt("deadline_q")?.unwrap_or(0.9),
+            slack: f.float_opt("deadline_slack")?.unwrap_or(1.5),
+        },
+        "ewma" => DeadlinePolicy::Ewma {
+            alpha: f.float_opt("ewma_alpha")?.unwrap_or(0.3),
+            slack: f.float_opt("deadline_slack")?.unwrap_or(1.5),
+        },
+        "fixed" => DeadlinePolicy::FixedSeconds {
+            secs: f.float_opt("deadline_secs")?.ok_or_else(|| {
+                FlError::InvalidConfig(format!(
+                    "{context}: deadline \"fixed\" requires deadline_secs"
+                ))
+            })?,
+        },
+        other => {
+            return Err(FlError::InvalidConfig(format!(
+                "{context}: unknown deadline policy {other:?}"
+            )));
+        }
+    };
+    let spec = JobSpec {
+        dataset: f.str_opt("dataset")?.unwrap_or_else(|| "femnist".to_string()),
+        seed: f.uint_req("seed")?,
+        parties: f.uint_req("parties")? as usize,
+        rounds: f.uint_req("rounds")? as usize,
+        participation: f.float_opt("participation")?.unwrap_or(0.25),
+        alpha: f.float_opt("alpha")?.unwrap_or(0.3),
+        selector: selector_from_name(f.str_opt("selector")?.as_deref().unwrap_or("random"))?,
+        codec: codec_from_name(f.str_opt("codec")?.as_deref().unwrap_or("raw"))?,
+        deadline,
+        latency_sigma: f.float_opt("latency_sigma")?.unwrap_or(0.0),
+        straggler_rate: f.float_opt("straggler_rate")?.unwrap_or(0.0),
+        test_per_class: f.uint_opt("test_per_class")?.unwrap_or(8) as usize,
+        clustering_restarts: f.uint_opt("clustering_restarts")?.unwrap_or(3) as usize,
+    };
+    spec.builder()?; // surfaces an unknown dataset at parse time
+    Ok(spec)
+}
+
+fn guard_from_table(table: &Table) -> Result<GuardConfig, FlError> {
+    let f = Fields { table, context: "[guard]" };
+    f.reject_unknown(&[
+        "max_frame_bytes",
+        "rate_burst",
+        "rate_per_round",
+        "breaker_strikes",
+        "breaker_cooldown_rounds",
+        "strike_on_late",
+        "strike_on_corrupt",
+        "admission_factor",
+    ])?;
+    let defaults = GuardConfig::default();
+    let rate_limit = match (f.uint_opt("rate_burst")?, f.uint_opt("rate_per_round")?) {
+        (None, None) => None,
+        (burst, per_round) => Some(RateLimit {
+            burst: burst.unwrap_or(RateLimit::default().burst.into()) as u32,
+            per_round: per_round.unwrap_or(RateLimit::default().per_round.into()) as u32,
+        }),
+    };
+    let breaker = match f.uint_opt("breaker_strikes")? {
+        None => None,
+        Some(strikes) => Some(BreakerConfig {
+            strike_threshold: strikes as u32,
+            cooldown_rounds: f
+                .uint_opt("breaker_cooldown_rounds")?
+                .unwrap_or(BreakerConfig::default().cooldown_rounds),
+            strike_on_late: f.bool_or("strike_on_late", BreakerConfig::default().strike_on_late)?,
+            strike_on_corrupt: f
+                .bool_or("strike_on_corrupt", BreakerConfig::default().strike_on_corrupt)?,
+        }),
+    };
+    let guard = GuardConfig {
+        max_frame_bytes: f
+            .uint_opt("max_frame_bytes")?
+            .map_or(defaults.max_frame_bytes, |v| v as usize),
+        rate_limit,
+        breaker,
+        admission_factor: f.uint_opt("admission_factor")?.map(|v| v as u32),
+    };
+    guard.validate().map(|()| guard)
+}
+
+impl NetConfig {
+    /// Parses a deployment config.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] for syntax errors, unknown keys or
+    /// names, missing required keys, or a guard/job configuration the
+    /// runtime itself would reject.
+    pub fn parse(text: &str) -> Result<NetConfig, FlError> {
+        let doc = parse_toml(text)?;
+        for name in doc.tables.keys() {
+            if !["", "server", "party", "guard"].contains(&name.as_str()) {
+                return Err(FlError::InvalidConfig(format!("unknown table [{name}]")));
+            }
+        }
+        for name in doc.arrays.keys() {
+            if name != "job" {
+                return Err(FlError::InvalidConfig(format!("unknown array [[{name}]]")));
+            }
+        }
+        let empty = Table::new();
+        let root = Fields { table: doc.tables.get("").unwrap_or(&empty), context: "config root" };
+        root.reject_unknown(&["links"])?;
+        let links = root.uint_opt("links")?.unwrap_or(1) as usize;
+        if links == 0 {
+            return Err(FlError::InvalidConfig("links must be at least 1".into()));
+        }
+
+        let server =
+            Fields { table: doc.tables.get("server").unwrap_or(&empty), context: "[server]" };
+        server.reject_unknown(&["listen", "health"])?;
+        let party = Fields { table: doc.tables.get("party").unwrap_or(&empty), context: "[party]" };
+        party.reject_unknown(&["connect", "health"])?;
+        let listen = server.str_req("listen")?;
+        let connect = party.str_opt("connect")?.unwrap_or_else(|| listen.clone());
+
+        let guard = doc.tables.get("guard").map(guard_from_table).transpose()?;
+
+        let job_tables = doc.arrays.get("job").map(Vec::as_slice).unwrap_or_default();
+        if job_tables.is_empty() {
+            return Err(FlError::InvalidConfig("at least one [[job]] is required".into()));
+        }
+        let mut jobs = Vec::with_capacity(job_tables.len());
+        for (i, table) in job_tables.iter().enumerate() {
+            jobs.push(job_from_table(table, i)?);
+        }
+
+        Ok(NetConfig {
+            links,
+            listen,
+            health: server.str_opt("health")?,
+            connect,
+            party_health: party.str_opt("health")?,
+            guard,
+            jobs,
+        })
+    }
+
+    /// Renders this config back to TOML ([`NetConfig::parse`] of the
+    /// result round-trips exactly — the round-trip test's property).
+    pub fn to_toml(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "links = {}", self.links);
+        let _ = writeln!(out, "\n[server]\nlisten = \"{}\"", self.listen);
+        if let Some(health) = &self.health {
+            let _ = writeln!(out, "health = \"{health}\"");
+        }
+        let _ = writeln!(out, "\n[party]\nconnect = \"{}\"", self.connect);
+        if let Some(health) = &self.party_health {
+            let _ = writeln!(out, "health = \"{health}\"");
+        }
+        if let Some(guard) = &self.guard {
+            let _ = writeln!(out, "\n[guard]\nmax_frame_bytes = {}", guard.max_frame_bytes);
+            if let Some(rate) = &guard.rate_limit {
+                let _ = writeln!(out, "rate_burst = {}", rate.burst);
+                let _ = writeln!(out, "rate_per_round = {}", rate.per_round);
+            }
+            if let Some(breaker) = &guard.breaker {
+                let _ = writeln!(out, "breaker_strikes = {}", breaker.strike_threshold);
+                let _ = writeln!(out, "breaker_cooldown_rounds = {}", breaker.cooldown_rounds);
+                let _ = writeln!(out, "strike_on_late = {}", breaker.strike_on_late);
+                let _ = writeln!(out, "strike_on_corrupt = {}", breaker.strike_on_corrupt);
+            }
+            if let Some(factor) = guard.admission_factor {
+                let _ = writeln!(out, "admission_factor = {factor}");
+            }
+        }
+        for job in &self.jobs {
+            let _ = writeln!(out, "\n[[job]]");
+            let _ = writeln!(out, "dataset = \"{}\"", job.dataset);
+            let _ = writeln!(out, "seed = {}", job.seed);
+            let _ = writeln!(out, "parties = {}", job.parties);
+            let _ = writeln!(out, "rounds = {}", job.rounds);
+            let _ = writeln!(out, "participation = {}", float_lit(job.participation));
+            let _ = writeln!(out, "alpha = {}", float_lit(job.alpha));
+            let _ = writeln!(out, "selector = \"{}\"", selector_name(job.selector));
+            let _ = writeln!(out, "codec = \"{}\"", codec_name(job.codec));
+            match job.deadline {
+                DeadlinePolicy::Injected => {
+                    let _ = writeln!(out, "deadline = \"injected\"");
+                }
+                DeadlinePolicy::LatencyQuantile { q, slack } => {
+                    let _ = writeln!(out, "deadline = \"latency-quantile\"");
+                    let _ = writeln!(out, "deadline_q = {}", float_lit(q));
+                    let _ = writeln!(out, "deadline_slack = {}", float_lit(slack));
+                }
+                DeadlinePolicy::Ewma { alpha, slack } => {
+                    let _ = writeln!(out, "deadline = \"ewma\"");
+                    let _ = writeln!(out, "ewma_alpha = {}", float_lit(alpha));
+                    let _ = writeln!(out, "deadline_slack = {}", float_lit(slack));
+                }
+                DeadlinePolicy::FixedSeconds { secs } => {
+                    let _ = writeln!(out, "deadline = \"fixed\"");
+                    let _ = writeln!(out, "deadline_secs = {}", float_lit(secs));
+                }
+            }
+            let _ = writeln!(out, "latency_sigma = {}", float_lit(job.latency_sigma));
+            let _ = writeln!(out, "straggler_rate = {}", float_lit(job.straggler_rate));
+            let _ = writeln!(out, "test_per_class = {}", job.test_per_class);
+            let _ = writeln!(out, "clustering_restarts = {}", job.clustering_restarts);
+        }
+        out
+    }
+}
+
+/// Formats a float so the parser reads it back as a float (a bare
+/// integer literal would come back as `TomlValue::Int`).
+fn float_lit(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+# A two-link deployment running one latency-deadline job.
+links = 2
+
+[server]
+listen = "127.0.0.1:7100"
+health = "127.0.0.1:7101"  # scrape me
+
+[party]
+connect = "127.0.0.1:7100"
+
+[guard]
+max_frame_bytes = 1048576
+rate_burst = 64
+rate_per_round = 16
+breaker_strikes = 3
+breaker_cooldown_rounds = 2
+strike_on_late = false
+strike_on_corrupt = true
+admission_factor = 16
+
+[[job]]
+seed = 11
+parties = 12
+rounds = 4
+participation = 0.25
+alpha = 0.3
+selector = "random"
+codec = "raw"
+deadline = "latency-quantile"
+deadline_q = 0.5
+deadline_slack = 1.1
+latency_sigma = 0.8
+test_per_class = 8
+clustering_restarts = 3
+"#;
+
+    #[test]
+    fn full_config_parses() {
+        let cfg = NetConfig::parse(FULL).unwrap();
+        assert_eq!(cfg.links, 2);
+        assert_eq!(cfg.listen, "127.0.0.1:7100");
+        assert_eq!(cfg.health.as_deref(), Some("127.0.0.1:7101"));
+        assert_eq!(cfg.connect, "127.0.0.1:7100");
+        assert!(cfg.party_health.is_none());
+        let guard = cfg.guard.expect("guard parsed");
+        assert_eq!(guard.max_frame_bytes, 1 << 20);
+        assert_eq!(guard.rate_limit, Some(RateLimit { burst: 64, per_round: 16 }));
+        assert_eq!(guard.admission_factor, Some(16));
+        assert_eq!(cfg.jobs.len(), 1);
+        let job = &cfg.jobs[0];
+        assert_eq!(job.seed, 11);
+        assert_eq!(job.parties, 12);
+        assert_eq!(job.selector, SelectorKind::Random);
+        assert_eq!(job.deadline, DeadlinePolicy::LatencyQuantile { q: 0.5, slack: 1.1 });
+    }
+
+    #[test]
+    fn config_round_trips_through_to_toml() {
+        let cfg = NetConfig::parse(FULL).unwrap();
+        let rendered = cfg.to_toml();
+        let reparsed = NetConfig::parse(&rendered).unwrap();
+        assert_eq!(reparsed, cfg, "parse(to_toml(cfg)) must be identity:\n{rendered}");
+    }
+
+    #[test]
+    fn every_deadline_policy_round_trips() {
+        let mut cfg = NetConfig::parse(FULL).unwrap();
+        for deadline in [
+            DeadlinePolicy::Injected,
+            DeadlinePolicy::Ewma { alpha: 0.3, slack: 1.1 },
+            DeadlinePolicy::FixedSeconds { secs: 0.12 },
+            DeadlinePolicy::LatencyQuantile { q: 0.9, slack: 1.5 },
+        ] {
+            cfg.jobs[0].deadline = deadline;
+            let reparsed = NetConfig::parse(&cfg.to_toml()).unwrap();
+            assert_eq!(reparsed.jobs[0].deadline, deadline);
+        }
+    }
+
+    #[test]
+    fn every_selector_and_codec_round_trips() {
+        let mut cfg = NetConfig::parse(FULL).unwrap();
+        for selector in SelectorKind::all() {
+            for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::F16] {
+                cfg.jobs[0].selector = selector;
+                cfg.jobs[0].codec = codec;
+                let reparsed = NetConfig::parse(&cfg.to_toml()).unwrap();
+                assert_eq!(reparsed.jobs[0].selector, selector);
+                assert_eq!(reparsed.jobs[0].codec, codec);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_required_keys_are_rejected() {
+        // No [[job]] at all.
+        let err = NetConfig::parse("links = 1\n[server]\nlisten = \"127.0.0.1:0\"\n").unwrap_err();
+        assert!(err.to_string().contains("[[job]]"), "{err}");
+        // A job without a seed.
+        let err = NetConfig::parse(
+            "links = 1\n[server]\nlisten = \"127.0.0.1:0\"\n[[job]]\nparties = 4\nrounds = 1\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        // A server without a listen address.
+        let err = NetConfig::parse("links = 1\n[[job]]\nseed = 1\nparties = 4\nrounds = 1\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("listen"), "{err}");
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_not_ignored() {
+        let base = "links = 1\n[server]\nlisten = \"127.0.0.1:0\"\n[[job]]\nseed = 1\nparties = 4\nrounds = 1\n";
+        for (snippet, needle) in [
+            (format!("{base}typo_key = 3\n"), "typo_key"),
+            (format!("{base}selector = \"best\"\n"), "selector"),
+            (format!("{base}codec = \"gzip\"\n"), "codec"),
+            (format!("{base}deadline = \"soon\"\n"), "deadline"),
+            (format!("[unknown]\nx = 1\n{base}"), "unknown"),
+            (format!("[[widgets]]\nx = 1\n{base}"), "widgets"),
+        ] {
+            let err = NetConfig::parse(&snippet).unwrap_err();
+            assert!(err.to_string().contains(needle), "{snippet:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn syntax_errors_name_the_line() {
+        for text in ["links 1", "links = ", "x = \"unterminated", "[bad\n", "links = 1e"] {
+            let err = parse_toml(text).unwrap_err();
+            assert!(err.to_string().contains("line 1"), "{text:?} -> {err}");
+        }
+        assert!(parse_toml("links = 1\nlinks = 2\n")
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn zero_links_is_rejected() {
+        let err = NetConfig::parse(
+            "links = 0\n[server]\nlisten = \"127.0.0.1:0\"\n[[job]]\nseed = 1\nparties = 4\nrounds = 1\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("links"), "{err}");
+    }
+
+    #[test]
+    fn connect_defaults_to_the_listen_address() {
+        let cfg = NetConfig::parse(
+            "links = 1\n[server]\nlisten = \"127.0.0.1:7100\"\n[[job]]\nseed = 1\nparties = 4\nrounds = 1\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.connect, "127.0.0.1:7100");
+    }
+}

@@ -1,0 +1,167 @@
+//! The socket runtime's link-control protocol.
+//!
+//! Control frames share the length-prefixed stream with data frames and
+//! are distinguished by their destination word: data frames carry a
+//! party id or [`AGGREGATOR_DEST`](flips_fl::message::AGGREGATOR_DEST)
+//! (`u64::MAX`) in the first eight bytes, control frames carry
+//! [`NET_CONTROL_DEST`] (`u64::MAX - 1`). Both sides strip control
+//! frames *below* the [`Transport`](flips_fl::Transport) seam, so the
+//! protocol state machines — and the chaos schedule's per-link frame
+//! indices — see exactly the data-frame sequences the in-memory sharded
+//! runtime sees.
+//!
+//! Four messages exist:
+//!
+//! - [`ControlMsg::Hello`] — the first frame on every party→server
+//!   connection, naming the link slot (shard) the connection serves.
+//!   Accept order over TCP is nondeterministic; the Hello makes link
+//!   identity explicit instead of accidental.
+//! - [`ControlMsg::StatusReq`] / [`ControlMsg::Status`] — the
+//!   quiescence probe (see [`crate::server`]'s module docs). A party
+//!   answers a probe only after fully pumping its pool, so per-link TCP
+//!   FIFO turns the reply into a barrier: every data frame the party
+//!   sent before the reply is already processed by the coordinator when
+//!   the reply is read.
+//! - [`ControlMsg::Shutdown`] — the coordinator's end-of-run notice.
+
+use flips_fl::FlError;
+
+/// Destination word marking a control frame. One below
+/// [`flips_fl::message::AGGREGATOR_DEST`], far outside any party-id
+/// space a roster can produce.
+pub const NET_CONTROL_DEST: u64 = u64::MAX - 1;
+
+const OP_HELLO: u8 = 0x01;
+const OP_STATUS_REQ: u8 = 0x02;
+const OP_STATUS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+
+/// A link-control message (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Party → server: this connection serves link slot `shard`.
+    Hello {
+        /// The link slot, `0..links`.
+        shard: u32,
+    },
+    /// Server → party: report your frame counters (probe `seq`).
+    StatusReq {
+        /// Probe sequence number, echoed in the reply.
+        seq: u64,
+    },
+    /// Party → server: counter snapshot taken *after* a full pool pump.
+    Status {
+        /// The probe this answers.
+        seq: u64,
+        /// Data frames the party has received on this link so far.
+        received: u64,
+        /// Data frames the party has sent on this link so far.
+        sent: u64,
+    },
+    /// Server → party: the run is over; drain and exit.
+    Shutdown,
+}
+
+/// Whether a frame is a control frame (by destination word).
+pub fn is_control_frame(frame: &[u8]) -> bool {
+    flips_fl::message::frame_dest(frame) == Some(NET_CONTROL_DEST)
+}
+
+impl ControlMsg {
+    /// Encodes into a wire frame (destination word + opcode + fields,
+    /// all little-endian). The length prefix is the stream transport's
+    /// job, as for data frames.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33);
+        out.extend_from_slice(&NET_CONTROL_DEST.to_le_bytes());
+        match self {
+            ControlMsg::Hello { shard } => {
+                out.push(OP_HELLO);
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
+            ControlMsg::StatusReq { seq } => {
+                out.push(OP_STATUS_REQ);
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            ControlMsg::Status { seq, received, sent } => {
+                out.push(OP_STATUS);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&received.to_le_bytes());
+                out.extend_from_slice(&sent.to_le_bytes());
+            }
+            ControlMsg::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a control frame ([`is_control_frame`] must already hold).
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Codec`] for a truncated frame or unknown opcode — a
+    /// peer speaking a different protocol revision, not recoverable.
+    pub fn decode(frame: &[u8]) -> Result<ControlMsg, FlError> {
+        let body = frame
+            .get(8..)
+            .filter(|b| !b.is_empty())
+            .ok_or_else(|| FlError::Codec("control frame missing opcode".into()))?;
+        let u64_at = |off: usize| -> Result<u64, FlError> {
+            body.get(off..off + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+                .ok_or_else(|| FlError::Codec("control frame truncated".into()))
+        };
+        match body[0] {
+            OP_HELLO => {
+                let shard = body
+                    .get(1..5)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+                    .ok_or_else(|| FlError::Codec("hello frame truncated".into()))?;
+                Ok(ControlMsg::Hello { shard })
+            }
+            OP_STATUS_REQ => Ok(ControlMsg::StatusReq { seq: u64_at(1)? }),
+            OP_STATUS => {
+                Ok(ControlMsg::Status { seq: u64_at(1)?, received: u64_at(9)?, sent: u64_at(17)? })
+            }
+            OP_SHUTDOWN => Ok(ControlMsg::Shutdown),
+            op => Err(FlError::Codec(format!("unknown control opcode {op:#04x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_messages_round_trip() {
+        for msg in [
+            ControlMsg::Hello { shard: 3 },
+            ControlMsg::StatusReq { seq: 42 },
+            ControlMsg::Status { seq: 42, received: 7, sent: 9 },
+            ControlMsg::Shutdown,
+        ] {
+            let wire = msg.encode();
+            assert!(is_control_frame(&wire));
+            assert_eq!(ControlMsg::decode(&wire).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn data_frames_are_not_control_frames() {
+        let data = 5u64.to_le_bytes().to_vec();
+        assert!(!is_control_frame(&data));
+        assert!(!is_control_frame(&u64::MAX.to_le_bytes()));
+        assert!(!is_control_frame(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn truncated_and_unknown_control_frames_are_rejected() {
+        assert!(ControlMsg::decode(&NET_CONTROL_DEST.to_le_bytes()).is_err());
+        let mut unknown = NET_CONTROL_DEST.to_le_bytes().to_vec();
+        unknown.push(0x7F);
+        assert!(ControlMsg::decode(&unknown).is_err());
+        let mut short = ControlMsg::Status { seq: 1, received: 2, sent: 3 }.encode();
+        short.truncate(20);
+        assert!(ControlMsg::decode(&short).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Readiness-driven socket runtime for FLIPS: the sans-IO protocol
+//! core served over real TCP by an epoll event loop.
+//!
+//! Every other driver in this workspace — [`flips_fl::FlJob`]'s
+//! in-process loop, [`flips_fl::run_lockstep`], the threaded
+//! [`flips_fl::run_sharded`] — moves frames through memory. This crate
+//! moves the *same* frames through the kernel: length-prefixed TCP
+//! links between a coordinator process (`flips-server`) and party
+//! worker processes (`flips-party`), multiplexed onto one
+//! [`mio`]-style epoll selector per side, with write-interest-driven
+//! flushing instead of spin-polling for backpressure.
+//!
+//! The determinism contract carries over unchanged. Simulated time
+//! stays the clock, and the coordinator only advances it when the wire
+//! is provably quiet — established by the FIFO status-probe
+//! [control protocol](control) rather than by lockstep turn-taking.
+//! Because control frames are stripped below the chaos/guard seam, a
+//! seeded run over sockets replays the single-threaded goldens (and
+//! seeded chaos histories) bit-identically; the equivalence suite in
+//! `tests/` holds this against every selector.
+//!
+//! Layering, bottom up:
+//!
+//! - [`control`] — the link-level control frames (Hello, quiescence
+//!   probes, shutdown), invisible above the framing layer.
+//! - [`link`] — [`CoordLink`]/[`PartyLink`] wrap a nonblocking
+//!   [`flips_fl::StreamTransport`] and speak the control protocol;
+//!   [`SocketRouter`] fans a [`flips_fl::MultiJobDriver`] out across
+//!   links (party `p` ↔ link `p % links`).
+//! - [`server`] / [`party`] — the two event loops.
+//! - [`metrics`] — Prometheus text exposition + the `/healthz` and
+//!   `/metrics` plane, served from the same selector.
+//! - [`config`] — the TOML deployment config both binaries read.
+//! - [`runtime`] — [`run_socket`], the in-process harness wiring both
+//!   loops over loopback for tests and benches.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod control;
+pub mod link;
+pub mod metrics;
+pub mod party;
+pub mod runtime;
+pub mod server;
+
+pub use config::{JobSpec, NetConfig};
+pub use link::{CoordLink, PartyLink, SocketRouter};
+pub use metrics::{
+    render_party_metrics, render_server_metrics, request_path, HealthPlane, PartySnapshot,
+};
+pub use party::{party_loop, PartyJob};
+pub use runtime::{connect_with_retry, run_socket, SocketOptions, SocketOutcome};
+pub use server::{serve, ServerOptions, ServerOutcome};

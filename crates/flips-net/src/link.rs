@@ -1,0 +1,510 @@
+//! Socket-backed link types: the coordinator's per-connection state,
+//! the router multiplexing them behind one [`Transport`], and the
+//! party-side link.
+//!
+//! All three wrap a [`StreamTransport`] over a nonblocking `TcpStream`
+//! and strip the [control protocol](crate::control) *below* the
+//! [`Transport`] seam: the protocol state machines, the driver's wire
+//! counters and the chaos schedule's per-link frame indices all see
+//! exactly the data-frame sequences the in-memory sharded runtime
+//! sees. Control traffic — quiescence probes, shutdown — is this
+//! module's private business.
+
+use crate::control::{is_control_frame, ControlMsg};
+use bytes::Bytes;
+use flips_fl::transport::StreamTransport;
+use flips_fl::{FlError, Transport};
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::{Arc, Mutex};
+
+/// A raw file descriptor as an epoll-registrable source (the owning
+/// `TcpStream` lives inside a [`StreamTransport`], so registration goes
+/// through the fd captured at link construction).
+#[derive(Debug, Clone, Copy)]
+pub struct Fd(pub RawFd);
+
+impl AsRawFd for Fd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.0
+    }
+}
+
+/// Prepares a stream for the event loop: `TCP_NODELAY` (length-prefixed
+/// frames are small; Nagle plus delayed ACK would add ~40 ms to every
+/// probe round trip) and nonblocking mode (the [`StreamTransport`]
+/// contract).
+pub fn prepare_stream(stream: &TcpStream) -> Result<(), FlError> {
+    stream.set_nodelay(true).map_err(net_err)?;
+    stream.set_nonblocking(true).map_err(net_err)?;
+    Ok(())
+}
+
+/// Maps an I/O error into the workspace error type.
+pub fn net_err(e: std::io::Error) -> FlError {
+    FlError::Transport(format!("socket error: {e}"))
+}
+
+/// One coordinator-side connection: the framed stream plus the data
+/// counters and probe state the quiescence protocol runs on.
+#[derive(Debug)]
+pub struct CoordLink {
+    stream: StreamTransport<TcpStream>,
+    fd: RawFd,
+    /// Data frames sent / received on this link (control excluded).
+    data_sent: u64,
+    data_received: u64,
+    /// The newest probe sequence issued, and whether its answer is
+    /// still in flight.
+    probe_seq: u64,
+    probe_outstanding: bool,
+    /// The party's counter snapshot from the newest answered probe.
+    acked_seq: u64,
+    acked_received: u64,
+    acked_sent: u64,
+    /// The link slot the peer's Hello named, once seen.
+    hello: Option<u32>,
+}
+
+impl CoordLink {
+    /// Wraps an accepted, [`prepare_stream`]-configured connection.
+    pub fn new(stream: TcpStream) -> CoordLink {
+        let fd = stream.as_raw_fd();
+        CoordLink {
+            stream: StreamTransport::new(stream),
+            fd,
+            data_sent: 0,
+            data_received: 0,
+            probe_seq: 0,
+            probe_outstanding: false,
+            acked_seq: 0,
+            acked_received: 0,
+            acked_sent: 0,
+            hello: None,
+        }
+    }
+
+    /// The link slot the peer's Hello named, if it has arrived (the
+    /// accept phase polls this to place the connection).
+    pub fn hello(&self) -> Option<u32> {
+        self.hello
+    }
+
+    /// Whether the peer closed its write side.
+    pub fn is_eof(&self) -> bool {
+        self.stream.is_eof()
+    }
+
+    /// The connection's file descriptor (for epoll registration).
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Sends one data frame (staged on backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream failure ([`FlError::Transport`]).
+    pub fn send_data(&mut self, frame: &[u8]) -> Result<(), FlError> {
+        self.data_sent += 1;
+        self.stream.send(frame)
+    }
+
+    /// Receives the next *data* frame, consuming any control frames in
+    /// between (probe answers update this link's ack state).
+    ///
+    /// # Errors
+    ///
+    /// Stream failure, or a malformed control frame (a peer speaking a
+    /// different protocol revision).
+    pub fn try_recv_data(&mut self) -> Result<Option<Bytes>, FlError> {
+        loop {
+            let Some(frame) = self.stream.try_recv()? else {
+                return Ok(None);
+            };
+            if !is_control_frame(&frame) {
+                self.data_received += 1;
+                return Ok(Some(frame));
+            }
+            match ControlMsg::decode(&frame)? {
+                ControlMsg::Status { seq, received, sent } => {
+                    if seq == self.probe_seq {
+                        self.probe_outstanding = false;
+                        self.acked_seq = seq;
+                        self.acked_received = received;
+                        self.acked_sent = sent;
+                    }
+                    // Answers to superseded probes are stale; drop them.
+                }
+                ControlMsg::Hello { shard } => self.hello = Some(shard),
+                ControlMsg::StatusReq { .. } | ControlMsg::Shutdown => {
+                    return Err(FlError::Protocol("party sent a server-only control frame".into()));
+                }
+            }
+        }
+    }
+
+    /// Issues a fresh quiescence probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream failure.
+    pub fn send_probe(&mut self) -> Result<(), FlError> {
+        self.probe_seq += 1;
+        self.probe_outstanding = true;
+        self.stream.send(&ControlMsg::StatusReq { seq: self.probe_seq }.encode())
+    }
+
+    /// Sends the end-of-run notice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream failure.
+    pub fn send_shutdown(&mut self) -> Result<(), FlError> {
+        self.stream.send(&ControlMsg::Shutdown.encode())
+    }
+
+    /// Whether this link is provably quiet: the newest probe is
+    /// answered, the answer's counters match this side's *current*
+    /// counters in both directions (per-link TCP FIFO makes the answer
+    /// a barrier — see the [control docs](crate::control)), and nothing
+    /// is staged locally. A link that never carried a frame is
+    /// vacuously quiet.
+    pub fn quiet(&self) -> bool {
+        !self.probe_outstanding
+            && self.acked_received == self.data_sent
+            && self.acked_sent == self.data_received
+            && !self.stream.wants_write()
+    }
+
+    /// Whether the quiescence protocol should issue a (re-)probe: not
+    /// quiet, and no probe in flight (either never probed, or the last
+    /// answer went stale because frames moved since).
+    pub fn needs_probe(&self) -> bool {
+        !self.quiet() && !self.probe_outstanding
+    }
+
+    /// Whether staged bytes are waiting for write-readiness.
+    pub fn wants_write(&self) -> bool {
+        self.stream.wants_write()
+    }
+
+    /// Flushes staged bytes; `true` when the outbox drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream failure.
+    pub fn flush(&mut self) -> Result<bool, FlError> {
+        self.stream.flush()
+    }
+}
+
+/// The coordinator side of the socket wire: one [`CoordLink`] per party
+/// process, demultiplexed by the destination word every frame carries.
+///
+/// Implements [`Transport`], so the unmodified
+/// [`MultiJobDriver`](flips_fl::MultiJobDriver) drives remote parties
+/// exactly as it drives in-memory shards. Party `p` travels link
+/// `p % links` — the same pure assignment the sharded runtime uses, so
+/// a socket topology and a shard topology carry identical per-link
+/// frame sequences.
+///
+/// Links live behind `Arc<Mutex<_>>` because the event loop needs them
+/// too (readiness-driven flushing, probe issuance) while the driver
+/// owns the router; both run on the coordinator thread, so the lock is
+/// never contended — it is a sharing structure, not a synchronization
+/// point.
+#[derive(Debug)]
+pub struct SocketRouter {
+    links: Vec<Arc<Mutex<CoordLink>>>,
+}
+
+impl SocketRouter {
+    /// A router over `links` (index = link slot = `party % links.len()`).
+    pub fn new(links: Vec<Arc<Mutex<CoordLink>>>) -> SocketRouter {
+        SocketRouter { links }
+    }
+
+    fn link(&self, i: usize) -> std::sync::MutexGuard<'_, CoordLink> {
+        self.links[i].lock().expect("coordinator link poisoned")
+    }
+}
+
+impl Transport for SocketRouter {
+    fn send(&mut self, frame: &[u8]) -> Result<(), FlError> {
+        let Some(dest) = flips_fl::message::frame_dest(frame) else {
+            return Err(FlError::Transport("frame too short to route to a link".into()));
+        };
+        let slot = (dest % self.links.len() as u64) as usize;
+        self.link(slot).send_data(frame)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Bytes>, FlError> {
+        Ok(self.try_recv_tagged()?.map(|(_, frame)| frame))
+    }
+
+    fn links(&self) -> usize {
+        self.links.len()
+    }
+
+    fn link_for(&self, _job: u64, dest: u64) -> usize {
+        (dest % self.links.len() as u64) as usize
+    }
+
+    fn try_recv_tagged(&mut self) -> Result<Option<(usize, Bytes)>, FlError> {
+        // Fixed sweep order, like the sharded router: the driver pumps
+        // until every link runs dry, so fairness is a non-issue.
+        for i in 0..self.links.len() {
+            if let Some(frame) = self.link(i).try_recv_data()? {
+                return Ok(Some((i, frame)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The party side of one socket link. Implements [`Transport`] for an
+/// unmodified [`PartyPool`](flips_fl::PartyPool); control frames are
+/// stripped on receive and stashed for the party event loop
+/// ([`PartyLink::take_status_req`], [`PartyLink::is_shutdown`]).
+#[derive(Debug)]
+pub struct PartyLink {
+    stream: StreamTransport<TcpStream>,
+    fd: RawFd,
+    data_sent: u64,
+    data_received: u64,
+    status_reqs: VecDeque<u64>,
+    shutdown: bool,
+}
+
+impl PartyLink {
+    /// Wraps a connected, [`prepare_stream`]-configured stream.
+    pub fn new(stream: TcpStream) -> PartyLink {
+        let fd = stream.as_raw_fd();
+        PartyLink {
+            stream: StreamTransport::new(stream),
+            fd,
+            data_sent: 0,
+            data_received: 0,
+            status_reqs: VecDeque::new(),
+            shutdown: false,
+        }
+    }
+
+    /// The connection's file descriptor (for epoll registration).
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Identifies this connection's link slot to the server — the
+    /// mandatory first frame (accept order is nondeterministic; the
+    /// Hello makes link identity explicit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream failure.
+    pub fn send_hello(&mut self, shard: u32) -> Result<(), FlError> {
+        self.stream.send(&ControlMsg::Hello { shard }.encode())
+    }
+
+    /// The oldest unanswered quiescence probe, if any. Answer only
+    /// after a full pool pump — the FIFO barrier the server's quiet
+    /// check relies on.
+    pub fn take_status_req(&mut self) -> Option<u64> {
+        self.status_reqs.pop_front()
+    }
+
+    /// Answers probe `seq` with this side's current data counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream failure.
+    pub fn send_status(&mut self, seq: u64) -> Result<(), FlError> {
+        let msg = ControlMsg::Status { seq, received: self.data_received, sent: self.data_sent };
+        self.stream.send(&msg.encode())
+    }
+
+    /// Whether the server announced end-of-run.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Whether the server closed its write side.
+    pub fn is_eof(&self) -> bool {
+        self.stream.is_eof()
+    }
+
+    /// Whether staged bytes are waiting for write-readiness.
+    pub fn wants_write(&self) -> bool {
+        self.stream.wants_write()
+    }
+
+    /// Flushes staged bytes; `true` when the outbox drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream failure.
+    pub fn flush(&mut self) -> Result<bool, FlError> {
+        self.stream.flush()
+    }
+
+    /// Half-closes the connection (FIN) so the coordinator observes
+    /// EOF even while this link — and its counters — stays alive
+    /// inside a returned pool. Errors are ignored: the peer may
+    /// already be gone, which serves the same purpose.
+    pub fn close(&self) {
+        let _ = self.stream.get_ref().shutdown(std::net::Shutdown::Write);
+    }
+}
+
+impl Transport for PartyLink {
+    fn send(&mut self, frame: &[u8]) -> Result<(), FlError> {
+        self.data_sent += 1;
+        self.stream.send(frame)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Bytes>, FlError> {
+        loop {
+            let Some(frame) = self.stream.try_recv()? else {
+                return Ok(None);
+            };
+            if !is_control_frame(&frame) {
+                self.data_received += 1;
+                return Ok(Some(frame));
+            }
+            match ControlMsg::decode(&frame)? {
+                ControlMsg::StatusReq { seq } => self.status_reqs.push_back(seq),
+                ControlMsg::Shutdown => self.shutdown = true,
+                ControlMsg::Hello { .. } | ControlMsg::Status { .. } => {
+                    return Err(FlError::Protocol("server sent a party-only control frame".into()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flips_fl::message::frame;
+    use flips_fl::WireMessage;
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        prepare_stream(&client).unwrap();
+        prepare_stream(&server).unwrap();
+        (client, server)
+    }
+
+    fn drain_until<F: FnMut() -> bool>(mut done: F) {
+        for _ in 0..2_000 {
+            if done() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("condition never became true");
+    }
+
+    #[test]
+    fn control_frames_are_invisible_to_the_data_plane() {
+        let (c, s) = tcp_pair();
+        let mut coord = CoordLink::new(s);
+        let mut party = PartyLink::new(c);
+
+        // Party sends a status answer, then a data frame; the
+        // coordinator's data plane must surface only the data frame.
+        coord.send_probe().unwrap();
+        let data = frame(u64::MAX, &WireMessage::Heartbeat { job: 9, round: 0, party: 1 });
+        party.try_recv().unwrap(); // absorb the probe (returns None: control only)
+        let seq = party.take_status_req().expect("probe stashed");
+        party.send_status(seq).unwrap();
+        Transport::send(&mut party, &data).unwrap();
+
+        let mut got = None;
+        drain_until(|| {
+            got = coord.try_recv_data().unwrap();
+            got.is_some()
+        });
+        assert_eq!(got.unwrap(), data);
+        assert_eq!(coord.data_received, 1, "control frames must not count as data");
+    }
+
+    #[test]
+    fn quiet_requires_matching_counters_in_both_directions() {
+        let (c, s) = tcp_pair();
+        let mut coord = CoordLink::new(s);
+        let mut party = PartyLink::new(c);
+        assert!(coord.quiet(), "an untouched link is vacuously quiet");
+
+        let data = frame(3, &WireMessage::Heartbeat { job: 9, round: 0, party: 3 });
+        coord.send_data(&data).unwrap();
+        assert!(!coord.quiet(), "a sent frame without an ack cannot be quiet");
+        assert!(coord.needs_probe());
+        coord.send_probe().unwrap();
+        assert!(!coord.needs_probe(), "one probe in flight at a time");
+
+        // Party pumps (receives the data frame), then answers.
+        drain_until(|| {
+            party.try_recv().unwrap();
+            party.take_status_req().map(|seq| party.send_status(seq).unwrap()).is_some()
+        });
+        drain_until(|| {
+            coord.try_recv_data().unwrap();
+            coord.quiet()
+        });
+    }
+
+    #[test]
+    fn stale_probe_answers_do_not_mark_the_link_quiet() {
+        let (c, s) = tcp_pair();
+        let mut coord = CoordLink::new(s);
+        let mut party = PartyLink::new(c);
+        let data = frame(3, &WireMessage::Heartbeat { job: 9, round: 0, party: 3 });
+        coord.send_data(&data).unwrap();
+        coord.send_probe().unwrap();
+        // The party answers while it has seen only the first frame.
+        drain_until(|| {
+            party.try_recv().unwrap();
+            party.take_status_req().map(|seq| party.send_status(seq).unwrap()).is_some()
+        });
+        // A second frame departs after that answer was computed: the
+        // answer accounts for one frame of two and must read as stale.
+        coord.send_data(&data).unwrap();
+        drain_until(|| {
+            coord.try_recv_data().unwrap();
+            !coord.probe_outstanding
+        });
+        assert!(!coord.quiet(), "an answer predating the second frame proved nothing");
+        assert!(coord.needs_probe(), "staleness must trigger a re-probe");
+    }
+
+    #[test]
+    fn router_routes_by_destination_modulo_links() {
+        let (c0, s0) = tcp_pair();
+        let (c1, s1) = tcp_pair();
+        let links = vec![
+            Arc::new(Mutex::new(CoordLink::new(s0))),
+            Arc::new(Mutex::new(CoordLink::new(s1))),
+        ];
+        let mut router = SocketRouter::new(links);
+        assert_eq!(router.links(), 2);
+        assert_eq!(router.link_for(9, 4), 0);
+        assert_eq!(router.link_for(9, 7), 1);
+
+        let even = frame(4, &WireMessage::Heartbeat { job: 9, round: 0, party: 4 });
+        let odd = frame(7, &WireMessage::Heartbeat { job: 9, round: 0, party: 7 });
+        router.send(&even).unwrap();
+        router.send(&odd).unwrap();
+        assert!(matches!(router.send(&[1, 2]), Err(FlError::Transport(_))));
+
+        let mut p0 = PartyLink::new(c0);
+        let mut p1 = PartyLink::new(c1);
+        drain_until(|| p0.try_recv().unwrap().is_some_and(|f| f == even));
+        drain_until(|| p1.try_recv().unwrap().is_some_and(|f| f == odd));
+    }
+}

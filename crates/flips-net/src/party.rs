@@ -1,0 +1,127 @@
+//! The party worker's readiness-driven event loop.
+//!
+//! [`party_loop`] serves one link slot of the socket wire: a
+//! [`PartyPool`] — the same unmodified pool the lockstep and sharded
+//! drivers use — pumped whenever the connection reads ready, with the
+//! [control protocol](crate::control) answered in between pumps. The
+//! ordering is the load-bearing part: a quiescence probe is answered
+//! only *after* a full pool pump has processed every pending downlink
+//! frame and put every reply on the wire (or in the outbox), so the
+//! answer is a FIFO barrier the coordinator's quiet check can trust.
+
+use crate::link::{net_err, Fd, PartyLink};
+use crate::metrics::{render_party_metrics, HealthPlane, PartySnapshot};
+use flips_fl::{FlError, GuardConfig, ModelCodec, PartyEndpoint, PartyPool};
+use mio::{Events, Interest, Poll, Token};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// The worker loop's safety-net wakeup (all real work is event-driven).
+const POLL_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// The epoll token of the data link (health tokens live far above).
+const LINK_TOKEN: Token = Token(0);
+
+/// One job's party-side share: id, negotiated codec (pinned
+/// out-of-band, as a real deployment would), and the endpoints this
+/// link slot owns.
+pub type PartyJob = (u64, ModelCodec, Vec<PartyEndpoint>);
+
+/// Serves link slot `shard` over `stream` until the coordinator's
+/// shutdown notice, then returns the finished pool (its observability
+/// counters outlive the run). `health`, when given, serves `/metrics`
+/// and `/healthz` from the same event loop.
+///
+/// The connection is switched to nonblocking + `TCP_NODELAY` and a
+/// Hello naming `shard` is the first frame out — accept order at the
+/// server is nondeterministic, so the slot must be announced, not
+/// assumed.
+///
+/// # Errors
+///
+/// Socket failures, protocol violations and training failures
+/// propagate; a server that disappears without a shutdown notice is a
+/// [`FlError::Transport`].
+pub fn party_loop(
+    stream: TcpStream,
+    shard: u32,
+    jobs: Vec<PartyJob>,
+    guard: Option<&GuardConfig>,
+    health: Option<TcpListener>,
+) -> Result<PartyPool<PartyLink>, FlError> {
+    crate::link::prepare_stream(&stream)?;
+    let mut link = PartyLink::new(stream);
+    link.send_hello(shard)?;
+    let fd = Fd(link.raw_fd());
+    let parties: u64 = jobs.iter().map(|(_, _, eps)| eps.len() as u64).sum();
+
+    let mut pool = PartyPool::new(link);
+    if let Some(guard) = guard {
+        pool.set_guard(guard);
+    }
+    for (job, codec, endpoints) in jobs {
+        pool.pin_codec(job, codec);
+        pool.add_job(job, endpoints);
+    }
+
+    let mut poll = Poll::new().map_err(net_err)?;
+    let mut events = Events::with_capacity(16);
+    poll.registry().register(&fd, LINK_TOKEN, Interest::READABLE).map_err(net_err)?;
+    let mut write_registered = false;
+    let mut health_plane = HealthPlane::new(health)?;
+    health_plane.register(poll.registry())?;
+
+    loop {
+        poll.poll(&mut events, Some(POLL_TIMEOUT)).map_err(net_err)?;
+        let health_tokens: Vec<usize> =
+            events.iter().map(|e| e.token().0).filter(|t| health_plane.owns(*t)).collect();
+        for token in health_tokens {
+            let snap = PartySnapshot {
+                shard,
+                parties,
+                unroutable: pool.unroutable(),
+                rejected: pool.rejected(),
+                codec_mismatch: pool.codec_mismatch(),
+                renegotiations_rejected: pool.renegotiations_rejected(),
+                oversized: pool.oversized(),
+            };
+            health_plane.handle(poll.registry(), token, &mut || render_party_metrics(&snap))?;
+        }
+
+        // Pump to exhaustion — local training for every delivered model
+        // happens inside — and only then answer any quiescence probes:
+        // the probe answer must sit behind every reply in the stream.
+        while pool.pump()? {}
+        let link = pool.transport_mut();
+        if link.is_shutdown() {
+            // The coordinator has stopped listening for quiescence;
+            // answering now would race its socket teardown.
+            while link.take_status_req().is_some() {}
+        } else {
+            while let Some(seq) = link.take_status_req() {
+                link.send_status(seq)?;
+            }
+        }
+        if link.wants_write() {
+            link.flush()?;
+        }
+        let wants = link.wants_write();
+        if wants != write_registered {
+            let interest =
+                if wants { Interest::READABLE | Interest::WRITABLE } else { Interest::READABLE };
+            poll.registry().reregister(&fd, LINK_TOKEN, interest).map_err(net_err)?;
+            write_registered = wants;
+        }
+        if link.is_shutdown() && !wants {
+            // FIN now: the pool (and the socket inside it) outlives
+            // this loop, and the coordinator lingers until it sees EOF.
+            link.close();
+            return Ok(pool);
+        }
+        if link.is_eof() {
+            return Err(FlError::Transport(
+                "server closed the link without a shutdown notice".into(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The in-process socket harness: coordinator and party workers as
+//! threads of one process, wired over real TCP loopback sockets.
+//!
+//! [`run_socket`] is to [`crate::serve`]/[`crate::party_loop`] what
+//! [`flips_fl::run_sharded`] is to its worker loops: the same code the
+//! deployable binaries run, arranged so a test can drive a complete
+//! multi-process topology — epoll event loops, length-prefixed TCP
+//! framing, quiescence probes and all — in one call and compare the
+//! resulting histories bit-for-bit against the single-threaded goldens.
+
+use crate::link::{net_err, PartyLink};
+use crate::party::{party_loop, PartyJob};
+use crate::server::{serve, ServerOptions, ServerOutcome};
+use flips_fl::chaos::ChaosEvent;
+use flips_fl::guard::BreakerTransition;
+use flips_fl::{
+    ChaosSchedule, DriverStats, FlError, GuardConfig, History, JobParts, PartyEndpoint, PartyPool,
+};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Options of one loopback socket run.
+#[derive(Debug, Clone)]
+pub struct SocketOptions {
+    /// TCP links (= party worker threads) the roster is split across
+    /// (≥ 1). Party `p` of every job is served over link `p % links` —
+    /// the same pure assignment the sharded runtime uses.
+    pub links: usize,
+    /// Inbound guard plane installed on the driver (and, for the
+    /// frame-size stage, on every party pool). `None` runs unguarded.
+    pub guard: Option<GuardConfig>,
+    /// Seeded chaos schedule applied at the driver's uplink seam.
+    /// `None` runs the wire untouched.
+    pub chaos: Option<ChaosSchedule>,
+}
+
+impl SocketOptions {
+    /// Options for `links` TCP links, no guard, no chaos.
+    pub fn new(links: usize) -> Self {
+        SocketOptions { links, guard: None, chaos: None }
+    }
+
+    /// Installs an inbound guard plane on the run's driver and pools.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Applies a seeded chaos schedule to the run's uplink.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
+/// The outcome of a completed socket run (the socket sibling of
+/// [`flips_fl::ShardedOutcome`]).
+#[derive(Debug)]
+pub struct SocketOutcome {
+    /// Final per-job histories, keyed by job id.
+    pub histories: BTreeMap<u64, History>,
+    /// The coordinator-side wire counters.
+    pub stats: DriverStats,
+    /// Per-link counts of frames the worker could not route.
+    pub link_unroutable: Vec<u64>,
+    /// Per-link counts of routable frames an endpoint refused.
+    pub link_rejected: Vec<u64>,
+    /// Per-link counts of downlink frames dropped by the guard's size
+    /// cap (all zero when no guard was installed).
+    pub link_oversized: Vec<u64>,
+    /// The guard plane's breaker transition log (empty when no guard
+    /// was installed).
+    pub breaker_transitions: Vec<BreakerTransition>,
+    /// The chaos actions actually applied, in application order (empty
+    /// when no schedule was installed).
+    pub chaos_events: Vec<ChaosEvent>,
+}
+
+/// Connects to `addr`, retrying briefly — a peer process may still be
+/// on its way to `listen(2)` (the deployable party binary races the
+/// server's startup; in-process harness connects land first try).
+///
+/// # Errors
+///
+/// The last connect error once `timeout` elapses.
+pub fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> Result<TcpStream, FlError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() > deadline {
+                    return Err(net_err(e));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Runs every job to completion over `opts.links` loopback TCP links,
+/// one party worker thread per link, returning each job's final history
+/// and the wire counters. Histories are bit-identical to the same jobs
+/// under every other driver in the workspace — see [`crate::server`]'s
+/// module docs for the quiescence argument.
+///
+/// # Errors
+///
+/// [`FlError::InvalidConfig`] for zero links or an empty job set;
+/// socket, protocol and aggregation failures propagate (the
+/// coordinator's error wins when both sides fail).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a training bug, not an I/O
+/// condition).
+pub fn run_socket(jobs: Vec<JobParts>, opts: &SocketOptions) -> Result<SocketOutcome, FlError> {
+    if opts.links == 0 {
+        return Err(FlError::InvalidConfig("link count must be at least 1".into()));
+    }
+    if jobs.is_empty() {
+        return Err(FlError::InvalidConfig("no jobs to run".into()));
+    }
+    let links = opts.links;
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(net_err)?;
+    let addr = listener.local_addr().map_err(net_err)?;
+
+    // Split every job: the coordinator-side pieces stay in the server's
+    // JobParts, the endpoints go to their link's worker (party
+    // `p` → link `p % links`, matching the router).
+    let mut per_link: Vec<Vec<PartyJob>> = (0..links).map(|_| Vec::new()).collect();
+    let mut server_jobs = Vec::with_capacity(jobs.len());
+    for mut parts in jobs {
+        let endpoints = std::mem::take(&mut parts.endpoints);
+        let job_id = parts.coordinator.job_id();
+        let codec = parts.coordinator.codec();
+        let mut split: Vec<Vec<PartyEndpoint>> = (0..links).map(|_| Vec::new()).collect();
+        for ep in endpoints {
+            split[ep.id() % links].push(ep);
+        }
+        for (slot, eps) in split.into_iter().enumerate() {
+            if !eps.is_empty() {
+                per_link[slot].push((job_id, codec, eps));
+            }
+        }
+        server_jobs.push(parts);
+    }
+
+    let server_opts = ServerOptions {
+        links,
+        guard: opts.guard,
+        chaos: opts.chaos.clone(),
+        accept_timeout: Duration::from_secs(60),
+    };
+
+    let (server_result, worker_results) = std::thread::scope(|scope| {
+        let workers: Vec<_> = per_link
+            .into_iter()
+            .enumerate()
+            .map(|(slot, link_jobs)| {
+                let guard = opts.guard;
+                scope.spawn(move || -> Result<PartyPool<PartyLink>, FlError> {
+                    let stream = connect_with_retry(addr, Duration::from_secs(30))?;
+                    party_loop(stream, slot as u32, link_jobs, guard.as_ref(), None)
+                })
+            })
+            .collect();
+        let server_result = serve(&listener, server_jobs, &server_opts, None);
+        let worker_results: Vec<_> =
+            workers.into_iter().map(|h| h.join().expect("party worker panicked")).collect();
+        (server_result, worker_results)
+    });
+
+    let ServerOutcome { histories, stats, breaker_transitions, chaos_events } = server_result?;
+    let mut pools = Vec::with_capacity(worker_results.len());
+    for result in worker_results {
+        pools.push(result?);
+    }
+    Ok(SocketOutcome {
+        histories,
+        stats,
+        link_unroutable: pools.iter().map(PartyPool::unroutable).collect(),
+        link_oversized: pools.iter().map(PartyPool::oversized).collect(),
+        link_rejected: pools.iter().map(|p| p.rejected()).collect(),
+        breaker_transitions,
+        chaos_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_links_is_rejected() {
+        assert!(matches!(
+            run_socket(Vec::new(), &SocketOptions::new(0)),
+            Err(FlError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_job_set_is_rejected() {
+        assert!(matches!(
+            run_socket(Vec::new(), &SocketOptions::new(2)),
+            Err(FlError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,368 @@
+//! The coordinator's readiness-driven event loop.
+//!
+//! [`serve`] runs one [`MultiJobDriver`] — guard plane, chaos seam and
+//! all — behind an epoll selector: every party connection, plus the
+//! optional health listener, registers with one [`mio::Poll`], and the
+//! loop sleeps in `epoll_wait` until a frame, a probe answer or a
+//! metrics scrape arrives. Write interest is registered per link only
+//! while its outbox holds staged bytes, so backpressure costs no
+//! spinning: a full kernel buffer parks the frames in the
+//! [`StreamTransport`](flips_fl::StreamTransport) outbox and the next
+//! `EPOLLOUT` resumes them.
+//!
+//! # Quiescence over real sockets
+//!
+//! Simulated time may only advance when the wire is provably quiet —
+//! the same invariant the sharded runtime enforces with in-memory inbox
+//! probes and busy flags. Sockets offer neither, so quiet is
+//! established with a counting protocol over per-link TCP FIFO (frame
+//! formats in [`crate::control`]):
+//!
+//! 1. When a pump makes no progress, the loop probes every non-quiet
+//!    link with `StatusReq(seq)` (one probe in flight per link).
+//! 2. A party answers only after fully pumping its pool, so by FIFO the
+//!    coordinator has already processed every data frame the party sent
+//!    before the answer when it reads the answer.
+//! 3. A link is quiet iff its newest probe is answered **and** the
+//!    answer's counters match the coordinator's *current* counters in
+//!    both directions (`party.received == sent_here`, `party.sent ==
+//!    received_here`) **and** its outbox is empty. Frames that moved
+//!    after the probe left make the answer stale, which re-arms the
+//!    probe — the protocol converges because in-flight frames land.
+//! 4. All links quiet → one defensive pump → the timer wheel fires the
+//!    next deadline, exactly as in the lockstep and sharded drivers.
+//!
+//! The destination-modulo-links routing is the same pure assignment the
+//! sharded runtime uses, so a socket run and a shard run carry
+//! identical per-link data-frame sequences — which is what lets the
+//! chaos schedule's per-`(link, index)` actions, and therefore entire
+//! seeded guarded runs, replay bit-identically over TCP.
+
+use crate::link::{net_err, prepare_stream, CoordLink, Fd, SocketRouter};
+use crate::metrics::{render_server_metrics, HealthPlane};
+use flips_fl::chaos::ChaosEvent;
+use flips_fl::guard::BreakerTransition;
+use flips_fl::{
+    ChaosSchedule, ChaosTransport, DriverStats, FlError, GuardConfig, History, JobParts,
+    MultiJobDriver,
+};
+use mio::{Events, Interest, Poll, Token};
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The event loop's safety-net wakeup. All real work is event-driven;
+/// this only bounds how late the loop notices an error condition.
+const POLL_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// How long the post-run flush waits for slow peers before giving up
+/// (they still observe EOF).
+const SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Options of one coordinator run.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Party connections to accept before the run starts (≥ 1). Party
+    /// `p` of every job is served over link `p % links`.
+    pub links: usize,
+    /// Inbound guard plane installed on the driver. `None` runs
+    /// unguarded.
+    pub guard: Option<GuardConfig>,
+    /// Seeded chaos schedule applied at the driver's uplink seam.
+    /// `None` runs the wire untouched.
+    pub chaos: Option<ChaosSchedule>,
+    /// How long to wait for all `links` parties to connect and say
+    /// Hello.
+    pub accept_timeout: Duration,
+}
+
+impl ServerOptions {
+    /// Options for `links` party connections, no guard, no chaos.
+    pub fn new(links: usize) -> Self {
+        ServerOptions { links, guard: None, chaos: None, accept_timeout: Duration::from_secs(60) }
+    }
+
+    /// Installs an inbound guard plane on the run's driver.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Applies a seeded chaos schedule to the run's uplink.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
+/// The outcome of a completed coordinator run.
+#[derive(Debug)]
+pub struct ServerOutcome {
+    /// Final per-job histories, keyed by job id.
+    pub histories: BTreeMap<u64, History>,
+    /// The coordinator-side wire counters.
+    pub stats: DriverStats,
+    /// The guard plane's breaker transition log (empty when no guard
+    /// was installed).
+    pub breaker_transitions: Vec<BreakerTransition>,
+    /// The chaos actions actually applied, in application order (empty
+    /// when no schedule was installed).
+    pub chaos_events: Vec<ChaosEvent>,
+}
+
+/// Accepts `links` connections and places each by its Hello's slot.
+fn accept_links(
+    listener: &TcpListener,
+    links: usize,
+    timeout: Duration,
+) -> Result<Vec<Arc<Mutex<CoordLink>>>, FlError> {
+    listener.set_nonblocking(true).map_err(net_err)?;
+    let deadline = Instant::now() + timeout;
+    let mut slots: Vec<Option<CoordLink>> = (0..links).map(|_| None).collect();
+    let mut pending: Vec<CoordLink> = Vec::new();
+    let mut filled = 0;
+    while filled < links {
+        if Instant::now() > deadline {
+            return Err(FlError::Transport(format!(
+                "timed out waiting for party connections ({filled}/{links} links up)"
+            )));
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                prepare_stream(&stream)?;
+                pending.push(CoordLink::new(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) => return Err(net_err(e)),
+        }
+        // Poll pending connections for their Hello. This is setup-phase
+        // code on an otherwise idle process; a short sleep beats wiring
+        // a second selector for a handful of handshakes.
+        let mut i = 0;
+        while i < pending.len() {
+            if let Some(frame) = pending[i].try_recv_data()? {
+                return Err(FlError::Protocol(format!(
+                    "party sent a {}-byte data frame before its Hello",
+                    frame.len()
+                )));
+            }
+            match pending[i].hello() {
+                Some(shard) => {
+                    let link = pending.swap_remove(i);
+                    let slot = slots.get_mut(shard as usize).ok_or_else(|| {
+                        FlError::Protocol(format!(
+                            "party announced link slot {shard}, but only {links} links exist"
+                        ))
+                    })?;
+                    if slot.is_some() {
+                        return Err(FlError::Protocol(format!(
+                            "two parties announced link slot {shard}"
+                        )));
+                    }
+                    *slot = Some(link);
+                    filled += 1;
+                }
+                None => i += 1,
+            }
+        }
+        if filled < links {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    Ok(slots.into_iter().map(|s| Arc::new(Mutex::new(s.expect("all slots filled")))).collect())
+}
+
+/// Flushes every link's staged bytes and keeps each link's epoll write
+/// interest registered exactly while its outbox is non-empty. Returns
+/// whether any link still has staged bytes.
+fn flush_links(
+    links: &[Arc<Mutex<CoordLink>>],
+    fds: &[Fd],
+    poll: &Poll,
+    write_registered: &mut [bool],
+) -> Result<bool, FlError> {
+    let mut any_pending = false;
+    for (i, link) in links.iter().enumerate() {
+        let mut l = link.lock().expect("coordinator link poisoned");
+        if l.wants_write() {
+            l.flush()?;
+        }
+        let wants = l.wants_write();
+        any_pending |= wants;
+        if wants != write_registered[i] {
+            let interest =
+                if wants { Interest::READABLE | Interest::WRITABLE } else { Interest::READABLE };
+            poll.registry().reregister(&fds[i], Token(i), interest).map_err(net_err)?;
+            write_registered[i] = wants;
+        }
+    }
+    Ok(any_pending)
+}
+
+/// Runs every job to completion over `opts.links` party connections
+/// accepted from `listener`, returning each job's final history and the
+/// wire counters. `health`, when given, serves `/metrics` and
+/// `/healthz` from the same event loop for the duration of the run.
+///
+/// Endpoints inside the given [`JobParts`] are dropped — the party side
+/// of each job lives in whatever processes connect (see
+/// [`crate::party_loop`]); only the coordinator-side pieces run here.
+/// Histories are bit-identical to the same jobs under
+/// [`flips_fl::run_lockstep`] and [`flips_fl::run_sharded`] — see the
+/// [module docs](self) for why.
+///
+/// # Errors
+///
+/// [`FlError::InvalidConfig`] for zero links or an empty job set;
+/// accept-phase timeouts, socket failures, protocol violations and
+/// aggregation failures propagate.
+pub fn serve(
+    listener: &TcpListener,
+    jobs: Vec<JobParts>,
+    opts: &ServerOptions,
+    health: Option<TcpListener>,
+) -> Result<ServerOutcome, FlError> {
+    if opts.links == 0 {
+        return Err(FlError::InvalidConfig("link count must be at least 1".into()));
+    }
+    if jobs.is_empty() {
+        return Err(FlError::InvalidConfig("no jobs to run".into()));
+    }
+    let links = accept_links(listener, opts.links, opts.accept_timeout)?;
+    let fds: Vec<Fd> = links.iter().map(|l| Fd(l.lock().expect("fresh link").raw_fd())).collect();
+
+    let router = SocketRouter::new(links.clone());
+    let wire = match &opts.chaos {
+        Some(schedule) => ChaosTransport::new(router, schedule.clone()),
+        None => ChaosTransport::inert(router),
+    };
+    let mut driver = MultiJobDriver::new(wire);
+    if let Some(guard) = opts.guard {
+        driver.set_guard(guard)?;
+    }
+    let job_count = jobs.len() as u64;
+    for parts in jobs {
+        // The endpoints live in the party processes; only the
+        // coordinator-side pieces are registered here.
+        let _endpoints = driver.add_parts(parts)?;
+    }
+
+    let mut poll = Poll::new().map_err(net_err)?;
+    let mut events = Events::with_capacity(64);
+    for (i, fd) in fds.iter().enumerate() {
+        poll.registry().register(fd, Token(i), Interest::READABLE).map_err(net_err)?;
+    }
+    let mut write_registered = vec![false; fds.len()];
+    let mut health_plane = HealthPlane::new(health)?;
+    health_plane.register(poll.registry())?;
+
+    driver.start()?;
+    flush_links(&links, &fds, &poll, &mut write_registered)?;
+
+    loop {
+        // The loop sleeps here: frames, probe answers, write-readiness
+        // and metrics scrapes all arrive as epoll events.
+        poll.poll(&mut events, Some(POLL_TIMEOUT)).map_err(net_err)?;
+        let health_tokens: Vec<usize> =
+            events.iter().map(|e| e.token().0).filter(|t| health_plane.owns(*t)).collect();
+        for token in health_tokens {
+            let stats = driver.stats();
+            let transitions = driver.guard().map_or(0, |g| g.transitions().len() as u64);
+            let finished = driver.is_finished();
+            health_plane.handle(poll.registry(), token, &mut || {
+                render_server_metrics(&stats, transitions, job_count, finished)
+            })?;
+        }
+
+        // Pump to exhaustion, then fall straight through to the
+        // quiescence check: the wire is drained, so the only way
+        // anything more can arrive is via a probe answer or a clock
+        // advance — sleeping first would stall every simulated-time
+        // step on the poll timeout.
+        while driver.pump()? {}
+        flush_links(&links, &fds, &poll, &mut write_registered)?;
+        if driver.is_finished() {
+            break;
+        }
+        for link in &links {
+            let l = link.lock().expect("coordinator link poisoned");
+            if l.is_eof() {
+                return Err(FlError::Transport(
+                    "a party closed its link before the run finished".into(),
+                ));
+            }
+        }
+
+        // Nothing moved: run the quiescence protocol (module docs).
+        let mut all_quiet = true;
+        for link in &links {
+            let mut l = link.lock().expect("coordinator link poisoned");
+            if l.needs_probe() {
+                l.send_probe()?;
+            }
+            all_quiet &= l.quiet();
+        }
+        if !all_quiet {
+            // Probes may be staged behind a full buffer; keep the write
+            // interest honest before sleeping.
+            flush_links(&links, &fds, &poll, &mut write_registered)?;
+            continue;
+        }
+        // Provably quiet: one defensive drain, then time advances —
+        // the same order the sharded coordinator uses.
+        if driver.pump()? {
+            continue;
+        }
+        if !driver.advance_clock()? {
+            return Err(FlError::Protocol(
+                "socket driver stalled: wire quiet, no live deadline, jobs unfinished".into(),
+            ));
+        }
+    }
+
+    // Final drain (chaos leftovers and post-completion replies are
+    // counted, like the sharded runtime's final pump), then shutdown.
+    while driver.pump()? {}
+    for link in &links {
+        link.lock().expect("coordinator link poisoned").send_shutdown()?;
+    }
+    // Linger until every party has read the shutdown notice and closed
+    // its end: closing first would race in-flight probe answers and can
+    // RST the shutdown frame out of the party's receive buffer. Late
+    // control frames are read and discarded; data after finish would be
+    // a protocol bug and is surfaced.
+    let flush_deadline = Instant::now() + SHUTDOWN_TIMEOUT;
+    loop {
+        let pending = flush_links(&links, &fds, &poll, &mut write_registered)?;
+        let mut all_closed = true;
+        for link in &links {
+            let mut l = link.lock().expect("coordinator link poisoned");
+            if let Some(frame) = l.try_recv_data()? {
+                return Err(FlError::Protocol(format!(
+                    "party sent a {}-byte data frame after the run finished",
+                    frame.len()
+                )));
+            }
+            all_closed &= l.is_eof();
+        }
+        if (all_closed && !pending) || Instant::now() > flush_deadline {
+            break; // slow peers still observe EOF on drop
+        }
+        poll.poll(&mut events, Some(Duration::from_millis(5))).map_err(net_err)?;
+    }
+
+    let histories = driver
+        .job_ids()
+        .into_iter()
+        .map(|id| (id, driver.history(id).expect("registered job").clone()))
+        .collect();
+    Ok(ServerOutcome {
+        histories,
+        stats: driver.stats(),
+        breaker_transitions: driver.guard().map_or_else(Vec::new, |g| g.transitions().to_vec()),
+        chaos_events: driver.transport().log().to_vec(),
+    })
+}

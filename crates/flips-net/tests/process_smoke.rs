@@ -1,0 +1,166 @@
+//! End-to-end smoke test of the deployable binaries: a real
+//! `flips-server` process and two real `flips-party` processes on TCP
+//! loopback, driven exactly as a deployment would be — one shared TOML
+//! config, separate OS processes, a Prometheus scrape over HTTP — and
+//! checked against the seeded in-process golden.
+
+use flips_core::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Reserves a loopback port (bind :0, read the assignment, release).
+/// The tiny race against another process grabbing it is acceptable in a
+/// test.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap().port()
+}
+
+/// Reads lines from a child's stdout until one starts with `prefix`,
+/// with a deadline (the harness would otherwise hang on a wedged
+/// child). Returns the full matching line.
+fn await_line(reader: &mut impl BufRead, prefix: &str, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    let mut line = String::new();
+    loop {
+        assert!(Instant::now() < deadline, "timed out waiting for a {prefix:?} line");
+        line.clear();
+        let n = reader.read_line(&mut line).expect("child stdout readable");
+        assert!(n > 0, "child closed stdout before printing {prefix:?}");
+        if line.starts_with(prefix) {
+            return line.trim_end().to_string();
+        }
+    }
+}
+
+fn scrape(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("health endpoint reachable");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("health endpoint answers");
+    response
+}
+
+struct KillOnDrop(Child);
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn server_and_party_processes_complete_a_run_and_expose_metrics() {
+    let data_port = free_port();
+    let health_port = free_port();
+    let config = format!(
+        r#"
+links = 2
+
+[server]
+listen = "127.0.0.1:{data_port}"
+health = "127.0.0.1:{health_port}"
+
+[guard]
+max_frame_bytes = 1048576
+
+[[job]]
+dataset = "femnist"
+seed = 11
+parties = 12
+rounds = 3
+participation = 0.25
+alpha = 0.3
+selector = "random"
+deadline = "latency-quantile"
+deadline_q = 0.5
+deadline_slack = 1.1
+latency_sigma = 0.8
+test_per_class = 8
+clustering_restarts = 3
+"#
+    );
+    let config_path = format!("{}/process_smoke.toml", env!("CARGO_TARGET_TMPDIR"));
+    std::fs::write(&config_path, &config).unwrap();
+
+    // The golden: the same [[job]] block, run in-process.
+    let golden = SimulationBuilder::new(DatasetProfile::femnist())
+        .parties(12)
+        .rounds(3)
+        .participation(0.25)
+        .alpha(0.3)
+        .selector(SelectorKind::Random)
+        .deadline(DeadlinePolicy::LatencyQuantile { q: 0.5, slack: 1.1 })
+        .latency_sigma(0.8)
+        .test_per_class(8)
+        .clustering_restarts(3)
+        .seed(11)
+        .run()
+        .unwrap()
+        .history;
+
+    let mut server = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_flips-server"))
+            .arg(&config_path)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("flips-server spawns"),
+    );
+    let mut server_out = BufReader::new(server.0.stdout.take().unwrap());
+    await_line(&mut server_out, "LISTENING ", Duration::from_secs(30));
+
+    let parties: Vec<KillOnDrop> = (0..2)
+        .map(|slot| {
+            KillOnDrop(
+                Command::new(env!("CARGO_BIN_EXE_flips-party"))
+                    .arg(&config_path)
+                    .arg(slot.to_string())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()
+                    .expect("flips-party spawns"),
+            )
+        })
+        .collect();
+
+    // The run completes and reports the golden trajectory.
+    let job_line = await_line(&mut server_out, "JOB ", Duration::from_secs(120));
+    assert!(job_line.contains("rounds=3"), "server reported an unexpected round count: {job_line}");
+    let expected_acc = format!("accuracy={:.4}", golden.final_accuracy());
+    assert!(
+        job_line.contains(&expected_acc),
+        "server's final accuracy diverged from the in-process golden \
+         ({job_line} vs {expected_acc})"
+    );
+    await_line(&mut server_out, "RUN COMPLETE", Duration::from_secs(30));
+
+    // One Prometheus scrape against the finished server.
+    let health_addr = format!("127.0.0.1:{health_port}");
+    let metrics = scrape(&health_addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.0 200 OK"), "scrape failed: {metrics}");
+    for needle in [
+        "# TYPE flips_frames_received_total counter",
+        "flips_run_complete 1",
+        "flips_jobs 1",
+        "flips_parties_ejected_total 0",
+    ] {
+        assert!(metrics.contains(needle), "metrics miss {needle:?}:\n{metrics}");
+    }
+    let healthz = scrape(&health_addr, "/healthz");
+    assert!(healthz.contains("ok"), "healthz: {healthz}");
+
+    // Both parties exit zero after the shutdown handshake.
+    for mut party in parties {
+        let out = BufReader::new(party.0.stdout.take().unwrap());
+        let status = party.0.wait().expect("party waited");
+        assert!(status.success(), "flips-party exited {status}");
+        let lines: Vec<String> = out.lines().map(|l| l.unwrap()).collect();
+        assert!(
+            lines.iter().any(|l| l.starts_with("PARTY COMPLETE")),
+            "party never reported completion: {lines:?}"
+        );
+    }
+}
