@@ -33,7 +33,13 @@ fn bench_codec(c: &mut Criterion) {
     let next = nudged(&params);
     let mut group = c.benchmark_group("model_codec_mlp256");
 
-    for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::F16] {
+    for codec in [
+        ModelCodec::Raw,
+        ModelCodec::DeltaLossless,
+        ModelCodec::DeltaEntropy,
+        ModelCodec::TopK { k: 4096 },
+        ModelCodec::F16,
+    ] {
         // Encoded bytes per scenario — the headline numbers for
         // PERFORMANCE.md's wire table.
         let mut tx = PayloadCodec::new(codec, Role::Sender);

@@ -271,6 +271,26 @@ fn main() {
         100.0 * delta_bytes as f64 / raw_bytes as f64
     );
 
+    eprintln!("measuring transport_round (DeltaEntropy codec) ...");
+    let (entropy_ns, entropy_bytes) = transport_round_ns(16, 4, 3, 7, ModelCodec::DeltaEntropy);
+    eprintln!(
+        "  {:.2} ms/round ({:+.1}% vs in-process), {} B/round on the wire ({:.1}% of lossless delta)",
+        entropy_ns / 1e6,
+        100.0 * (entropy_ns - round_ns) / round_ns,
+        entropy_bytes,
+        100.0 * entropy_bytes as f64 / delta_bytes as f64
+    );
+
+    eprintln!("measuring transport_round (TopK k=4096 codec) ...");
+    let (topk_ns, topk_bytes) = transport_round_ns(16, 4, 3, 7, ModelCodec::TopK { k: 4096 });
+    eprintln!(
+        "  {:.2} ms/round ({:+.1}% vs in-process), {} B/round on the wire ({:.1}% of raw)",
+        topk_ns / 1e6,
+        100.0 * (topk_ns - round_ns) / round_ns,
+        topk_bytes,
+        100.0 * topk_bytes as f64 / raw_bytes as f64
+    );
+
     eprintln!("measuring sharded_round (same workload, threaded runtime, shard sweep) ...");
     let mut sharded_sweep = Vec::new();
     for shards in [1usize, 2, 4] {
@@ -302,6 +322,8 @@ fn main() {
          \"socket_round_median_ns\": {socket_ns:.0},\n  \
          \"transport_bytes_per_round\": {delta_bytes},\n  \
          \"transport_bytes_per_round_raw\": {raw_bytes},\n  \
+         \"transport_bytes_per_round_entropy\": {entropy_bytes},\n  \
+         \"transport_bytes_per_round_topk\": {topk_bytes},\n  \
          \"gemm_256_gflops\": {gflops_256:.2},\n  \"gemm_tn_256_gflops\": {tn_gflops_256:.2},\n  \
          \"model\": \"mlp-16x256x192x10\",\n  \"parties\": 16,\n  \"parties_per_round\": 4\n}}\n",
         sharded_sweep[0].1, sharded_sweep[2].1

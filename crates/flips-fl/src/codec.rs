@@ -15,6 +15,17 @@
 //!   zero-run-length encoded. **Bit-exact** on decode — NaN payloads,
 //!   signed zeros and subnormals survive — so seeded histories over the
 //!   compressed wire still pin the `FlJob` goldens.
+//! - [`ModelCodec::DeltaEntropy`] — the delta pipeline above plus a
+//!   static-model [rANS entropy stage](crate::rans) over the shuffled
+//!   planes in place of the zero-RLE: still **bit-exact**, and the
+//!   literal bytes the RLE ships at full width now cost their entropy.
+//!   A per-block inline fallback keeps hostile-entropy payloads inside
+//!   the same reserve-ahead bound the RLE honors.
+//! - [`ModelCodec::TopK`] — a *lossy* sparsification tier: only the `k`
+//!   largest-magnitude delta coordinates against the reference travel,
+//!   as `(index, value)` pairs with deterministic tie-breaking by
+//!   index, so seeded histories stay replayable even though the model
+//!   itself is approximated.
 //! - [`ModelCodec::F16`] — lossy IEEE half precision for deployments
 //!   that opt in (never a default): halves model bytes unconditionally,
 //!   at ~3 decimal digits of mantissa.
@@ -22,9 +33,17 @@
 //! The codec is carried per job in the coordinator config, announced in
 //! every [`SelectionNotice`](crate::WireMessage::SelectionNotice), and
 //! negotiated once per job on the receiving side ([`CodecMap::negotiate`]).
-//! A decoder rejects mismatched or corrupt codec tags with
+//! Since the per-link negotiation PR the announcement is scoped to the
+//! *link*: the driver may pin a different codec per link on one job
+//! ([`crate::MultiJobDriver::set_link_codec`]), each link's
+//! `SelectionNotice` carries that link's codec, and each receiving pool
+//! pins per (link, job) with the same once-only renegotiation-refusal
+//! rules. A decoder rejects mismatched or corrupt codec tags with
 //! [`FlError::CodecMismatch`] — the frame is dropped and counted, round
 //! state untouched.
+//!
+//! The byte-level layout of every payload and announcement is specified
+//! normatively in `docs/WIRE.md`.
 //!
 //! ## The reference model
 //!
@@ -105,11 +124,27 @@ pub enum ModelCodec {
     DeltaLossless,
     /// Lossy IEEE 754 half precision (opt-in only, never a default).
     F16,
+    /// Bit-exact XOR-delta planes entropy-coded with a static-model
+    /// [rANS stage](crate::rans) (inline fallback bounds hostile
+    /// payloads at the raw image size).
+    DeltaEntropy,
+    /// Lossy top-k sparsification: the `k` largest-magnitude delta
+    /// coordinates vs the reference travel as `(index, value_bits)`
+    /// pairs; untransmitted coordinates keep their reference value.
+    /// Ties in magnitude break by ascending index, so encoding is a
+    /// pure function of `(params, reference, k)` and seeded histories
+    /// replay bit-identically.
+    TopK {
+        /// Coordinates transmitted per model frame.
+        k: u32,
+    },
 }
 
 const TAG_RAW: u8 = 0;
 const TAG_DELTA: u8 = 1;
 const TAG_F16: u8 = 2;
+const TAG_ENTROPY: u8 = 3;
+const TAG_TOPK: u8 = 4;
 
 /// Delta payload sub-mode: full inline-raw image (no reference yet).
 const MODE_INLINE: u8 = 0;
@@ -123,15 +158,34 @@ impl ModelCodec {
             ModelCodec::Raw => TAG_RAW,
             ModelCodec::DeltaLossless => TAG_DELTA,
             ModelCodec::F16 => TAG_F16,
+            ModelCodec::DeltaEntropy => TAG_ENTROPY,
+            ModelCodec::TopK { .. } => TAG_TOPK,
         }
     }
 
-    /// Parses a wire tag.
+    /// Parses a wire tag. `None` for unknown tags *and* for the top-k
+    /// tag: top-k carries a `k` parameter the tag byte alone cannot
+    /// recover — announcements travel through
+    /// [`ModelCodec::decode_announcement`], which reads it.
     pub fn from_tag(tag: u8) -> Option<ModelCodec> {
         match tag {
             TAG_RAW => Some(ModelCodec::Raw),
             TAG_DELTA => Some(ModelCodec::DeltaLossless),
             TAG_F16 => Some(ModelCodec::F16),
+            TAG_ENTROPY => Some(ModelCodec::DeltaEntropy),
+            _ => None,
+        }
+    }
+
+    /// The human-readable name of a wire tag, known or not (decoder
+    /// diagnostics).
+    fn tag_name(tag: u8) -> Option<&'static str> {
+        match tag {
+            TAG_RAW => Some("raw"),
+            TAG_DELTA => Some("delta-lossless"),
+            TAG_F16 => Some("f16"),
+            TAG_ENTROPY => Some("delta-entropy"),
+            TAG_TOPK => Some("topk"),
             _ => None,
         }
     }
@@ -142,12 +196,24 @@ impl ModelCodec {
             ModelCodec::Raw => "raw",
             ModelCodec::DeltaLossless => "delta-lossless",
             ModelCodec::F16 => "f16",
+            ModelCodec::DeltaEntropy => "delta-entropy",
+            ModelCodec::TopK { .. } => "topk",
         }
     }
 
     /// Whether decode reproduces the encoded parameters bit-for-bit.
     pub fn is_lossless(self) -> bool {
-        !matches!(self, ModelCodec::F16)
+        !matches!(self, ModelCodec::F16 | ModelCodec::TopK { .. })
+    }
+
+    /// Whether this codec maintains a reference model on both ends of
+    /// the wire (and therefore pays the reference-advance bookkeeping
+    /// on global-model encode/decode).
+    pub fn tracks_reference(self) -> bool {
+        matches!(
+            self,
+            ModelCodec::DeltaLossless | ModelCodec::DeltaEntropy | ModelCodec::TopK { .. }
+        )
     }
 
     /// Worst-case bytes of one encoded params block of `n` parameters
@@ -160,7 +226,51 @@ impl ModelCodec {
             // 65535-byte run, plus one possibly-short token per plane.
             ModelCodec::DeltaLossless => head + 1 + 4 + 4 * n + 3 * (4 * n / RUN_CAP + 5),
             ModelCodec::F16 => head + 2 * n,
+            // mode + comp_len/pair-count + the inline fallback image
+            // (the compressed/sparse path is strictly smaller — the
+            // encoder falls back before it would exceed the raw size).
+            ModelCodec::DeltaEntropy | ModelCodec::TopK { .. } => head + 1 + 4 + 4 * n,
         }
+    }
+
+    /// Bytes of this codec's announcement inside a `SelectionNotice`:
+    /// the tag byte, plus the u32 `k` parameter for [`ModelCodec::TopK`].
+    pub fn announcement_bytes(self) -> usize {
+        match self {
+            ModelCodec::TopK { .. } => 1 + 4,
+            _ => 1,
+        }
+    }
+
+    /// Appends this codec's announcement (tag byte, then top-k's u32
+    /// `k` little-endian).
+    pub fn encode_announcement(self, out: &mut BytesMut) {
+        out.put_u8(self.tag());
+        if let ModelCodec::TopK { k } = self {
+            out.put_u32_le(k);
+        }
+    }
+
+    /// Parses an announcement written by
+    /// [`ModelCodec::encode_announcement`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Codec`] on an empty buffer, an unknown tag, or a
+    /// truncated top-k parameter.
+    pub fn decode_announcement(buf: &mut Bytes) -> Result<ModelCodec, FlError> {
+        if buf.remaining() < 1 {
+            return Err(FlError::Codec("truncated codec announcement".into()));
+        }
+        let tag = buf.get_u8();
+        if tag == TAG_TOPK {
+            if buf.remaining() < 4 {
+                return Err(FlError::Codec("truncated top-k announcement parameter".into()));
+            }
+            return Ok(ModelCodec::TopK { k: buf.get_u32_le() });
+        }
+        ModelCodec::from_tag(tag)
+            .ok_or_else(|| FlError::Codec(format!("unknown codec tag {tag:#x}")))
     }
 }
 
@@ -205,10 +315,25 @@ pub struct PayloadCodec {
     expected_len: Option<usize>,
     /// Byte-plane shuffle scratch, 4·n bytes.
     planes: Vec<u8>,
-    /// RLE token scratch.
+    /// RLE / rANS token scratch.
     tokens: Vec<u8>,
     /// Decoded-parameter scratch for global models.
     decoded: Vec<f32>,
+    /// Top-k candidate scratch: `(magnitude key, index)`.
+    cands: Vec<(u32, u32)>,
+    /// Top-k selected pairs of the last encode, `(index, value bits)`
+    /// ascending by index — what the sender applies to advance its
+    /// reference to the *reconstruction* (the model the receiver now
+    /// holds), not to the true parameters.
+    pairs: Vec<(u32, u32)>,
+    /// Whether the last top-k params encode fell back to the inline
+    /// image (then the reconstruction IS the true model).
+    topk_inline: bool,
+    /// The true (pre-sparsification) parameters behind the top-k
+    /// reference — same-round rebroadcast detection must compare the
+    /// offered params against what was *offered* last time, not against
+    /// the lossy reconstruction.
+    true_ref: Vec<f32>,
 }
 
 impl std::fmt::Debug for PayloadCodec {
@@ -235,6 +360,10 @@ impl PayloadCodec {
             planes: Vec::new(),
             tokens: Vec::new(),
             decoded: Vec::new(),
+            cands: Vec::new(),
+            pairs: Vec::new(),
+            topk_inline: false,
+            true_ref: Vec::new(),
         }
     }
 
@@ -258,22 +387,54 @@ impl PayloadCodec {
     }
 
     /// Appends one encoded params block for a `GlobalModel` payload.
-    /// A [`Role::Sender`] advances its reference to `params`.
+    /// A [`Role::Sender`] advances its reference — to `params` for the
+    /// lossless delta codecs, and to the *reconstruction* (reference
+    /// with the transmitted pairs applied) for the lossy top-k tier, so
+    /// both ends keep referencing the same bits.
     pub fn encode_global(&mut self, round: u64, params: &[f32], out: &mut BytesMut) {
-        if self.codec != ModelCodec::DeltaLossless {
-            // Only the delta codec keeps a reference — raw/f16 must
-            // not pay a full-model memcpy per dispatched frame.
+        if !self.codec.tracks_reference() {
+            // Raw/f16 keep no reference — they must not pay a
+            // full-model memcpy per dispatched frame.
             self.encode_params(params, out);
             return;
         }
-        if self.role == Role::Sender && self.is_reference_rebroadcast(round, params) {
-            // Same-round rebroadcast: the XOR-delta is identically
-            // zero — emit the zero-run tokens directly, no shuffle.
-            self.encode_zero_delta(params.len(), out);
+        if self.role == Role::Sender
+            && !params.is_empty()
+            && self.is_reference_rebroadcast(round, params)
+        {
+            // Same-round rebroadcast: the delta is identically zero —
+            // emit the degenerate block directly, no shuffle/sort.
+            match self.codec {
+                ModelCodec::DeltaLossless => self.encode_zero_delta(params.len(), out),
+                ModelCodec::DeltaEntropy => self.encode_zero_entropy(params.len(), out),
+                ModelCodec::TopK { .. } => self.encode_empty_topk(params.len(), out),
+                _ => unreachable!("only reference-tracking codecs reach here"),
+            }
             return;
         }
         self.encode_params(params, out);
-        if self.role == Role::Sender {
+        if self.role != Role::Sender {
+            return;
+        }
+        if let ModelCodec::TopK { .. } = self.codec {
+            if self.topk_inline {
+                self.set_reference(round, params);
+            } else {
+                // Advance to the reconstruction the receiver will now
+                // hold: the old reference with the shipped pairs
+                // applied. `params` itself is remembered separately so
+                // a same-round rebroadcast of the same buffer is
+                // recognized.
+                for &(i, bits) in &self.pairs {
+                    self.reference[i as usize] = f32::from_bits(bits);
+                }
+                self.ref_round = round;
+                self.has_reference = true;
+                self.ref_src = (params.as_ptr() as usize, params.len());
+            }
+            self.true_ref.clear();
+            self.true_ref.extend_from_slice(params);
+        } else {
             self.set_reference(round, params);
         }
     }
@@ -311,11 +472,7 @@ impl PayloadCodec {
                 let fresh = !self.has_reference || round > self.ref_round;
                 let len_ok = self.expected_len.is_none_or(|l| l == decoded.len())
                     && (!self.has_reference || self.reference.len() == decoded.len());
-                if self.codec == ModelCodec::DeltaLossless
-                    && self.role == Role::Receiver
-                    && fresh
-                    && len_ok
-                {
+                if self.codec.tracks_reference() && self.role == Role::Receiver && fresh && len_ok {
                     self.set_reference(round, &decoded);
                 }
                 Ok(Arc::from(decoded.as_slice()))
@@ -356,10 +513,18 @@ impl PayloadCodec {
     /// order of magnitude cheaper than the shuffle+RLE it skips, and it
     /// only runs when the pointer hint already matched.
     fn is_reference_rebroadcast(&self, round: u64, params: &[f32]) -> bool {
+        // Top-k's stored reference is the lossy reconstruction; the
+        // bits to compare against are the true params of the last
+        // encode, kept in `true_ref`.
+        let baseline: &[f32] = match self.codec {
+            ModelCodec::TopK { .. } => &self.true_ref,
+            _ => &self.reference,
+        };
         self.has_reference
             && self.ref_round == round
             && self.ref_src == (params.as_ptr() as usize, params.len())
-            && params.iter().zip(&self.reference).all(|(a, b)| a.to_bits() == b.to_bits())
+            && baseline.len() == params.len()
+            && params.iter().zip(baseline).all(|(a, b)| a.to_bits() == b.to_bits())
     }
 
     /// Emits the delta block of an all-zero delta (a rebroadcast of the
@@ -380,6 +545,32 @@ impl PayloadCodec {
         out.put_u8(MODE_DELTA);
         out.put_u32_le(self.tokens.len() as u32);
         out.put_slice(&self.tokens);
+    }
+
+    /// Emits the entropy-coded block of an all-zero delta. Each plane's
+    /// rANS stream is header-sized (one symbol at the full frequency
+    /// budget never moves the coder state), so a rebroadcast costs ~170
+    /// bytes regardless of model size; only the plane memset is O(n).
+    fn encode_zero_entropy(&mut self, n: usize, out: &mut BytesMut) {
+        self.planes.clear();
+        self.planes.resize(4 * n, 0);
+        self.tokens.clear();
+        crate::rans::encode_planes(&self.planes, n, &mut self.tokens);
+        out.reserve(1 + 8 + 1 + 4 + self.tokens.len());
+        out.put_u8(self.codec.tag());
+        out.put_u64_le(n as u64);
+        out.put_u8(MODE_DELTA);
+        out.put_u32_le(self.tokens.len() as u32);
+        out.put_slice(&self.tokens);
+    }
+
+    /// Emits the top-k block of a zero delta: no pairs at all, O(1).
+    fn encode_empty_topk(&mut self, n: usize, out: &mut BytesMut) {
+        out.reserve(1 + 8 + 1 + 4);
+        out.put_u8(self.codec.tag());
+        out.put_u64_le(n as u64);
+        out.put_u8(MODE_DELTA);
+        out.put_u32_le(0);
     }
 
     fn encode_params(&mut self, params: &[f32], out: &mut BytesMut) {
@@ -406,15 +597,7 @@ impl PayloadCodec {
                     return;
                 }
                 let n = params.len();
-                self.planes.clear();
-                self.planes.resize(4 * n, 0);
-                for (i, (&x, &r)) in params.iter().zip(&self.reference).enumerate() {
-                    let d = (x.to_bits() ^ r.to_bits()).to_le_bytes();
-                    self.planes[i] = d[0];
-                    self.planes[n + i] = d[1];
-                    self.planes[2 * n + i] = d[2];
-                    self.planes[3 * n + i] = d[3];
-                }
+                self.build_delta_planes(params);
                 self.tokens.clear();
                 rle_compress(&self.planes, &mut self.tokens);
                 // A hostile-entropy delta (short zero runs threaded
@@ -434,6 +617,104 @@ impl PayloadCodec {
                 out.put_u32_le(self.tokens.len() as u32);
                 out.put_slice(&self.tokens);
             }
+            ModelCodec::DeltaEntropy => {
+                if !self.has_reference || self.reference.len() != params.len() || params.is_empty()
+                {
+                    out.put_u8(MODE_INLINE);
+                    for &p in params {
+                        out.put_f32_le(p);
+                    }
+                    return;
+                }
+                let n = params.len();
+                self.build_delta_planes(params);
+                self.tokens.clear();
+                crate::rans::encode_planes(&self.planes, n, &mut self.tokens);
+                // Same reserve-ahead discipline as the RLE stage: a
+                // near-incompressible delta (the rANS header alone is
+                // up to 544 bytes) falls back to the inline image so no
+                // block exceeds its raw size.
+                if self.tokens.len() >= 4 * n {
+                    out.put_u8(MODE_INLINE);
+                    for &p in params {
+                        out.put_f32_le(p);
+                    }
+                    return;
+                }
+                out.put_u8(MODE_DELTA);
+                out.put_u32_le(self.tokens.len() as u32);
+                out.put_slice(&self.tokens);
+            }
+            ModelCodec::TopK { k } => {
+                self.topk_inline = true;
+                if !self.has_reference || self.reference.len() != params.len() {
+                    out.put_u8(MODE_INLINE);
+                    for &p in params {
+                        out.put_f32_le(p);
+                    }
+                    return;
+                }
+                let n = params.len();
+                // Candidates: coordinates whose bits differ from the
+                // reference, keyed by |params − reference| (NaN deltas
+                // key as the largest magnitudes — a NaN-poisoned
+                // coordinate must not be silently dropped).
+                let mut cands = std::mem::take(&mut self.cands);
+                cands.clear();
+                for (i, (&x, &r)) in params.iter().zip(&self.reference).enumerate() {
+                    if x.to_bits() != r.to_bits() {
+                        let key = (x - r).to_bits() & 0x7FFF_FFFF;
+                        cands.push((key, i as u32));
+                    }
+                }
+                // Keep the k largest keys; the comparator's index
+                // tie-break makes it a total order, so the selected
+                // *set* is a pure function of the input regardless of
+                // partition internals.
+                let k = k as usize;
+                if cands.len() > k {
+                    cands.select_nth_unstable_by(k, |a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                    cands.truncate(k);
+                }
+                self.pairs.clear();
+                self.pairs.extend(cands.iter().map(|&(_, i)| (i, params[i as usize].to_bits())));
+                self.pairs.sort_unstable_by_key(|&(i, _)| i);
+                self.cands = cands;
+                // Dense deltas (or tiny models) where the pair list
+                // would not undercut the raw image go inline — and
+                // inline is also bit-exact, so the fallback only ever
+                // *improves* fidelity.
+                if 4 + 8 * self.pairs.len() >= 4 * n {
+                    out.put_u8(MODE_INLINE);
+                    for &p in params {
+                        out.put_f32_le(p);
+                    }
+                    return;
+                }
+                self.topk_inline = false;
+                out.put_u8(MODE_DELTA);
+                out.put_u32_le(self.pairs.len() as u32);
+                for &(i, bits) in &self.pairs {
+                    out.put_u32_le(i);
+                    out.put_u32_le(bits);
+                }
+            }
+        }
+    }
+
+    /// Fills `self.planes` with the byte-plane-shuffled XOR delta of
+    /// `params` against the reference (callers guarantee equal
+    /// lengths).
+    fn build_delta_planes(&mut self, params: &[f32]) {
+        let n = params.len();
+        self.planes.clear();
+        self.planes.resize(4 * n, 0);
+        for (i, (&x, &r)) in params.iter().zip(&self.reference).enumerate() {
+            let d = (x.to_bits() ^ r.to_bits()).to_le_bytes();
+            self.planes[i] = d[0];
+            self.planes[n + i] = d[1];
+            self.planes[2 * n + i] = d[2];
+            self.planes[3 * n + i] = d[3];
         }
     }
 
@@ -443,7 +724,7 @@ impl PayloadCodec {
         }
         let tag = buf.get_u8();
         if tag != self.codec.tag() {
-            return Err(FlError::CodecMismatch(match ModelCodec::from_tag(tag) {
+            return Err(FlError::CodecMismatch(match ModelCodec::tag_name(tag) {
                 Some(got) => {
                     format!("payload encoded as {got}, job negotiated {}", self.codec)
                 }
@@ -514,16 +795,105 @@ impl PayloadCodec {
                         }
                         rle_decompress(comp.as_slice(), 4 * n, &mut self.planes)?;
                         out.clear();
-                        let planes = &self.planes;
-                        out.extend(self.reference.iter().enumerate().map(|(i, r)| {
-                            let d = u32::from_le_bytes([
-                                planes[i],
-                                planes[n + i],
-                                planes[2 * n + i],
-                                planes[3 * n + i],
-                            ]);
-                            f32::from_bits(r.to_bits() ^ d)
-                        }));
+                        gather_from_planes(&self.planes, &self.reference, out);
+                    }
+                    other => {
+                        return Err(FlError::Codec(format!("unknown delta mode {other}")));
+                    }
+                }
+            }
+            ModelCodec::DeltaEntropy => {
+                if buf.remaining() < 1 {
+                    return Err(FlError::Codec("truncated delta mode byte".into()));
+                }
+                match buf.get_u8() {
+                    MODE_INLINE => {
+                        let n = checked_count(count, 4, buf.remaining())?;
+                        out.clear();
+                        out.extend((0..n).map(|_| buf.get_f32_le()));
+                    }
+                    MODE_DELTA => {
+                        if !self.has_reference {
+                            return Err(FlError::Codec(
+                                "delta payload before any reference model".into(),
+                            ));
+                        }
+                        let n = self.reference.len();
+                        if count != n as u64 {
+                            return Err(FlError::Codec(format!(
+                                "delta payload for {count} params, reference holds {n}"
+                            )));
+                        }
+                        if buf.remaining() < 4 {
+                            return Err(FlError::Codec("truncated delta length".into()));
+                        }
+                        let comp_len = buf.get_u32_le() as usize;
+                        if comp_len > buf.remaining() {
+                            return Err(FlError::Codec(format!(
+                                "entropy stream of {comp_len} bytes exceeds the {} remaining",
+                                buf.remaining()
+                            )));
+                        }
+                        let comp = buf.split_to(comp_len);
+                        crate::rans::decode_planes(comp.as_slice(), n, &mut self.planes)?;
+                        out.clear();
+                        gather_from_planes(&self.planes, &self.reference, out);
+                    }
+                    other => {
+                        return Err(FlError::Codec(format!("unknown delta mode {other}")));
+                    }
+                }
+            }
+            ModelCodec::TopK { .. } => {
+                if buf.remaining() < 1 {
+                    return Err(FlError::Codec("truncated delta mode byte".into()));
+                }
+                match buf.get_u8() {
+                    MODE_INLINE => {
+                        let n = checked_count(count, 4, buf.remaining())?;
+                        out.clear();
+                        out.extend((0..n).map(|_| buf.get_f32_le()));
+                    }
+                    MODE_DELTA => {
+                        if !self.has_reference {
+                            return Err(FlError::Codec(
+                                "top-k payload before any reference model".into(),
+                            ));
+                        }
+                        let n = self.reference.len();
+                        if count != n as u64 {
+                            return Err(FlError::Codec(format!(
+                                "top-k payload for {count} params, reference holds {n}"
+                            )));
+                        }
+                        if buf.remaining() < 4 {
+                            return Err(FlError::Codec("truncated top-k pair count".into()));
+                        }
+                        let npairs = buf.get_u32_le() as usize;
+                        if npairs > n || npairs.checked_mul(8).is_none_or(|b| b > buf.remaining()) {
+                            return Err(FlError::Codec(format!(
+                                "{npairs} top-k pairs exceed the model or the buffer"
+                            )));
+                        }
+                        out.clear();
+                        out.extend_from_slice(&self.reference);
+                        let mut prev: Option<u32> = None;
+                        for _ in 0..npairs {
+                            let i = buf.get_u32_le();
+                            let bits = buf.get_u32_le();
+                            if i as usize >= n {
+                                return Err(FlError::Codec(format!(
+                                    "top-k index {i} out of range for {n} params"
+                                )));
+                            }
+                            if prev.is_some_and(|p| p >= i) {
+                                return Err(FlError::Codec(
+                                    "top-k indices must strictly ascend".into(),
+                                ));
+                            }
+                            prev = Some(i);
+                            out[i as usize] = f32::from_bits(bits);
+                        }
                     }
                     other => {
                         return Err(FlError::Codec(format!("unknown delta mode {other}")));
@@ -533,6 +903,18 @@ impl PayloadCodec {
         }
         Ok(())
     }
+}
+
+/// XOR-gathers the shuffled delta `planes` (4·n bytes) against
+/// `reference` into `out` — the shared tail of the lossless delta
+/// decoders.
+fn gather_from_planes(planes: &[u8], reference: &[f32], out: &mut Vec<f32>) {
+    let n = reference.len();
+    out.extend(reference.iter().enumerate().map(|(i, r)| {
+        let d =
+            u32::from_le_bytes([planes[i], planes[n + i], planes[2 * n + i], planes[3 * n + i]]);
+        f32::from_bits(r.to_bits() ^ d)
+    }));
 }
 
 /// Overflow-safe "count · elem bytes must be present" guard (the same
@@ -855,7 +1237,7 @@ mod tests {
 
     #[test]
     fn raw_and_delta_are_bit_exact_on_hostile_values() {
-        for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless] {
+        for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::DeltaEntropy] {
             let (mut tx, mut rx) = pair(codec);
             let params = hostile_f32s();
             // Twice: first pass establishes the delta reference
@@ -1128,9 +1510,294 @@ mod tests {
 
     #[test]
     fn codec_tags_roundtrip_and_unknown_tags_fail() {
-        for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::F16] {
+        for codec in
+            [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::F16, ModelCodec::DeltaEntropy]
+        {
             assert_eq!(ModelCodec::from_tag(codec.tag()), Some(codec));
         }
+        // Top-k's tag alone cannot recover k: announcements carry it.
+        assert_eq!(ModelCodec::from_tag(ModelCodec::TopK { k: 8 }.tag()), None);
         assert_eq!(ModelCodec::from_tag(99), None);
+    }
+
+    /// The normative tag values of `docs/WIRE.md` §codec-tags. Changing
+    /// any of these is a wire break: update the spec and say so loudly.
+    #[test]
+    fn codec_tag_values_match_the_wire_spec() {
+        assert_eq!(ModelCodec::Raw.tag(), 0);
+        assert_eq!(ModelCodec::DeltaLossless.tag(), 1);
+        assert_eq!(ModelCodec::F16.tag(), 2);
+        assert_eq!(ModelCodec::DeltaEntropy.tag(), 3);
+        assert_eq!(ModelCodec::TopK { k: 1 }.tag(), 4);
+        // And the delta sub-modes the spec names.
+        assert_eq!(MODE_INLINE, 0);
+        assert_eq!(MODE_DELTA, 1);
+        assert_eq!(RUN_ZERO, 0x00);
+        assert_eq!(RUN_LITERAL, 0x01);
+    }
+
+    #[test]
+    fn announcements_roundtrip_including_the_topk_parameter() {
+        for codec in [
+            ModelCodec::Raw,
+            ModelCodec::DeltaLossless,
+            ModelCodec::F16,
+            ModelCodec::DeltaEntropy,
+            ModelCodec::TopK { k: 0 },
+            ModelCodec::TopK { k: 1024 },
+            ModelCodec::TopK { k: u32::MAX },
+        ] {
+            let mut buf = BytesMut::new();
+            codec.encode_announcement(&mut buf);
+            assert_eq!(buf.len(), codec.announcement_bytes(), "{codec}");
+            let mut bytes = buf.freeze();
+            assert_eq!(ModelCodec::decode_announcement(&mut bytes).unwrap(), codec);
+            assert_eq!(bytes.remaining(), 0, "{codec} announcement fully consumed");
+        }
+        // Truncated top-k parameter and unknown tags fail cleanly.
+        assert!(ModelCodec::decode_announcement(&mut Bytes::from(vec![4u8, 1, 0])).is_err());
+        assert!(ModelCodec::decode_announcement(&mut Bytes::from(vec![99u8])).is_err());
+        assert!(ModelCodec::decode_announcement(&mut Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn entropy_delta_beats_the_rle_on_literal_heavy_deltas() {
+        let params: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let nudged: Vec<f32> = params.iter().map(|x| x * (1.0 + 1e-4)).collect();
+        let mut sizes = std::collections::BTreeMap::new();
+        for codec in [ModelCodec::DeltaLossless, ModelCodec::DeltaEntropy] {
+            let (mut tx, mut rx) = pair(codec);
+            roundtrip(&mut tx, &mut rx, &params);
+            let mut buf = BytesMut::new();
+            tx.encode_update(&nudged, &mut buf);
+            sizes.insert(codec.label(), buf.len());
+            let decoded = rx.decode_update(&mut buf.freeze()).unwrap();
+            assert_eq!(bits(&decoded), bits(&nudged), "{codec} must stay bit-exact");
+        }
+        assert!(
+            sizes["delta-entropy"] < sizes["delta-lossless"],
+            "entropy stage must undercut the RLE: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn entropy_rebroadcast_is_small_and_decodes_to_the_reference() {
+        let (mut tx, mut rx) = pair(ModelCodec::DeltaEntropy);
+        let params: Vec<f32> = (0..10_000).map(|i| (i as f32).sin()).collect();
+        roundtrip(&mut tx, &mut rx, &params);
+        let mut second = BytesMut::new();
+        tx.encode_global(0, &params, &mut second);
+        assert!(second.len() < 256, "zero-delta rANS block is header-sized, got {}", second.len());
+        let decoded = rx.decode_global(0, &mut second.freeze()).unwrap();
+        assert_eq!(bits(&decoded), bits(&params));
+    }
+
+    #[test]
+    fn hostile_entropy_payload_falls_back_to_inline_within_the_reserve() {
+        // White-noise bit patterns: the delta planes are uniform bytes,
+        // rANS gains nothing, and the encoder must ship the inline
+        // image instead of exceeding the reserve bound.
+        let (mut tx, mut rx) = pair(ModelCodec::DeltaEntropy);
+        let reference: Vec<f32> = vec![0.0; 512];
+        roundtrip(&mut tx, &mut rx, &reference);
+        let hostile: Vec<f32> =
+            (0u32..512).map(|i| f32::from_bits(i.wrapping_mul(0x9E37_79B9))).collect();
+        let mut buf = BytesMut::new();
+        tx.encode_update(&hostile, &mut buf);
+        assert!(
+            buf.len() <= ModelCodec::DeltaEntropy.max_params_block_bytes(hostile.len()),
+            "encoded block {} exceeds the reserve bound",
+            buf.len()
+        );
+        assert_eq!(buf.as_slice()[1 + 8], MODE_INLINE, "hostile entropy must go inline");
+        let decoded = rx.decode_update(&mut buf.freeze()).unwrap();
+        assert_eq!(bits(&decoded), bits(&hostile));
+    }
+
+    #[test]
+    fn corrupt_entropy_streams_never_panic_or_decode() {
+        let (mut tx, mut rx) = pair(ModelCodec::DeltaEntropy);
+        let params: Vec<f32> = (0..256).map(|i| i as f32 * 0.5).collect();
+        roundtrip(&mut tx, &mut rx, &params);
+        let nudged: Vec<f32> = params.iter().map(|x| x * (1.0 + 1e-4)).collect();
+        let mut buf = BytesMut::new();
+        tx.encode_update(&nudged, &mut buf);
+        let clean = buf.freeze().to_vec();
+        assert_eq!(clean[1 + 8], MODE_DELTA, "test premise: the delta path is exercised");
+        for cut in 0..clean.len() {
+            assert!(
+                rx.decode_update(&mut Bytes::from(clean[..cut].to_vec())).is_err(),
+                "decoded from a {cut}-byte prefix"
+            );
+        }
+        let mut bad_len = clean.clone();
+        bad_len[1 + 8 + 1..1 + 8 + 1 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(rx.decode_update(&mut Bytes::from(bad_len)).is_err());
+        // The clean stream still decodes after all that rejection.
+        assert_eq!(bits(&rx.decode_update(&mut Bytes::from(clean)).unwrap()), bits(&nudged));
+    }
+
+    #[test]
+    fn topk_transmits_exactly_the_k_largest_coordinates() {
+        let (mut tx, mut rx) = pair(ModelCodec::TopK { k: 3 });
+        let reference: Vec<f32> = vec![0.0; 64];
+        assert_eq!(
+            bits(&roundtrip(&mut tx, &mut rx, &reference)),
+            bits(&reference),
+            "first frame is inline and bit-exact"
+        );
+        let mut next = reference.clone();
+        next[5] = 0.1;
+        next[17] = -4.0;
+        next[18] = 2.0;
+        next[40] = 0.5;
+        next[63] = -0.2;
+        let mut buf = BytesMut::new();
+        tx.encode_global(1, &next, &mut buf);
+        assert_eq!(buf.len(), 1 + 8 + 1 + 4 + 8 * 3, "3 pairs travel");
+        let decoded = rx.decode_global(1, &mut buf.freeze()).unwrap();
+        // The 3 largest magnitudes (17, 18, 40) land; 5 and 63 do not.
+        let mut expect = reference.clone();
+        expect[17] = -4.0;
+        expect[18] = 2.0;
+        expect[40] = 0.5;
+        assert_eq!(bits(&decoded), bits(&expect));
+        // Sender and receiver references both hold the reconstruction:
+        // the next round's frame decodes against it bit-exactly at k=n.
+        assert_eq!(tx.reference, rx.reference, "references stay in lockstep");
+    }
+
+    #[test]
+    fn topk_ties_break_by_ascending_index() {
+        let (mut tx, mut rx) = pair(ModelCodec::TopK { k: 2 });
+        let reference: Vec<f32> = vec![0.0; 32];
+        roundtrip(&mut tx, &mut rx, &reference);
+        // Four coordinates move by exactly the same magnitude.
+        let mut next = reference.clone();
+        for i in [3usize, 9, 12, 30] {
+            next[i] = 1.0;
+        }
+        let mut buf = BytesMut::new();
+        tx.encode_global(1, &next, &mut buf);
+        let decoded = rx.decode_global(1, &mut buf.freeze()).unwrap();
+        let mut expect = reference.clone();
+        expect[3] = 1.0;
+        expect[9] = 1.0;
+        assert_eq!(bits(&decoded), bits(&expect), "lowest indices win the tie");
+    }
+
+    #[test]
+    fn topk_rebroadcast_is_empty_and_all_receivers_converge() {
+        // One link codec pair, two cohort members on the link — exactly
+        // how the driver/pool share per-link state. The first round-1
+        // frame carries pairs; the second (same Arc-backed buffer) is
+        // the empty rebroadcast; both must decode to the same model.
+        let (mut tx, mut rx) = pair(ModelCodec::TopK { k: 2 });
+        let reference: Vec<f32> = vec![1.0; 16];
+        let mut buf = BytesMut::new();
+        tx.encode_global(0, &reference, &mut buf);
+        rx.decode_global(0, &mut buf.freeze()).unwrap();
+        let moved: Vec<f32> = (0..16).map(|i| 1.0 + i as f32 * 0.01).collect();
+        let mut first = BytesMut::new();
+        tx.encode_global(1, &moved, &mut first);
+        let got_a = rx.decode_global(1, &mut first.freeze()).unwrap();
+        let mut second = BytesMut::new();
+        tx.encode_global(1, &moved, &mut second);
+        assert_eq!(second.len(), 1 + 8 + 1 + 4, "rebroadcast carries zero pairs");
+        let got_b = rx.decode_global(1, &mut second.freeze()).unwrap();
+        assert_eq!(bits(&got_a), bits(&got_b), "cohort members must hold one round-1 model");
+        assert_eq!(tx.reference, rx.reference, "references stay in lockstep");
+    }
+
+    #[test]
+    fn topk_dense_delta_falls_back_to_the_exact_inline_image() {
+        // k ≥ n/2: the pair list cannot undercut the raw image, so the
+        // encoder ships inline — which is bit-exact.
+        let (mut tx, mut rx) = pair(ModelCodec::TopK { k: 64 });
+        let reference: Vec<f32> = vec![0.0; 64];
+        roundtrip(&mut tx, &mut rx, &reference);
+        let moved: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut buf = BytesMut::new();
+        tx.encode_global(1, &moved, &mut buf);
+        assert_eq!(buf.as_slice()[1 + 8], MODE_INLINE);
+        assert!(buf.len() <= ModelCodec::TopK { k: 64 }.max_params_block_bytes(moved.len()));
+        let decoded = rx.decode_global(1, &mut buf.freeze()).unwrap();
+        assert_eq!(bits(&decoded), bits(&moved));
+        assert_eq!(tx.reference, rx.reference);
+    }
+
+    #[test]
+    fn corrupt_topk_streams_never_panic_or_decode() {
+        let (mut tx, mut rx) = pair(ModelCodec::TopK { k: 4 });
+        let reference: Vec<f32> = vec![0.0; 256];
+        roundtrip(&mut tx, &mut rx, &reference);
+        let mut moved = reference.clone();
+        moved[10] = 1.0;
+        moved[200] = -2.0;
+        let mut buf = BytesMut::new();
+        tx.encode_update(&moved, &mut buf);
+        let clean = buf.freeze().to_vec();
+        assert_eq!(clean[1 + 8], MODE_DELTA);
+        for cut in 0..clean.len() {
+            assert!(
+                rx.decode_update(&mut Bytes::from(clean[..cut].to_vec())).is_err(),
+                "decoded from a {cut}-byte prefix"
+            );
+        }
+        // Out-of-range index.
+        let mut bad_idx = clean.clone();
+        bad_idx[1 + 8 + 1 + 4..1 + 8 + 1 + 4 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(rx.decode_update(&mut Bytes::from(bad_idx)).is_err());
+        // Non-ascending indices (duplicate).
+        let mut dup = clean.clone();
+        let second_pair = 1 + 8 + 1 + 4 + 8;
+        let first_pair: [u8; 4] = clean[1 + 8 + 1 + 4..1 + 8 + 1 + 4 + 4].try_into().unwrap();
+        dup[second_pair..second_pair + 4].copy_from_slice(&first_pair);
+        assert!(rx.decode_update(&mut Bytes::from(dup)).is_err());
+        // Hostile pair count.
+        let mut bad_count = clean.clone();
+        bad_count[1 + 8 + 1..1 + 8 + 1 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(rx.decode_update(&mut Bytes::from(bad_count)).is_err());
+        // The clean stream still decodes.
+        let decoded = rx.decode_update(&mut Bytes::from(clean)).unwrap();
+        let mut expect = reference.clone();
+        expect[10] = 1.0;
+        expect[200] = -2.0;
+        assert_eq!(bits(&decoded), bits(&expect));
+    }
+
+    #[test]
+    fn topk_is_not_lossless_and_the_delta_codecs_are() {
+        assert!(ModelCodec::Raw.is_lossless());
+        assert!(ModelCodec::DeltaLossless.is_lossless());
+        assert!(ModelCodec::DeltaEntropy.is_lossless());
+        assert!(!ModelCodec::F16.is_lossless());
+        assert!(!ModelCodec::TopK { k: 1 }.is_lossless());
+        assert!(!ModelCodec::Raw.tracks_reference());
+        assert!(!ModelCodec::F16.tracks_reference());
+        assert!(ModelCodec::DeltaLossless.tracks_reference());
+        assert!(ModelCodec::DeltaEntropy.tracks_reference());
+        assert!(ModelCodec::TopK { k: 1 }.tracks_reference());
+    }
+
+    #[test]
+    fn replayed_stale_entropy_global_does_not_regress_the_reference() {
+        let (mut tx, mut rx) = pair(ModelCodec::DeltaEntropy);
+        let round0: Vec<f32> = vec![1.0; 64];
+        let round1: Vec<f32> = vec![1.5; 64];
+        let mut frame0 = BytesMut::new();
+        tx.encode_global(0, &round0, &mut frame0);
+        let frame0 = frame0.freeze();
+        rx.decode_global(0, &mut frame0.clone()).unwrap();
+        let mut frame1 = BytesMut::new();
+        tx.encode_global(1, &round1, &mut frame1);
+        rx.decode_global(1, &mut frame1.freeze()).unwrap();
+        rx.decode_global(0, &mut frame0.clone()).unwrap();
+        assert_eq!(rx.reference, round1, "stale replay moved the reference backwards");
+        let round2: Vec<f32> = vec![1.25; 64];
+        let mut frame2 = BytesMut::new();
+        tx.encode_global(2, &round2, &mut frame2);
+        let decoded = rx.decode_global(2, &mut frame2.freeze()).unwrap();
+        assert_eq!(bits(&decoded), bits(&round2));
     }
 }

@@ -289,6 +289,10 @@ pub struct MultiJobDriver<T: Transport> {
     /// *link* state — two shards of a sharded wire see different frame
     /// subsets, so sharing one reference across links would desync the
     /// moment a broadcast skips a shard (see [`Transport::links`]).
+    /// Doubles as the per-link negotiation table: a link whose
+    /// registered codec differs from the job-wide default
+    /// ([`MultiJobDriver::set_link_codec`]) gets its selection notices
+    /// rewritten to announce the link's codec.
     codecs: Vec<CodecMap>,
     /// Reused frame-encode scratch: grow-only, so the steady-state
     /// encode path performs no heap allocation.
@@ -556,10 +560,62 @@ impl<T: Transport> MultiJobDriver<T> {
         &self.transport
     }
 
-    /// The payload codec a job's model frames travel with (identical on
-    /// every link).
+    /// The codec a job was registered with — the job-wide default its
+    /// coordinator announces. Individual links may override it
+    /// ([`MultiJobDriver::set_link_codec`]); what a given link actually
+    /// speaks is [`MultiJobDriver::link_codec_of`].
     pub fn codec_of(&self, job: u64) -> Option<ModelCodec> {
-        self.codecs[0].codec_of(job)
+        self.jobs.get(&job).map(|j| j.coordinator.codec())
+    }
+
+    /// The codec `job`'s model frames travel with on `link` — the
+    /// per-link override if one was set, the job-wide default otherwise.
+    pub fn link_codec_of(&self, job: u64, link: usize) -> Option<ModelCodec> {
+        self.codecs.get(link)?.codec_of(job)
+    }
+
+    /// Overrides the codec `job`'s model frames travel with on one
+    /// specific transport link (see [`crate::Transport::links`]), leaving
+    /// every other link on the job-wide default. This is per-link
+    /// negotiation's sender half: when the overridden link's selection
+    /// notices go out, [`MultiJobDriver`] rewrites the announced codec to
+    /// the link's pinned one, so each link's parties negotiate exactly
+    /// the codec their frames will travel with. Per-link reference state
+    /// already exists (one [`CodecMap`] per link), so heterogeneous
+    /// codecs on one job never share a delta reference.
+    ///
+    /// Like [`PartyPool::pin_codec`], the pin is out-of-band
+    /// configuration: both sides must agree (the sharded runtime threads
+    /// one table to both — see [`crate::RuntimeOptions::with_link_codec`]),
+    /// and a wire notice can never renegotiate it.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Protocol`] after [`MultiJobDriver::start`];
+    /// [`FlError::InvalidConfig`] for an unregistered job or a link index
+    /// the transport does not have.
+    pub fn set_link_codec(
+        &mut self,
+        job: u64,
+        link: usize,
+        codec: ModelCodec,
+    ) -> Result<(), FlError> {
+        if self.started {
+            return Err(FlError::Protocol(
+                "cannot change a link's codec on a started driver".into(),
+            ));
+        }
+        if !self.jobs.contains_key(&job) {
+            return Err(FlError::InvalidConfig(format!("job id {job:#x} not registered")));
+        }
+        let links = self.codecs.len();
+        let Some(link_codecs) = self.codecs.get_mut(link) else {
+            return Err(FlError::InvalidConfig(format!(
+                "link {link} out of range: transport has {links}"
+            )));
+        };
+        link_codecs.register(job, codec);
+        Ok(())
     }
 
     /// The current virtual tick.
@@ -878,6 +934,25 @@ impl<T: Transport> MultiJobDriver<T> {
                 self.codecs.len()
             )));
         };
+        // Per-link negotiation: the coordinator announces its job-wide
+        // codec, but this link may pin a different one — rewrite the
+        // notice so every party negotiates the codec its link actually
+        // speaks.
+        if let WireMessage::SelectionNotice { job, round, party, codec } = msg {
+            let pinned = link_codecs.codec_of(*job);
+            if let Some(pinned) = pinned.filter(|p| p != codec) {
+                let adjusted = WireMessage::SelectionNotice {
+                    job: *job,
+                    round: *round,
+                    party: *party,
+                    codec: pinned,
+                };
+                frame_into(to as u64, &adjusted, link_codecs.for_job(*job), &mut self.scratch);
+                self.stats.frames_sent += 1;
+                self.stats.bytes_sent += self.scratch.len() as u64;
+                return self.transport.send(self.scratch.as_slice());
+            }
+        }
         frame_into(to as u64, msg, link_codecs.for_job(msg.job()), &mut self.scratch);
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += self.scratch.len() as u64;
@@ -1018,6 +1093,11 @@ impl<T: Transport> PartyPool<T> {
     /// the trust-boundary notes in [`crate::codec`]). Subsequent
     /// notices must match or they are dropped and counted as
     /// renegotiations.
+    ///
+    /// A pool serves exactly one transport link, so this pin is
+    /// naturally per-link: pin the codec the sender registered for
+    /// *this link* ([`MultiJobDriver::set_link_codec`]), which may
+    /// differ from the same job's codec on a sibling link.
     pub fn pin_codec(&mut self, job: u64, codec: ModelCodec) {
         self.codecs.register(job, codec);
     }
@@ -1173,5 +1253,18 @@ mod tests {
         let (a, _b) = MemoryTransport::pair();
         let mut driver = MultiJobDriver::new(a);
         assert!(matches!(driver.start(), Err(FlError::Protocol(_))));
+    }
+
+    #[test]
+    fn link_codec_overrides_validate_job_and_link() {
+        let (a, _b) = MemoryTransport::pair();
+        let mut driver = MultiJobDriver::new(a);
+        // Unknown job: refused before any link state is touched.
+        assert!(matches!(
+            driver.set_link_codec(7, 0, ModelCodec::DeltaEntropy),
+            Err(FlError::InvalidConfig(_))
+        ));
+        assert_eq!(driver.link_codec_of(7, 0), None);
+        assert_eq!(driver.codec_of(7), None);
     }
 }

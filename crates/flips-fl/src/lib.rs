@@ -17,9 +17,12 @@
 //!   FedAdagrad) and job/local-training configuration;
 //! - [`message`] — the wire protocol with exact byte accounting (the
 //!   paper's communication-cost metric);
-//! - [`codec`] — pluggable, per-job negotiated model-payload codecs
-//!   (raw f32, bit-exact XOR-delta compression, opt-in f16) and the
+//! - [`codec`] — pluggable, per-link negotiated model-payload codecs
+//!   (raw f32, bit-exact XOR-delta compression with an optional rANS
+//!   entropy stage, lossy top-k sparsification, opt-in f16) and the
 //!   reference-model state both ends of a wire share;
+//! - [`rans`] — the hand-rolled static-model range coder behind the
+//!   entropy stage;
 //! - [`events`] — the [`Event`]/[`Effect`] vocabulary of the sans-IO
 //!   protocol;
 //! - [`coordinator`] — the aggregator-side protocol state machine
@@ -102,6 +105,7 @@ pub mod history;
 pub mod latency;
 pub mod message;
 pub mod party;
+pub mod rans;
 pub mod runtime;
 pub mod server;
 pub mod straggler;

@@ -71,8 +71,11 @@ pub enum WireMessage {
         round: u64,
         /// The selected party.
         party: u64,
-        /// The job's model-payload codec (negotiated once per job; a
-        /// later notice carrying a different codec is refused).
+        /// The model-payload codec this party's link speaks (negotiated
+        /// once per link; a later notice carrying a different codec is
+        /// refused). Usually the job-wide codec, but a per-link override
+        /// on the sender rewrites it (see
+        /// [`crate::MultiJobDriver::set_link_codec`]).
         codec: ModelCodec,
     },
     /// Aggregator → party: the round's global model.
@@ -174,7 +177,7 @@ impl WireMessage {
                 buf.put_u64_le(*job);
                 buf.put_u64_le(*round);
                 buf.put_u64_le(*party);
-                buf.put_u8(announced.tag());
+                announced.encode_announcement(buf);
             }
             WireMessage::GlobalModel { job, round, params } => {
                 buf.put_u8(TAG_GLOBAL);
@@ -277,8 +280,10 @@ impl WireMessage {
                 let job = buf.get_u64_le();
                 let round = buf.get_u64_le();
                 let party = buf.get_u64_le();
-                let codec = ModelCodec::from_tag(buf.get_u8()).ok_or_else(|| {
-                    FlError::CodecMismatch("selection notice carries a corrupt codec tag".into())
+                let codec = ModelCodec::decode_announcement(&mut buf).map_err(|e| {
+                    FlError::CodecMismatch(format!(
+                        "selection notice carries a corrupt codec announcement: {e}"
+                    ))
                 })?;
                 Ok(WireMessage::SelectionNotice { job, round, party, codec })
             }
@@ -346,7 +351,13 @@ impl WireMessage {
     /// exactly `encode().len()`.
     pub fn wire_size(&self) -> usize {
         match self {
-            WireMessage::SelectionNotice { .. } => selection_notice_bytes(),
+            // The announcement is part of the notice itself, so its
+            // (codec-dependent) length is canonical, not a payload
+            // encoding artifact: top-k notices carry 4 extra bytes for
+            // `k`, every other codec exactly the tag byte.
+            WireMessage::SelectionNotice { codec, .. } => {
+                HEADER + 8 * 3 + codec.announcement_bytes()
+            }
             WireMessage::GlobalModel { params, .. } => global_model_bytes(params.len()),
             WireMessage::LocalUpdate { params, .. } => local_update_bytes(params.len()),
             WireMessage::Heartbeat { .. } => heartbeat_bytes(),
@@ -488,7 +499,10 @@ pub fn deframe_with(
     Ok((dest, WireMessage::decode_with(frame, codecs)?))
 }
 
-/// Wire size of one selection notice.
+/// Wire size of one selection notice whose codec announcement is a bare
+/// tag byte (every codec except [`ModelCodec::TopK`], whose notices add
+/// a u32 `k` — use [`WireMessage::wire_size`] on a built notice for the
+/// general answer).
 pub fn selection_notice_bytes() -> usize {
     HEADER + 8 * 3 + 1
 }
@@ -573,13 +587,35 @@ mod tests {
 
     #[test]
     fn notice_codec_survives_the_wire() {
-        for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::F16] {
+        for codec in [
+            ModelCodec::Raw,
+            ModelCodec::DeltaLossless,
+            ModelCodec::F16,
+            ModelCodec::DeltaEntropy,
+            ModelCodec::TopK { k: 64 },
+        ] {
             let msg = WireMessage::SelectionNotice { job: 1, round: 0, party: 2, codec };
+            assert_eq!(msg.encode().len(), msg.wire_size(), "{codec}");
             match WireMessage::decode(msg.encode()).unwrap() {
                 WireMessage::SelectionNotice { codec: got, .. } => assert_eq!(got, codec),
                 other => panic!("wrong variant {other:?}"),
             }
         }
+        // Only top-k widens the notice: its `k` parameter travels.
+        let base = WireMessage::SelectionNotice {
+            job: 1,
+            round: 0,
+            party: 2,
+            codec: ModelCodec::DeltaEntropy,
+        };
+        let topk = WireMessage::SelectionNotice {
+            job: 1,
+            round: 0,
+            party: 2,
+            codec: ModelCodec::TopK { k: 64 },
+        };
+        assert_eq!(base.wire_size(), selection_notice_bytes());
+        assert_eq!(topk.wire_size(), selection_notice_bytes() + 4);
     }
 
     #[test]

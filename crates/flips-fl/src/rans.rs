@@ -1,0 +1,435 @@
+//! A static-model range asymmetric numeral system (rANS) coder over
+//! byte streams — the entropy stage behind
+//! [`ModelCodec::DeltaEntropy`](crate::codec::ModelCodec::DeltaEntropy).
+//!
+//! PR 4's zero-RLE removes the all-zero runs of the shuffled XOR-delta
+//! planes but transmits every literal byte at full width; the literals
+//! are heavily skewed (low-mantissa churn concentrates a few byte
+//! values), which is exactly the regime a static entropy coder wins in.
+//! This module is a from-scratch byte-wise rANS (the build environment
+//! has no compression crates): one frequency model per encoded block,
+//! 12-bit quantization, 32-bit state with byte renormalization.
+//!
+//! ## Stream layout
+//!
+//! ```text
+//! ┌────────────┬──────────────────────┬────────────┬────────────┐
+//! │ bitmap: 32 │ u16 freq × present   │ state: u32 │ renorm …   │
+//! └────────────┴──────────────────────┴────────────┴────────────┘
+//! ```
+//!
+//! - `bitmap` — 256-bit presence map (bit `s` of byte `s / 8` set iff
+//!   symbol `s` occurs); the frequency list that follows covers present
+//!   symbols in ascending order.
+//! - `freq` — quantized frequencies, each ≥ 1, summing to exactly
+//!   `M = 4096` (validated on decode; any other sum is rejected before
+//!   a single symbol is decoded).
+//! - `state` — the encoder's final state, which is the decoder's
+//!   *initial* state (rANS runs the two directions in opposite symbol
+//!   order; the encoder walks the input backwards so the decoder emits
+//!   forwards).
+//! - `renorm` — the renormalization bytes, already reversed into decode
+//!   order.
+//!
+//! ## Hostile-input posture
+//!
+//! Decoding never panics and never loops: the caller states the exact
+//! expected output length, byte exhaustion mid-renormalization is an
+//! error, and a decode must end with the stream fully consumed and the
+//! state back at `RANS_L` (the encoder's start state) — a cheap
+//! integrity check that catches most truncations and bit flips outright.
+//! A corruption that survives all checks decodes to *some* byte string,
+//! exactly like a corrupted RLE stream: payload bits are not
+//! self-describing, and the protocol layers above decide what a decoded
+//! model is allowed to touch.
+
+use crate::FlError;
+
+/// Frequency quantization: all symbol frequencies sum to `1 << SCALE_BITS`.
+pub(crate) const SCALE_BITS: u32 = 12;
+/// The quantization total `M`.
+pub(crate) const M: u32 = 1 << SCALE_BITS;
+/// Lower bound of the normalized state interval `[L, 256·L)`.
+pub(crate) const RANS_L: u32 = 1 << 23;
+/// Bytes of the presence bitmap.
+const BITMAP_BYTES: usize = 32;
+
+/// Builds the quantized frequency table of `src`: `freq[s] ≥ 1` for
+/// every occurring symbol, 0 otherwise, summing to exactly [`M`].
+///
+/// Deterministic: quantize proportionally (clamped up to 1), then repair
+/// the rounding drift against the most frequent symbols, ties broken by
+/// ascending symbol value.
+fn build_freqs(src: &[u8]) -> [u16; 256] {
+    let mut counts = [0u64; 256];
+    for &b in src {
+        counts[b as usize] += 1;
+    }
+    let total = src.len() as u64;
+    let mut freqs = [0u16; 256];
+    let mut sum: i64 = 0;
+    for s in 0..256 {
+        if counts[s] == 0 {
+            continue;
+        }
+        let f = ((counts[s] * u64::from(M)) / total).clamp(1, u64::from(M) - 1) as u16;
+        freqs[s] = f;
+        sum += i64::from(f);
+    }
+    // Repair drift. Underflow goes to the single most frequent symbol;
+    // overflow is shaved off the largest quantized frequencies (each can
+    // give up `f - 1`, and 256 symbols at freq 1 sum to 256 < M, so the
+    // loop always terminates).
+    while sum != i64::from(M) {
+        let (s, _) = freqs
+            .iter()
+            .enumerate()
+            .max_by_key(|&(s, &f)| (f, std::cmp::Reverse(s)))
+            .expect("non-empty table");
+        if sum < i64::from(M) {
+            let add = i64::from(M) - sum;
+            freqs[s] = (i64::from(freqs[s]) + add) as u16;
+            sum += add;
+        } else {
+            let give = (sum - i64::from(M)).min(i64::from(freqs[s]) - 1);
+            freqs[s] = (i64::from(freqs[s]) - give) as u16;
+            sum -= give;
+        }
+    }
+    freqs
+}
+
+/// Appends the rANS encoding of `src` (header + state + renorm bytes,
+/// see the [module docs](self)) to `out`. `src` must be non-empty — the
+/// codec layer falls back to its inline mode before ever encoding an
+/// empty plane buffer.
+pub(crate) fn encode(src: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(!src.is_empty(), "rANS blocks are never empty");
+    let freqs = build_freqs(src);
+    let mut starts = [0u32; 256];
+    let mut acc = 0u32;
+    for s in 0..256 {
+        starts[s] = acc;
+        acc += u32::from(freqs[s]);
+    }
+
+    // Header: presence bitmap, then the present symbols' frequencies.
+    let mut bitmap = [0u8; BITMAP_BYTES];
+    for s in 0..256 {
+        if freqs[s] != 0 {
+            bitmap[s / 8] |= 1 << (s % 8);
+        }
+    }
+    out.extend_from_slice(&bitmap);
+    for &f in freqs.iter().filter(|&&f| f != 0) {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+
+    // Encode backwards so the decoder emits forwards. Renorm bytes come
+    // out in reverse decode order; they are reversed into place below.
+    let mut x: u32 = RANS_L;
+    let renorm_from = out.len() + 4; // state goes first, bytes after
+    let mut rev = Vec::new();
+    for &b in src.iter().rev() {
+        let f = u32::from(freqs[b as usize]);
+        let x_max = ((RANS_L >> SCALE_BITS) << 8) * f;
+        while x >= x_max {
+            rev.push(x as u8);
+            x >>= 8;
+        }
+        x = ((x / f) << SCALE_BITS) + (x % f) + starts[b as usize];
+    }
+    out.extend_from_slice(&x.to_le_bytes());
+    out.extend(rev.iter().rev());
+    debug_assert!(out.len() >= renorm_from);
+}
+
+/// Per-plane container kind: rANS-coded body.
+const KIND_RANS: u8 = 0;
+/// Per-plane container kind: raw body (the rANS stream would have been
+/// at least as large — near-uniform planes).
+const KIND_RAW: u8 = 1;
+
+/// Encodes the four byte-shuffled delta planes of `planes` (4·n bytes)
+/// as four independent `(kind: u8, len: u32, body)` blocks appended to
+/// `out`.
+///
+/// One frequency model per plane is the load-bearing choice: the
+/// sign/exponent planes of an SGD-scale delta are almost entirely zero
+/// while the low-mantissa plane is near-uniform, and a shared model
+/// would charge every literal for the zeros' probability mass. A plane
+/// whose rANS stream does not beat its raw size ships raw (`KIND_RAW`),
+/// so the whole container is bounded by `4·n + 20` bytes — the codec
+/// layer's inline fallback triggers before that ever reaches the wire.
+pub(crate) fn encode_planes(planes: &[u8], n: usize, out: &mut Vec<u8>) {
+    debug_assert_eq!(planes.len(), 4 * n);
+    for p in 0..4 {
+        let plane = &planes[p * n..(p + 1) * n];
+        let start = out.len();
+        out.push(KIND_RANS);
+        out.extend_from_slice(&[0; 4]); // length, patched below
+        encode(plane, out);
+        let len = out.len() - start - 5;
+        if len >= plane.len() {
+            out.truncate(start);
+            out.push(KIND_RAW);
+            out.extend_from_slice(&(plane.len() as u32).to_le_bytes());
+            out.extend_from_slice(plane);
+        } else {
+            out[start + 1..start + 5].copy_from_slice(&(len as u32).to_le_bytes());
+        }
+    }
+}
+
+/// Decodes a container produced by [`encode_planes`] into exactly
+/// `4·n` bytes, replacing `out`.
+///
+/// # Errors
+///
+/// [`FlError::Codec`] on truncation, an unknown plane kind, a
+/// wrong-length raw plane, trailing bytes, or any per-plane rANS
+/// failure.
+pub(crate) fn decode_planes(mut src: &[u8], n: usize, out: &mut Vec<u8>) -> Result<(), FlError> {
+    out.clear();
+    for _ in 0..4 {
+        if src.len() < 5 {
+            return Err(FlError::Codec("truncated plane header".into()));
+        }
+        let kind = src[0];
+        let len = u32::from_le_bytes(src[1..5].try_into().expect("4 bytes")) as usize;
+        if len > src.len() - 5 {
+            return Err(FlError::Codec("plane body exceeds the stream".into()));
+        }
+        let body = &src[5..5 + len];
+        match kind {
+            KIND_RAW => {
+                if len != n {
+                    return Err(FlError::Codec(format!("raw plane of {len} bytes, need {n}")));
+                }
+                out.extend_from_slice(body);
+            }
+            KIND_RANS => decode(body, n, out)?,
+            other => return Err(FlError::Codec(format!("unknown plane kind {other}"))),
+        }
+        src = &src[5 + len..];
+    }
+    if !src.is_empty() {
+        return Err(FlError::Codec("trailing bytes after the plane container".into()));
+    }
+    Ok(())
+}
+
+/// Decodes a stream produced by [`encode`] into exactly `expect` bytes,
+/// appended to `out` (not cleared — plane decoding accumulates).
+///
+/// # Errors
+///
+/// [`FlError::Codec`] on a malformed header (truncation, frequency sum
+/// ≠ `M`), a state below the normalized interval, byte exhaustion
+/// mid-stream, trailing bytes, or a final state other than the
+/// encoder's start state.
+pub(crate) fn decode(src: &[u8], expect: usize, out: &mut Vec<u8>) -> Result<(), FlError> {
+    if src.len() < BITMAP_BYTES {
+        return Err(FlError::Codec("rANS header shorter than its bitmap".into()));
+    }
+    let (bitmap, rest) = src.split_at(BITMAP_BYTES);
+    let present: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+    if present == 0 || rest.len() < 2 * present + 4 {
+        return Err(FlError::Codec("truncated rANS frequency table".into()));
+    }
+    let (freq_bytes, stream) = rest.split_at(2 * present);
+    let mut freqs = [0u16; 256];
+    let mut starts = [0u32; 256];
+    let mut slot_sym = [0u8; M as usize];
+    let mut acc: u32 = 0;
+    let mut fi = 0;
+    for s in 0..256usize {
+        if bitmap[s / 8] & (1 << (s % 8)) == 0 {
+            continue;
+        }
+        let f = u16::from_le_bytes([freq_bytes[fi], freq_bytes[fi + 1]]);
+        fi += 2;
+        if f == 0 || u32::from(f) > M - acc {
+            return Err(FlError::Codec("rANS frequencies exceed the quantization total".into()));
+        }
+        freqs[s] = f;
+        starts[s] = acc;
+        for slot in acc..acc + u32::from(f) {
+            slot_sym[slot as usize] = s as u8;
+        }
+        acc += u32::from(f);
+    }
+    if acc != M {
+        return Err(FlError::Codec(format!("rANS frequencies sum to {acc}, need {M}")));
+    }
+
+    let mut x = u32::from_le_bytes(stream[..4].try_into().expect("4 bytes"));
+    if x < RANS_L {
+        return Err(FlError::Codec("rANS state below the normalized interval".into()));
+    }
+    let mut bytes = stream[4..].iter();
+    out.reserve(expect);
+    for _ in 0..expect {
+        let slot = x & (M - 1);
+        let s = slot_sym[slot as usize];
+        out.push(s);
+        x = u32::from(freqs[s as usize]) * (x >> SCALE_BITS) + slot - starts[s as usize];
+        while x < RANS_L {
+            let Some(&b) = bytes.next() else {
+                return Err(FlError::Codec("rANS stream exhausted mid-symbol".into()));
+            };
+            x = (x << 8) | u32::from(b);
+        }
+    }
+    if bytes.next().is_some() {
+        return Err(FlError::Codec("trailing bytes after the rANS stream".into()));
+    }
+    if x != RANS_L {
+        return Err(FlError::Codec("rANS stream did not end at the start state".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &[u8]) -> Vec<u8> {
+        let mut enc = Vec::new();
+        encode(src, &mut enc);
+        let mut dec = Vec::new();
+        decode(&enc, src.len(), &mut dec).unwrap();
+        dec
+    }
+
+    #[test]
+    fn roundtrips_skewed_and_uniform_streams() {
+        let skewed: Vec<u8> =
+            (0..10_000).map(|i| if i % 7 == 0 { (i % 11) as u8 } else { 0 }).collect();
+        assert_eq!(roundtrip(&skewed), skewed);
+        let uniform: Vec<u8> = (0..=255).cycle().take(4096).collect();
+        assert_eq!(roundtrip(&uniform), uniform);
+        let single = vec![42u8; 1];
+        assert_eq!(roundtrip(&single), single);
+    }
+
+    #[test]
+    fn all_zero_planes_collapse_to_the_header() {
+        // A same-round rebroadcast's delta planes: one symbol, freq M.
+        // Encoding M-aligned symbols never moves the state, so the
+        // stream is header + state only — O(1) in the plane size.
+        let zeros = vec![0u8; 1 << 20];
+        let mut enc = Vec::new();
+        encode(&zeros, &mut enc);
+        assert_eq!(enc.len(), BITMAP_BYTES + 2 + 4, "got {} bytes", enc.len());
+        let mut dec = Vec::new();
+        decode(&enc, zeros.len(), &mut dec).unwrap();
+        assert_eq!(dec, zeros);
+    }
+
+    #[test]
+    fn skewed_streams_compress_below_raw() {
+        // 90% zeros, the rest drawn from a few values: the shape of a
+        // real delta plane. rANS must clearly beat 1 byte/symbol.
+        let src: Vec<u8> =
+            (0u32..50_000).map(|i| if i % 10 == 0 { (1 + i % 4) as u8 } else { 0 }).collect();
+        let mut enc = Vec::new();
+        encode(&src, &mut enc);
+        assert!(enc.len() < src.len() / 2, "{} bytes for {} input", enc.len(), src.len());
+    }
+
+    #[test]
+    fn freq_table_is_exact_and_deterministic() {
+        let src: Vec<u8> = (0..1000).map(|i| (i % 3) as u8).collect();
+        let f1 = build_freqs(&src);
+        let f2 = build_freqs(&src);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.iter().map(|&f| u32::from(f)).sum::<u32>(), M);
+        assert!(f1[..3].iter().all(|&f| f >= 1));
+        assert!(f1[3..].iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn worst_case_expansion_is_bounded() {
+        // An adversarial stream touching all 256 symbols: header is 544
+        // bytes and rANS approaches 1 byte/symbol, so total stays within
+        // input + header + state + one renorm slop byte. (The codec
+        // layer falls back to inline mode before ever shipping a stream
+        // at or above the raw plane size.)
+        let src: Vec<u8> =
+            (0..4096u32).map(|i| (i.wrapping_mul(0x9E37_79B9) >> 13) as u8).collect();
+        let mut enc = Vec::new();
+        encode(&src, &mut enc);
+        assert!(
+            enc.len() <= src.len() + BITMAP_BYTES + 512 + 4 + 8,
+            "{} bytes for {} hostile input",
+            enc.len(),
+            src.len()
+        );
+    }
+
+    #[test]
+    fn truncation_and_corruption_fail_cleanly() {
+        let src: Vec<u8> = (0..2048).map(|i| (i % 5) as u8).collect();
+        let mut enc = Vec::new();
+        encode(&src, &mut enc);
+        let mut out = Vec::new();
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut], src.len(), &mut out).is_err(), "decoded at cut {cut}");
+        }
+        // Claiming more output than the stream carries must fail (the
+        // stream runs dry or the end-state check trips).
+        assert!(decode(&enc, src.len() + 1, &mut out).is_err());
+        assert!(decode(&enc, src.len() - 1, &mut out).is_err(), "short decode leaves residue");
+        // A corrupt frequency table is rejected before any symbol work.
+        let mut bad = enc.clone();
+        bad[BITMAP_BYTES] ^= 0xFF;
+        assert!(decode(&bad, src.len(), &mut out).is_err());
+    }
+
+    #[test]
+    fn plane_container_roundtrips_and_escapes_uniform_planes() {
+        // Plane 0 near-uniform (raw escape), plane 1 skewed (rANS),
+        // planes 2–3 all-zero (header-sized rANS) — the shape of a real
+        // shuffled delta.
+        let n = 4096usize;
+        let mut planes = vec![0u8; 4 * n];
+        for i in 0..n {
+            planes[i] = (i as u32).wrapping_mul(0x9E37_79B9) as u8;
+            planes[n + i] = if i % 11 == 0 { 3 } else { 0 };
+        }
+        let mut enc = Vec::new();
+        encode_planes(&planes, n, &mut enc);
+        assert!(enc.len() < 4 * n / 2, "container must beat raw: {} bytes", enc.len());
+        assert_eq!(enc[0], KIND_RAW, "uniform plane escapes to raw");
+        let mut dec = Vec::new();
+        decode_planes(&enc, n, &mut dec).unwrap();
+        assert_eq!(dec, planes);
+        // Truncations and a forged plane kind all fail cleanly.
+        let mut out = Vec::new();
+        for cut in 0..enc.len() {
+            assert!(decode_planes(&enc[..cut], n, &mut out).is_err(), "decoded at cut {cut}");
+        }
+        let mut bad = enc.clone();
+        bad[0] = 9;
+        assert!(decode_planes(&bad, n, &mut out).is_err());
+        assert!(decode_planes(&enc, n - 1, &mut out).is_err(), "wrong plane size is rejected");
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let src: Vec<u8> = (0..512).map(|i| (i % 9) as u8).collect();
+        let mut enc = Vec::new();
+        encode(&src, &mut enc);
+        let mut out = Vec::new();
+        for i in 0..enc.len() {
+            for bit in 0..8 {
+                let mut bad = enc.clone();
+                bad[i] ^= 1 << bit;
+                // Err or a wrong decode are both acceptable; not panicking
+                // (and not looping) is the property.
+                let _ = decode(&bad, src.len(), &mut out);
+            }
+        }
+    }
+}

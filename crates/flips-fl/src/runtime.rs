@@ -104,6 +104,13 @@ pub struct RuntimeOptions {
     /// ([`ChaosTransport`] around the [`ShardRouter`]). `None` runs the
     /// wire untouched.
     pub chaos: Option<ChaosSchedule>,
+    /// Per-link codec overrides, `(job, shard link, codec)`: the named
+    /// link speaks `codec` for that job while sibling links stay on the
+    /// job-wide default. Applied out-of-band to *both* wire ends — the
+    /// driver's per-link table ([`MultiJobDriver::set_link_codec`]) and
+    /// the owning shard pool's pin — so neither side trusts a wire
+    /// notice for it.
+    pub link_codecs: Vec<(u64, usize, crate::ModelCodec)>,
 }
 
 impl RuntimeOptions {
@@ -117,7 +124,16 @@ impl RuntimeOptions {
             chaos_downlink: Vec::new(),
             guard: None,
             chaos: None,
+            link_codecs: Vec::new(),
         }
+    }
+
+    /// Overrides the codec one shard link speaks for `job` (see
+    /// [`RuntimeOptions::link_codecs`]).
+    #[must_use]
+    pub fn with_link_codec(mut self, job: u64, link: usize, codec: crate::ModelCodec) -> Self {
+        self.link_codecs.push((job, link, codec));
+        self
     }
 
     /// Installs an inbound guard plane on the run's driver.
@@ -155,6 +171,10 @@ pub struct ShardedOutcome {
     pub shard_unroutable: Vec<u64>,
     /// Per-shard counts of routable frames an endpoint refused.
     pub shard_rejected: Vec<u64>,
+    /// Per-shard counts of downlink frames dropped for a corrupt or
+    /// mismatched model codec tag (the per-link seam the mixed-codec
+    /// fault suite asserts on).
+    pub shard_codec_mismatch: Vec<u64>,
     /// Per-shard counts of downlink frames dropped by the guard's size
     /// cap (all zero when no guard was installed).
     pub shard_oversized: Vec<u64>,
@@ -354,18 +374,29 @@ pub fn run_sharded(jobs: Vec<JobParts>, opts: &RuntimeOptions) -> Result<Sharded
             driver.add_job(coordinator, Box::new(clock), latency)?;
         }
     }
+    for &(job, link, codec) in &opts.link_codecs {
+        driver.set_link_codec(job, link, codec)?;
+    }
 
     // One pool per shard, its codecs pinned out-of-band (each shard is
     // an independent party-side process; trust-on-first-frame is not
     // how a production shard would learn its codec).
     let mut pools = Vec::with_capacity(shards);
-    for (end, assignments) in shard_ends.into_iter().zip(per_shard) {
+    for (shard, (end, assignments)) in shard_ends.into_iter().zip(per_shard).enumerate() {
         let mut pool = PartyPool::new(end);
         if let Some(guard) = &opts.guard {
             pool.set_guard(guard);
         }
         for (job_id, codec, eps) in assignments {
-            pool.pin_codec(job_id, codec);
+            // The shard's link may speak an overridden codec for this
+            // job — pin what *this link* will actually receive.
+            let pinned = opts
+                .link_codecs
+                .iter()
+                .rev()
+                .find(|&&(j, l, _)| j == job_id && l == shard)
+                .map_or(codec, |&(_, _, c)| c);
+            pool.pin_codec(job_id, pinned);
             pool.add_job(job_id, eps);
         }
         pools.push(pool);
@@ -446,6 +477,7 @@ pub fn run_sharded(jobs: Vec<JobParts>, opts: &RuntimeOptions) -> Result<Sharded
         stats: driver.stats(),
         shard_unroutable: finished_pools.iter().map(PartyPool::unroutable).collect(),
         shard_oversized: finished_pools.iter().map(PartyPool::oversized).collect(),
+        shard_codec_mismatch: finished_pools.iter().map(|p| p.codec_mismatch()).collect(),
         breaker_transitions: driver.guard().map_or_else(Vec::new, |g| g.transitions().to_vec()),
         chaos_events: driver.transport().log().to_vec(),
         shard_rejected: finished_pools.drain(..).map(|p| p.rejected()).collect(),

@@ -137,6 +137,182 @@ proptest! {
         // here without a panic is the property.
     }
 
+    /// DeltaEntropy is DeltaLossless with an entropy stage bolted on —
+    /// the same bit-exactness bar applies: arbitrary f32 vectors (NaNs,
+    /// subnormals, any bit pattern) survive the rANS wire exactly, both
+    /// the inline first frame and the plane-coded delta frames.
+    #[test]
+    fn entropy_round_trips_arbitrary_vectors_bit_exactly(
+        reference in hostile_vec(),
+        payload_bits in proptest::collection::vec(0u64..=u32::MAX as u64, 0..128),
+    ) {
+        let mut tx = sender(ModelCodec::DeltaEntropy);
+        let mut rx = receiver(ModelCodec::DeltaEntropy);
+
+        let mut frame0 = bytes::BytesMut::new();
+        tx.encode_global(0, &reference, &mut frame0);
+        let got = rx.decode_global(0, &mut frame0.freeze()).unwrap();
+        prop_assert_eq!(bits(&got), bits(&reference));
+
+        let payload: Vec<f32> = payload_bits
+            .iter()
+            .map(|&b| f32::from_bits(b as u32))
+            .chain(reference.iter().copied().map(|r| f32::from_bits(r.to_bits() ^ 0x8000_0000)))
+            .take(reference.len().max(payload_bits.len()))
+            .collect();
+        let mut frame1 = bytes::BytesMut::new();
+        tx.encode_update(&payload, &mut frame1);
+        let mut encoded = frame1.freeze();
+        let decoded = rx.decode_update(&mut encoded).unwrap();
+        prop_assert_eq!(encoded.remaining(), 0, "block not consumed exactly");
+        prop_assert_eq!(bits(&decoded), bits(&payload));
+    }
+
+    /// Corrupting or truncating an entropy or top-k block never panics:
+    /// a clobbered codec tag surfaces as the distinct mismatch error,
+    /// any other single-byte corruption fails cleanly or decodes to
+    /// some well-formed vector, and a strict prefix of a block is
+    /// always rejected (every layout is length-prefixed).
+    #[test]
+    fn corrupt_or_truncated_entropy_and_topk_blocks_fail_cleanly(
+        reference in proptest::collection::vec(any_f32_bits(), 1..64),
+        flip_at in 0usize..4096,
+        xor in 1u8..=255,
+        cut in 0usize..4096,
+        k in 1u32..16,
+    ) {
+        for codec in [ModelCodec::DeltaEntropy, ModelCodec::TopK { k }] {
+            let clean = {
+                let mut tx = sender(codec);
+                let mut frame0 = bytes::BytesMut::new();
+                tx.encode_global(0, &reference, &mut frame0);
+                let update: Vec<f32> = reference
+                    .iter()
+                    .map(|x| f32::from_bits(x.to_bits() ^ 3))
+                    .collect();
+                let mut frame1 = bytes::BytesMut::new();
+                tx.encode_update(&update, &mut frame1);
+                frame1.freeze().to_vec()
+            };
+            let mut rx = {
+                let mut tx = sender(codec);
+                let mut rx = receiver(codec);
+                let mut frame0 = bytes::BytesMut::new();
+                tx.encode_global(0, &reference, &mut frame0);
+                rx.decode_global(0, &mut frame0.freeze()).unwrap();
+                rx
+            };
+
+            let mut corrupted = clean.clone();
+            let idx = flip_at % corrupted.len();
+            corrupted[idx] ^= xor;
+            let result = rx.decode_update(&mut bytes::Bytes::from(corrupted));
+            if idx == 0 {
+                prop_assert!(
+                    matches!(result, Err(FlError::CodecMismatch(_))),
+                    "codec-tag corruption must surface as a mismatch for {:?}", codec
+                );
+            }
+
+            let cut = cut % clean.len();
+            let result = rx.decode_update(&mut bytes::Bytes::from(clean[..cut].to_vec()));
+            prop_assert!(
+                result.is_err(),
+                "a {}-byte prefix of a {}-byte {:?} block must be rejected",
+                cut, clean.len(), codec
+            );
+        }
+    }
+
+    /// TopK selection is deterministic with ties broken by ascending
+    /// index: however the tied coordinates are scattered, two fresh
+    /// encoders emit byte-identical frames and the reconstruction picks
+    /// exactly the k lowest-indexed candidates.
+    #[test]
+    fn topk_selection_is_deterministic_under_permuted_ties(
+        n in 16usize..64,
+        k in 1u32..8,
+        picks in proptest::collection::vec(0usize..16, 1..6),
+        v_bits in 1u32..=u32::MAX,
+    ) {
+        let mut set = picks;
+        set.sort_unstable();
+        set.dedup();
+        let v = f32::from_bits(v_bits);
+        let reference = vec![0.0f32; n];
+        let mut payload = reference.clone();
+        for &i in &set {
+            payload[i] = v;
+        }
+        let encode = || {
+            let mut tx = sender(ModelCodec::TopK { k });
+            let mut rx = receiver(ModelCodec::TopK { k });
+            let mut frame0 = bytes::BytesMut::new();
+            tx.encode_global(0, &reference, &mut frame0);
+            rx.decode_global(0, &mut frame0.freeze()).unwrap();
+            let mut frame1 = bytes::BytesMut::new();
+            tx.encode_update(&payload, &mut frame1);
+            let encoded = frame1.freeze();
+            let decoded = rx.decode_update(&mut encoded.clone()).unwrap();
+            (encoded.to_vec(), decoded)
+        };
+        let (wire_a, decoded_a) = encode();
+        let (wire_b, decoded_b) = encode();
+        prop_assert_eq!(&wire_a, &wire_b, "two fresh encoders must agree byte for byte");
+        prop_assert_eq!(bits(&decoded_a), bits(&decoded_b));
+
+        // All candidates share one magnitude key, so the winners are
+        // the k smallest indices of the set — nothing else may move.
+        let winners: Vec<usize> = set.iter().copied().take(k as usize).collect();
+        for (i, got) in decoded_a.iter().enumerate() {
+            let want = if winners.contains(&i) { v.to_bits() } else { 0 };
+            prop_assert_eq!(got.to_bits(), want, "coordinate {} moved unexpectedly", i);
+        }
+    }
+
+    /// TopK is lossy but conservative: every reconstructed coordinate
+    /// carries either the payload's bits or the reference's bits at
+    /// that index — never an invented value — and at most k coords take
+    /// the payload side unless the block fell back to inline.
+    #[test]
+    fn topk_reconstruction_mixes_only_payload_and_reference_bits(
+        reference in proptest::collection::vec(any_f32_bits(), 1..96),
+        k in 1u32..32,
+        seed in 0u64..=u32::MAX as u64,
+    ) {
+        let seed = seed as u32;
+        let payload: Vec<f32> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f32::from_bits(x.to_bits() ^ seed.wrapping_mul(i as u32 + 1)))
+            .collect();
+        let mut tx = sender(ModelCodec::TopK { k });
+        let mut rx = receiver(ModelCodec::TopK { k });
+        let mut frame0 = bytes::BytesMut::new();
+        tx.encode_global(0, &reference, &mut frame0);
+        rx.decode_global(0, &mut frame0.freeze()).unwrap();
+        let mut frame1 = bytes::BytesMut::new();
+        tx.encode_update(&payload, &mut frame1);
+        let decoded = rx.decode_update(&mut frame1.freeze()).unwrap();
+        prop_assert_eq!(decoded.len(), payload.len());
+        let mut from_payload = 0usize;
+        for i in 0..decoded.len() {
+            let d = decoded[i].to_bits();
+            prop_assert!(
+                d == payload[i].to_bits() || d == reference[i].to_bits(),
+                "coordinate {} is neither payload nor reference bits", i
+            );
+            if d != reference[i].to_bits() {
+                from_payload += 1;
+            }
+        }
+        let inline = bits(&decoded) == bits(&payload);
+        prop_assert!(
+            from_payload <= k as usize || inline,
+            "{} coords moved with k={} and no inline fallback", from_payload, k
+        );
+    }
+
     /// The f16 grid is a fixed point: encode∘decode is the identity on
     /// values already representable in half precision, so a second
     /// quantization pass is free of further loss.

@@ -9,17 +9,32 @@
 //!
 //! Both sides deriving the jobs from one file is the deployment story
 //! for a simulation workspace: there is no model-state bootstrap
-//! endpoint, the seed *is* the bootstrap. Slot 0 additionally binds the
-//! config's `[party] health` address, if any (one address can serve one
-//! process).
+//! endpoint, the seed *is* the bootstrap. Every process binds its own
+//! health plane: the config's `[party] health` address is the *base*,
+//! and slot `s` serves `/healthz` + `/metrics` on `base port + s`, so
+//! a deployment can scrape each party process individually.
 //!
-//! Stdout: `CONNECTED <addr>`, then `PARTY COMPLETE parties=<n>` after
-//! a clean shutdown handshake.
+//! Stdout: `CONNECTED <addr>`, `PARTY HEALTH <addr>` (when configured),
+//! then `PARTY COMPLETE parties=<n>` after a clean shutdown handshake.
 
 use flips_net::{connect_with_retry, party_loop, NetConfig, PartyJob};
 use std::io::Write;
 use std::net::{TcpListener, ToSocketAddrs};
 use std::time::Duration;
+
+/// Resolves slot `slot`'s health address: the configured base address
+/// with the port offset by the slot number.
+fn slot_health_addr(base: &str, slot: usize) -> Result<String, String> {
+    let (host, port) = base
+        .rsplit_once(':')
+        .ok_or_else(|| format!("party health address {base:?} has no port"))?;
+    let port: u32 = port.parse().map_err(|_| format!("party health port {port:?} not a number"))?;
+    let port = port + slot as u32;
+    if port > u16::MAX as u32 {
+        return Err(format!("party health port {port} out of range for slot {slot}"));
+    }
+    Ok(format!("{host}:{port}"))
+}
 
 fn main() {
     if let Err(e) = run() {
@@ -45,7 +60,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     for spec in &cfg.jobs {
         let (job, meta) = spec.builder()?.build()?;
         let parts = job.into_parts();
-        let codec = parts.coordinator.codec();
+        // Pin the codec *this slot's link* speaks — the per-link
+        // override when the job configures one.
+        let codec = if spec.link_codecs.is_empty() {
+            parts.coordinator.codec()
+        } else {
+            spec.link_codec(slot)
+        };
         let endpoints: Vec<_> =
             parts.endpoints.into_iter().filter(|ep| ep.id() % cfg.links == slot).collect();
         if endpoints.is_empty() {
@@ -66,13 +87,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| format!("connect address {:?} resolves to nothing", cfg.connect))?;
-    let health = if slot == 0 {
-        cfg.party_health.as_deref().map(TcpListener::bind).transpose()?
-    } else {
-        None
+    let health = match cfg.party_health.as_deref() {
+        Some(base) => Some(TcpListener::bind(slot_health_addr(base, slot)?)?),
+        None => None,
     };
     let stream = connect_with_retry(addr, Duration::from_secs(60))?;
     println!("CONNECTED {addr}");
+    if let Some(h) = &health {
+        println!("PARTY HEALTH {}", h.local_addr()?);
+    }
     std::io::stdout().flush()?;
 
     let pool = party_loop(stream, slot as u32, link_jobs, cfg.guard.as_ref(), health)?;

@@ -35,6 +35,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     std::io::stdout().flush()?;
 
     let mut jobs = Vec::with_capacity(cfg.jobs.len());
+    let mut link_codecs = Vec::new();
     for spec in &cfg.jobs {
         let (job, meta) = spec.builder()?.build()?;
         eprintln!(
@@ -42,10 +43,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             meta.job_id, spec.parties, spec.rounds, spec.selector
         );
         jobs.push(job.into_parts());
+        for (slot, &codec) in spec.link_codecs.iter().enumerate() {
+            if codec != spec.codec {
+                link_codecs.push((meta.job_id, slot, codec));
+            }
+        }
     }
 
     let mut opts = ServerOptions::new(cfg.links);
     opts.guard = cfg.guard;
+    opts.link_codecs = link_codecs;
     // The health listener is cloned so scrapes keep working after the
     // run: the event loop serves it while jobs are live, the tail loop
     // below serves it once they finish.

@@ -265,8 +265,15 @@ pub struct JobSpec {
     pub alpha: f64,
     /// The participant-selection policy.
     pub selector: SelectorKind,
-    /// The model-payload codec both sides pin.
+    /// The model-payload codec both sides pin (the job-wide default).
     pub codec: ModelCodec,
+    /// Per-link codec overrides, one entry per link slot (empty = every
+    /// link speaks [`JobSpec::codec`]). Parsed from the optional
+    /// `link_codecs = "name,name,..."` key — comma-separated codec
+    /// names, exactly `links` of them — so one job can run
+    /// heterogeneous codecs across its links, pinned out-of-band on
+    /// both wire ends.
+    pub link_codecs: Vec<ModelCodec>,
     /// The round-deadline policy.
     pub deadline: DeadlinePolicy,
     /// Log-normal σ of the platform-heterogeneity model.
@@ -280,6 +287,12 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
+    /// The codec link `slot` speaks for this job: the per-link override
+    /// when `link_codecs` is configured, the job-wide default otherwise.
+    pub fn link_codec(&self, slot: usize) -> ModelCodec {
+        self.link_codecs.get(slot).copied().unwrap_or(self.codec)
+    }
+
     /// The builder producing this job's seeded [`flips_fl::FlJob`] —
     /// identical on every process that parses the same config.
     ///
@@ -324,7 +337,10 @@ pub struct NetConfig {
     /// The address parties connect to (usually `listen` with a
     /// routable host).
     pub connect: String,
-    /// The party's health/metrics listen address, if any.
+    /// The party-side health/metrics *base* address, if any: the
+    /// `flips-party` process serving link slot `s` binds the base port
+    /// plus `s`, so every party process exposes its own
+    /// `/healthz`/`/metrics` endpoint.
     pub party_health: Option<String>,
     /// The inbound guard plane, if any.
     pub guard: Option<GuardConfig>,
@@ -354,19 +370,31 @@ fn selector_name(kind: SelectorKind) -> &'static str {
 }
 
 fn codec_from_name(name: &str) -> Result<ModelCodec, FlError> {
+    if let Some(k) = name.strip_prefix("topk:") {
+        let k: u32 = k.parse().map_err(|_| {
+            FlError::InvalidConfig(format!("codec \"topk:{k}\": k must be a positive integer"))
+        })?;
+        if k == 0 {
+            return Err(FlError::InvalidConfig("codec \"topk:0\": k must be at least 1".into()));
+        }
+        return Ok(ModelCodec::TopK { k });
+    }
     match name {
         "raw" => Ok(ModelCodec::Raw),
         "delta-lossless" => Ok(ModelCodec::DeltaLossless),
+        "delta-entropy" => Ok(ModelCodec::DeltaEntropy),
         "f16" => Ok(ModelCodec::F16),
         other => Err(FlError::InvalidConfig(format!("unknown codec {other:?}"))),
     }
 }
 
-fn codec_name(codec: ModelCodec) -> &'static str {
+fn codec_name(codec: ModelCodec) -> String {
     match codec {
-        ModelCodec::Raw => "raw",
-        ModelCodec::DeltaLossless => "delta-lossless",
-        ModelCodec::F16 => "f16",
+        ModelCodec::Raw => "raw".into(),
+        ModelCodec::DeltaLossless => "delta-lossless".into(),
+        ModelCodec::DeltaEntropy => "delta-entropy".into(),
+        ModelCodec::F16 => "f16".into(),
+        ModelCodec::TopK { k } => format!("topk:{k}"),
     }
 }
 
@@ -382,6 +410,7 @@ fn job_from_table(table: &Table, index: usize) -> Result<JobSpec, FlError> {
         "alpha",
         "selector",
         "codec",
+        "link_codecs",
         "deadline",
         "deadline_q",
         "deadline_slack",
@@ -424,6 +453,13 @@ fn job_from_table(table: &Table, index: usize) -> Result<JobSpec, FlError> {
         alpha: f.float_opt("alpha")?.unwrap_or(0.3),
         selector: selector_from_name(f.str_opt("selector")?.as_deref().unwrap_or("random"))?,
         codec: codec_from_name(f.str_opt("codec")?.as_deref().unwrap_or("raw"))?,
+        link_codecs: match f.str_opt("link_codecs")? {
+            None => Vec::new(),
+            Some(names) => names
+                .split(',')
+                .map(|name| codec_from_name(name.trim()))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
         deadline,
         latency_sigma: f.float_opt("latency_sigma")?.unwrap_or(0.0),
         straggler_rate: f.float_opt("straggler_rate")?.unwrap_or(0.0),
@@ -521,7 +557,14 @@ impl NetConfig {
         }
         let mut jobs = Vec::with_capacity(job_tables.len());
         for (i, table) in job_tables.iter().enumerate() {
-            jobs.push(job_from_table(table, i)?);
+            let job = job_from_table(table, i)?;
+            if !job.link_codecs.is_empty() && job.link_codecs.len() != links {
+                return Err(FlError::InvalidConfig(format!(
+                    "[[job]] #{i}: link_codecs names {} codec(s), but the deployment has {links} link(s)",
+                    job.link_codecs.len()
+                )));
+            }
+            jobs.push(job);
         }
 
         Ok(NetConfig {
@@ -575,6 +618,10 @@ impl NetConfig {
             let _ = writeln!(out, "alpha = {}", float_lit(job.alpha));
             let _ = writeln!(out, "selector = \"{}\"", selector_name(job.selector));
             let _ = writeln!(out, "codec = \"{}\"", codec_name(job.codec));
+            if !job.link_codecs.is_empty() {
+                let names: Vec<String> = job.link_codecs.iter().map(|&c| codec_name(c)).collect();
+                let _ = writeln!(out, "link_codecs = \"{}\"", names.join(","));
+            }
             match job.deadline {
                 DeadlinePolicy::Injected => {
                     let _ = writeln!(out, "deadline = \"injected\"");
@@ -702,7 +749,13 @@ clustering_restarts = 3
     fn every_selector_and_codec_round_trips() {
         let mut cfg = NetConfig::parse(FULL).unwrap();
         for selector in SelectorKind::all() {
-            for codec in [ModelCodec::Raw, ModelCodec::DeltaLossless, ModelCodec::F16] {
+            for codec in [
+                ModelCodec::Raw,
+                ModelCodec::DeltaLossless,
+                ModelCodec::DeltaEntropy,
+                ModelCodec::F16,
+                ModelCodec::TopK { k: 64 },
+            ] {
                 cfg.jobs[0].selector = selector;
                 cfg.jobs[0].codec = codec;
                 let reparsed = NetConfig::parse(&cfg.to_toml()).unwrap();
@@ -710,6 +763,35 @@ clustering_restarts = 3
                 assert_eq!(reparsed.jobs[0].codec, codec);
             }
         }
+    }
+
+    #[test]
+    fn per_link_codec_overrides_round_trip_and_validate() {
+        let mut cfg = NetConfig::parse(FULL).unwrap();
+        cfg.jobs[0].link_codecs = vec![ModelCodec::DeltaEntropy, ModelCodec::TopK { k: 128 }];
+        let reparsed = NetConfig::parse(&cfg.to_toml()).unwrap();
+        assert_eq!(reparsed, cfg);
+        assert_eq!(reparsed.jobs[0].link_codec(0), ModelCodec::DeltaEntropy);
+        assert_eq!(reparsed.jobs[0].link_codec(1), ModelCodec::TopK { k: 128 });
+        // No override: every slot falls back to the job-wide codec.
+        assert_eq!(NetConfig::parse(FULL).unwrap().jobs[0].link_codec(1), ModelCodec::Raw);
+        // A count that disagrees with `links` is a config error, not a
+        // silently misrouted codec.
+        cfg.jobs[0].link_codecs = vec![ModelCodec::DeltaEntropy];
+        let err = NetConfig::parse(&cfg.to_toml()).unwrap_err();
+        assert!(err.to_string().contains("link_codecs"), "{err}");
+    }
+
+    #[test]
+    fn hostile_codec_names_are_rejected() {
+        let mut cfg = NetConfig::parse(FULL).unwrap();
+        for bad in ["topk:0", "topk:", "topk:-3", "topk:4294967296", "entropy"] {
+            let toml = cfg.to_toml().replace("codec = \"raw\"", &format!("codec = \"{bad}\""));
+            assert!(NetConfig::parse(&toml).is_err(), "codec {bad:?} must be rejected");
+        }
+        cfg.jobs[0].codec = ModelCodec::TopK { k: u32::MAX };
+        let reparsed = NetConfig::parse(&cfg.to_toml()).unwrap();
+        assert_eq!(reparsed.jobs[0].codec, ModelCodec::TopK { k: u32::MAX });
     }
 
     #[test]

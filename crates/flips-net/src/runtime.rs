@@ -33,12 +33,25 @@ pub struct SocketOptions {
     /// Seeded chaos schedule applied at the driver's uplink seam.
     /// `None` runs the wire untouched.
     pub chaos: Option<ChaosSchedule>,
+    /// Per-link codec overrides, `(job, link slot, codec)`, applied to
+    /// both wire ends out-of-band: the server's per-link negotiation
+    /// table and the owning link worker's pinned codec (the socket
+    /// sibling of [`flips_fl::RuntimeOptions::with_link_codec`]).
+    pub link_codecs: Vec<(u64, usize, flips_fl::ModelCodec)>,
 }
 
 impl SocketOptions {
     /// Options for `links` TCP links, no guard, no chaos.
     pub fn new(links: usize) -> Self {
-        SocketOptions { links, guard: None, chaos: None }
+        SocketOptions { links, guard: None, chaos: None, link_codecs: Vec::new() }
+    }
+
+    /// Overrides the codec one link speaks for `job` (see
+    /// [`SocketOptions::link_codecs`]).
+    #[must_use]
+    pub fn with_link_codec(mut self, job: u64, link: usize, codec: flips_fl::ModelCodec) -> Self {
+        self.link_codecs.push((job, link, codec));
+        self
     }
 
     /// Installs an inbound guard plane on the run's driver and pools.
@@ -143,7 +156,15 @@ pub fn run_socket(jobs: Vec<JobParts>, opts: &SocketOptions) -> Result<SocketOut
         }
         for (slot, eps) in split.into_iter().enumerate() {
             if !eps.is_empty() {
-                per_link[slot].push((job_id, codec, eps));
+                // The worker pins the codec *its link* speaks — the
+                // override when one names this `(job, slot)`.
+                let pinned = opts
+                    .link_codecs
+                    .iter()
+                    .rev()
+                    .find(|&&(j, l, _)| j == job_id && l == slot)
+                    .map_or(codec, |&(_, _, c)| c);
+                per_link[slot].push((job_id, pinned, eps));
             }
         }
         server_jobs.push(parts);
@@ -154,6 +175,7 @@ pub fn run_socket(jobs: Vec<JobParts>, opts: &SocketOptions) -> Result<SocketOut
         guard: opts.guard,
         chaos: opts.chaos.clone(),
         accept_timeout: Duration::from_secs(60),
+        link_codecs: opts.link_codecs.clone(),
     };
 
     let (server_result, worker_results) = std::thread::scope(|scope| {

@@ -75,12 +75,23 @@ pub struct ServerOptions {
     /// How long to wait for all `links` parties to connect and say
     /// Hello.
     pub accept_timeout: Duration,
+    /// Per-link codec overrides, `(job, link slot, codec)` — applied to
+    /// the driver's per-link negotiation table before the run starts
+    /// (see [`flips_fl::MultiJobDriver::set_link_codec`]). The party
+    /// process serving an overridden slot must pin the same codec.
+    pub link_codecs: Vec<(u64, usize, flips_fl::ModelCodec)>,
 }
 
 impl ServerOptions {
     /// Options for `links` party connections, no guard, no chaos.
     pub fn new(links: usize) -> Self {
-        ServerOptions { links, guard: None, chaos: None, accept_timeout: Duration::from_secs(60) }
+        ServerOptions {
+            links,
+            guard: None,
+            chaos: None,
+            accept_timeout: Duration::from_secs(60),
+            link_codecs: Vec::new(),
+        }
     }
 
     /// Installs an inbound guard plane on the run's driver.
@@ -248,6 +259,9 @@ pub fn serve(
         // The endpoints live in the party processes; only the
         // coordinator-side pieces are registered here.
         let _endpoints = driver.add_parts(parts)?;
+    }
+    for &(job, link, codec) in &opts.link_codecs {
+        driver.set_link_codec(job, link, codec)?;
     }
 
     let mut poll = Poll::new().map_err(net_err)?;

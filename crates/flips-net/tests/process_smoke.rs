@@ -55,6 +55,7 @@ impl Drop for KillOnDrop {
 fn server_and_party_processes_complete_a_run_and_expose_metrics() {
     let data_port = free_port();
     let health_port = free_port();
+    let party_health_port = free_port();
     let config = format!(
         r#"
 links = 2
@@ -62,6 +63,9 @@ links = 2
 [server]
 listen = "127.0.0.1:{data_port}"
 health = "127.0.0.1:{health_port}"
+
+[party]
+health = "127.0.0.1:{party_health_port}"
 
 [guard]
 max_frame_bytes = 1048576
@@ -80,6 +84,8 @@ deadline_slack = 1.1
 latency_sigma = 0.8
 test_per_class = 8
 clustering_restarts = 3
+codec = "delta-lossless"
+link_codecs = "delta-lossless,delta-entropy"
 "#
     );
     let config_path = format!("{}/process_smoke.toml", env!("CARGO_TARGET_TMPDIR"));
@@ -112,19 +118,50 @@ clustering_restarts = 3
     let mut server_out = BufReader::new(server.0.stdout.take().unwrap());
     await_line(&mut server_out, "LISTENING ", Duration::from_secs(30));
 
-    let parties: Vec<KillOnDrop> = (0..2)
-        .map(|slot| {
-            KillOnDrop(
-                Command::new(env!("CARGO_BIN_EXE_flips-party"))
-                    .arg(&config_path)
-                    .arg(slot.to_string())
-                    .stdout(Stdio::piped())
-                    .stderr(Stdio::inherit())
-                    .spawn()
-                    .expect("flips-party spawns"),
-            )
-        })
-        .collect();
+    let spawn_party = |slot: usize| {
+        KillOnDrop(
+            Command::new(env!("CARGO_BIN_EXE_flips-party"))
+                .arg(&config_path)
+                .arg(slot.to_string())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("flips-party spawns"),
+        )
+    };
+
+    // Per-process party health: slot `s` serves on the configured base
+    // port + s, every process, not only slot 0. Party 0 is scraped
+    // before party 1 even exists — the run cannot start with a link
+    // missing, so its health plane is provably live mid-wait.
+    let mut party0 = spawn_party(0);
+    let mut party0_out = BufReader::new(party0.0.stdout.take().unwrap());
+    let health0 = await_line(&mut party0_out, "PARTY HEALTH ", Duration::from_secs(30));
+    let health0_addr = health0.trim_start_matches("PARTY HEALTH ").to_string();
+    assert!(
+        health0_addr.ends_with(&format!(":{party_health_port}")),
+        "slot 0 must bind the base party-health port: {health0}"
+    );
+    let healthz0 = scrape(&health0_addr, "/healthz");
+    assert!(healthz0.contains("ok"), "party 0 healthz: {healthz0}");
+    let metrics0 = scrape(&health0_addr, "/metrics");
+    assert!(
+        metrics0.contains("flips_party_endpoints") && metrics0.contains("flips_party_shard 0"),
+        "party 0 metrics miss the party gauges:\n{metrics0}"
+    );
+
+    let mut party1 = spawn_party(1);
+    let mut party1_out = BufReader::new(party1.0.stdout.take().unwrap());
+    let health1 = await_line(&mut party1_out, "PARTY HEALTH ", Duration::from_secs(30));
+    let health1_addr = health1.trim_start_matches("PARTY HEALTH ").to_string();
+    assert!(
+        health1_addr.ends_with(&format!(":{}", party_health_port + 1)),
+        "slot 1 must bind base + 1, its own endpoint: {health1}"
+    );
+    let healthz1 = scrape(&health1_addr, "/healthz");
+    assert!(healthz1.contains("ok"), "party 1 healthz: {healthz1}");
+
+    let parties = vec![(party0, party0_out), (party1, party1_out)];
 
     // The run completes and reports the golden trajectory.
     let job_line = await_line(&mut server_out, "JOB ", Duration::from_secs(120));
@@ -153,8 +190,7 @@ clustering_restarts = 3
     assert!(healthz.contains("ok"), "healthz: {healthz}");
 
     // Both parties exit zero after the shutdown handshake.
-    for mut party in parties {
-        let out = BufReader::new(party.0.stdout.take().unwrap());
+    for (mut party, out) in parties {
         let status = party.0.wait().expect("party waited");
         assert!(status.success(), "flips-party exited {status}");
         let lines: Vec<String> = out.lines().map(|l| l.unwrap()).collect();

@@ -38,12 +38,12 @@ impl Clock for PacedClock {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Each job negotiates its own model-payload codec on the shared
-    // wire: alpha stays on the raw default, bravo compresses losslessly,
-    // carol opts into lossy f16.
+    // wire: alpha stays on the raw default, bravo entropy-codes its
+    // deltas, carol opts into lossy top-k sparsification.
     let configs = [
         ("alpha", SelectorKind::Flips, 0.00, 43u64, 1u64, ModelCodec::Raw),
-        ("bravo", SelectorKind::Oort, 0.25, 44, 2, ModelCodec::DeltaLossless),
-        ("carol", SelectorKind::Random, 0.25, 45, 3, ModelCodec::F16),
+        ("bravo", SelectorKind::Oort, 0.25, 44, 2, ModelCodec::DeltaEntropy),
+        ("carol", SelectorKind::Random, 0.25, 45, 3, ModelCodec::TopK { k: 512 }),
     ];
 
     let (agg_pipe, party_pipe) = duplex();
@@ -122,5 +122,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             history.total_bytes() as f64 / (1024.0 * 1024.0)
         );
     }
+
+    // Per-link negotiation: one federation split across two shard
+    // links can speak a *different* codec on each — here link 0 stays
+    // on the job-wide lossless delta while link 1 is entropy-coded.
+    // Both are lossless, so the history must match the in-process run
+    // bit for bit.
+    use flips::fl::runtime::{run_sharded, RuntimeOptions};
+    println!("\nper-link negotiation: splitting bravo's shape across two links ...");
+    let base = SimulationBuilder::new(DatasetProfile::femnist())
+        .parties(15)
+        .rounds(8)
+        .participation(0.25)
+        .selector(SelectorKind::Oort)
+        .straggler_rate(0.25)
+        .clustering_restarts(4)
+        .test_per_class(10)
+        .codec(ModelCodec::DeltaLossless)
+        .seed(44);
+    let golden = base.clone().run()?.history;
+    let (job, meta) = base.build()?;
+    let opts = RuntimeOptions::new(2).with_link_codec(meta.job_id, 1, ModelCodec::DeltaEntropy);
+    let outcome = run_sharded(vec![job.into_parts()], &opts)?;
+    let history = outcome.histories.get(&meta.job_id).expect("job ran");
+    println!(
+        "  link 0 {} / link 1 {} -> {} rounds, histories {} the single-codec run",
+        ModelCodec::DeltaLossless.label(),
+        ModelCodec::DeltaEntropy.label(),
+        history.len(),
+        if *history == golden { "bit-identical to" } else { "DIVERGED from" }
+    );
+    assert_eq!(*history, golden, "lossless per-link codecs must not move the history");
     Ok(())
 }

@@ -276,6 +276,75 @@ fn delta_codec_moves_fewer_bytes_than_raw() {
 }
 
 #[test]
+fn entropy_coded_wire_replays_the_goldens_bit_exactly() {
+    // The entropy-stage acceptance bar: `DeltaEntropy` adds a rANS
+    // coder over the shuffled delta planes but stays bit-exact, so all
+    // five selector goldens must replay unchanged over the
+    // entropy-coded wire — accuracy, loss and duration to the bit,
+    // cohorts to the element.
+    for kind in SelectorKind::all() {
+        let (history, stats) = run_over_stream_transport_with(kind, ModelCodec::DeltaEntropy);
+        let records = history.records();
+        let expected = golden(kind);
+        assert_eq!(records.len(), expected.len(), "{kind}: round count over the entropy wire");
+        for (r, (acc, loss, dur, selected, completed, stragglers)) in records.iter().zip(expected) {
+            assert_eq!(r.accuracy.to_bits(), *acc, "{kind} round {}: accuracy", r.round);
+            assert_eq!(r.mean_train_loss.to_bits(), *loss, "{kind} round {}: loss", r.round);
+            assert_eq!(r.round_duration.to_bits(), *dur, "{kind} round {}: duration", r.round);
+            assert_eq!(r.selected, *selected, "{kind} round {}: cohort", r.round);
+            assert_eq!(r.completed, *completed, "{kind} round {}: completions", r.round);
+            assert_eq!(r.stragglers, *stragglers, "{kind} round {}: stragglers", r.round);
+        }
+        assert_eq!(stats.codec_mismatch_frames, 0, "{kind}");
+        assert_eq!(stats.corrupt_frames, 0, "{kind}");
+    }
+}
+
+#[test]
+fn entropy_codec_moves_fewer_bytes_than_delta_lossless() {
+    // The point of the entropy stage: same histories (checked above),
+    // strictly smaller wire bill than the RLE-only delta wire, in both
+    // directions combined and on the downlink alone.
+    let (delta_history, delta) =
+        run_over_stream_transport_with(SelectorKind::Random, ModelCodec::DeltaLossless);
+    let (entropy_history, entropy) =
+        run_over_stream_transport_with(SelectorKind::Random, ModelCodec::DeltaEntropy);
+    assert_eq!(delta_history, entropy_history, "codecs must not change round outcomes");
+    assert!(
+        entropy.bytes_sent < delta.bytes_sent,
+        "entropy downlink must beat delta: {} vs {}",
+        entropy.bytes_sent,
+        delta.bytes_sent
+    );
+    let delta_bytes = delta.bytes_sent + delta.bytes_received;
+    let entropy_bytes = entropy.bytes_sent + entropy.bytes_received;
+    assert!(
+        entropy_bytes < delta_bytes,
+        "DeltaEntropy must cut total wire bytes below DeltaLossless: {entropy_bytes} vs {delta_bytes}"
+    );
+}
+
+#[test]
+fn topk_wire_completes_with_sparse_model_frames() {
+    // TopK is lossy — histories are NOT pinned to the goldens — but the
+    // protocol must run to completion, deterministically, and a small k
+    // must collapse the downlink model frames to a fraction of raw.
+    let (raw_history, raw) = run_over_stream_transport_with(SelectorKind::Random, ModelCodec::Raw);
+    let (topk_history, topk) =
+        run_over_stream_transport_with(SelectorKind::Random, ModelCodec::TopK { k: 64 });
+    assert_eq!(topk_history.len(), raw_history.len(), "every round must close under top-k");
+    let (replay_history, _) =
+        run_over_stream_transport_with(SelectorKind::Random, ModelCodec::TopK { k: 64 });
+    assert_eq!(topk_history, replay_history, "a seeded top-k run must replay bit-identically");
+    let raw_bytes = raw.bytes_sent + raw.bytes_received;
+    let topk_bytes = topk.bytes_sent + topk.bytes_received;
+    assert!(
+        (topk_bytes as f64) < 0.6 * raw_bytes as f64,
+        "top-k should collapse model frames: {topk_bytes} vs {raw_bytes}"
+    );
+}
+
+#[test]
 fn f16_wire_completes_with_halved_model_frames() {
     // F16 is lossy — histories are NOT pinned to the goldens — but the
     // protocol must run to completion and the wire bill must drop to

@@ -179,6 +179,40 @@ fn injected_victim_sets_also_shard_identically() {
 }
 
 #[test]
+fn entropy_wire_replays_every_selector_golden_across_two_shards() {
+    // The entropy-stage acceptance bar, sharded flavor: all five
+    // selector goldens over a 2-shard wire with `DeltaEntropy`
+    // negotiated on both links — bit-identical to the in-process run.
+    for selector in SelectorKind::all() {
+        let base = latency_builder(11).selector(selector);
+        let golden = base.clone().run().unwrap().history;
+        let (history, outcome) =
+            sharded(&base.codec(ModelCodec::DeltaEntropy), &RuntimeOptions::new(2));
+        assert_eq!(history, golden, "{selector:?} over the 2-shard entropy wire diverged");
+        assert_eq!(outcome.stats.codec_mismatch_frames, 0, "{selector:?}");
+        assert_eq!(outcome.stats.corrupt_frames, 0, "{selector:?}");
+    }
+}
+
+#[test]
+fn heterogeneous_link_codecs_on_one_job_replay_the_golden() {
+    // Per-link negotiation end to end: one job, two shards, shard 0 on
+    // the job-wide DeltaLossless and shard 1 overridden to DeltaEntropy
+    // (both lossless, so the bit-identity oracle still applies). The
+    // driver must rewrite shard 1's selection notices, each pool must
+    // pin its own link's codec, and the history must not move.
+    let base = latency_builder(11).codec(ModelCodec::DeltaLossless);
+    let golden = base.clone().run().unwrap().history;
+    let (_, meta) = base.clone().build().unwrap();
+    let opts = RuntimeOptions::new(2).with_link_codec(meta.job_id, 1, ModelCodec::DeltaEntropy);
+    let (history, outcome) = sharded(&base, &opts);
+    assert_eq!(history, golden, "heterogeneous per-link codecs moved the history");
+    assert_eq!(outcome.stats.codec_mismatch_frames, 0);
+    assert_eq!(outcome.shard_codec_mismatch, vec![0, 0]);
+    assert_eq!(outcome.shard_unroutable, vec![0, 0]);
+}
+
+#[test]
 fn multiple_jobs_with_mixed_policies_and_codecs_share_the_sharded_wire() {
     // Three jobs — different seeds, codecs and deadline models — run
     // concurrently across the same shard set; each must finish with

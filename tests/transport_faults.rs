@@ -390,10 +390,12 @@ proptest! {
 // Compressed-payload faults: the DeltaLossless wire under hostile bytes.
 // ---------------------------------------------------------------------
 
-/// A delta-tagged `LocalUpdate` frame for `job` built from a fresh
+/// A codec-tagged `LocalUpdate` frame for `job` built from a fresh
 /// sender codec (no reference → inline mode), yielding bytes whose
-/// params block the fault tests can corrupt surgically.
-fn delta_update_frame(job: u64) -> Vec<u8> {
+/// params block the fault tests can corrupt surgically. The delta-family
+/// codecs share the block head — tag at byte 61, count at 62..70, mode
+/// at 70 — so the corruption offsets hold for every tag.
+fn tagged_update_frame(job: u64, wire_codec: ModelCodec) -> Vec<u8> {
     use flips::fl::codec::{PayloadCodec, Role};
     use flips::fl::message::frame_into;
     let msg = WireMessage::LocalUpdate {
@@ -405,10 +407,14 @@ fn delta_update_frame(job: u64) -> Vec<u8> {
         duration: 0.1,
         params: vec![1.0, 2.0, 3.0],
     };
-    let mut codec = PayloadCodec::new(ModelCodec::DeltaLossless, Role::Sender);
+    let mut codec = PayloadCodec::new(wire_codec, Role::Sender);
     let mut buf = bytes::BytesMut::new();
     frame_into(AGGREGATOR_DEST, &msg, &mut codec, &mut buf);
     buf.freeze().to_vec()
+}
+
+fn delta_update_frame(job: u64) -> Vec<u8> {
+    tagged_update_frame(job, ModelCodec::DeltaLossless)
 }
 
 #[test]
@@ -609,4 +615,73 @@ fn compressed_frames_for_unknown_jobs_count_as_unknown_not_codec_mismatch() {
     assert_eq!(stats.unknown_job_frames, 2);
     assert_eq!(stats.codec_mismatch_frames, 0);
     assert_histories_clean(&link, &solo);
+}
+
+#[test]
+fn corrupt_entropy_frames_on_one_link_leave_sibling_links_untouched() {
+    // The mixed-codec wire under fire: a 2-shard run whose shard link 0
+    // is overridden to `DeltaEntropy` while link 1 stays on the
+    // job-wide `DeltaLossless`. Hostile frames aimed at the entropy
+    // link — a corrupt entropy payload, a truncated one, and
+    // lossless-tagged frames that would be legitimate on the sibling
+    // link — must be dropped and counted on link 0 alone, and the
+    // history must stay bit-identical to the fault-free solo run.
+    use flips::fl::codec::{PayloadCodec, Role};
+    use flips::fl::message::frame_into;
+    use flips::fl::runtime::{run_sharded, RuntimeOptions};
+
+    let (mut solo, _) = builder(11).build().unwrap();
+    let golden = solo.run().unwrap();
+    let (job, meta) = builder(11).codec(ModelCodec::DeltaLossless).build().unwrap();
+    let job0 = meta.job_id;
+
+    // Uplink faults, all landing on shard link 0 (the chaos seam): an
+    // entropy update with a clobbered mode byte, a truncated entropy
+    // update, and the sibling link's DeltaLossless dialect — a codec
+    // mismatch on the entropy link even though link 1 would decode it.
+    let entropy_update = tagged_update_frame(job0, ModelCodec::DeltaEntropy);
+    let mut bad_mode = entropy_update.clone();
+    bad_mode[70] = 0xEE;
+    let truncated = entropy_update[..entropy_update.len() - 4].to_vec();
+    let lossless_update = delta_update_frame(job0);
+
+    // Downlink faults, landing in shard 0's inbox: a truncated entropy
+    // model and a lossless-tagged model for the same job.
+    let downlink_model = |wire_codec| {
+        let msg = WireMessage::GlobalModel { job: job0, round: 0, params: vec![1.0; 8].into() };
+        let mut codec = PayloadCodec::new(wire_codec, Role::Sender);
+        let mut buf = bytes::BytesMut::new();
+        frame_into(2, &msg, &mut codec, &mut buf);
+        buf.freeze().to_vec()
+    };
+    let entropy_model = downlink_model(ModelCodec::DeltaEntropy);
+    let truncated_model = entropy_model[..entropy_model.len() - 4].to_vec();
+    let lossless_model = downlink_model(ModelCodec::DeltaLossless);
+
+    let mut opts = RuntimeOptions::new(2).with_link_codec(job0, 0, ModelCodec::DeltaEntropy);
+    opts.chaos_uplink = vec![bad_mode.into(), truncated.into(), lossless_update.into()];
+    opts.chaos_downlink = vec![truncated_model.into(), lossless_model.into()];
+    let outcome = run_sharded(vec![job.into_parts()], &opts).unwrap();
+
+    assert_eq!(
+        outcome.histories.get(&job0),
+        Some(&golden),
+        "faults on the entropy link disturbed the mixed-codec history"
+    );
+    assert_eq!(outcome.stats.corrupt_frames, 2, "bad mode byte + truncation on the uplink");
+    assert_eq!(
+        outcome.stats.codec_mismatch_frames, 1,
+        "the sibling link's dialect must mismatch on the entropy link"
+    );
+    assert_eq!(
+        outcome.shard_codec_mismatch,
+        vec![1, 0],
+        "only the entropy shard may count the lossless-tagged model"
+    );
+    assert_eq!(
+        outcome.shard_unroutable,
+        vec![1, 0],
+        "the truncated entropy model must drop on shard 0 alone"
+    );
+    assert_eq!(outcome.shard_rejected, vec![0, 0]);
 }
