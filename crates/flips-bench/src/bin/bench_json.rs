@@ -236,6 +236,65 @@ fn socket_round_ns(
     times[times.len() / 2]
 }
 
+/// Median ns per round of a run resumed from a checkpoint: one mid-run
+/// snapshot is captured at the first round boundary (untimed setup),
+/// then each sample pays the full recovery path a crashed deployment
+/// pays — decode the snapshot bytes, rebuild the job from its seed,
+/// restore the driver, re-key the party pool's delta reference, and
+/// drive the remaining rounds to completion. The delta against
+/// `fl_round_median_ns` is the price of coming back from the dead.
+fn resume_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usize) -> f64 {
+    let build_pair = || {
+        let job = mlp256_job(parties, per_round, rounds, ModelCodec::DeltaLossless);
+        let JobParts { coordinator, endpoints, clock, latency, .. } = job.into_parts();
+        let (agg_pipe, party_pipe) = duplex();
+        let mut driver = MultiJobDriver::new(StreamTransport::new(agg_pipe));
+        let id = driver.add_job(coordinator, Box::new(clock), latency).expect("fresh job id");
+        let mut pool = PartyPool::new(StreamTransport::new(party_pipe));
+        pool.add_job(id, endpoints);
+        (driver, pool, id)
+    };
+
+    // Untimed: drive to the first round boundary and snapshot it.
+    let (mut driver, mut pool, _) = build_pair();
+    driver.set_deferred_opens(true).expect("unstarted driver");
+    driver.start().expect("round 0 opens");
+    let snapshot = loop {
+        let drove = driver.pump().expect("driver pumps");
+        let pooled = pool.pump().expect("pool pumps");
+        if drove || pooled {
+            continue;
+        }
+        if driver.has_pending_opens() {
+            break driver.checkpoint().expect("boundary snapshot");
+        }
+        assert!(driver.advance_clock().expect("clock advances"), "driver stalled");
+    };
+    let bytes = snapshot.encode();
+    let remaining = rounds - snapshot.jobs[0].history.len();
+    assert!(remaining > 0, "nothing left to resume");
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for sample in 0..=samples {
+        let start = Instant::now();
+        let cp = flips_core::fl::Checkpoint::decode(&bytes).expect("snapshot decodes");
+        let (mut driver, mut pool, id) = build_pair();
+        driver.restore(&cp).expect("snapshot restores");
+        pool.pin_codec(id, ModelCodec::DeltaLossless);
+        for r in &cp.codec_refs {
+            assert!(pool.seed_reference(r.job, r.ref_round, &r.params), "reference re-keys");
+        }
+        run_lockstep(&mut driver, &mut pool).expect("resumed run completes");
+        let elapsed = start.elapsed().as_nanos() as f64;
+        black_box(driver.history(id).expect("history").len());
+        if sample > 0 {
+            times.push(elapsed / remaining as f64);
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fl_round.json".into());
     let kernel = if cfg!(feature = "baseline") { "naive-baseline" } else { "blocked" };
@@ -312,6 +371,14 @@ fn main() {
         100.0 * (socket_ns - sharded_ns) / sharded_ns
     );
 
+    eprintln!("measuring resume_round (same workload, checkpoint decode + restore + finish) ...");
+    let resume_ns = resume_round_ns(16, 4, 3, 5);
+    eprintln!(
+        "  {:.2} ms/round ({:+.1}% vs in-process)",
+        resume_ns / 1e6,
+        100.0 * (resume_ns - round_ns) / round_ns
+    );
+
     let json = format!(
         "{{\n  \"schema\": \"flips-bench/fl_round/v1\",\n  \"kernel\": \"{kernel}\",\n  \
          \"fl_round_median_ns\": {round_ns:.0},\n  \"transport_round_median_ns\": {transport_ns:.0},\n  \
@@ -320,6 +387,7 @@ fn main() {
          \"sharded_round_1shard_median_ns\": {:.0},\n  \
          \"sharded_round_4shard_median_ns\": {:.0},\n  \
          \"socket_round_median_ns\": {socket_ns:.0},\n  \
+         \"resume_round_median_ns\": {resume_ns:.0},\n  \
          \"transport_bytes_per_round\": {delta_bytes},\n  \
          \"transport_bytes_per_round_raw\": {raw_bytes},\n  \
          \"transport_bytes_per_round_entropy\": {entropy_bytes},\n  \

@@ -36,7 +36,14 @@
 //!   plane, not the round state machine);
 //! - [`ChaosAction::Drop`] — discard (weight 0 by default: dropping
 //!   protocol frames genuinely loses state, which is a different test
-//!   than "hostile traffic must not move anything").
+//!   than "hostile traffic must not move anything");
+//! - [`ChaosAction::Disconnect`] — sever the link: the drawn frame and
+//!   everything after it on that link are held, in order, until the
+//!   wire runs dry, when the link "reconnects" and the held traffic
+//!   flows again. Whole-link FIFO is preserved, so this is the one
+//!   destructive-looking fault seeded histories provably survive — it
+//!   models exactly what the socket runtime's reconnect/resume path
+//!   guarantees (weight 0 by default; recovery suites turn it on).
 //!
 //! Queued frames sit in a backlog released only when the inner
 //! transport runs dry, so chaos reorders traffic **within** a pump
@@ -77,6 +84,13 @@ pub enum ChaosAction {
     /// Deliver the frame and queue this many forged heartbeats claiming
     /// the schedule's flood target.
     Flood(u32),
+    /// Sever the link: this frame and every later frame on the link are
+    /// backlogged (in order) until the wire next runs dry, when the
+    /// link "reconnects" and the held traffic is released. Whole-link
+    /// FIFO is preserved, so seeded histories survive an outage — the
+    /// fault models a TCP link death inside one pump window. Weight 0
+    /// by default.
+    Disconnect,
 }
 
 /// Relative draw weights for the seeded action stream. A frame's action
@@ -95,12 +109,22 @@ pub struct ChaosWeights {
     pub delay: u32,
     /// Weight of [`ChaosAction::Flood`].
     pub flood: u32,
+    /// Weight of [`ChaosAction::Disconnect`].
+    pub disconnect: u32,
 }
 
 impl Default for ChaosWeights {
     /// Non-destructive defaults: deliveries dominate, drops are off.
     fn default() -> Self {
-        ChaosWeights { deliver: 12, drop: 0, duplicate: 1, corrupt: 1, delay: 1, flood: 1 }
+        ChaosWeights {
+            deliver: 12,
+            drop: 0,
+            duplicate: 1,
+            corrupt: 1,
+            delay: 1,
+            flood: 1,
+            disconnect: 0,
+        }
     }
 }
 
@@ -112,6 +136,7 @@ impl ChaosWeights {
             + u64::from(self.corrupt)
             + u64::from(self.delay)
             + u64::from(self.flood)
+            + u64::from(self.disconnect)
     }
 }
 
@@ -157,8 +182,15 @@ impl ChaosSchedule {
     /// [`ChaosSchedule::at`] overrides. The scripted-scenario base.
     pub fn quiet() -> Self {
         let mut s = ChaosSchedule::seeded(0);
-        s.weights =
-            ChaosWeights { deliver: 1, drop: 0, duplicate: 0, corrupt: 0, delay: 0, flood: 0 };
+        s.weights = ChaosWeights {
+            deliver: 1,
+            drop: 0,
+            duplicate: 0,
+            corrupt: 0,
+            delay: 0,
+            flood: 0,
+            disconnect: 0,
+        };
         s
     }
 
@@ -217,6 +249,7 @@ impl ChaosSchedule {
             (w.corrupt, ChaosAction::CorruptCopy),
             (w.delay, ChaosAction::Delay),
             (w.flood, ChaosAction::Flood(self.flood_frames)),
+            (w.disconnect, ChaosAction::Disconnect),
         ] {
             if r < u64::from(weight) {
                 return action;
@@ -266,6 +299,10 @@ pub struct ChaosTransport<T: Transport> {
     /// runs dry — chaos reorders within a pump window, never across a
     /// clock advance.
     backlog: VecDeque<(usize, Bytes)>,
+    /// Links severed by [`ChaosAction::Disconnect`]: while down, every
+    /// frame of the link is backlogged in arrival order. All links come
+    /// back up when the inner transport runs dry.
+    down: Vec<bool>,
     log: Vec<ChaosEvent>,
 }
 
@@ -278,6 +315,7 @@ impl<T: Transport> ChaosTransport<T> {
             schedule: Some(schedule),
             seen: vec![0; links],
             backlog: VecDeque::new(),
+            down: vec![false; links],
             log: Vec::new(),
         }
     }
@@ -291,6 +329,7 @@ impl<T: Transport> ChaosTransport<T> {
             schedule: None,
             seen: vec![0; links],
             backlog: VecDeque::new(),
+            down: vec![false; links],
             log: Vec::new(),
         }
     }
@@ -338,9 +377,11 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         };
         loop {
             let Some((link, raw)) = self.inner.try_recv_tagged()? else {
-                // Inner dry: release the backlog (delayed frames and
-                // injected copies arrive here, still inside the pump
-                // window).
+                // Inner dry: severed links reconnect, then the backlog
+                // is released (delayed frames, injected copies, and a
+                // dead link's held traffic arrive here, still inside
+                // the pump window).
+                self.down.fill(false);
                 return Ok(self.backlog.pop_front());
             };
             let index = {
@@ -351,6 +392,16 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                 self.seen[link] += 1;
                 i
             };
+            if link >= self.down.len() {
+                self.down.resize(link + 1, false);
+            }
+            if self.down[link] {
+                // The link is severed: hold the frame (its chaos index
+                // is consumed above, so the schedule's draw stream for
+                // later frames is unaffected by the outage).
+                self.backlog.push_back((link, raw));
+                continue;
+            }
             let mut action = if Self::targeted(&schedule, &raw) {
                 schedule.action_for(link, index)
             } else {
@@ -397,6 +448,11 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                         self.backlog.push_back((link, forged.clone()));
                     }
                     return Ok(Some((link, raw)));
+                }
+                ChaosAction::Disconnect => {
+                    self.down[link] = true;
+                    self.backlog.push_back((link, raw));
+                    continue;
                 }
             }
         }
@@ -585,6 +641,87 @@ mod tests {
         let mut chaos = ChaosTransport::new(rx, schedule);
         assert_eq!(chaos.try_recv().unwrap().unwrap(), heartbeat(1, 2));
         assert!(chaos.try_recv().unwrap().is_none(), "job 9's frame was dropped");
+    }
+
+    #[test]
+    fn disconnect_holds_the_whole_link_until_the_wire_runs_dry() {
+        let (mut tx, rx) = MemoryTransport::pair();
+        tx.send(&heartbeat(1, 2)).unwrap();
+        tx.send(&update(1, 3)).unwrap();
+        tx.send(&heartbeat(1, 4)).unwrap();
+        let schedule = ChaosSchedule::quiet().at(0, 0, ChaosAction::Disconnect);
+        let mut chaos = ChaosTransport::new(rx, schedule);
+        // The link died on its first frame: everything is held, then
+        // released in arrival order once the wire runs dry — whole-link
+        // FIFO survives the outage.
+        assert_eq!(chaos.try_recv().unwrap().unwrap(), heartbeat(1, 2));
+        assert_eq!(chaos.try_recv().unwrap().unwrap(), update(1, 3));
+        assert_eq!(chaos.try_recv().unwrap().unwrap(), heartbeat(1, 4));
+        assert!(chaos.try_recv().unwrap().is_none());
+        assert_eq!(
+            chaos.log(),
+            &[ChaosEvent { link: 0, index: 0, action: ChaosAction::Disconnect }]
+        );
+    }
+
+    #[test]
+    fn disconnect_still_consumes_chaos_indices_while_down() {
+        // Frames held by a dead link keep consuming schedule indices, so
+        // an outage cannot shift later frames onto different draws.
+        let (mut tx, rx) = MemoryTransport::pair();
+        for party in 0..4 {
+            tx.send(&heartbeat(1, party)).unwrap();
+        }
+        let schedule =
+            ChaosSchedule::quiet().at(0, 0, ChaosAction::Disconnect).at(0, 2, ChaosAction::Drop);
+        let mut chaos = ChaosTransport::new(rx, schedule);
+        // Index 2's Drop lands on the frame held behind the outage:
+        // held frames drew no action, so the drop silently never fires —
+        // indices were consumed, overrides on held frames are inert.
+        assert_eq!(chaos.try_recv().unwrap().unwrap(), heartbeat(1, 0));
+        assert_eq!(chaos.try_recv().unwrap().unwrap(), heartbeat(1, 1));
+        assert_eq!(chaos.try_recv().unwrap().unwrap(), heartbeat(1, 2));
+        assert_eq!(chaos.try_recv().unwrap().unwrap(), heartbeat(1, 3));
+        assert!(chaos.try_recv().unwrap().is_none());
+    }
+
+    /// A two-link inbound-only transport for exercising per-link faults.
+    struct TwoLinks {
+        queue: VecDeque<(usize, Bytes)>,
+    }
+
+    impl Transport for TwoLinks {
+        fn send(&mut self, _frame: &[u8]) -> Result<(), FlError> {
+            Ok(())
+        }
+        fn try_recv(&mut self) -> Result<Option<Bytes>, FlError> {
+            Ok(self.queue.pop_front().map(|(_, f)| f))
+        }
+        fn links(&self) -> usize {
+            2
+        }
+        fn try_recv_tagged(&mut self) -> Result<Option<(usize, Bytes)>, FlError> {
+            Ok(self.queue.pop_front())
+        }
+    }
+
+    #[test]
+    fn disconnect_leaves_other_links_flowing() {
+        let inner = TwoLinks {
+            queue: VecDeque::from([
+                (0, heartbeat(1, 2)),
+                (1, heartbeat(1, 3)),
+                (0, heartbeat(1, 4)),
+            ]),
+        };
+        let schedule = ChaosSchedule::quiet().at(0, 0, ChaosAction::Disconnect);
+        let mut chaos = ChaosTransport::new(inner, schedule);
+        // Link 0 is down; link 1's frame flows live, link 0's traffic
+        // waits for the dry point.
+        assert_eq!(chaos.try_recv_tagged().unwrap().unwrap(), (1, heartbeat(1, 3)));
+        assert_eq!(chaos.try_recv_tagged().unwrap().unwrap(), (0, heartbeat(1, 2)));
+        assert_eq!(chaos.try_recv_tagged().unwrap().unwrap(), (0, heartbeat(1, 4)));
+        assert!(chaos.try_recv_tagged().unwrap().is_none());
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! Versioned on-disk snapshots of the coordinator plane.
+//!
+//! A [`Checkpoint`] captures everything the aggregator side needs to
+//! resume from a round boundary bit-identically: per-job protocol state
+//! (global model, optimizer words, availability mask, the history and
+//! selector-feedback tapes), the driver's wire counters and virtual
+//! tick, the guard plane's breakers/budgets, and every per-link delta
+//! reference so re-keyed codecs emit the exact byte streams the
+//! uninterrupted run would have.
+//!
+//! The codec is deliberately boring and hostile-input-proof:
+//!
+//! - **Versioned**: a 4-byte magic (`FLCK`) and a `u32` format version
+//!   lead the file; unknown versions are rejected, never guessed at.
+//! - **Checksummed**: an FNV-1a-64 digest of the payload follows the
+//!   header; a flipped bit anywhere fails the load before any field is
+//!   interpreted.
+//! - **Panic-free**: decoding is a bounds-checked cursor — truncation,
+//!   hostile lengths, bad enum tags and trailing garbage all surface as
+//!   [`FlError::Codec`], and a failed decode returns nothing partial
+//!   (the only output is a fully-validated [`Checkpoint`] value).
+//!
+//! Serialization is sans-IO like the rest of this crate: encode/decode
+//! work on byte slices, and only `flips-net` touches the filesystem
+//! (atomically, via tmp-file + rename).
+
+use crate::driver::DriverStats;
+use crate::guard::{
+    BreakerState, BreakerTransition, GuardJobSnapshot, GuardPartySnapshot, GuardSnapshot,
+};
+use crate::history::RoundRecord;
+use crate::FlError;
+use flips_selection::{PartyId, RoundFeedback};
+use std::collections::HashMap;
+
+/// File magic: "FLCK" (FLIPS checkpoint).
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FLCK";
+/// Current format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One link's delta-codec reference at the snapshot boundary: what the
+/// sender must re-key to so the next encoded global is byte-identical
+/// to the uninterrupted run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecRefSnapshot {
+    /// The link (party wire) the reference belongs to.
+    pub link: u32,
+    /// The job multiplexed on that link.
+    pub job: u64,
+    /// The round the reference was committed at.
+    pub ref_round: u64,
+    /// The reference bits (for top-k, the lossy reconstruction).
+    pub params: Vec<f32>,
+}
+
+/// One job's complete protocol state at a round boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSnapshot {
+    /// The job id.
+    pub job: u64,
+    /// The global model after the last closed round.
+    pub global: Vec<f32>,
+    /// The server optimizer's persistent words (empty for
+    /// FedAvg/FedProx).
+    pub optimizer: Vec<f32>,
+    /// The roster availability mask (churn state).
+    pub active: Vec<bool>,
+    /// Closed-round records, in order.
+    pub history: Vec<RoundRecord>,
+    /// The selector feedback tape, one entry per closed round — replayed
+    /// at restore to rebuild selector state deterministically.
+    pub feedback: Vec<RoundFeedback>,
+    /// The observed-latency store `(samples, batch boundaries)` for jobs
+    /// on the observed deadline path; `None` for injected clocks.
+    pub observed: Option<(Vec<f64>, Vec<usize>)>,
+}
+
+/// A complete coordinator-plane snapshot at a round boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The driver's virtual tick.
+    pub tick: u64,
+    /// Whether the driver was draining.
+    pub draining: bool,
+    /// Wire counters at the boundary (restored so post-resume totals
+    /// equal the uninterrupted run's, encoded byte counts included).
+    pub stats: DriverStats,
+    /// Per-job protocol state, ascending by job id.
+    pub jobs: Vec<JobSnapshot>,
+    /// The guard plane's mutable state, if a guard was installed.
+    pub guard: Option<GuardSnapshot>,
+    /// Per-link delta references, ascending by `(link, job)`.
+    pub codec_refs: Vec<CodecRefSnapshot>,
+}
+
+// ---------------------------------------------------------------------
+// Encoding (infallible: every in-memory state has a representation).
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_f32_vec(out: &mut Vec<u8>, v: &[f32]) {
+    put_u64(out, v.len() as u64);
+    for x in v {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn put_id_vec(out: &mut Vec<u8>, v: &[PartyId]) {
+    put_u64(out, v.len() as u64);
+    for &p in v {
+        put_u64(out, p as u64);
+    }
+}
+
+/// HashMaps encode sorted by key so the byte stream is canonical —
+/// encode(decode(bytes)) == bytes, which the checksum and the property
+/// suite rely on.
+fn put_f64_map(out: &mut Vec<u8>, m: &HashMap<PartyId, f64>) {
+    let mut entries: Vec<(&PartyId, &f64)> = m.iter().collect();
+    entries.sort_by_key(|(p, _)| **p);
+    put_u64(out, entries.len() as u64);
+    for (&p, &v) in entries {
+        put_u64(out, p as u64);
+        put_f64(out, v);
+    }
+}
+
+fn put_sketch_map(out: &mut Vec<u8>, m: &HashMap<PartyId, Vec<f32>>) {
+    let mut entries: Vec<(&PartyId, &Vec<f32>)> = m.iter().collect();
+    entries.sort_by_key(|(p, _)| **p);
+    put_u64(out, entries.len() as u64);
+    for (&p, v) in entries {
+        put_u64(out, p as u64);
+        put_f32_vec(out, v);
+    }
+}
+
+fn put_record(out: &mut Vec<u8>, r: &RoundRecord) {
+    put_u64(out, r.round as u64);
+    put_id_vec(out, &r.selected);
+    put_id_vec(out, &r.completed);
+    put_id_vec(out, &r.stragglers);
+    put_f64(out, r.accuracy);
+    put_u64(out, r.per_label_recall.len() as u64);
+    for recall in &r.per_label_recall {
+        match recall {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                put_f64(out, *v);
+            }
+        }
+    }
+    put_f64(out, r.mean_train_loss);
+    put_u64(out, r.bytes_down);
+    put_u64(out, r.bytes_up);
+    put_f64(out, r.round_duration);
+}
+
+fn put_feedback(out: &mut Vec<u8>, fb: &RoundFeedback) {
+    put_u64(out, fb.round as u64);
+    put_id_vec(out, &fb.selected);
+    put_id_vec(out, &fb.completed);
+    put_id_vec(out, &fb.stragglers);
+    put_f64_map(out, &fb.train_loss);
+    put_f64_map(out, &fb.duration);
+    put_sketch_map(out, &fb.update_sketch);
+    put_f64(out, fb.global_accuracy);
+}
+
+fn breaker_state_tag(s: BreakerState) -> u8 {
+    match s {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    }
+}
+
+fn put_guard(out: &mut Vec<u8>, g: &GuardSnapshot) {
+    put_u64(out, g.parties.len() as u64);
+    for p in &g.parties {
+        put_u64(out, p.job);
+        put_u64(out, p.party);
+        out.push(breaker_state_tag(p.state));
+        put_u32(out, p.strikes);
+        put_u64(out, p.opens_left);
+        match p.tokens {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                put_u32(out, t);
+            }
+        }
+    }
+    put_u64(out, g.jobs.len() as u64);
+    for j in &g.jobs {
+        put_u64(out, j.job);
+        put_u32(out, j.admitted);
+        match j.budget {
+            None => out.push(0),
+            Some(b) => {
+                out.push(1);
+                put_u32(out, b);
+            }
+        }
+        put_u64(out, j.opens);
+    }
+    put_u64(out, g.transitions.len() as u64);
+    for t in &g.transitions {
+        put_u64(out, t.job);
+        put_u64(out, t.party);
+        put_u64(out, t.open_index);
+        out.push(breaker_state_tag(t.to));
+    }
+}
+
+fn stats_words(stats: &DriverStats) -> [u64; 17] {
+    [
+        stats.frames_sent,
+        stats.frames_received,
+        stats.bytes_sent,
+        stats.bytes_received,
+        stats.corrupt_frames,
+        stats.codec_mismatch_frames,
+        stats.unknown_job_frames,
+        stats.rejected_messages,
+        stats.late_updates,
+        stats.oversized_frames,
+        stats.rate_limited_frames,
+        stats.breaker_dropped_frames,
+        stats.admission_refused_frames,
+        stats.parties_ejected,
+        stats.drain_refused_selections,
+        stats.links_lost,
+        stats.links_resumed,
+    ]
+}
+
+/// FNV-1a 64 over the payload.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// Decoding (panic-free; never partial).
+// ---------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader. Every accessor returns a
+/// [`FlError::Codec`] on truncation; composite decoders propagate, so a
+/// hostile snapshot can only ever yield an error — never a panic, never
+/// a half-built value.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn bad(msg: impl Into<String>) -> FlError {
+    FlError::Codec(msg.into())
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FlError> {
+        if self.remaining() < n {
+            return Err(bad(format!(
+                "checkpoint truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FlError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FlError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FlError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, FlError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, FlError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, FlError> {
+        usize::try_from(self.u64()?).map_err(|_| bad("checkpoint length exceeds address space"))
+    }
+
+    fn bool(&mut self) -> Result<bool, FlError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(bad(format!("invalid bool byte {b:#04x} in checkpoint"))),
+        }
+    }
+
+    /// A length prefix for elements at least `elem` bytes wide — hostile
+    /// counts that could not possibly fit the remaining input are
+    /// rejected before any allocation.
+    fn len(&mut self, elem: usize) -> Result<usize, FlError> {
+        let n = self.usize()?;
+        if n.checked_mul(elem).is_none_or(|need| need > self.remaining()) {
+            return Err(bad(format!(
+                "checkpoint length {n} impossible with {} bytes left",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn f32_vec(&mut self) -> Result<Vec<f32>, FlError> {
+        let n = self.len(4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f32()?);
+        }
+        Ok(v)
+    }
+
+    fn id_vec(&mut self) -> Result<Vec<PartyId>, FlError> {
+        let n = self.len(8)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.usize()?);
+        }
+        Ok(v)
+    }
+
+    fn f64_map(&mut self) -> Result<HashMap<PartyId, f64>, FlError> {
+        let n = self.len(16)?;
+        let mut m = HashMap::with_capacity(n);
+        let mut last: Option<PartyId> = None;
+        for _ in 0..n {
+            let k = self.usize()?;
+            if last.is_some_and(|prev| prev >= k) {
+                return Err(bad("checkpoint map keys not strictly ascending"));
+            }
+            last = Some(k);
+            m.insert(k, self.f64()?);
+        }
+        Ok(m)
+    }
+
+    fn sketch_map(&mut self) -> Result<HashMap<PartyId, Vec<f32>>, FlError> {
+        let n = self.len(16)?;
+        let mut m = HashMap::with_capacity(n);
+        let mut last: Option<PartyId> = None;
+        for _ in 0..n {
+            let k = self.usize()?;
+            if last.is_some_and(|prev| prev >= k) {
+                return Err(bad("checkpoint map keys not strictly ascending"));
+            }
+            last = Some(k);
+            m.insert(k, self.f32_vec()?);
+        }
+        Ok(m)
+    }
+
+    fn breaker_state(&mut self) -> Result<BreakerState, FlError> {
+        match self.u8()? {
+            0 => Ok(BreakerState::Closed),
+            1 => Ok(BreakerState::Open),
+            2 => Ok(BreakerState::HalfOpen),
+            b => Err(bad(format!("invalid breaker state tag {b:#04x} in checkpoint"))),
+        }
+    }
+
+    fn record(&mut self) -> Result<RoundRecord, FlError> {
+        let round = self.usize()?;
+        let selected = self.id_vec()?;
+        let completed = self.id_vec()?;
+        let stragglers = self.id_vec()?;
+        let accuracy = self.f64()?;
+        let n = self.len(1)?;
+        let mut per_label_recall = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_label_recall.push(match self.u8()? {
+                0 => None,
+                1 => Some(self.f64()?),
+                b => return Err(bad(format!("invalid option tag {b:#04x} in checkpoint"))),
+            });
+        }
+        Ok(RoundRecord {
+            round,
+            selected,
+            completed,
+            stragglers,
+            accuracy,
+            per_label_recall,
+            mean_train_loss: self.f64()?,
+            bytes_down: self.u64()?,
+            bytes_up: self.u64()?,
+            round_duration: self.f64()?,
+        })
+    }
+
+    fn feedback(&mut self) -> Result<RoundFeedback, FlError> {
+        Ok(RoundFeedback {
+            round: self.usize()?,
+            selected: self.id_vec()?,
+            completed: self.id_vec()?,
+            stragglers: self.id_vec()?,
+            train_loss: self.f64_map()?,
+            duration: self.f64_map()?,
+            update_sketch: self.sketch_map()?,
+            global_accuracy: self.f64()?,
+        })
+    }
+
+    fn guard(&mut self) -> Result<GuardSnapshot, FlError> {
+        let n = self.len(1)?;
+        let mut parties = Vec::with_capacity(n);
+        for _ in 0..n {
+            parties.push(GuardPartySnapshot {
+                job: self.u64()?,
+                party: self.u64()?,
+                state: self.breaker_state()?,
+                strikes: self.u32()?,
+                opens_left: self.u64()?,
+                tokens: match self.u8()? {
+                    0 => None,
+                    1 => Some(self.u32()?),
+                    b => return Err(bad(format!("invalid option tag {b:#04x} in checkpoint"))),
+                },
+            });
+        }
+        let n = self.len(1)?;
+        let mut jobs = Vec::with_capacity(n);
+        for _ in 0..n {
+            jobs.push(GuardJobSnapshot {
+                job: self.u64()?,
+                admitted: self.u32()?,
+                budget: match self.u8()? {
+                    0 => None,
+                    1 => Some(self.u32()?),
+                    b => return Err(bad(format!("invalid option tag {b:#04x} in checkpoint"))),
+                },
+                opens: self.u64()?,
+            });
+        }
+        let n = self.len(25)?;
+        let mut transitions = Vec::with_capacity(n);
+        for _ in 0..n {
+            transitions.push(BreakerTransition {
+                job: self.u64()?,
+                party: self.u64()?,
+                open_index: self.u64()?,
+                to: self.breaker_state()?,
+            });
+        }
+        Ok(GuardSnapshot { parties, jobs, transitions })
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the snapshot: header (magic, version, checksum) then
+    /// the canonical payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(4096);
+        put_u64(&mut payload, self.tick);
+        put_bool(&mut payload, self.draining);
+        for w in stats_words(&self.stats) {
+            put_u64(&mut payload, w);
+        }
+        put_u64(&mut payload, self.jobs.len() as u64);
+        for job in &self.jobs {
+            put_u64(&mut payload, job.job);
+            put_f32_vec(&mut payload, &job.global);
+            put_f32_vec(&mut payload, &job.optimizer);
+            put_u64(&mut payload, job.active.len() as u64);
+            for &a in &job.active {
+                put_bool(&mut payload, a);
+            }
+            put_u64(&mut payload, job.history.len() as u64);
+            for r in &job.history {
+                put_record(&mut payload, r);
+            }
+            put_u64(&mut payload, job.feedback.len() as u64);
+            for fb in &job.feedback {
+                put_feedback(&mut payload, fb);
+            }
+            match &job.observed {
+                None => payload.push(0),
+                Some((samples, batches)) => {
+                    payload.push(1);
+                    put_u64(&mut payload, samples.len() as u64);
+                    for &s in samples {
+                        put_f64(&mut payload, s);
+                    }
+                    put_u64(&mut payload, batches.len() as u64);
+                    for &b in batches {
+                        put_u64(&mut payload, b as u64);
+                    }
+                }
+            }
+        }
+        match &self.guard {
+            None => payload.push(0),
+            Some(g) => {
+                payload.push(1);
+                put_guard(&mut payload, g);
+            }
+        }
+        put_u64(&mut payload, self.codec_refs.len() as u64);
+        for r in &self.codec_refs {
+            put_u32(&mut payload, r.link);
+            put_u64(&mut payload, r.job);
+            put_u64(&mut payload, r.ref_round);
+            put_f32_vec(&mut payload, &r.params);
+        }
+
+        let mut out = Vec::with_capacity(16 + payload.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u32(&mut out, CHECKPOINT_VERSION);
+        put_u64(&mut out, fnv1a(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserializes a snapshot, validating magic, version, checksum and
+    /// every field — the function either returns a complete, internally
+    /// consistent [`Checkpoint`] or an error, never anything partial,
+    /// and never panics on hostile input.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Codec`] on any malformation: wrong magic, unknown
+    /// version, checksum mismatch, truncation, impossible lengths, bad
+    /// enum/option/bool tags, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, FlError> {
+        let mut c = Cursor::new(bytes);
+        let magic = c.bytes(4)?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(bad("not a FLIPS checkpoint (bad magic)"));
+        }
+        let version = c.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(bad(format!(
+                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+            )));
+        }
+        let checksum = c.u64()?;
+        let payload = &bytes[c.pos..];
+        if fnv1a(payload) != checksum {
+            return Err(bad("checkpoint checksum mismatch (corrupt or truncated snapshot)"));
+        }
+
+        let tick = c.u64()?;
+        let draining = c.bool()?;
+        let mut words = [0u64; 17];
+        for w in &mut words {
+            *w = c.u64()?;
+        }
+        let stats = DriverStats {
+            frames_sent: words[0],
+            frames_received: words[1],
+            bytes_sent: words[2],
+            bytes_received: words[3],
+            corrupt_frames: words[4],
+            codec_mismatch_frames: words[5],
+            unknown_job_frames: words[6],
+            rejected_messages: words[7],
+            late_updates: words[8],
+            oversized_frames: words[9],
+            rate_limited_frames: words[10],
+            breaker_dropped_frames: words[11],
+            admission_refused_frames: words[12],
+            parties_ejected: words[13],
+            drain_refused_selections: words[14],
+            links_lost: words[15],
+            links_resumed: words[16],
+        };
+
+        let n = c.len(1)?;
+        let mut jobs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let job = c.u64()?;
+            let global = c.f32_vec()?;
+            let optimizer = c.f32_vec()?;
+            let an = c.len(1)?;
+            let mut active = Vec::with_capacity(an);
+            for _ in 0..an {
+                active.push(c.bool()?);
+            }
+            let hn = c.len(1)?;
+            let mut history = Vec::with_capacity(hn);
+            for _ in 0..hn {
+                history.push(c.record()?);
+            }
+            let fn_ = c.len(1)?;
+            let mut feedback = Vec::with_capacity(fn_);
+            for _ in 0..fn_ {
+                feedback.push(c.feedback()?);
+            }
+            let observed = match c.u8()? {
+                0 => None,
+                1 => {
+                    let sn = c.len(8)?;
+                    let mut samples = Vec::with_capacity(sn);
+                    for _ in 0..sn {
+                        samples.push(c.f64()?);
+                    }
+                    let bn = c.len(8)?;
+                    let mut batches = Vec::with_capacity(bn);
+                    for _ in 0..bn {
+                        batches.push(c.usize()?);
+                    }
+                    Some((samples, batches))
+                }
+                b => return Err(bad(format!("invalid option tag {b:#04x} in checkpoint"))),
+            };
+            jobs.push(JobSnapshot { job, global, optimizer, active, history, feedback, observed });
+        }
+
+        let guard = match c.u8()? {
+            0 => None,
+            1 => Some(c.guard()?),
+            b => return Err(bad(format!("invalid option tag {b:#04x} in checkpoint"))),
+        };
+
+        let rn = c.len(24)?;
+        let mut codec_refs = Vec::with_capacity(rn);
+        for _ in 0..rn {
+            codec_refs.push(CodecRefSnapshot {
+                link: c.u32()?,
+                job: c.u64()?,
+                ref_round: c.u64()?,
+                params: c.f32_vec()?,
+            });
+        }
+
+        if c.remaining() != 0 {
+            return Err(bad(format!("{} trailing bytes after checkpoint payload", c.remaining())));
+        }
+        Ok(Checkpoint { tick, draining, stats, jobs, guard, codec_refs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut fb = RoundFeedback::for_round(0, vec![2, 0, 1], vec![0, 2], vec![1], 0.5);
+        fb.train_loss.insert(0, 1.25);
+        fb.train_loss.insert(2, 0.75);
+        fb.duration.insert(0, 3.0);
+        fb.duration.insert(2, 4.5);
+        fb.update_sketch.insert(0, vec![1.0, -2.0]);
+        fb.update_sketch.insert(2, vec![f32::NAN, 0.0]);
+        Checkpoint {
+            tick: 42,
+            draining: true,
+            stats: DriverStats {
+                frames_sent: 10,
+                bytes_sent: 999,
+                links_lost: 2,
+                links_resumed: 1,
+                ..DriverStats::default()
+            },
+            jobs: vec![JobSnapshot {
+                job: 0xF11F,
+                global: vec![0.5, -0.25, f32::INFINITY],
+                optimizer: vec![1.0, 2.0],
+                active: vec![true, false, true],
+                history: vec![RoundRecord {
+                    round: 0,
+                    selected: vec![2, 0, 1],
+                    completed: vec![0, 2],
+                    stragglers: vec![1],
+                    accuracy: 0.5,
+                    per_label_recall: vec![Some(0.25), None, Some(1.0)],
+                    mean_train_loss: 1.0,
+                    bytes_down: 100,
+                    bytes_up: 50,
+                    round_duration: 2.5,
+                }],
+                feedback: vec![fb],
+                observed: Some((vec![0.1, 0.2], vec![2])),
+            }],
+            guard: Some(GuardSnapshot {
+                parties: vec![GuardPartySnapshot {
+                    job: 0xF11F,
+                    party: 1,
+                    state: BreakerState::Open,
+                    strikes: 3,
+                    opens_left: 2,
+                    tokens: Some(7),
+                }],
+                jobs: vec![GuardJobSnapshot {
+                    job: 0xF11F,
+                    admitted: 5,
+                    budget: Some(48),
+                    opens: 1,
+                }],
+                transitions: vec![BreakerTransition {
+                    job: 0xF11F,
+                    party: 1,
+                    open_index: 1,
+                    to: BreakerState::Open,
+                }],
+            }),
+            codec_refs: vec![CodecRefSnapshot {
+                link: 1,
+                job: 0xF11F,
+                ref_round: 0,
+                params: vec![0.5, -0.25, f32::INFINITY],
+            }],
+        }
+    }
+
+    /// f32 NaNs break PartialEq; compare snapshots through their
+    /// canonical encodings instead.
+    fn assert_same(a: &Checkpoint, b: &Checkpoint) {
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn round_trips_a_representative_snapshot() {
+        let cp = sample();
+        let bytes = cp.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_same(&cp, &back);
+        assert_eq!(back.stats.links_lost, 2);
+        assert_eq!(back.jobs[0].observed, Some((vec![0.1, 0.2], vec![2])));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = sample().encode();
+        // The header's checksum protects the payload; flips inside the
+        // header itself break magic/version/checksum directly.
+        for i in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[i] ^= 0x01;
+            assert!(Checkpoint::decode(&evil).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        // The checksum already catches the altered payload slice.
+        assert!(Checkpoint::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn foreign_magic_and_future_versions_are_refused() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(Checkpoint::decode(&bytes).is_err());
+        let mut bytes = sample().encode();
+        bytes[4] = 0xFF;
+        assert!(Checkpoint::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefixes_cannot_force_allocation() {
+        // A payload claiming 2^60 jobs must fail fast on the length
+        // guard, not attempt the allocation.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // tick
+        payload.push(0); // draining
+        for _ in 0..17 {
+            put_u64(&mut payload, 0);
+        }
+        put_u64(&mut payload, 1 << 60); // jobs count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u32(&mut bytes, CHECKPOINT_VERSION);
+        put_u64(&mut bytes, fnv1a(&payload));
+        bytes.extend_from_slice(&payload);
+        assert!(Checkpoint::decode(&bytes).is_err());
+    }
+}

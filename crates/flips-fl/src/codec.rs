@@ -495,6 +495,40 @@ impl PayloadCodec {
         Ok(out)
     }
 
+    /// Forcibly re-keys the reference to `params` at `round` — the
+    /// resume/restore path, where both ends of a wire deterministically
+    /// resynchronize to the last mutually-acknowledged global model.
+    /// Returns `false` (state untouched) when the length violates
+    /// [`PayloadCodec::set_expected_len`] or the codec keeps no
+    /// reference at all. The rebroadcast pointer hint is invalidated:
+    /// the next encode against these bits takes the ordinary delta path,
+    /// which emits the identical byte stream.
+    pub fn force_reference(&mut self, round: u64, params: &[f32]) -> bool {
+        if !self.codec.tracks_reference() {
+            return false;
+        }
+        if self.expected_len.is_some_and(|l| l != params.len()) {
+            return false;
+        }
+        self.reference.clear();
+        self.reference.extend_from_slice(params);
+        self.ref_round = round;
+        self.has_reference = true;
+        self.ref_src = (0, 0);
+        self.true_ref.clear();
+        self.pairs.clear();
+        self.topk_inline = false;
+        true
+    }
+
+    /// The current reference model, as `(round, params)` — what a
+    /// checkpoint records so a restored sender re-keys to the exact bits
+    /// (for the top-k tier that is the lossy *reconstruction*, which is
+    /// precisely what the next delta must be computed against).
+    pub fn reference_snapshot(&self) -> Option<(u64, &[f32])> {
+        self.has_reference.then_some((self.ref_round, self.reference.as_slice()))
+    }
+
     fn set_reference(&mut self, round: u64, params: &[f32]) {
         self.reference.clear();
         self.reference.extend_from_slice(params);
@@ -1020,6 +1054,26 @@ impl CodecMap {
             Some(pc) => pc,
             None => &mut self.fallback,
         }
+    }
+
+    /// Re-keys a registered job's reference (see
+    /// [`PayloadCodec::force_reference`]). Returns `false` when the job
+    /// has no registered codec, the codec keeps no reference, or the
+    /// length violates the job's architecture bound.
+    pub fn seed_reference(&mut self, job: u64, round: u64, params: &[f32]) -> bool {
+        self.jobs.get_mut(&job).is_some_and(|pc| pc.force_reference(round, params))
+    }
+
+    /// Every established reference in the map, as
+    /// `(job, ref_round, params)` ascending by job — the checkpoint's
+    /// view of one link's delta state.
+    pub fn reference_snapshots(&self) -> Vec<(u64, u64, Vec<f32>)> {
+        self.jobs
+            .iter()
+            .filter_map(|(&job, pc)| {
+                pc.reference_snapshot().map(|(round, params)| (job, round, params.to_vec()))
+            })
+            .collect()
     }
 }
 

@@ -144,6 +144,16 @@ pub struct Coordinator {
     finished: bool,
     /// Reused per-update delta buffer for selector sketches.
     delta_buf: Vec<f32>,
+    /// Roster availability mask: `active[p]` is flipped by
+    /// [`Event::PartyLeft`] / [`Event::PartyJoined`] and filters every
+    /// selection (the policy keeps drawing from the full roster so its
+    /// random stream — and therefore every seeded history — is
+    /// churn-independent).
+    active: Vec<bool>,
+    /// Every [`RoundFeedback`] delivered to the selector, in order — the
+    /// replay tape a checkpoint restore uses to rebuild selector state
+    /// deterministically.
+    feedback_log: Vec<RoundFeedback>,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -219,6 +229,8 @@ impl Coordinator {
             open: None,
             finished: false,
             delta_buf: Vec::new(),
+            active: vec![true; num_parties],
+            feedback_log: Vec::new(),
             config,
         })
     }
@@ -264,6 +276,118 @@ impl Coordinator {
         self.open.as_ref().map_or(0, |o| o.heartbeats.len())
     }
 
+    /// The roster availability mask — `false` entries have
+    /// [left](Event::PartyLeft) and are excluded from selection.
+    pub fn active_mask(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// The selector feedback delivered so far, one entry per closed
+    /// round — the checkpoint replay tape.
+    pub fn feedback_log(&self) -> &[RoundFeedback] {
+        &self.feedback_log
+    }
+
+    /// The server optimizer's persistent words (empty for
+    /// FedAvg/FedProx) — see [`ServerState::export_optimizer`].
+    pub fn export_optimizer(&self) -> Vec<f32> {
+        self.server.export_optimizer()
+    }
+
+    /// Restores a freshly-constructed coordinator to the state it had
+    /// after its last closed round: the history and feedback tapes, the
+    /// global model, the server optimizer words and the availability
+    /// mask, with the selector rebuilt by *replaying* its event stream
+    /// (one `select` + one `report` per closed round) — selectors are
+    /// deterministic given seed + feedback, so replay reproduces their
+    /// internal state bit-exactly without serializing it.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Protocol`] when this coordinator already made progress
+    /// (restore targets a fresh twin of the crashed instance);
+    /// [`FlError::InvalidConfig`] on tape/model/mask shapes that do not
+    /// fit this job's configuration. On error the coordinator must be
+    /// discarded — the selector may be partially replayed.
+    pub fn restore(
+        &mut self,
+        history: Vec<RoundRecord>,
+        feedback: Vec<RoundFeedback>,
+        global: Vec<f32>,
+        optimizer_state: &[f32],
+        active: &[bool],
+    ) -> Result<(), FlError> {
+        if self.round != 0 || self.open.is_some() || !self.history.is_empty() {
+            return Err(FlError::Protocol("restore requires a fresh coordinator".into()));
+        }
+        if history.len() != feedback.len() {
+            return Err(FlError::InvalidConfig(format!(
+                "history has {} rounds but feedback has {}",
+                history.len(),
+                feedback.len()
+            )));
+        }
+        if history.len() > self.config.rounds {
+            return Err(FlError::InvalidConfig(format!(
+                "snapshot has {} closed rounds, job budget is {}",
+                history.len(),
+                self.config.rounds
+            )));
+        }
+        if global.len() != self.global.len() {
+            return Err(FlError::InvalidConfig(format!(
+                "snapshot model has {} params, architecture has {}",
+                global.len(),
+                self.global.len()
+            )));
+        }
+        if active.len() != self.num_parties {
+            return Err(FlError::InvalidConfig(format!(
+                "snapshot mask covers {} parties, roster has {}",
+                active.len(),
+                self.num_parties
+            )));
+        }
+        for (r, fb) in feedback.iter().enumerate() {
+            if fb.round != r {
+                return Err(FlError::InvalidConfig(format!(
+                    "feedback tape out of order: entry {r} is for round {}",
+                    fb.round
+                )));
+            }
+        }
+        if !self.server.import_optimizer(optimizer_state) {
+            return Err(FlError::InvalidConfig(
+                "snapshot optimizer state does not fit the algorithm".into(),
+            ));
+        }
+        // Replay the selector's whole life: the pick of each closed
+        // round (discarded — the outcome is already on the tape) and the
+        // feedback it learned from.
+        for (r, fb) in feedback.iter().enumerate() {
+            let _ = self.selector.select(r, self.config.parties_per_round)?;
+            self.selector.report(fb);
+        }
+        // Availability is re-announced after replay so a policy that
+        // listens sees the roster as it stood at the checkpoint.
+        for (p, &a) in active.iter().enumerate() {
+            if !a {
+                self.selector.set_available(p, false);
+            }
+        }
+        self.global = global;
+        self.eval_model.set_params(&self.global)?;
+        self.round = history.len();
+        self.finished = self.round == self.config.rounds;
+        self.history = History::new();
+        for record in history {
+            self.history.push(record);
+        }
+        self.feedback_log = feedback;
+        self.active = active.to_vec();
+        Ok(())
+    }
+
     /// Opens the next round: runs the selection policy and emits one
     /// [`WireMessage::SelectionNotice`] and one
     /// [`WireMessage::GlobalModel`] per selected party.
@@ -302,6 +426,25 @@ impl Coordinator {
         if selected.is_empty() {
             return Err(FlError::InvalidConfig("selector returned no parties".into()));
         }
+        // Churn filter: departed parties drop out of the pick (selection
+        // order preserved; the policy's stream is never perturbed). If
+        // churn emptied the pick entirely, fall back to the first `Nr`
+        // available slots in index order so the job keeps making
+        // progress as long as anyone is left.
+        if self.active.iter().any(|&a| !a) {
+            selected.retain(|&p| self.active[p]);
+            if selected.is_empty() {
+                selected = (0..self.num_parties)
+                    .filter(|&p| self.active[p])
+                    .take(self.config.parties_per_round)
+                    .collect();
+            }
+            if selected.is_empty() {
+                return Err(FlError::Protocol(
+                    "no parties available: the whole roster left".into(),
+                ));
+            }
+        }
 
         let round = self.round as u64;
         let job = self.config.job_id;
@@ -327,7 +470,7 @@ impl Coordinator {
         }
         self.open = Some(OpenRound {
             round,
-            selected_set: seen,
+            selected_set: selected.iter().copied().collect(),
             pending: selected.iter().copied().collect(),
             selected,
             updates: Vec::new(),
@@ -367,6 +510,26 @@ impl Coordinator {
                 } else {
                     Ok(Vec::new())
                 }
+            }
+            Event::PartyJoined(party) => {
+                // Only a known roster slot can (re)join; an unknown id is
+                // a benign no-op, as is a join of an already-active slot.
+                if party < self.num_parties && !self.active[party] {
+                    self.active[party] = true;
+                    self.selector.set_available(party, true);
+                }
+                Ok(Vec::new())
+            }
+            Event::PartyLeft(party) => {
+                if party < self.num_parties && self.active[party] {
+                    self.active[party] = false;
+                    self.selector.set_available(party, false);
+                    // Departure mid-round doubles as a drop: the open
+                    // round stops waiting and closes it out as a
+                    // straggler.
+                    return self.handle(Event::PartyDropped(party));
+                }
+                Ok(Vec::new())
             }
         }
     }
@@ -528,6 +691,7 @@ impl Coordinator {
                 .update_sketch
                 .insert(*p, sketch_update(&self.delta_buf, self.config.sketch_dim));
         }
+        self.feedback_log.push(feedback.clone());
         self.selector.report(&feedback);
 
         // Stragglers are told to stop working on the now-closed round.

@@ -31,6 +31,7 @@
 //! over this path is bit-identical to the same seed under `FlJob` (see
 //! `tests/protocol_equivalence.rs`).
 
+use crate::checkpoint::{Checkpoint, CodecRefSnapshot, JobSnapshot};
 use crate::codec::{CodecMap, ModelCodec, Negotiation, Role};
 use crate::config::DeadlinePolicy;
 use crate::coordinator::Coordinator;
@@ -141,6 +142,11 @@ pub struct DriverStats {
     pub parties_ejected: u64,
     /// Round opens refused because the driver was draining.
     pub drain_refused_selections: u64,
+    /// Links whose peer died mid-run (EOF/reset/probe timeout) and whose
+    /// slot state was parked awaiting a resume.
+    pub links_lost: u64,
+    /// Parked links a reconnecting peer successfully re-attached to.
+    pub links_resumed: u64,
 }
 
 /// The final snapshot a drained driver reports (see
@@ -302,6 +308,14 @@ pub struct MultiJobDriver<T: Transport> {
     /// Graceful drain: open rounds finish, new opens are refused.
     draining: bool,
     started: bool,
+    /// Deferred-open mode (strictly opt-in): a closed round queues its
+    /// job here instead of reopening inline, so the caller can observe
+    /// — and checkpoint — the round boundary before the next round's
+    /// frames exist. See [`MultiJobDriver::set_deferred_opens`].
+    deferred_opens: bool,
+    /// Jobs whose next open is queued (close order; drained by
+    /// [`MultiJobDriver::open_pending`]).
+    pending_open: Vec<u64>,
 }
 
 impl<T: Transport> std::fmt::Debug for MultiJobDriver<T> {
@@ -328,6 +342,8 @@ impl<T: Transport> MultiJobDriver<T> {
             guard: None,
             draining: false,
             started: false,
+            deferred_opens: false,
+            pending_open: Vec::new(),
         }
     }
 
@@ -840,7 +856,11 @@ impl<T: Transport> MultiJobDriver<T> {
             }
         }
         if reopen {
-            self.open_next_round(job_id)?;
+            if self.deferred_opens {
+                self.pending_open.push(job_id);
+            } else {
+                self.open_next_round(job_id)?;
+            }
         }
         Ok(())
     }
@@ -918,6 +938,250 @@ impl<T: Transport> MultiJobDriver<T> {
     /// warm-up round).
     pub fn current_deadline(&self, job: u64) -> Option<f64> {
         self.jobs.get(&job).and_then(|j| j.current_deadline)
+    }
+
+    /// Switches round reopening to deferred mode: a closed round queues
+    /// its job on [`MultiJobDriver::open_pending`] instead of opening the
+    /// next round inline, exposing the round boundary to the caller
+    /// (the checkpoint hook). Opens still happen in close order, after
+    /// the pump drains — chaos indices and seeded histories are
+    /// unchanged, because chaos draws only against uplink frames and the
+    /// uplink order is preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Protocol`] after [`MultiJobDriver::start`].
+    pub fn set_deferred_opens(&mut self, deferred: bool) -> Result<(), FlError> {
+        if self.started {
+            return Err(FlError::Protocol("cannot change open mode on a started driver".into()));
+        }
+        self.deferred_opens = deferred;
+        Ok(())
+    }
+
+    /// Whether any job's next round open is queued (deferred mode only).
+    pub fn has_pending_opens(&self) -> bool {
+        !self.pending_open.is_empty()
+    }
+
+    /// Opens every queued round (close order) and sends its frames.
+    ///
+    /// # Errors
+    ///
+    /// Selection and transport failures propagate.
+    pub fn open_pending(&mut self) -> Result<(), FlError> {
+        let pending = std::mem::take(&mut self.pending_open);
+        for job_id in pending {
+            self.open_next_round(job_id)?;
+        }
+        Ok(())
+    }
+
+    /// Whether every job sits at a round boundary (no round open) — the
+    /// only state a [`MultiJobDriver::checkpoint`] can capture.
+    pub fn at_round_boundary(&self) -> bool {
+        self.jobs.values().all(|j| j.coordinator.open_cohort().is_none())
+    }
+
+    /// The transport lost a link's peer; its slot state was parked. Pure
+    /// accounting — the net runtime calls this when it detects link
+    /// death.
+    pub fn note_link_lost(&mut self) {
+        self.stats.links_lost += 1;
+    }
+
+    /// A parked link's peer reconnected and resumed its session.
+    pub fn note_link_resumed(&mut self) {
+        self.stats.links_resumed += 1;
+    }
+
+    /// A party left `job` for good: the coordinator stops selecting it
+    /// (closing it out of any open round as a straggler) and its guard
+    /// state — breaker, strikes, rate-limit bucket — retires with it.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] for an unregistered job; close/reopen
+    /// failures propagate (departure can complete an open round).
+    pub fn party_left(&mut self, job: u64, party: PartyId) -> Result<(), FlError> {
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return Err(FlError::InvalidConfig(format!("job id {job:#x} not registered")));
+        };
+        let effects = state.coordinator.handle(Event::PartyLeft(party))?;
+        if let Some(guard) = &mut self.guard {
+            guard.retire(job, party as u64);
+        }
+        self.apply_effects(job, effects)
+    }
+
+    /// A departed roster slot rejoined `job`: eligible again at the next
+    /// round open, with fresh guard state (like a first-seen party).
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] for an unregistered job.
+    pub fn party_joined(&mut self, job: u64, party: PartyId) -> Result<(), FlError> {
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return Err(FlError::InvalidConfig(format!("job id {job:#x} not registered")));
+        };
+        let effects = state.coordinator.handle(Event::PartyJoined(party))?;
+        self.apply_effects(job, effects)
+    }
+
+    /// Captures a [`Checkpoint`] of the whole coordinator plane at a
+    /// round boundary: per-job protocol state (model, optimizer,
+    /// roster mask, history + feedback tapes, observed-latency store),
+    /// the wire counters and virtual tick, the guard plane, and every
+    /// link's delta-codec reference.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Protocol`] unless every job is at a round boundary
+    /// (checkpoints of half-open rounds cannot restore bit-identically —
+    /// in-flight frames are not capturable state).
+    pub fn checkpoint(&self) -> Result<Checkpoint, FlError> {
+        if !self.at_round_boundary() {
+            return Err(FlError::Protocol(
+                "checkpoint requires a round boundary (a round is open)".into(),
+            ));
+        }
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|(&id, state)| JobSnapshot {
+                job: id,
+                global: state.coordinator.global_params().to_vec(),
+                optimizer: state.coordinator.export_optimizer(),
+                active: state.coordinator.active_mask().to_vec(),
+                history: state.coordinator.history().records().to_vec(),
+                feedback: state.coordinator.feedback_log().to_vec(),
+                observed: match &state.deadline {
+                    DeadlineSource::Injected(_) => None,
+                    DeadlineSource::Observed { observed, .. } => {
+                        let (samples, batches) = observed.parts();
+                        Some((samples.to_vec(), batches.to_vec()))
+                    }
+                },
+            })
+            .collect();
+        let mut codec_refs = Vec::new();
+        for (link, map) in self.codecs.iter().enumerate() {
+            for (job, ref_round, params) in map.reference_snapshots() {
+                codec_refs.push(CodecRefSnapshot { link: link as u32, job, ref_round, params });
+            }
+        }
+        Ok(Checkpoint {
+            tick: self.wheel.now(),
+            draining: self.draining,
+            stats: self.stats,
+            jobs,
+            guard: self.guard.as_ref().map(GuardPlane::export),
+            codec_refs,
+        })
+    }
+
+    /// Restores a freshly-built driver (same jobs, same guard config,
+    /// same transport shape) to a checkpointed round boundary. After
+    /// this, [`MultiJobDriver::start`] opens each unfinished job's next
+    /// round exactly as the uninterrupted run would have — same
+    /// selections, same victims, same deadline ticks, and (via the
+    /// re-keyed per-link references) the same encoded bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::Protocol`] on a started driver;
+    /// [`FlError::InvalidConfig`] when the snapshot does not fit this
+    /// driver's configuration (job set, deadline sources, guard
+    /// presence, link count, codec kinds, model shapes). On error the
+    /// driver must be discarded — selectors may be partially replayed.
+    pub fn restore(&mut self, cp: &Checkpoint) -> Result<(), FlError> {
+        if self.started {
+            return Err(FlError::Protocol("cannot restore a started driver".into()));
+        }
+        let snapshot_ids: Vec<u64> = cp.jobs.iter().map(|j| j.job).collect();
+        let registered: Vec<u64> = self.jobs.keys().copied().collect();
+        if snapshot_ids != registered {
+            return Err(FlError::InvalidConfig(format!(
+                "checkpoint covers jobs {snapshot_ids:x?}, driver has {registered:x?}"
+            )));
+        }
+        match (&self.guard, &cp.guard) {
+            (Some(_), Some(_)) | (None, None) => {}
+            (Some(_), None) => {
+                return Err(FlError::InvalidConfig(
+                    "driver has a guard plane but the checkpoint carries none".into(),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(FlError::InvalidConfig(
+                    "checkpoint carries guard state but no guard is installed".into(),
+                ));
+            }
+        }
+        for snap in &cp.jobs {
+            let state = self.jobs.get_mut(&snap.job).expect("id sets match");
+            state.coordinator.restore(
+                snap.history.clone(),
+                snap.feedback.clone(),
+                snap.global.clone(),
+                &snap.optimizer,
+                &snap.active,
+            )?;
+            match (&mut state.deadline, &snap.observed) {
+                (DeadlineSource::Injected(clock), None) => {
+                    // The clock is stateful (its RNG advances once per
+                    // round open, in round order) — replay each closed
+                    // round's open against the recorded cohort.
+                    for record in &snap.history {
+                        let _ = clock.missed_deadline(&record.selected, &state.latency);
+                    }
+                }
+                (DeadlineSource::Observed { observed, .. }, Some((samples, batches))) => {
+                    *observed = ObservedLatency::from_parts(samples.clone(), batches.clone())
+                        .ok_or_else(|| {
+                            FlError::InvalidConfig(
+                                "checkpoint observed-latency store is inconsistent".into(),
+                            )
+                        })?;
+                }
+                (DeadlineSource::Injected(_), Some(_)) => {
+                    return Err(FlError::InvalidConfig(format!(
+                        "job {:#x} uses an injected clock but the checkpoint has latency samples",
+                        snap.job
+                    )));
+                }
+                (DeadlineSource::Observed { .. }, None) => {
+                    return Err(FlError::InvalidConfig(format!(
+                        "job {:#x} derives deadlines from latency but the checkpoint has no samples",
+                        snap.job
+                    )));
+                }
+            }
+            state.current_deadline = None;
+            state.sampled.clear();
+        }
+        if let (Some(guard), Some(snap)) = (&mut self.guard, &cp.guard) {
+            guard.import(snap.clone());
+        }
+        for r in &cp.codec_refs {
+            let links = self.codecs.len();
+            let Some(map) = self.codecs.get_mut(r.link as usize) else {
+                return Err(FlError::InvalidConfig(format!(
+                    "checkpoint re-keys link {}, transport has {links}",
+                    r.link
+                )));
+            };
+            if !map.seed_reference(r.job, r.ref_round, &r.params) {
+                return Err(FlError::InvalidConfig(format!(
+                    "cannot re-key job {:#x} on link {}: codec keeps no reference or shape differs",
+                    r.job, r.link
+                )));
+            }
+        }
+        self.stats = cp.stats;
+        self.draining = cp.draining;
+        self.wheel.now = cp.tick;
+        Ok(())
     }
 
     fn send_to_party(&mut self, to: PartyId, msg: &WireMessage) -> Result<(), FlError> {
@@ -1100,6 +1364,29 @@ impl<T: Transport> PartyPool<T> {
     /// differ from the same job's codec on a sibling link.
     pub fn pin_codec(&mut self, job: u64, codec: ModelCodec) {
         self.codecs.register(job, codec);
+    }
+
+    /// Re-keys a job's receive-side delta reference (resume/restore —
+    /// see [`CodecMap::seed_reference`]): both ends of the wire
+    /// resynchronize to the same last-acknowledged global, so the next
+    /// delta frame decodes against the exact bits it was encoded
+    /// against. Returns `false` when the job's codec keeps no reference
+    /// or the shape disagrees with the pinned architecture.
+    pub fn seed_reference(&mut self, job: u64, round: u64, params: &[f32]) -> bool {
+        self.codecs.seed_reference(job, round, params)
+    }
+
+    /// Registers one more endpoint on a live pool (a party rejoining
+    /// mid-job).
+    pub fn add_endpoint(&mut self, job: u64, endpoint: PartyEndpoint) {
+        self.endpoints.insert((job, endpoint.id()), endpoint);
+    }
+
+    /// Removes a departed party's endpoint; its inbound frames become
+    /// unroutable, exactly like a party that never existed. Returns the
+    /// endpoint for possible re-registration.
+    pub fn retire_endpoint(&mut self, job: u64, party: PartyId) -> Option<PartyEndpoint> {
+        self.endpoints.remove(&(job, party))
     }
 
     /// Processes every frame currently available: decode, route to the

@@ -35,6 +35,17 @@ pub enum Event {
     /// party simply closes as a straggler — but lets the coordinator stop
     /// waiting for it early.
     PartyDropped(PartyId),
+    /// A known roster slot (re)joined the job: the party becomes
+    /// eligible again at the next round open. Roster *growth* is not a
+    /// protocol event — slots are fixed at job agreement time; churn
+    /// toggles availability.
+    PartyJoined(PartyId),
+    /// A party left the job for good (graceful departure, operator
+    /// removal, resume timeout). Unlike [`Event::PartyDropped`] — a
+    /// transient per-round signal — a departed party is excluded from
+    /// every future selection until a matching [`Event::PartyJoined`],
+    /// and the driver retires its guard (breaker/rate-limit) state.
+    PartyLeft(PartyId),
 }
 
 /// An output of the coordinator state machine: an instruction to the

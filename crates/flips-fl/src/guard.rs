@@ -481,6 +481,117 @@ impl GuardPlane {
     pub fn transitions(&self) -> &[BreakerTransition] {
         &self.transitions
     }
+
+    /// Retires a party's guard state: its breaker, strike count and
+    /// token bucket leave with it. A churned party that later rejoins
+    /// starts from a clean slate, exactly like a party seen for the
+    /// first time.
+    pub fn retire(&mut self, job: u64, party: u64) {
+        self.parties.remove(&(job, party));
+    }
+
+    /// Snapshots the full mutable guard state (per-party breakers and
+    /// buckets, per-job budgets, the transition log) for a checkpoint.
+    /// The configuration is not included — a restore re-validates it
+    /// through [`GuardPlane::new`].
+    pub fn export(&self) -> GuardSnapshot {
+        GuardSnapshot {
+            parties: self
+                .parties
+                .iter()
+                .map(|(&(job, party), g)| GuardPartySnapshot {
+                    job,
+                    party,
+                    state: g.state,
+                    strikes: g.strikes,
+                    opens_left: g.opens_left,
+                    tokens: g.tokens,
+                })
+                .collect(),
+            jobs: self
+                .jobs
+                .iter()
+                .map(|(&job, j)| GuardJobSnapshot {
+                    job,
+                    admitted: j.admitted,
+                    budget: j.budget,
+                    opens: j.opens,
+                })
+                .collect(),
+            transitions: self.transitions.clone(),
+        }
+    }
+
+    /// Replaces the mutable guard state with a snapshot previously
+    /// produced by [`GuardPlane::export`] on a plane with the same
+    /// configuration.
+    pub fn import(&mut self, snapshot: GuardSnapshot) {
+        self.parties = snapshot
+            .parties
+            .into_iter()
+            .map(|p| {
+                (
+                    (p.job, p.party),
+                    PartyGuard {
+                        state: p.state,
+                        strikes: p.strikes,
+                        opens_left: p.opens_left,
+                        tokens: p.tokens,
+                    },
+                )
+            })
+            .collect();
+        self.jobs = snapshot
+            .jobs
+            .into_iter()
+            .map(|j| (j.job, JobGuard { admitted: j.admitted, budget: j.budget, opens: j.opens }))
+            .collect();
+        self.transitions = snapshot.transitions;
+    }
+}
+
+/// One party's guard state inside a [`GuardSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardPartySnapshot {
+    /// The job the guard belongs to.
+    pub job: u64,
+    /// The claimed sender the guard watches.
+    pub party: u64,
+    /// The breaker state.
+    pub state: BreakerState,
+    /// Strikes since the job's last round open.
+    pub strikes: u32,
+    /// Rounds left before an open breaker half-opens.
+    pub opens_left: u64,
+    /// Token bucket level (`None` = party not yet seen).
+    pub tokens: Option<u32>,
+}
+
+/// One job's guard state inside a [`GuardSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardJobSnapshot {
+    /// The job.
+    pub job: u64,
+    /// Frames admitted into the open round so far.
+    pub admitted: u32,
+    /// The open round's admission budget (`None` = unlimited).
+    pub budget: Option<u32>,
+    /// Round opens seen.
+    pub opens: u64,
+}
+
+/// The full mutable state of a [`GuardPlane`], as captured by
+/// [`GuardPlane::export`] — everything a checkpoint must carry so a
+/// restored run's guard verdicts replay bit-identically (open breakers,
+/// partial admission budgets and half-spent token buckets included).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuardSnapshot {
+    /// Per-`(job, party)` breaker/bucket state, ascending by key.
+    pub parties: Vec<GuardPartySnapshot>,
+    /// Per-job admission/open state, ascending by job.
+    pub jobs: Vec<GuardJobSnapshot>,
+    /// The transition log so far.
+    pub transitions: Vec<BreakerTransition>,
 }
 
 #[cfg(test)]

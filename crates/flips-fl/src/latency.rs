@@ -139,6 +139,26 @@ impl ObservedLatency {
         self.samples.is_empty()
     }
 
+    /// The raw samples in arrival order plus the sealed batch
+    /// boundaries — everything a checkpoint needs to rebuild this
+    /// sample set bit-exactly via [`ObservedLatency::from_parts`].
+    pub fn parts(&self) -> (&[f64], &[usize]) {
+        (&self.samples, &self.batches)
+    }
+
+    /// Rebuilds a sample set from [`ObservedLatency::parts`] output.
+    /// Returns `None` when the boundaries are not ascending end indices
+    /// into `samples` — a corrupt snapshot must not produce a sample
+    /// set the policies would misread.
+    pub fn from_parts(samples: Vec<f64>, batches: Vec<usize>) -> Option<Self> {
+        let ascending = batches.windows(2).all(|w| w[0] <= w[1])
+            && batches.last().is_none_or(|&b| b <= samples.len());
+        if !ascending || samples.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return None;
+        }
+        Some(ObservedLatency { dirty: !samples.is_empty(), samples, sorted: Vec::new(), batches })
+    }
+
     /// The `q`-quantile (0 ≤ q ≤ 1) of the observed samples, or `None`
     /// while no sample exists. Uses the nearest-rank method on the
     /// sorted multiset, so the result is independent of arrival order —

@@ -94,6 +94,7 @@
 
 pub mod aggregator;
 pub mod chaos;
+pub mod checkpoint;
 pub mod codec;
 pub mod config;
 pub mod coordinator;
@@ -113,6 +114,7 @@ pub mod transport;
 
 pub use aggregator::{FlJob, FlJobConfig, JobParts};
 pub use chaos::{ChaosAction, ChaosEvent, ChaosSchedule, ChaosTransport, ChaosWeights};
+pub use checkpoint::{Checkpoint, CodecRefSnapshot, JobSnapshot};
 pub use codec::{CodecMap, ModelCodec, Negotiation, PayloadCodec};
 pub use config::{DeadlinePolicy, FlAlgorithm, LocalTrainingConfig};
 pub use coordinator::{Coordinator, CoordinatorConfig};
@@ -123,7 +125,7 @@ pub use endpoint::PartyEndpoint;
 pub use events::{Effect, Event, RejectReason};
 pub use guard::{
     BreakerConfig, BreakerState, BreakerTransition, FrameKind, FrameVerdict, GuardConfig,
-    GuardPlane, OpenOutcome, RateLimit,
+    GuardJobSnapshot, GuardPartySnapshot, GuardPlane, GuardSnapshot, OpenOutcome, RateLimit,
 };
 pub use history::{History, RoundRecord};
 pub use latency::{LatencyModel, ObservedLatency};

@@ -158,6 +158,26 @@ impl ServerState {
             opt.reset();
         }
     }
+
+    /// Exports the aggregation plane's persistent state: the server
+    /// optimizer's accumulated moments/velocity, bit-exactly. The
+    /// averaging buffers (`accum`, `scratch`) are per-call scratch and
+    /// carry nothing across rounds, so the optimizer words are the
+    /// complete snapshot; FedAvg/FedProx (no optimizer) export empty.
+    pub fn export_optimizer(&self) -> Vec<f32> {
+        self.optimizer.as_ref().map_or_else(Vec::new, |o| o.export_state())
+    }
+
+    /// Restores state previously produced by
+    /// [`ServerState::export_optimizer`] on a server built for the same
+    /// algorithm. Returns `false` (state untouched) on a layout the
+    /// algorithm's optimizer rejects.
+    pub fn import_optimizer(&mut self, state: &[f32]) -> bool {
+        match &mut self.optimizer {
+            Some(opt) => opt.import_state(state),
+            None => state.is_empty(),
+        }
+    }
 }
 
 /// Convenience: one plain-SGD server step with learning rate 1 is exactly

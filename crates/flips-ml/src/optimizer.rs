@@ -36,6 +36,23 @@ pub trait Optimizer: Send {
 
     /// A short human-readable name, e.g. `"sgd"`.
     fn name(&self) -> &'static str;
+
+    /// Serializes the optimizer's accumulated state (moments, velocity,
+    /// step counters) as a flat `f32` word vector, bit-exactly. A
+    /// stateless optimizer exports an empty vector. The layout is
+    /// implementation-private: only [`Optimizer::import_state`] of the
+    /// same implementation understands it.
+    fn export_state(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by [`Optimizer::export_state`]
+    /// on an optimizer of the same kind and configuration. Returns
+    /// `false` (leaving the optimizer untouched) when the words cannot
+    /// be this implementation's layout.
+    fn import_state(&mut self, state: &[f32]) -> bool {
+        state.is_empty()
+    }
 }
 
 /// Stochastic gradient descent with optional classical momentum and weight
@@ -102,6 +119,15 @@ impl Optimizer for Sgd {
 
     fn name(&self) -> &'static str {
         "sgd"
+    }
+
+    fn export_state(&self) -> Vec<f32> {
+        self.velocity.clone()
+    }
+
+    fn import_state(&mut self, state: &[f32]) -> bool {
+        self.velocity = state.to_vec();
+        true
     }
 }
 
@@ -180,6 +206,29 @@ impl AdaptiveState {
         self.m.clear();
         self.v.clear();
     }
+
+    /// Layout: `[t_lo_bits, t_hi_bits, m…, v…]` — the step counter split
+    /// across two f32 bit patterns so the round-trip is exact for any
+    /// `u64`, followed by the two moment vectors (equal lengths).
+    fn export(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(2 + self.m.len() + self.v.len());
+        out.push(f32::from_bits(self.t as u32));
+        out.push(f32::from_bits((self.t >> 32) as u32));
+        out.extend_from_slice(&self.m);
+        out.extend_from_slice(&self.v);
+        out
+    }
+
+    fn import(&mut self, state: &[f32]) -> bool {
+        if state.len() < 2 || !(state.len() - 2).is_multiple_of(2) {
+            return false;
+        }
+        let n = (state.len() - 2) / 2;
+        self.t = u64::from(state[0].to_bits()) | (u64::from(state[1].to_bits()) << 32);
+        self.m = state[2..2 + n].to_vec();
+        self.v = state[2 + n..].to_vec();
+        true
+    }
 }
 
 macro_rules! adaptive_optimizer {
@@ -222,6 +271,14 @@ macro_rules! adaptive_optimizer {
 
             fn name(&self) -> &'static str {
                 $label
+            }
+
+            fn export_state(&self) -> Vec<f32> {
+                self.state.export()
+            }
+
+            fn import_state(&mut self, state: &[f32]) -> bool {
+                self.state.import(state)
             }
         }
     };
@@ -381,6 +438,47 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         let mut w = vec![1.0, 2.0];
         opt.step(&mut w, &[1.0]);
+    }
+
+    #[test]
+    fn exported_state_resumes_bit_identically() {
+        // Stepping an optimizer k times, exporting, importing into a
+        // fresh instance and stepping both once more must agree bitwise
+        // — the property the coordinator checkpoint rests on.
+        let fresh: [Box<dyn Optimizer>; 4] = [
+            Box::new(Sgd::with_momentum(0.05, 0.9)),
+            Box::new(Adam::new(0.05)),
+            Box::new(Yogi::new(0.05)),
+            Box::new(Adagrad::new(0.5)),
+        ];
+        for mut opt in fresh {
+            let mut w = vec![5.0f32, -3.0, 2.0];
+            for _ in 0..7 {
+                let g = quadratic_grad(&w);
+                opt.step(&mut w, &g);
+            }
+            let mut twin: Box<dyn Optimizer> = match opt.name() {
+                "sgd" => Box::new(Sgd::with_momentum(0.05, 0.9)),
+                "adam" => Box::new(Adam::new(0.05)),
+                "yogi" => Box::new(Yogi::new(0.05)),
+                _ => Box::new(Adagrad::new(0.5)),
+            };
+            assert!(twin.import_state(&opt.export_state()), "{} state imports", opt.name());
+            let mut w_twin = w.clone();
+            let g = quadratic_grad(&w);
+            opt.step(&mut w, &g);
+            twin.step(&mut w_twin, &g);
+            let same = w.iter().zip(&w_twin).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{} resumed step diverged", opt.name());
+        }
+    }
+
+    #[test]
+    fn import_state_rejects_malformed_words() {
+        let mut adam = Adam::new(0.05);
+        assert!(!adam.import_state(&[1.0]), "adaptive state needs the counter pair");
+        assert!(!adam.import_state(&[0.0, 0.0, 1.0]), "odd moment split rejected");
+        assert!(adam.import_state(&[0.0, 0.0]), "empty moments are a fresh optimizer");
     }
 
     #[test]

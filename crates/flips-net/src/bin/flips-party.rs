@@ -1,6 +1,7 @@
 //! The deployable FLIPS party worker.
 //!
-//! `flips-party <config.toml> [slot]` reads the *same* config as
+//! `flips-party <config.toml> [slot] [--resume] [--drop-after <n>]`
+//! reads the *same* config as
 //! `flips-server`, rebuilds the same seeded jobs, keeps the endpoints
 //! whose party id maps to its link slot (`p % links == slot`, default
 //! slot 0), connects out to the server and serves them with the
@@ -17,7 +18,7 @@
 //! Stdout: `CONNECTED <addr>`, `PARTY HEALTH <addr>` (when configured),
 //! then `PARTY COMPLETE parties=<n>` after a clean shutdown handshake.
 
-use flips_net::{connect_with_retry, party_loop, NetConfig, PartyJob};
+use flips_net::{connect_with_retry, party_loop_with, NetConfig, PartyJob, PartyOptions};
 use std::io::Write;
 use std::net::{TcpListener, ToSocketAddrs};
 use std::time::Duration;
@@ -44,8 +45,29 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let path = std::env::args().nth(1).ok_or("usage: flips-party <config.toml> [slot]")?;
-    let slot: usize = std::env::args().nth(2).map_or(Ok(0), |s| s.parse())?;
+    let mut resume = false;
+    let mut drop_after = None;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            // Fault-injection knob for the recovery smoke tests: sever
+            // the link once after this many received data frames and
+            // exercise the reconnect/resume path against a live server.
+            "--drop-after" => {
+                let n = args.next().ok_or("--drop-after needs a frame count")?;
+                drop_after = Some(n.parse::<u64>().map_err(|_| "--drop-after needs a number")?);
+                resume = true;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let path = positional
+        .first()
+        .ok_or("usage: flips-party <config.toml> [slot] [--resume] [--drop-after <frames>]")?
+        .clone();
+    let slot: usize = positional.get(1).map_or(Ok(0), |s| s.parse())?;
     let cfg = NetConfig::parse(&std::fs::read_to_string(&path)?)?;
     if slot >= cfg.links {
         return Err(format!(
@@ -98,7 +120,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     std::io::stdout().flush()?;
 
-    let pool = party_loop(stream, slot as u32, link_jobs, cfg.guard.as_ref(), health)?;
+    let opts =
+        PartyOptions { resume_addr: resume.then_some(addr), drop_after, ..PartyOptions::default() };
+    let pool = party_loop_with(stream, slot as u32, link_jobs, cfg.guard.as_ref(), health, &opts)?;
     if pool.unroutable() > 0 || pool.rejected() > 0 {
         eprintln!(
             "flips-party: slot {slot} counters: unroutable={} rejected={}",

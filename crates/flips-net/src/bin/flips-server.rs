@@ -1,10 +1,17 @@
 //! The deployable FLIPS coordinator.
 //!
-//! `flips-server <config.toml>` binds the config's listen address,
-//! waits for one `flips-party` process per link, runs every configured
-//! job to completion behind the epoll event loop — guard plane, health
-//! plane and all — then keeps the health endpoint up for final scrapes
-//! until killed.
+//! `flips-server <config.toml> [--checkpoint-dir <dir>] [--restore]`
+//! binds the config's listen address, waits for one `flips-party`
+//! process per link, runs every configured job to completion behind
+//! the epoll event loop — guard plane, health plane and all — then
+//! keeps the health endpoint up for final scrapes until killed.
+//!
+//! `--checkpoint-dir <dir>` turns on the failure-recovery plane:
+//! parties may reconnect and resume mid-run, and the coordinator
+//! snapshots its full round state into `<dir>/checkpoint.bin` at every
+//! round boundary. `--restore` (requires `--checkpoint-dir`) loads
+//! that snapshot and continues the run from it — the remaining rounds
+//! replay bit-identically to the uninterrupted run.
 //!
 //! Stdout is line-oriented and machine-readable (the e2e smoke test
 //! parses it): `LISTENING <addr>`, `HEALTH <addr>`, one `JOB <id>
@@ -13,7 +20,10 @@
 use flips_net::{render_server_metrics, request_path, serve, NetConfig, ServerOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::time::Duration;
+
+const USAGE: &str = "usage: flips-server <config.toml> [--checkpoint-dir <dir>] [--restore]";
 
 fn main() {
     if let Err(e) = run() {
@@ -23,7 +33,25 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let path = std::env::args().nth(1).ok_or("usage: flips-server <config.toml>")?;
+    let mut config_path: Option<String> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut restore = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint-dir" => {
+                let dir = args.next().ok_or("--checkpoint-dir needs a directory")?;
+                checkpoint_dir = Some(PathBuf::from(dir));
+            }
+            "--restore" => restore = true,
+            _ if config_path.is_none() => config_path = Some(arg),
+            _ => return Err(USAGE.into()),
+        }
+    }
+    let path = config_path.ok_or(USAGE)?;
+    if restore && checkpoint_dir.is_none() {
+        return Err("--restore requires --checkpoint-dir".into());
+    }
     let cfg = NetConfig::parse(&std::fs::read_to_string(&path)?)?;
 
     let listener = TcpListener::bind(&cfg.listen)?;
@@ -53,6 +81,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut opts = ServerOptions::new(cfg.links);
     opts.guard = cfg.guard;
     opts.link_codecs = link_codecs;
+    if let Some(dir) = checkpoint_dir {
+        // The checkpoint plane implies the resume plane: a server that
+        // snapshots rounds also parks dead links for reconnects.
+        opts.resume = true;
+        if restore {
+            let file = dir.join(flips_net::CHECKPOINT_FILE);
+            let bytes = std::fs::read(&file)
+                .map_err(|e| format!("cannot read checkpoint {}: {e}", file.display()))?;
+            let cp = flips_fl::Checkpoint::decode(&bytes)?;
+            eprintln!("flips-server: restoring from {} (tick {})", file.display(), cp.tick);
+            opts.restore = Some(cp);
+        }
+        opts.checkpoint_dir = Some(dir);
+    }
     // The health listener is cloned so scrapes keep working after the
     // run: the event loop serves it while jobs are live, the tail loop
     // below serves it once they finish.
@@ -72,7 +114,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(listener) = health {
         let transitions = outcome.breaker_transitions.len() as u64;
         let jobs = outcome.histories.len() as u64;
-        let body = render_server_metrics(&outcome.stats, transitions, jobs, true);
+        let body = render_server_metrics(
+            &outcome.stats,
+            transitions,
+            outcome.checkpoint_rounds,
+            jobs,
+            true,
+        );
         listener.set_nonblocking(false)?;
         for conn in listener.incoming() {
             let Ok(stream) = conn else { continue };

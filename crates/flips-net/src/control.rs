@@ -10,18 +10,34 @@
 //! indices — see exactly the data-frame sequences the in-memory sharded
 //! runtime sees.
 //!
-//! Four messages exist:
+//! Six messages exist:
 //!
 //! - [`ControlMsg::Hello`] — the first frame on every party→server
 //!   connection, naming the link slot (shard) the connection serves.
 //!   Accept order over TCP is nondeterministic; the Hello makes link
-//!   identity explicit instead of accidental.
+//!   identity explicit instead of accidental. A fresh connection sends
+//!   session token 0; a *reconnecting* party presents the token its
+//!   [`ControlMsg::HelloAck`] issued plus its data-frame counters, and
+//!   the server re-attaches the connection to the parked link state and
+//!   retransmits exactly the frames the party never received.
+//! - [`ControlMsg::HelloAck`] — the server's answer to a Hello: the
+//!   session token to present on reconnect, the server's own data
+//!   counters (the party retransmits its unacknowledged frames from
+//!   `received` on), whether the session is fresh, and how many
+//!   [`ControlMsg::RefSync`] frames follow.
+//! - [`ControlMsg::RefSync`] — server→party delta-codec reference
+//!   seeding, used after a checkpoint restore: the restored server's
+//!   per-link codec references are pushed to the (fresh) party process
+//!   so both wire ends re-key to the same reference model before the
+//!   first data frame.
 //! - [`ControlMsg::StatusReq`] / [`ControlMsg::Status`] — the
 //!   quiescence probe (see [`crate::server`]'s module docs). A party
 //!   answers a probe only after fully pumping its pool, so per-link TCP
 //!   FIFO turns the reply into a barrier: every data frame the party
 //!   sent before the reply is already processed by the coordinator when
-//!   the reply is read.
+//!   the reply is read. Both directions carry the sender's data
+//!   counters, which double as retransmit acknowledgements: each side
+//!   prunes its retained-frame queue to the peer's `received`.
 //! - [`ControlMsg::Shutdown`] — the coordinator's end-of-run notice.
 
 use flips_fl::FlError;
@@ -35,19 +51,61 @@ const OP_HELLO: u8 = 0x01;
 const OP_STATUS_REQ: u8 = 0x02;
 const OP_STATUS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_HELLO_ACK: u8 = 0x05;
+const OP_REF_SYNC: u8 = 0x06;
 
 /// A link-control message (see the [module docs](self)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControlMsg {
-    /// Party → server: this connection serves link slot `shard`.
+    /// Party → server: this connection serves link slot `shard`. A
+    /// nonzero `token` claims an existing session (reconnect); the
+    /// counters tell the server what the party has already seen.
     Hello {
         /// The link slot, `0..links`.
         shard: u32,
+        /// Session token: 0 for a fresh connection, the
+        /// [`ControlMsg::HelloAck`]-issued token on reconnect.
+        token: u64,
+        /// Data frames this party has received on the link so far.
+        received: u64,
+        /// Data frames this party has sent on the link so far.
+        sent: u64,
     },
-    /// Server → party: report your frame counters (probe `seq`).
+    /// Server → party: the session handshake answer.
+    HelloAck {
+        /// The session token to present when reconnecting.
+        token: u64,
+        /// Data frames the server has received on this link so far —
+        /// the party retransmits its retained frames from here on.
+        received: u64,
+        /// Data frames the server has sent on this link so far.
+        sent: u64,
+        /// Whether this is a fresh session (`true`) or a resumed one.
+        fresh: bool,
+        /// How many [`ControlMsg::RefSync`] frames follow immediately.
+        ref_syncs: u32,
+    },
+    /// Server → party: seed the delta-codec reference for `job` (after
+    /// a checkpoint restore, so a fresh party decodes the restored
+    /// server's deltas).
+    RefSync {
+        /// The job whose codec reference is being seeded.
+        job: u64,
+        /// The round the reference was broadcast in.
+        round: u64,
+        /// The reference model parameters.
+        params: Vec<f32>,
+    },
+    /// Server → party: report your frame counters (probe `seq`). The
+    /// server's own counters ride along as retransmit
+    /// acknowledgements.
     StatusReq {
         /// Probe sequence number, echoed in the reply.
         seq: u64,
+        /// Data frames the server has received on this link so far.
+        received: u64,
+        /// Data frames the server has sent on this link so far.
+        sent: u64,
     },
     /// Party → server: counter snapshot taken *after* a full pool pump.
     Status {
@@ -72,16 +130,38 @@ impl ControlMsg {
     /// all little-endian). The length prefix is the stream transport's
     /// job, as for data frames.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(33);
+        let mut out = Vec::with_capacity(64);
         out.extend_from_slice(&NET_CONTROL_DEST.to_le_bytes());
         match self {
-            ControlMsg::Hello { shard } => {
+            ControlMsg::Hello { shard, token, received, sent } => {
                 out.push(OP_HELLO);
                 out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&token.to_le_bytes());
+                out.extend_from_slice(&received.to_le_bytes());
+                out.extend_from_slice(&sent.to_le_bytes());
             }
-            ControlMsg::StatusReq { seq } => {
+            ControlMsg::HelloAck { token, received, sent, fresh, ref_syncs } => {
+                out.push(OP_HELLO_ACK);
+                out.extend_from_slice(&token.to_le_bytes());
+                out.extend_from_slice(&received.to_le_bytes());
+                out.extend_from_slice(&sent.to_le_bytes());
+                out.push(u8::from(*fresh));
+                out.extend_from_slice(&ref_syncs.to_le_bytes());
+            }
+            ControlMsg::RefSync { job, round, params } => {
+                out.push(OP_REF_SYNC);
+                out.extend_from_slice(&job.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+                for p in params {
+                    out.extend_from_slice(&p.to_bits().to_le_bytes());
+                }
+            }
+            ControlMsg::StatusReq { seq, received, sent } => {
                 out.push(OP_STATUS_REQ);
                 out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&received.to_le_bytes());
+                out.extend_from_slice(&sent.to_le_bytes());
             }
             ControlMsg::Status { seq, received, sent } => {
                 out.push(OP_STATUS);
@@ -110,15 +190,61 @@ impl ControlMsg {
                 .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
                 .ok_or_else(|| FlError::Codec("control frame truncated".into()))
         };
+        let u32_at = |off: usize| -> Result<u32, FlError> {
+            body.get(off..off + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+                .ok_or_else(|| FlError::Codec("control frame truncated".into()))
+        };
         match body[0] {
-            OP_HELLO => {
-                let shard = body
-                    .get(1..5)
-                    .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
-                    .ok_or_else(|| FlError::Codec("hello frame truncated".into()))?;
-                Ok(ControlMsg::Hello { shard })
+            OP_HELLO => Ok(ControlMsg::Hello {
+                shard: u32_at(1)?,
+                token: u64_at(5)?,
+                received: u64_at(13)?,
+                sent: u64_at(21)?,
+            }),
+            OP_HELLO_ACK => {
+                let fresh = match body
+                    .get(25)
+                    .ok_or_else(|| FlError::Codec("hello-ack frame truncated".into()))?
+                {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(FlError::Codec(format!("hello-ack fresh byte {b} not 0/1")));
+                    }
+                };
+                Ok(ControlMsg::HelloAck {
+                    token: u64_at(1)?,
+                    received: u64_at(9)?,
+                    sent: u64_at(17)?,
+                    fresh,
+                    ref_syncs: u32_at(26)?,
+                })
             }
-            OP_STATUS_REQ => Ok(ControlMsg::StatusReq { seq: u64_at(1)? }),
+            OP_REF_SYNC => {
+                let job = u64_at(1)?;
+                let round = u64_at(9)?;
+                let len = u32_at(17)? as usize;
+                let raw = body
+                    .get(21..)
+                    .ok_or_else(|| FlError::Codec("ref-sync frame truncated".into()))?;
+                if raw.len() != len * 4 {
+                    return Err(FlError::Codec(format!(
+                        "ref-sync claims {len} params but carries {} bytes",
+                        raw.len()
+                    )));
+                }
+                let params = raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+                    .collect();
+                Ok(ControlMsg::RefSync { job, round, params })
+            }
+            OP_STATUS_REQ => Ok(ControlMsg::StatusReq {
+                seq: u64_at(1)?,
+                received: u64_at(9)?,
+                sent: u64_at(17)?,
+            }),
             OP_STATUS => {
                 Ok(ControlMsg::Status { seq: u64_at(1)?, received: u64_at(9)?, sent: u64_at(17)? })
             }
@@ -128,6 +254,19 @@ impl ControlMsg {
     }
 }
 
+/// The session token the server issues for link `slot`: a nonzero pure
+/// function of the slot, so a deterministic run issues deterministic
+/// tokens (token 0 is reserved to mean "fresh connection" in a
+/// [`ControlMsg::Hello`]).
+pub fn session_token(slot: u32) -> u64 {
+    let mut x = 0x5E55_1011_u64 ^ u64::from(slot);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,14 +274,21 @@ mod tests {
     #[test]
     fn control_messages_round_trip() {
         for msg in [
-            ControlMsg::Hello { shard: 3 },
-            ControlMsg::StatusReq { seq: 42 },
+            ControlMsg::Hello { shard: 3, token: 0, received: 0, sent: 0 },
+            ControlMsg::Hello { shard: 1, token: 0xDEAD, received: 42, sent: 17 },
+            ControlMsg::HelloAck { token: 7, received: 3, sent: 9, fresh: true, ref_syncs: 0 },
+            ControlMsg::HelloAck { token: 7, received: 3, sent: 9, fresh: false, ref_syncs: 2 },
+            ControlMsg::RefSync { job: 9, round: 4, params: vec![1.0, -2.5, f32::NAN] },
+            ControlMsg::RefSync { job: 9, round: 0, params: Vec::new() },
+            ControlMsg::StatusReq { seq: 42, received: 5, sent: 6 },
             ControlMsg::Status { seq: 42, received: 7, sent: 9 },
             ControlMsg::Shutdown,
         ] {
             let wire = msg.encode();
             assert!(is_control_frame(&wire));
-            assert_eq!(ControlMsg::decode(&wire).unwrap(), msg);
+            let decoded = ControlMsg::decode(&wire).unwrap();
+            // NaN payloads compare bit-wise through re-encoding.
+            assert_eq!(decoded.encode(), wire);
         }
     }
 
@@ -160,8 +306,43 @@ mod tests {
         let mut unknown = NET_CONTROL_DEST.to_le_bytes().to_vec();
         unknown.push(0x7F);
         assert!(ControlMsg::decode(&unknown).is_err());
-        let mut short = ControlMsg::Status { seq: 1, received: 2, sent: 3 }.encode();
-        short.truncate(20);
-        assert!(ControlMsg::decode(&short).is_err());
+        for msg in [
+            ControlMsg::Status { seq: 1, received: 2, sent: 3 },
+            ControlMsg::Hello { shard: 1, token: 2, received: 3, sent: 4 },
+            ControlMsg::HelloAck { token: 1, received: 2, sent: 3, fresh: true, ref_syncs: 4 },
+            ControlMsg::RefSync { job: 1, round: 2, params: vec![1.0, 2.0] },
+        ] {
+            let mut short = msg.encode();
+            short.truncate(short.len() - 1);
+            assert!(ControlMsg::decode(&short).is_err(), "truncated {msg:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn ref_sync_length_must_match_the_payload() {
+        let mut wire = ControlMsg::RefSync { job: 1, round: 2, params: vec![1.0, 2.0] }.encode();
+        // Claim three params while carrying two.
+        wire[8 + 17..8 + 21].copy_from_slice(&3u32.to_le_bytes());
+        assert!(ControlMsg::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn hello_ack_fresh_byte_is_strict() {
+        let mut wire =
+            ControlMsg::HelloAck { token: 1, received: 2, sent: 3, fresh: true, ref_syncs: 0 }
+                .encode();
+        wire[8 + 25] = 2;
+        assert!(ControlMsg::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn session_tokens_are_nonzero_and_distinct_per_slot() {
+        let tokens: Vec<u64> = (0..64).map(session_token).collect();
+        assert!(tokens.iter().all(|&t| t != 0), "token 0 means fresh");
+        let mut unique = tokens.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), tokens.len(), "slots must not share tokens");
+        assert_eq!(session_token(3), session_token(3), "tokens are deterministic");
     }
 }

@@ -30,12 +30,16 @@
 //! - [`server`] / [`party`] — the two event loops.
 //! - [`metrics`] — Prometheus text exposition + the `/healthz` and
 //!   `/metrics` plane, served from the same selector.
+//! - [`backoff`] — deterministic reconnect pacing: capped exponential
+//!   backoff with seeded jitter, shared by first connects and
+//!   mid-run link resumption.
 //! - [`config`] — the TOML deployment config both binaries read.
 //! - [`runtime`] — [`run_socket`], the in-process harness wiring both
 //!   loops over loopback for tests and benches.
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod config;
 pub mod control;
 pub mod link;
@@ -44,11 +48,12 @@ pub mod party;
 pub mod runtime;
 pub mod server;
 
+pub use backoff::{retry, Backoff, RetryClock, SystemClock};
 pub use config::{JobSpec, NetConfig};
-pub use link::{CoordLink, PartyLink, SocketRouter};
+pub use link::{CoordLink, HelloInfo, PartyLink, SocketRouter};
 pub use metrics::{
     render_party_metrics, render_server_metrics, request_path, HealthPlane, PartySnapshot,
 };
-pub use party::{party_loop, PartyJob};
+pub use party::{party_loop, party_loop_with, PartyJob, PartyOptions};
 pub use runtime::{connect_with_retry, run_socket, SocketOptions, SocketOutcome};
-pub use server::{serve, ServerOptions, ServerOutcome};
+pub use server::{serve, ServerOptions, ServerOutcome, CHECKPOINT_FILE};

@@ -45,11 +45,12 @@ fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
 pub fn render_server_metrics(
     stats: &DriverStats,
     breaker_transitions: u64,
+    checkpoint_rounds: u64,
     jobs: u64,
     finished: bool,
 ) -> String {
     let mut out = String::with_capacity(2048);
-    let counters: [(&str, &str, u64); 16] = [
+    let counters: [(&str, &str, u64); 19] = [
         ("flips_frames_sent_total", "Frames sent (downlink).", stats.frames_sent),
         ("flips_frames_received_total", "Frames received (uplink).", stats.frames_received),
         ("flips_bytes_sent_total", "Bytes sent (downlink), as encoded.", stats.bytes_sent),
@@ -105,6 +106,21 @@ pub fn render_server_metrics(
             "flips_breaker_transitions_total",
             "Guard-plane breaker state transitions.",
             breaker_transitions,
+        ),
+        (
+            "flips_links_lost_total",
+            "Links whose peer died mid-run (slot parked for resume).",
+            stats.links_lost,
+        ),
+        (
+            "flips_link_resumes_total",
+            "Parked links a reconnecting peer re-attached to.",
+            stats.links_resumed,
+        ),
+        (
+            "flips_checkpoint_rounds_total",
+            "Round boundaries snapshotted to the checkpoint directory.",
+            checkpoint_rounds,
         ),
     ];
     for (name, help, value) in counters {
@@ -349,8 +365,10 @@ mod tests {
             admission_refused_frames: 9,
             parties_ejected: 1,
             drain_refused_selections: 0,
+            links_lost: 2,
+            links_resumed: 1,
         };
-        let text = render_server_metrics(&stats, 2, 3, true);
+        let text = render_server_metrics(&stats, 2, 4, 3, true);
         // Every sample line is preceded by its HELP and TYPE comments,
         // in that order, and carries the snapshot's exact value.
         let lines: Vec<&str> = text.lines().collect();
@@ -369,6 +387,9 @@ mod tests {
         assert!(text.contains("flips_frames_sent_total 120\n"));
         assert!(text.contains("flips_late_updates_total 5\n"));
         assert!(text.contains("flips_breaker_transitions_total 2\n"));
+        assert!(text.contains("flips_links_lost_total 2\n"));
+        assert!(text.contains("flips_link_resumes_total 1\n"));
+        assert!(text.contains("flips_checkpoint_rounds_total 4\n"));
         assert!(text.contains("flips_jobs 3\n"));
         assert!(text.contains("flips_run_complete 1\n"));
     }
@@ -396,7 +417,7 @@ mod tests {
 
     #[test]
     fn zeroed_stats_render_zero_samples_not_missing_ones() {
-        let text = render_server_metrics(&DriverStats::default(), 0, 0, false);
+        let text = render_server_metrics(&DriverStats::default(), 0, 0, 0, false);
         assert!(text.contains("flips_frames_sent_total 0\n"));
         assert!(text.contains("flips_run_complete 0\n"));
     }

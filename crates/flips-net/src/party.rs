@@ -8,12 +8,21 @@
 //! only *after* a full pool pump has processed every pending downlink
 //! frame and put every reply on the wire (or in the outbox), so the
 //! answer is a FIFO barrier the coordinator's quiet check can trust.
+//! The same ordering rule protects codec state: a `RefSync` reference
+//! seed pauses the data plane (see [`crate::link::PartyLink`]) until
+//! this loop has applied it to the pool, so no frame encoded against a
+//! restored reference is ever decoded without it.
+//!
+//! [`party_loop_with`] adds the failure-recovery behaviours behind
+//! [`PartyOptions`]: reconnect-and-resume after a dead connection
+//! (under the seeded [backoff](crate::backoff) schedule), and a
+//! deliberate link-death knob for chaos tests.
 
 use crate::link::{net_err, Fd, PartyLink};
 use crate::metrics::{render_party_metrics, HealthPlane, PartySnapshot};
 use flips_fl::{FlError, GuardConfig, ModelCodec, PartyEndpoint, PartyPool};
 use mio::{Events, Interest, Poll, Token};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
 
 /// The worker loop's safety-net wakeup (all real work is event-driven).
@@ -27,15 +36,39 @@ const LINK_TOKEN: Token = Token(0);
 /// link slot owns.
 pub type PartyJob = (u64, ModelCodec, Vec<PartyEndpoint>);
 
+/// Failure-recovery options of one party worker.
+#[derive(Debug, Clone)]
+pub struct PartyOptions {
+    /// Where to reconnect when the server connection dies mid-run.
+    /// `None` keeps the old contract: a dead connection is fatal.
+    pub resume_addr: Option<SocketAddr>,
+    /// The total budget one reconnect attempt may spend dialing (the
+    /// per-attempt pacing comes from [`crate::backoff`]).
+    pub reconnect_budget: Duration,
+    /// How long to wait for the server's hello-ack after a Hello.
+    pub hello_timeout: Duration,
+    /// Test knob: deliberately sever the connection (both directions,
+    /// as a crash would) once this many data frames have been
+    /// received. One-shot; requires `resume_addr`.
+    pub drop_after: Option<u64>,
+}
+
+impl Default for PartyOptions {
+    fn default() -> Self {
+        PartyOptions {
+            resume_addr: None,
+            reconnect_budget: Duration::from_secs(30),
+            hello_timeout: Duration::from_secs(60),
+            drop_after: None,
+        }
+    }
+}
+
 /// Serves link slot `shard` over `stream` until the coordinator's
 /// shutdown notice, then returns the finished pool (its observability
 /// counters outlive the run). `health`, when given, serves `/metrics`
-/// and `/healthz` from the same event loop.
-///
-/// The connection is switched to nonblocking + `TCP_NODELAY` and a
-/// Hello naming `shard` is the first frame out — accept order at the
-/// server is nondeterministic, so the slot must be announced, not
-/// assumed.
+/// and `/healthz` from the same event loop. Equivalent to
+/// [`party_loop_with`] under default [`PartyOptions`] — no reconnects.
 ///
 /// # Errors
 ///
@@ -49,10 +82,37 @@ pub fn party_loop(
     guard: Option<&GuardConfig>,
     health: Option<TcpListener>,
 ) -> Result<PartyPool<PartyLink>, FlError> {
+    party_loop_with(stream, shard, jobs, guard, health, &PartyOptions::default())
+}
+
+/// [`party_loop`] with explicit failure-recovery options.
+///
+/// The connection is switched to nonblocking + `TCP_NODELAY` and a
+/// Hello naming `shard` is the first frame out — accept order at the
+/// server is nondeterministic, so the slot must be announced, not
+/// assumed. The server's hello-ack is awaited before the loop starts;
+/// it carries the session token a later reconnect presents, and any
+/// restored codec references ride directly behind it.
+///
+/// # Errors
+///
+/// As [`party_loop`]; with `opts.resume_addr` set, a dead connection
+/// is only fatal once a reconnect exhausts its budget (or the server
+/// answers it with a fresh session — the run state is gone).
+pub fn party_loop_with(
+    stream: TcpStream,
+    shard: u32,
+    jobs: Vec<PartyJob>,
+    guard: Option<&GuardConfig>,
+    health: Option<TcpListener>,
+    opts: &PartyOptions,
+) -> Result<PartyPool<PartyLink>, FlError> {
     crate::link::prepare_stream(&stream)?;
     let mut link = PartyLink::new(stream);
+    link.set_resumable(opts.resume_addr.is_some());
     link.send_hello(shard)?;
-    let fd = Fd(link.raw_fd());
+    link.await_hello_ack(opts.hello_timeout)?;
+    let mut fd = Fd(link.raw_fd());
     let parties: u64 = jobs.iter().map(|(_, _, eps)| eps.len() as u64).sum();
 
     let mut pool = PartyPool::new(link);
@@ -70,6 +130,7 @@ pub fn party_loop(
     let mut write_registered = false;
     let mut health_plane = HealthPlane::new(health)?;
     health_plane.register(poll.registry())?;
+    let mut dropped = false;
 
     loop {
         poll.poll(&mut events, Some(POLL_TIMEOUT)).map_err(net_err)?;
@@ -91,7 +152,32 @@ pub fn party_loop(
         // Pump to exhaustion — local training for every delivered model
         // happens inside — and only then answer any quiescence probes:
         // the probe answer must sit behind every reply in the stream.
-        while pool.pump()? {}
+        // Reference seeds are applied *before* every pump: the link
+        // pauses its data plane at each RefSync, and no frame encoded
+        // against a seeded reference may decode before the seed lands.
+        loop {
+            let mut seeded = false;
+            while let Some((job, round, params)) = pool.transport_mut().take_ref_sync() {
+                if !pool.seed_reference(job, round, &params) {
+                    return Err(FlError::Protocol(format!(
+                        "server re-keyed job {job:#x} round {round}, but this pool's codec \
+                         keeps no reference of that shape"
+                    )));
+                }
+                seeded = true;
+            }
+            if !pool.pump()? && !seeded {
+                break;
+            }
+        }
+        if let Some(after) = opts.drop_after {
+            let link = pool.transport_mut();
+            if !dropped && link.data_received() >= after {
+                // The chaos knob: die like a crashed process would.
+                link.sever();
+                dropped = true;
+            }
+        }
         let link = pool.transport_mut();
         if link.is_shutdown() {
             // The coordinator has stopped listening for quiescence;
@@ -118,10 +204,33 @@ pub fn party_loop(
             link.close();
             return Ok(pool);
         }
-        if link.is_eof() {
-            return Err(FlError::Transport(
-                "server closed the link without a shutdown notice".into(),
-            ));
+        if link.is_broken() || (link.is_eof() && !link.is_shutdown()) {
+            let Some(addr) = opts.resume_addr else {
+                return Err(FlError::Transport(
+                    "server closed the link without a shutdown notice".into(),
+                ));
+            };
+            // Reconnect-and-resume: dial under the seeded backoff
+            // schedule, present the session token and our counters,
+            // and retransmit what the ack says the server never saw.
+            let _ = poll.registry().deregister(&fd);
+            let stream = crate::runtime::connect_with_retry(addr, opts.reconnect_budget)?;
+            crate::link::prepare_stream(&stream)?;
+            let link = pool.transport_mut();
+            link.resume_with(stream);
+            link.send_hello(shard)?;
+            let (received, _sent, fresh) = link.await_hello_ack(opts.hello_timeout)?;
+            if fresh {
+                return Err(FlError::Protocol(
+                    "reconnect was answered with a fresh session: the server lost this \
+                     run's state"
+                        .into(),
+                ));
+            }
+            link.retransmit_from(received)?;
+            fd = Fd(link.raw_fd());
+            poll.registry().register(&fd, LINK_TOKEN, Interest::READABLE).map_err(net_err)?;
+            write_registered = false;
         }
     }
 }

@@ -8,8 +8,9 @@
 //! framing, quiescence probes and all — in one call and compare the
 //! resulting histories bit-for-bit against the single-threaded goldens.
 
+use crate::backoff::{retry, Backoff, SystemClock};
 use crate::link::{net_err, PartyLink};
-use crate::party::{party_loop, PartyJob};
+use crate::party::{party_loop_with, PartyJob, PartyOptions};
 use crate::server::{serve, ServerOptions, ServerOutcome};
 use flips_fl::chaos::ChaosEvent;
 use flips_fl::guard::BreakerTransition;
@@ -18,7 +19,7 @@ use flips_fl::{
 };
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Options of one loopback socket run.
 #[derive(Debug, Clone)]
@@ -38,12 +39,42 @@ pub struct SocketOptions {
     /// table and the owning link worker's pinned codec (the socket
     /// sibling of [`flips_fl::RuntimeOptions::with_link_codec`]).
     pub link_codecs: Vec<(u64, usize, flips_fl::ModelCodec)>,
+    /// Run the session-resume plane: the server parks dead links and
+    /// every worker reconnects and resumes instead of failing.
+    pub resume: bool,
+    /// Test knob: worker `slot` severs its connection after receiving
+    /// `after` data frames (one-shot), exercising a real mid-run TCP
+    /// link death. Implies [`SocketOptions::resume`].
+    pub party_drop: Option<(usize, u64)>,
 }
 
 impl SocketOptions {
     /// Options for `links` TCP links, no guard, no chaos.
     pub fn new(links: usize) -> Self {
-        SocketOptions { links, guard: None, chaos: None, link_codecs: Vec::new() }
+        SocketOptions {
+            links,
+            guard: None,
+            chaos: None,
+            link_codecs: Vec::new(),
+            resume: false,
+            party_drop: None,
+        }
+    }
+
+    /// Runs the session-resume plane (see [`SocketOptions::resume`]).
+    #[must_use]
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Severs worker `slot`'s connection after `after` received data
+    /// frames and lets the resume plane recover it.
+    #[must_use]
+    pub fn with_party_drop(mut self, slot: usize, after: u64) -> Self {
+        self.party_drop = Some((slot, after));
+        self.resume = true;
+        self
     }
 
     /// Overrides the codec one link speaks for `job` (see
@@ -92,26 +123,25 @@ pub struct SocketOutcome {
     pub chaos_events: Vec<ChaosEvent>,
 }
 
-/// Connects to `addr`, retrying briefly — a peer process may still be
-/// on its way to `listen(2)` (the deployable party binary races the
-/// server's startup; in-process harness connects land first try).
+/// Connects to `addr` under the [`crate::backoff`] schedule — a peer
+/// process may still be on its way to `listen(2)` (the deployable
+/// party binary races the server's startup; in-process harness
+/// connects land first try), and a reconnecting party must not hammer
+/// a server that is still restarting. The jitter seed is derived from
+/// the target port, so a fleet of parties dialing one address spreads
+/// its retries while each party's own schedule stays replayable.
 ///
 /// # Errors
 ///
 /// The last connect error once `timeout` elapses.
 pub fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> Result<TcpStream, FlError> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) => {
-                if Instant::now() > deadline {
-                    return Err(net_err(e));
-                }
-                std::thread::sleep(Duration::from_millis(20));
-            }
-        }
-    }
+    let mut backoff = Backoff::new(
+        Duration::from_millis(10),
+        Duration::from_millis(500),
+        0xC0_4EC7 ^ u64::from(addr.port()),
+    );
+    let mut clock = SystemClock::start();
+    retry(timeout, &mut backoff, &mut clock, || TcpStream::connect(addr).map_err(net_err))
 }
 
 /// Runs every job to completion over `opts.links` loopback TCP links,
@@ -170,12 +200,13 @@ pub fn run_socket(jobs: Vec<JobParts>, opts: &SocketOptions) -> Result<SocketOut
         server_jobs.push(parts);
     }
 
+    let resume = opts.resume || opts.party_drop.is_some();
     let server_opts = ServerOptions {
-        links,
         guard: opts.guard,
         chaos: opts.chaos.clone(),
-        accept_timeout: Duration::from_secs(60),
         link_codecs: opts.link_codecs.clone(),
+        resume,
+        ..ServerOptions::new(links)
     };
 
     let (server_result, worker_results) = std::thread::scope(|scope| {
@@ -184,9 +215,21 @@ pub fn run_socket(jobs: Vec<JobParts>, opts: &SocketOptions) -> Result<SocketOut
             .enumerate()
             .map(|(slot, link_jobs)| {
                 let guard = opts.guard;
+                let party_opts = PartyOptions {
+                    resume_addr: resume.then_some(addr),
+                    drop_after: opts.party_drop.and_then(|(s, after)| (s == slot).then_some(after)),
+                    ..PartyOptions::default()
+                };
                 scope.spawn(move || -> Result<PartyPool<PartyLink>, FlError> {
                     let stream = connect_with_retry(addr, Duration::from_secs(30))?;
-                    party_loop(stream, slot as u32, link_jobs, guard.as_ref(), None)
+                    party_loop_with(
+                        stream,
+                        slot as u32,
+                        link_jobs,
+                        guard.as_ref(),
+                        None,
+                        &party_opts,
+                    )
                 })
             })
             .collect();
@@ -196,7 +239,7 @@ pub fn run_socket(jobs: Vec<JobParts>, opts: &SocketOptions) -> Result<SocketOut
         (server_result, worker_results)
     });
 
-    let ServerOutcome { histories, stats, breaker_transitions, chaos_events } = server_result?;
+    let ServerOutcome { histories, stats, breaker_transitions, chaos_events, .. } = server_result?;
     let mut pools = Vec::with_capacity(worker_results.len());
     for result in worker_results {
         pools.push(result?);

@@ -37,28 +37,55 @@
 //! identical per-link data-frame sequences — which is what lets the
 //! chaos schedule's per-`(link, index)` actions, and therefore entire
 //! seeded guarded runs, replay bit-identically over TCP.
+//!
+//! # Failure recovery
+//!
+//! With [`ServerOptions::resume`] on, a dead party connection **parks**
+//! its link instead of aborting the run: the slot's counters, retained
+//! frames and codec references stay alive, a parked link is never
+//! quiet (so simulated time cannot advance past the outage), and the
+//! listener keeps accepting. A reconnecting party presents the slot's
+//! session token in its Hello; both sides then retransmit exactly the
+//! frames the other never received, and the run continues on the same
+//! seeded trajectory. [`ServerOptions::checkpoint_dir`] additionally
+//! snapshots the whole coordinator plane at every round boundary
+//! (atomic write, versioned format — see [`flips_fl::Checkpoint`]);
+//! [`ServerOptions::restore`] rebuilds a crashed coordinator from such
+//! a snapshot, pushing every link's delta-codec reference back out to
+//! the (fresh) parties over [`ControlMsg::RefSync`] before the first
+//! data frame.
 
+use crate::control::{session_token, ControlMsg};
 use crate::link::{net_err, prepare_stream, CoordLink, Fd, SocketRouter};
 use crate::metrics::{render_server_metrics, HealthPlane};
 use flips_fl::chaos::ChaosEvent;
 use flips_fl::guard::BreakerTransition;
 use flips_fl::{
-    ChaosSchedule, ChaosTransport, DriverStats, FlError, GuardConfig, History, JobParts,
-    MultiJobDriver,
+    ChaosSchedule, ChaosTransport, Checkpoint, DriverStats, FlError, GuardConfig, History,
+    JobParts, MultiJobDriver,
 };
 use mio::{Events, Interest, Poll, Token};
 use std::collections::BTreeMap;
 use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The event loop's safety-net wakeup. All real work is event-driven;
-/// this only bounds how late the loop notices an error condition.
+/// this only bounds how late the loop notices an error condition — and,
+/// with resume on, how late it notices a reconnecting party (the
+/// mid-run listener is deliberately not in the selector: 20 ms of
+/// accept latency against a reconnect budget of seconds is nothing,
+/// and it keeps the steady-state loop untouched).
 const POLL_TIMEOUT: Duration = Duration::from_millis(20);
 
 /// How long the post-run flush waits for slow peers before giving up
 /// (they still observe EOF).
 const SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The on-disk checkpoint filename inside
+/// [`ServerOptions::checkpoint_dir`].
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
 
 /// Options of one coordinator run.
 #[derive(Debug, Clone)]
@@ -80,10 +107,25 @@ pub struct ServerOptions {
     /// (see [`flips_fl::MultiJobDriver::set_link_codec`]). The party
     /// process serving an overridden slot must pin the same codec.
     pub link_codecs: Vec<(u64, usize, flips_fl::ModelCodec)>,
+    /// Park dead links and let their parties reconnect and resume the
+    /// session (module docs) instead of aborting the run.
+    pub resume: bool,
+    /// How long a parked link may wait for its party to reconnect
+    /// before the run aborts after all.
+    pub resume_timeout: Duration,
+    /// Snapshot the coordinator plane into
+    /// `<dir>/`[`CHECKPOINT_FILE`] at every round boundary (atomic
+    /// tmp-file + rename).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Restore the run from a checkpoint before the first round: the
+    /// driver resumes mid-history and every link's delta reference is
+    /// re-seeded on the connecting parties via [`ControlMsg::RefSync`].
+    pub restore: Option<Checkpoint>,
 }
 
 impl ServerOptions {
-    /// Options for `links` party connections, no guard, no chaos.
+    /// Options for `links` party connections, no guard, no chaos, no
+    /// recovery plane.
     pub fn new(links: usize) -> Self {
         ServerOptions {
             links,
@@ -91,6 +133,10 @@ impl ServerOptions {
             chaos: None,
             accept_timeout: Duration::from_secs(60),
             link_codecs: Vec::new(),
+            resume: false,
+            resume_timeout: Duration::from_secs(30),
+            checkpoint_dir: None,
+            restore: None,
         }
     }
 
@@ -105,6 +151,27 @@ impl ServerOptions {
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Parks dead links for session resume instead of aborting.
+    #[must_use]
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Snapshots the run into `dir` at every round boundary.
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Restores the run from `cp` instead of starting fresh.
+    #[must_use]
+    pub fn with_restore(mut self, cp: Checkpoint) -> Self {
+        self.restore = Some(cp);
         self
     }
 }
@@ -122,13 +189,21 @@ pub struct ServerOutcome {
     /// The chaos actions actually applied, in application order (empty
     /// when no schedule was installed).
     pub chaos_events: Vec<ChaosEvent>,
+    /// Round-boundary snapshots written this run (zero unless
+    /// [`ServerOptions::checkpoint_dir`] was set).
+    pub checkpoint_rounds: u64,
 }
 
 /// Accepts `links` connections and places each by its Hello's slot.
+/// Every placed link gets its session token assigned and a
+/// `HelloAck` — followed by that slot's `ref_syncs` reference seeds,
+/// counted in the ack — as its first outbound frames.
 fn accept_links(
     listener: &TcpListener,
     links: usize,
     timeout: Duration,
+    resume: bool,
+    ref_syncs: &[Vec<ControlMsg>],
 ) -> Result<Vec<Arc<Mutex<CoordLink>>>, FlError> {
     listener.set_nonblocking(true).map_err(net_err)?;
     let deadline = Instant::now() + timeout;
@@ -161,8 +236,15 @@ fn accept_links(
                 )));
             }
             match pending[i].hello() {
-                Some(shard) => {
-                    let link = pending.swap_remove(i);
+                Some(hello) => {
+                    let shard = hello.shard;
+                    if hello.token != 0 {
+                        return Err(FlError::Protocol(format!(
+                            "party on link slot {shard} presented a session token during the \
+                             initial accept phase"
+                        )));
+                    }
+                    let mut link = pending.swap_remove(i);
                     let slot = slots.get_mut(shard as usize).ok_or_else(|| {
                         FlError::Protocol(format!(
                             "party announced link slot {shard}, but only {links} links exist"
@@ -173,6 +255,9 @@ fn accept_links(
                             "two parties announced link slot {shard}"
                         )));
                     }
+                    link.assign_token(session_token(shard));
+                    link.set_resumable(resume);
+                    link.send_hello_ack(true, &ref_syncs[shard as usize])?;
                     *slot = Some(link);
                     filled += 1;
                 }
@@ -198,6 +283,9 @@ fn flush_links(
     let mut any_pending = false;
     for (i, link) in links.iter().enumerate() {
         let mut l = link.lock().expect("coordinator link poisoned");
+        if l.is_parked() {
+            continue;
+        }
         if l.wants_write() {
             l.flush()?;
         }
@@ -213,6 +301,20 @@ fn flush_links(
     Ok(any_pending)
 }
 
+/// Writes `cp` into `dir/`[`CHECKPOINT_FILE`] atomically: a crash
+/// mid-write leaves the previous snapshot intact, never a truncated
+/// file (the decoder would reject one anyway — checksummed format —
+/// but a complete older snapshot restores; a rejected newer one does
+/// not).
+fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<(), FlError> {
+    let io = |e: std::io::Error| FlError::Transport(format!("checkpoint write failed: {e}"));
+    std::fs::create_dir_all(dir).map_err(io)?;
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    std::fs::write(&tmp, cp.encode()).map_err(io)?;
+    std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE)).map_err(io)?;
+    Ok(())
+}
+
 /// Runs every job to completion over `opts.links` party connections
 /// accepted from `listener`, returning each job's final history and the
 /// wire counters. `health`, when given, serves `/metrics` and
@@ -223,13 +325,16 @@ fn flush_links(
 /// [`crate::party_loop`]); only the coordinator-side pieces run here.
 /// Histories are bit-identical to the same jobs under
 /// [`flips_fl::run_lockstep`] and [`flips_fl::run_sharded`] — see the
-/// [module docs](self) for why.
+/// [module docs](self) for why, including across parked-and-resumed
+/// links and a checkpoint/restore cycle.
 ///
 /// # Errors
 ///
 /// [`FlError::InvalidConfig`] for zero links or an empty job set;
 /// accept-phase timeouts, socket failures, protocol violations and
-/// aggregation failures propagate.
+/// aggregation failures propagate. Without [`ServerOptions::resume`], a
+/// dead party connection is fatal; with it, only a party that stays
+/// gone past [`ServerOptions::resume_timeout`] is.
 pub fn serve(
     listener: &TcpListener,
     jobs: Vec<JobParts>,
@@ -242,8 +347,28 @@ pub fn serve(
     if jobs.is_empty() {
         return Err(FlError::InvalidConfig("no jobs to run".into()));
     }
-    let links = accept_links(listener, opts.links, opts.accept_timeout)?;
-    let fds: Vec<Fd> = links.iter().map(|l| Fd(l.lock().expect("fresh link").raw_fd())).collect();
+    // The restored references go out per-slot inside the accept-phase
+    // handshake, so every party seeds its pool before it can possibly
+    // see a data frame encoded against the reference.
+    let mut ref_syncs: Vec<Vec<ControlMsg>> = vec![Vec::new(); opts.links];
+    if let Some(cp) = &opts.restore {
+        for r in &cp.codec_refs {
+            let slot = ref_syncs.get_mut(r.link as usize).ok_or_else(|| {
+                FlError::InvalidConfig(format!(
+                    "checkpoint re-keys link {}, run has {}",
+                    r.link, opts.links
+                ))
+            })?;
+            slot.push(ControlMsg::RefSync {
+                job: r.job,
+                round: r.ref_round,
+                params: r.params.clone(),
+            });
+        }
+    }
+    let links = accept_links(listener, opts.links, opts.accept_timeout, opts.resume, &ref_syncs)?;
+    let mut fds: Vec<Fd> =
+        links.iter().map(|l| Fd(l.lock().expect("fresh link").raw_fd())).collect();
 
     let router = SocketRouter::new(links.clone());
     let wire = match &opts.chaos {
@@ -263,6 +388,15 @@ pub fn serve(
     for &(job, link, codec) in &opts.link_codecs {
         driver.set_link_codec(job, link, codec)?;
     }
+    if let Some(cp) = &opts.restore {
+        driver.restore(cp)?;
+    }
+    if opts.checkpoint_dir.is_some() {
+        // Round opens queue at round closes so the boundary state can
+        // be snapshotted before the next round's frames exist.
+        driver.set_deferred_opens(true)?;
+    }
+    let mut checkpoint_rounds: u64 = 0;
 
     let mut poll = Poll::new().map_err(net_err)?;
     let mut events = Events::with_capacity(64);
@@ -272,6 +406,9 @@ pub fn serve(
     let mut write_registered = vec![false; fds.len()];
     let mut health_plane = HealthPlane::new(health)?;
     health_plane.register(poll.registry())?;
+    // Reconnecting parties park here until their Hello arrives.
+    let mut reconnects: Vec<CoordLink> = Vec::new();
+    let mut parked_since: Vec<Option<Instant>> = vec![None; links.len()];
 
     driver.start()?;
     flush_links(&links, &fds, &poll, &mut write_registered)?;
@@ -287,7 +424,7 @@ pub fn serve(
             let transitions = driver.guard().map_or(0, |g| g.transitions().len() as u64);
             let finished = driver.is_finished();
             health_plane.handle(poll.registry(), token, &mut || {
-                render_server_metrics(&stats, transitions, job_count, finished)
+                render_server_metrics(&stats, transitions, checkpoint_rounds, job_count, finished)
             })?;
         }
 
@@ -295,22 +432,125 @@ pub fn serve(
         // quiescence check: the wire is drained, so the only way
         // anything more can arrive is via a probe answer or a clock
         // advance — sleeping first would stall every simulated-time
-        // step on the poll timeout.
-        while driver.pump()? {}
+        // step on the poll timeout. In checkpoint mode, round opens
+        // queue at round closes; each boundary is snapshotted before
+        // the queued opens put the next round on the wire.
+        loop {
+            while driver.pump()? {}
+            if !driver.has_pending_opens() {
+                break;
+            }
+            if let Some(dir) = &opts.checkpoint_dir {
+                if driver.at_round_boundary() {
+                    write_checkpoint(dir, &driver.checkpoint()?)?;
+                    checkpoint_rounds += 1;
+                }
+            }
+            driver.open_pending()?;
+        }
         flush_links(&links, &fds, &poll, &mut write_registered)?;
         if driver.is_finished() {
             break;
         }
-        for link in &links {
-            let l = link.lock().expect("coordinator link poisoned");
-            if l.is_eof() {
-                return Err(FlError::Transport(
-                    "a party closed its link before the run finished".into(),
-                ));
+
+        // Link-death sweep: a resumable link that died mid-I/O parked
+        // itself; one that went EOF cleanly is parked here. Without
+        // resume, any dead link aborts the run (the old contract).
+        for (i, link) in links.iter().enumerate() {
+            let mut l = link.lock().expect("coordinator link poisoned");
+            let newly_parked = l.take_just_parked()
+                || (!l.is_parked() && l.is_eof() && {
+                    if !opts.resume {
+                        return Err(FlError::Transport(
+                            "a party closed its link before the run finished".into(),
+                        ));
+                    }
+                    l.park();
+                    let _ = l.take_just_parked();
+                    true
+                });
+            if newly_parked {
+                driver.note_link_lost();
+                parked_since[i] = Some(Instant::now());
+                // The dead socket stays open inside the link until the
+                // resume swaps it out; deregistering keeps its EOF
+                // readiness from busy-looping the poll.
+                let _ = poll.registry().deregister(&fds[i]);
+                write_registered[i] = false;
+            }
+        }
+        for since in parked_since.iter().flatten() {
+            if since.elapsed() > opts.resume_timeout {
+                return Err(FlError::Transport(format!(
+                    "a parked link's party did not reconnect within {:?}",
+                    opts.resume_timeout
+                )));
             }
         }
 
-        // Nothing moved: run the quiescence protocol (module docs).
+        // Resume seam: reconnecting parties are accepted here, matched
+        // to their slot by session token, and replayed the frames they
+        // missed. Stray connections (bad token, fresh Hello) are
+        // dropped — the run's roster is fixed at accept time.
+        if opts.resume {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        prepare_stream(&stream)?;
+                        reconnects.push(CoordLink::new(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(net_err(e)),
+                }
+            }
+            let mut i = 0;
+            while i < reconnects.len() {
+                if reconnects[i].try_recv_data()?.is_some() || reconnects[i].is_eof() {
+                    // Data before Hello, or died while pending.
+                    reconnects.swap_remove(i);
+                    continue;
+                }
+                let Some(hello) = reconnects[i].hello() else {
+                    i += 1;
+                    continue;
+                };
+                let conn = reconnects.swap_remove(i);
+                let slot = hello.shard as usize;
+                let valid = slot < links.len()
+                    && hello.token != 0
+                    && links[slot].lock().expect("coordinator link poisoned").token()
+                        == hello.token;
+                if !valid {
+                    drop(conn);
+                    continue;
+                }
+                let mut l = links[slot].lock().expect("coordinator link poisoned");
+                if !l.is_parked() {
+                    // The party noticed the death first; park the slot
+                    // now so the swap below is the whole story.
+                    let _ = poll.registry().deregister(&fds[slot]);
+                    l.park();
+                    let _ = l.take_just_parked();
+                    write_registered[slot] = false;
+                    driver.note_link_lost();
+                }
+                l.resume_with(conn.into_stream(), hello);
+                l.send_hello_ack(false, &[])?;
+                l.retransmit_unacked()?;
+                fds[slot] = Fd(l.raw_fd());
+                poll.registry()
+                    .register(&fds[slot], Token(slot), Interest::READABLE)
+                    .map_err(net_err)?;
+                parked_since[slot] = None;
+                drop(l);
+                driver.note_link_resumed();
+            }
+        }
+
+        // Nothing moved: run the quiescence protocol (module docs). A
+        // parked link is never quiet, so simulated time holds still
+        // across an outage — deadlines cannot fire against a party
+        // that isn't there to answer.
         let mut all_quiet = true;
         for link in &links {
             let mut l = link.lock().expect("coordinator link poisoned");
@@ -338,8 +578,15 @@ pub fn serve(
     }
 
     // Final drain (chaos leftovers and post-completion replies are
-    // counted, like the sharded runtime's final pump), then shutdown.
+    // counted, like the sharded runtime's final pump), then the final
+    // boundary snapshot and shutdown.
     while driver.pump()? {}
+    if let Some(dir) = &opts.checkpoint_dir {
+        if driver.at_round_boundary() {
+            write_checkpoint(dir, &driver.checkpoint()?)?;
+            checkpoint_rounds += 1;
+        }
+    }
     for link in &links {
         link.lock().expect("coordinator link poisoned").send_shutdown()?;
     }
@@ -360,7 +607,7 @@ pub fn serve(
                     frame.len()
                 )));
             }
-            all_closed &= l.is_eof();
+            all_closed &= l.is_parked() || l.is_eof();
         }
         if (all_closed && !pending) || Instant::now() > flush_deadline {
             break; // slow peers still observe EOF on drop
@@ -378,5 +625,6 @@ pub fn serve(
         stats: driver.stats(),
         breaker_transitions: driver.guard().map_or_else(Vec::new, |g| g.transitions().to_vec()),
         chaos_events: driver.transport().log().to_vec(),
+        checkpoint_rounds,
     })
 }

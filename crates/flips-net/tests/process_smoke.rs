@@ -200,3 +200,210 @@ link_codecs = "delta-lossless,delta-entropy"
         );
     }
 }
+
+/// The shared recovery-suite config: 12 parties over 2 links, 3 seeded
+/// rounds, guard installed — the exact `[[job]]` the main smoke runs.
+fn recovery_config(data_port: u16, health_port: u16) -> String {
+    format!(
+        r#"
+links = 2
+
+[server]
+listen = "127.0.0.1:{data_port}"
+health = "127.0.0.1:{health_port}"
+
+[guard]
+max_frame_bytes = 1048576
+
+[[job]]
+dataset = "femnist"
+seed = 11
+parties = 12
+rounds = 3
+participation = 0.25
+alpha = 0.3
+selector = "random"
+deadline = "latency-quantile"
+deadline_q = 0.5
+deadline_slack = 1.1
+latency_sigma = 0.8
+test_per_class = 8
+clustering_restarts = 3
+"#
+    )
+}
+
+/// The same `[[job]]` block, run in-process: the golden trajectory.
+fn recovery_golden() -> History {
+    SimulationBuilder::new(DatasetProfile::femnist())
+        .parties(12)
+        .rounds(3)
+        .participation(0.25)
+        .alpha(0.3)
+        .selector(SelectorKind::Random)
+        .deadline(DeadlinePolicy::LatencyQuantile { q: 0.5, slack: 1.1 })
+        .latency_sigma(0.8)
+        .test_per_class(8)
+        .clustering_restarts(3)
+        .seed(11)
+        .run()
+        .unwrap()
+        .history
+}
+
+fn assert_golden_job_line(server_out: &mut impl BufRead, golden: &History, context: &str) {
+    let job_line = await_line(server_out, "JOB ", Duration::from_secs(120));
+    assert!(job_line.contains("rounds=3"), "{context}: unexpected round count: {job_line}");
+    let expected_acc = format!("accuracy={:.4}", golden.final_accuracy());
+    assert!(
+        job_line.contains(&expected_acc),
+        "{context}: accuracy diverged from the golden ({job_line} vs {expected_acc})"
+    );
+    await_line(server_out, "RUN COMPLETE", Duration::from_secs(30));
+}
+
+#[test]
+fn a_party_process_drops_its_link_and_resumes_against_the_live_server() {
+    // The link-loss tentpole at full deployment fidelity: party 1
+    // severs its TCP connection after two data frames, reconnects
+    // through the seeded backoff and resumes its session. The run must
+    // finish on the golden trajectory and the server must account the
+    // loss, the resume and its boundary checkpoints in /metrics.
+    let data_port = free_port();
+    let health_port = free_port();
+    let config = recovery_config(data_port, health_port);
+    let config_path = format!("{}/process_resume.toml", env!("CARGO_TARGET_TMPDIR"));
+    std::fs::write(&config_path, &config).unwrap();
+    let checkpoint_dir = format!("{}/process_resume_ckpt", env!("CARGO_TARGET_TMPDIR"));
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+    let golden = recovery_golden();
+
+    let mut server = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_flips-server"))
+            .arg(&config_path)
+            .arg("--checkpoint-dir")
+            .arg(&checkpoint_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("flips-server spawns"),
+    );
+    let mut server_out = BufReader::new(server.0.stdout.take().unwrap());
+    await_line(&mut server_out, "LISTENING ", Duration::from_secs(30));
+
+    let mut party0 = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_flips-party"))
+            .arg(&config_path)
+            .arg("0")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("flips-party 0 spawns"),
+    );
+    let mut party1 = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_flips-party"))
+            .arg(&config_path)
+            .arg("1")
+            .arg("--drop-after")
+            .arg("2")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("flips-party 1 spawns"),
+    );
+
+    assert_golden_job_line(&mut server_out, &golden, "drop-resume run");
+
+    let metrics = scrape(&format!("127.0.0.1:{health_port}"), "/metrics");
+    assert!(metrics.contains("flips_links_lost_total 1"), "missing loss count:\n{metrics}");
+    assert!(metrics.contains("flips_link_resumes_total 1"), "missing resume count:\n{metrics}");
+    // One write per round close plus the final drain boundary.
+    assert!(
+        metrics.contains("flips_checkpoint_rounds_total 4"),
+        "missing checkpoint count:\n{metrics}"
+    );
+
+    for (name, party) in [("party 0", &mut party0), ("party 1", &mut party1)] {
+        let status = party.0.wait().expect("party waited");
+        assert!(status.success(), "{name} exited {status}");
+    }
+}
+
+#[test]
+fn a_killed_server_restores_its_checkpoint_and_finishes_the_golden_run() {
+    // Checkpoint/restore at full deployment fidelity: the coordinator
+    // process is killed mid-job, restarted with `--restore`, and the
+    // finished run must report exactly the uninterrupted golden.
+    let data_port = free_port();
+    let health_port = free_port();
+    let config = recovery_config(data_port, health_port);
+    let config_path = format!("{}/process_restore.toml", env!("CARGO_TARGET_TMPDIR"));
+    std::fs::write(&config_path, &config).unwrap();
+    let checkpoint_dir = format!("{}/process_restore_ckpt", env!("CARGO_TARGET_TMPDIR"));
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+    let checkpoint_file = format!("{checkpoint_dir}/checkpoint.bin");
+    let golden = recovery_golden();
+
+    let spawn_server = |restore: bool| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_flips-server"));
+        cmd.arg(&config_path).arg("--checkpoint-dir").arg(&checkpoint_dir);
+        if restore {
+            cmd.arg("--restore");
+        }
+        KillOnDrop(
+            cmd.stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("flips-server spawns"),
+        )
+    };
+    let spawn_party = |slot: usize| {
+        KillOnDrop(
+            Command::new(env!("CARGO_BIN_EXE_flips-party"))
+                .arg(&config_path)
+                .arg(slot.to_string())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("flips-party spawns"),
+        )
+    };
+
+    // Phase 1: run until the first boundary snapshot lands on disk,
+    // then kill the whole deployment, parties first.
+    {
+        let mut server = spawn_server(false);
+        let mut server_out = BufReader::new(server.0.stdout.take().unwrap());
+        await_line(&mut server_out, "LISTENING ", Duration::from_secs(30));
+        let _party0 = spawn_party(0);
+        let _party1 = spawn_party(1);
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !std::path::Path::new(&checkpoint_file).exists() {
+            assert!(Instant::now() < deadline, "no checkpoint was ever written");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // KillOnDrop tears everything down here — mid-run with high
+        // probability, after the final boundary in the worst case.
+    }
+
+    // Phase 2: restore and finish with a fresh set of processes.
+    let mut server = spawn_server(true);
+    let mut server_out = BufReader::new(server.0.stdout.take().unwrap());
+    await_line(&mut server_out, "LISTENING ", Duration::from_secs(30));
+    let mut party0 = spawn_party(0);
+    let mut party1 = spawn_party(1);
+
+    assert_golden_job_line(&mut server_out, &golden, "restored run");
+
+    let metrics = scrape(&format!("127.0.0.1:{health_port}"), "/metrics");
+    assert!(
+        metrics.contains("flips_checkpoint_rounds_total"),
+        "missing checkpoint counter:\n{metrics}"
+    );
+    assert!(metrics.contains("flips_run_complete 1"), "missing completion gauge:\n{metrics}");
+
+    for (name, party) in [("party 0", &mut party0), ("party 1", &mut party1)] {
+        let status = party.0.wait().expect("party waited");
+        assert!(status.success(), "{name} exited {status}");
+    }
+}

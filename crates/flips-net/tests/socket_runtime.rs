@@ -173,3 +173,75 @@ fn multiple_jobs_share_the_socket_wire() {
         );
     }
 }
+
+#[test]
+fn a_severed_link_resumes_its_session_and_replays_the_golden() {
+    // The link-loss tentpole over real TCP: worker 1 hard-severs its
+    // connection mid-run (after 2 received data frames), reconnects
+    // through the seeded backoff and resumes its session — retained
+    // frames retransmit from the last acknowledged counters, so the
+    // history is bit-identical to the never-dropped run and the
+    // driver accounts exactly one loss and one resume.
+    for selector in [SelectorKind::Random, SelectorKind::Flips] {
+        let golden = latency_builder(selector, 11).run().unwrap().history;
+        let (job, meta) = latency_builder(selector, 11).build().unwrap();
+        let opts = SocketOptions::new(2).with_party_drop(1, 2);
+        let mut outcome = run_socket(vec![job.into_parts()], &opts).unwrap();
+        let history = outcome.histories.remove(&meta.job_id).unwrap();
+        assert_eq!(history, golden, "{selector:?}: the resumed link moved the TCP history");
+        assert_eq!(outcome.stats.links_lost, 1, "{selector:?}: wrong loss count");
+        assert_eq!(outcome.stats.links_resumed, 1, "{selector:?}: wrong resume count");
+        assert_eq!(outcome.stats.corrupt_frames, 0);
+        assert_eq!(outcome.link_unroutable, vec![0, 0]);
+    }
+}
+
+#[test]
+fn a_severed_link_resumes_under_the_delta_entropy_codec() {
+    // The hard case: the severed link speaks the stateful delta-entropy
+    // wire. Retransmit-on-resume must preserve the exact frame sequence
+    // (and thus the delta references on both ends) or decode breaks.
+    let golden = latency_builder(SelectorKind::Random, 11).run().unwrap().history;
+    let (job, meta) =
+        latency_builder(SelectorKind::Random, 11).codec(ModelCodec::DeltaEntropy).build().unwrap();
+    let opts = SocketOptions::new(2).with_party_drop(0, 3);
+    let mut outcome = run_socket(vec![job.into_parts()], &opts).unwrap();
+    let history = outcome.histories.remove(&meta.job_id).unwrap();
+    assert_eq!(history, golden, "the resumed delta-entropy link moved the TCP history");
+    assert_eq!(outcome.stats.links_lost, 1);
+    assert_eq!(outcome.stats.links_resumed, 1);
+    assert_eq!(outcome.stats.codec_mismatch_frames, 0);
+}
+
+#[test]
+fn disconnect_chaos_replays_every_selector_golden_over_tcp() {
+    // The seeded `Disconnect` fault at the chaos seam, epoll flavor:
+    // the schedule severs the uplink and backlogs its frames until the
+    // wire runs dry, on top of kernel socket buffers — every selector
+    // golden must still replay bit-identically for three seeds.
+    for selector in SelectorKind::all() {
+        let golden = latency_builder(selector, 11).run().unwrap().history;
+        let mut severed = 0usize;
+        for chaos_seed in [5u64, 77, 4242] {
+            let weights = ChaosWeights { disconnect: 2, ..ChaosWeights::default() };
+            let opts = SocketOptions::new(2)
+                .with_guard(GuardConfig::default())
+                .with_chaos(ChaosSchedule::seeded(chaos_seed).weights(weights));
+            let (job, meta) = latency_builder(selector, 11).build().unwrap();
+            let mut outcome = run_socket(vec![job.into_parts()], &opts).unwrap();
+            let history = outcome.histories.remove(&meta.job_id).unwrap();
+            assert_eq!(
+                history, golden,
+                "{selector:?}: disconnect seed {chaos_seed} moved the TCP history"
+            );
+            assert_eq!(outcome.stats.parties_ejected, 0, "{selector:?}: seed {chaos_seed}");
+            assert!(!outcome.chaos_events.is_empty(), "{selector:?}: seed {chaos_seed} was idle");
+            severed += outcome
+                .chaos_events
+                .iter()
+                .filter(|e| matches!(e.action, ChaosAction::Disconnect))
+                .count();
+        }
+        assert!(severed > 0, "{selector:?}: no TCP seed severed a link — the suite is vacuous");
+    }
+}

@@ -31,7 +31,7 @@ impl std::error::Error for SelectionError {}
 
 /// What the aggregator observed in one completed round — the feedback
 /// adaptive selectors learn from.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RoundFeedback {
     /// The round this feedback describes (0-based).
     pub round: usize,
@@ -105,6 +105,14 @@ pub trait ParticipantSelector: Send {
 
     /// Total number of parties this selector draws from.
     fn num_parties(&self) -> usize;
+
+    /// Notifies the policy of a roster change: `party` joined
+    /// (`available == true`) or left the population. The default is a
+    /// no-op — policies that keep no per-party exclusion state simply
+    /// keep drawing from the full roster, and the coordinator filters
+    /// departed parties from every pick, so churn stays correct (and
+    /// deterministic) regardless of whether a policy listens.
+    fn set_available(&mut self, _party: PartyId, _available: bool) {}
 }
 
 /// Validates a `select` request against the population size.

@@ -315,6 +315,7 @@ proptest! {
                     corrupt: corrupt_w,
                     delay: delay_w,
                     flood: flood_w,
+                    disconnect: 0,
                 })
                 .target_job(m0.job_id)
                 // Aim forged floods at a real party of the targeted job
