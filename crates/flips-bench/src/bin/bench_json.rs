@@ -295,6 +295,83 @@ fn resume_round_ns(parties: usize, per_round: usize, rounds: usize, samples: usi
     times[times.len() / 2]
 }
 
+/// Synthetic roster records for the scale benches: deterministic, cheap,
+/// and non-uniform enough to spread Tifl's latency tiers.
+fn roster_record(i: usize) -> PartyRecord {
+    PartyRecord {
+        data_size: ((i * 31) % 97 + 5) as u64,
+        latency_hint: 0.05 + ((i as f64) * 0.37) % 1.0,
+        label_counts: vec![((i * 7) % 13) as u64, ((i * 11) % 17) as u64, 3],
+    }
+}
+
+/// Median ns for one selection round over a 100 000-party spilled
+/// roster: a full streamed Tifl tiering pass — every sealed segment
+/// paged through a 4-segment cache — plus one 64-party draw. Roster
+/// construction (record synthesis, disk sealing) stays outside the
+/// timed region; the number prices the steady-state cost of selecting
+/// from a roster that does not fit in memory.
+fn roster_100k_round_ns(samples: usize) -> f64 {
+    use flips_core::selection::tifl::TiflConfig;
+    use flips_core::selection::TiflSelector;
+    let dir = std::env::temp_dir().join(format!("flips-bench-roster-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut rb = RosterBuilder::spilling(&dir, 4).expect("spill dir").segment_cap(4096);
+    for i in 0..100_000 {
+        rb.push(roster_record(i)).expect("roster push");
+    }
+    let store = rb.finish().expect("roster seals");
+    let ns = median_ns(samples, || {
+        let mut sel = TiflSelector::from_source(&store, TiflConfig::default(), 7)
+            .expect("tifl streams the roster");
+        black_box(sel.select(0, 64).expect("selection").len());
+    });
+    assert!(store.resident_segments() <= 4, "roster cache exceeded its budget");
+    std::fs::remove_dir_all(&dir).ok();
+    ns
+}
+
+/// The million-party memory-ceiling smoke: seal a 10⁶-party roster to
+/// disk behind an 8-segment cache, draw a seeded cohort, page each
+/// member's record back in, and fold the cohort through the exact
+/// aggregation-tree arithmetic — one round's worth of scale-plane work,
+/// completed without ever holding more than the budget resident.
+fn roster_million_smoke() {
+    use flips_core::fl::ExactWeightedSum;
+    use flips_core::selection::RandomSelector;
+    const PARTIES: usize = 1_000_000;
+    const BUDGET: usize = 8;
+    let dir = std::env::temp_dir().join(format!("flips-bench-roster1m-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut rb = RosterBuilder::spilling(&dir, BUDGET).expect("spill dir");
+    for i in 0..PARTIES {
+        rb.push(roster_record(i)).expect("roster push");
+    }
+    let store = rb.finish().expect("roster seals");
+    assert_eq!(store.spilled() as usize, PARTIES.div_ceil(4096), "every segment sealed");
+    let mut sel = RandomSelector::from_source(&store, 11);
+    let cohort = sel.select(0, 64).expect("selection");
+    assert_eq!(cohort.len(), 64);
+    let params = [0.125f32; 32];
+    let mut sum = ExactWeightedSum::new(params.len());
+    for &p in &cohort {
+        let w = store.record(p).expect("record pages in").data_size;
+        sum.fold(&params, w.max(1)).expect("cohort folds");
+    }
+    let mut agg = Vec::new();
+    sum.finish_into(&mut agg).expect("aggregate finishes");
+    black_box(agg[0]);
+    assert!(store.resident_segments() <= BUDGET, "cache exceeded {BUDGET} segments");
+    assert!(store.loaded() > 0, "nothing paged back in — the smoke is vacuous");
+    eprintln!(
+        "  1e6 parties: {} segments sealed, {} resident (budget {BUDGET}), {} page-ins",
+        store.spilled(),
+        store.resident_segments(),
+        store.loaded()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fl_round.json".into());
     let kernel = if cfg!(feature = "baseline") { "naive-baseline" } else { "blocked" };
@@ -379,6 +456,13 @@ fn main() {
         100.0 * (resume_ns - round_ns) / round_ns
     );
 
+    eprintln!("measuring roster_100k_round (spilled roster, streamed Tifl pass + draw) ...");
+    let roster_ns = roster_100k_round_ns(5);
+    eprintln!("  {:.2} ms/round", roster_ns / 1e6);
+
+    eprintln!("running the million-party memory-ceiling smoke ...");
+    roster_million_smoke();
+
     let json = format!(
         "{{\n  \"schema\": \"flips-bench/fl_round/v1\",\n  \"kernel\": \"{kernel}\",\n  \
          \"fl_round_median_ns\": {round_ns:.0},\n  \"transport_round_median_ns\": {transport_ns:.0},\n  \
@@ -388,6 +472,7 @@ fn main() {
          \"sharded_round_4shard_median_ns\": {:.0},\n  \
          \"socket_round_median_ns\": {socket_ns:.0},\n  \
          \"resume_round_median_ns\": {resume_ns:.0},\n  \
+         \"roster_100k_round_median_ns\": {roster_ns:.0},\n  \
          \"transport_bytes_per_round\": {delta_bytes},\n  \
          \"transport_bytes_per_round_raw\": {raw_bytes},\n  \
          \"transport_bytes_per_round_entropy\": {entropy_bytes},\n  \

@@ -29,6 +29,23 @@ use std::time::Duration;
 /// Minimum samples each party is guaranteed after partitioning.
 const MIN_SAMPLES_PER_PARTY: usize = 5;
 
+/// How the builder materializes the candidate roster when it constructs
+/// the selection policy (see [`SimulationBuilder::streaming_roster`]).
+#[derive(Debug, Clone)]
+enum RosterMode {
+    /// Selector constructors receive flat in-memory vectors (default).
+    Flat,
+    /// Selectors are built by streaming an in-memory
+    /// [`flips_fl::RosterStore`] through the
+    /// [`flips_selection::CandidateSource`] constructors. Seeded
+    /// selections are bit-identical to [`RosterMode::Flat`].
+    Streaming,
+    /// As [`RosterMode::Streaming`], with the store sealed to disk
+    /// segments under `dir` and at most `budget` segments resident in
+    /// memory at once.
+    Spill { dir: std::path::PathBuf, budget: usize },
+}
+
 /// Builder for one end-to-end FL simulation.
 ///
 /// # Example
@@ -75,6 +92,7 @@ pub struct SimulationBuilder {
     local: Option<LocalTrainingConfig>,
     codec: ModelCodec,
     parallel: bool,
+    roster: RosterMode,
     seed: u64,
 }
 
@@ -104,8 +122,30 @@ impl SimulationBuilder {
             local: None,
             codec: ModelCodec::Raw,
             parallel: false,
+            roster: RosterMode::Flat,
             seed: 0,
         }
+    }
+
+    /// Builds the selection policy from a streamed in-memory
+    /// [`flips_fl::RosterStore`] instead of flat vectors: candidate
+    /// attributes reach the selector constructors one party at a time
+    /// through [`flips_selection::CandidateSource`], exactly as a
+    /// million-party roster would. Seeded runs are bit-identical to the
+    /// flat path — the scale-equivalence suite pins this.
+    #[must_use]
+    pub fn streaming_roster(mut self) -> Self {
+        self.roster = RosterMode::Streaming;
+        self
+    }
+
+    /// As [`SimulationBuilder::streaming_roster`], with the roster
+    /// sealed to disk segments under `dir` and at most `budget` segments
+    /// resident in memory while the selectors stream it.
+    #[must_use]
+    pub fn spill_roster(mut self, dir: impl Into<std::path::PathBuf>, budget: usize) -> Self {
+        self.roster = RosterMode::Spill { dir: dir.into(), budget };
+        self
     }
 
     /// Overrides the number of parties (scales the population with it).
@@ -313,41 +353,92 @@ impl SimulationBuilder {
         };
 
         let sample_counts = parts.sample_counts();
-        let selector: Box<dyn ParticipantSelector> = match self.selector {
-            SelectorKind::Random => Box::new(RandomSelector::new(n, self.seed)),
-            SelectorKind::Flips => {
-                let mw_cfg = MiddlewareConfig {
-                    restarts: self.clustering_restarts,
-                    fixed_k: self.fixed_k,
-                    k_floor: Some((2 * profile.classes).min(parties_per_round)),
-                    transform: self.ld_transform,
-                    overprovision: self.overprovision,
-                    overhead: self.tee_overhead,
-                    seed: self.seed,
-                    ..Default::default()
+        let profile_times = latency.profile(&sample_counts, profile.local_epochs);
+        let mw_cfg = MiddlewareConfig {
+            restarts: self.clustering_restarts,
+            fixed_k: self.fixed_k,
+            k_floor: Some((2 * profile.classes).min(parties_per_round)),
+            transform: self.ld_transform,
+            overprovision: self.overprovision,
+            overhead: self.tee_overhead,
+            seed: self.seed,
+            ..Default::default()
+        };
+        let oort_cfg = || {
+            let mut cfg = if self.straggler_rate > 0.0 {
+                OortConfig::with_straggler_overprovisioning()
+            } else {
+                OortConfig::default()
+            };
+            // The developer-preferred duration: 1.5× the median
+            // profiled round time.
+            let mut sorted = profile_times.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            cfg.preferred_duration = sorted[sorted.len() / 2] * 1.5;
+            cfg
+        };
+
+        // The roster the selectors stream, when the builder is asked to
+        // exercise the scale path instead of flat vectors.
+        let store = match &self.roster {
+            RosterMode::Flat => None,
+            RosterMode::Streaming | RosterMode::Spill { .. } => {
+                let mut rb = match &self.roster {
+                    RosterMode::Spill { dir, budget } => {
+                        flips_fl::RosterBuilder::spilling(dir.clone(), *budget)?
+                    }
+                    _ => flips_fl::RosterBuilder::in_memory(),
                 };
-                let pc = FlipsMiddleware::cluster_privately(&parts.label_distributions(), &mw_cfg)?;
-                meta.k = Some(pc.k());
-                meta.clustering_tee_overhead = Some(pc.tee_overhead());
-                Box::new(pc.into_selector())
+                let lds = parts.label_distributions();
+                for i in 0..n {
+                    rb.push(flips_fl::PartyRecord {
+                        data_size: sample_counts[i] as u64,
+                        latency_hint: profile_times[i],
+                        label_counts: lds[i].counts().to_vec(),
+                    })?;
+                }
+                Some(rb.finish()?)
             }
-            SelectorKind::Oort => {
-                let mut cfg = if self.straggler_rate > 0.0 {
-                    OortConfig::with_straggler_overprovisioning()
-                } else {
-                    OortConfig::default()
-                };
-                // The developer-preferred duration: 1.5× the median
-                // profiled round time.
-                let mut profile_times = latency.profile(&sample_counts, profile.local_epochs);
-                profile_times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                cfg.preferred_duration = profile_times[profile_times.len() / 2] * 1.5;
-                Box::new(OortSelector::new(sample_counts.clone(), cfg, self.seed))
+        };
+
+        let selector: Box<dyn ParticipantSelector> = if let Some(store) = &store {
+            match self.selector {
+                SelectorKind::Random => Box::new(RandomSelector::from_source(store, self.seed)),
+                SelectorKind::Flips => {
+                    let pc = FlipsMiddleware::cluster_from_source(store, n, &mw_cfg)?;
+                    meta.k = Some(pc.k());
+                    meta.clustering_tee_overhead = Some(pc.tee_overhead());
+                    Box::new(pc.into_selector())
+                }
+                SelectorKind::Oort => {
+                    Box::new(OortSelector::from_source(store, oort_cfg(), self.seed))
+                }
+                SelectorKind::GradClus => {
+                    Box::new(GradClusSelector::from_source(store, 32, self.seed)?)
+                }
+                SelectorKind::Tifl => {
+                    Box::new(TiflSelector::from_source(store, TiflConfig::default(), self.seed)?)
+                }
             }
-            SelectorKind::GradClus => Box::new(GradClusSelector::new(n, 32, self.seed)?),
-            SelectorKind::Tifl => {
-                let profile_times = latency.profile(&sample_counts, profile.local_epochs);
-                Box::new(TiflSelector::new(profile_times, TiflConfig::default(), self.seed)?)
+        } else {
+            match self.selector {
+                SelectorKind::Random => Box::new(RandomSelector::new(n, self.seed)),
+                SelectorKind::Flips => {
+                    let pc =
+                        FlipsMiddleware::cluster_privately(&parts.label_distributions(), &mw_cfg)?;
+                    meta.k = Some(pc.k());
+                    meta.clustering_tee_overhead = Some(pc.tee_overhead());
+                    Box::new(pc.into_selector())
+                }
+                SelectorKind::Oort => {
+                    Box::new(OortSelector::new(sample_counts.clone(), oort_cfg(), self.seed))
+                }
+                SelectorKind::GradClus => Box::new(GradClusSelector::new(n, 32, self.seed)?),
+                SelectorKind::Tifl => Box::new(TiflSelector::new(
+                    profile_times.clone(),
+                    TiflConfig::default(),
+                    self.seed,
+                )?),
             }
         };
 

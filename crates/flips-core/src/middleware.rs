@@ -24,7 +24,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use flips_clustering::{kmeans, optimal_k, ElbowConfig, KMeansConfig};
 use flips_data::LabelDistribution;
 use flips_ml::rng::{derive_seed, seeded};
-use flips_selection::{FlipsSelector, ParticipantSelector, PartyId, RoundFeedback, SelectionError};
+use flips_selection::{
+    CandidateSource, FlipsSelector, ParticipantSelector, PartyId, RoundFeedback, SelectionError,
+};
 use flips_tee::attestation::PlatformKey;
 use flips_tee::{AttestationServer, Enclave, OverheadModel, SecureChannel, TeeError};
 use rand::Rng;
@@ -210,6 +212,162 @@ impl FlipsMiddleware {
                 let clustering = kmeans(&mut krng, &points, KMeansConfig::new(k))?;
                 let clusters: Vec<Vec<PartyId>> =
                     clustering.members().into_iter().filter(|m| !m.is_empty()).collect();
+                let mut selector = FlipsSelector::new(clusters)?;
+                if !cfg.overprovision {
+                    selector = selector.without_overprovisioning();
+                }
+                state.k = k;
+                state.selector = Some(selector);
+                Ok(k)
+            })
+            .map_err(FlipsError::Tee)??;
+
+        Ok(PrivateClustering { enclave, k, num_parties: n })
+    }
+
+    /// Runs the private-clustering ceremony over a *streamed* roster.
+    ///
+    /// When the roster fits the clustering pool (`n <= pool_cap`) the
+    /// label distributions are collected in party order and the result
+    /// is bit-identical to [`FlipsMiddleware::cluster_privately`] over
+    /// the same distributions — the scale-equivalence suite pins this.
+    ///
+    /// Above the cap, every party still attests and provisions its
+    /// sealed distribution (the privacy protocol is unchanged and
+    /// streams in O(1) per party), but the elbow scan and K-Means — the
+    /// O(n·k²·restarts) part — run on a seeded reservoir subsample of
+    /// `pool_cap` parties inside the enclave; every party is then
+    /// assigned to its nearest centroid, so the clusters still
+    /// partition the full roster. A documented approximation, never
+    /// silently taken below the cap.
+    ///
+    /// A party whose source reports no label counts clusters as an
+    /// empty-data party (uniform over one pseudo-label).
+    ///
+    /// # Errors
+    ///
+    /// As [`FlipsMiddleware::cluster_privately`], plus a configuration
+    /// error for a zero `pool_cap`.
+    pub fn cluster_from_source(
+        source: &dyn CandidateSource,
+        pool_cap: usize,
+        config: &MiddlewareConfig,
+    ) -> Result<PrivateClustering, FlipsError> {
+        if pool_cap == 0 {
+            return Err(FlipsError::InvalidConfig("pool_cap must be positive".into()));
+        }
+        let n = source.num_parties();
+        if n <= pool_cap {
+            let mut lds = Vec::with_capacity(n);
+            source.visit_label_distributions(&mut |_p, counts| {
+                let counts = if counts.is_empty() { vec![0] } else { counts.to_vec() };
+                lds.push(LabelDistribution::from_counts(counts));
+            });
+            return Self::cluster_privately(&lds, config);
+        }
+
+        let mut rng = seeded(derive_seed(config.seed, 0x7EE0));
+
+        // (1) Same enclave bring-up as the flat ceremony.
+        let platform =
+            PlatformKey::new(((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128);
+        let enclave = Enclave::load(
+            CLUSTERING_CODE_ID,
+            EnclaveState { distributions: vec![None; n], selector: None, k: 0 },
+            platform,
+            config.overhead,
+        );
+        let mut attestation = AttestationServer::new(platform);
+        attestation.register(enclave.measurement());
+
+        // (2)+(3) every party attests and provisions, streamed off the
+        // source; the reservoir concurrently picks which parties will
+        // shape the centroids.
+        let mut sample = flips_selection::streaming::Reservoir::new(
+            pool_cap,
+            derive_seed(config.seed, 0x05EE_DCA9),
+        );
+        let mut provision_err: Option<FlipsError> = None;
+        source.visit_label_distributions(&mut |party, counts| {
+            if provision_err.is_some() {
+                return;
+            }
+            sample.push(party);
+            let nonce: u64 = rng.random();
+            let quote = enclave.quote(nonce);
+            if let Err(e) = attestation.verify(&quote, nonce) {
+                provision_err = Some(e.into());
+                return;
+            }
+            let (mut party_end, enclave_end) = SecureChannel::establish(&mut rng);
+            let counts = if counts.is_empty() { vec![0] } else { counts.to_vec() };
+            let ld = LabelDistribution::from_counts(counts);
+            let point = config.transform.apply(&ld.normalized());
+            let sealed = party_end.seal(&encode_distribution(&point));
+            let entered = enclave.enter(|state| -> Result<(), TeeError> {
+                let plain = enclave_end.open(&sealed)?;
+                state.distributions[party] =
+                    Some(decode_distribution(plain).map_err(|_| TeeError::IntegrityViolation)?);
+                Ok(())
+            });
+            match entered {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => provision_err = Some(e.into()),
+                Err(e) => provision_err = Some(FlipsError::Tee(e)),
+            }
+        });
+        if let Some(e) = provision_err {
+            return Err(e);
+        }
+        let mut sampled = sample.into_kept();
+        sampled.sort_unstable();
+
+        // (4)+(5) elbow + K-Means over the subsample, nearest-centroid
+        // assignment over the full roster — all inside the enclave.
+        let cluster_seed = derive_seed(config.seed, 0xC1F5);
+        let cfg = *config;
+        let k = enclave
+            .enter(move |state| -> Result<usize, FlipsError> {
+                let m = sampled.len();
+                let points: Vec<Vec<f32>> = sampled
+                    .iter()
+                    .map(|&p| state.distributions[p].clone().expect("all parties provisioned"))
+                    .collect();
+                let k = match cfg.fixed_k {
+                    Some(k) => k,
+                    None => {
+                        let k_max = cfg.k_max.clamp(2, m - 1);
+                        let elbow_cfg = ElbowConfig {
+                            restarts: cfg.restarts.max(1),
+                            ..ElbowConfig::new(k_max, cluster_seed)
+                        };
+                        let elbow_k = optimal_k(&points, elbow_cfg)?.k;
+                        match cfg.k_floor {
+                            Some(floor) => elbow_k.max(floor.min(m - 1)),
+                            None => elbow_k,
+                        }
+                    }
+                };
+                let mut krng = seeded(derive_seed(cluster_seed, k as u64));
+                let clustering = kmeans(&mut krng, &points, KMeansConfig::new(k))?;
+                // Every party — sampled or not — goes to its nearest
+                // centroid (ties → lowest cluster id), so the partition
+                // covers the whole roster under one deterministic rule.
+                let mut clusters: Vec<Vec<PartyId>> = vec![Vec::new(); clustering.k()];
+                for (party, dist) in state.distributions.iter().enumerate() {
+                    let point = dist.as_ref().expect("all parties provisioned");
+                    let mut best = 0usize;
+                    let mut best_d = f32::INFINITY;
+                    for (c, centroid) in clustering.centroids.iter().enumerate() {
+                        let d = flips_ml::matrix::euclidean_distance(point, centroid);
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    clusters[best].push(party);
+                }
+                clusters.retain(|c| !c.is_empty());
                 let mut selector = FlipsSelector::new(clusters)?;
                 if !cfg.overprovision {
                     selector = selector.without_overprovisioning();

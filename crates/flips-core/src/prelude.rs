@@ -21,9 +21,9 @@ pub use flips_fl::{
     BreakerState, ChaosAction, ChaosSchedule, ChaosTransport, ChaosWeights, Clock, Coordinator,
     CoordinatorConfig, DeadlinePolicy, DriverStats, Effect, Event, FlAlgorithm, FlJob, FlJobConfig,
     GuardConfig, GuardPlane, History, JobParts, LatencyModel, LocalTrainingConfig, MemoryTransport,
-    ModelCodec, MultiJobDriver, ObservedLatency, PartyEndpoint, PartyPool, RateLimit, RejectReason,
-    RoundRecord, RuntimeOptions, ScriptedClock, ShardedOutcome, StragglerInjector, StreamTransport,
-    TimerWheel, Transport, WireMessage,
+    ModelCodec, MultiJobDriver, ObservedLatency, PartyEndpoint, PartyPool, PartyRecord, RateLimit,
+    RejectReason, RosterBuilder, RosterStore, RoundRecord, RuntimeOptions, ScriptedClock,
+    ShardedOutcome, StragglerInjector, StreamTransport, TimerWheel, Transport, WireMessage,
 };
 pub use flips_ml::{metrics::ConfusionMatrix, model::ModelSpec, Matrix, Model};
 pub use flips_selection::{ParticipantSelector, PartyId, RoundFeedback, SelectorKind};

@@ -1,0 +1,461 @@
+//! Exact hierarchical aggregation: the fixed-point weighted-sum fold
+//! behind the aggregation tree.
+//!
+//! FedAvg's weighted mean `x̄ = Σ nᵢ·xᵢ / Σ nᵢ` is not associative in
+//! floating point: folding shard-level partial sums and folding the flat
+//! update list round differently, so a naive aggregation tree could
+//! never be pinned bit-identical to a flat run. This module removes the
+//! rounding instead of fighting it: every product `nᵢ·xᵢ` (an integer
+//! weight times an `f32`-originated value) is representable *exactly* in
+//! a 256-bit fixed-point integer, and integer addition is associative
+//! and commutative — so any partition of the updates into shard
+//! partials, merged in any order, produces the same 256-bit sum, and the
+//! single rounding step happens once, at [`ExactWeightedSum::finish_into`].
+//!
+//! That partition-independence is what lets [`crate::PartyPool`] inner
+//! nodes fold their own endpoints' updates into one
+//! [`crate::WireMessage::PartialUpdate`] frame per round without any
+//! cross-shard coordination: the coordinator merges partials in arrival
+//! order and still matches the flat fold bit-for-bit
+//! (`crates/flips-fl/tests/aggregation_props.rs` pins this for
+//! arbitrary partitions).
+//!
+//! Domain bounds (asserted, and generous for FL updates): parameters
+//! must be finite `f32` with `|x| < 2³¹`, weights below `2³²`, and at
+//! most `2²⁰` folded terms per sum — the scaled magnitudes then top out
+//! near `2²³⁵`, well inside the signed 256-bit range.
+
+use crate::FlError;
+
+/// Fixed-point scale: values are stored as `round_exact(x · 2¹⁵²)`.
+/// `2⁻¹⁵²` sits below the smallest `f32`-subnormal times the largest
+/// supported weight's shift, so every admissible product is exact.
+const SCALE_BITS: i32 = 152;
+
+/// Largest admissible per-update weight (exclusive).
+const MAX_WEIGHT: u64 = 1 << 32;
+
+/// Largest admissible parameter magnitude (exclusive).
+const MAX_PARAM: f32 = 2_147_483_648.0; // 2^31
+
+/// Whether `x` lies inside the exact fold's parameter domain (finite,
+/// `|x| < 2³¹`) — what [`ExactWeightedSum::fold`] will accept.
+pub fn param_in_domain(x: f32) -> bool {
+    x.is_finite() && x.abs() < MAX_PARAM
+}
+
+/// A signed 256-bit accumulator per parameter: little-endian `u64`
+/// limbs, two's-complement, wrapping add (exact within the documented
+/// domain bounds).
+type Limbs = [u64; 4];
+
+fn add256(acc: &mut Limbs, v: &Limbs) {
+    let mut carry = 0u64;
+    for (a, &b) in acc.iter_mut().zip(v) {
+        let (s1, c1) = a.overflowing_add(b);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *a = s2;
+        carry = u64::from(c1) + u64::from(c2);
+    }
+}
+
+fn neg256(v: &mut Limbs) {
+    for limb in v.iter_mut() {
+        *limb = !*limb;
+    }
+    add256(v, &[1, 0, 0, 0]);
+}
+
+/// Adds `p · w · 2¹⁵²` (exact) into `acc`.
+fn add_scaled(acc: &mut Limbs, p: f32, w: u64) {
+    if p == 0.0 || w == 0 {
+        return;
+    }
+    let q = f64::from(p); // exact widening
+    let bits = q.to_bits();
+    let negative = bits >> 63 == 1;
+    // f32 → f64 never produces an f64 subnormal, so the implicit bit is
+    // always set.
+    let mantissa = (bits & ((1u64 << 52) - 1)) | (1u64 << 52);
+    let e = ((bits >> 52) & 0x7FF) as i32 - 1023 - 52;
+    let mut value = u128::from(mantissa) * u128::from(w); // ≤ 2^85 · 2^32
+    let mut shift = e + SCALE_BITS;
+    if shift < 0 {
+        // Exact: an f32's lowest set bit is ≥ 2⁻¹⁴⁹, so the value has at
+        // least 152 − 149 = 3 trailing zero bits at this point.
+        debug_assert!(value.trailing_zeros() >= shift.unsigned_abs());
+        value >>= shift.unsigned_abs();
+        shift = 0;
+    }
+    let idx = (shift / 64) as usize;
+    let off = (shift % 64) as u32;
+    let lo = value as u64;
+    let hi = (value >> 64) as u64;
+    let (w0, w1, w2) = if off == 0 {
+        (lo, hi, 0u64)
+    } else {
+        (lo << off, (hi << off) | (lo >> (64 - off)), hi >> (64 - off))
+    };
+    let mut addend = [0u64; 4];
+    addend[idx] = w0;
+    if w1 != 0 {
+        addend[idx + 1] = w1;
+    }
+    if w2 != 0 {
+        addend[idx + 2] = w2;
+    }
+    if negative {
+        neg256(&mut addend);
+    }
+    add256(acc, &addend);
+}
+
+/// Converts a signed 256-bit fixed-point value back to the nearest
+/// `f64` (round-to-nearest-even), the single rounding step of the fold.
+fn to_f64(limbs: &Limbs) -> f64 {
+    let negative = limbs[3] >> 63 == 1;
+    let mut mag = *limbs;
+    if negative {
+        neg256(&mut mag);
+    }
+    let high = match mag.iter().rposition(|&l| l != 0) {
+        Some(i) => i,
+        None => return 0.0,
+    };
+    let top_bit = high as u32 * 64 + (63 - mag[high].leading_zeros());
+    let (mut m, exp) = if top_bit <= 52 {
+        // Fits 53 bits: exact (limbs above `high` are zero here).
+        (u128::from(mag[1]) << 64 | u128::from(mag[0]), -SCALE_BITS)
+    } else {
+        let shift = top_bit - 52;
+        let mut m: u128 = 0;
+        for i in (0..4).rev() {
+            let base = i as u32 * 64;
+            if base >= shift {
+                m |= u128::from(mag[i]) << (base - shift);
+            } else if base + 64 > shift {
+                m |= u128::from(mag[i] >> (shift - base));
+            }
+        }
+        // Round half to even on the dropped bits.
+        let guard_pos = shift - 1;
+        let guard = mag[(guard_pos / 64) as usize] >> (guard_pos % 64) & 1 == 1;
+        let sticky = (0..guard_pos).any(|b| mag[(b / 64) as usize] >> (b % 64) & 1 == 1);
+        if guard && (sticky || m & 1 == 1) {
+            m += 1; // may carry to 2^53 — still exactly representable
+        }
+        (m, shift as i32 - SCALE_BITS)
+    };
+    if m == 0 {
+        return 0.0;
+    }
+    // Normalize a rounding carry so the scalbn below stays exact.
+    let mut exp = exp;
+    if m == 1u128 << 53 {
+        m >>= 1;
+        exp += 1;
+    }
+    let out = (m as f64) * f64::powi(2.0, exp);
+    if negative {
+        -out
+    } else {
+        out
+    }
+}
+
+/// The exact sample-weighted sum `Σ nᵢ·xᵢ` of a set of parameter
+/// vectors, with its weight total — the unit of work an aggregation-tree
+/// inner node computes and the coordinator merges.
+///
+/// # Example
+///
+/// Any partition of the updates folds to the same bits:
+///
+/// ```
+/// use flips_fl::aggtree::ExactWeightedSum;
+///
+/// let updates: [(&[f32], u64); 3] = [(&[1.5, -2.0], 10), (&[0.25, 4.0], 3), (&[-9.0, 0.5], 7)];
+/// let mut flat = ExactWeightedSum::new(2);
+/// for (p, w) in updates {
+///     flat.fold(p, w).unwrap();
+/// }
+/// let mut left = ExactWeightedSum::new(2);
+/// left.fold(updates[2].0, updates[2].1).unwrap();
+/// let mut right = ExactWeightedSum::new(2);
+/// right.fold(updates[0].0, updates[0].1).unwrap();
+/// right.fold(updates[1].0, updates[1].1).unwrap();
+/// left.merge(&right).unwrap();
+/// let mut a = Vec::new();
+/// let mut b = Vec::new();
+/// flat.finish_into(&mut a).unwrap();
+/// left.finish_into(&mut b).unwrap();
+/// assert_eq!(a, b, "bit-exact under re-partition");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactWeightedSum {
+    limbs: Vec<Limbs>,
+    total_weight: u64,
+    terms: u64,
+}
+
+/// Maximum folded/merged terms per sum (keeps the accumulator inside
+/// the signed 256-bit range with headroom).
+const MAX_TERMS: u64 = 1 << 20;
+
+impl ExactWeightedSum {
+    /// An empty sum over `dim` parameters.
+    pub fn new(dim: usize) -> Self {
+        ExactWeightedSum { limbs: vec![[0u64; 4]; dim], total_weight: 0, terms: 0 }
+    }
+
+    /// The parameter dimension.
+    pub fn dim(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// The summed weight `Σ nᵢ`.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Whether nothing was folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms == 0
+    }
+
+    /// Folds one update in: `self += weight · params`, exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] on a dimension mismatch, a
+    /// non-finite or out-of-range parameter, a weight of zero or
+    /// ≥ 2³², or a sum that already folded 2²⁰ terms.
+    pub fn fold(&mut self, params: &[f32], weight: u64) -> Result<(), FlError> {
+        if params.len() != self.limbs.len() {
+            return Err(FlError::InvalidConfig(format!(
+                "update has {} params, sum is over {}",
+                params.len(),
+                self.limbs.len()
+            )));
+        }
+        if weight == 0 || weight >= MAX_WEIGHT {
+            return Err(FlError::InvalidConfig(format!(
+                "aggregation weight {weight} outside 1..2^32"
+            )));
+        }
+        if self.terms >= MAX_TERMS {
+            return Err(FlError::InvalidConfig("exact fold exceeded 2^20 terms".into()));
+        }
+        if let Some(bad) = params.iter().find(|x| !param_in_domain(**x)) {
+            return Err(FlError::InvalidConfig(format!(
+                "parameter {bad} is outside the exact-fold domain (finite, |x| < 2^31)"
+            )));
+        }
+        for (acc, &p) in self.limbs.iter_mut().zip(params) {
+            add_scaled(acc, p, weight);
+        }
+        self.total_weight += weight;
+        self.terms += 1;
+        Ok(())
+    }
+
+    /// Merges another partial sum in: `self += other`, exactly. This is
+    /// the coordinator's combine step — associative and commutative, so
+    /// shard partials may arrive in any order and any grouping.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] on a dimension mismatch or a term
+    /// count overflowing the 2²⁰ bound.
+    pub fn merge(&mut self, other: &ExactWeightedSum) -> Result<(), FlError> {
+        if other.limbs.len() != self.limbs.len() {
+            return Err(FlError::InvalidConfig(format!(
+                "cannot merge a {}-dim partial into a {}-dim sum",
+                other.limbs.len(),
+                self.limbs.len()
+            )));
+        }
+        if self.terms + other.terms > MAX_TERMS {
+            return Err(FlError::InvalidConfig("exact merge exceeded 2^20 terms".into()));
+        }
+        for (acc, v) in self.limbs.iter_mut().zip(&other.limbs) {
+            add256(acc, v);
+        }
+        self.total_weight += other.total_weight;
+        self.terms += other.terms;
+        Ok(())
+    }
+
+    /// Resolves the weighted mean `x̄ = Σ nᵢ·xᵢ / Σ nᵢ` into `accum` —
+    /// the fold's one rounding step (per parameter: one
+    /// nearest-even conversion of the 256-bit sum, one `f64` division).
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] when nothing was folded in (a weight
+    /// total of zero has no mean).
+    pub fn finish_into(&self, accum: &mut Vec<f64>) -> Result<(), FlError> {
+        if self.total_weight == 0 {
+            return Err(FlError::InvalidConfig("no updates to aggregate".into()));
+        }
+        let total = self.total_weight as f64;
+        accum.clear();
+        accum.extend(self.limbs.iter().map(|l| to_f64(l) / total));
+        Ok(())
+    }
+
+    /// Serializes the accumulator limbs for the wire, little-endian
+    /// limb order per parameter (`4 · dim` words).
+    pub fn raw_limbs(&self) -> Vec<u64> {
+        self.limbs.iter().flatten().copied().collect()
+    }
+
+    /// Rebuilds a partial from wire words produced by
+    /// [`ExactWeightedSum::raw_limbs`]. `terms` is the number of updates
+    /// folded into it (bounds the merge budget).
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] when the word count is not a multiple
+    /// of 4 or the term count is outside `1..=2²⁰`.
+    pub fn from_raw(words: &[u64], total_weight: u64, terms: u64) -> Result<Self, FlError> {
+        if !words.len().is_multiple_of(4) {
+            return Err(FlError::InvalidConfig(format!(
+                "{} limb words is not a whole number of parameters",
+                words.len()
+            )));
+        }
+        if terms == 0 || terms > MAX_TERMS {
+            return Err(FlError::InvalidConfig(format!(
+                "partial term count {terms} outside 1..=2^20"
+            )));
+        }
+        let limbs = words.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect();
+        Ok(ExactWeightedSum { limbs, total_weight, terms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flips_ml::rng::seeded;
+    use rand::Rng;
+
+    fn finish(sum: &ExactWeightedSum) -> Vec<f64> {
+        let mut out = Vec::new();
+        sum.finish_into(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn single_update_is_identity() {
+        let mut sum = ExactWeightedSum::new(3);
+        sum.fold(&[1.25, -0.5, 3.0], 7).unwrap();
+        assert_eq!(finish(&sum), vec![1.25, -0.5, 3.0]);
+    }
+
+    #[test]
+    fn matches_rational_arithmetic_on_dyadic_inputs() {
+        // 10·0.5 + 6·(−0.25) = 3.5; mean = 3.5/16 = 0.21875, exact.
+        let mut sum = ExactWeightedSum::new(1);
+        sum.fold(&[0.5], 10).unwrap();
+        sum.fold(&[-0.25], 6).unwrap();
+        assert_eq!(finish(&sum), vec![0.21875]);
+    }
+
+    #[test]
+    fn partition_independent_bit_exact() {
+        let mut rng = seeded(0xA6_17EE);
+        let dim = 33;
+        let updates: Vec<(Vec<f32>, u64)> = (0..64)
+            .map(|_| {
+                let params: Vec<f32> =
+                    (0..dim).map(|_| (rng.random::<f32>() - 0.5) * 2000.0).collect();
+                (params, rng.random_range(1..5000))
+            })
+            .collect();
+        let mut flat = ExactWeightedSum::new(dim);
+        for (p, w) in &updates {
+            flat.fold(p, *w).unwrap();
+        }
+        // Shard by residue, merge shards in descending order.
+        for shards in [2usize, 3, 7] {
+            let mut partials: Vec<ExactWeightedSum> =
+                (0..shards).map(|_| ExactWeightedSum::new(dim)).collect();
+            for (i, (p, w)) in updates.iter().enumerate() {
+                partials[i % shards].fold(p, *w).unwrap();
+            }
+            let mut merged = ExactWeightedSum::new(dim);
+            for part in partials.iter().rev() {
+                merged.merge(part).unwrap();
+            }
+            assert_eq!(merged, flat, "{shards} shards");
+            assert_eq!(finish(&merged), finish(&flat));
+        }
+    }
+
+    #[test]
+    fn tiny_and_huge_magnitudes_cancel_exactly() {
+        let mut sum = ExactWeightedSum::new(1);
+        let tiny = f32::from_bits(1); // smallest subnormal, 2^-149
+        sum.fold(&[1.0e9], 1).unwrap();
+        sum.fold(&[tiny], 1).unwrap();
+        sum.fold(&[-1.0e9], 1).unwrap();
+        sum.fold(&[-tiny], 1).unwrap();
+        assert_eq!(finish(&sum), vec![0.0]);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_bits() {
+        let mut rng = seeded(9);
+        let mut sum = ExactWeightedSum::new(5);
+        for _ in 0..10 {
+            let p: Vec<f32> = (0..5).map(|_| rng.random::<f32>() - 0.5).collect();
+            sum.fold(&p, rng.random_range(1..100)).unwrap();
+        }
+        let wire = sum.raw_limbs();
+        let back = ExactWeightedSum::from_raw(&wire, sum.total_weight(), 10).unwrap();
+        assert_eq!(back, sum);
+    }
+
+    #[test]
+    fn matches_f64_mean_within_half_ulp_envelope() {
+        // Sanity: the exact mean should sit inside the spread of naive
+        // f64 left-folds (it *is* the correctly rounded sum).
+        let mut rng = seeded(31);
+        let updates: Vec<(f32, u64)> =
+            (0..100).map(|_| (rng.random::<f32>() * 10.0 - 5.0, rng.random_range(1..50))).collect();
+        let mut sum = ExactWeightedSum::new(1);
+        let mut naive = 0.0f64;
+        let mut total = 0.0f64;
+        for &(p, w) in &updates {
+            sum.fold(&[p], w).unwrap();
+            naive += w as f64 * f64::from(p);
+            total += w as f64;
+        }
+        let exact = finish(&sum)[0];
+        assert!((exact - naive / total).abs() <= 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn rejects_domain_violations() {
+        let mut sum = ExactWeightedSum::new(1);
+        assert!(sum.fold(&[f32::NAN], 1).is_err());
+        assert!(sum.fold(&[f32::INFINITY], 1).is_err());
+        assert!(sum.fold(&[3.0e9], 1).is_err());
+        assert!(sum.fold(&[1.0], 0).is_err());
+        assert!(sum.fold(&[1.0], 1 << 32).is_err());
+        assert!(sum.fold(&[1.0, 2.0], 1).is_err());
+        let other = ExactWeightedSum::new(2);
+        assert!(sum.merge(&other).is_err());
+        let mut out = Vec::new();
+        assert!(sum.finish_into(&mut out).is_err(), "empty sum has no mean");
+    }
+
+    #[test]
+    fn from_raw_validates_shape() {
+        assert!(ExactWeightedSum::from_raw(&[1, 2, 3], 1, 1).is_err());
+        assert!(ExactWeightedSum::from_raw(&[1, 2, 3, 4], 1, 0).is_err());
+        assert!(ExactWeightedSum::from_raw(&[1, 2, 3, 4], 1, MAX_TERMS + 1).is_err());
+    }
+}

@@ -251,6 +251,47 @@ fn stats_words(stats: &DriverStats) -> [u64; 17] {
     ]
 }
 
+/// Magic tag of a sealed roster segment (see [`crate::roster`]).
+pub(crate) const SEGMENT_MAGIC: [u8; 4] = *b"FLRS";
+
+/// Roster-segment envelope version.
+pub(crate) const SEGMENT_VERSION: u32 = 1;
+
+/// Seals an opaque payload in the FLCK integrity envelope — magic,
+/// version, FNV-1a checksum — the same tamper evidence checkpoints get,
+/// reused by the roster spill path so a damaged segment file can only
+/// ever produce an error, never a silently wrong roster.
+pub(crate) fn seal_segment(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    put_u32(&mut out, SEGMENT_VERSION);
+    put_u64(&mut out, fnv1a(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Opens a sealed roster segment, rejecting wrong magic, unknown
+/// versions, truncation and bit damage.
+pub(crate) fn unseal_segment(bytes: &[u8]) -> Result<&[u8], FlError> {
+    let mut cur = Cursor::new(bytes);
+    let magic: [u8; 4] = cur.bytes(4)?.try_into().expect("4 bytes");
+    if magic != SEGMENT_MAGIC {
+        return Err(bad("not a roster segment: bad magic"));
+    }
+    let version = cur.u32()?;
+    if version != SEGMENT_VERSION {
+        return Err(bad(format!(
+            "unsupported roster segment version {version} (this build reads {SEGMENT_VERSION})"
+        )));
+    }
+    let checksum = cur.u64()?;
+    let payload = &bytes[16..];
+    if fnv1a(payload) != checksum {
+        return Err(bad("roster segment failed its checksum"));
+    }
+    Ok(payload)
+}
+
 /// FNV-1a 64 over the payload.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -607,6 +648,9 @@ impl Checkpoint {
             drain_refused_selections: words[14],
             links_lost: words[15],
             links_resumed: words[16],
+            // Roster spill counters are live-computed from attached
+            // stores, never persisted (see `DriverStats::roster_spilled`).
+            ..DriverStats::default()
         };
 
         let n = c.len(1)?;

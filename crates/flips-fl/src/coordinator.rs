@@ -30,6 +30,7 @@
 //! as stragglers — the deadline *is* the straggler mechanism, there is no
 //! separate injection path inside the protocol.
 
+use crate::aggtree::ExactWeightedSum;
 use crate::codec::ModelCodec;
 use crate::config::FlAlgorithm;
 use crate::events::{Effect, Event, RejectReason};
@@ -44,7 +45,7 @@ use flips_ml::model::{Model, ModelSpec};
 use flips_ml::rng::{derive_seed, seeded};
 use flips_selection::gradclus::sketch_update;
 use flips_selection::{ParticipantSelector, PartyId, RoundFeedback};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Static configuration of one coordinator.
 #[derive(Debug, Clone)]
@@ -85,6 +86,13 @@ struct OpenRound {
     dropped: HashSet<PartyId>,
     /// Parties that acked their selection notice.
     heartbeats: HashSet<PartyId>,
+    /// Merged aggregation-tree partials received this round (exact-fold
+    /// mode only; the flat updates' fold joins it at close).
+    partial: Option<ExactWeightedSum>,
+    /// Selector-feedback sketches shipped inside partials, keyed by
+    /// covered party (their parameters were folded away upstream, so the
+    /// coordinator can no longer compute these itself).
+    shipped_sketches: HashMap<PartyId, Vec<f32>>,
     bytes_down: u64,
     bytes_up: u64,
 }
@@ -154,6 +162,11 @@ pub struct Coordinator {
     /// replay tape a checkpoint restore uses to rebuild selector state
     /// deterministically.
     feedback_log: Vec<RoundFeedback>,
+    /// Aggregate through the exact fixed-point fold
+    /// ([`crate::aggtree`]) instead of the default per-update f64 fold —
+    /// the mode that accepts [`WireMessage::PartialUpdate`] tree
+    /// partials. See [`Coordinator::set_exact_fold`].
+    exact_fold: bool,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -231,8 +244,46 @@ impl Coordinator {
             delta_buf: Vec::new(),
             active: vec![true; num_parties],
             feedback_log: Vec::new(),
+            exact_fold: false,
             config,
         })
+    }
+
+    /// Switches this coordinator between the default aggregation path
+    /// (per-update f64 weighted fold, sketches against the
+    /// *post*-aggregation global) and the **exact-fold** path: every
+    /// update folds into one 256-bit fixed-point sum
+    /// ([`crate::aggtree::ExactWeightedSum`]) with a single rounding at
+    /// close, and feedback sketches are taken against the round's
+    /// *dispatched* (pre-aggregation) global.
+    ///
+    /// Exact mode is what makes aggregation trees pinnable: partials
+    /// folded at [`crate::PartyPool`] inner nodes
+    /// ([`WireMessage::PartialUpdate`]) merge into the same bits as a
+    /// flat exact run regardless of how updates were partitioned — so a
+    /// flat exact-fold run is the equivalence oracle for every tree
+    /// topology. Default mode ignores tree partials (rejected as
+    /// [`RejectReason::WrongDirection`]) and its histories are **not**
+    /// comparable to exact-mode histories: the two paths round
+    /// differently and sketch against different reference models.
+    ///
+    /// Flip only between jobs (or before the first round opens) — the
+    /// mode is not per-round state and is not checkpointed; a restoring
+    /// runtime re-applies it.
+    pub fn set_exact_fold(&mut self, on: bool) {
+        self.exact_fold = on;
+    }
+
+    /// Whether the exact-fold aggregation path is active.
+    pub fn exact_fold(&self) -> bool {
+        self.exact_fold
+    }
+
+    /// The dimension of the update sketches reported to the selector —
+    /// tree inner nodes must compute shipped sketches at exactly this
+    /// width.
+    pub fn sketch_dim(&self) -> usize {
+        self.config.sketch_dim
     }
 
     /// The job identifier stamped on every outbound message.
@@ -476,6 +527,8 @@ impl Coordinator {
             updates: Vec::new(),
             dropped: HashSet::new(),
             heartbeats: HashSet::new(),
+            partial: None,
+            shipped_sketches: HashMap::new(),
             bytes_down,
             bytes_up: 0,
         });
@@ -571,12 +624,123 @@ impl Coordinator {
                 if params.len() != self.global.len() {
                     return reject(some, round, RejectReason::WrongModelSize);
                 }
+                // The exact fold's domain is narrower than f32: a
+                // non-finite or astronomically-scaled parameter (or a
+                // weight outside 1..2³²) must bounce at the door, not
+                // error the whole round at close. (Default mode keeps
+                // its historical tolerance — goldens are pinned on it.)
+                if self.exact_fold
+                    && (num_samples == 0
+                        || num_samples >= 1 << 32
+                        || params.iter().any(|x| !crate::aggtree::param_in_domain(*x)))
+                {
+                    return reject(some, round, RejectReason::WrongModelSize);
+                }
                 open.bytes_up += crate::message::local_update_bytes(params.len()) as u64;
                 open.pending.remove(&pid);
                 open.updates.push((
                     pid,
                     LocalUpdate { params, num_samples: num_samples as usize, mean_loss, duration },
                 ));
+                if open.pending.is_empty() {
+                    return self.close_round();
+                }
+                Ok(Vec::new())
+            }
+            WireMessage::PartialUpdate { job, round, total_weight, entries, dim, limbs } => {
+                // The aggregation-tree uplink: a pre-folded partial
+                // covering several parties. Container-level problems
+                // reject once with no sender (the frame is the inner
+                // node's, not any one party's); entry-level problems
+                // reject per covered party and discard the whole partial
+                // unmerged — a folded sum cannot exclude one bad entry,
+                // and an inner-node bug must not corrupt the aggregate.
+                if job != self.config.job_id {
+                    return reject(None, round, RejectReason::WrongJob);
+                }
+                if !self.exact_fold {
+                    // Only the exact-fold path can merge partials; on a
+                    // default-mode coordinator the frame is a protocol-
+                    // shape violation, not data.
+                    return reject(None, round, RejectReason::WrongDirection);
+                }
+                let Some(open) = &mut self.open else {
+                    return reject(None, round, RejectReason::NoOpenRound);
+                };
+                if round != open.round {
+                    return reject(None, round, RejectReason::WrongRound);
+                }
+                if dim as usize != self.global.len() || limbs.len() != dim as usize * 4 {
+                    return reject(None, round, RejectReason::WrongModelSize);
+                }
+                if entries.is_empty() {
+                    // Nothing folded in: benign no-op (an inner node may
+                    // flush an empty cycle).
+                    return Ok(Vec::new());
+                }
+                let mut effects = Vec::new();
+                let mut weight_sum = 0u64;
+                let mut seen = HashSet::with_capacity(entries.len());
+                for e in &entries {
+                    let pid = e.party as PartyId;
+                    let bad = if e.party >= self.num_parties as u64
+                        || !open.selected_set.contains(&pid)
+                    {
+                        Some(RejectReason::NotSelected)
+                    } else if open.dropped.contains(&pid) {
+                        Some(RejectReason::PartyDropped)
+                    } else if !seen.insert(pid) || open.updates.iter().any(|(p, _)| *p == pid) {
+                        Some(RejectReason::DuplicateUpdate)
+                    } else if e.sketch.len() != self.config.sketch_dim {
+                        Some(RejectReason::WrongModelSize)
+                    } else {
+                        None
+                    };
+                    if let Some(reason) = bad {
+                        effects.push(Effect::Rejected { party: Some(pid), round, reason });
+                    }
+                    weight_sum = weight_sum.saturating_add(e.num_samples);
+                }
+                if !effects.is_empty() {
+                    return Ok(effects);
+                }
+                // The declared fold weight must equal the entries' sum
+                // (a skewed weight would silently bias the mean), and
+                // the limb block must rebuild into a mergeable sum.
+                let partial = if total_weight == weight_sum {
+                    ExactWeightedSum::from_raw(&limbs, total_weight, entries.len() as u64).ok()
+                } else {
+                    None
+                };
+                let Some(partial) = partial else {
+                    return reject(None, round, RejectReason::WrongModelSize);
+                };
+                match &mut open.partial {
+                    Some(sum) => {
+                        if sum.merge(&partial).is_err() {
+                            return reject(None, round, RejectReason::WrongModelSize);
+                        }
+                    }
+                    None => open.partial = Some(partial),
+                }
+                for e in entries {
+                    let pid = e.party as PartyId;
+                    // Byte accounting stays raw-canonical: each covered
+                    // update counts as if it had traveled flat, so tree
+                    // and flat histories agree on bytes_up.
+                    open.bytes_up += crate::message::local_update_bytes(dim as usize) as u64;
+                    open.pending.remove(&pid);
+                    open.updates.push((
+                        pid,
+                        LocalUpdate {
+                            params: Vec::new(),
+                            num_samples: e.num_samples as usize,
+                            mean_loss: e.mean_loss,
+                            duration: e.duration,
+                        },
+                    ));
+                    open.shipped_sketches.insert(pid, e.sketch);
+                }
                 if open.pending.is_empty() {
                     return self.close_round();
                 }
@@ -653,6 +817,34 @@ impl Coordinator {
         // parameter-vector clones.
         let mean_train_loss = if open.updates.is_empty() {
             0.0
+        } else if self.exact_fold {
+            // Exact-fold path: flat updates and tree partials meet in one
+            // associative 256-bit sum, so any partition of the cohort
+            // across inner nodes lands on the same bits. Feedback
+            // sketches are taken against the *dispatched* global before
+            // it advances — the same reference a tree inner node used
+            // for the shipped ones.
+            for (p, u) in &open.updates {
+                if !u.params.is_empty() {
+                    self.delta_buf.clear();
+                    self.delta_buf.extend(u.params.iter().zip(&self.global).map(|(x, g)| x - g));
+                    open.shipped_sketches
+                        .insert(*p, sketch_update(&self.delta_buf, self.config.sketch_dim));
+                }
+            }
+            let mut sum = ExactWeightedSum::new(self.global.len());
+            for (_, u) in &open.updates {
+                if !u.params.is_empty() {
+                    sum.fold(&u.params, u.num_samples as u64)?;
+                }
+            }
+            if let Some(partial) = &open.partial {
+                sum.merge(partial)?;
+            }
+            let mut accum = Vec::with_capacity(self.global.len());
+            sum.finish_into(&mut accum)?;
+            self.server.apply_aggregate(&mut self.global, &accum)?;
+            open.updates.iter().map(|(_, u)| u.mean_loss).sum::<f64>() / open.updates.len() as f64
         } else {
             let locals: Vec<&LocalUpdate> = open.updates.iter().map(|(_, u)| u).collect();
             self.server.apply_round_refs(&mut self.global, &locals)?;
@@ -683,13 +875,24 @@ impl Coordinator {
         for (p, u) in &open.updates {
             feedback.train_loss.insert(*p, u.mean_loss);
             feedback.duration.insert(*p, u.duration);
-            // Reusable delta buffer — the sketch is the only per-party
-            // allocation left, and it is handed to the selector.
-            self.delta_buf.clear();
-            self.delta_buf.extend(u.params.iter().zip(&self.global).map(|(x, g)| x - g));
-            feedback
-                .update_sketch
-                .insert(*p, sketch_update(&self.delta_buf, self.config.sketch_dim));
+            if self.exact_fold {
+                // Pre-aggregation sketches: computed above for flat
+                // updates, shipped inside the partial for tree-covered
+                // parties — the two sources are bitwise interchangeable.
+                let sketch = open
+                    .shipped_sketches
+                    .remove(p)
+                    .unwrap_or_else(|| sketch_update(&[], self.config.sketch_dim));
+                feedback.update_sketch.insert(*p, sketch);
+            } else {
+                // Reusable delta buffer — the sketch is the only per-party
+                // allocation left, and it is handed to the selector.
+                self.delta_buf.clear();
+                self.delta_buf.extend(u.params.iter().zip(&self.global).map(|(x, g)| x - g));
+                feedback
+                    .update_sketch
+                    .insert(*p, sketch_update(&self.delta_buf, self.config.sketch_dim));
+            }
         }
         self.feedback_log.push(feedback.clone());
         self.selector.report(&feedback);

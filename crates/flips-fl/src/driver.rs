@@ -31,6 +31,7 @@
 //! over this path is bit-identical to the same seed under `FlJob` (see
 //! `tests/protocol_equivalence.rs`).
 
+use crate::aggtree::ExactWeightedSum;
 use crate::checkpoint::{Checkpoint, CodecRefSnapshot, JobSnapshot};
 use crate::codec::{CodecMap, ModelCodec, Negotiation, Role};
 use crate::config::DeadlinePolicy;
@@ -39,11 +40,14 @@ use crate::events::{Effect, Event, RejectReason};
 use crate::guard::{FrameKind, FrameVerdict, GuardConfig, GuardPlane};
 use crate::history::History;
 use crate::latency::{LatencyModel, ObservedLatency};
-use crate::message::{deframe_with, frame_into, frame_job, frame_party_of, AGGREGATOR_DEST};
+use crate::message::{
+    deframe_with, frame_into, frame_job, frame_party_of, PartialEntry, AGGREGATOR_DEST,
+};
 use crate::straggler::Clock;
 use crate::transport::{Transport, MAX_FRAME_BYTES};
 use crate::{FlError, JobParts, PartyEndpoint, WireMessage};
 use bytes::BytesMut;
+use flips_selection::gradclus::sketch_update;
 use flips_selection::PartyId;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -147,6 +151,13 @@ pub struct DriverStats {
     pub links_lost: u64,
     /// Parked links a reconnecting peer successfully re-attached to.
     pub links_resumed: u64,
+    /// Roster segments written to disk by attached [`crate::RosterStore`]s
+    /// (see [`MultiJobDriver::attach_roster`]). Computed live from the
+    /// stores, never checkpointed — a restored store re-counts from
+    /// zero.
+    pub roster_spilled: u64,
+    /// Roster segments loaded back from disk by attached stores.
+    pub roster_loaded: u64,
 }
 
 /// The final snapshot a drained driver reports (see
@@ -316,6 +327,10 @@ pub struct MultiJobDriver<T: Transport> {
     /// Jobs whose next open is queued (close order; drained by
     /// [`MultiJobDriver::open_pending`]).
     pending_open: Vec<u64>,
+    /// Roster stores attached for observability
+    /// ([`MultiJobDriver::attach_roster`]); their spill/load counters
+    /// surface through [`MultiJobDriver::stats`].
+    rosters: Vec<std::sync::Arc<crate::RosterStore>>,
 }
 
 impl<T: Transport> std::fmt::Debug for MultiJobDriver<T> {
@@ -344,7 +359,18 @@ impl<T: Transport> MultiJobDriver<T> {
             started: false,
             deferred_opens: false,
             pending_open: Vec::new(),
+            rosters: Vec::new(),
         }
+    }
+
+    /// Attaches a roster store so its spill/load traffic shows up in
+    /// [`MultiJobDriver::stats`] (`roster_spilled` / `roster_loaded`,
+    /// summed across attached stores). Observability only: selection
+    /// reads the store through its own handle; the driver never touches
+    /// the records. Counters are live — they are *not* checkpointed,
+    /// and a restored run re-counts from its own store's zero.
+    pub fn attach_roster(&mut self, roster: std::sync::Arc<crate::RosterStore>) {
+        self.rosters.push(roster);
     }
 
     /// Installs (or replaces) the inbound guard plane (see
@@ -565,9 +591,15 @@ impl<T: Transport> MultiJobDriver<T> {
         self.jobs.get(&job).map(|j| &j.coordinator)
     }
 
-    /// Wire/rejection counters.
+    /// Wire/rejection counters, with roster spill/load counters summed
+    /// live from the attached stores ([`MultiJobDriver::attach_roster`]).
     pub fn stats(&self) -> DriverStats {
-        self.stats
+        let mut stats = self.stats;
+        for roster in &self.rosters {
+            stats.roster_spilled += roster.spilled();
+            stats.roster_loaded += roster.loaded();
+        }
+        stats
     }
 
     /// The underlying transport — e.g. to read a
@@ -1247,6 +1279,24 @@ pub struct PartyPool<T: Transport> {
     max_frame: Option<usize>,
     /// Frames dropped by the size cap.
     oversized: u64,
+    /// Jobs this pool folds as an aggregation-tree inner node
+    /// ([`PartyPool::enable_tree`]), keyed by job id.
+    tree: BTreeMap<u64, TreeJob>,
+    /// Per-`(job, round)` partial fold accumulated since the last pump
+    /// drain — one [`WireMessage::PartialUpdate`] is emitted per entry
+    /// when the drain loop goes quiet, in ascending key order.
+    tree_acc: BTreeMap<(u64, u64), (ExactWeightedSum, Vec<PartialEntry>)>,
+}
+
+/// Per-job state for a pool acting as an aggregation-tree inner node.
+struct TreeJob {
+    /// Selector-feedback sketch width the coordinator expects
+    /// ([`crate::coordinator::Coordinator::sketch_dim`]).
+    sketch_dim: usize,
+    /// The last dispatched global this node saw, captured off the
+    /// downlink so per-party sketches are taken against the exact bits
+    /// the coordinator would have used.
+    global: Option<(u64, Arc<[f32]>)>,
 }
 
 impl<T: Transport> std::fmt::Debug for PartyPool<T> {
@@ -1273,7 +1323,36 @@ impl<T: Transport> PartyPool<T> {
             renegotiations_rejected: 0,
             max_frame: None,
             oversized: 0,
+            tree: BTreeMap::new(),
+            tree_acc: BTreeMap::new(),
         }
+    }
+
+    /// Turns this pool into an aggregation-tree inner node for `job`:
+    /// local updates its endpoints produce are folded into one exact
+    /// 256-bit partial sum ([`ExactWeightedSum`]) per round and shipped
+    /// uplink as a single [`WireMessage::PartialUpdate`] instead of
+    /// O(parties) individual update frames. Fan-in at the coordinator
+    /// becomes O(inner nodes).
+    ///
+    /// The receiving coordinator must be in exact-fold mode
+    /// ([`crate::Coordinator::set_exact_fold`]); `sketch_dim` must match
+    /// its configured sketch width, because selector-feedback sketches
+    /// are computed *here*, against the dispatched global, and shipped
+    /// inside the partial.
+    ///
+    /// Safety valve: an update the node cannot fold (no captured global
+    /// yet, round mismatch after a resume, parameters outside the exact
+    /// domain) is forwarded flat, unchanged — the exact coordinator
+    /// merges mixed flat + partial cohorts bit-identically, so falling
+    /// back never forks the history.
+    pub fn enable_tree(&mut self, job: u64, sketch_dim: usize) {
+        self.tree.insert(job, TreeJob { sketch_dim, global: None });
+    }
+
+    /// Whether `job` is folded at this node ([`PartyPool::enable_tree`]).
+    pub fn tree_enabled(&self, job: u64) -> bool {
+        self.tree.contains_key(&job)
     }
 
     /// Applies the guard plane's frame-size cap to this pool's inbound
@@ -1450,12 +1529,23 @@ impl<T: Transport> PartyPool<T> {
                     continue;
                 }
             }
+            // Tree mode captures each dispatched global off the downlink
+            // *before* the endpoint consumes it: folded updates need the
+            // exact broadcast bits as the sketch reference.
+            if let WireMessage::GlobalModel { job, round, params } = &msg {
+                if let Some(tree) = self.tree.get_mut(job) {
+                    tree.global = Some((*round, Arc::clone(params)));
+                }
+            }
             let endpoint = self.endpoints.get_mut(&(msg.job(), dest as PartyId)).expect("checked");
             let Ok(replies) = endpoint.handle(&msg) else {
                 self.rejected += 1;
                 continue;
             };
             for reply in replies {
+                if self.try_fold_tree(&reply) {
+                    continue;
+                }
                 frame_into(
                     AGGREGATOR_DEST,
                     &reply,
@@ -1465,7 +1555,74 @@ impl<T: Transport> PartyPool<T> {
                 self.transport.send(self.scratch.as_slice())?;
             }
         }
+        // Ship one partial per (job, round) folded during this drain, in
+        // deterministic ascending order. Emitting only once the wire is
+        // quiet batches every update the drain produced; a round whose
+        // updates arrive across several drains simply ships several
+        // partials, which the exact coordinator merges bit-identically.
+        for ((job, round), (sum, entries)) in std::mem::take(&mut self.tree_acc) {
+            if entries.is_empty() {
+                continue;
+            }
+            let msg = WireMessage::PartialUpdate {
+                job,
+                round,
+                total_weight: sum.total_weight(),
+                dim: sum.dim() as u32,
+                limbs: sum.raw_limbs(),
+                entries,
+            };
+            frame_into(AGGREGATOR_DEST, &msg, self.codecs.for_job(job), &mut self.scratch);
+            self.transport.send(self.scratch.as_slice())?;
+        }
         Ok(progressed)
+    }
+
+    /// Folds a tree-job local update into the round's partial
+    /// accumulator. Returns `false` when the reply is not a foldable
+    /// update — the caller then forwards it flat (the safety valve
+    /// documented on [`PartyPool::enable_tree`]).
+    fn try_fold_tree(&mut self, reply: &WireMessage) -> bool {
+        let WireMessage::LocalUpdate {
+            job,
+            round,
+            party,
+            num_samples,
+            mean_loss,
+            duration,
+            params,
+        } = reply
+        else {
+            return false;
+        };
+        let Some(tree) = self.tree.get(job) else {
+            return false;
+        };
+        let Some((g_round, global)) = tree.global.as_ref() else {
+            return false;
+        };
+        if g_round != round || global.len() != params.len() {
+            return false;
+        }
+        let (sum, entries) = self
+            .tree_acc
+            .entry((*job, *round))
+            .or_insert_with(|| (ExactWeightedSum::new(params.len()), Vec::new()));
+        // `fold` validates everything (dimension, weight bounds, param
+        // domain) before touching the limbs, so a refusal leaves the
+        // accumulated partial intact and this one update goes up flat.
+        if sum.dim() != params.len() || sum.fold(params, *num_samples).is_err() {
+            return false;
+        }
+        let delta: Vec<f32> = params.iter().zip(global.iter()).map(|(x, g)| x - g).collect();
+        entries.push(PartialEntry {
+            party: *party,
+            num_samples: *num_samples,
+            mean_loss: *mean_loss,
+            duration: *duration,
+            sketch: sketch_update(&delta, tree.sketch_dim),
+        });
+        true
     }
 }
 

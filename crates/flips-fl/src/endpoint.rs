@@ -198,11 +198,11 @@ impl PartyEndpoint {
                 self.aborted_round = Some(self.aborted_round.map_or(*round, |r| r.max(*round)));
                 Ok(Vec::new())
             }
-            WireMessage::LocalUpdate { .. } | WireMessage::Heartbeat { .. } => {
-                Err(FlError::Protocol(format!(
-                    "party {me} received an aggregator-bound message: {msg:?}"
-                )))
-            }
+            WireMessage::LocalUpdate { .. }
+            | WireMessage::PartialUpdate { .. }
+            | WireMessage::Heartbeat { .. } => Err(FlError::Protocol(format!(
+                "party {me} received an aggregator-bound message: {msg:?}"
+            ))),
         }
     }
 }

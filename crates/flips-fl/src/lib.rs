@@ -93,6 +93,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregator;
+pub mod aggtree;
 pub mod chaos;
 pub mod checkpoint;
 pub mod codec;
@@ -107,12 +108,14 @@ pub mod latency;
 pub mod message;
 pub mod party;
 pub mod rans;
+pub mod roster;
 pub mod runtime;
 pub mod server;
 pub mod straggler;
 pub mod transport;
 
 pub use aggregator::{FlJob, FlJobConfig, JobParts};
+pub use aggtree::ExactWeightedSum;
 pub use chaos::{ChaosAction, ChaosEvent, ChaosSchedule, ChaosTransport, ChaosWeights};
 pub use checkpoint::{Checkpoint, CodecRefSnapshot, JobSnapshot};
 pub use codec::{CodecMap, ModelCodec, Negotiation, PayloadCodec};
@@ -130,6 +133,7 @@ pub use guard::{
 pub use history::{History, RoundRecord};
 pub use latency::{LatencyModel, ObservedLatency};
 pub use message::WireMessage;
+pub use roster::{PartyRecord, RosterBuilder, RosterStore};
 pub use runtime::{run_sharded, RuntimeOptions, ShardedOutcome};
 pub use straggler::{Clock, ScriptedClock, StragglerInjector};
 pub use transport::{duplex, MemoryTransport, StreamTransport, Transport};

@@ -53,6 +53,11 @@ const TAG_UPDATE: u8 = 2;
 const TAG_NOTICE: u8 = 3;
 const TAG_HEARTBEAT: u8 = 4;
 const TAG_ABORT: u8 = 5;
+const TAG_PARTIAL: u8 = 6;
+
+/// Fixed bytes of one [`PartialEntry`] on the wire (party, num_samples,
+/// mean_loss, duration, sketch length prefix), before the sketch floats.
+const PARTIAL_ENTRY_HEAD: usize = 8 + 8 + 8 + 8 + 4;
 
 /// magic + tag.
 const HEADER: usize = 4 + 1;
@@ -114,6 +119,37 @@ pub enum WireMessage {
         /// Sender party.
         party: u64,
     },
+    /// Inner node → aggregator: a pre-folded partial aggregate covering
+    /// several parties' local updates (the aggregation-tree uplink).
+    ///
+    /// The parameter payload is the **exact fixed-point weighted sum**
+    /// of the covered updates ([`crate::aggtree::ExactWeightedSum`] raw
+    /// limbs), so the coordinator can merge partials in any arrival
+    /// order or grouping and recover the bit-exact flat fold. Per-party
+    /// metadata (FedAvg weight, loss, duration, selector-feedback
+    /// sketch) travels per entry; only the trained parameters are
+    /// pre-folded away.
+    ///
+    /// Partials always travel under the raw payload codec: the limb
+    /// payload is already a dense integer block, and delta/top-k model
+    /// codecs are keyed to f32 parameter vectors.
+    PartialUpdate {
+        /// Job identifier.
+        job: u64,
+        /// Round number.
+        round: u64,
+        /// Sum of the covered entries' `num_samples` (the fold's total
+        /// FedAvg weight).
+        total_weight: u64,
+        /// Per-party metadata for every update folded into `limbs`.
+        entries: Vec<PartialEntry>,
+        /// Model dimension (parameters per update).
+        dim: u32,
+        /// `4 × dim` little-endian `u64` limbs — one signed 256-bit
+        /// fixed-point accumulator per parameter, in parameter order
+        /// (see [`crate::aggtree::ExactWeightedSum::raw_limbs`]).
+        limbs: Vec<u64>,
+    },
     /// Either direction: abandon the round (aggregator → party) or
     /// withdraw from it (party → aggregator).
     Abort {
@@ -129,6 +165,28 @@ pub enum WireMessage {
     },
 }
 
+/// One party's contribution inside a [`WireMessage::PartialUpdate`]:
+/// everything the coordinator needs from that party's local update
+/// *except* the trained parameters, which the inner node has already
+/// folded into the partial's exact weighted sum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialEntry {
+    /// The covered party.
+    pub party: u64,
+    /// That party's local sample count `n_i` (its FedAvg weight inside
+    /// the fold).
+    pub num_samples: u64,
+    /// Mean local training loss (Oort's utility signal).
+    pub mean_loss: f64,
+    /// Simulated training duration, seconds.
+    pub duration: f64,
+    /// The selector-feedback sketch of this party's update delta,
+    /// computed by the inner node against the round's dispatched global
+    /// (the coordinator can no longer derive it once parameters are
+    /// folded away).
+    pub sketch: Vec<f32>,
+}
+
 impl WireMessage {
     /// The job identifier every message carries.
     pub fn job(&self) -> u64 {
@@ -136,6 +194,7 @@ impl WireMessage {
             WireMessage::SelectionNotice { job, .. }
             | WireMessage::GlobalModel { job, .. }
             | WireMessage::LocalUpdate { job, .. }
+            | WireMessage::PartialUpdate { job, .. }
             | WireMessage::Heartbeat { job, .. }
             | WireMessage::Abort { job, .. } => *job,
         }
@@ -147,6 +206,7 @@ impl WireMessage {
             WireMessage::SelectionNotice { round, .. }
             | WireMessage::GlobalModel { round, .. }
             | WireMessage::LocalUpdate { round, .. }
+            | WireMessage::PartialUpdate { round, .. }
             | WireMessage::Heartbeat { round, .. }
             | WireMessage::Abort { round, .. } => *round,
         }
@@ -202,6 +262,30 @@ impl WireMessage {
                 buf.put_f64_le(*mean_loss);
                 buf.put_f64_le(*duration);
                 codec.encode_update(params, buf);
+            }
+            WireMessage::PartialUpdate { job, round, total_weight, entries, dim, limbs } => {
+                debug_assert_eq!(limbs.len(), *dim as usize * 4, "limb block / dim mismatch");
+                buf.put_u8(TAG_PARTIAL);
+                buf.put_u64_le(*job);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*total_weight);
+                buf.put_u32_le(entries.len() as u32);
+                for e in entries {
+                    buf.put_u64_le(e.party);
+                    buf.put_u64_le(e.num_samples);
+                    buf.put_f64_le(e.mean_loss);
+                    buf.put_f64_le(e.duration);
+                    buf.put_u32_le(e.sketch.len() as u32);
+                    for x in &e.sketch {
+                        buf.put_f32_le(*x);
+                    }
+                }
+                // Raw always: the limb block is already a dense integer
+                // payload, not an f32 vector a model codec understands.
+                buf.put_u32_le(*dim);
+                for limb in limbs {
+                    buf.put_u64_le(*limb);
+                }
             }
             WireMessage::Heartbeat { job, round, party } => {
                 buf.put_u8(TAG_HEARTBEAT);
@@ -313,6 +397,41 @@ impl WireMessage {
                     params,
                 })
             }
+            TAG_PARTIAL => {
+                need(&buf, 8 * 3 + 4)?;
+                let job = buf.get_u64_le();
+                let round = buf.get_u64_le();
+                let total_weight = buf.get_u64_le();
+                let raw_count = u64::from(buf.get_u32_le());
+                // Each entry occupies at least its fixed head, so a
+                // hostile count cannot force a huge allocation.
+                let count = need_elems(&buf, raw_count, PARTIAL_ENTRY_HEAD)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    need(&buf, PARTIAL_ENTRY_HEAD)?;
+                    let party = buf.get_u64_le();
+                    let num_samples = buf.get_u64_le();
+                    let mean_loss = buf.get_f64_le();
+                    let duration = buf.get_f64_le();
+                    let raw_len = u64::from(buf.get_u32_le());
+                    let len = need_elems(&buf, raw_len, 4)?;
+                    let mut sketch = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        sketch.push(buf.get_f32_le());
+                    }
+                    entries.push(PartialEntry { party, num_samples, mean_loss, duration, sketch });
+                }
+                need(&buf, 4)?;
+                let dim = buf.get_u32_le();
+                let num_limbs = need_elems(&buf, u64::from(dim), 4 * 8)?
+                    .checked_mul(4)
+                    .ok_or_else(|| FlError::Codec("limb count overflows".into()))?;
+                let mut limbs = Vec::with_capacity(num_limbs);
+                for _ in 0..num_limbs {
+                    limbs.push(buf.get_u64_le());
+                }
+                Ok(WireMessage::PartialUpdate { job, round, total_weight, entries, dim, limbs })
+            }
             TAG_HEARTBEAT => {
                 need(&buf, 8 * 3)?;
                 let job = buf.get_u64_le();
@@ -360,6 +479,14 @@ impl WireMessage {
             }
             WireMessage::GlobalModel { params, .. } => global_model_bytes(params.len()),
             WireMessage::LocalUpdate { params, .. } => local_update_bytes(params.len()),
+            WireMessage::PartialUpdate { entries, limbs, .. } => {
+                HEADER
+                    + 8 * 3
+                    + 4
+                    + entries.iter().map(|e| PARTIAL_ENTRY_HEAD + e.sketch.len() * 4).sum::<usize>()
+                    + 4
+                    + limbs.len() * 8
+            }
             WireMessage::Heartbeat { .. } => heartbeat_bytes(),
             WireMessage::Abort { reason, .. } => HEADER + 8 * 3 + 4 + reason.len(),
         }
@@ -541,7 +668,36 @@ mod tests {
         }
     }
 
-    fn one_of_each() -> [WireMessage; 5] {
+    fn sample_partial() -> WireMessage {
+        let mut sum = crate::aggtree::ExactWeightedSum::new(3);
+        sum.fold(&[1.0, -2.0, 0.5], 10).unwrap();
+        sum.fold(&[0.25, 4.0, -1.5], 30).unwrap();
+        WireMessage::PartialUpdate {
+            job: 99,
+            round: 12,
+            total_weight: sum.total_weight(),
+            entries: vec![
+                PartialEntry {
+                    party: 3,
+                    num_samples: 10,
+                    mean_loss: 0.5,
+                    duration: 1.0,
+                    sketch: vec![0.125, -0.5],
+                },
+                PartialEntry {
+                    party: 8,
+                    num_samples: 30,
+                    mean_loss: 0.25,
+                    duration: 2.0,
+                    sketch: Vec::new(),
+                },
+            ],
+            dim: 3,
+            limbs: sum.raw_limbs(),
+        }
+    }
+
+    fn one_of_each() -> [WireMessage; 6] {
         [
             WireMessage::SelectionNotice {
                 job: 1,
@@ -551,6 +707,7 @@ mod tests {
             },
             WireMessage::GlobalModel { job: 1, round: 2, params: vec![0.5; 10].into() },
             sample_update(),
+            sample_partial(),
             WireMessage::Heartbeat { job: 1, round: 2, party: 3 },
             WireMessage::Abort { job: 1, round: 2, party: 3, reason: "deadline".into() },
         ]
@@ -689,7 +846,7 @@ mod tests {
         for msg in one_of_each() {
             let framed = frame(1, &msg);
             let expected = match &msg {
-                WireMessage::GlobalModel { .. } => None,
+                WireMessage::GlobalModel { .. } | WireMessage::PartialUpdate { .. } => None,
                 WireMessage::SelectionNotice { party, .. }
                 | WireMessage::LocalUpdate { party, .. }
                 | WireMessage::Heartbeat { party, .. }

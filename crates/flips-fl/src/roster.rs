@@ -1,0 +1,576 @@
+//! The roster store — bounded-memory party metadata at million-party
+//! scale.
+//!
+//! Selector construction used to require the caller to materialize the
+//! whole roster (sample counts, latency profiles, label distributions)
+//! as dense vectors. At 10⁶ registered parties that is hundreds of
+//! megabytes of mostly-cold descriptors held for the lifetime of the
+//! job. [`RosterStore`] keeps those descriptors in fixed-size
+//! *segments* ([`SEGMENT_PARTIES`] records each) and, in spill mode,
+//! pages them through a bounded LRU cache of resident segments backed
+//! by sealed files on disk — the same FLCK integrity envelope
+//! checkpoints use ([`crate::checkpoint`]), so a truncated or bit-
+//! flipped segment is rejected, never silently misread.
+//!
+//! The store implements [`CandidateSource`], which is how the five
+//! selection policies consume it: streamed per-party reads for Oort and
+//! TiFL, a single ordered pass for FLIPS's clustering pool, and nothing
+//! at all for Random and GradClus. Selection over a spilled roster is
+//! *bit-identical* to selection over the same records held flat — the
+//! scale-equivalence suite pins this.
+//!
+//! Spill/load traffic is observable: [`RosterStore::spilled`] and
+//! [`RosterStore::loaded`] feed `DriverStats::{roster_spilled,
+//! roster_loaded}` (via [`crate::MultiJobDriver::attach_roster`]) and
+//! the flips-net Prometheus gauges.
+
+use crate::checkpoint::{seal_segment, unseal_segment};
+use crate::FlError;
+use flips_selection::streaming::CandidateSource;
+use flips_selection::PartyId;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Records per segment. 4096 keeps a segment's encoded size in the
+/// hundreds-of-kilobytes range for typical label schemas — large enough
+/// to amortize a file read, small enough that a handful of resident
+/// segments stays far under any realistic budget.
+pub const SEGMENT_PARTIES: usize = 4096;
+
+/// One registered party's selection-relevant metadata.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartyRecord {
+    /// Local sample count (Oort's public metadata, the FedAvg weight).
+    pub data_size: u64,
+    /// Profiled training latency, seconds (TiFL tiering, Oort's
+    /// preferred-duration calibration).
+    pub latency_hint: f64,
+    /// Raw per-label datapoint counts (FLIPS's clustering descriptor;
+    /// may be empty when no semantic policy runs).
+    pub label_counts: Vec<u64>,
+}
+
+/// Where a store keeps its segments.
+enum Backing {
+    /// Every segment resident — the flat path, zero I/O.
+    Memory(Vec<Vec<PartyRecord>>),
+    /// Sealed segment files under `dir`, paged through a bounded LRU.
+    Spill { dir: PathBuf, budget: usize, cache: Mutex<SegmentCache> },
+}
+
+/// The resident-segment LRU (spill mode only).
+struct SegmentCache {
+    /// Resident segments by index.
+    resident: HashMap<usize, Vec<PartyRecord>>,
+    /// Access order, least-recent first.
+    order: VecDeque<usize>,
+}
+
+/// A bounded-memory, integrity-checked store of party records.
+///
+/// `Send + Sync`: the LRU sits behind a `Mutex`, the counters are
+/// atomics — the epoll runtime reads rosters from its metrics thread
+/// while the driver thread selects from them.
+pub struct RosterStore {
+    backing: Backing,
+    num_parties: usize,
+    /// Records per segment (the build-time geometry; addressing needs
+    /// it without touching any segment).
+    cap: usize,
+    /// Segments written to disk (spill mode: every segment, once, at
+    /// build time).
+    spilled: AtomicU64,
+    /// Segment files read back into residency.
+    loaded: AtomicU64,
+}
+
+impl std::fmt::Debug for RosterStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RosterStore")
+            .field("parties", &self.num_parties)
+            .field("spilled", &self.spilled.load(Ordering::Relaxed))
+            .field("loaded", &self.loaded.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Incrementally builds a [`RosterStore`] without ever holding more
+/// than one segment of pending records — the only way to assemble a
+/// million-party roster under a memory budget.
+pub struct RosterBuilder {
+    /// `None` → in-memory store; `Some` → spill directory and resident
+    /// budget.
+    spill: Option<(PathBuf, usize)>,
+    segment_cap: usize,
+    pending: Vec<PartyRecord>,
+    /// Completed segments (in-memory mode) — spill mode flushes to disk
+    /// instead.
+    done: Vec<Vec<PartyRecord>>,
+    written: u64,
+    count: usize,
+}
+
+impl RosterBuilder {
+    /// A builder whose store keeps every segment resident.
+    pub fn in_memory() -> Self {
+        RosterBuilder {
+            spill: None,
+            segment_cap: SEGMENT_PARTIES,
+            pending: Vec::new(),
+            done: Vec::new(),
+            written: 0,
+            count: 0,
+        }
+    }
+
+    /// A builder that seals each full segment to a file under `dir` and
+    /// whose store keeps at most `budget` segments resident (minimum 1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` cannot be created.
+    pub fn spilling(dir: impl Into<PathBuf>, budget: usize) -> Result<Self, FlError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| FlError::Codec(format!("cannot create roster dir {dir:?}: {e}")))?;
+        Ok(RosterBuilder { spill: Some((dir, budget.max(1))), ..RosterBuilder::in_memory() })
+    }
+
+    /// Overrides the records-per-segment cap (tests exercise paging
+    /// with small segments; production uses [`SEGMENT_PARTIES`]).
+    pub fn segment_cap(mut self, cap: usize) -> Self {
+        self.segment_cap = cap.max(1);
+        self
+    }
+
+    /// Appends the next party's record (party ids are assigned densely
+    /// in push order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment-file write failures (spill mode).
+    pub fn push(&mut self, record: PartyRecord) -> Result<(), FlError> {
+        self.pending.push(record);
+        self.count += 1;
+        if self.pending.len() >= self.segment_cap {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Finishes the roster and returns the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment-file write failures (spill mode).
+    pub fn finish(mut self) -> Result<RosterStore, FlError> {
+        if !self.pending.is_empty() {
+            self.flush()?;
+        }
+        let backing = match self.spill {
+            None => Backing::Memory(self.done),
+            Some((dir, budget)) => Backing::Spill {
+                dir,
+                budget,
+                cache: Mutex::new(SegmentCache {
+                    resident: HashMap::new(),
+                    order: VecDeque::new(),
+                }),
+            },
+        };
+        Ok(RosterStore {
+            backing,
+            num_parties: self.count,
+            cap: self.segment_cap,
+            spilled: AtomicU64::new(self.written),
+            loaded: AtomicU64::new(0),
+        })
+    }
+
+    fn flush(&mut self) -> Result<(), FlError> {
+        let segment = std::mem::take(&mut self.pending);
+        match &self.spill {
+            None => self.done.push(segment),
+            Some((dir, _)) => {
+                let sealed = seal_segment(&encode_segment(&segment));
+                let path = segment_path(dir, self.done.len() + self.written as usize);
+                std::fs::write(&path, sealed)
+                    .map_err(|e| FlError::Codec(format!("cannot write segment {path:?}: {e}")))?;
+                self.written += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn segment_path(dir: &std::path::Path, index: usize) -> PathBuf {
+    dir.join(format!("seg-{index:08}.flrs"))
+}
+
+impl RosterStore {
+    /// Convenience: an in-memory store over pre-built records.
+    pub fn from_records(records: Vec<PartyRecord>) -> Self {
+        let mut b = RosterBuilder::in_memory();
+        for r in records {
+            b.push(r).expect("in-memory push cannot fail");
+        }
+        b.finish().expect("in-memory finish cannot fail")
+    }
+
+    /// Registered parties.
+    pub fn num_parties(&self) -> usize {
+        self.num_parties
+    }
+
+    /// Segments written to disk so far.
+    pub fn spilled(&self) -> u64 {
+        self.spilled.load(Ordering::Relaxed)
+    }
+
+    /// Segment files read back into residency so far.
+    pub fn loaded(&self) -> u64 {
+        self.loaded.load(Ordering::Relaxed)
+    }
+
+    /// Segments currently resident in memory. In-memory stores report
+    /// their full segment count; spill stores never exceed their
+    /// budget — the memory-ceiling smoke asserts this at 10⁶ parties.
+    pub fn resident_segments(&self) -> usize {
+        match &self.backing {
+            Backing::Memory(segments) => segments.len(),
+            Backing::Spill { cache, .. } => cache.lock().expect("roster lock").resident.len(),
+        }
+    }
+
+    /// Reads one party's record through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range ids, unreadable or tampered segment files.
+    pub fn record(&self, party: PartyId) -> Result<PartyRecord, FlError> {
+        self.with_record(party, |r| r.clone())
+    }
+
+    /// Runs `f` over one party's record without cloning its label
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range ids, unreadable or tampered segment files.
+    pub fn with_record<R>(
+        &self,
+        party: PartyId,
+        f: impl FnOnce(&PartyRecord) -> R,
+    ) -> Result<R, FlError> {
+        if party >= self.num_parties {
+            return Err(FlError::Codec(format!(
+                "party {party} out of range for roster of {}",
+                self.num_parties
+            )));
+        }
+        let (seg, off) = (party / self.segment_cap(), party % self.segment_cap());
+        match &self.backing {
+            Backing::Memory(segments) => Ok(f(&segments[seg][off])),
+            Backing::Spill { dir, budget, cache } => {
+                let mut cache = cache.lock().expect("roster lock");
+                if let Some(records) = cache.resident.get(&seg) {
+                    let out = f(&records[off]);
+                    cache.touch(seg);
+                    return Ok(out);
+                }
+                let records = self.load_segment(dir, seg)?;
+                let out = f(&records[off]);
+                cache.insert(seg, records, *budget);
+                Ok(out)
+            }
+        }
+    }
+
+    /// Streams every segment (and record) in party-id order through
+    /// `visit`. Spill mode reads each segment file once, touching the
+    /// cache for none of them — a full scan must not evict the working
+    /// set the per-party path has warmed.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable or tampered segment files.
+    pub fn visit_all(&self, visit: &mut dyn FnMut(PartyId, &PartyRecord)) -> Result<(), FlError> {
+        let cap = self.segment_cap();
+        match &self.backing {
+            Backing::Memory(segments) => {
+                for (s, records) in segments.iter().enumerate() {
+                    for (i, r) in records.iter().enumerate() {
+                        visit(s * cap + i, r);
+                    }
+                }
+                Ok(())
+            }
+            Backing::Spill { dir, .. } => {
+                let segments = self.num_parties.div_ceil(cap);
+                for s in 0..segments {
+                    let records = self.load_segment(dir, s)?;
+                    for (i, r) in records.iter().enumerate() {
+                        visit(s * cap + i, r);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The records-per-segment geometry this store was built with.
+    fn segment_cap(&self) -> usize {
+        self.cap
+    }
+
+    fn load_segment(&self, dir: &std::path::Path, seg: usize) -> Result<Vec<PartyRecord>, FlError> {
+        let path = segment_path(dir, seg);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| FlError::Codec(format!("cannot read segment {path:?}: {e}")))?;
+        let records = decode_segment(unseal_segment(&bytes)?)?;
+        self.loaded.fetch_add(1, Ordering::Relaxed);
+        Ok(records)
+    }
+}
+
+impl SegmentCache {
+    /// Marks `seg` most-recently used.
+    fn touch(&mut self, seg: usize) {
+        if let Some(pos) = self.order.iter().position(|&s| s == seg) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(seg);
+    }
+
+    /// Inserts a freshly loaded segment, evicting least-recently used
+    /// residents down to `budget`.
+    fn insert(&mut self, seg: usize, records: Vec<PartyRecord>, budget: usize) {
+        self.resident.insert(seg, records);
+        self.touch(seg);
+        while self.resident.len() > budget {
+            let Some(victim) = self.order.pop_front() else { break };
+            self.resident.remove(&victim);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Segment codec (sealed by crate::checkpoint's FLCK envelope).
+// ---------------------------------------------------------------------
+
+fn encode_segment(records: &[PartyRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for r in records {
+        out.extend_from_slice(&r.data_size.to_le_bytes());
+        out.extend_from_slice(&r.latency_hint.to_bits().to_le_bytes());
+        out.extend_from_slice(&(r.label_counts.len() as u64).to_le_bytes());
+        for &c in &r.label_counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_segment(payload: &[u8]) -> Result<Vec<PartyRecord>, FlError> {
+    fn u64_at(buf: &[u8], pos: &mut usize) -> Result<u64, FlError> {
+        let Some(end) = pos.checked_add(8).filter(|&e| e <= buf.len()) else {
+            return Err(FlError::Codec("roster segment truncated".into()));
+        };
+        let v = u64::from_le_bytes(buf[*pos..end].try_into().expect("8 bytes"));
+        *pos = end;
+        Ok(v)
+    }
+    let mut pos = 0usize;
+    let count = u64_at(payload, &mut pos)?;
+    // A hostile count that cannot possibly fit the payload is rejected
+    // before any allocation (each record is at least 24 bytes).
+    if count.checked_mul(24).is_none_or(|need| need > (payload.len() - pos) as u64) {
+        return Err(FlError::Codec(format!("roster segment count {count} impossible")));
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let data_size = u64_at(payload, &mut pos)?;
+        let latency_hint = f64::from_bits(u64_at(payload, &mut pos)?);
+        let labels = u64_at(payload, &mut pos)?;
+        if labels.checked_mul(8).is_none_or(|need| need > (payload.len() - pos) as u64) {
+            return Err(FlError::Codec(format!("roster label count {labels} impossible")));
+        }
+        let mut label_counts = Vec::with_capacity(labels as usize);
+        for _ in 0..labels {
+            label_counts.push(u64_at(payload, &mut pos)?);
+        }
+        records.push(PartyRecord { data_size, latency_hint, label_counts });
+    }
+    if pos != payload.len() {
+        return Err(FlError::Codec("roster segment has trailing bytes".into()));
+    }
+    Ok(records)
+}
+
+impl CandidateSource for RosterStore {
+    fn num_parties(&self) -> usize {
+        self.num_parties
+    }
+
+    fn data_size(&self, party: PartyId) -> u64 {
+        self.with_record(party, |r| r.data_size).expect("roster read")
+    }
+
+    fn latency_hint(&self, party: PartyId) -> f64 {
+        self.with_record(party, |r| r.latency_hint).expect("roster read")
+    }
+
+    fn visit_label_distributions(&self, visit: &mut dyn FnMut(PartyId, &[u64])) {
+        self.visit_all(&mut |p, r| visit(p, &r.label_counts)).expect("roster scan");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("flips-roster-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records(n: usize) -> Vec<PartyRecord> {
+        (0..n)
+            .map(|p| PartyRecord {
+                data_size: 10 + p as u64,
+                latency_hint: 0.25 + p as f64 * 0.01,
+                label_counts: vec![p as u64 % 5, 3, p as u64],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spilled_store_reads_back_identically() {
+        let dir = test_dir("roundtrip");
+        let records = sample_records(25);
+        let flat = RosterStore::from_records(records.clone());
+        let mut b = RosterBuilder::spilling(&dir, 2).unwrap().segment_cap(4);
+        for r in records.clone() {
+            b.push(r).unwrap();
+        }
+        let spill = b.finish().unwrap();
+        assert_eq!(spill.num_parties(), 25);
+        assert_eq!(spill.spilled(), 7, "ceil(25/4) segments written");
+        for (p, want) in records.iter().enumerate() {
+            assert_eq!(&spill.record(p).unwrap(), want);
+            assert_eq!(spill.data_size(p), flat.data_size(p));
+            assert_eq!(spill.latency_hint(p), flat.latency_hint(p));
+        }
+        let mut a = Vec::new();
+        let mut bb = Vec::new();
+        flat.visit_label_distributions(&mut |p, c| a.push((p, c.to_vec())));
+        spill.visit_label_distributions(&mut |p, c| bb.push((p, c.to_vec())));
+        assert_eq!(a, bb);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_respects_budget_and_counts_loads() {
+        let dir = test_dir("lru");
+        let mut b = RosterBuilder::spilling(&dir, 2).unwrap().segment_cap(2);
+        for r in sample_records(10) {
+            b.push(r).unwrap();
+        }
+        let store = b.finish().unwrap();
+        assert_eq!(store.resident_segments(), 0, "nothing resident before first read");
+        for p in 0..10 {
+            let _ = store.record(p).unwrap();
+            assert!(store.resident_segments() <= 2, "budget violated at party {p}");
+        }
+        assert_eq!(store.loaded(), 5, "each of the 5 segments paged in once");
+        // Re-reading an evicted segment pages it in again.
+        let _ = store.record(0).unwrap();
+        assert_eq!(store.loaded(), 6);
+        // Re-reading a resident one does not.
+        let _ = store.record(1).unwrap();
+        assert_eq!(store.loaded(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn full_scan_does_not_disturb_the_cache() {
+        let dir = test_dir("scan");
+        let mut b = RosterBuilder::spilling(&dir, 1).unwrap().segment_cap(2);
+        for r in sample_records(8) {
+            b.push(r).unwrap();
+        }
+        let store = b.finish().unwrap();
+        let _ = store.record(0).unwrap();
+        let mut n = 0;
+        store.visit_all(&mut |_, _| n += 1).unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(store.resident_segments(), 1);
+        // Segment 0 is still the resident one: no page-in on re-read.
+        let before = store.loaded();
+        let _ = store.record(1).unwrap();
+        assert_eq!(store.loaded(), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_and_bit_flip_is_rejected() {
+        let records = sample_records(3);
+        let sealed = crate::checkpoint::seal_segment(&encode_segment(&records));
+        // Sanity: the intact envelope opens.
+        assert!(decode_segment(crate::checkpoint::unseal_segment(&sealed).unwrap()).is_ok());
+        for len in 0..sealed.len() {
+            let truncated = &sealed[..len];
+            assert!(
+                crate::checkpoint::unseal_segment(truncated).is_err(),
+                "truncation to {len} bytes accepted"
+            );
+        }
+        for byte in 0..sealed.len() {
+            let mut damaged = sealed.clone();
+            damaged[byte] ^= 0x01;
+            let verdict = crate::checkpoint::unseal_segment(&damaged)
+                .and_then(|p| decode_segment(p).map(|_| ()));
+            assert!(verdict.is_err(), "bit flip at byte {byte} accepted");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_hostile_counts_and_trailing_bytes() {
+        // Impossible record count.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_segment(&payload).is_err());
+        // Impossible label count inside a record.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&5u64.to_le_bytes());
+        payload.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+        payload.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_segment(&payload).is_err());
+        // Trailing garbage after a valid record stream.
+        let mut ok = encode_segment(&sample_records(2));
+        ok.push(0);
+        assert!(decode_segment(&ok).is_err());
+    }
+
+    #[test]
+    fn out_of_range_party_errors() {
+        let store = RosterStore::from_records(sample_records(3));
+        assert!(store.record(3).is_err());
+        assert!(store.record(2).is_ok());
+    }
+
+    #[test]
+    fn empty_roster_is_valid() {
+        let store = RosterBuilder::in_memory().finish().unwrap();
+        assert_eq!(store.num_parties(), 0);
+        assert_eq!(store.resident_segments(), 0);
+        let mut n = 0;
+        store.visit_all(&mut |_, _| n += 1).unwrap();
+        assert_eq!(n, 0);
+    }
+}

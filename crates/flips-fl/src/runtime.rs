@@ -111,6 +111,14 @@ pub struct RuntimeOptions {
     /// the owning shard pool's pin — so neither side trusts a wire
     /// notice for it.
     pub link_codecs: Vec<(u64, usize, crate::ModelCodec)>,
+    /// Aggregation-tree mode: every coordinator folds with the exact
+    /// 256-bit sum ([`crate::Coordinator::set_exact_fold`]) and every
+    /// shard pool acts as a tree inner node
+    /// ([`PartyPool::enable_tree`]), shipping one partial per round
+    /// instead of per-party update frames — coordinator fan-in becomes
+    /// O(shards). Histories are pinned bit-identical to the flat
+    /// exact-fold run by `tests/scale_equivalence.rs`.
+    pub tree: bool,
 }
 
 impl RuntimeOptions {
@@ -125,7 +133,15 @@ impl RuntimeOptions {
             guard: None,
             chaos: None,
             link_codecs: Vec::new(),
+            tree: false,
         }
+    }
+
+    /// Enables aggregation-tree mode (see [`RuntimeOptions::tree`]).
+    #[must_use]
+    pub fn with_tree(mut self) -> Self {
+        self.tree = true;
+        self
     }
 
     /// Overrides the codec one shard link speaks for `job` (see
@@ -338,10 +354,15 @@ pub fn run_sharded(jobs: Vec<JobParts>, opts: &RuntimeOptions) -> Result<Sharded
     let mut per_shard: Vec<Vec<(u64, crate::ModelCodec, Vec<PartyEndpoint>)>> =
         (0..shards).map(|_| Vec::new()).collect();
     let mut driver_jobs = Vec::with_capacity(jobs.len());
+    let mut tree_jobs: Vec<(u64, usize)> = Vec::new();
     for parts in jobs {
         let job_id = parts.coordinator.job_id();
         let codec = parts.coordinator.codec();
-        let JobParts { coordinator, endpoints, clock, latency, deadline } = parts;
+        let JobParts { mut coordinator, endpoints, clock, latency, deadline } = parts;
+        if opts.tree {
+            coordinator.set_exact_fold(true);
+            tree_jobs.push((job_id, coordinator.sketch_dim()));
+        }
         let mut split: Vec<Vec<PartyEndpoint>> = (0..shards).map(|_| Vec::new()).collect();
         for ep in endpoints {
             routes.insert((job_id, ep.id() as u64), ep.id() % shards);
@@ -398,6 +419,9 @@ pub fn run_sharded(jobs: Vec<JobParts>, opts: &RuntimeOptions) -> Result<Sharded
                 .map_or(codec, |&(_, _, c)| c);
             pool.pin_codec(job_id, pinned);
             pool.add_job(job_id, eps);
+        }
+        for &(job_id, sketch_dim) in &tree_jobs {
+            pool.enable_tree(job_id, sketch_dim);
         }
         pools.push(pool);
     }

@@ -126,18 +126,35 @@ impl ServerState {
         global: &mut [f32],
         updates: &[&LocalUpdate],
     ) -> Result<(), FlError> {
-        weighted_average_into(&mut self.accum, updates)?;
-        if self.accum.len() != global.len() {
+        let mut accum = std::mem::take(&mut self.accum);
+        weighted_average_into(&mut accum, updates)?;
+        let result = self.apply_aggregate(global, &accum);
+        self.accum = accum;
+        result
+    }
+
+    /// Advances the global model from an already-computed weighted
+    /// average `x̄` (`accum`) — the second half of
+    /// [`ServerState::apply_round_refs`], split out so aggregation-tree
+    /// paths that fold `x̄` elsewhere (see [`crate::aggtree`]) share the
+    /// exact same optimizer step.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a length mismatch between the global model and the
+    /// aggregate.
+    pub fn apply_aggregate(&mut self, global: &mut [f32], accum: &[f64]) -> Result<(), FlError> {
+        if accum.len() != global.len() {
             return Err(FlError::InvalidConfig(format!(
                 "aggregate length {} != global {}",
-                self.accum.len(),
+                accum.len(),
                 global.len()
             )));
         }
         match &mut self.optimizer {
             None => {
                 // FedAvg/FedProx: the global model becomes the average.
-                for (g, &a) in global.iter_mut().zip(&self.accum) {
+                for (g, &a) in global.iter_mut().zip(accum) {
                     *g = a as f32;
                 }
             }
@@ -145,7 +162,7 @@ impl ServerState {
                 // Pseudo-gradient g = m − x̄; step does m ← m − lr·f(g),
                 // moving m toward x̄ adaptively.
                 self.scratch.clear();
-                self.scratch.extend(global.iter().zip(&self.accum).map(|(m, a)| m - *a as f32));
+                self.scratch.extend(global.iter().zip(accum).map(|(m, a)| m - *a as f32));
                 opt.step(global, &self.scratch);
             }
         }

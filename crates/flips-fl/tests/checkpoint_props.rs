@@ -159,6 +159,11 @@ fn stats() -> impl Strategy<Value = DriverStats> {
         drain_refused_selections: w[14],
         links_lost: w[15],
         links_resumed: w[16],
+        // Live gauges of attached roster stores — the snapshot codec
+        // neither writes nor restores them, so the round-trip property
+        // holds only at their reset value.
+        roster_spilled: 0,
+        roster_loaded: 0,
     })
 }
 

@@ -50,18 +50,34 @@ pub fn shuffle<T, R: Rng + ?Sized>(rng: &mut R, items: &mut [T]) {
 
 /// Samples `k` distinct indices from `0..n` uniformly (partial Fisher–Yates).
 ///
+/// The virtual pool `[0, n)` is never materialized: only the O(k)
+/// entries displaced by swaps are tracked, so sampling a cohort from a
+/// million-party roster costs memory proportional to the cohort, not
+/// the roster. Draw-for-draw identical to the classic array form — the
+/// RNG consumption and the returned indices match exactly, which the
+/// protocol-equivalence goldens rely on.
+///
 /// # Panics
 ///
 /// Panics if `k > n`.
 pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
     assert!(k <= n, "cannot sample {k} of {n} without replacement");
-    let mut pool: Vec<usize> = (0..n).collect();
+    // displaced[idx] = current value of the virtual pool at idx, for the
+    // sparse set of indices where it differs from the identity.
+    let mut displaced: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut picks = Vec::with_capacity(k);
     for i in 0..k {
         let j = rng.random_range(i..n);
-        pool.swap(i, j);
+        let pick = displaced.get(&j).copied().unwrap_or(j);
+        let at_i = displaced.get(&i).copied().unwrap_or(i);
+        picks.push(pick);
+        // Swap: pool[j] takes pool[i]'s old value; slot i is fixed at
+        // `pick` but never read again (draws start at i+1), so its
+        // entry can be dropped to keep the map at O(k - i).
+        displaced.insert(j, at_i);
+        displaced.remove(&i);
     }
-    pool.truncate(k);
-    pool
+    picks
 }
 
 #[cfg(test)]
@@ -132,6 +148,49 @@ mod tests {
     fn sample_without_replacement_rejects_oversample() {
         let mut rng = seeded(5);
         let _ = sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    /// The classic array-backed partial Fisher–Yates the sparse
+    /// implementation must mirror draw-for-draw.
+    fn dense_sample<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    #[test]
+    fn sample_without_replacement_matches_dense_reference() {
+        for seed in 0..20 {
+            for &(n, k) in &[(1, 0), (1, 1), (5, 5), (10, 3), (100, 30), (257, 256), (1000, 1)] {
+                let sparse = sample_without_replacement(&mut seeded(seed), n, k);
+                let dense = dense_sample(&mut seeded(seed), n, k);
+                assert_eq!(sparse, dense, "diverged at seed {seed}, n {n}, k {k}");
+                // Identical RNG consumption: the next draw agrees too.
+                let mut a = seeded(seed);
+                let mut b = seeded(seed);
+                let _ = sample_without_replacement(&mut a, n, k);
+                let _ = dense_sample(&mut b, n, k);
+                assert_eq!(a.random::<u64>(), b.random::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_huge_population_is_cheap() {
+        // A million-slot virtual pool must not be materialized; this
+        // would OOM-or-crawl if it were. Picks stay distinct/in-range.
+        let mut rng = seeded(9);
+        let picks = sample_without_replacement(&mut rng, 1_000_000_000, 64);
+        assert_eq!(picks.len(), 64);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64);
+        assert!(picks.iter().all(|&i| i < 1_000_000_000));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub fn render_server_metrics(
     finished: bool,
 ) -> String {
     let mut out = String::with_capacity(2048);
-    let counters: [(&str, &str, u64); 19] = [
+    let counters: [(&str, &str, u64); 21] = [
         ("flips_frames_sent_total", "Frames sent (downlink).", stats.frames_sent),
         ("flips_frames_received_total", "Frames received (uplink).", stats.frames_received),
         ("flips_bytes_sent_total", "Bytes sent (downlink), as encoded.", stats.bytes_sent),
@@ -121,6 +121,16 @@ pub fn render_server_metrics(
             "flips_checkpoint_rounds_total",
             "Round boundaries snapshotted to the checkpoint directory.",
             checkpoint_rounds,
+        ),
+        (
+            "flips_roster_segments_spilled_total",
+            "Roster segments sealed to the spill directory.",
+            stats.roster_spilled,
+        ),
+        (
+            "flips_roster_segments_loaded_total",
+            "Spilled roster segments paged back into memory.",
+            stats.roster_loaded,
         ),
     ];
     for (name, help, value) in counters {
@@ -367,6 +377,8 @@ mod tests {
             drain_refused_selections: 0,
             links_lost: 2,
             links_resumed: 1,
+            roster_spilled: 11,
+            roster_loaded: 37,
         };
         let text = render_server_metrics(&stats, 2, 4, 3, true);
         // Every sample line is preceded by its HELP and TYPE comments,
@@ -390,6 +402,8 @@ mod tests {
         assert!(text.contains("flips_links_lost_total 2\n"));
         assert!(text.contains("flips_link_resumes_total 1\n"));
         assert!(text.contains("flips_checkpoint_rounds_total 4\n"));
+        assert!(text.contains("flips_roster_segments_spilled_total 11\n"));
+        assert!(text.contains("flips_roster_segments_loaded_total 37\n"));
         assert!(text.contains("flips_jobs 3\n"));
         assert!(text.contains("flips_run_complete 1\n"));
     }

@@ -51,6 +51,12 @@ pub struct PartyOptions {
     /// as a crash would) once this many data frames have been
     /// received. One-shot; requires `resume_addr`.
     pub drop_after: Option<u64>,
+    /// Jobs this worker folds as an aggregation-tree inner node, as
+    /// `(job, sketch_dim)` pairs ([`PartyPool::enable_tree`]): one
+    /// partial-aggregate frame per round goes up the wire instead of
+    /// per-party updates. The server must run its coordinators in
+    /// exact-fold mode (the socket runtime's tree flag does both ends).
+    pub tree_jobs: Vec<(u64, usize)>,
 }
 
 impl Default for PartyOptions {
@@ -60,6 +66,7 @@ impl Default for PartyOptions {
             reconnect_budget: Duration::from_secs(30),
             hello_timeout: Duration::from_secs(60),
             drop_after: None,
+            tree_jobs: Vec::new(),
         }
     }
 }
@@ -122,6 +129,9 @@ pub fn party_loop_with(
     for (job, codec, endpoints) in jobs {
         pool.pin_codec(job, codec);
         pool.add_job(job, endpoints);
+    }
+    for &(job, sketch_dim) in &opts.tree_jobs {
+        pool.enable_tree(job, sketch_dim);
     }
 
     let mut poll = Poll::new().map_err(net_err)?;

@@ -46,6 +46,13 @@ pub struct SocketOptions {
     /// `after` data frames (one-shot), exercising a real mid-run TCP
     /// link death. Implies [`SocketOptions::resume`].
     pub party_drop: Option<(usize, u64)>,
+    /// Run every job as an aggregation tree: each link worker folds its
+    /// parties' updates into one exact partial aggregate per round
+    /// ([`PartyPool::enable_tree`]) and every coordinator merges the
+    /// partials in exact-fold mode — uplink update traffic drops from
+    /// O(parties) to O(links) frames per round, bit-identically to the
+    /// flat exact-fold run.
+    pub tree: bool,
 }
 
 impl SocketOptions {
@@ -58,7 +65,16 @@ impl SocketOptions {
             link_codecs: Vec::new(),
             resume: false,
             party_drop: None,
+            tree: false,
         }
+    }
+
+    /// Runs every job as an aggregation tree (see
+    /// [`SocketOptions::tree`]).
+    #[must_use]
+    pub fn with_tree(mut self) -> Self {
+        self.tree = true;
+        self
     }
 
     /// Runs the session-resume plane (see [`SocketOptions::resume`]).
@@ -176,8 +192,16 @@ pub fn run_socket(jobs: Vec<JobParts>, opts: &SocketOptions) -> Result<SocketOut
     // `p` → link `p % links`, matching the router).
     let mut per_link: Vec<Vec<PartyJob>> = (0..links).map(|_| Vec::new()).collect();
     let mut server_jobs = Vec::with_capacity(jobs.len());
+    let mut tree_jobs: Vec<(u64, usize)> = Vec::new();
     for mut parts in jobs {
         let endpoints = std::mem::take(&mut parts.endpoints);
+        if opts.tree {
+            // Tree mode is a two-ended contract: the coordinator folds
+            // in exact integer arithmetic so link-level partials merge
+            // bit-identically, and every worker folds its share.
+            parts.coordinator.set_exact_fold(true);
+            tree_jobs.push((parts.coordinator.job_id(), parts.coordinator.sketch_dim()));
+        }
         let job_id = parts.coordinator.job_id();
         let codec = parts.coordinator.codec();
         let mut split: Vec<Vec<PartyEndpoint>> = (0..links).map(|_| Vec::new()).collect();
@@ -218,6 +242,7 @@ pub fn run_socket(jobs: Vec<JobParts>, opts: &SocketOptions) -> Result<SocketOut
                 let party_opts = PartyOptions {
                     resume_addr: resume.then_some(addr),
                     drop_after: opts.party_drop.and_then(|(s, after)| (s == slot).then_some(after)),
+                    tree_jobs: tree_jobs.clone(),
                     ..PartyOptions::default()
                 };
                 scope.spawn(move || -> Result<PartyPool<PartyLink>, FlError> {

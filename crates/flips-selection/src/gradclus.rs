@@ -47,6 +47,22 @@ impl GradClusSelector {
         Ok(GradClusSelector { sketches, sketch_dim, linkage: Linkage::Average, rng })
     }
 
+    /// Creates a selector over a streamed roster — identical to
+    /// [`GradClusSelector::new`] with the source's party count. The
+    /// per-party sketches (`sketch_dim` f32s each) remain dense: they
+    /// *are* the policy's state, refreshed from round feedback.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero parties or a zero sketch dimension.
+    pub fn from_source(
+        source: &dyn crate::streaming::CandidateSource,
+        sketch_dim: usize,
+        seed: u64,
+    ) -> Result<Self, SelectionError> {
+        GradClusSelector::new(source.num_parties(), sketch_dim, seed)
+    }
+
     /// The sketch dimension parties' updates are projected to.
     pub fn sketch_dim(&self) -> usize {
         self.sketch_dim

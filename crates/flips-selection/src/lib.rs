@@ -33,6 +33,7 @@ pub mod flips;
 pub mod gradclus;
 pub mod oort;
 pub mod random;
+pub mod streaming;
 pub mod tifl;
 pub mod types;
 
@@ -40,5 +41,6 @@ pub use flips::FlipsSelector;
 pub use gradclus::GradClusSelector;
 pub use oort::OortSelector;
 pub use random::RandomSelector;
+pub use streaming::{BoundedTopK, CandidateSource, Reservoir, VecSource};
 pub use tifl::TiflSelector;
 pub use types::{ParticipantSelector, PartyId, RoundFeedback, SelectionError, SelectorKind};

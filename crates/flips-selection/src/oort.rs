@@ -107,6 +107,20 @@ impl OortSelector {
         }
     }
 
+    /// Creates a selector over a streamed roster, pulling each party's
+    /// sample count from the source — bit-identical to
+    /// [`OortSelector::new`] fed the same counts. Oort's online state
+    /// stays dense (≈48 B/party: the score inputs must survive between
+    /// rounds), but no caller-side roster vector is materialized.
+    pub fn from_source(
+        source: &dyn crate::streaming::CandidateSource,
+        config: OortConfig,
+        seed: u64,
+    ) -> Self {
+        let data_sizes = (0..source.num_parties()).map(|p| source.data_size(p) as usize).collect();
+        OortSelector::new(data_sizes, config, seed)
+    }
+
     /// Current exploration fraction ε.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
@@ -168,14 +182,15 @@ impl ParticipantSelector for OortSelector {
         let mut selected: Vec<PartyId> = Vec::with_capacity(total);
         let mut chosen: HashSet<PartyId> = HashSet::with_capacity(total);
 
-        // Exploit: top-scoring explored parties.
+        // Exploit: top-scoring explored parties via a bounded streaming
+        // pass — same (score desc, id asc) total order as a full sort,
+        // O(exploit_want) memory instead of an O(n) ranked vector.
         let clip = self.clip_threshold();
-        let mut ranked: Vec<(f64, PartyId)> =
-            explored.iter().map(|&p| (self.score(p, round, clip), p)).collect();
-        ranked.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
-        });
-        for (_, p) in ranked.into_iter().take(exploit_want) {
+        let mut ranked = crate::streaming::BoundedTopK::new(exploit_want);
+        for &p in &explored {
+            ranked.push(self.score(p, round, clip), p);
+        }
+        for p in ranked.into_sorted_ids() {
             if chosen.insert(p) {
                 selected.push(p);
             }

@@ -18,6 +18,14 @@ impl RandomSelector {
     pub fn new(num_parties: usize, seed: u64) -> Self {
         RandomSelector { num_parties, rng: seeded(seed) }
     }
+
+    /// Creates a selector over a streamed roster — identical to
+    /// [`RandomSelector::new`] with the source's party count; random
+    /// selection needs no per-party state at all, so a million-party
+    /// roster costs this policy nothing.
+    pub fn from_source(source: &dyn crate::streaming::CandidateSource, seed: u64) -> Self {
+        RandomSelector::new(source.num_parties(), seed)
+    }
 }
 
 impl ParticipantSelector for RandomSelector {

@@ -84,6 +84,24 @@ impl TiflSelector {
         })
     }
 
+    /// Creates a selector over a streamed roster, pulling each party's
+    /// profiled latency from the source — bit-identical to
+    /// [`TiflSelector::new`] fed the same profile. Tier membership and
+    /// latency estimates stay dense (≈48 B/party: TiFL re-tiers from
+    /// them online), but no caller-side profile vector is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty roster or a zero tier count.
+    pub fn from_source(
+        source: &dyn crate::streaming::CandidateSource,
+        config: TiflConfig,
+        seed: u64,
+    ) -> Result<Self, SelectionError> {
+        let latencies = (0..source.num_parties()).map(|p| source.latency_hint(p)).collect();
+        TiflSelector::new(latencies, config, seed)
+    }
+
     /// Current tier membership (diagnostics; tier 0 is fastest).
     pub fn tiers(&self) -> &[Vec<PartyId>] {
         &self.tiers

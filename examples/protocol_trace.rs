@@ -35,6 +35,12 @@ fn label(msg: &WireMessage) -> String {
         WireMessage::Abort { round, party, reason, .. } => {
             format!("Abort(round {round}, party {party}, {reason:?})")
         }
+        WireMessage::PartialUpdate { round, total_weight, entries, .. } => {
+            format!(
+                "PartialUpdate(round {round}, {} parties, weight {total_weight})",
+                entries.len()
+            )
+        }
     }
 }
 

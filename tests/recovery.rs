@@ -18,6 +18,10 @@
 //!    from a seeded schedule — severing a link and backlogging its
 //!    traffic until the wire runs dry — every selector golden is
 //!    bit-identical on the lockstep wire and the 2-shard runtime alike.
+//! 4. **The scale plane composes.** A run whose selectors stream a
+//!    spill-backed [`RosterStore`] restores from every boundary onto the
+//!    flat golden, and the roster spill/load counters are live gauges of
+//!    the attached store — never checkpoint state.
 
 use flips::fl::runtime::{run_sharded, RuntimeOptions};
 use flips::fl::{ChaosEvent, Checkpoint};
@@ -367,4 +371,96 @@ fn disconnect_chaos_replays_every_selector_golden_sharded() {
         }
         assert!(severed > 0, "{kind}: no 2-shard seed severed a link — the suite is vacuous");
     }
+}
+
+/// A 12-party spilling roster with a 4-record segment cap — three
+/// sealed segments behind a single-segment cache, so every cross-segment
+/// read pages from disk.
+fn spilled_store(dir: &std::path::Path) -> std::sync::Arc<RosterStore> {
+    let mut rb = RosterBuilder::spilling(dir, 1).unwrap().segment_cap(4);
+    for i in 0..12u64 {
+        rb.push(PartyRecord {
+            data_size: 5 + i,
+            latency_hint: 0.1 + i as f64 * 0.01,
+            label_counts: vec![i, 2 * i, 3],
+        })
+        .unwrap();
+    }
+    std::sync::Arc::new(rb.finish().unwrap())
+}
+
+#[test]
+fn restore_composes_with_a_spilled_roster() {
+    // The scale plane under the recovery plane: when the builder seals
+    // its roster to disk segments and streams selection through a
+    // single-segment cache, the checkpoint seam still captures every
+    // boundary, and a restore from any of them finishes on the flat
+    // golden with the flat run's exact wire counters.
+    let base = std::env::temp_dir().join(format!("flips-recovery-spill-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    for kind in SelectorKind::all() {
+        let golden = builder(kind).run().unwrap().history;
+        let dir = base.join(kind.to_string());
+        let shape = || builder(kind).spill_roster(&dir, 1);
+        let (mut driver, mut pool, id) = fresh_pair(&shape());
+        let snapshots = run_lockstep_checkpointing(&mut driver, &mut pool);
+        assert_eq!(
+            driver.history(id).unwrap(),
+            &golden,
+            "{kind}: the spilled roster moved the history"
+        );
+        let final_stats = driver.stats();
+        for (i, cp) in snapshots.iter().enumerate() {
+            let (history, stats, _) = restore_and_finish(&shape(), cp, None);
+            assert_eq!(
+                history, golden,
+                "{kind}: restore from boundary {i} over a spilled roster moved the history"
+            );
+            assert_eq!(
+                stats, final_stats,
+                "{kind}: restore from boundary {i} over a spilled roster moved the counters"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn roster_counters_are_live_gauges_not_checkpoint_state() {
+    // `DriverStats::{roster_spilled, roster_loaded}` report on the
+    // stores attached to *this* driver. A checkpoint carries none of
+    // that: a restored driver reads zero until a store is attached, and
+    // afterwards reports exactly the fresh store's own activity — the
+    // Prometheus gauges restart with the process, by design.
+    let base = std::env::temp_dir().join(format!("flips-recovery-gauge-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let kind = SelectorKind::Random;
+    let golden = builder(kind).run().unwrap().history;
+
+    let (mut driver, mut pool, id) = fresh_pair(&builder(kind));
+    let store = spilled_store(&base.join("before"));
+    store.record(0).unwrap();
+    store.record(8).unwrap(); // cross-segment read: forces a page-in
+    driver.attach_roster(std::sync::Arc::clone(&store));
+    let snapshots = run_lockstep_checkpointing(&mut driver, &mut pool);
+    assert_eq!(driver.history(id).unwrap(), &golden);
+    let live = driver.stats();
+    assert_eq!(live.roster_spilled, 3, "three sealed segments should be visible");
+    assert!(live.roster_loaded > 0, "the cross-segment read never paged");
+
+    // Restore into a fresh driver: the counters are gone with the store.
+    let (mut restored, mut rpool, rid) = fresh_pair(&builder(kind));
+    restored.restore(snapshots.first().unwrap()).unwrap();
+    assert_eq!(restored.stats().roster_spilled, 0, "spill count leaked through the checkpoint");
+    assert_eq!(restored.stats().roster_loaded, 0, "load count leaked through the checkpoint");
+
+    // Attaching a fresh store re-counts from that store's activity only.
+    let fresh = spilled_store(&base.join("after"));
+    restored.attach_roster(std::sync::Arc::clone(&fresh));
+    run_lockstep(&mut restored, &mut rpool).unwrap();
+    assert_eq!(restored.history(rid).unwrap(), &golden);
+    let stats = restored.stats();
+    assert_eq!(stats.roster_spilled, fresh.spilled());
+    assert_eq!(stats.roster_loaded, fresh.loaded());
+    std::fs::remove_dir_all(&base).ok();
 }
